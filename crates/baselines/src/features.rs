@@ -1,0 +1,506 @@
+//! Feature-based similarity: ReFeX-style recursive structural features.
+//!
+//! ReFeX \[9\] starts from *local* ego-net features and recursively appends
+//! neighborhood aggregates (sums and means of the neighbors' feature
+//! vectors). OddBall \[1\] and NetSimile \[3\] are "simplified versions of
+//! ReFeX with parameter k = 1" (paper, Section 13): plain ego-net
+//! features, no recursion.
+//!
+//! The base features per node `v` are:
+//!
+//! 1. `degree(v)`
+//! 2. number of edges inside the ego-net of `v` (v, its neighbors, and
+//!    all edges among them),
+//! 3. number of boundary edges leaving the ego-net.
+//!
+//! Each recursion round maps `f(v) ↦ f(v) ++ sum_{w∈N(v)} f(w) ++
+//! mean_{w∈N(v)} f(w)`, tripling the dimension; `r` rounds aggregate
+//! information from `r` hops, analogous to NED's `k = r + 1`.
+//!
+//! The paper's criticism applies verbatim to this implementation (by
+//! design — it is the baseline): values are ad-hoc statistics, distinct
+//! neighborhoods can collide, and the L1 distance on these vectors is not
+//! a metric on graph structure (identity fails).
+
+use ned_graph::{stats, Graph, NodeId};
+
+/// Number of base features.
+pub const BASE_FEATURES: usize = 3;
+
+/// Feature dimension after `r` recursion rounds: `3^(r+1)`.
+pub fn dimension(recursions: usize) -> usize {
+    BASE_FEATURES * 3usize.pow(recursions as u32)
+}
+
+/// All-node ReFeX features, computed in `O((n + m) · dim)`.
+///
+/// Use this when many nodes of the same graph will be queried (the
+/// de-anonymization workload); use [`refex_node_features`] for one-off
+/// per-pair comparisons (the Figure 9a timing workload).
+#[derive(Debug, Clone)]
+pub struct RefexFeatures {
+    recursions: usize,
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl RefexFeatures {
+    /// Computes features for every node of `g` with `recursions` rounds.
+    pub fn compute(g: &Graph, recursions: usize) -> Self {
+        let n = g.num_nodes();
+        let mut current: Vec<Vec<f64>> = (0..n as NodeId).map(|v| base_features(g, v)).collect();
+        for _ in 0..recursions {
+            current = recurse_once(g, &current);
+        }
+        let dim = dimension(recursions);
+        let mut data = Vec::with_capacity(n * dim);
+        for f in current {
+            debug_assert_eq!(f.len(), dim);
+            data.extend_from_slice(&f);
+        }
+        RefexFeatures {
+            recursions,
+            dim,
+            data,
+        }
+    }
+
+    /// Number of recursion rounds used.
+    pub fn recursions(&self) -> usize {
+        self.recursions
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The feature vector of `v`.
+    pub fn features(&self, v: NodeId) -> &[f64] {
+        &self.data[(v as usize) * self.dim..(v as usize + 1) * self.dim]
+    }
+}
+
+impl RefexFeatures {
+    /// ReFeX as published: recursive features followed by **vertical
+    /// logarithmic binning** — per feature column, the fraction `p` of
+    /// nodes with the smallest values gets bin 0, the fraction `p` of the
+    /// remainder bin 1, and so on (ties share a bin). Binning is what
+    /// makes ReFeX robust to noise, and also what makes its values
+    /// graph-dependent: two graphs bin differently, so cross-graph
+    /// distances are only loosely comparable — the paper's critique,
+    /// reproduced faithfully.
+    pub fn compute_binned(g: &Graph, recursions: usize, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p) && p > 0.0, "bin fraction in (0, 1)");
+        let mut raw = RefexFeatures::compute(g, recursions);
+        let n = g.num_nodes();
+        if n == 0 {
+            return raw;
+        }
+        for col in 0..raw.dim {
+            let mut order: Vec<(f64, usize)> = (0..n)
+                .map(|v| (raw.data[v * raw.dim + col], v))
+                .collect();
+            order.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            let mut bin = 0.0f64;
+            let mut idx = 0usize;
+            while idx < n {
+                let remaining = n - idx;
+                let take = ((p * remaining as f64).ceil() as usize).clamp(1, remaining);
+                let mut end = idx + take;
+                // ties never straddle a bin boundary
+                while end < n && order[end].0 == order[end - 1].0 {
+                    end += 1;
+                }
+                for &(_, v) in &order[idx..end] {
+                    raw.data[v * raw.dim + col] = bin;
+                }
+                bin += 1.0;
+                idx = end;
+            }
+        }
+        raw
+    }
+}
+
+/// One recursion round over the whole graph.
+fn recurse_once(g: &Graph, prev: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let d = prev.first().map(Vec::len).unwrap_or(0);
+    (0..g.num_nodes() as NodeId)
+        .map(|v| {
+            let mut out = Vec::with_capacity(3 * d);
+            out.extend_from_slice(&prev[v as usize]);
+            let nbrs = g.neighbors(v);
+            let mut sums = vec![0.0f64; d];
+            for &w in nbrs {
+                for (s, x) in sums.iter_mut().zip(&prev[w as usize]) {
+                    *s += x;
+                }
+            }
+            out.extend_from_slice(&sums);
+            let inv = if nbrs.is_empty() {
+                0.0
+            } else {
+                1.0 / nbrs.len() as f64
+            };
+            out.extend(sums.iter().map(|s| s * inv));
+            out
+        })
+        .collect()
+}
+
+/// ReFeX features of a *single* node, touching only its `recursions`-hop
+/// neighborhood. Matches [`RefexFeatures::compute`] exactly.
+pub fn refex_node_features(g: &Graph, v: NodeId, recursions: usize) -> Vec<f64> {
+    // Collect the nodes whose features are (transitively) needed.
+    let levels = ned_graph::bfs::bfs_levels(g, v, recursions + 1, ned_graph::Direction::Outgoing);
+    let nodes: Vec<NodeId> = levels.into_iter().flatten().collect();
+    let mut index = std::collections::HashMap::with_capacity(nodes.len());
+    for (i, &w) in nodes.iter().enumerate() {
+        index.insert(w, i);
+    }
+    let mut current: Vec<Vec<f64>> = nodes.iter().map(|&w| base_features(g, w)).collect();
+    for _ in 0..recursions {
+        let d = current[0].len();
+        let mut next = Vec::with_capacity(nodes.len());
+        for (i, &w) in nodes.iter().enumerate() {
+            let mut out = Vec::with_capacity(3 * d);
+            out.extend_from_slice(&current[i]);
+            let mut sums = vec![0.0f64; d];
+            let mut cnt = 0usize;
+            for &x in g.neighbors(w) {
+                // Nodes outside the collected ball only matter for rounds
+                // that can't influence the root anymore; treat missing
+                // entries as zero only when they are genuinely outside
+                // the needed radius.
+                if let Some(&xi) = index.get(&x) {
+                    for (s, val) in sums.iter_mut().zip(&current[xi]) {
+                        *s += val;
+                    }
+                }
+                cnt += 1;
+            }
+            out.extend_from_slice(&sums);
+            let inv = if cnt == 0 { 0.0 } else { 1.0 / cnt as f64 };
+            out.extend(sums.iter().map(|s| s * inv));
+            next.push(out);
+        }
+        current = next;
+    }
+    current.swap_remove(0)
+}
+
+/// The three ego-net base features of `v`.
+pub fn base_features(g: &Graph, v: NodeId) -> Vec<f64> {
+    let (internal, boundary) = egonet_edges(g, v);
+    vec![g.degree(v) as f64, internal as f64, boundary as f64]
+}
+
+/// `(edges inside the ego-net of v, edges leaving it)`.
+pub fn egonet_edges(g: &Graph, v: NodeId) -> (usize, usize) {
+    let nbrs = g.neighbors(v);
+    let mut internal = nbrs.len(); // v's own spokes
+    let mut boundary = 0usize;
+    for &w in nbrs {
+        for &x in g.neighbors(w) {
+            if x == v {
+                continue;
+            }
+            if nbrs.binary_search(&x).is_ok() {
+                internal += 1; // counted twice below, fixed after loop
+            } else {
+                boundary += 1;
+            }
+        }
+    }
+    // neighbor-neighbor edges were seen from both endpoints
+    let spokes = nbrs.len();
+    ((internal - spokes) / 2 + spokes, boundary)
+}
+
+/// The seven NetSimile node features \[3\].
+pub fn netsimile_features(g: &Graph, v: NodeId) -> Vec<f64> {
+    let nbrs = g.neighbors(v);
+    let deg = nbrs.len() as f64;
+    let cc = stats::local_clustering(g, v);
+    let (avg_nbr_deg, avg_nbr_cc) = if nbrs.is_empty() {
+        (0.0, 0.0)
+    } else {
+        let dsum: f64 = nbrs.iter().map(|&w| g.degree(w) as f64).sum();
+        let csum: f64 = nbrs.iter().map(|&w| stats::local_clustering(g, w)).sum();
+        (dsum / deg, csum / deg)
+    };
+    let (internal, boundary) = egonet_edges(g, v);
+    // distinct neighbors of the ego-net (outside it)
+    let mut outside: Vec<NodeId> = Vec::new();
+    for &w in nbrs.iter().chain(std::iter::once(&v)) {
+        for &x in g.neighbors(w) {
+            if x != v && nbrs.binary_search(&x).is_err() {
+                outside.push(x);
+            }
+        }
+    }
+    outside.sort_unstable();
+    outside.dedup();
+    vec![
+        deg,
+        cc,
+        avg_nbr_deg,
+        avg_nbr_cc,
+        internal as f64,
+        boundary as f64,
+        outside.len() as f64,
+    ]
+}
+
+/// NetSimile's *graph-level* signature \[3\]: for each of the seven node
+/// features, five aggregates over all nodes — mean, median, standard
+/// deviation, skewness, kurtosis — giving a 35-dimensional vector. Two
+/// graphs are compared with the Canberra distance of their signatures.
+/// This is the whole-network analogue of the paper's Appendix A
+/// (Hausdorff over NED), included as the baseline for that extension.
+pub fn netsimile_graph_signature(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut columns: Vec<Vec<f64>> =
+        (0..7).map(|_| Vec::with_capacity(n)).collect();
+    for v in g.nodes() {
+        for (col, &x) in columns.iter_mut().zip(netsimile_features(g, v).iter()) {
+            col.push(x);
+        }
+    }
+    let mut signature = Vec::with_capacity(35);
+    for col in &mut columns {
+        signature.extend(moments(col));
+    }
+    signature
+}
+
+/// `[mean, median, std, skewness, kurtosis]` of a sample (zeros for
+/// degenerate inputs).
+fn moments(xs: &mut [f64]) -> [f64; 5] {
+    let n = xs.len();
+    if n == 0 {
+        return [0.0; 5];
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+    let median = if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    };
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    let std = var.sqrt();
+    if std <= 1e-12 {
+        return [mean, median, 0.0, 0.0, 0.0];
+    }
+    let skew = xs.iter().map(|x| ((x - mean) / std).powi(3)).sum::<f64>() / n as f64;
+    let kurt = xs.iter().map(|x| ((x - mean) / std).powi(4)).sum::<f64>() / n as f64 - 3.0;
+    [mean, median, std, skew, kurt]
+}
+
+/// L1 (Manhattan) distance between feature vectors.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "feature dimensions must match");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// L2 (Euclidean) distance between feature vectors.
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "feature dimensions must match");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Canberra distance (NetSimile's choice \[3\]).
+pub fn canberra_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "feature dimensions must match");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let denom = x.abs() + y.abs();
+            if denom == 0.0 {
+                0.0
+            } else {
+                (x - y).abs() / denom
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ned_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn triangle_plus_tail() -> Graph {
+        Graph::undirected_from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn base_features_values() {
+        let g = triangle_plus_tail();
+        // node 0: degree 2; ego {0,1,2}: edges 0-1,1-2,2-0 = 3; boundary: 2-3.
+        assert_eq!(base_features(&g, 0), vec![2.0, 3.0, 1.0]);
+        // node 4: degree 1; ego {3,4}: edge 3-4; boundary: 2-3.
+        assert_eq!(base_features(&g, 4), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn dimension_grows_by_powers_of_three() {
+        assert_eq!(dimension(0), 3);
+        assert_eq!(dimension(1), 9);
+        assert_eq!(dimension(2), 27);
+    }
+
+    #[test]
+    fn whole_graph_matches_per_node() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::erdos_renyi_gnm(40, 100, &mut rng);
+        for r in 0..3 {
+            let all = RefexFeatures::compute(&g, r);
+            for v in [0u32, 7, 19, 39] {
+                let single = refex_node_features(&g, v, r);
+                let batch = all.features(v);
+                assert_eq!(single.len(), batch.len());
+                for (a, b) in single.iter().zip(batch) {
+                    assert!((a - b).abs() < 1e-9, "node {v} r={r}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isomorphic_positions_get_equal_features() {
+        // two disjoint triangles inside one graph
+        let g = Graph::undirected_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let f = RefexFeatures::compute(&g, 2);
+        assert_eq!(l1_distance(f.features(0), f.features(4)), 0.0);
+    }
+
+    #[test]
+    fn netsimile_has_seven_features() {
+        let g = triangle_plus_tail();
+        for v in g.nodes() {
+            assert_eq!(netsimile_features(&g, v).len(), 7);
+        }
+        // clustering of node 0 (in the triangle) is 1.0
+        assert_eq!(netsimile_features(&g, 0)[1], 1.0);
+    }
+
+    #[test]
+    fn distances_basic_properties() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 2.0, 1.0];
+        assert_eq!(l1_distance(&a, &b), 3.0);
+        assert!((l2_distance(&a, &b) - (5.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(l1_distance(&a, &a), 0.0);
+        assert_eq!(canberra_distance(&a, &a), 0.0);
+        assert!(canberra_distance(&a, &b) > 0.0);
+        // symmetry
+        assert_eq!(l1_distance(&a, &b), l1_distance(&b, &a));
+        assert_eq!(canberra_distance(&a, &b), canberra_distance(&b, &a));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn mismatched_dimensions_panic() {
+        l1_distance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn graph_signature_has_35_dims_and_separates_families() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let road1 = generators::road_network(10, 10, 0.4, 0.0, &mut rng);
+        let road2 = generators::road_network(11, 9, 0.4, 0.0, &mut rng);
+        let social = generators::barabasi_albert(100, 3, &mut rng);
+        let s1 = netsimile_graph_signature(&road1);
+        let s2 = netsimile_graph_signature(&road2);
+        let s3 = netsimile_graph_signature(&social);
+        assert_eq!(s1.len(), 35);
+        let rr = canberra_distance(&s1, &s2);
+        let rs = canberra_distance(&s1, &s3);
+        assert!(rr < rs, "same-family graphs should be closer: {rr} vs {rs}");
+        // identity on identical graphs
+        assert_eq!(canberra_distance(&s1, &netsimile_graph_signature(&road1)), 0.0);
+    }
+
+    #[test]
+    fn moments_sanity() {
+        let mut xs = vec![1.0, 2.0, 3.0, 4.0];
+        let m = moments(&mut xs);
+        assert_eq!(m[0], 2.5); // mean
+        assert_eq!(m[1], 2.5); // median
+        assert!((m[2] - 1.118).abs() < 1e-3); // std
+        assert!(m[3].abs() < 1e-9); // symmetric -> zero skew
+        let mut constant = vec![7.0; 5];
+        assert_eq!(moments(&mut constant), [7.0, 7.0, 0.0, 0.0, 0.0]);
+        assert_eq!(moments(&mut []), [0.0; 5]);
+    }
+
+    #[test]
+    fn binned_features_are_bin_indices() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = generators::barabasi_albert(100, 2, &mut rng);
+        let binned = RefexFeatures::compute_binned(&g, 1, 0.5);
+        for v in g.nodes() {
+            for &x in binned.features(v) {
+                assert!(x.fract() == 0.0 && x >= 0.0, "bin index expected, got {x}");
+                assert!(x < 30.0, "log binning keeps bin counts small");
+            }
+        }
+        // equal raw values always share a bin: two degree-2 leaves
+        let star = Graph::undirected_from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let b = RefexFeatures::compute_binned(&star, 0, 0.5);
+        assert_eq!(b.features(1), b.features(2));
+        assert_eq!(b.features(2), b.features(3));
+        // and the hub lands in a strictly higher degree bin
+        assert!(b.features(0)[0] > b.features(1)[0]);
+    }
+
+    #[test]
+    fn binning_coarsens_the_space() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let g = generators::barabasi_albert(200, 3, &mut rng);
+        let raw = RefexFeatures::compute(&g, 2);
+        let binned = RefexFeatures::compute_binned(&g, 2, 0.5);
+        let distinct = |f: &RefexFeatures| {
+            let mut set = std::collections::HashSet::new();
+            for v in g.nodes() {
+                let key: Vec<u64> = f.features(v).iter().map(|x| x.to_bits()).collect();
+                set.insert(key);
+            }
+            set.len()
+        };
+        assert!(
+            distinct(&binned) <= distinct(&raw),
+            "binning must not increase the number of distinct fingerprints"
+        );
+    }
+
+    #[test]
+    fn feature_collision_demonstrates_non_identity() {
+        // The paper's criticism: feature-based similarity can report 0 for
+        // structurally different neighborhoods. Degree-0 features of any
+        // two degree-d nodes with the same ego-net statistics collide even
+        // when deeper topology differs. A 6-cycle node vs an infinite-path
+        // imitation (path of 7, middle node): same degree, same ego edges,
+        // same boundary.
+        let cyc = Graph::undirected_from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        );
+        let path = Graph::undirected_from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)],
+        );
+        let f_cyc = refex_node_features(&cyc, 0, 0);
+        let f_path = refex_node_features(&path, 3, 0);
+        assert_eq!(l1_distance(&f_cyc, &f_path), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Graphlet-based node features (related work \[18, 6, 21\]).
+//!
+//! Graphlets are small connected induced subgraphs; a node's *graphlet
+//! degree vector* (GDV) counts, per automorphism orbit, how many graphlet
+//! instances touch the node in that position. The paper cites this as the
+//! biological-network approach to inter-graph node comparison, with the
+//! caveat that it only sees a bounded-radius neighborhood and degrades as
+//! the neighborhood grows — which is NED's opening.
+//!
+//! This module counts all orbits of the connected graphlets on 2 and 3
+//! nodes exactly, plus two cheap 4-node signals:
+//!
+//! | index | orbit |
+//! |-------|-------|
+//! | 0 | edge endpoint (= degree) |
+//! | 1 | end of a 2-path (P3) |
+//! | 2 | middle of a 2-path (P3) |
+//! | 3 | triangle corner (K3) |
+//! | 4 | 4-clique corner (K4) |
+//! | 5 | center of a claw (K1,3) |
+
+use ned_graph::{Graph, NodeId};
+
+/// Number of orbit counts in a [`gdv`].
+pub const ORBITS: usize = 6;
+
+/// The graphlet degree vector of one node.
+///
+/// ```
+/// use ned_baselines::graphlets::gdv;
+/// use ned_graph::Graph;
+///
+/// let triangle = Graph::undirected_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+/// let v = gdv(&triangle, 0);
+/// assert_eq!(v[0], 2); // degree
+/// assert_eq!(v[3], 1); // sits in one triangle
+/// ```
+pub fn gdv(g: &Graph, v: NodeId) -> [u64; ORBITS] {
+    let nbrs = g.neighbors(v);
+    let deg = nbrs.len() as u64;
+    let mut out = [0u64; ORBITS];
+    out[0] = deg;
+
+    // Triangles at v and 2-path middles: every unordered neighbor pair is
+    // either closed (triangle) or open (v is the P3 middle).
+    let mut triangles = 0u64;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                triangles += 1;
+            }
+        }
+    }
+    let pairs = deg * deg.saturating_sub(1) / 2;
+    out[2] = pairs - triangles;
+    out[3] = triangles;
+
+    // P3 ends: walks of length 2 from v that are not triangles closing
+    // back and not returning to v.
+    let mut two_walks = 0u64;
+    for &a in nbrs {
+        for &b in g.neighbors(a) {
+            if b != v && !g.has_edge(v, b) {
+                two_walks += 1;
+            }
+        }
+    }
+    out[1] = two_walks;
+
+    // K4 corners: triangles {v, a, b} extended by a common neighbor c.
+    let mut k4 = 0u64;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if !g.has_edge(a, b) {
+                continue;
+            }
+            // count common neighbors of v, a, b beyond the triangle
+            for &c in &nbrs[i + 1..] {
+                if c != b && c > b && g.has_edge(a, c) && g.has_edge(b, c) {
+                    k4 += 1;
+                }
+            }
+        }
+    }
+    out[4] = k4;
+
+    // Claw centers: unordered neighbor triples with no closing edge.
+    let mut claw = 0u64;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for (j, &b) in nbrs.iter().enumerate().skip(i + 1) {
+            if g.has_edge(a, b) {
+                continue;
+            }
+            for &c in &nbrs[j + 1..] {
+                if !g.has_edge(a, c) && !g.has_edge(b, c) {
+                    claw += 1;
+                }
+            }
+        }
+    }
+    out[5] = claw;
+
+    out
+}
+
+/// Graphlet distance: L1 over `ln(1 + count)` (Przulj-style damping, so
+/// hub orbits do not drown the structural ones).
+pub fn gdv_distance(a: &[u64; ORBITS], b: &[u64; ORBITS]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ((1.0 + x as f64).ln() - (1.0 + y as f64).ln()).abs())
+        .sum()
+}
+
+/// Convenience: GDV distance between two nodes of (possibly different)
+/// graphs.
+pub fn graphlet_node_distance(g1: &Graph, u: NodeId, g2: &Graph, v: NodeId) -> f64 {
+    gdv_distance(&gdv(g1, u), &gdv(g2, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_with_tail() -> Graph {
+        // 0-1-2 triangle, 2-3, 3-4
+        Graph::undirected_from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn degree_orbit() {
+        let g = triangle_with_tail();
+        assert_eq!(gdv(&g, 2)[0], 3);
+        assert_eq!(gdv(&g, 4)[0], 1);
+    }
+
+    #[test]
+    fn triangle_orbit() {
+        let g = triangle_with_tail();
+        assert_eq!(gdv(&g, 0)[3], 1);
+        assert_eq!(gdv(&g, 2)[3], 1);
+        assert_eq!(gdv(&g, 3)[3], 0);
+    }
+
+    #[test]
+    fn path_orbits() {
+        // P3: 0-1-2
+        let p = Graph::undirected_from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(gdv(&p, 0), [1, 1, 0, 0, 0, 0]);
+        assert_eq!(gdv(&p, 1), [2, 0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn k4_orbit() {
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in a + 1..4 {
+                edges.push((a, b));
+            }
+        }
+        let k4 = Graph::undirected_from_edges(4, &edges);
+        for v in k4.nodes() {
+            assert_eq!(gdv(&k4, v)[4], 1, "each K4 corner sits in one K4");
+            assert_eq!(gdv(&k4, v)[3], 3, "and in three triangles");
+            assert_eq!(gdv(&k4, v)[5], 0, "cliques contain no claws");
+        }
+    }
+
+    #[test]
+    fn claw_orbit() {
+        let star = Graph::undirected_from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(gdv(&star, 0)[5], 1);
+        assert_eq!(gdv(&star, 1)[5], 0);
+    }
+
+    #[test]
+    fn distance_identity_and_symmetry() {
+        let g = triangle_with_tail();
+        let a = gdv(&g, 0);
+        let b = gdv(&g, 4);
+        assert_eq!(gdv_distance(&a, &a), 0.0);
+        assert_eq!(gdv_distance(&a, &b), gdv_distance(&b, &a));
+        assert!(gdv_distance(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn cross_graph_equivalence() {
+        // corresponding nodes of two disjoint copies have identical GDVs
+        let g = triangle_with_tail();
+        assert_eq!(graphlet_node_distance(&g, 1, &g, 1), 0.0);
+        // structurally equivalent nodes 0 and 1 match as well
+        assert_eq!(graphlet_node_distance(&g, 0, &g, 1), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Neighbor-set similarity coefficients (related work \[17, 22, 27\]).
+//!
+//! The oldest structural-equivalence measures compare two nodes by the
+//! overlap of their neighbor *sets*: Jaccard, Sørensen–Dice, and Ochiai
+//! coefficients. The paper's critique (Section 2) is precise: these only
+//! make sense for **intra-graph** nodes — across graphs, or whenever two
+//! nodes share no common neighbors, the similarity is 0 even for nodes
+//! whose neighborhoods are perfectly isomorphic. This module implements
+//! them anyway: they complete the baseline spectrum and the tests
+//! demonstrate the critique.
+
+use ned_graph::{Graph, NodeId};
+
+/// `|N(u) ∩ N(v)|` for sorted adjacency slices.
+fn intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut common) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    common
+}
+
+/// Jaccard coefficient `|N(u) ∩ N(v)| / |N(u) ∪ N(v)|` (0 when both
+/// neighborhoods are empty).
+pub fn jaccard(g: &Graph, u: NodeId, v: NodeId) -> f64 {
+    let (a, b) = (g.neighbors(u), g.neighbors(v));
+    let common = intersection_size(a, b);
+    let union = a.len() + b.len() - common;
+    if union == 0 {
+        0.0
+    } else {
+        common as f64 / union as f64
+    }
+}
+
+/// Sørensen–Dice coefficient `2|N(u) ∩ N(v)| / (|N(u)| + |N(v)|)`.
+pub fn dice(g: &Graph, u: NodeId, v: NodeId) -> f64 {
+    let (a, b) = (g.neighbors(u), g.neighbors(v));
+    let total = a.len() + b.len();
+    if total == 0 {
+        0.0
+    } else {
+        2.0 * intersection_size(a, b) as f64 / total as f64
+    }
+}
+
+/// Ochiai (cosine) coefficient `|N(u) ∩ N(v)| / sqrt(|N(u)|·|N(v)|)`.
+pub fn ochiai(g: &Graph, u: NodeId, v: NodeId) -> f64 {
+    let (a, b) = (g.neighbors(u), g.neighbors(v));
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    intersection_size(a, b) as f64 / ((a.len() * b.len()) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Graph {
+        // 0 and 1 share neighbors {2, 3}; 4 hangs off 3.
+        Graph::undirected_from_edges(5, &[(0, 2), (0, 3), (1, 2), (1, 3), (3, 4)])
+    }
+
+    #[test]
+    fn perfect_overlap() {
+        let g = g();
+        assert_eq!(jaccard(&g, 0, 1), 1.0);
+        assert_eq!(dice(&g, 0, 1), 1.0);
+        assert_eq!(ochiai(&g, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let g = g();
+        // N(0) = {2,3}, N(4) = {3}: intersection 1, union 2.
+        assert_eq!(jaccard(&g, 0, 4), 0.5);
+        assert!((dice(&g, 0, 4) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((ochiai(&g, 0, 4) - 1.0 / 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_nodes_are_zero() {
+        let g = Graph::undirected_from_edges(3, &[(0, 1)]);
+        assert_eq!(jaccard(&g, 2, 0), 0.0);
+        assert_eq!(dice(&g, 2, 2), 0.0);
+        assert_eq!(ochiai(&g, 2, 1), 0.0);
+    }
+
+    #[test]
+    fn papers_critique_no_shared_neighbors_means_zero() {
+        // Two disjoint, isomorphic stars inside one graph: the centers are
+        // structurally identical, yet every set coefficient says 0 —
+        // the paper's argument for topology-based inter-graph measures.
+        let g = Graph::undirected_from_edges(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7)],
+        );
+        assert_eq!(jaccard(&g, 0, 4), 0.0);
+        assert_eq!(dice(&g, 0, 4), 0.0);
+        assert_eq!(ochiai(&g, 0, 4), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let g = g();
+        for (u, v) in [(0u32, 1u32), (0, 4), (2, 3)] {
+            assert_eq!(jaccard(&g, u, v), jaccard(&g, v, u));
+            assert_eq!(dice(&g, u, v), dice(&g, v, u));
+            assert_eq!(ochiai(&g, u, v), ochiai(&g, v, u));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the graph-alignment application and the
+//! interning signature store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ned_core::align::{align, AlignConfig};
+use ned_core::store::SignatureStore;
+use ned_graph::anonymize::{anonymize, Method};
+use ned_graph::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_align(c: &mut Criterion) {
+    let mut group = c.benchmark_group("align/relabeled_ba");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let g = generators::barabasi_albert(n, 2, &mut rng);
+        let anon = anonymize(&g, Method::Naive, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| align(&g, &anon.graph, &AlignConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let g = generators::road_network(40, 40, 0.4, 0.01, &mut rng);
+    group.bench_function("fill_1600_road_nodes_k4", |bencher| {
+        bencher.iter(|| {
+            let mut store = SignatureStore::new(&g, 4);
+            for v in g.nodes() {
+                store.get(v);
+            }
+            store.distinct_shapes()
+        });
+    });
+    // repeated distance queries hit the cache
+    group.bench_function("cached_distance_queries", |bencher| {
+        let mut store = SignatureStore::new(&g, 4);
+        for v in g.nodes() {
+            store.get(v);
+        }
+        let mut i = 0u32;
+        bencher.iter(|| {
+            i = i.wrapping_add(977);
+            let n = g.num_nodes() as u32;
+            store.distance(i % n, (i / 3) % n)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_align, bench_store
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks comparing per-pair cost of the three
+//! node-similarity measures (the micro version of Figure 9a).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ned_baselines::features::{l1_distance, refex_node_features, RefexFeatures};
+use ned_baselines::hits::{hits_distance, HitsConfig};
+use ned_core::ned;
+use ned_datasets::Dataset;
+
+fn bench_per_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/per_pair_pgp");
+    group.sample_size(10);
+    let g = Dataset::Pgp.generate(0.05, 42);
+    let k = Dataset::Pgp.recommended_k();
+
+    group.bench_function("ned", |bencher| {
+        let mut i = 0u32;
+        bencher.iter(|| {
+            i = i.wrapping_add(137);
+            ned(&g, i % g.num_nodes() as u32, &g, (i / 2) % g.num_nodes() as u32, k)
+        });
+    });
+    group.bench_function("feature", |bencher| {
+        let mut i = 0u32;
+        bencher.iter(|| {
+            i = i.wrapping_add(137);
+            let fu = refex_node_features(&g, i % g.num_nodes() as u32, k - 1);
+            let fv = refex_node_features(&g, (i / 2) % g.num_nodes() as u32, k - 1);
+            l1_distance(&fu, &fv)
+        });
+    });
+    let cfg = HitsConfig {
+        hops: 2,
+        max_iterations: 50,
+        tolerance: 1e-8,
+    };
+    group.bench_function("hits", |bencher| {
+        let mut i = 0u32;
+        bencher.iter(|| {
+            i = i.wrapping_add(137);
+            hits_distance(
+                &g,
+                i % g.num_nodes() as u32,
+                &g,
+                (i / 2) % g.num_nodes() as u32,
+                &cfg,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_feature_precompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/refex_precompute");
+    group.sample_size(10);
+    for d in [Dataset::Pgp, Dataset::Gnutella] {
+        let g = d.generate(0.01, 42);
+        group.bench_function(d.abbrev(), |bencher| {
+            bencher.iter(|| RefexFeatures::compute(&g, 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_per_pair, bench_feature_precompute
+}
+criterion_main!(benches);

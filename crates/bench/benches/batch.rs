@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the parallel batch layer: thread scaling of
+//! bulk NED distance computation (the shape behind every query workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ned_core::{batch, signatures, NodeSignature};
+use ned_datasets::Dataset;
+
+fn setup() -> (Vec<NodeSignature>, Vec<NodeSignature>) {
+    let g = Dataset::Pgp.generate(0.05, 42);
+    let queries: Vec<u32> = (0..32u32).collect();
+    let db: Vec<u32> = (32..432u32).collect();
+    (signatures(&g, &queries, 3), signatures(&g, &db, 3))
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let (queries, db) = setup();
+    let mut group = c.benchmark_group("batch/threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bencher, &threads| {
+                bencher.iter(|| batch::distance_matrix(&queries, &db, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_knn_batch(c: &mut Criterion) {
+    let (queries, db) = setup();
+    let mut group = c.benchmark_group("batch/knn");
+    group.sample_size(10);
+    group.bench_function("top5_32x400", |bencher| {
+        bencher.iter(|| batch::knn_batch(&queries, &db, 5, 0));
+    });
+    group.bench_function("pairwise_condensed_120", |bencher| {
+        let sigs = &db[..120];
+        bencher.iter(|| batch::pairwise_condensed(sigs, 0));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_thread_scaling, bench_knn_batch
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks pitting TED\* against the exponential exact
+//! baselines (the micro version of Figure 5a): watch the wall.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ned_core::ted_star;
+use ned_core::reference::exhaustive_ted_star;
+use ned_graph::exact_ged::{exact_ged_rooted, SmallGraph};
+use ned_tree::exact::exact_ted_bounded;
+use ned_tree::generate::random_bounded_depth_tree;
+use ned_tree::Tree;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn tree_pair(n: usize, seed: u64) -> (Tree, Tree) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (
+        random_bounded_depth_tree(n, 3, &mut rng),
+        random_bounded_depth_tree(n, 3, &mut rng),
+    )
+}
+
+fn tree_as_graph(t: &Tree) -> SmallGraph {
+    let edges: Vec<(u32, u32)> = t
+        .nodes()
+        .skip(1)
+        .map(|v| (t.parent(v).unwrap(), v))
+        .collect();
+    SmallGraph::from_edges(t.len(), &edges)
+}
+
+fn bench_exact_wall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact/wall");
+    group.sample_size(10);
+    for n in [6usize, 8, 10, 12] {
+        let (a, b) = tree_pair(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("ted_star", n), &n, |bencher, _| {
+            bencher.iter(|| ted_star(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("exact_ted", n), &n, |bencher, _| {
+            bencher.iter(|| exact_ted_bounded(&a, &b, 16).expect("within cap"));
+        });
+        let (ga, gb) = (tree_as_graph(&a), tree_as_graph(&b));
+        group.bench_with_input(BenchmarkId::new("exact_ged", n), &n, |bencher, _| {
+            bencher.iter(|| exact_ged_rooted(&ga, &gb).expect("within cap"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reference_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact/definition3_reference");
+    group.sample_size(10);
+    for n in [4usize, 5, 6] {
+        let (a, b) = tree_pair(n, 100 + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| exhaustive_ted_star(&a, &b, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exact_wall, bench_reference_search
+}
+criterion_main!(benches);

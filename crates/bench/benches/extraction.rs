@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for k-adjacent tree extraction (BFS) and
+//! canonicalization, per dataset family and per k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ned_core::PreparedTree;
+use ned_datasets::Dataset;
+use ned_graph::bfs::TreeExtractor;
+
+fn bench_extraction_by_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract/road_by_k");
+    let g = Dataset::CaRoad.generate(0.005, 42);
+    let mut ex = TreeExtractor::new(&g);
+    for k in [2usize, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, &k| {
+            let mut node = 0u32;
+            bencher.iter(|| {
+                node = (node + 7919) % g.num_nodes() as u32;
+                ex.extract(node, k)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_extraction_by_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract/dataset_at_recommended_k");
+    for d in Dataset::ALL {
+        let g = d.generate(0.004, 42);
+        let k = d.recommended_k();
+        let mut ex = TreeExtractor::new(&g);
+        group.bench_function(d.abbrev(), |bencher| {
+            let mut node = 0u32;
+            bencher.iter(|| {
+                node = (node + 101) % g.num_nodes() as u32;
+                ex.extract(node, k)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_canonicalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract/canonicalize");
+    let g = Dataset::Amazon.generate(0.004, 42);
+    let mut ex = TreeExtractor::new(&g);
+    let tree = ex.extract(0, 3);
+    group.bench_function(format!("amzn_k3_n{}", tree.len()), |bencher| {
+        bencher.iter(|| PreparedTree::new(&tree));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_extraction_by_k, bench_extraction_by_dataset, bench_canonicalization
+}
+criterion_main!(benches);

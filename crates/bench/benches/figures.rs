@@ -1,0 +1,24 @@
+//! `cargo bench` entry point that regenerates every paper table and
+//! figure at reduced scale (the full-scale runs live in the `fig*` /
+//! `run_all` binaries: `cargo run -p ned-bench --release --bin run_all`).
+//!
+//! This is intentionally a plain harness (`harness = false`) rather than
+//! a criterion benchmark: the artifacts are tables, not timing samples.
+
+fn main() {
+    // Respect `cargo bench -- --help`-style filter args minimally: any
+    // argument disables nothing (tables are cheap at this scale).
+    let cfg = ned_bench::util::ExpConfig {
+        scale: 0.002,
+        seed: 20170222,
+        pairs: 40,
+        threads: 0,
+    };
+    println!("Regenerating paper tables/figures at bench scale (scale=0.002, pairs=40).");
+    println!("For full-scale runs: cargo run -p ned-bench --release --bin run_all -- --full\n");
+    let report = ned_bench::experiments::run_all(&cfg);
+    let path = std::path::Path::new("bench_figures_report.txt");
+    if std::fs::write(path, &report).is_ok() {
+        eprintln!("\nreport written to {}", path.display());
+    }
+}

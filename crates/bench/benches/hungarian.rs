@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the Hungarian matcher — the `O(n³)`
+//! inner loop that dominates TED\* (Section 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ned_matching::{brute_force_matching, greedy_matching, hungarian, CostMatrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(n: usize, seed: u64) -> CostMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = CostMatrix::zeros(n);
+    for r in 0..n {
+        for c in 0..n {
+            m.set(r, c, rng.gen_range(0..100));
+        }
+    }
+    m
+}
+
+fn bench_hungarian_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian/size");
+    for n in [8usize, 32, 128, 512] {
+        let m = random_matrix(n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| hungarian(&m));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matchers_head_to_head(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian/vs");
+    let m = random_matrix(64, 7);
+    group.bench_function("hungarian-64", |b| b.iter(|| hungarian(&m)));
+    group.bench_function("greedy-64", |b| b.iter(|| greedy_matching(&m)));
+    let tiny = random_matrix(7, 9);
+    group.bench_function("hungarian-7", |b| b.iter(|| hungarian(&tiny)));
+    group.bench_function("brute-force-7", |b| b.iter(|| brute_force_matching(&tiny)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hungarian_scaling, bench_matchers_head_to_head
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for one end-to-end NED computation
+//! (extraction + canonicalization + TED\*), per dataset and per k —
+//! the per-pair cost behind Figures 7b and 9a.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ned_core::ned;
+use ned_datasets::Dataset;
+
+fn bench_ned_by_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ned/road_by_k");
+    let g1 = Dataset::CaRoad.generate(0.005, 42);
+    let g2 = Dataset::PaRoad.generate(0.005, 42);
+    for k in [1usize, 2, 3, 4, 5, 6, 7, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, &k| {
+            let mut i = 0u32;
+            bencher.iter(|| {
+                i = i.wrapping_add(7919);
+                let u = i % g1.num_nodes() as u32;
+                let v = i % g2.num_nodes() as u32;
+                ned(&g1, u, &g2, v, k)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ned_by_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ned/dataset");
+    group.sample_size(10);
+    for d in Dataset::ALL {
+        let g = d.generate(0.004, 42);
+        let k = d.recommended_k();
+        group.bench_function(d.abbrev(), |bencher| {
+            let mut i = 0u32;
+            bencher.iter(|| {
+                i = i.wrapping_add(101);
+                let u = i % g.num_nodes() as u32;
+                let v = (i / 2) % g.num_nodes() as u32;
+                ned(&g, u, &g, v, k)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_directed_ned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ned/directed");
+    // synthesize a directed graph by orienting a PGP stand-in's edges
+    let und = Dataset::Pgp.generate(0.05, 42);
+    let edges: Vec<(u32, u32)> = und.edges().collect();
+    let g = ned_graph::Graph::directed_from_edges(und.num_nodes(), &edges);
+    group.bench_function("pgp_oriented_k3", |bencher| {
+        let mut i = 0u32;
+        bencher.iter(|| {
+            i = i.wrapping_add(211);
+            let u = i % g.num_nodes() as u32;
+            let v = (i / 3) % g.num_nodes() as u32;
+            ned_core::ned_directed(&g, u, &g, v, 3)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ned_by_k, bench_ned_by_dataset, bench_directed_ned
+}
+criterion_main!(benches);

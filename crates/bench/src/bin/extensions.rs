@@ -1,0 +1,7 @@
+//! Extension experiments: directed NED (Section 3.3) and the Hausdorff
+//! graph distance matrix (Appendix A) — defined but not evaluated in the
+//! paper.
+fn main() {
+    let cfg = ned_bench::util::ExpConfig::from_args();
+    ned_bench::experiments::extensions::run(&cfg);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figures 10a/10b (de-anonymization precision).
+fn main() {
+    let cfg = ned_bench::util::ExpConfig::from_args();
+    let out = ned_bench::experiments::deanon::fig10(&cfg);
+    print!("{out}");
+}

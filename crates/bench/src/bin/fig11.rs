@@ -1,0 +1,6 @@
+//! Regenerates Figures 11a/11b (perturbation-ratio and top-l sweeps).
+fn main() {
+    let cfg = ned_bench::util::ExpConfig::from_args();
+    let out = ned_bench::experiments::deanon::fig11(&cfg);
+    print!("{out}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figures 5a/5b (TED*, TED, GED: times and values).
+fn main() {
+    let cfg = ned_bench::util::ExpConfig::from_args();
+    ned_bench::experiments::fig5_6::run(&cfg);
+}

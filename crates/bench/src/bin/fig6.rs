@@ -1,0 +1,6 @@
+//! Regenerates Figures 6a/6b (relative error and equivalency ratio).
+//! Shares its protocol (and output) with fig5.
+fn main() {
+    let cfg = ned_bench::util::ExpConfig::from_args();
+    ned_bench::experiments::fig5_6::run(&cfg);
+}

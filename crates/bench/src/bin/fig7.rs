@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7 artifact; see `ned-bench` docs.
+fn main() {
+    let cfg = ned_bench::util::ExpConfig::from_args();
+    ned_bench::experiments::fig7::run(&cfg);
+}

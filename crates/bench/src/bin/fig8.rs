@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig8 artifact; see `ned-bench` docs.
+fn main() {
+    let cfg = ned_bench::util::ExpConfig::from_args();
+    ned_bench::experiments::fig8::run(&cfg);
+}

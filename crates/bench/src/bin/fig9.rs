@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig9 artifact; see `ned-bench` docs.
+fn main() {
+    let cfg = ned_bench::util::ExpConfig::from_args();
+    ned_bench::experiments::fig9::run(&cfg);
+}

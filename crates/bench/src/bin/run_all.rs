@@ -1,0 +1,8 @@
+//! Regenerates every table and figure; writes the combined report to
+//! `experiments_report.txt` in the working directory.
+fn main() {
+    let cfg = ned_bench::util::ExpConfig::from_args();
+    let report = ned_bench::experiments::run_all(&cfg);
+    std::fs::write("experiments_report.txt", &report).expect("write report");
+    eprintln!("\nreport written to experiments_report.txt");
+}

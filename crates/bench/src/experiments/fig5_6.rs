@@ -1,0 +1,160 @@
+//! Figures 5 and 6: TED\* against the exact NP-hard baselines.
+//!
+//! * Fig 5a — average computation time of TED\*, exact TED, exact GED.
+//! * Fig 5b — average distance values of the three.
+//! * Fig 6a — relative error `|TED − TED*| / TED` (mean ± std).
+//! * Fig 6b — equivalency ratio: fraction of pairs with `TED* == TED`.
+//!
+//! Protocol (Section 13.1): node pairs sampled from the CAR and PAR road
+//! stand-ins, k-adjacent trees for `k = 2..=5`; exact TED / GED only run
+//! on trees / neighborhood subgraphs small enough for the exponential
+//! search (the paper's A\* "can only deal with ... 10-12 nodes" — we cap
+//! identically).
+
+use crate::util::{fmt_duration, mean, sample_nodes, std_dev, time, ExpConfig, Table};
+use ned_core::ted_star;
+use ned_datasets::Dataset;
+use ned_graph::bfs::TreeExtractor;
+use ned_graph::exact_ged::{exact_ged_rooted, SmallGraph};
+use ned_tree::exact::exact_ted;
+use std::time::Duration;
+
+const TREE_CAP: usize = 12;
+const GED_CAP: usize = 10;
+
+struct KRow {
+    k: usize,
+    pairs_used: usize,
+    ted_star_time: Duration,
+    ted_time: Duration,
+    ged_time: Duration,
+    ted_star_vals: Vec<f64>,
+    ted_vals: Vec<f64>,
+    ged_vals: Vec<f64>,
+    rel_errors: Vec<f64>,
+    equal: usize,
+    compared: usize,
+}
+
+/// Runs the Figure 5/6 protocol and prints all four panels.
+pub fn run(cfg: &ExpConfig) -> String {
+    let g1 = Dataset::CaRoad.generate(cfg.scale, cfg.seed);
+    let g2 = Dataset::PaRoad.generate(cfg.scale, cfg.seed);
+    let mut rng = cfg.rng(0x51);
+    let nodes1 = sample_nodes(g1.num_nodes(), cfg.pairs, &mut rng);
+    let nodes2 = sample_nodes(g2.num_nodes(), cfg.pairs, &mut rng);
+
+    let mut ex1 = TreeExtractor::new(&g1);
+    let mut ex2 = TreeExtractor::new(&g2);
+    let mut rows = Vec::new();
+
+    for k in 2..=5 {
+        let mut row = KRow {
+            k,
+            pairs_used: 0,
+            ted_star_time: Duration::ZERO,
+            ted_time: Duration::ZERO,
+            ged_time: Duration::ZERO,
+            ted_star_vals: Vec::new(),
+            ted_vals: Vec::new(),
+            ged_vals: Vec::new(),
+            rel_errors: Vec::new(),
+            equal: 0,
+            compared: 0,
+        };
+        for (&u, &v) in nodes1.iter().zip(&nodes2) {
+            let t1 = ex1.extract(u, k);
+            let t2 = ex2.extract(v, k);
+            if t1.len() > TREE_CAP || t2.len() > TREE_CAP {
+                continue; // exact TED infeasible, mirror the paper's cap
+            }
+            row.pairs_used += 1;
+            let (ds, dt_star) = time(|| ted_star(&t1, &t2));
+            row.ted_star_time += dt_star;
+            row.ted_star_vals.push(ds as f64);
+
+            let (dt, dt_ted) = time(|| exact_ted(&t1, &t2).expect("within cap"));
+            row.ted_time += dt_ted;
+            row.ted_vals.push(dt as f64);
+            row.compared += 1;
+            if ds == dt {
+                row.equal += 1;
+            }
+            if dt > 0 {
+                row.rel_errors.push((dt.abs_diff(ds)) as f64 / dt as f64);
+            }
+
+            // GED on the (k-1)-hop neighborhood subgraphs, root-pinned.
+            let s1 = SmallGraph::from_neighborhood(&g1, u, k - 1, GED_CAP);
+            let s2 = SmallGraph::from_neighborhood(&g2, v, k - 1, GED_CAP);
+            if let (Some(s1), Some(s2)) = (s1, s2) {
+                let (dg, dt_ged) = time(|| {
+                    exact_ged_rooted(&s1, &s2).expect("within cap")
+                });
+                row.ged_time += dt_ged;
+                row.ged_vals.push(dg as f64);
+            }
+        }
+        rows.push(row);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Pairs sampled: {} per k from CAR x PAR stand-ins (scale {:.4}); \
+         exact TED capped at {TREE_CAP} tree nodes, exact GED at {GED_CAP} subgraph nodes.\n\n",
+        cfg.pairs, cfg.scale
+    ));
+
+    out.push_str("Figure 5a - average computation time per pair:\n");
+    let mut t5a = Table::new(&["k", "pairs", "TED* time", "TED time", "GED time"]);
+    for r in &rows {
+        let div = r.pairs_used.max(1) as u32;
+        let ged_div = r.ged_vals.len().max(1) as u32;
+        t5a.row(vec![
+            r.k.to_string(),
+            r.pairs_used.to_string(),
+            fmt_duration(r.ted_star_time / div),
+            fmt_duration(r.ted_time / div),
+            fmt_duration(r.ged_time / ged_div),
+        ]);
+    }
+    out.push_str(&t5a.render());
+
+    out.push_str("\nFigure 5b - average distance values:\n");
+    let mut t5b = Table::new(&["k", "TED*", "TED", "GED"]);
+    for r in &rows {
+        t5b.row(vec![
+            r.k.to_string(),
+            format!("{:.2}", mean(&r.ted_star_vals)),
+            format!("{:.2}", mean(&r.ted_vals)),
+            format!("{:.2}", mean(&r.ged_vals)),
+        ]);
+    }
+    out.push_str(&t5b.render());
+
+    out.push_str("\nFigure 6a - relative error |TED - TED*| / TED:\n");
+    let mut t6a = Table::new(&["k", "avg", "std"]);
+    for r in &rows {
+        t6a.row(vec![
+            r.k.to_string(),
+            format!("{:.4}", mean(&r.rel_errors)),
+            format!("{:.4}", std_dev(&r.rel_errors)),
+        ]);
+    }
+    out.push_str(&t6a.render());
+
+    out.push_str("\nFigure 6b - equivalency ratio (TED* == TED):\n");
+    let mut t6b = Table::new(&["k", "ratio"]);
+    for r in &rows {
+        let ratio = if r.compared == 0 {
+            0.0
+        } else {
+            r.equal as f64 / r.compared as f64
+        };
+        t6b.row(vec![r.k.to_string(), format!("{ratio:.3}")]);
+    }
+    out.push_str(&t6b.render());
+
+    print!("{out}");
+    out
+}

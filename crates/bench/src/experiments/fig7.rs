@@ -1,0 +1,106 @@
+//! Figure 7: raw computation cost of TED\* and NED.
+//!
+//! * Fig 7a — TED\* time vs tree size: 3-adjacent trees from the AMZN and
+//!   DBLP stand-ins, bucketed by the larger tree's node count.
+//! * Fig 7b — NED time vs `k` (1..=8) over CAR × PAR node pairs.
+
+use crate::util::{fmt_duration, sample_nodes, time, ExpConfig, Table};
+use ned_core::{ted_star_prepared, PreparedTree};
+use ned_datasets::Dataset;
+use ned_graph::bfs::TreeExtractor;
+use std::time::Duration;
+
+/// Runs both panels.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&fig7a(cfg));
+    out.push('\n');
+    out.push_str(&fig7b(cfg));
+    print!("{out}");
+    out
+}
+
+/// Fig 7a: TED\* computation time bucketed by tree size (up to 500 nodes).
+pub fn fig7a(cfg: &ExpConfig) -> String {
+    let g1 = Dataset::Amazon.generate(cfg.scale, cfg.seed);
+    let g2 = Dataset::Dblp.generate(cfg.scale, cfg.seed);
+    let mut rng = cfg.rng(0x71);
+    let n_samples = cfg.pairs.max(100);
+    let nodes1 = sample_nodes(g1.num_nodes(), n_samples, &mut rng);
+    let nodes2 = sample_nodes(g2.num_nodes(), n_samples, &mut rng);
+    let mut ex1 = TreeExtractor::new(&g1);
+    let mut ex2 = TreeExtractor::new(&g2);
+
+    const BUCKETS: [usize; 10] = [50, 100, 150, 200, 250, 300, 350, 400, 450, 500];
+    let mut totals: Vec<(Duration, usize)> = vec![(Duration::ZERO, 0); BUCKETS.len()];
+
+    for (&u, &v) in nodes1.iter().zip(&nodes2) {
+        let t1 = ex1.extract(u, 3);
+        let t2 = ex2.extract(v, 3);
+        let size = t1.len().max(t2.len());
+        let Some(bucket) = BUCKETS.iter().position(|&b| size <= b) else {
+            continue;
+        };
+        let p1 = PreparedTree::new(&t1);
+        let p2 = PreparedTree::new(&t2);
+        let (_, dt) = time(|| ted_star_prepared(&p1, &p2));
+        totals[bucket].0 += dt;
+        totals[bucket].1 += 1;
+    }
+
+    let mut t = Table::new(&["tree size <=", "pairs", "avg TED* time"]);
+    for (b, (total, count)) in BUCKETS.iter().zip(&totals) {
+        if *count == 0 {
+            continue;
+        }
+        t.row(vec![
+            b.to_string(),
+            count.to_string(),
+            fmt_duration(*total / *count as u32),
+        ]);
+    }
+    format!(
+        "Figure 7a - TED* time vs tree size (3-adjacent trees, AMZN x DBLP):\n{}",
+        t.render()
+    )
+}
+
+/// Fig 7b: NED computation time vs `k` (1..=8) on road stand-ins.
+pub fn fig7b(cfg: &ExpConfig) -> String {
+    let g1 = Dataset::CaRoad.generate(cfg.scale, cfg.seed);
+    let g2 = Dataset::PaRoad.generate(cfg.scale, cfg.seed);
+    let mut rng = cfg.rng(0x72);
+    let nodes1 = sample_nodes(g1.num_nodes(), cfg.pairs, &mut rng);
+    let nodes2 = sample_nodes(g2.num_nodes(), cfg.pairs, &mut rng);
+    let mut ex1 = TreeExtractor::new(&g1);
+    let mut ex2 = TreeExtractor::new(&g2);
+
+    let mut t = Table::new(&["k", "avg NED time", "avg tree size"]);
+    for k in 1..=8 {
+        let mut total = Duration::ZERO;
+        let mut sizes = 0usize;
+        for (&u, &v) in nodes1.iter().zip(&nodes2) {
+            // NED time includes extraction + canonicalization + TED*.
+            let (_, dt) = time(|| {
+                let t1 = ex1.extract(u, k);
+                let t2 = ex2.extract(v, k);
+                let p1 = PreparedTree::new(&t1);
+                let p2 = PreparedTree::new(&t2);
+                ted_star_prepared(&p1, &p2)
+            });
+            total += dt;
+            sizes += ex1.extract(u, k).len();
+        }
+        let n = nodes1.len().max(1);
+        t.row(vec![
+            k.to_string(),
+            fmt_duration(total / n as u32),
+            format!("{:.1}", sizes as f64 / n as f64),
+        ]);
+    }
+    format!(
+        "Figure 7b - NED time vs k (CAR x PAR, {} pairs):\n{}",
+        nodes1.len(),
+        t.render()
+    )
+}

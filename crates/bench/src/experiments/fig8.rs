@@ -1,0 +1,77 @@
+//! Figure 8: the effect of parameter `k` on query results.
+//!
+//! * Fig 8a — number of nodes in the nearest-neighbor result set
+//!   (candidates tied at the minimum distance) as `k` grows.
+//! * Fig 8b — number of ties inside the top-l ranking as `k` grows.
+//!
+//! Monotonicity (Lemma 5) predicts both curves fall with `k`: larger `k`
+//! refines distances, breaking ties. Queries come from the CAR stand-in,
+//! candidates from the PAR stand-in.
+
+use crate::util::{mean, par_map, sample_nodes, ExpConfig, Table};
+use ned_core::signatures;
+use ned_datasets::Dataset;
+
+const TOP_L: usize = 10;
+const K_MAX: usize = 8;
+
+/// Runs both panels.
+pub fn run(cfg: &ExpConfig) -> String {
+    let g1 = Dataset::CaRoad.generate(cfg.scale, cfg.seed);
+    let g2 = Dataset::PaRoad.generate(cfg.scale, cfg.seed);
+    let mut rng = cfg.rng(0x81);
+    let queries = sample_nodes(g1.num_nodes(), cfg.pairs.min(100), &mut rng);
+    let candidates = sample_nodes(g2.num_nodes(), 1000.min(g2.num_nodes()), &mut rng);
+
+    let mut nn_rows = Vec::new();
+    let mut tie_rows = Vec::new();
+    for k in 1..=K_MAX {
+        let qsig = signatures(&g1, &queries, k);
+        let csig = signatures(&g2, &candidates, k);
+        let per_query: Vec<(usize, usize)> = par_map(qsig.len(), cfg.threads, |qi| {
+            let q = &qsig[qi];
+            let mut dists: Vec<u64> = csig.iter().map(|c| q.distance(c)).collect();
+            dists.sort_unstable();
+            let min = dists[0];
+            let nn_set = dists.iter().take_while(|&&d| d == min).count();
+            // ties within the top-l ranking: l minus distinct values
+            let top = &dists[..TOP_L.min(dists.len())];
+            let mut distinct = 1usize;
+            for w in top.windows(2) {
+                if w[0] != w[1] {
+                    distinct += 1;
+                }
+            }
+            (nn_set, top.len() - distinct)
+        });
+        let nn: Vec<f64> = per_query.iter().map(|&(a, _)| a as f64).collect();
+        let ties: Vec<f64> = per_query.iter().map(|&(_, b)| b as f64).collect();
+        nn_rows.push((k, mean(&nn)));
+        tie_rows.push((k, mean(&ties)));
+    }
+
+    let mut out = format!(
+        "Queries: {} CAR nodes against {} PAR candidates (scale {:.4}).\n\n",
+        queries.len(),
+        candidates.len(),
+        cfg.scale
+    );
+    out.push_str("Figure 8a - avg nearest-neighbor result set size vs k:\n");
+    let mut t8a = Table::new(&["k", "avg NN-set size"]);
+    for (k, v) in &nn_rows {
+        t8a.row(vec![k.to_string(), format!("{v:.1}")]);
+    }
+    out.push_str(&t8a.render());
+
+    out.push_str(&format!(
+        "\nFigure 8b - avg ties in the top-{TOP_L} ranking vs k:\n"
+    ));
+    let mut t8b = Table::new(&["k", "avg ties"]);
+    for (k, v) in &tie_rows {
+        t8b.row(vec![k.to_string(), format!("{v:.1}")]);
+    }
+    out.push_str(&t8b.render());
+
+    print!("{out}");
+    out
+}

@@ -1,0 +1,48 @@
+//! One module per paper artifact; every `run` function prints the
+//! regenerated table(s) and returns them as a string for `run_all` /
+//! EXPERIMENTS.md capture.
+
+pub mod ablation;
+pub mod deanon;
+pub mod extensions;
+pub mod fig5_6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+
+#[cfg(test)]
+mod tests;
+
+use crate::util::ExpConfig;
+
+/// Runs every experiment at the given configuration, returning the full
+/// report.
+pub fn run_all(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+    type Section = (&'static str, Box<dyn Fn(&ExpConfig) -> String>);
+    let sections: Vec<Section> = vec![
+        ("Table 2", Box::new(|c: &ExpConfig| table2::run(c))),
+        ("Figures 5 & 6", Box::new(|c: &ExpConfig| fig5_6::run(c))),
+        ("Figure 7", Box::new(|c: &ExpConfig| fig7::run(c))),
+        ("Figure 8", Box::new(|c: &ExpConfig| fig8::run(c))),
+        ("Figure 9", Box::new(|c: &ExpConfig| fig9::run(c))),
+        (
+            "Figures 10 & 11",
+            Box::new(|c: &ExpConfig| deanon::run(c)),
+        ),
+        ("Ablations", Box::new(|c: &ExpConfig| ablation::run(c))),
+        (
+            "Extensions (directed NED, Appendix A)",
+            Box::new(|c: &ExpConfig| extensions::run(c)),
+        ),
+    ];
+    for (name, f) in sections {
+        let banner = format!("\n===== {name} =====\n");
+        print!("{banner}");
+        out.push_str(&banner);
+        let section = f(cfg);
+        out.push_str(&section);
+    }
+    out
+}

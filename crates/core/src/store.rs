@@ -1,0 +1,191 @@
+//! A per-graph signature store: lazily extracted, canonicalized, and
+//! **interned** k-adjacent trees.
+//!
+//! Real graphs are full of structurally identical neighborhoods
+//! (`equivalence_classes` shows thousands of nodes sharing one shape at
+//! small `k`), so storing one [`PreparedTree`] per *distinct* shape —
+//! shared via `Arc` — cuts memory by the equivalence-class factor and
+//! makes repeated distance queries allocation-free on the signature side.
+
+use crate::ned::NodeSignature;
+use crate::ted_star::{ted_star_prepared, PreparedTree};
+use ned_graph::bfs::TreeExtractor;
+use ned_graph::{Graph, NodeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Lazy, interning cache of node signatures for one graph at one `k`.
+pub struct SignatureStore<'g> {
+    graph: &'g Graph,
+    k: usize,
+    extractor: TreeExtractor<'g>,
+    cache: Vec<Option<Arc<PreparedTree>>>,
+    interned: HashMap<Box<[u8]>, Arc<PreparedTree>>,
+    extractions: u64,
+    hits: u64,
+}
+
+impl<'g> SignatureStore<'g> {
+    /// Creates an empty store for `graph` at parameter `k`.
+    pub fn new(graph: &'g Graph, k: usize) -> Self {
+        SignatureStore {
+            graph,
+            k,
+            extractor: TreeExtractor::new(graph),
+            cache: vec![None; graph.num_nodes()],
+            interned: HashMap::new(),
+            extractions: 0,
+            hits: 0,
+        }
+    }
+
+    /// The `k` this store extracts at.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The graph this store serves.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The signature of `v`, extracting (and interning) on first access.
+    pub fn get(&mut self, v: NodeId) -> Arc<PreparedTree> {
+        if let Some(ref sig) = self.cache[v as usize] {
+            self.hits += 1;
+            return Arc::clone(sig);
+        }
+        self.extractions += 1;
+        let tree = self.extractor.extract(v, self.k);
+        let prepared = PreparedTree::new(&tree);
+        let shared = match self.interned.get(prepared.code()) {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                let arc = Arc::new(prepared);
+                self.interned
+                    .insert(arc.code().to_vec().into_boxed_slice(), Arc::clone(&arc));
+                arc
+            }
+        };
+        self.cache[v as usize] = Some(Arc::clone(&shared));
+        shared
+    }
+
+    /// NED between two nodes of this store's graph.
+    pub fn distance(&mut self, u: NodeId, v: NodeId) -> u64 {
+        let a = self.get(u);
+        let b = self.get(v);
+        ted_star_prepared(&a, &b)
+    }
+
+    /// NED between a node here and a node of another store (the
+    /// inter-graph case).
+    pub fn cross_distance(&mut self, u: NodeId, other: &mut SignatureStore<'_>, v: NodeId) -> u64 {
+        let a = self.get(u);
+        let b = other.get(v);
+        ted_star_prepared(&a, &b)
+    }
+
+    /// Materializes [`NodeSignature`]s for a node set (shared trees are
+    /// cloned out — use [`SignatureStore::get`] to stay zero-copy).
+    pub fn signatures(&mut self, nodes: &[NodeId]) -> Vec<NodeSignature> {
+        nodes
+            .iter()
+            .map(|&node| NodeSignature::from_prepared(node, (*self.get(node)).clone()))
+            .collect()
+    }
+
+    /// Number of nodes whose signatures have been extracted so far.
+    pub fn cached_nodes(&self) -> usize {
+        self.cache.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Number of *distinct* tree shapes interned (≤ cached nodes; the gap
+    /// is the deduplication win).
+    pub fn distinct_shapes(&self) -> usize {
+        self.interned.len()
+    }
+
+    /// `(extractions, cache hits)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.extractions, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ned;
+    use ned_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Graph::undirected_from_edges(n, &edges)
+    }
+
+    #[test]
+    fn distances_match_direct_ned() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::barabasi_albert(60, 2, &mut rng);
+        let mut store = SignatureStore::new(&g, 3);
+        for (u, v) in [(0u32, 1u32), (5, 40), (59, 59), (17, 3)] {
+            assert_eq!(store.distance(u, v), ned(&g, u, &g, v, 3));
+        }
+    }
+
+    #[test]
+    fn interning_dedups_equivalent_shapes() {
+        // all cycle nodes share one shape at any k
+        let g = cycle(32);
+        let mut store = SignatureStore::new(&g, 3);
+        for v in g.nodes() {
+            store.get(v);
+        }
+        assert_eq!(store.cached_nodes(), 32);
+        assert_eq!(store.distinct_shapes(), 1, "one shape should be interned");
+        // shared Arcs: everyone points at the same allocation
+        let a = store.get(0);
+        let b = store.get(17);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cache_hits_accumulate() {
+        let g = cycle(8);
+        let mut store = SignatureStore::new(&g, 2);
+        store.get(0);
+        store.get(0);
+        store.get(1);
+        let (extractions, hits) = store.stats();
+        assert_eq!(extractions, 2);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn cross_store_distances() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g1 = generators::erdos_renyi_gnm(40, 80, &mut rng);
+        let g2 = generators::barabasi_albert(40, 2, &mut rng);
+        let mut s1 = SignatureStore::new(&g1, 3);
+        let mut s2 = SignatureStore::new(&g2, 3);
+        for (u, v) in [(0u32, 0u32), (10, 20), (39, 5)] {
+            assert_eq!(s1.cross_distance(u, &mut s2, v), ned(&g1, u, &g2, v, 3));
+        }
+    }
+
+    #[test]
+    fn materialized_signatures_agree() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::barabasi_albert(30, 2, &mut rng);
+        let mut store = SignatureStore::new(&g, 3);
+        let nodes: Vec<u32> = (0..10).collect();
+        let from_store = store.signatures(&nodes);
+        let direct = crate::signatures(&g, &nodes, 3);
+        for (a, b) in from_store.iter().zip(&direct) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.distance(b), 0);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Graph anonymization schemes for the de-anonymization case study.
+//!
+//! Section 13.5 of the paper follows Fu et al. \[7\] and anonymizes the test
+//! graphs three ways: **naive anonymization** (relabel the nodes),
+//! **sparsification** (delete a fraction of edges), and **perturbation**
+//! (delete a fraction of edges and insert the same number of random new
+//! ones). Every scheme here also applies a random node relabeling, since
+//! that is what makes the graph "anonymous"; the returned mapping is the
+//! ground truth the de-anonymization experiments score against.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// The anonymization scheme applied to a test graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// Relabel nodes only; the structure is untouched.
+    Naive,
+    /// Remove the given fraction of edges, then relabel.
+    Sparsify(f64),
+    /// Remove the given fraction of edges, add the same number of random
+    /// non-edges, then relabel.
+    Perturb(f64),
+}
+
+impl Method {
+    /// Human-readable name used by the experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Naive => "naive",
+            Method::Sparsify(_) => "sparsify",
+            Method::Perturb(_) => "perturb",
+        }
+    }
+}
+
+/// Result of anonymizing: the anonymous graph plus the secret ground truth.
+#[derive(Debug, Clone)]
+pub struct Anonymized {
+    /// The anonymized graph.
+    pub graph: Graph,
+    /// `mapping[original_id] = anonymous_id`.
+    pub mapping: Vec<NodeId>,
+}
+
+/// Applies `method` to `g` (undirected graphs only).
+pub fn anonymize<R: Rng + ?Sized>(g: &Graph, method: Method, rng: &mut R) -> Anonymized {
+    assert!(!g.is_directed(), "anonymization implemented for undirected graphs");
+    let edited = match method {
+        Method::Naive => g.clone(),
+        Method::Sparsify(frac) => sparsify(g, frac, rng),
+        Method::Perturb(frac) => perturb(g, frac, rng),
+    };
+    relabel(&edited, rng)
+}
+
+/// Randomly permutes node ids. Returns the relabeled graph and
+/// `mapping[original] = new`.
+pub fn relabel<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Anonymized {
+    let n = g.num_nodes();
+    let mut mapping: Vec<NodeId> = (0..n as NodeId).collect();
+    mapping.shuffle(rng);
+    let mut builder = GraphBuilder::undirected(n);
+    for (a, b) in g.edges() {
+        builder.add_edge(mapping[a as usize], mapping[b as usize]);
+    }
+    Anonymized {
+        graph: builder.build(),
+        mapping,
+    }
+}
+
+/// Deletes `frac` of the edges uniformly at random (ids unchanged).
+pub fn sparsify<R: Rng + ?Sized>(g: &Graph, frac: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&frac));
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    edges.shuffle(rng);
+    let keep = edges.len() - (frac * edges.len() as f64).round() as usize;
+    let mut builder = GraphBuilder::undirected(g.num_nodes());
+    for &(a, b) in edges.iter().take(keep) {
+        builder.add_edge(a, b);
+    }
+    builder.build()
+}
+
+/// Deletes `frac` of the edges and inserts the same number of uniformly
+/// random previously-absent edges (ids unchanged). This is the paper's
+/// "permutation ratio" knob in Figure 11a.
+pub fn perturb<R: Rng + ?Sized>(g: &Graph, frac: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&frac));
+    let n = g.num_nodes();
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    edges.shuffle(rng);
+    let remove = (frac * edges.len() as f64).round() as usize;
+    let keep = edges.len() - remove;
+    let kept: HashSet<(NodeId, NodeId)> = edges.iter().take(keep).copied().collect();
+    let original: HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+
+    let mut builder = GraphBuilder::undirected(n);
+    for &(a, b) in &kept {
+        builder.add_edge(a, b);
+    }
+    let mut added = 0usize;
+    let mut fresh: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(remove * 2);
+    let mut guard = 0usize;
+    while added < remove && guard < remove.saturating_mul(100) + 1000 {
+        guard += 1;
+        let a = rng.gen_range(0..n) as NodeId;
+        let b = rng.gen_range(0..n) as NodeId;
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if original.contains(&key) || fresh.contains(&key) {
+            continue;
+        }
+        fresh.insert(key);
+        builder.add_edge(key.0, key.1);
+        added += 1;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn g() -> Graph {
+        generators::erdos_renyi_gnm(60, 150, &mut SmallRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn naive_preserves_structure() {
+        let g = g();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let anon = anonymize(&g, Method::Naive, &mut rng);
+        assert_eq!(anon.graph.num_nodes(), g.num_nodes());
+        assert_eq!(anon.graph.num_edges(), g.num_edges());
+        // every original edge maps to an anonymized edge
+        for (a, b) in g.edges() {
+            assert!(anon
+                .graph
+                .has_edge(anon.mapping[a as usize], anon.mapping[b as usize]));
+        }
+        // degree multiset is preserved
+        let mut d1: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+        let mut d2: Vec<usize> = anon.graph.nodes().map(|v| anon.graph.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn mapping_is_a_permutation() {
+        let g = g();
+        let anon = anonymize(&g, Method::Naive, &mut SmallRng::seed_from_u64(3));
+        let mut seen = vec![false; g.num_nodes()];
+        for &m in &anon.mapping {
+            assert!(!seen[m as usize]);
+            seen[m as usize] = true;
+        }
+    }
+
+    #[test]
+    fn sparsify_removes_expected_count() {
+        let g = g();
+        let s = sparsify(&g, 0.2, &mut SmallRng::seed_from_u64(4));
+        assert_eq!(s.num_edges(), 150 - 30);
+        assert_eq!(s.num_nodes(), g.num_nodes());
+    }
+
+    #[test]
+    fn sparsify_zero_is_identity_structure() {
+        let g = g();
+        let s = sparsify(&g, 0.0, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(s.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn perturb_keeps_edge_count() {
+        let g = g();
+        let p = perturb(&g, 0.1, &mut SmallRng::seed_from_u64(6));
+        assert_eq!(p.num_edges(), g.num_edges());
+        // some edges must actually have changed
+        let orig: std::collections::HashSet<_> = g.edges().collect();
+        let changed = p.edges().filter(|e| !orig.contains(e)).count();
+        assert_eq!(changed, 15);
+    }
+
+    #[test]
+    fn anonymized_sparsify_composes() {
+        let g = g();
+        let anon = anonymize(&g, Method::Sparsify(0.5), &mut SmallRng::seed_from_u64(7));
+        assert_eq!(anon.graph.num_edges(), 75);
+    }
+}

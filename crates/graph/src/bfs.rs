@@ -1,0 +1,420 @@
+//! Breadth-first search and k-adjacent tree extraction.
+//!
+//! Definition 1 of the paper: the adjacent tree `T(v)` of a vertex `v` is
+//! the BFS tree starting from `v`; the k-adjacent tree `T(v, k)` is the top
+//! `k` levels of `T(v)`. The root occupies the first level, so `T(v, k)`
+//! contains exactly the vertices within `k - 1` hops of `v`, arranged by
+//! BFS depth. Definition 2 extends this to directed graphs by following
+//! only incoming or only outgoing arcs.
+//!
+//! BFS trees are *deterministic* here: neighbors are visited in ascending
+//! id order. The tree shape (which is all NED consumes — the trees are
+//! unordered and unlabeled) is independent of that visiting order, because
+//! BFS depth and the parent multiset structure do not depend on tie
+//! breaking within a level... strictly speaking the parent *assignment* of
+//! a node with several same-depth predecessors does depend on it, so we fix
+//! ascending-id order to make extraction reproducible, matching the paper's
+//! claim that the k-adjacent tree "can be retrieved deterministically".
+
+use crate::{Direction, Graph, GraphBuilder, NodeId};
+use ned_tree::Tree;
+
+/// Nodes of each BFS level around `root`, up to `max_levels` levels
+/// (`max_levels >= 1`; level 0 is `[root]`).
+pub fn bfs_levels(
+    g: &Graph,
+    root: NodeId,
+    max_levels: usize,
+    dir: Direction,
+) -> Vec<Vec<NodeId>> {
+    let mut extractor = TreeExtractor::new(g);
+    let (tree, nodes) = extractor.extract_with_nodes(root, max_levels, dir);
+    (0..tree.num_levels())
+        .map(|l| {
+            tree.level(l)
+                .map(|tree_id| nodes[tree_id as usize])
+                .collect()
+        })
+        .collect()
+}
+
+/// Extracts the k-adjacent tree of `root` (undirected adjacency /
+/// out-neighbors). Convenience wrapper that allocates fresh scratch; use
+/// [`TreeExtractor`] when extracting many trees from the same graph.
+///
+/// ```
+/// use ned_graph::{bfs::k_adjacent_tree, Graph};
+///
+/// // a triangle with a pendant: 0-1, 1-2, 2-0, 2-3
+/// let g = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// let t = k_adjacent_tree(&g, 0, 3);
+/// assert_eq!(t.num_levels(), 3);   // root, neighbors, 2-hop ring
+/// assert_eq!(t.level_size(1), 2);  // nodes 1 and 2
+/// assert_eq!(t.level_size(2), 1);  // node 3 (node 0 already visited)
+/// ```
+pub fn k_adjacent_tree(g: &Graph, root: NodeId, k: usize) -> Tree {
+    TreeExtractor::new(g).extract(root, k)
+}
+
+/// Directed variant of [`k_adjacent_tree`] (Definition 2): follow only
+/// incoming or only outgoing arcs.
+pub fn k_adjacent_tree_dir(g: &Graph, root: NodeId, k: usize, dir: Direction) -> Tree {
+    TreeExtractor::new(g).extract_dir(root, k, dir)
+}
+
+/// Reusable BFS scratch for extracting many k-adjacent trees from one
+/// graph without re-allocating or re-clearing the visited set.
+pub struct TreeExtractor<'g> {
+    graph: &'g Graph,
+    visited_epoch: Vec<u32>,
+    epoch: u32,
+}
+
+impl<'g> TreeExtractor<'g> {
+    /// Creates scratch sized for `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        TreeExtractor {
+            graph,
+            visited_epoch: vec![0; graph.num_nodes()],
+            epoch: 0,
+        }
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.visited_epoch.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The k-adjacent tree of `root` following the default adjacency.
+    pub fn extract(&mut self, root: NodeId, k: usize) -> Tree {
+        self.extract_dir(root, k, Direction::Outgoing)
+    }
+
+    /// The k-adjacent tree of `root` following `dir`.
+    pub fn extract_dir(&mut self, root: NodeId, k: usize, dir: Direction) -> Tree {
+        self.extract_with_nodes(root, k, dir).0
+    }
+
+    /// Like [`TreeExtractor::extract_dir`] but also returns
+    /// `nodes[tree_id] = graph_node`.
+    pub fn extract_with_nodes(
+        &mut self,
+        root: NodeId,
+        k: usize,
+        dir: Direction,
+    ) -> (Tree, Vec<NodeId>) {
+        let k = k.max(1);
+        assert!(
+            (root as usize) < self.graph.num_nodes(),
+            "root {root} out of range"
+        );
+        let epoch = self.next_epoch();
+        let mut nodes: Vec<NodeId> = vec![root]; // nodes[tree_id] = graph node
+        let mut parent: Vec<u32> = vec![0]; // tree-local parent ids
+        let mut level_offsets: Vec<usize> = vec![0, 1];
+        self.visited_epoch[root as usize] = epoch;
+
+        let mut level_start = 0usize;
+        for _depth in 1..k {
+            let level_end = nodes.len();
+            if level_start == level_end {
+                break;
+            }
+            for tree_id in level_start..level_end {
+                let v = nodes[tree_id];
+                for &w in self.graph.neighbors_in(v, dir) {
+                    let seen = &mut self.visited_epoch[w as usize];
+                    if *seen != epoch {
+                        *seen = epoch;
+                        nodes.push(w);
+                        parent.push(tree_id as u32);
+                    }
+                }
+            }
+            if nodes.len() == level_end {
+                break; // frontier exhausted before reaching k levels
+            }
+            level_offsets.push(nodes.len());
+            level_start = level_end;
+        }
+
+        // Children were appended parent-by-parent in BFS order, so they are
+        // contiguous; derive offsets with a counting pass.
+        let n = nodes.len();
+        let mut child_counts = vec![0usize; n];
+        for &p in parent.iter().skip(1) {
+            child_counts[p as usize] += 1;
+        }
+        let mut child_offsets = vec![0usize; n + 1];
+        let mut acc = 1usize;
+        for v in 0..n {
+            child_offsets[v] = acc;
+            acc += child_counts[v];
+        }
+        child_offsets[n] = acc;
+        let tree = Tree::from_bfs_parts(parent, child_offsets, level_offsets);
+        (tree, nodes)
+    }
+}
+
+/// Single-source shortest-path distances (hop counts) from `root`;
+/// unreachable nodes get `u32::MAX`.
+pub fn distances(g: &Graph, root: NodeId, dir: Direction) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_nodes()];
+    dist[root as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &w in g.neighbors_in(v, dir) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Double-sweep diameter lower bound: BFS from `start` to its farthest
+/// node `u`, then from `u`; the second eccentricity lower-bounds the
+/// diameter (and is exact on trees). Returns `(bound, endpoint)`.
+pub fn double_sweep_diameter(g: &Graph, start: NodeId) -> (u32, NodeId) {
+    let first = distances(g, start, Direction::Outgoing);
+    let u = farthest(&first, start);
+    let second = distances(g, u, Direction::Outgoing);
+    let v = farthest(&second, u);
+    (second[v as usize], v)
+}
+
+fn farthest(dist: &[u32], fallback: NodeId) -> NodeId {
+    dist.iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != u32::MAX)
+        .max_by_key(|&(i, &d)| (d, std::cmp::Reverse(i)))
+        .map(|(i, _)| i as NodeId)
+        .unwrap_or(fallback)
+}
+
+/// Suggests a NED parameter `k` for `g`: the smallest `k` whose median
+/// sampled k-adjacent tree reaches `target_tree_size` nodes, capped by
+/// the graph's (double-sweep estimated) diameter — beyond that, deeper
+/// levels are empty and add nothing. This operationalizes the paper's
+/// Section 10 guidance ("the proper value of k depends on the specific
+/// application"): road-like graphs get large k, dense social graphs
+/// small k.
+pub fn suggest_k<R: rand::Rng + ?Sized>(
+    g: &Graph,
+    target_tree_size: usize,
+    samples: usize,
+    rng: &mut R,
+) -> usize {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 1;
+    }
+    let sample: Vec<NodeId> = (0..samples.max(1))
+        .map(|_| rng.gen_range(0..n) as NodeId)
+        .collect();
+    let (diameter, _) = double_sweep_diameter(g, sample[0]);
+    let k_cap = (diameter as usize + 1).clamp(1, 16);
+    let mut extractor = TreeExtractor::new(g);
+    for k in 1..=k_cap {
+        let mut sizes: Vec<usize> = sample
+            .iter()
+            .map(|&v| extractor.extract(v, k).len())
+            .collect();
+        sizes.sort_unstable();
+        if sizes[sizes.len() / 2] >= target_tree_size {
+            return k;
+        }
+    }
+    k_cap
+}
+
+/// The induced subgraph on all nodes within `hops` edges of `root`
+/// (following `dir`; for the undirected case this is the paper's k-hop
+/// neighborhood subgraph `Gs(v, hops)` from Section 8).
+///
+/// Returns `(subgraph, new_root, mapping)` with `mapping[new_id] = old_id`.
+/// The subgraph is always undirected when `g` is undirected and directed
+/// when `g` is directed (all arcs among the retained nodes are kept,
+/// regardless of `dir`).
+pub fn khop_subgraph(
+    g: &Graph,
+    root: NodeId,
+    hops: usize,
+    dir: Direction,
+) -> (Graph, NodeId, Vec<NodeId>) {
+    let levels = bfs_levels(g, root, hops + 1, dir);
+    let mapping: Vec<NodeId> = levels.into_iter().flatten().collect();
+    let mut old_to_new = std::collections::HashMap::with_capacity(mapping.len());
+    for (new_id, &old) in mapping.iter().enumerate() {
+        old_to_new.insert(old, new_id as NodeId);
+    }
+    let mut builder = if g.is_directed() {
+        GraphBuilder::directed(mapping.len())
+    } else {
+        GraphBuilder::undirected(mapping.len())
+    };
+    for (new_a, &old_a) in mapping.iter().enumerate() {
+        for &old_b in g.neighbors(old_a) {
+            if let Some(&new_b) = old_to_new.get(&old_b) {
+                if g.is_directed() || (new_a as NodeId) <= new_b {
+                    builder.add_edge(new_a as NodeId, new_b);
+                }
+            }
+        }
+    }
+    (builder.build(), 0, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 - 1 - 2 - 3 path plus a triangle 0-4-5.
+    fn sample() -> Graph {
+        Graph::undirected_from_edges(6, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 0)])
+    }
+
+    #[test]
+    fn k1_is_singleton() {
+        let g = sample();
+        let t = k_adjacent_tree(&g, 0, 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.num_levels(), 1);
+    }
+
+    #[test]
+    fn k2_is_root_plus_neighbors() {
+        let g = sample();
+        let t = k_adjacent_tree(&g, 0, 2);
+        assert_eq!(t.num_levels(), 2);
+        assert_eq!(t.level_size(1), 3); // neighbors 1, 4, 5
+    }
+
+    #[test]
+    fn bfs_depth_is_shortest_path() {
+        let g = sample();
+        let levels = bfs_levels(&g, 3, 10, Direction::Outgoing);
+        // distances from node 3: 3:0, 2:1, 1:2, 0:3, 4/5:4
+        assert_eq!(levels.len(), 5);
+        assert_eq!(levels[0], vec![3]);
+        assert_eq!(levels[1], vec![2]);
+        assert_eq!(levels[3], vec![0]);
+        let mut last = levels[4].clone();
+        last.sort_unstable();
+        assert_eq!(last, vec![4, 5]);
+    }
+
+    #[test]
+    fn triangle_nodes_do_not_duplicate() {
+        let g = sample();
+        let (t, nodes) = TreeExtractor::new(&g).extract_with_nodes(0, 3, Direction::Outgoing);
+        // every graph node appears at most once in the tree
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), nodes.len());
+        assert_eq!(t.len(), nodes.len());
+    }
+
+    #[test]
+    fn exhausted_frontier_stops_early() {
+        let g = Graph::undirected_from_edges(2, &[(0, 1)]);
+        let t = k_adjacent_tree(&g, 0, 10);
+        assert_eq!(t.num_levels(), 2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn directed_in_vs_out_trees() {
+        // 0 -> 1 -> 2, and 3 -> 1
+        let g = Graph::directed_from_edges(4, &[(0, 1), (1, 2), (3, 1)]);
+        let out = k_adjacent_tree_dir(&g, 1, 3, Direction::Outgoing);
+        assert_eq!(out.len(), 2); // 1 -> 2
+        let inc = k_adjacent_tree_dir(&g, 1, 3, Direction::Incoming);
+        assert_eq!(inc.len(), 3); // 1 <- {0, 3}
+        assert_eq!(inc.level_size(1), 2);
+    }
+
+    #[test]
+    fn extractor_reuse_is_consistent() {
+        let g = sample();
+        let mut ex = TreeExtractor::new(&g);
+        let a1 = ex.extract(2, 3);
+        let b = ex.extract(5, 4);
+        let a2 = ex.extract(2, 3);
+        assert_eq!(a1, a2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn khop_subgraph_induces_all_edges() {
+        let g = sample();
+        let (sub, root, mapping) = khop_subgraph(&g, 0, 1, Direction::Outgoing);
+        assert_eq!(root, 0);
+        assert_eq!(mapping[0], 0);
+        // 1-hop around 0: nodes {0,1,4,5}; induced edges: 0-1, 0-4, 0-5, 4-5
+        assert_eq!(sub.num_nodes(), 4);
+        assert_eq!(sub.num_edges(), 4);
+    }
+
+    #[test]
+    fn distances_are_hop_counts() {
+        let g = sample();
+        let d = distances(&g, 3, Direction::Outgoing);
+        assert_eq!(d[3], 0);
+        assert_eq!(d[2], 1);
+        assert_eq!(d[0], 3);
+        assert_eq!(d[5], 4);
+        // disconnected nodes unreachable
+        let h = Graph::undirected_from_edges(3, &[(0, 1)]);
+        assert_eq!(distances(&h, 0, Direction::Outgoing)[2], u32::MAX);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_paths() {
+        let path = Graph::undirected_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        // starting anywhere, the double sweep finds the true diameter 5
+        for start in path.nodes() {
+            let (d, _) = double_sweep_diameter(&path, start);
+            assert_eq!(d, 5);
+        }
+    }
+
+    #[test]
+    fn suggest_k_scales_with_density() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let road = crate::generators::road_network(20, 20, 0.4, 0.0, &mut rng);
+        let social = crate::generators::barabasi_albert(400, 4, &mut rng);
+        let k_road = suggest_k(&road, 30, 40, &mut rng);
+        let k_social = suggest_k(&social, 30, 40, &mut rng);
+        assert!(
+            k_road > k_social,
+            "sparse roads need deeper trees: {k_road} vs {k_social}"
+        );
+        assert!(k_social >= 2);
+    }
+
+    #[test]
+    fn tree_matches_bfs_levels() {
+        let g = sample();
+        for root in g.nodes() {
+            for k in 1..=4 {
+                let t = k_adjacent_tree(&g, root, k);
+                let levels = bfs_levels(&g, root, k, Direction::Outgoing);
+                assert_eq!(t.num_levels(), levels.len());
+                for (l, level) in levels.iter().enumerate() {
+                    assert_eq!(t.level_size(l), level.len());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+use crate::{Graph, NodeId};
+
+/// Incremental edge-list accumulator that finalizes into a CSR [`Graph`].
+///
+/// The builder tolerates duplicate edges and self-loops on input and
+/// removes them at [`GraphBuilder::build`] time, so generators and file
+/// loaders do not each need their own dedup pass.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    directed: bool,
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Builder for an undirected graph on `num_nodes` nodes.
+    pub fn undirected(num_nodes: usize) -> Self {
+        GraphBuilder {
+            directed: false,
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builder for a directed graph on `num_nodes` nodes.
+    pub fn directed(num_nodes: usize) -> Self {
+        GraphBuilder {
+            directed: true,
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Reserves capacity for `additional` more edges.
+    pub fn reserve(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
+    /// Number of nodes the builder was created with.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of (not yet deduplicated) edges added so far.
+    #[inline]
+    pub fn num_raw_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an edge (undirected) or arc (directed).
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert!(
+            (a as usize) < self.num_nodes && (b as usize) < self.num_nodes,
+            "edge ({a}, {b}) out of range for {} nodes",
+            self.num_nodes
+        );
+        self.edges.push((a, b));
+    }
+
+    /// Grows the node count to at least `n`.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        self.num_nodes = self.num_nodes.max(n);
+    }
+
+    /// Finalizes into a [`Graph`]: normalizes undirected endpoints, sorts,
+    /// removes self-loops and duplicates, and packs CSR arrays.
+    pub fn build(mut self) -> Graph {
+        let n = self.num_nodes;
+        // Normalize + strip self-loops.
+        if self.directed {
+            self.edges.retain(|&(a, b)| a != b);
+        } else {
+            for e in self.edges.iter_mut() {
+                if e.0 > e.1 {
+                    *e = (e.1, e.0);
+                }
+            }
+            self.edges.retain(|&(a, b)| a != b);
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let m = self.edges.len();
+
+        // Out-adjacency (for undirected graphs this holds both directions).
+        let mut out_deg = vec![0usize; n];
+        for &(a, b) in &self.edges {
+            out_deg[a as usize] += 1;
+            if !self.directed {
+                out_deg[b as usize] += 1;
+            }
+        }
+        let mut out_offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            out_offsets[v + 1] = out_offsets[v] + out_deg[v];
+        }
+        let mut out_targets = vec![0 as NodeId; out_offsets[n]];
+        let mut cursor = out_offsets.clone();
+        for &(a, b) in &self.edges {
+            out_targets[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            if !self.directed {
+                out_targets[cursor[b as usize]] = a;
+                cursor[b as usize] += 1;
+            }
+        }
+        for v in 0..n {
+            out_targets[out_offsets[v]..out_offsets[v + 1]].sort_unstable();
+        }
+
+        // In-adjacency only for directed graphs.
+        let (in_offsets, in_targets) = if self.directed {
+            let mut in_deg = vec![0usize; n];
+            for &(_, b) in &self.edges {
+                in_deg[b as usize] += 1;
+            }
+            let mut in_offsets = vec![0usize; n + 1];
+            for v in 0..n {
+                in_offsets[v + 1] = in_offsets[v] + in_deg[v];
+            }
+            let mut in_targets = vec![0 as NodeId; in_offsets[n]];
+            let mut cursor = in_offsets.clone();
+            for &(a, b) in &self.edges {
+                in_targets[cursor[b as usize]] = a;
+                cursor[b as usize] += 1;
+            }
+            for v in 0..n {
+                in_targets[in_offsets[v]..in_offsets[v + 1]].sort_unstable();
+            }
+            (in_offsets, in_targets)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        Graph::from_csr(
+            self.directed,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+            m,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_adjacency() {
+        let mut b = GraphBuilder::undirected(4);
+        b.add_edge(3, 0);
+        b.add_edge(0, 1);
+        b.add_edge(2, 0);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::undirected(2);
+        b.add_edge(0, 5);
+    }
+
+    #[test]
+    fn directed_keeps_antiparallel_arcs() {
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn undirected_merges_antiparallel() {
+        let mut b = GraphBuilder::undirected(2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn ensure_nodes_grows() {
+        let mut b = GraphBuilder::undirected(0);
+        b.ensure_nodes(3);
+        b.add_edge(0, 2);
+        assert_eq!(b.num_nodes(), 3);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 3);
+    }
+}

@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Errors from graph construction and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A node id exceeded the declared node count.
+    NodeOutOfRange {
+        /// Offending id.
+        node: u32,
+        /// Declared node count.
+        num_nodes: usize,
+    },
+    /// Underlying file-system error.
+    Io(std::io::Error),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::Parse { line, content } => {
+                write!(f, "cannot parse edge list line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}

@@ -1,0 +1,229 @@
+//! Whitespace-separated edge-list I/O (the SNAP / KONECT interchange
+//! format the paper's datasets ship in).
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Reads an edge list: one `src dst` pair per line, `#`-prefixed comment
+/// lines skipped, node ids dense or sparse (the graph is sized by the
+/// largest id seen).
+pub fn read_edge_list(path: &Path, directed: bool) -> Result<Graph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id: NodeId = 0;
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<NodeId, GraphError> {
+            tok.and_then(|t| t.parse::<NodeId>().ok())
+                .ok_or(GraphError::Parse {
+                    line: lineno,
+                    content: trimmed.to_string(),
+                })
+        };
+        let a = parse(it.next())?;
+        let b = parse(it.next())?;
+        max_id = max_id.max(a).max(b);
+        edges.push((a, b));
+    }
+    let num_nodes = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
+    let mut builder = if directed {
+        GraphBuilder::directed(num_nodes)
+    } else {
+        GraphBuilder::undirected(num_nodes)
+    };
+    builder.reserve(edges.len());
+    for (a, b) in edges {
+        builder.add_edge(a, b);
+    }
+    Ok(builder.build())
+}
+
+/// Writes `g` as an edge list with a small header comment.
+pub fn write_edge_list(g: &Graph, path: &Path) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(
+        w,
+        "# {} graph: {} nodes, {} edges",
+        if g.is_directed() { "directed" } else { "undirected" },
+        g.num_nodes(),
+        g.num_edges()
+    )?;
+    for (a, b) in g.edges() {
+        writeln!(w, "{a} {b}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Magic prefix of the binary graph format.
+pub const BINARY_MAGIC: &[u8; 4] = b"NEDG";
+const BINARY_VERSION: u8 = 1;
+
+/// Writes `g` in the compact binary format: `"NEDG"`, version byte,
+/// directed flag, node count (u32 LE), edge count (u32 LE), then one
+/// `(u32, u32)` LE pair per edge. Roughly 8 bytes/edge vs ~14 for text,
+/// and parsing is allocation-exact.
+pub fn write_binary(g: &Graph, path: &Path) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&[BINARY_VERSION, u8::from(g.is_directed())])?;
+    w.write_all(&(g.num_nodes() as u32).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u32).to_le_bytes())?;
+    for (a, b) in g.edges() {
+        w.write_all(&a.to_le_bytes())?;
+        w.write_all(&b.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph written by [`write_binary`].
+pub fn read_binary(path: &Path) -> Result<Graph, GraphError> {
+    use std::io::Read;
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    let bad = |what: &str| GraphError::Parse {
+        line: 0,
+        content: what.to_string(),
+    };
+    if data.len() < 14 || &data[0..4] != BINARY_MAGIC {
+        return Err(bad("missing NEDG magic"));
+    }
+    if data[4] != BINARY_VERSION {
+        return Err(bad("unsupported binary version"));
+    }
+    let directed = data[5] != 0;
+    let le_u32 = |at: usize| u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes"));
+    let num_nodes = le_u32(6) as usize;
+    let num_edges = le_u32(10) as usize;
+    let need = 14 + num_edges * 8;
+    if data.len() != need {
+        return Err(bad("truncated or oversized edge payload"));
+    }
+    let mut builder = if directed {
+        GraphBuilder::directed(num_nodes)
+    } else {
+        GraphBuilder::undirected(num_nodes)
+    };
+    builder.reserve(num_edges);
+    for e in 0..num_edges {
+        let at = 14 + e * 8;
+        let a = le_u32(at);
+        let b = le_u32(at + 4);
+        if a as usize >= num_nodes || b as usize >= num_nodes {
+            return Err(bad("edge endpoint out of range"));
+        }
+        builder.add_edge(a, b);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ned_graph_io_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_undirected() {
+        let g = Graph::undirected_from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let path = temp_path("undirected.txt");
+        write_edge_list(&g, &path).unwrap();
+        let h = read_edge_list(&path, false).unwrap();
+        assert_eq!(g, h);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn round_trip_directed() {
+        let g = Graph::directed_from_edges(3, &[(0, 1), (1, 0), (2, 1)]);
+        let path = temp_path("directed.txt");
+        write_edge_list(&g, &path).unwrap();
+        let h = read_edge_list(&path, true).unwrap();
+        assert_eq!(g, h);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let path = temp_path("comments.txt");
+        std::fs::write(&path, "# header\n\n0 1\n% konect style\n1 2\n").unwrap();
+        let g = read_edge_list(&path, false).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_round_trip_undirected() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let g = crate::generators::erdos_renyi_gnm(200, 500, &mut SmallRng::seed_from_u64(5));
+        let path = temp_path("bin_und.nedg");
+        write_binary(&g, &path).unwrap();
+        let h = read_binary(&path).unwrap();
+        assert_eq!(g, h);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_round_trip_directed() {
+        let g = Graph::directed_from_edges(5, &[(0, 1), (1, 0), (3, 4), (2, 0)]);
+        let path = temp_path("bin_dir.nedg");
+        write_binary(&g, &path).unwrap();
+        let h = read_binary(&path).unwrap();
+        assert_eq!(g, h);
+        assert!(h.is_directed());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        let path = temp_path("bin_bad.nedg");
+        std::fs::write(&path, b"definitely not a graph").unwrap();
+        assert!(matches!(read_binary(&path), Err(GraphError::Parse { .. })));
+        // truncated payload
+        let g = Graph::undirected_from_edges(3, &[(0, 1), (1, 2)]);
+        write_binary(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.pop();
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_binary(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let path = temp_path("bad.txt");
+        std::fs::write(&path, "0 1\nnot an edge\n").unwrap();
+        let err = read_edge_list(&path, false).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,298 @@
+//! Graph summary statistics (Table 2 of the paper and sanity checks).
+
+use crate::{Graph, NodeId};
+use rand::Rng;
+
+/// Summary statistics for one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count (undirected edges counted once).
+    pub edges: usize,
+    /// Average degree.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of degree-0 nodes.
+    pub isolated: usize,
+    /// Number of connected components (weak components if directed).
+    pub components: usize,
+}
+
+/// Computes [`GraphStats`] in `O(n + m)`.
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    GraphStats {
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        avg_degree: g.avg_degree(),
+        max_degree: g.max_degree(),
+        isolated: g.nodes().filter(|&v| g.degree(v) == 0).count(),
+        components: connected_components(g),
+    }
+}
+
+/// Number of connected components (treating directed arcs as undirected).
+pub fn connected_components(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut components = 0usize;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for start in g.nodes() {
+        if seen[start as usize] {
+            continue;
+        }
+        components += 1;
+        seen[start as usize] = true;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+            if g.is_directed() {
+                for &w in g.neighbors_in(v, crate::Direction::Incoming) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Local clustering coefficient of one node: the fraction of its neighbor
+/// pairs that are themselves connected.
+pub fn local_clustering(g: &Graph, v: NodeId) -> f64 {
+    let nbrs = g.neighbors(v);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d * (d - 1)) as f64
+}
+
+/// Average local clustering over `samples` uniformly random nodes
+/// (exact over all nodes when `samples >= n`).
+pub fn average_clustering<R: Rng + ?Sized>(g: &Graph, samples: usize, rng: &mut R) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64;
+    let count: usize;
+    if samples >= n {
+        total = g.nodes().map(|v| local_clustering(g, v)).sum();
+        count = n;
+    } else {
+        total = (0..samples)
+            .map(|_| local_clustering(g, rng.gen_range(0..n) as NodeId))
+            .sum();
+        count = samples;
+    }
+    total / count as f64
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Exact triangle count via the forward (degree-ordered) algorithm,
+/// `O(m^{3/2})`. Undirected graphs only.
+pub fn triangle_count(g: &Graph) -> u64 {
+    assert!(!g.is_directed(), "triangle counting expects undirected graphs");
+    let n = g.num_nodes();
+    // rank nodes by (degree, id); orient each edge low-rank -> high-rank
+    let mut rank = vec![0u32; n];
+    {
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.sort_unstable_by_key(|&v| (g.degree(v), v));
+        for (r, &v) in order.iter().enumerate() {
+            rank[v as usize] = r as u32;
+        }
+    }
+    let mut forward: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (u, v) in g.edges() {
+        if rank[u as usize] < rank[v as usize] {
+            forward[u as usize].push(v);
+        } else {
+            forward[v as usize].push(u);
+        }
+    }
+    for list in forward.iter_mut() {
+        list.sort_unstable();
+    }
+    let mut triangles = 0u64;
+    for u in 0..n {
+        let fu = &forward[u];
+        for &v in fu {
+            let fv = &forward[v as usize];
+            // sorted-list intersection
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < fu.len() && j < fv.len() {
+                match fu[i].cmp(&fv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        triangles += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    triangles
+}
+
+/// Pearson degree assortativity coefficient (Newman): the correlation of
+/// endpoint degrees over edges. Positive for social-style graphs (hubs
+/// befriend hubs), negative for technological/biological ones. Returns
+/// 0.0 for degenerate graphs (no edges or constant degrees).
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let mut sum_xy = 0.0f64;
+    let mut sum_x = 0.0f64;
+    let mut sum_x2 = 0.0f64;
+    let mut count = 0.0f64;
+    for (u, v) in g.edges() {
+        let (du, dv) = (g.degree(u) as f64, g.degree(v) as f64);
+        // symmetrize: each undirected edge contributes both orientations
+        sum_xy += 2.0 * du * dv;
+        sum_x += du + dv;
+        sum_x2 += du * du + dv * dv;
+        count += 2.0;
+    }
+    if count == 0.0 {
+        return 0.0;
+    }
+    let mean = sum_x / count;
+    let var = sum_x2 / count - mean * mean;
+    if var <= 1e-12 {
+        return 0.0;
+    }
+    (sum_xy / count - mean * mean) / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_of_triangle_plus_isolate() {
+        let g = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 0)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.isolated, 1);
+        assert_eq!(s.components, 2);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let g = Graph::undirected_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(local_clustering(&g, 0), 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(average_clustering(&g, 100, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let g = Graph::undirected_from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(local_clustering(&g, 0), 0.0);
+    }
+
+    #[test]
+    fn components_of_directed_graph_are_weak() {
+        let g = Graph::directed_from_edges(4, &[(0, 1), (2, 1), (3, 2)]);
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = Graph::undirected_from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[2], 1); // node 1
+    }
+
+    #[test]
+    fn triangle_count_small_cases() {
+        let tri = Graph::undirected_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(triangle_count(&tri), 1);
+        let path = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(triangle_count(&path), 0);
+        // K4 has C(4,3) = 4 triangles
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in a + 1..4 {
+                edges.push((a, b));
+            }
+        }
+        let k4 = Graph::undirected_from_edges(4, &edges);
+        assert_eq!(triangle_count(&k4), 4);
+    }
+
+    #[test]
+    fn triangle_count_matches_clustering_based_count() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let g = crate::generators::powerlaw_cluster(120, 3, 0.7, &mut SmallRng::seed_from_u64(8));
+        // Σ_v closed_pairs(v) = 3 * triangles
+        let mut closed = 0u64;
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    if g.has_edge(a, b) {
+                        closed += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(triangle_count(&g) * 3, closed);
+    }
+
+    #[test]
+    fn assortativity_signs() {
+        // star: hub (deg n-1) only touches leaves (deg 1) -> strongly negative
+        let star = Graph::undirected_from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        assert!(degree_assortativity(&star) <= 0.0);
+        // regular graph: constant degrees, defined as 0 here
+        let cyc = Graph::undirected_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(degree_assortativity(&cyc), 0.0);
+        // empty graph
+        let empty = Graph::undirected_from_edges(3, &[]);
+        assert_eq!(degree_assortativity(&empty), 0.0);
+    }
+
+    #[test]
+    fn assortativity_in_valid_range() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        for seed in 0..5 {
+            let g = crate::generators::erdos_renyi_gnm(80, 200, &mut SmallRng::seed_from_u64(seed));
+            let r = degree_assortativity(&g);
+            assert!((-1.0..=1.0).contains(&r), "assortativity {r} out of range");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the graph substrate: CSR invariants, builder
+//! normalization, generator postconditions, anonymization round trips.
+
+use ned_graph::anonymize::{self, Method};
+use ned_graph::{generators, stats, Graph, GraphBuilder};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn edges_strategy(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..max_edges)
+            .prop_map(move |pairs| {
+                (
+                    n,
+                    pairs
+                        .into_iter()
+                        .map(|(a, b)| (a % n as u32, b % n as u32))
+                        .collect(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csr_invariants((n, edges) in edges_strategy(40, 120)) {
+        let g = Graph::undirected_from_edges(n, &edges);
+        // adjacency sorted, no self loops, symmetric
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1], "adjacency must be sorted and dedup'd");
+            }
+            for &w in nbrs {
+                prop_assert_ne!(w, v, "self loop survived");
+                prop_assert!(g.has_edge(w, v), "asymmetric adjacency");
+            }
+        }
+        // handshake: sum of degrees = 2m
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        // edges() agrees with has_edge
+        for (a, b) in g.edges() {
+            prop_assert!(a <= b);
+            prop_assert!(g.has_edge(a, b));
+        }
+        prop_assert_eq!(g.edges().count(), g.num_edges());
+    }
+
+    #[test]
+    fn build_is_idempotent((n, edges) in edges_strategy(30, 80)) {
+        let g1 = Graph::undirected_from_edges(n, &edges);
+        // rebuilding from the canonical edge list reproduces the graph
+        let list: Vec<(u32, u32)> = g1.edges().collect();
+        let g2 = Graph::undirected_from_edges(n, &list);
+        prop_assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn directed_in_out_consistency((n, edges) in edges_strategy(30, 80)) {
+        let g = Graph::directed_from_edges(n, &edges);
+        // every arc appears in the target's in-list
+        for a in g.nodes() {
+            for &b in g.neighbors(a) {
+                prop_assert!(g
+                    .neighbors_in(b, ned_graph::Direction::Incoming)
+                    .contains(&a));
+            }
+        }
+        let out_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        let in_sum: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, in_sum);
+        prop_assert_eq!(out_sum, g.num_edges());
+    }
+
+    #[test]
+    fn relabel_preserves_structure((n, edges) in edges_strategy(30, 80), seed in any::<u64>()) {
+        let g = Graph::undirected_from_edges(n, &edges);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let anon = anonymize::anonymize(&g, Method::Naive, &mut rng);
+        prop_assert_eq!(anon.graph.num_edges(), g.num_edges());
+        // degree multiset preserved
+        let mut d1: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+        let mut d2: Vec<usize> = anon.graph.nodes().map(|v| anon.graph.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+        // triangles preserved (isomorphism invariant)
+        prop_assert_eq!(stats::triangle_count(&g), stats::triangle_count(&anon.graph));
+    }
+
+    #[test]
+    fn sparsify_monotone_in_fraction((n, edges) in edges_strategy(30, 100), seed in any::<u64>()) {
+        let g = Graph::undirected_from_edges(n, &edges);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let light = anonymize::sparsify(&g, 0.1, &mut rng);
+        let heavy = anonymize::sparsify(&g, 0.7, &mut rng);
+        prop_assert!(light.num_edges() >= heavy.num_edges());
+        prop_assert!(light.num_edges() <= g.num_edges());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generators_respect_node_counts(n in 10usize..120, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        prop_assert_eq!(generators::barabasi_albert(n, 2, &mut rng).num_nodes(), n);
+        prop_assert_eq!(generators::erdos_renyi_gnm(n, n, &mut rng).num_nodes(), n);
+        let degs = generators::powerlaw_degree_sequence(n, 2.5, 1, 8, &mut rng);
+        prop_assert_eq!(degs.len(), n);
+        prop_assert!(degs.iter().sum::<usize>() % 2 == 0);
+        let cm = generators::configuration_model(&degs, &mut rng);
+        prop_assert_eq!(cm.num_nodes(), n);
+    }
+
+    #[test]
+    fn road_networks_always_connected(w in 2usize..12, h in 2usize..12, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::road_network(w, h, 0.4, 0.02, &mut rng);
+        prop_assert_eq!(g.num_nodes(), w * h);
+        prop_assert_eq!(stats::connected_components(&g), 1);
+    }
+}
+
+#[test]
+fn builder_rejects_nothing_valid() {
+    // builder accepts duplicate + reversed + self edges and normalizes
+    let mut b = GraphBuilder::undirected(3);
+    b.add_edge(0, 1);
+    b.add_edge(1, 0);
+    b.add_edge(0, 0);
+    b.add_edge(2, 1);
+    let g = b.build();
+    assert_eq!(g.num_edges(), 2);
+}

@@ -1,0 +1,266 @@
+//! Burkhard–Keller tree: a metric index specialized to *integer-valued*
+//! metrics — which TED\*/NED are (operation counts).
+//!
+//! Each node keys its children by the exact distance to itself; queries
+//! with tolerance `t` only descend into children whose key lies within
+//! `[d - t, d + t]` (triangle inequality). Compared to the VP-tree, the
+//! BK-tree needs no rebuild-time median splits, supports incremental
+//! insertion, and prunes very well when the distance spectrum is small —
+//! exactly the regime of NED at small `k`. The benchmarks compare both.
+
+use crate::Hit;
+
+/// A distance function returning non-negative integers and satisfying the
+/// metric axioms.
+pub trait IntMetric<T: ?Sized> {
+    /// Distance between two items.
+    fn distance(&self, a: &T, b: &T) -> u64;
+}
+
+/// Wraps any closure as an [`IntMetric`].
+pub struct IntFnMetric<F>(pub F);
+
+impl<T, F: Fn(&T, &T) -> u64> IntMetric<T> for IntFnMetric<F> {
+    fn distance(&self, a: &T, b: &T) -> u64 {
+        (self.0)(a, b)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BkNode {
+    item: usize,
+    /// Sorted by distance key; linear scan is fine (few distinct keys).
+    children: Vec<(u64, usize)>, // (distance to this node, node index)
+}
+
+/// A Burkhard–Keller tree over an owned item collection.
+#[derive(Debug, Clone)]
+pub struct BkTree<T> {
+    items: Vec<T>,
+    nodes: Vec<BkNode>,
+    root: Option<usize>,
+}
+
+impl<T> BkTree<T> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        BkTree {
+            items: Vec::new(),
+            nodes: Vec::new(),
+            root: None,
+        }
+    }
+
+    /// Builds from a collection (insertion order shapes the tree but not
+    /// the results).
+    pub fn build<M: IntMetric<T>>(items: Vec<T>, metric: &M) -> Self {
+        let mut tree = BkTree::new();
+        for item in items {
+            tree.insert(item, metric);
+        }
+        tree
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The indexed items; [`Hit::index`] refers to this slice.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Inserts one item (incremental — no rebuild required).
+    pub fn insert<M: IntMetric<T>>(&mut self, item: T, metric: &M) {
+        let item_idx = self.items.len();
+        self.items.push(item);
+        let node_idx = self.nodes.len();
+        self.nodes.push(BkNode {
+            item: item_idx,
+            children: Vec::new(),
+        });
+        let Some(mut cur) = self.root else {
+            self.root = Some(node_idx);
+            return;
+        };
+        loop {
+            let d = metric.distance(
+                &self.items[self.nodes[cur].item],
+                &self.items[item_idx],
+            );
+            match self.nodes[cur].children.iter().find(|&&(key, _)| key == d) {
+                Some(&(_, next)) => cur = next,
+                None => {
+                    self.nodes[cur].children.push((d, node_idx));
+                    self.nodes[cur].children.sort_unstable_by_key(|&(key, _)| key);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// All items within distance `radius` of `query` (inclusive),
+    /// unordered.
+    pub fn range<M: IntMetric<T>>(&self, metric: &M, query: &T, radius: u64) -> Vec<Hit> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else {
+            return out;
+        };
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            let d = metric.distance(query, &self.items[node.item]);
+            if d <= radius {
+                out.push(Hit {
+                    index: node.item,
+                    distance: d as f64,
+                });
+            }
+            let lo = d.saturating_sub(radius);
+            let hi = d.saturating_add(radius);
+            for &(key, child) in &node.children {
+                if key >= lo && key <= hi {
+                    stack.push(child);
+                }
+            }
+        }
+        out
+    }
+
+    /// The `k` nearest items to `query`, closest first. Implemented as a
+    /// best-first traversal with a shrinking tolerance.
+    pub fn knn<M: IntMetric<T>>(&self, metric: &M, query: &T, k: usize) -> Vec<Hit> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut best: Vec<Hit> = Vec::with_capacity(k + 1);
+        let Some(root) = self.root else {
+            return best;
+        };
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            let d = metric.distance(query, &self.items[node.item]);
+            if best.len() < k || d < best.last().expect("non-empty").distance as u64 {
+                best.push(Hit {
+                    index: node.item,
+                    distance: d as f64,
+                });
+                best.sort_by(|a, b| {
+                    a.distance
+                        .partial_cmp(&b.distance)
+                        .expect("integer distances")
+                });
+                best.truncate(k);
+            }
+            let tau = if best.len() < k {
+                u64::MAX
+            } else {
+                best.last().expect("non-empty").distance as u64
+            };
+            let lo = d.saturating_sub(tau);
+            let hi = d.saturating_add(tau);
+            for &(key, child) in &node.children {
+                if key >= lo && key <= hi {
+                    stack.push(child);
+                }
+            }
+        }
+        best
+    }
+}
+
+impl<T> Default for BkTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AbsDiff;
+    impl IntMetric<u64> for AbsDiff {
+        fn distance(&self, a: &u64, b: &u64) -> u64 {
+            a.abs_diff(*b)
+        }
+    }
+
+    fn sample_items(n: u64, stride: u64) -> Vec<u64> {
+        (0..n).map(|i| (i * stride) % 997).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: BkTree<u64> = BkTree::new();
+        assert!(t.is_empty());
+        assert!(t.knn(&AbsDiff, &5, 3).is_empty());
+        assert!(t.range(&AbsDiff, &5, 100).is_empty());
+    }
+
+    #[test]
+    fn range_matches_filter() {
+        let items = sample_items(300, 37);
+        let tree = BkTree::build(items.clone(), &AbsDiff);
+        for q in [0u64, 17, 500, 996] {
+            for r in [0u64, 5, 50] {
+                let mut got: Vec<usize> =
+                    tree.range(&AbsDiff, &q, r).iter().map(|h| h.index).collect();
+                got.sort_unstable();
+                let want: Vec<usize> = items
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &x)| x.abs_diff(q) <= r)
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(got, want, "q={q} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_sorted_scan() {
+        let items = sample_items(200, 61);
+        let tree = BkTree::build(items.clone(), &AbsDiff);
+        for q in [3u64, 100, 950] {
+            for k in [1usize, 4, 9] {
+                let got = tree.knn(&AbsDiff, &q, k);
+                assert_eq!(got.len(), k);
+                let mut want: Vec<u64> = items.iter().map(|&x| x.abs_diff(q)).collect();
+                want.sort_unstable();
+                for (hit, expect) in got.iter().zip(&want) {
+                    assert_eq!(hit.distance as u64, *expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_insertion() {
+        let mut tree: BkTree<u64> = BkTree::new();
+        for x in [50u64, 10, 90, 50, 49] {
+            tree.insert(x, &AbsDiff);
+        }
+        assert_eq!(tree.len(), 5);
+        let hits = tree.range(&AbsDiff, &50, 1);
+        assert_eq!(hits.len(), 3); // 50, 50, 49
+    }
+
+    #[test]
+    fn duplicate_heavy_distribution() {
+        // NED at small k produces many zero distances; the BK-tree must
+        // chain duplicates without breaking.
+        let items = vec![7u64; 64];
+        let tree = BkTree::build(items, &AbsDiff);
+        let hits = tree.knn(&AbsDiff, &7, 10);
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|h| h.distance == 0.0));
+    }
+}

@@ -1,0 +1,430 @@
+//! Metric indexing for NED (Section 13.4 / Figure 9b).
+//!
+//! Because NED is a true metric, node signatures can be indexed by any
+//! metric access method; the paper demonstrates this with a VP-tree and
+//! shows nearest-neighbor queries running orders of magnitude faster than
+//! the full scans that non-metric measures (Feature-based, HITS-based)
+//! require. [`VpTree`] is that index; [`linear_knn`] is the full-scan
+//! baseline it is compared against.
+//!
+//! The index works for any item type and any [`Metric`]; the `ned-core`
+//! integration (NED signatures) lives in the integration tests and the
+//! benchmark harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bk_tree;
+pub mod filter;
+
+pub use bk_tree::{BkTree, IntFnMetric, IntMetric};
+pub use filter::{filter_refine_knn, BoundedMetric, FilteredKnn, FnBoundedMetric};
+
+use rand::Rng;
+use std::cell::Cell;
+use std::collections::BinaryHeap;
+
+/// A distance function expected to satisfy the metric axioms
+/// (the VP-tree prunes with the triangle inequality; a non-metric
+/// "distance" silently loses recall).
+pub trait Metric<T: ?Sized> {
+    /// Distance between two items. Must be non-negative and symmetric.
+    fn distance(&self, a: &T, b: &T) -> f64;
+}
+
+/// Wraps any closure as a [`Metric`].
+pub struct FnMetric<F>(pub F);
+
+impl<T, F: Fn(&T, &T) -> f64> Metric<T> for FnMetric<F> {
+    fn distance(&self, a: &T, b: &T) -> f64 {
+        (self.0)(a, b)
+    }
+}
+
+/// Counts distance evaluations — used by the benchmarks to show how much
+/// work triangle-inequality pruning saves versus a linear scan.
+pub struct CountingMetric<'m, T, M: Metric<T>> {
+    inner: &'m M,
+    calls: Cell<u64>,
+    _marker: std::marker::PhantomData<fn(&T)>,
+}
+
+impl<'m, T, M: Metric<T>> CountingMetric<'m, T, M> {
+    /// Wraps `inner`, starting the counter at zero.
+    pub fn new(inner: &'m M) -> Self {
+        CountingMetric {
+            inner,
+            calls: Cell::new(0),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of distance evaluations so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Resets the counter.
+    pub fn reset(&self) {
+        self.calls.set(0);
+    }
+}
+
+impl<T, M: Metric<T>> Metric<T> for CountingMetric<'_, T, M> {
+    fn distance(&self, a: &T, b: &T) -> f64 {
+        self.calls.set(self.calls.get() + 1);
+        self.inner.distance(a, b)
+    }
+}
+
+/// A query hit: item index and its distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Index into the item slice the index was built over.
+    pub index: usize,
+    /// Distance to the query.
+    pub distance: f64,
+}
+
+/// Vantage-point tree over an owned item collection.
+///
+/// Construction is `O(n log n)` distance computations in expectation;
+/// k-NN queries prune sub-trees whose annulus cannot contain a better
+/// candidate than the current k-th best.
+#[derive(Debug, Clone)]
+pub struct VpTree<T> {
+    items: Vec<T>,
+    nodes: Vec<VpNode>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VpNode {
+    item: usize,
+    /// Median distance from the vantage point to its subtree items;
+    /// `inside` holds items with `d <= radius`.
+    radius: f64,
+    inside: Option<usize>,
+    outside: Option<usize>,
+}
+
+impl<T> VpTree<T> {
+    /// Builds the tree. Vantage points are chosen uniformly at random from
+    /// each partition (`rng` fixes the shape deterministically).
+    pub fn build<M: Metric<T>, R: Rng + ?Sized>(items: Vec<T>, metric: &M, rng: &mut R) -> Self {
+        let n = items.len();
+        let mut nodes = Vec::with_capacity(n);
+        let mut ids: Vec<usize> = (0..n).collect();
+        let root = Self::build_rec(&items, metric, rng, &mut ids, &mut nodes);
+        VpTree { items, nodes, root }
+    }
+
+    fn build_rec<M: Metric<T>, R: Rng + ?Sized>(
+        items: &[T],
+        metric: &M,
+        rng: &mut R,
+        ids: &mut [usize],
+        nodes: &mut Vec<VpNode>,
+    ) -> Option<usize> {
+        if ids.is_empty() {
+            return None;
+        }
+        // Move a random vantage point to the front.
+        let pick = rng.gen_range(0..ids.len());
+        ids.swap(0, pick);
+        let vantage = ids[0];
+        let rest = &mut ids[1..];
+        if rest.is_empty() {
+            nodes.push(VpNode {
+                item: vantage,
+                radius: 0.0,
+                inside: None,
+                outside: None,
+            });
+            return Some(nodes.len() - 1);
+        }
+        let mut dists: Vec<(f64, usize)> = rest
+            .iter()
+            .map(|&i| (metric.distance(&items[vantage], &items[i]), i))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        let mid = (dists.len() - 1) / 2;
+        let radius = dists[mid].0;
+        for (slot, (_, i)) in rest.iter_mut().zip(&dists) {
+            *slot = *i;
+        }
+        let (inside_ids, outside_ids) = rest.split_at_mut(mid + 1);
+        let placeholder = nodes.len();
+        nodes.push(VpNode {
+            item: vantage,
+            radius,
+            inside: None,
+            outside: None,
+        });
+        let inside = Self::build_rec(items, metric, rng, inside_ids, nodes);
+        let outside = Self::build_rec(items, metric, rng, outside_ids, nodes);
+        nodes[placeholder].inside = inside;
+        nodes[placeholder].outside = outside;
+        Some(placeholder)
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The indexed items, in original order (indices in [`Hit`] refer to
+    /// this slice).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// The `k` nearest items to `query`, closest first (ties broken by
+    /// traversal order). `metric` must be the one used at build time (or
+    /// an equivalent wrapper such as [`CountingMetric`]).
+    pub fn knn<M: Metric<T>>(&self, metric: &M, query: &T, k: usize) -> Vec<Hit> {
+        if k == 0 || self.items.is_empty() {
+            return Vec::new();
+        }
+        // max-heap of current best k (worst on top)
+        let mut heap: BinaryHeap<HeapHit> = BinaryHeap::with_capacity(k + 1);
+        self.knn_rec(self.root, metric, query, k, &mut heap);
+        let mut hits: Vec<Hit> = heap.into_iter().map(|h| h.0).collect();
+        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("NaN distance"));
+        hits
+    }
+
+    fn knn_rec<M: Metric<T>>(
+        &self,
+        node: Option<usize>,
+        metric: &M,
+        query: &T,
+        k: usize,
+        heap: &mut BinaryHeap<HeapHit>,
+    ) {
+        let Some(idx) = node else { return };
+        let n = self.nodes[idx];
+        let d = metric.distance(query, &self.items[n.item]);
+        if heap.len() < k {
+            heap.push(HeapHit(Hit {
+                index: n.item,
+                distance: d,
+            }));
+        } else if d < heap.peek().expect("non-empty").0.distance {
+            heap.pop();
+            heap.push(HeapHit(Hit {
+                index: n.item,
+                distance: d,
+            }));
+        }
+        // Visit the more promising side first, prune with the annulus test.
+        if d <= n.radius {
+            self.knn_rec(n.inside, metric, query, k, heap);
+            if d + self.current_tau(heap, k) >= n.radius {
+                self.knn_rec(n.outside, metric, query, k, heap);
+            }
+        } else {
+            self.knn_rec(n.outside, metric, query, k, heap);
+            if d - self.current_tau(heap, k) <= n.radius {
+                self.knn_rec(n.inside, metric, query, k, heap);
+            }
+        }
+    }
+
+    fn current_tau(&self, heap: &BinaryHeap<HeapHit>, k: usize) -> f64 {
+        if heap.len() < k {
+            f64::INFINITY
+        } else {
+            heap.peek().expect("non-empty").0.distance
+        }
+    }
+
+    /// All items within `radius` of `query` (inclusive), unordered.
+    pub fn range<M: Metric<T>>(&self, metric: &M, query: &T, radius: f64) -> Vec<Hit> {
+        let mut out = Vec::new();
+        self.range_rec(self.root, metric, query, radius, &mut out);
+        out
+    }
+
+    fn range_rec<M: Metric<T>>(
+        &self,
+        node: Option<usize>,
+        metric: &M,
+        query: &T,
+        radius: f64,
+        out: &mut Vec<Hit>,
+    ) {
+        let Some(idx) = node else { return };
+        let n = self.nodes[idx];
+        let d = metric.distance(query, &self.items[n.item]);
+        if d <= radius {
+            out.push(Hit {
+                index: n.item,
+                distance: d,
+            });
+        }
+        if d - radius <= n.radius {
+            self.range_rec(n.inside, metric, query, radius, out);
+        }
+        if d + radius >= n.radius {
+            self.range_rec(n.outside, metric, query, radius, out);
+        }
+    }
+}
+
+/// Wrapper giving `Hit` a max-heap ordering by distance.
+struct HeapHit(Hit);
+
+impl PartialEq for HeapHit {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.distance == other.0.distance
+    }
+}
+impl Eq for HeapHit {}
+impl PartialOrd for HeapHit {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapHit {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .distance
+            .partial_cmp(&other.0.distance)
+            .expect("NaN distance")
+    }
+}
+
+/// Full-scan k-NN baseline: computes every distance.
+pub fn linear_knn<T, M: Metric<T>>(items: &[T], metric: &M, query: &T, k: usize) -> Vec<Hit> {
+    let mut hits: Vec<Hit> = items
+        .iter()
+        .enumerate()
+        .map(|(index, item)| Hit {
+            index,
+            distance: metric.distance(query, item),
+        })
+        .collect();
+    hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("NaN distance"));
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct AbsDiff;
+    impl Metric<f64> for AbsDiff {
+        fn distance(&self, a: &f64, b: &f64) -> f64 {
+            (a - b).abs()
+        }
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0.0..1000.0)).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: VpTree<f64> =
+            VpTree::build(Vec::new(), &AbsDiff, &mut SmallRng::seed_from_u64(0));
+        assert!(tree.is_empty());
+        assert!(tree.knn(&AbsDiff, &1.0, 3).is_empty());
+        assert!(tree.range(&AbsDiff, &1.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let points = random_points(300, 1);
+        let tree = VpTree::build(points.clone(), &AbsDiff, &mut SmallRng::seed_from_u64(2));
+        let mut qrng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let q: f64 = qrng.gen_range(-100.0..1100.0);
+            for k in [1usize, 3, 10] {
+                let a = tree.knn(&AbsDiff, &q, k);
+                let b = linear_knn(&points, &AbsDiff, &q, k);
+                assert_eq!(a.len(), k);
+                // distances must agree (indices may differ on exact ties)
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.distance, y.distance, "q={q} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_linear_filter() {
+        let points = random_points(200, 4);
+        let tree = VpTree::build(points.clone(), &AbsDiff, &mut SmallRng::seed_from_u64(5));
+        let mut qrng = SmallRng::seed_from_u64(6);
+        for _ in 0..30 {
+            let q: f64 = qrng.gen_range(0.0..1000.0);
+            let r = qrng.gen_range(0.0..80.0);
+            let mut got: Vec<usize> = tree
+                .range(&AbsDiff, &q, r)
+                .into_iter()
+                .map(|h| h.index)
+                .collect();
+            got.sort_unstable();
+            let want: Vec<usize> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| (p - q).abs() <= r)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let points = random_points(5, 7);
+        let tree = VpTree::build(points.clone(), &AbsDiff, &mut SmallRng::seed_from_u64(8));
+        let hits = tree.knn(&AbsDiff, &0.0, 50);
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let points = vec![5.0, 5.0, 5.0, 9.0];
+        let tree = VpTree::build(points, &AbsDiff, &mut SmallRng::seed_from_u64(9));
+        let hits = tree.knn(&AbsDiff, &5.0, 3);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|h| h.distance == 0.0));
+    }
+
+    #[test]
+    fn pruning_saves_distance_calls() {
+        let points = random_points(4096, 10);
+        let tree = VpTree::build(points.clone(), &AbsDiff, &mut SmallRng::seed_from_u64(11));
+        let counting = CountingMetric::new(&AbsDiff);
+        let _ = tree.knn(&counting, &500.0, 5);
+        let tree_calls = counting.calls();
+        counting.reset();
+        let _ = linear_knn(&points, &counting, &500.0, 5);
+        let scan_calls = counting.calls();
+        assert!(
+            tree_calls * 4 < scan_calls,
+            "VP-tree used {tree_calls} calls vs scan {scan_calls}"
+        );
+    }
+
+    #[test]
+    fn integer_metric_via_fn_wrapper() {
+        let items: Vec<u64> = (0..100).collect();
+        let metric = FnMetric(|a: &u64, b: &u64| a.abs_diff(*b) as f64);
+        let tree = VpTree::build(items, &metric, &mut SmallRng::seed_from_u64(12));
+        let hits = tree.knn(&metric, &42, 3);
+        assert_eq!(hits[0].distance, 0.0);
+        assert!(hits.iter().any(|h| h.index == 42));
+    }
+}

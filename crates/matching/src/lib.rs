@@ -1,0 +1,296 @@
+//! Minimum-cost perfect bipartite matching.
+//!
+//! TED\* (Section 5.5 of the paper) solves one assignment problem per tree
+//! level: given the complete weighted bipartite graph `G²ᵢ` between the two
+//! (padded) levels, find the bijection minimizing the total edge weight.
+//! The paper uses "the improved Hungarian algorithm ... with time
+//! complexity O(n³)"; [`hungarian`] implements exactly that
+//! (Kuhn–Munkres with potentials and shortest augmenting paths).
+//!
+//! [`greedy_matching`] is a fast `O(n² log n)` approximation used by the
+//! ablation benchmarks, and [`brute_force_matching`] enumerates all
+//! permutations for cross-checking on tiny inputs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod matrix;
+
+pub use matrix::CostMatrix;
+
+/// The result of a matching: a bijection and its total cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// `row_to_col[r]` is the column matched to row `r`.
+    pub row_to_col: Vec<usize>,
+    /// Sum of the matched entries.
+    pub cost: i64,
+}
+
+impl Assignment {
+    /// Inverse mapping: `col_to_row[c]` is the row matched to column `c`.
+    pub fn col_to_row(&self) -> Vec<usize> {
+        let mut inv = vec![usize::MAX; self.row_to_col.len()];
+        for (r, &c) in self.row_to_col.iter().enumerate() {
+            inv[c] = r;
+        }
+        inv
+    }
+}
+
+/// Exact minimum-cost perfect matching on a square cost matrix, `O(n³)`.
+///
+/// Implementation: the classic potentials formulation. For every row we
+/// grow a shortest-augmenting-path tree over columns (Dijkstra-style with
+/// reduced costs), then flip the path. Costs may be any `i64`s whose sums
+/// do not overflow.
+///
+/// ```
+/// use ned_matching::{hungarian, CostMatrix};
+///
+/// let costs = CostMatrix::from_rows(&[&[4, 1, 3], &[2, 0, 5], &[3, 2, 2]]);
+/// let best = hungarian(&costs);
+/// assert_eq!(best.cost, 5); // rows take columns 1, 0, 2
+/// assert_eq!(best.row_to_col, vec![1, 0, 2]);
+/// ```
+pub fn hungarian(costs: &CostMatrix) -> Assignment {
+    let n = costs.size();
+    if n == 0 {
+        return Assignment {
+            row_to_col: Vec::new(),
+            cost: 0,
+        };
+    }
+    const INF: i64 = i64::MAX / 4;
+    // 1-indexed helpers; index 0 is the virtual "unassigned" slot.
+    let mut u = vec![0i64; n + 1]; // row potentials
+    let mut v = vec![0i64; n + 1]; // column potentials
+    let mut p = vec![0usize; n + 1]; // p[j] = row assigned to column j
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = costs.get(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Flip the augmenting path back to the virtual column.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![usize::MAX; n];
+    for j in 1..=n {
+        row_to_col[p[j] - 1] = j - 1;
+    }
+    let cost = row_to_col
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| costs.get(r, c))
+        .sum();
+    Assignment { row_to_col, cost }
+}
+
+/// Greedy approximate matching: repeatedly take the globally cheapest
+/// unmatched (row, col) pair. `O(n² log n)`; at most a factor away from
+/// optimal but with no guarantee — used to quantify, in the ablation
+/// benchmarks, how much TED\*'s metric properties rely on exact matching.
+pub fn greedy_matching(costs: &CostMatrix) -> Assignment {
+    let n = costs.size();
+    let mut entries: Vec<(i64, u32, u32)> = Vec::with_capacity(n * n);
+    for r in 0..n {
+        for c in 0..n {
+            entries.push((costs.get(r, c), r as u32, c as u32));
+        }
+    }
+    entries.sort_unstable();
+    let mut row_to_col = vec![usize::MAX; n];
+    let mut col_used = vec![false; n];
+    let mut cost = 0i64;
+    let mut matched = 0usize;
+    for (w, r, c) in entries {
+        let (r, c) = (r as usize, c as usize);
+        if row_to_col[r] == usize::MAX && !col_used[c] {
+            row_to_col[r] = c;
+            col_used[c] = true;
+            cost += w;
+            matched += 1;
+            if matched == n {
+                break;
+            }
+        }
+    }
+    Assignment { row_to_col, cost }
+}
+
+/// Optimal matching by exhaustive permutation search (`O(n!)`), for tests.
+///
+/// # Panics
+/// Panics if `n > 10` — beyond that the factorial blows up.
+pub fn brute_force_matching(costs: &CostMatrix) -> Assignment {
+    let n = costs.size();
+    assert!(n <= 10, "brute force matching limited to n <= 10");
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best_cost = i64::MAX;
+    let mut best_perm = perm.clone();
+    permute(&mut perm, 0, &mut |p| {
+        let c: i64 = p.iter().enumerate().map(|(r, &c)| costs.get(r, c)).sum();
+        if c < best_cost {
+            best_cost = c;
+            best_perm = p.to_vec();
+        }
+    });
+    if n == 0 {
+        best_cost = 0;
+    }
+    Assignment {
+        row_to_col: best_perm,
+        cost: best_cost,
+    }
+}
+
+fn permute(perm: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == perm.len() {
+        visit(perm);
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permute(perm, k + 1, visit);
+        perm.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_matrix() {
+        let a = hungarian(&CostMatrix::zeros(0));
+        assert_eq!(a.cost, 0);
+        assert!(a.row_to_col.is_empty());
+    }
+
+    #[test]
+    fn identity_is_optimal_on_diagonal_zeros() {
+        let mut m = CostMatrix::filled(3, 5);
+        for i in 0..3 {
+            m.set(i, i, 0);
+        }
+        let a = hungarian(&m);
+        assert_eq!(a.cost, 0);
+        assert_eq!(a.row_to_col, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn classic_example() {
+        // Known optimum 5: (0,1)=1, (1,0)=2, (2,2)=2.
+        let m = CostMatrix::from_rows(&[&[4, 1, 3], &[2, 0, 5], &[3, 2, 2]]);
+        let a = hungarian(&m);
+        assert_eq!(a.cost, 5);
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        let m = CostMatrix::from_rows(&[&[-5, 0], &[0, -5]]);
+        let a = hungarian(&m);
+        assert_eq!(a.cost, -10);
+        assert_eq!(a.row_to_col, vec![0, 1]);
+    }
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut m = CostMatrix::zeros(7);
+        for r in 0..7 {
+            for c in 0..7 {
+                m.set(r, c, rng.gen_range(0..100));
+            }
+        }
+        let a = hungarian(&m);
+        let mut seen = [false; 7];
+        for &c in &a.row_to_col {
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+        let inv = a.col_to_row();
+        for (c, &r) in inv.iter().enumerate() {
+            assert_eq!(a.row_to_col[r], c);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for n in 1..=6 {
+            for _ in 0..30 {
+                let mut m = CostMatrix::zeros(n);
+                for r in 0..n {
+                    for c in 0..n {
+                        m.set(r, c, rng.gen_range(0..50));
+                    }
+                }
+                let h = hungarian(&m);
+                let b = brute_force_matching(&m);
+                assert_eq!(h.cost, b.cost, "n={n} matrix={m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_hungarian() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        for _ in 0..25 {
+            let n = rng.gen_range(1..9);
+            let mut m = CostMatrix::zeros(n);
+            for r in 0..n {
+                for c in 0..n {
+                    m.set(r, c, rng.gen_range(0..30));
+                }
+            }
+            let h = hungarian(&m);
+            let g = greedy_matching(&m);
+            assert!(g.cost >= h.cost);
+        }
+    }
+}

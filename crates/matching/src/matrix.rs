@@ -1,0 +1,108 @@
+use std::fmt;
+
+/// A dense square cost matrix with `i64` entries, row-major.
+///
+/// TED\* levels after padding always have equal sizes, so only square
+/// matrices are needed; rectangular problems should be padded by the
+/// caller (zero rows/columns preserve the optimum for the TED\* use-case
+/// because padded nodes have empty child collections).
+#[derive(Clone, PartialEq, Eq)]
+pub struct CostMatrix {
+    n: usize,
+    data: Vec<i64>,
+}
+
+impl CostMatrix {
+    /// An `n × n` matrix of zeros.
+    pub fn zeros(n: usize) -> Self {
+        CostMatrix {
+            n,
+            data: vec![0; n * n],
+        }
+    }
+
+    /// An `n × n` matrix with every entry set to `value`.
+    pub fn filled(n: usize, value: i64) -> Self {
+        CostMatrix {
+            n,
+            data: vec![value; n * n],
+        }
+    }
+
+    /// Builds from explicit rows.
+    ///
+    /// # Panics
+    /// Panics if the rows are not square.
+    pub fn from_rows(rows: &[&[i64]]) -> Self {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
+        for row in rows {
+            assert_eq!(row.len(), n, "cost matrix must be square");
+            data.extend_from_slice(row);
+        }
+        CostMatrix { n, data }
+    }
+
+    /// Side length.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Entry at (`row`, `col`).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> i64 {
+        debug_assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col]
+    }
+
+    /// Sets the entry at (`row`, `col`).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: i64) {
+        debug_assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Raw row access.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[i64] {
+        &self.data[row * self.n..(row + 1) * self.n]
+    }
+
+    /// Largest entry (0 for the empty matrix).
+    pub fn max_entry(&self) -> i64 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for CostMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CostMatrix({}x{})", self.n, self.n)?;
+        for r in 0..self.n {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = CostMatrix::zeros(2);
+        m.set(0, 1, 7);
+        assert_eq!(m.get(0, 1), 7);
+        assert_eq!(m.get(1, 0), 0);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.row(0), &[0, 7]);
+        assert_eq!(m.max_entry(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn from_rows_rejects_ragged() {
+        CostMatrix::from_rows(&[&[1, 2], &[3]]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the matching crate: the Hungarian algorithm against
+//! brute force, and structural invariants that hold for any cost matrix.
+
+use ned_matching::{brute_force_matching, greedy_matching, hungarian, CostMatrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(max_n: usize, max_cost: i64) -> impl Strategy<Value = CostMatrix> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(0..max_cost, n * n).prop_map(move |vals| {
+            let mut m = CostMatrix::zeros(n);
+            for r in 0..n {
+                for c in 0..n {
+                    m.set(r, c, vals[r * n + c]);
+                }
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hungarian_matches_brute_force(m in matrix_strategy(7, 100)) {
+        let h = hungarian(&m);
+        let b = brute_force_matching(&m);
+        prop_assert_eq!(h.cost, b.cost);
+    }
+
+    #[test]
+    fn hungarian_output_is_a_permutation(m in matrix_strategy(12, 1000)) {
+        let a = hungarian(&m);
+        let mut seen = vec![false; m.size()];
+        for &c in &a.row_to_col {
+            prop_assert!(c < m.size());
+            prop_assert!(!seen[c], "column used twice");
+            seen[c] = true;
+        }
+        // reported cost equals the sum along the assignment
+        let sum: i64 = a.row_to_col.iter().enumerate().map(|(r, &c)| m.get(r, c)).sum();
+        prop_assert_eq!(sum, a.cost);
+    }
+
+    #[test]
+    fn greedy_never_beats_hungarian(m in matrix_strategy(10, 50)) {
+        prop_assert!(greedy_matching(&m).cost >= hungarian(&m).cost);
+    }
+
+    #[test]
+    fn constant_shift_shifts_cost_linearly(m in matrix_strategy(8, 50), shift in 1i64..100) {
+        // adding a constant to every entry adds n*shift to the optimum
+        let n = m.size();
+        let mut shifted = CostMatrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                shifted.set(r, c, m.get(r, c) + shift);
+            }
+        }
+        prop_assert_eq!(hungarian(&shifted).cost, hungarian(&m).cost + shift * n as i64);
+    }
+
+    #[test]
+    fn transpose_preserves_optimal_cost(m in matrix_strategy(9, 80)) {
+        let n = m.size();
+        let mut t = CostMatrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                t.set(c, r, m.get(r, c));
+            }
+        }
+        prop_assert_eq!(hungarian(&t).cost, hungarian(&m).cost);
+    }
+
+    #[test]
+    fn negative_costs_handled(m in matrix_strategy(6, 40)) {
+        let n = m.size();
+        let mut neg = CostMatrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                neg.set(r, c, m.get(r, c) - 20);
+            }
+        }
+        let h = hungarian(&neg);
+        let b = brute_force_matching(&neg);
+        prop_assert_eq!(h.cost, b.cost);
+    }
+}

@@ -1,0 +1,320 @@
+//! AHU canonical forms and unordered rooted-tree isomorphism.
+//!
+//! Two unordered rooted trees are isomorphic iff their AHU canonical codes
+//! are equal. The paper relies on this being polynomial (Section 8): tree
+//! isomorphism — unlike graph isomorphism — is decidable in `O(n log n)`,
+//! which is why NED uses neighborhood *trees* rather than neighborhood
+//! subgraphs as node signatures.
+
+use crate::Tree;
+
+/// The canonical parenthesis string of `tree`.
+///
+/// Every node is encoded as `(` + the *sorted* codes of its children + `)`;
+/// two trees are isomorphic iff their root codes are byte-equal. Runs in
+/// `O(n · depth)` time/space, which is fine for neighborhood trees (depth is
+/// the paper's small `k`).
+pub fn canonical_code(tree: &Tree) -> Vec<u8> {
+    let n = tree.len();
+    let mut codes: Vec<Vec<u8>> = vec![Vec::new(); n];
+    // Bottom-up over levels: children always have larger ids, so a reverse
+    // id sweep visits children before parents.
+    for v in (0..n as u32).rev() {
+        let mut child_codes: Vec<Vec<u8>> = tree
+            .children(v)
+            .map(|c| std::mem::take(&mut codes[c as usize]))
+            .collect();
+        child_codes.sort_unstable();
+        let mut code = Vec::with_capacity(2 + child_codes.iter().map(Vec::len).sum::<usize>());
+        code.push(b'(');
+        for c in child_codes {
+            code.extend_from_slice(&c);
+        }
+        code.push(b')');
+        codes[v as usize] = code;
+    }
+    std::mem::take(&mut codes[0])
+}
+
+/// Canonical integer labels per node computed level-by-level, bottom-up.
+///
+/// Nodes on the *same level* receive equal labels iff their subtrees are
+/// isomorphic (the paper's Definition 5 / Lemma 1 applied to a single
+/// tree). Labels on different levels are unrelated. `O(n log n)`.
+pub fn canonical_level_labels(tree: &Tree) -> Vec<u32> {
+    let n = tree.len();
+    let mut labels = vec![0u32; n];
+    for level in (0..tree.num_levels()).rev() {
+        let range = tree.level(level);
+        // Children-label multisets, sorted, then ranked lexicographically
+        // (by length first, then contents — exactly the paper's order).
+        let mut keyed: Vec<(Vec<u32>, u32)> = range
+            .clone()
+            .map(|v| {
+                let mut s: Vec<u32> =
+                    tree.children(v).map(|c| labels[c as usize]).collect();
+                s.sort_unstable();
+                (s, v)
+            })
+            .collect();
+        keyed.sort_unstable_by(|a, b| {
+            a.0.len().cmp(&b.0.len()).then_with(|| a.0.cmp(&b.0))
+        });
+        let mut next = 0u32;
+        let mut prev: Option<&[u32]> = None;
+        // Assign dense ranks; equal collections share a label.
+        let mut assigned: Vec<(u32, u32)> = Vec::with_capacity(keyed.len());
+        for (s, v) in &keyed {
+            if let Some(p) = prev {
+                if p != s.as_slice() {
+                    next += 1;
+                }
+            }
+            assigned.push((*v, next));
+            prev = Some(s.as_slice());
+        }
+        for (v, l) in assigned {
+            labels[v as usize] = l;
+        }
+    }
+    labels
+}
+
+/// Unordered rooted-tree isomorphism test.
+pub fn isomorphic(a: &Tree, b: &Tree) -> bool {
+    if a.len() != b.len() || a.num_levels() != b.num_levels() {
+        return false;
+    }
+    for l in 0..a.num_levels() {
+        if a.level_size(l) != b.level_size(l) {
+            return false;
+        }
+    }
+    canonical_code(a) == canonical_code(b)
+}
+
+/// Rebuilds `tree` into its AHU-canonical layout: children of every node
+/// are ordered by their subtrees' canonical codes, so two trees are
+/// isomorphic **iff** their canonical forms have identical parent arrays.
+///
+/// TED\* computations canonicalize both inputs first; this is what makes
+/// the distance a well-defined function of the isomorphism classes rather
+/// than of incidental sibling orderings (the paper's Algorithm 1 is
+/// deterministic only up to bipartite-matching tie-breaks, see the
+/// `ned-core` crate documentation).
+pub fn canonical_form(tree: &Tree) -> Tree {
+    let n = tree.len();
+    // Canonical code per node, bottom-up (children have larger ids).
+    let mut codes: Vec<Vec<u8>> = vec![Vec::new(); n];
+    let mut child_order: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in (0..n as u32).rev() {
+        let mut kids: Vec<u32> = tree.children(v).collect();
+        kids.sort_by(|&a, &b| codes[a as usize].cmp(&codes[b as usize]));
+        let mut code = Vec::with_capacity(
+            2 + kids
+                .iter()
+                .map(|&c| codes[c as usize].len())
+                .sum::<usize>(),
+        );
+        code.push(b'(');
+        for &c in &kids {
+            code.extend_from_slice(&codes[c as usize]);
+        }
+        code.push(b')');
+        codes[v as usize] = code;
+        child_order[v as usize] = kids;
+    }
+    // BFS re-layout visiting children in canonical order.
+    let mut order: Vec<u32> = Vec::with_capacity(n); // order[new] = old
+    let mut new_id = vec![0u32; n];
+    order.push(0);
+    let mut head = 0usize;
+    while head < order.len() {
+        let old = order[head];
+        head += 1;
+        for &c in &child_order[old as usize] {
+            new_id[c as usize] = order.len() as u32;
+            order.push(c);
+        }
+    }
+    let mut parents = vec![0u32; n];
+    for (new_v, &old_v) in order.iter().enumerate().skip(1) {
+        parents[new_v] = new_id[tree.parent(old_v).unwrap() as usize];
+    }
+    Tree::from_parents(&parents).expect("canonical relayout preserves validity")
+}
+
+/// A hashable, order-independent fingerprint of a tree (the canonical code
+/// run through FNV-1a). Collisions are possible in principle; use
+/// [`isomorphic`] when exactness matters.
+pub fn fingerprint(tree: &Tree) -> u64 {
+    let code = canonical_code(tree);
+    fnv1a(&code)
+}
+
+/// Per-node subtree fingerprints: `out[v]` hashes the canonical code of
+/// the subtree rooted at `v`. Two nodes with equal fingerprints have
+/// isomorphic subtrees (modulo hash collisions). Used by the edit-script
+/// generator to prefer pairings that preserve subtree structure.
+pub fn subtree_fingerprints(tree: &Tree) -> Vec<u64> {
+    let n = tree.len();
+    let mut codes: Vec<Vec<u8>> = vec![Vec::new(); n];
+    let mut out = vec![0u64; n];
+    for v in (0..n as u32).rev() {
+        let mut child_codes: Vec<Vec<u8>> = tree
+            .children(v)
+            .map(|c| std::mem::take(&mut codes[c as usize]))
+            .collect();
+        child_codes.sort_unstable();
+        let mut code = Vec::with_capacity(2 + child_codes.iter().map(Vec::len).sum::<usize>());
+        code.push(b'(');
+        for c in child_codes {
+            code.extend_from_slice(&c);
+        }
+        code.push(b')');
+        out[v as usize] = fnv1a(&code);
+        codes[v as usize] = code;
+    }
+    out
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeBuilder;
+
+    fn tree_from(parents: &[u32]) -> Tree {
+        Tree::from_parents(parents).unwrap()
+    }
+
+    #[test]
+    fn code_of_singleton() {
+        assert_eq!(canonical_code(&Tree::singleton()), b"()");
+    }
+
+    #[test]
+    fn isomorphic_regardless_of_child_order() {
+        // root with children [path of 2, leaf] vs [leaf, path of 2]
+        let a = tree_from(&[0, 0, 0, 1]); // children of 0: {1,2}; 3 under 1
+        let b = tree_from(&[0, 0, 0, 2]); // 3 under 2 instead
+        assert!(isomorphic(&a, &b));
+        assert_eq!(canonical_code(&a), canonical_code(&b));
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn non_isomorphic_same_size() {
+        let path = tree_from(&[0, 0, 1, 2]); // path of 4
+        let star = tree_from(&[0, 0, 0, 0]); // star with 3 leaves
+        assert!(!isomorphic(&path, &star));
+    }
+
+    #[test]
+    fn non_isomorphic_same_level_sizes() {
+        // Both have level sizes [1, 2, 2] but different child distribution.
+        let a = tree_from(&[0, 0, 0, 1, 1]); // node 1 has two children
+        let b = tree_from(&[0, 0, 0, 1, 2]); // nodes 1 and 2 have one each
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn level_labels_match_isomorphic_subtrees() {
+        // root -> a, b; a -> leaf, leaf ; b -> leaf, leaf  (a and b isomorphic)
+        let mut builder = TreeBuilder::new();
+        let a = builder.add_child(0);
+        let b = builder.add_child(0);
+        builder.add_child(a);
+        builder.add_child(a);
+        builder.add_child(b);
+        builder.add_child(b);
+        let t = builder.build();
+        let labels = canonical_level_labels(&t);
+        let l1 = t.level(1);
+        assert_eq!(labels[l1.start as usize], labels[l1.start as usize + 1]);
+    }
+
+    #[test]
+    fn level_labels_distinguish_different_subtrees() {
+        // root -> a (leaf), b (one child)
+        let t = tree_from(&[0, 0, 0, 2]);
+        let labels = canonical_level_labels(&t);
+        let l1 = t.level(1);
+        assert_ne!(labels[l1.start as usize], labels[l1.start as usize + 1]);
+    }
+
+    #[test]
+    fn subtree_fingerprints_identify_isomorphic_subtrees() {
+        // root -> a, b; a -> {leaf, leaf}; b -> {leaf, leaf}
+        let mut builder = TreeBuilder::new();
+        let a = builder.add_child(0);
+        let b = builder.add_child(0);
+        builder.add_child(a);
+        builder.add_child(a);
+        builder.add_child(b);
+        builder.add_child(b);
+        let t = builder.build();
+        let fp = subtree_fingerprints(&t);
+        let l1 = t.level(1);
+        assert_eq!(fp[l1.start as usize], fp[l1.start as usize + 1]);
+        // leaves share a fingerprint, which differs from internal nodes
+        let l2 = t.level(2);
+        assert_eq!(fp[l2.start as usize], fp[l2.end as usize - 1]);
+        assert_ne!(fp[l1.start as usize], fp[l2.start as usize]);
+        // root fingerprint equals the whole-tree fingerprint
+        assert_eq!(fp[0], fingerprint(&t));
+    }
+
+    #[test]
+    fn canonical_form_is_isomorphic_to_input() {
+        use crate::generate;
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(21);
+        for n in [1usize, 2, 3, 8, 30, 100] {
+            let t = generate::random_attachment_tree(n, &mut rng);
+            let c = canonical_form(&t);
+            assert!(isomorphic(&t, &c));
+            c.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn canonical_form_identical_for_isomorphic_trees() {
+        // Same shape, different child insertion orders.
+        let a = tree_from(&[0, 0, 0, 1, 1, 2]); // root{A{x,y}, B{z}}
+        let b = tree_from(&[0, 0, 0, 2, 2, 1]); // root{A'{z}, B'{x,y}}
+        assert!(isomorphic(&a, &b));
+        assert_eq!(canonical_form(&a), canonical_form(&b));
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent() {
+        use crate::generate;
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(22);
+        for _ in 0..10 {
+            let t = generate::random_bounded_depth_tree(40, 4, &mut rng);
+            let c = canonical_form(&t);
+            assert_eq!(c, canonical_form(&c));
+        }
+    }
+
+    #[test]
+    fn isomorphism_is_reflexive_on_random_shapes() {
+        use crate::generate;
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 17, 64] {
+            let t = generate::random_attachment_tree(n, &mut rng);
+            assert!(isomorphic(&t, &t.clone()));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+use crate::{NodeId, Tree};
+
+/// Incremental construction of a [`Tree`].
+///
+/// The builder starts with a root (id 0); children can be attached to any
+/// existing node in any order. [`TreeBuilder::build`] re-numbers nodes into
+/// the BFS layout the [`Tree`] type requires.
+///
+/// ```
+/// use ned_tree::TreeBuilder;
+/// let mut b = TreeBuilder::new();
+/// let a = b.add_child(b.root());
+/// let _ = b.add_child(a);
+/// let _ = b.add_child(b.root());
+/// let tree = b.build();
+/// assert_eq!(tree.len(), 4);
+/// assert_eq!(tree.num_levels(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TreeBuilder {
+    /// parent[v]; parent\[0\] == 0.
+    parents: Vec<NodeId>,
+}
+
+impl TreeBuilder {
+    /// A builder holding just the root.
+    pub fn new() -> Self {
+        TreeBuilder { parents: vec![0] }
+    }
+
+    /// A builder pre-sized for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut parents = Vec::with_capacity(capacity.max(1));
+        parents.push(0);
+        TreeBuilder { parents }
+    }
+
+    /// The root id (always 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Current number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Never empty (the root always exists).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Attaches a new child to `parent` and returns its builder-local id.
+    ///
+    /// # Panics
+    /// Panics if `parent` is not an existing node id.
+    pub fn add_child(&mut self, parent: NodeId) -> NodeId {
+        assert!(
+            (parent as usize) < self.parents.len(),
+            "parent {parent} does not exist"
+        );
+        let id = self.parents.len() as NodeId;
+        self.parents.push(parent);
+        id
+    }
+
+    /// Attaches `count` children to `parent`, returning the id of the first.
+    pub fn add_children(&mut self, parent: NodeId, count: usize) -> NodeId {
+        let first = self.parents.len() as NodeId;
+        for _ in 0..count {
+            self.add_child(parent);
+        }
+        first
+    }
+
+    /// Finalizes into a BFS-ordered [`Tree`].
+    pub fn build(self) -> Tree {
+        Tree::from_parents(&self.parents).expect("builder maintains a valid tree")
+    }
+
+    /// Finalizes and also returns `mapping[new_id] = builder_id`.
+    pub fn build_with_mapping(self) -> (Tree, Vec<NodeId>) {
+        Tree::from_parents_with_mapping(&self.parents).expect("builder maintains a valid tree")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = TreeBuilder::new();
+        let c1 = b.add_child(0);
+        let c2 = b.add_child(0);
+        let g = b.add_child(c1);
+        let _ = b.add_child(c2);
+        let _ = b.add_child(g);
+        let (t, mapping) = b.build_with_mapping();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.num_levels(), 4);
+        assert_eq!(mapping[0], 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn builder_rejects_unknown_parent() {
+        let mut b = TreeBuilder::new();
+        b.add_child(42);
+    }
+
+    #[test]
+    fn add_children_bulk() {
+        let mut b = TreeBuilder::with_capacity(8);
+        let first = b.add_children(0, 5);
+        assert_eq!(first, 1);
+        assert_eq!(b.len(), 6);
+        let t = b.build();
+        assert_eq!(t.num_children(0), 5);
+    }
+}

@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors raised while constructing or validating a [`crate::Tree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The parent array was empty; a tree has at least its root.
+    Empty,
+    /// A node referenced a parent id outside `0..n`.
+    ParentOutOfRange {
+        /// Offending node.
+        node: u32,
+        /// The out-of-range parent it referenced.
+        parent: u32,
+    },
+    /// More than one node was its own parent (multiple roots).
+    MultipleRoots {
+        /// The first root encountered.
+        first: u32,
+        /// The conflicting second root.
+        second: u32,
+    },
+    /// No node was its own parent, so the structure has no root.
+    NoRoot,
+    /// The parent pointers contain a cycle (some node is unreachable
+    /// from the root).
+    Unreachable {
+        /// A node that could not be reached from the root.
+        node: u32,
+    },
+    /// A requested node id does not exist in the tree.
+    NodeOutOfRange {
+        /// The invalid node id.
+        node: u32,
+        /// Number of nodes in the tree.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "tree must contain at least the root node"),
+            TreeError::ParentOutOfRange { node, parent } => {
+                write!(f, "node {node} references out-of-range parent {parent}")
+            }
+            TreeError::MultipleRoots { first, second } => {
+                write!(f, "multiple roots: {first} and {second}")
+            }
+            TreeError::NoRoot => write!(f, "no root node (no node is its own parent)"),
+            TreeError::Unreachable { node } => {
+                write!(f, "node {node} is unreachable from the root (cycle?)")
+            }
+            TreeError::NodeOutOfRange { node, len } => {
+                write!(f, "node id {node} out of range for tree of {len} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}

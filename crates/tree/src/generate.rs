@@ -1,0 +1,354 @@
+//! Seeded tree generators for tests, property tests, and benchmarks.
+
+use crate::{Tree, TreeBuilder};
+use rand::Rng;
+
+/// Random recursive tree: node `i` attaches to a uniformly random earlier
+/// node. Produces shallow, wide trees (expected depth `O(log n)`).
+pub fn random_attachment_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Tree {
+    assert!(n >= 1, "a tree has at least one node");
+    let mut parents = Vec::with_capacity(n);
+    parents.push(0u32);
+    for i in 1..n {
+        parents.push(rng.gen_range(0..i) as u32);
+    }
+    Tree::from_parents(&parents).expect("generated parents are valid")
+}
+
+/// Uniformly random labeled tree on `n` nodes (via Prüfer sequences),
+/// rooted at node 0. Produces the classic "random tree" shape with
+/// expected depth `O(√n)`.
+pub fn random_prufer_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Tree {
+    assert!(n >= 1);
+    if n == 1 {
+        return Tree::singleton();
+    }
+    if n == 2 {
+        return Tree::from_parents(&[0, 0]).unwrap();
+    }
+    let seq: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut deg = vec![1u32; n];
+    for &s in &seq {
+        deg[s] += 1;
+    }
+    // Classic linear-time decoding into an undirected edge list.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n - 1);
+    let mut ptr = 0usize; // smallest candidate leaf
+    while deg[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &s in &seq {
+        edges.push((leaf as u32, s as u32));
+        deg[s] -= 1;
+        if deg[s] == 1 && s < ptr {
+            leaf = s;
+        } else {
+            ptr += 1;
+            while deg[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    edges.push((leaf as u32, (n - 1) as u32));
+    // Root the tree at node 0 with a BFS over the adjacency.
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in &edges {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+    let mut parents = vec![u32::MAX; n];
+    parents[0] = 0;
+    let mut queue = std::collections::VecDeque::from([0u32]);
+    while let Some(v) = queue.pop_front() {
+        for &w in &adj[v as usize] {
+            if parents[w as usize] == u32::MAX {
+                parents[w as usize] = v;
+                queue.push_back(w);
+            }
+        }
+    }
+    Tree::from_parents(&parents).expect("Prüfer decoding yields a tree")
+}
+
+/// Random tree whose depth never exceeds `max_depth` levels below the root
+/// (so the result has at most `max_depth + 1` levels). Mimics the shape of
+/// k-adjacent trees, the paper's input distribution.
+pub fn random_bounded_depth_tree<R: Rng + ?Sized>(
+    n: usize,
+    max_depth: usize,
+    rng: &mut R,
+) -> Tree {
+    assert!(n >= 1);
+    let mut parents = vec![0u32];
+    let mut depths = vec![0usize];
+    let mut eligible: Vec<u32> = vec![0]; // nodes with depth < max_depth
+    for _ in 1..n {
+        let p = if eligible.is_empty() {
+            0
+        } else {
+            eligible[rng.gen_range(0..eligible.len())]
+        };
+        let id = parents.len() as u32;
+        parents.push(p);
+        let d = depths[p as usize] + 1;
+        depths.push(d);
+        if d < max_depth {
+            eligible.push(id);
+        }
+    }
+    Tree::from_parents(&parents).expect("generated parents are valid")
+}
+
+/// A path of `n` nodes (each level holds one node).
+pub fn path_tree(n: usize) -> Tree {
+    assert!(n >= 1);
+    let parents: Vec<u32> = (0..n).map(|i| i.saturating_sub(1) as u32).collect();
+    Tree::from_parents(&parents).unwrap()
+}
+
+/// A star: the root with `n - 1` leaf children.
+pub fn star_tree(n: usize) -> Tree {
+    assert!(n >= 1);
+    let parents = vec![0u32; n];
+    Tree::from_parents(&parents).unwrap()
+}
+
+/// Perfect `branching`-ary tree with `levels` levels (`levels >= 1`).
+pub fn perfect_tree(branching: usize, levels: usize) -> Tree {
+    assert!(levels >= 1);
+    assert!(branching >= 1);
+    let mut builder = TreeBuilder::new();
+    let mut frontier = vec![0u32];
+    for _ in 1..levels {
+        let mut next = Vec::with_capacity(frontier.len() * branching);
+        for &p in &frontier {
+            for _ in 0..branching {
+                next.push(builder.add_child(p));
+            }
+        }
+        frontier = next;
+    }
+    builder.build()
+}
+
+/// One random TED\*-style mutation applied by [`mutate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// A leaf was inserted under the given (pre-mutation BFS id) parent.
+    InsertLeaf,
+    /// A leaf was deleted.
+    DeleteLeaf,
+    /// A node was re-attached to another same-level parent.
+    Move,
+}
+
+/// Applies `ops` random TED\* edit operations (insert leaf / delete leaf /
+/// same-level move) and returns the mutated tree plus the operations that
+/// were actually applied.
+///
+/// By Definition 3, `TED*(t, mutate(t, j)) <= j` — the returned tree is
+/// reachable in `applied.len()` operations — which makes this the natural
+/// fuzzer for the distance implementation.
+pub fn mutate<R: Rng + ?Sized>(tree: &Tree, ops: usize, rng: &mut R) -> (Tree, Vec<Mutation>) {
+    // parent array with tombstones: parents[v] = Some(parent)
+    let mut parents: Vec<Option<u32>> = (0..tree.len() as u32)
+        .map(|v| Some(tree.parent(v).unwrap_or(0)))
+        .collect();
+    let mut applied = Vec::with_capacity(ops);
+
+    let alive =
+        |ps: &Vec<Option<u32>>| -> Vec<u32> { (0..ps.len() as u32).filter(|&v| ps[v as usize].is_some()).collect() };
+    let depth_of = |ps: &Vec<Option<u32>>, mut v: u32| -> usize {
+        let mut d = 0;
+        while v != 0 {
+            v = ps[v as usize].expect("alive chain");
+            d += 1;
+        }
+        d
+    };
+
+    for _ in 0..ops {
+        let choice = rng.gen_range(0..3);
+        match choice {
+            0 => {
+                // insert a leaf under a random alive node
+                let nodes = alive(&parents);
+                let p = nodes[rng.gen_range(0..nodes.len())];
+                parents.push(Some(p));
+                applied.push(Mutation::InsertLeaf);
+            }
+            1 => {
+                // delete a random leaf (not the root)
+                let nodes = alive(&parents);
+                let leaves: Vec<u32> = nodes
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        v != 0
+                            && !parents
+                                .iter()
+                                .enumerate()
+                                .any(|(c, p)| *p == Some(v) && c as u32 != v)
+                    })
+                    .collect();
+                if leaves.is_empty() {
+                    continue;
+                }
+                let victim = leaves[rng.gen_range(0..leaves.len())];
+                parents[victim as usize] = None;
+                applied.push(Mutation::DeleteLeaf);
+            }
+            _ => {
+                // move a node to a different same-level parent
+                let nodes = alive(&parents);
+                let movable: Vec<u32> = nodes.iter().copied().filter(|&v| v != 0).collect();
+                if movable.is_empty() {
+                    continue;
+                }
+                let v = movable[rng.gen_range(0..movable.len())];
+                let old_parent = parents[v as usize].expect("alive");
+                let target_depth = depth_of(&parents, old_parent);
+                let candidates: Vec<u32> = nodes
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        p != old_parent && p != v && depth_of(&parents, p) == target_depth
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                parents[v as usize] = Some(candidates[rng.gen_range(0..candidates.len())]);
+                applied.push(Mutation::Move);
+            }
+        }
+    }
+
+    // Compact tombstones into a dense parent array.
+    let mut remap = vec![u32::MAX; parents.len()];
+    let mut dense: Vec<u32> = Vec::new();
+    for (v, p) in parents.iter().enumerate() {
+        if p.is_some() {
+            remap[v] = dense.len() as u32;
+            dense.push(0);
+        }
+    }
+    for (v, p) in parents.iter().enumerate() {
+        if let Some(parent) = p {
+            dense[remap[v] as usize] = if v == 0 { 0 } else { remap[*parent as usize] };
+        }
+    }
+    (
+        Tree::from_parents(&dense).expect("mutations preserve validity"),
+        applied,
+    )
+}
+
+/// A caterpillar: a spine path of `spine` nodes with `legs` leaves hanging
+/// off every spine node.
+pub fn caterpillar_tree(spine: usize, legs: usize) -> Tree {
+    assert!(spine >= 1);
+    let mut builder = TreeBuilder::new();
+    let mut prev = 0u32;
+    for _ in 0..legs {
+        builder.add_child(prev);
+    }
+    for _ in 1..spine {
+        let next = builder.add_child(prev);
+        for _ in 0..legs {
+            builder.add_child(next);
+        }
+        prev = next;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attachment_tree_sizes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 10, 100] {
+            let t = random_attachment_tree(n, &mut rng);
+            assert_eq!(t.len(), n);
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn prufer_tree_is_uniform_shape_sane() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for n in [1usize, 2, 3, 4, 50, 200] {
+            let t = random_prufer_tree(n, &mut rng);
+            assert_eq!(t.len(), n);
+            assert_eq!(t.num_edges(), n - 1);
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn bounded_depth_respected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for d in 1..6 {
+            let t = random_bounded_depth_tree(200, d, &mut rng);
+            assert!(t.num_levels() <= d + 1, "depth {} > {}", t.num_levels(), d);
+            assert_eq!(t.len(), 200);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = random_attachment_tree(64, &mut SmallRng::seed_from_u64(9));
+        let b = random_attachment_tree(64, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutate_produces_valid_trees() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let t = random_attachment_tree(20, &mut rng);
+            let (m, applied) = mutate(&t, 5, &mut rng);
+            m.check_invariants().unwrap();
+            assert!(applied.len() <= 5);
+            // node count moves by at most the applied op count
+            assert!(m.len().abs_diff(t.len()) <= applied.len());
+        }
+    }
+
+    #[test]
+    fn mutate_zero_ops_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let t = random_attachment_tree(12, &mut rng);
+        let (m, applied) = mutate(&t, 0, &mut rng);
+        assert!(applied.is_empty());
+        assert!(crate::ahu::isomorphic(&t, &m));
+    }
+
+    #[test]
+    fn mutate_singleton_never_deletes_root() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        for _ in 0..10 {
+            let (m, _) = mutate(&Tree::singleton(), 3, &mut rng);
+            assert!(!m.is_empty());
+            m.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn structured_shapes() {
+        assert_eq!(path_tree(5).num_levels(), 5);
+        assert_eq!(star_tree(5).num_levels(), 2);
+        assert_eq!(perfect_tree(2, 4).len(), 15);
+        assert_eq!(perfect_tree(3, 1).len(), 1);
+        let cat = caterpillar_tree(4, 2);
+        assert_eq!(cat.len(), 4 + 4 * 2);
+        cat.check_invariants().unwrap();
+    }
+}

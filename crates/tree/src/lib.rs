@@ -1,0 +1,34 @@
+//! Unordered rooted tree substrate for the NED reproduction.
+//!
+//! This crate provides the tree machinery that the paper's TED\* algorithm
+//! (crate `ned-core`) operates on:
+//!
+//! * [`Tree`] — a compact, level-structured representation of an unordered,
+//!   unlabeled rooted tree. Nodes are stored in breadth-first order so that
+//!   every BFS level is a contiguous id range, which is exactly the access
+//!   pattern the level-by-level TED\* algorithm needs.
+//! * [`TreeBuilder`] — incremental construction in any order; `build`
+//!   re-canonicalizes the storage into BFS order.
+//! * [`ahu`] — AHU canonical forms and unordered rooted-tree isomorphism
+//!   (polynomial, used for the metric identity property).
+//! * [`generate`] — seeded random and structured tree generators used by the
+//!   test-suite, the property tests, and the benchmarks.
+//! * [`exact`] — exponential-time *exact* unordered tree edit distance
+//!   (the NP-complete baseline the paper compares TED\* against in
+//!   Figures 5 and 6), implemented as branch-and-bound over
+//!   ancestor-preserving (Tai) mappings.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ahu;
+mod builder;
+mod error;
+pub mod exact;
+pub mod generate;
+pub mod serialize;
+mod tree;
+
+pub use builder::TreeBuilder;
+pub use error::TreeError;
+pub use tree::{NodeId, Tree};

@@ -1,0 +1,232 @@
+//! Textual tree serialization: nested-parentheses notation.
+//!
+//! `()` is a single leaf; `(()())` is a root with two leaf children. The
+//! format is exactly the AHU code alphabet, so
+//! `parse(&ahu::canonical_code(t))` reconstructs `t`'s canonical form and
+//! `print(t)` of a canonical-layout tree *is* its canonical code. Used by
+//! the CLI and handy for fixtures and debugging.
+
+use crate::{Tree, TreeBuilder};
+use std::fmt;
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Input was empty (a tree has at least its root).
+    Empty,
+    /// A closing parenthesis had no matching opener, at this byte offset.
+    UnbalancedClose(usize),
+    /// Input ended with unclosed parentheses (this many).
+    UnbalancedOpen(usize),
+    /// A character other than `(`, `)` or ASCII whitespace appeared.
+    UnexpectedChar {
+        /// Byte offset of the offender.
+        offset: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// Extra content followed the root's closing parenthesis.
+    TrailingContent(usize),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty input"),
+            ParseError::UnbalancedClose(at) => write!(f, "unmatched ')' at byte {at}"),
+            ParseError::UnbalancedOpen(n) => write!(f, "{n} unclosed '('"),
+            ParseError::UnexpectedChar { offset, ch } => {
+                write!(f, "unexpected character {ch:?} at byte {offset}")
+            }
+            ParseError::TrailingContent(at) => {
+                write!(f, "trailing content after the root at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Renders `tree` in nested-parentheses notation (children in stored
+/// order — canonicalize first if a canonical string is wanted).
+pub fn print(tree: &Tree) -> String {
+    // Recursive structure without recursion: emit via an explicit stack of
+    // (node, next-child-cursor).
+    let mut out = String::with_capacity(2 * tree.len());
+    let mut stack: Vec<(u32, u32)> = vec![(0, tree.children(0).start)];
+    out.push('(');
+    while let Some((node, cursor)) = stack.pop() {
+        if cursor < tree.children(node).end {
+            stack.push((node, cursor + 1));
+            out.push('(');
+            stack.push((cursor, tree.children(cursor).start));
+        } else {
+            out.push(')');
+        }
+    }
+    out
+}
+
+/// Renders `tree` as indented ASCII art, one node per line:
+///
+/// ```text
+/// *
+/// |-- *
+/// |   `-- *
+/// `-- *
+/// ```
+///
+/// Children print in stored order; pass a canonical form for a canonical
+/// picture. Intended for CLI/debug output (`O(n · depth)` characters).
+pub fn render_ascii(tree: &Tree) -> String {
+    let mut out = String::new();
+    out.push('*');
+    out.push('\n');
+    // prefix stack entry: "is this ancestor the last child of its parent?"
+    fn walk(tree: &Tree, node: u32, prefix: &mut String, out: &mut String) {
+        let children = tree.children(node);
+        let last = children.end.saturating_sub(1);
+        for c in children.clone() {
+            out.push_str(prefix);
+            let is_last = c == last;
+            out.push_str(if is_last { "`-- " } else { "|-- " });
+            out.push('*');
+            out.push('\n');
+            let old_len = prefix.len();
+            prefix.push_str(if is_last { "    " } else { "|   " });
+            walk(tree, c, prefix, out);
+            prefix.truncate(old_len);
+        }
+    }
+    let mut prefix = String::new();
+    walk(tree, 0, &mut prefix, &mut out);
+    out
+}
+
+/// Parses nested-parentheses notation into a [`Tree`]. Whitespace between
+/// parentheses is allowed.
+pub fn parse(input: &str) -> Result<Tree, ParseError> {
+    let mut builder: Option<TreeBuilder> = None;
+    let mut stack: Vec<u32> = Vec::new();
+    let mut done = false;
+    for (offset, ch) in input.char_indices() {
+        match ch {
+            '(' => {
+                if done {
+                    return Err(ParseError::TrailingContent(offset));
+                }
+                match (&mut builder, stack.last()) {
+                    (None, _) => {
+                        builder = Some(TreeBuilder::new());
+                        stack.push(0);
+                    }
+                    (Some(b), Some(&parent)) => {
+                        let id = b.add_child(parent);
+                        stack.push(id);
+                    }
+                    (Some(_), None) => return Err(ParseError::TrailingContent(offset)),
+                }
+            }
+            ')' => {
+                if stack.pop().is_none() {
+                    return Err(ParseError::UnbalancedClose(offset));
+                }
+                if stack.is_empty() {
+                    done = true;
+                }
+            }
+            c if c.is_ascii_whitespace() => {}
+            c => return Err(ParseError::UnexpectedChar { offset, ch: c }),
+        }
+    }
+    if !stack.is_empty() {
+        return Err(ParseError::UnbalancedOpen(stack.len()));
+    }
+    match builder {
+        Some(b) => Ok(b.build()),
+        None => Err(ParseError::Empty),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ahu;
+    use crate::generate::random_bounded_depth_tree;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn singleton_round_trip() {
+        assert_eq!(print(&Tree::singleton()), "()");
+        assert_eq!(parse("()").unwrap(), Tree::singleton());
+    }
+
+    #[test]
+    fn nested_shapes() {
+        let star3 = parse("(()()())").unwrap();
+        assert_eq!(star3.len(), 4);
+        assert_eq!(star3.num_children(0), 3);
+        let path3 = parse("((()))").unwrap();
+        assert_eq!(path3.num_levels(), 3);
+        let mixed = parse("( (()) () )").unwrap(); // whitespace tolerated
+        assert_eq!(mixed.len(), 4);
+    }
+
+    #[test]
+    fn print_matches_canonical_code_on_canonical_layout() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let t = random_bounded_depth_tree(25, 4, &mut rng);
+            let c = ahu::canonical_form(&t);
+            assert_eq!(print(&c).as_bytes(), ahu::canonical_code(&c).as_slice());
+        }
+    }
+
+    #[test]
+    fn parse_print_round_trip_preserves_isomorphism() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let t = random_bounded_depth_tree(30, 5, &mut rng);
+            let back = parse(&print(&t)).unwrap();
+            assert!(ahu::isomorphic(&t, &back));
+            assert_eq!(t.len(), back.len());
+        }
+    }
+
+    #[test]
+    fn ascii_rendering_shapes() {
+        assert_eq!(render_ascii(&Tree::singleton()), "*\n");
+        let t = parse("((())())").unwrap();
+        let art = render_ascii(&t);
+        // one line per node
+        assert_eq!(art.lines().count(), t.len());
+        assert!(art.contains("|-- *"));
+        assert!(art.contains("`-- *"));
+        // deepest node is indented below a last-child prefix
+        assert!(art.contains("|   `-- *") || art.contains("    `-- *"), "{art}");
+    }
+
+    #[test]
+    fn ascii_line_count_matches_node_count() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let t = random_bounded_depth_tree(20, 4, &mut rng);
+            assert_eq!(render_ascii(&t).lines().count(), t.len());
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(parse(""), Err(ParseError::Empty));
+        assert_eq!(parse("   "), Err(ParseError::Empty));
+        assert_eq!(parse(")"), Err(ParseError::UnbalancedClose(0)));
+        assert_eq!(parse("(()"), Err(ParseError::UnbalancedOpen(1)));
+        assert_eq!(parse("()()"), Err(ParseError::TrailingContent(2)));
+        assert!(matches!(
+            parse("(x)"),
+            Err(ParseError::UnexpectedChar { offset: 1, ch: 'x' })
+        ));
+        assert_eq!(parse("() ("), Err(ParseError::TrailingContent(3)));
+    }
+}

@@ -1,0 +1,68 @@
+//! Network alignment with NED — the paper's biological-network
+//! motivation (Section 1): a newly measured network arrives without any
+//! node correspondence to the reference network; recover the
+//! correspondence from topology alone.
+//!
+//! We simulate the PPI setting: a "reference interactome" and a "newly
+//! measured" copy that lost its labels and suffered 3% measurement noise
+//! (edges added/removed), then align them with the seed-and-extend
+//! aligner built on NED.
+//!
+//! Run with: `cargo run --release --example align_networks`
+
+use ned::core::align::{align, AlignConfig};
+use ned::graph::anonymize::{anonymize, Method};
+use ned::graph::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2017);
+    // Reference "interactome": heavy-tailed with triangle closure, the
+    // shape of real PPI networks.
+    let reference = generators::powerlaw_cluster(600, 3, 0.4, &mut rng);
+    println!(
+        "reference network: {} nodes / {} edges",
+        reference.num_nodes(),
+        reference.num_edges()
+    );
+
+    for (label, method) in [
+        ("relabeled only", Method::Naive),
+        ("3% measurement noise", Method::Perturb(0.03)),
+        ("10% measurement noise", Method::Perturb(0.10)),
+    ] {
+        let measured = anonymize(&reference, method, &mut rng);
+        let result = align(
+            &reference,
+            &measured.graph,
+            &AlignConfig {
+                k: 3,
+                seeds: 24,
+                max_seed_distance: u64::MAX,
+            },
+        );
+        // Since we know the secret mapping, we can also score node
+        // accuracy (fraction of matched pairs that hit the true alias).
+        let correct = result
+            .pairs
+            .iter()
+            .filter(|&&(u, v)| measured.mapping[u as usize] == v)
+            .count();
+        println!(
+            "{label:>22}: coverage {:.2}, edge correctness {:.3}, node accuracy {:.3}",
+            result.coverage(reference.num_nodes()),
+            result.edge_correctness,
+            correct as f64 / result.pairs.len().max(1) as f64
+        );
+    }
+
+    // Sanity floor: the aligned relabeled copy must conserve most edges.
+    let measured = anonymize(&reference, Method::Naive, &mut rng);
+    let result = align(&reference, &measured.graph, &AlignConfig::default());
+    assert!(
+        result.edge_correctness > 0.6,
+        "alignment collapsed: EC {}",
+        result.edge_correctness
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: compute NED between nodes of two different graphs and
+//! read the interpretable edit-script breakdown.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ned::core::edit_script;
+use ned::prelude::*;
+
+fn main() {
+    // Graph A: a small "molecule": a 6-cycle with one pendant chain.
+    //      0-1-2-3-4-5-0,  5-6-7
+    let a = Graph::undirected_from_edges(
+        8,
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (5, 6), (6, 7)],
+    );
+    // Graph B: a star of 5 leaves with one leaf extended into a chain.
+    let b = Graph::undirected_from_edges(
+        8,
+        &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6), (6, 7)],
+    );
+
+    println!("graph A: {:?}", a);
+    println!("graph B: {:?}", b);
+
+    // --- single distances -------------------------------------------------
+    for k in 1..=4 {
+        let d = ned(&a, 0, &b, 0, k);
+        println!("NED_k={k}(A:0, B:0) = {d}");
+    }
+
+    // --- the k-adjacent trees behind the number ---------------------------
+    let k = 3;
+    let ta = k_adjacent_tree(&a, 0, k);
+    let tb = k_adjacent_tree(&b, 0, k);
+    println!("\nk = {k}: T(A:0) = {ta:?}");
+    println!("k = {k}: T(B:0) = {tb:?}");
+
+    // --- interpretability: the optimal edit script ------------------------
+    let summary = edit_script::explain(&ta, &tb);
+    println!("edit script A->B: {}", summary.describe());
+
+    // --- metric properties in action ---------------------------------------
+    let d_ab = ned(&a, 0, &b, 0, k);
+    let d_ba = ned(&b, 0, &a, 0, k);
+    assert_eq!(d_ab, d_ba, "NED is symmetric");
+    let d_aa = ned(&a, 0, &a, 0, k);
+    assert_eq!(d_aa, 0, "NED satisfies identity");
+    println!("\nsymmetry and identity verified.");
+
+    // --- monotonicity in k (Lemma 5) ---------------------------------------
+    let profile = ned_profile(&a, 0, &b, 0, 6);
+    println!("NED profile over k=1..=6: {profile:?} (non-decreasing)");
+    assert!(profile.windows(2).all(|w| w[0] <= w[1]));
+
+    // --- batch workloads use signatures ------------------------------------
+    let nodes_a: Vec<NodeId> = a.nodes().collect();
+    let nodes_b: Vec<NodeId> = b.nodes().collect();
+    let sig_a = signatures(&a, &nodes_a, k);
+    let sig_b = signatures(&b, &nodes_b, k);
+    // which node of B looks most like A's node 4?
+    let query = &sig_a[4];
+    let best = sig_b
+        .iter()
+        .min_by_key(|s| (query.distance(s), s.node))
+        .expect("B is non-empty");
+    println!(
+        "most similar node of B to A:4 -> B:{} at distance {}",
+        best.node,
+        query.distance(best)
+    );
+}

@@ -1,0 +1,63 @@
+//! Structural equivalence classes and parameter selection.
+//!
+//! Two practical questions when deploying NED:
+//!
+//! 1. *Which nodes of my graph are structurally indistinguishable?* —
+//!    `equivalence_classes` partitions nodes by k-adjacent-tree
+//!    isomorphism (NED = 0), the paper's node-identity notion
+//!    (Definition 7).
+//! 2. *Which `k` should I use?* — `suggest_k` operationalizes the paper's
+//!    Section 10 trade-off: deep enough that trees are distinctive,
+//!    shallow enough to stay fast.
+//!
+//! Run with: `cargo run --release --example structural_roles`
+
+use ned::core::equivalence_classes;
+use ned::datasets::Dataset;
+use ned::graph::bfs::suggest_k;
+use ned::tree::serialize;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(3);
+
+    for dataset in [Dataset::CaRoad, Dataset::Pgp] {
+        let g = dataset.generate(0.003, 11);
+        println!(
+            "\n=== {} stand-in: {} nodes / {} edges ===",
+            dataset.abbrev(),
+            g.num_nodes(),
+            g.num_edges()
+        );
+
+        // How fast do equivalence classes shatter with k?
+        println!("{:>3} {:>10} {:>14} {:>12}", "k", "classes", "largest class", "singletons");
+        for k in 1..=dataset.recommended_k() {
+            let classes = equivalence_classes(&g, k);
+            let singletons = classes.iter().filter(|c| c.len() == 1).count();
+            println!(
+                "{k:>3} {:>10} {:>14} {:>12}",
+                classes.len(),
+                classes[0].len(),
+                singletons
+            );
+        }
+
+        // What does the dominant structural role look like?
+        let k = dataset.recommended_k();
+        let classes = equivalence_classes(&g, k);
+        let exemplar = classes[0][0];
+        let tree = ned::graph::bfs::k_adjacent_tree(&g, exemplar, k);
+        let canon = ned::tree::ahu::canonical_form(&tree);
+        println!(
+            "most common k={k} neighborhood shape ({} nodes share it): {}",
+            classes[0].len(),
+            serialize::print(&canon)
+        );
+
+        // And which k would the heuristic pick?
+        let auto_k = suggest_k(&g, 30, 50, &mut rng);
+        println!("suggest_k(target tree size 30) = {auto_k}");
+    }
+}

@@ -1,0 +1,357 @@
+//! `ned-cli` — command-line interface to the NED reproduction.
+//!
+//! ```text
+//! ned-cli gen <dataset> <out.edges> [--scale F] [--seed N]
+//! ned-cli stats <graph.edges>
+//! ned-cli dist <g1.edges> <u> <g2.edges> <v> [--k N] [--directed]
+//! ned-cli knn <g1.edges> <u> <g2.edges> [--k N] [--top N]
+//! ned-cli deanon <graph.edges> [--method naive|sparsify|perturb]
+//!                [--ratio F] [--k N] [--top N] [--samples N] [--seed N]
+//! ned-cli hausdorff <g1.edges> <g2.edges> [--k N] [--sample N] [--seed N]
+//! ```
+
+use ned::baselines::features::{l1_distance, RefexFeatures};
+use ned::core::{batch, edit_script};
+use ned::datasets::Dataset;
+use ned::graph::anonymize::{anonymize, Method};
+use ned::graph::{io, stats};
+use ned::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("dist") => cmd_dist(&args[1..]),
+        Some("knn") => cmd_knn(&args[1..]),
+        Some("deanon") => cmd_deanon(&args[1..]),
+        Some("hausdorff") => cmd_hausdorff(&args[1..]),
+        Some("classes") => cmd_classes(&args[1..]),
+        Some("suggest-k") => cmd_suggest_k(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `ned-cli help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "NED: inter-graph node similarity based on edit distance (VLDB'17 reproduction)\n\
+         \n\
+         commands:\n\
+         \x20 gen <dataset> <out.edges> [--scale F] [--seed N]   generate a dataset stand-in\n\
+         \x20    datasets: car par amzn dblp gnu pgp\n\
+         \x20 stats <graph.edges>                                summarize a graph\n\
+         \x20 dist <g1> <u> <g2> <v> [--k N] [--directed]        NED between two nodes\n\
+         \x20 knn <g1> <u> <g2> [--k N] [--top N]                most similar nodes in g2\n\
+         \x20 deanon <graph> [--method M] [--ratio F] [--k N] [--top N] [--samples N] [--seed N]\n\
+         \x20 hausdorff <g1> <g2> [--k N] [--sample N] [--seed N]  whole-graph distance\n\
+         \x20 classes <graph> [--k N] [--show N]                 structural equivalence classes\n\
+         \x20 suggest-k <graph> [--target N] [--samples N]       pick a k for this graph\n"
+    );
+}
+
+/// Tiny flag parser: positional args first, then `--flag value` pairs.
+struct Args<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, &'a str)>,
+    switches: Vec<&'a str>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(raw: &'a [String], switches: &[&str]) -> Result<Self, String> {
+        let mut out = Args {
+            positional: Vec::new(),
+            flags: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut i = 0;
+        while i < raw.len() {
+            let tok = raw[i].as_str();
+            if let Some(name) = tok.strip_prefix("--") {
+                if switches.contains(&name) {
+                    out.switches.push(name);
+                } else {
+                    let value = raw
+                        .get(i + 1)
+                        .ok_or_else(|| format!("missing value for --{name}"))?;
+                    out.flags.push((name, value.as_str()));
+                    i += 1;
+                }
+            } else {
+                out.positional.push(tok);
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.iter().find(|&&(n, _)| n == name) {
+            Some(&(_, v)) => v
+                .parse()
+                .map_err(|_| format!("cannot parse --{name} value {v:?}")),
+            None => Ok(default),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+
+    fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(idx)
+            .copied()
+            .ok_or_else(|| format!("missing argument: {what}"))
+    }
+}
+
+fn load(path: &str, directed: bool) -> Result<Graph, String> {
+    io::read_edge_list(Path::new(path), directed).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_node(g: &Graph, s: &str) -> Result<NodeId, String> {
+    let v: NodeId = s.parse().map_err(|_| format!("bad node id {s:?}"))?;
+    if (v as usize) < g.num_nodes() {
+        Ok(v)
+    } else {
+        Err(format!("node {v} out of range (graph has {} nodes)", g.num_nodes()))
+    }
+}
+
+fn cmd_gen(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let name = args.positional(0, "dataset name")?;
+    let out = args.positional(1, "output path")?;
+    let scale: f64 = args.get("scale", 0.01)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let dataset = match name.to_ascii_lowercase().as_str() {
+        "car" => Dataset::CaRoad,
+        "par" => Dataset::PaRoad,
+        "amzn" | "amazon" => Dataset::Amazon,
+        "dblp" => Dataset::Dblp,
+        "gnu" | "gnutella" => Dataset::Gnutella,
+        "pgp" => Dataset::Pgp,
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    let g = dataset.generate(scale, seed);
+    io::write_edge_list(&g, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "{}: wrote {} nodes / {} edges to {out}",
+        dataset.abbrev(),
+        g.num_nodes(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_stats(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["directed"])?;
+    let g = load(args.positional(0, "graph path")?, args.has("directed"))?;
+    let s = stats::graph_stats(&g);
+    println!("nodes:         {}", s.nodes);
+    println!("edges:         {}", s.edges);
+    println!("avg degree:    {:.3}", s.avg_degree);
+    println!("max degree:    {}", s.max_degree);
+    println!("isolated:      {}", s.isolated);
+    println!("components:    {}", s.components);
+    if !g.is_directed() {
+        println!("triangles:     {}", stats::triangle_count(&g));
+        println!("assortativity: {:.4}", stats::degree_assortativity(&g));
+    }
+    Ok(())
+}
+
+fn cmd_dist(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["directed"])?;
+    let directed = args.has("directed");
+    let g1 = load(args.positional(0, "first graph")?, directed)?;
+    let g2 = load(args.positional(2, "second graph")?, directed)?;
+    let u = parse_node(&g1, args.positional(1, "first node")?)?;
+    let v = parse_node(&g2, args.positional(3, "second node")?)?;
+    let k: usize = args.get("k", 3)?;
+    if directed {
+        let d = ned::core::ned_directed(&g1, u, &g2, v, k);
+        println!("directed NED_k={k}({u}, {v}) = {d}");
+    } else {
+        let d = ned(&g1, u, &g2, v, k);
+        println!("NED_k={k}({u}, {v}) = {d}");
+        let t1 = k_adjacent_tree(&g1, u, k);
+        let t2 = k_adjacent_tree(&g2, v, k);
+        println!("T({u},{k}): {t1:?}");
+        println!("T({v},{k}): {t2:?}");
+        println!("{}", edit_script::explain(&t1, &t2).describe());
+        if t1.len() <= 24 && t2.len() <= 24 {
+            use ned::tree::{ahu, serialize};
+            println!("\nT({u},{k}) canonical:");
+            print!("{}", serialize::render_ascii(&ahu::canonical_form(&t1)));
+            println!("T({v},{k}) canonical:");
+            print!("{}", serialize::render_ascii(&ahu::canonical_form(&t2)));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_knn(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let g1 = load(args.positional(0, "query graph")?, false)?;
+    let g2 = load(args.positional(2, "database graph")?, false)?;
+    let u = parse_node(&g1, args.positional(1, "query node")?)?;
+    let k: usize = args.get("k", 3)?;
+    let top: usize = args.get("top", 5)?;
+    let query = signatures(&g1, &[u], k);
+    let db_nodes: Vec<NodeId> = g2.nodes().collect();
+    let db = signatures(&g2, &db_nodes, k);
+    let hits = batch::knn_batch(&query, &db, top, 0);
+    println!("top-{top} matches for node {u} (k = {k}) in the database graph:");
+    for (rank, &(d, node)) in hits[0].iter().enumerate() {
+        println!("  {:>2}. node {node:>8}  NED = {d}", rank + 1);
+    }
+    Ok(())
+}
+
+fn cmd_deanon(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let g = load(args.positional(0, "graph path")?, false)?;
+    let k: usize = args.get("k", 3)?;
+    let top: usize = args.get("top", 5)?;
+    let samples: usize = args.get("samples", 100)?;
+    let ratio: f64 = args.get("ratio", 0.05)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let method = match args.get::<String>("method", "perturb".into())?.as_str() {
+        "naive" => Method::Naive,
+        "sparsify" => Method::Sparsify(ratio),
+        "perturb" => Method::Perturb(ratio),
+        other => return Err(format!("unknown method {other:?}")),
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let anon = anonymize(&g, method, &mut rng);
+    let all: Vec<NodeId> = g.nodes().collect();
+    let known = signatures(&g, &all, k);
+    let sample: Vec<NodeId> = (0..samples)
+        .map(|_| rng.gen_range(0..g.num_nodes()) as NodeId)
+        .collect();
+    let queries: Vec<NodeId> = sample.iter().map(|&s| anon.mapping[s as usize]).collect();
+    let query_sigs = signatures(&anon.graph, &queries, k);
+    let ranked = batch::knn_batch(&query_sigs, &known, top, 0);
+    let ned_hits = sample
+        .iter()
+        .zip(&ranked)
+        .filter(|&(&truth, hits)| hits.iter().any(|&(_, n)| n == truth))
+        .count();
+
+    // Feature-based comparison (published ReFeX: log-binned), same protocol.
+    let train_feats = RefexFeatures::compute_binned(&g, k - 1, 0.5);
+    let anon_feats = RefexFeatures::compute_binned(&anon.graph, k - 1, 0.5);
+    let feat_hits = sample
+        .iter()
+        .filter(|&&truth| {
+            let fq = anon_feats.features(anon.mapping[truth as usize]);
+            let mut dists: Vec<(f64, NodeId)> = all
+                .iter()
+                .map(|&c| (l1_distance(fq, train_feats.features(c)), c))
+                .collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            dists.iter().take(top).any(|&(_, n)| n == truth)
+        })
+        .count();
+
+    println!(
+        "de-anonymization ({}, ratio {ratio}, k = {k}, top-{top}, {} queries):",
+        method.name(),
+        sample.len()
+    );
+    println!("  NED precision:     {:.3}", ned_hits as f64 / sample.len() as f64);
+    println!("  Feature precision: {:.3}", feat_hits as f64 / sample.len() as f64);
+    Ok(())
+}
+
+fn cmd_classes(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let g = load(args.positional(0, "graph path")?, false)?;
+    let k: usize = args.get("k", 3)?;
+    let show: usize = args.get("show", 5)?;
+    let classes = ned::core::equivalence_classes(&g, k);
+    let singletons = classes.iter().filter(|c| c.len() == 1).count();
+    println!(
+        "{} structural equivalence classes at k = {k} ({} singletons):",
+        classes.len(),
+        singletons
+    );
+    for (i, class) in classes.iter().take(show).enumerate() {
+        let tree = k_adjacent_tree(&g, class[0], k);
+        let canon = ned::tree::ahu::canonical_form(&tree);
+        let mut shape = ned::tree::serialize::print(&canon);
+        if shape.len() > 60 {
+            shape.truncate(57);
+            shape.push_str("...");
+        }
+        println!(
+            "  #{:<3} {:>6} nodes  shape {}",
+            i + 1,
+            class.len(),
+            shape
+        );
+    }
+    Ok(())
+}
+
+fn cmd_suggest_k(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let g = load(args.positional(0, "graph path")?, false)?;
+    let target: usize = args.get("target", 30)?;
+    let samples: usize = args.get("samples", 50)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let k = ned::graph::bfs::suggest_k(&g, target, samples, &mut rng);
+    println!("suggested k = {k} (median sampled tree reaches ~{target} nodes)");
+    Ok(())
+}
+
+fn cmd_hausdorff(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let g1 = load(args.positional(0, "first graph")?, false)?;
+    let g2 = load(args.positional(1, "second graph")?, false)?;
+    let k: usize = args.get("k", 3)?;
+    let sample: usize = args.get("sample", 400)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pick = |g: &Graph, rng: &mut SmallRng| -> Vec<NodeId> {
+        if g.num_nodes() <= sample {
+            g.nodes().collect()
+        } else {
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::with_capacity(sample);
+            while out.len() < sample {
+                let v = rng.gen_range(0..g.num_nodes()) as NodeId;
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+            out
+        }
+    };
+    let n1 = pick(&g1, &mut rng);
+    let n2 = pick(&g2, &mut rng);
+    let d = ned::core::hausdorff::hausdorff_between(&g1, &n1, &g2, &n2, k);
+    println!(
+        "Hausdorff-NED (k = {k}, {}x{} sampled nodes) = {d}",
+        n1.len(),
+        n2.len()
+    );
+    Ok(())
+}

