@@ -2,7 +2,9 @@
 //! inner loop that dominates TED\* (Section 9).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ned_matching::{brute_force_matching, greedy_matching, hungarian, CostMatrix};
+use ned_matching::{
+    brute_force_matching, collapsed_hungarian, greedy_matching, hungarian, CostMatrix,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -15,6 +17,48 @@ fn random_matrix(n: usize, seed: u64) -> CostMatrix {
         }
     }
     m
+}
+
+/// A matrix with only `distinct` distinct rows and columns — the shape
+/// TED\* levels actually produce, and where the collapsed solver shines.
+fn duplicated_matrix(n: usize, distinct: usize, seed: u64) -> CostMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = CostMatrix::zeros(n);
+    for r in 0..n {
+        for c in 0..n {
+            m.set(r, c, rng.gen_range(0..100));
+        }
+    }
+    for r in 0..n {
+        let src = r % distinct;
+        for c in 0..n {
+            let v = m.get(src, c);
+            m.set(r, c, v);
+        }
+    }
+    for c in 0..n {
+        let src = c % distinct;
+        for r in 0..n {
+            let v = m.get(r, src);
+            m.set(r, c, v);
+        }
+    }
+    m
+}
+
+fn bench_collapsed_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian/collapsed");
+    for n in [64usize, 128, 256] {
+        let m = duplicated_matrix(n, 8, n as u64);
+        assert_eq!(collapsed_hungarian(&m).cost, hungarian(&m).cost);
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |bencher, _| {
+            bencher.iter(|| hungarian(&m));
+        });
+        group.bench_with_input(BenchmarkId::new("collapsed", n), &n, |bencher, _| {
+            bencher.iter(|| collapsed_hungarian(&m));
+        });
+    }
+    group.finish();
 }
 
 fn bench_hungarian_scaling(c: &mut Criterion) {
@@ -42,6 +86,6 @@ fn bench_matchers_head_to_head(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_hungarian_scaling, bench_matchers_head_to_head
+    targets = bench_hungarian_scaling, bench_matchers_head_to_head, bench_collapsed_vs_dense
 }
 criterion_main!(benches);

@@ -3,8 +3,48 @@
 //! the per-pair cost behind Figures 7b and 9a.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ned_core::ned;
+use ned_core::{ned, ted_star_with, TedStarConfig};
 use ned_datasets::Dataset;
+use ned_graph::bfs::TreeExtractor;
+
+/// The collapsed engine against the dense baseline on real extracted
+/// signature pairs (identical distances, different cost engines).
+fn bench_ned_pair_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ned/engine");
+    group.sample_size(10);
+    let g1 = Dataset::Dblp.generate(0.01, 42);
+    let g2 = Dataset::Amazon.generate(0.01, 42);
+    let mut e1 = TreeExtractor::new(&g1);
+    let mut e2 = TreeExtractor::new(&g2);
+    let pairs: Vec<_> = (0..16u32)
+        .map(|i| {
+            (
+                e1.extract(i * 131 % g1.num_nodes() as u32, 5),
+                e2.extract(i * 197 % g2.num_nodes() as u32, 5),
+            )
+        })
+        .collect();
+    for (name, config) in [
+        ("collapsed", TedStarConfig::standard()),
+        // original path, no transportation/cross-check overhead
+        ("dense-legacy", TedStarConfig {
+            matcher: ned_core::Matcher::LegacyHungarian,
+            ..TedStarConfig::standard()
+        }),
+        // dense Hungarian cost + collapsed cross-check (validation mode)
+        ("dense-checked", TedStarConfig::dense()),
+    ] {
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                pairs
+                    .iter()
+                    .map(|(a, b)| ted_star_with(a, b, &config))
+                    .sum::<u64>()
+            });
+        });
+    }
+    group.finish();
+}
 
 fn bench_ned_by_k(c: &mut Criterion) {
     let mut group = c.benchmark_group("ned/road_by_k");
@@ -64,6 +104,6 @@ fn bench_directed_ned(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_ned_by_k, bench_ned_by_dataset, bench_directed_ned
+    targets = bench_ned_by_k, bench_ned_by_dataset, bench_directed_ned, bench_ned_pair_engines
 }
 criterion_main!(benches);

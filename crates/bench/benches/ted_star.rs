@@ -52,6 +52,7 @@ fn bench_matcher_ablation(c: &mut Criterion) {
             TedStarConfig {
                 matcher: Matcher::Hungarian,
                 skip_zero_pairs: false,
+                ..TedStarConfig::standard()
             },
         ),
         (
@@ -59,6 +60,7 @@ fn bench_matcher_ablation(c: &mut Criterion) {
             TedStarConfig {
                 matcher: Matcher::Greedy,
                 skip_zero_pairs: true,
+                ..TedStarConfig::standard()
             },
         ),
     ];

@@ -163,6 +163,7 @@ pub fn matching_ablation(cfg: &ExpConfig) -> String {
             TedStarConfig {
                 matcher: Matcher::Hungarian,
                 skip_zero_pairs: false,
+                ..TedStarConfig::standard()
             },
         ),
         (
@@ -170,6 +171,7 @@ pub fn matching_ablation(cfg: &ExpConfig) -> String {
             TedStarConfig {
                 matcher: Matcher::Greedy,
                 skip_zero_pairs: true,
+                ..TedStarConfig::standard()
             },
         ),
     ];

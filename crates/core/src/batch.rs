@@ -100,6 +100,54 @@ pub fn knn_batch(
     })
 }
 
+/// Exact filtered k-NN: identical hits to [`knn_batch`], but candidates
+/// are scanned in ascending
+/// [`NodeSignature::distance_lower_bound`] order and refinement stops as
+/// soon as the bound alone rules out every remaining candidate — the
+/// filter-and-refine pipeline with the interned class-histogram bound as
+/// the filter. Returns per-query `(hits, refined)` where `refined` counts
+/// exact distance computations (≤ database size; the gap is the pruning
+/// win).
+pub fn knn_batch_filtered(
+    queries: &[NodeSignature],
+    database: &[NodeSignature],
+    k: usize,
+    threads: usize,
+) -> Vec<(Vec<(u64, NodeId)>, usize)> {
+    indexed_par_map(queries.len(), threads, |qi| {
+        let q = &queries[qi];
+        let mut bounded: Vec<(u64, NodeId, usize)> = database
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (q.distance_lower_bound(c), c.node, i))
+            .collect();
+        // Ascending bound; ties by node id keep the scan deterministic.
+        bounded.sort_unstable_by_key(|&(lb, node, _)| (lb, node));
+        let mut hits: Vec<(u64, NodeId)> = Vec::with_capacity(k + 1);
+        let mut refined = 0usize;
+        for &(lb, node, i) in &bounded {
+            let tau = if hits.len() < k {
+                u64::MAX
+            } else {
+                // strict: a candidate whose *bound* already exceeds the
+                // k-th best distance cannot improve the result, and
+                // neither can anything after it in bound order
+                hits[k - 1].0
+            };
+            if lb > tau {
+                break;
+            }
+            let d = q.distance(&database[i]);
+            refined += 1;
+            debug_assert!(d >= lb, "lower bound {lb} exceeds distance {d}");
+            hits.push((d, node));
+            hits.sort_unstable();
+            hits.truncate(k);
+        }
+        (hits, refined)
+    })
+}
+
 /// Condensed upper-triangle pairwise distances within one collection:
 /// entry for `(i, j)`, `i < j`, lives at `i*(2n-i-1)/2 + (j-i-1)`
 /// (the SciPy `pdist` layout).
@@ -162,6 +210,20 @@ mod tests {
             }
         }
         assert_eq!(result, knn_batch(&q, &db, 5, 1));
+    }
+
+    #[test]
+    fn filtered_knn_matches_plain_knn() {
+        let (q, db) = sigs();
+        for k in [1usize, 3, 7] {
+            let plain = knn_batch(&q, &db, k, 2);
+            let filtered = knn_batch_filtered(&q, &db, k, 2);
+            assert_eq!(filtered.len(), plain.len());
+            for ((hits, refined), expect) in filtered.iter().zip(&plain) {
+                assert_eq!(hits, expect, "k={k}");
+                assert!(*refined <= db.len());
+            }
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use ned::{
     NodeSignature,
 };
 pub use ted_star::{
-    ted_star, ted_star_directional, ted_star_lower_bound, ted_star_prepared,
-    ted_star_prepared_report, ted_star_report, ted_star_with, ted_star_within, LevelCosts,
-    Matcher, PreparedTree, TedStarConfig, TedStarReport,
+    ted_star, ted_star_class_lower_bound, ted_star_directional, ted_star_lower_bound,
+    ted_star_prepared, ted_star_prepared_report, ted_star_report, ted_star_with, ted_star_within,
+    LevelCosts, Matcher, PreparedTree, TedStarConfig, TedStarReport,
 };

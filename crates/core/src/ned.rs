@@ -98,10 +98,12 @@ impl NodeSignature {
         ted_star_prepared(&self.prepared, &other.prepared)
     }
 
-    /// Cheap lower bound on [`NodeSignature::distance`] (level-size L1);
-    /// the filter step of filter-and-refine retrieval.
+    /// Cheap lower bound on [`NodeSignature::distance`]: the level-size L1
+    /// bound maxed with the interned class-histogram bound (see
+    /// [`crate::ted_star_class_lower_bound`]); the filter step of
+    /// filter-and-refine retrieval.
     pub fn distance_lower_bound(&self, other: &NodeSignature) -> u64 {
-        crate::ted_star::ted_star_lower_bound(self.tree(), other.tree())
+        crate::ted_star::ted_star_class_lower_bound(&self.prepared, &other.prepared)
     }
 
     /// Per-level cost breakdown against another signature.
@@ -124,17 +126,19 @@ impl NodeSignature {
 /// shatter as `k` grows (Lemma 5).
 pub fn equivalence_classes(g: &Graph, k: usize) -> Vec<Vec<NodeId>> {
     let mut extractor = TreeExtractor::new(g);
-    let mut by_code: std::collections::HashMap<Vec<u8>, Vec<NodeId>> =
+    let interner = ned_tree::SignatureInterner::global();
+    // One interned subtree id per node replaces the former
+    // canonical-form + code-string pipeline: the root's id is equal iff
+    // the k-adjacent trees are isomorphic, and hashing a `u32` beats
+    // hashing a parenthesis string of the whole neighborhood.
+    let mut by_class: std::collections::HashMap<u32, Vec<NodeId>> =
         std::collections::HashMap::new();
     for v in g.nodes() {
         let tree = extractor.extract(v, k);
-        let canonical = ned_tree::ahu::canonical_form(&tree);
-        by_code
-            .entry(ned_tree::ahu::canonical_code(&canonical))
-            .or_default()
-            .push(v);
+        let root_class = interner.subtree_ids(&tree)[0];
+        by_class.entry(root_class).or_default().push(v);
     }
-    let mut classes: Vec<Vec<NodeId>> = by_code.into_values().collect();
+    let mut classes: Vec<Vec<NodeId>> = by_class.into_values().collect();
     for class in classes.iter_mut() {
         class.sort_unstable();
     }

@@ -20,7 +20,10 @@ pub struct SignatureStore<'g> {
     k: usize,
     extractor: TreeExtractor<'g>,
     cache: Vec<Option<Arc<PreparedTree>>>,
-    interned: HashMap<Box<[u8]>, Arc<PreparedTree>>,
+    /// Distinct shapes keyed by their interned root class id (global
+    /// [`ned_tree::SignatureInterner`]) — a `u32` key instead of the
+    /// canonical code bytes the store used to hash.
+    interned: HashMap<u32, Arc<PreparedTree>>,
     extractions: u64,
     hits: u64,
 }
@@ -58,12 +61,11 @@ impl<'g> SignatureStore<'g> {
         self.extractions += 1;
         let tree = self.extractor.extract(v, self.k);
         let prepared = PreparedTree::new(&tree);
-        let shared = match self.interned.get(prepared.code()) {
+        let shared = match self.interned.get(&prepared.root_class()) {
             Some(existing) => Arc::clone(existing),
             None => {
                 let arc = Arc::new(prepared);
-                self.interned
-                    .insert(arc.code().to_vec().into_boxed_slice(), Arc::clone(&arc));
+                self.interned.insert(arc.root_class(), Arc::clone(&arc));
                 arc
             }
         };

@@ -17,15 +17,28 @@
 //! `Mᵢ = (m(G²ᵢ) − Pᵢ₊₁)/2` is the number of same-level moves derived from
 //! the minimum bipartite matching cost `m(G²ᵢ)` (Equation 5).
 
-use ned_matching::{greedy_matching, hungarian, CostMatrix};
-use ned_tree::Tree;
+use ned_matching::{greedy_matching, hungarian, transportation, CostMatrix};
+use ned_tree::{SignatureInterner, Tree};
 
 /// Which bipartite matcher drives step 4 of Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Matcher {
-    /// Exact O(n³) Hungarian matching — required for TED\* to be a metric.
+    /// Exact minimum-cost matching — required for TED\* to be a metric.
+    /// Solved on the duplicate-collapsed class problem by default
+    /// ([`TedStarConfig::collapse_duplicates`]), or by the dense `O(n³)`
+    /// Hungarian algorithm when collapsing is disabled (with the
+    /// transportation solve cross-checked and reused for the canonical
+    /// matching, so distances stay engine-independent).
     #[default]
     Hungarian,
+    /// The original formulation exactly as first implemented: dense
+    /// `O(n³)` Hungarian with the matching taken straight from the dense
+    /// assignment. Optimal cost, but which optimum it returns is an
+    /// implementation accident, so re-canonization — and occasionally the
+    /// distance — is tie-break sensitive. Kept as the honest *timing*
+    /// baseline for the uncollapsed path (it pays no transportation
+    /// overhead); use [`Matcher::Hungarian`] everywhere else.
+    LegacyHungarian,
     /// Cheapest-edge-first greedy matching. Faster, but the resulting
     /// "distance" can over-estimate and lose the metric guarantees; kept
     /// for the ablation benchmarks.
@@ -33,25 +46,67 @@ pub enum Matcher {
 }
 
 /// Tuning knobs for the TED\* computation.
+///
+/// `TedStarConfig::default()` (all `false`, `Hungarian`) reproduces the
+/// original dense formulation; [`TedStarConfig::standard`] — what
+/// [`ted_star`] uses — enables every fast path. **All Hungarian-matcher
+/// combinations produce bit-identical distances**: the engines differ only
+/// in how the optimal matching *cost* is computed, while the matching that
+/// feeds re-canonization (step 6) is always derived from one canonical,
+/// deterministic transportation solution over duplicate classes ordered by
+/// their collection content.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TedStarConfig {
     /// Bipartite matcher choice.
     pub matcher: Matcher,
     /// When `true` (the default behaviour of [`ted_star`]), slots whose
     /// children-label collections are identical are paired off before the
-    /// O(n³) matching runs. Pairing zero-weight edges first is always
-    /// optimal here because the symmetric-difference weight satisfies the
-    /// triangle inequality across slots; on near-isomorphic levels this
-    /// skips the Hungarian call entirely.
+    /// matching runs. Pairing zero-weight edges first is always optimal
+    /// here because the symmetric-difference weight satisfies the triangle
+    /// inequality across slots; on near-isomorphic levels this skips the
+    /// matching entirely.
     pub skip_zero_pairs: bool,
+    /// When `true`, step 4 groups the remaining slots of each level into
+    /// *multiplicity classes* (slots with identical children collections),
+    /// solves the reduced transportation problem on distinct classes only,
+    /// and never materializes the dense per-slot [`CostMatrix`]. Real BFS
+    /// levels are dominated by repeated signatures, so this turns the
+    /// `O(n³)` bottleneck into `O((R + C)·R·C)` for `R`, `C` distinct
+    /// classes. Costs (and distances) are identical to the dense path:
+    /// duplicated rows/columns are interchangeable in any optimum.
+    pub collapse_duplicates: bool,
+    /// When `true`, node canonization (step 3) labels each collection with
+    /// its dense id from the process-wide
+    /// [`SignatureInterner`](ned_tree::SignatureInterner) — one hash
+    /// lookup per slot — instead of jointly sorting both levels'
+    /// collections. TED\* only ever compares labels for equality, so the
+    /// distance is unchanged; the sort-based ranking is kept for A/B
+    /// validation.
+    pub interned_canonization: bool,
 }
 
 impl TedStarConfig {
-    /// The configuration [`ted_star`] uses.
+    /// The configuration [`ted_star`] uses: exact matching with every
+    /// fast path enabled.
     pub fn standard() -> Self {
         TedStarConfig {
             matcher: Matcher::Hungarian,
             skip_zero_pairs: true,
+            collapse_duplicates: true,
+            interned_canonization: true,
+        }
+    }
+
+    /// The original dense formulation: joint-sort canonization, per-slot
+    /// cost matrix, `O(n³)` Hungarian. Distances equal
+    /// [`TedStarConfig::standard`] everywhere; useful as the baseline in
+    /// benchmarks and equivalence tests.
+    pub fn dense() -> Self {
+        TedStarConfig {
+            matcher: Matcher::Hungarian,
+            skip_zero_pairs: true,
+            collapse_duplicates: false,
+            interned_canonization: false,
         }
     }
 }
@@ -111,14 +166,25 @@ impl TedStarReport {
 pub struct PreparedTree {
     tree: Tree,
     code: Box<[u8]>,
+    /// Per level: the interned subtree-class ids of the level's nodes,
+    /// sorted ascending. Interned through [`SignatureInterner::global`],
+    /// so ids are comparable across every `PreparedTree` in the process —
+    /// the basis of the class-histogram lower bound and of shape
+    /// deduplication in [`crate::store::SignatureStore`].
+    level_classes: Vec<Vec<u32>>,
 }
 
 impl PreparedTree {
-    /// Canonicalizes `t`.
+    /// Canonicalizes `t` and interns its per-level subtree classes.
     pub fn new(t: &Tree) -> Self {
         let tree = ned_tree::ahu::canonical_form(t);
         let code = ned_tree::ahu::canonical_code(&tree).into_boxed_slice();
-        PreparedTree { tree, code }
+        let level_classes = SignatureInterner::global().level_classes(&tree);
+        PreparedTree {
+            tree,
+            code,
+            level_classes,
+        }
     }
 
     /// The canonical-layout tree.
@@ -129,6 +195,18 @@ impl PreparedTree {
     /// The AHU canonical code (equal iff isomorphic).
     pub fn code(&self) -> &[u8] {
         &self.code
+    }
+
+    /// Sorted interned subtree-class ids per level (global interner).
+    pub fn level_classes(&self) -> &[Vec<u32>] {
+        &self.level_classes
+    }
+
+    /// The interned class id of the whole tree (the root's subtree class):
+    /// equal iff the trees are isomorphic. A cheap `u32` identity for
+    /// interning/deduplication within one process.
+    pub fn root_class(&self) -> u32 {
+        self.level_classes[0][0]
     }
 }
 
@@ -162,6 +240,37 @@ pub fn ted_star_lower_bound(t1: &Tree, t2: &Tree) -> u64 {
     (0..k)
         .map(|l| t1.level_size(l).abs_diff(t2.level_size(l)) as u64)
         .sum()
+}
+
+/// A stronger (still cheap) lower bound on `TED*` between prepared trees:
+/// the level-size L1 bound **maxed with** a per-level class-histogram
+/// bound, `max_l ⌈|C₁(l) Δ C₂(l)| / 4⌉`, where `Cᵢ(l)` is the multiset of
+/// interned subtree classes on level `l`.
+///
+/// Soundness: one TED\* edit operation changes the subtree class of at
+/// most two nodes per level (the old and new ancestor chains of a move;
+/// one chain plus the touched leaf for an insert/delete), and each changed
+/// class shifts the level's histogram L1 distance by at most 2 — so any
+/// `d`-op edit sequence leaves every level's histogram within `4d`.
+/// Isomorphic trees have identical histograms, hence
+/// `ted_star_class_lower_bound(a, b) <= ted_star(a, b)` always.
+///
+/// This is the filter `ned-index`-style retrieval should use for prepared
+/// signatures: `O(Σ level widths)` per pair and considerably tighter than
+/// the level-size bound when shapes differ at equal widths.
+pub fn ted_star_class_lower_bound(a: &PreparedTree, b: &PreparedTree) -> u64 {
+    static EMPTY: &[u32] = &[];
+    let k = a.level_classes.len().max(b.level_classes.len());
+    let mut size_l1 = 0u64;
+    let mut hist_bound = 0u64;
+    for l in 0..k {
+        let ca = a.level_classes.get(l).map_or(EMPTY, |v| &v[..]);
+        let cb = b.level_classes.get(l).map_or(EMPTY, |v| &v[..]);
+        size_l1 += ca.len().abs_diff(cb.len()) as u64;
+        let diff = symmetric_difference(ca, cb) as u64;
+        hist_bound = hist_bound.max(diff.div_ceil(4));
+    }
+    size_l1.max(hist_bound)
 }
 
 /// Early-abandoning `TED*`: returns `None` as soon as the distance is
@@ -198,6 +307,15 @@ pub fn ted_star_prepared_report(
     b: &PreparedTree,
     config: &TedStarConfig,
 ) -> TedStarReport {
+    if a.code == b.code {
+        // Isomorphic signatures: the whole sweep would zero-pair every
+        // level. Interned stores are full of duplicate shapes, so this
+        // O(1)-after-compare exit carries real workloads.
+        return TedStarReport {
+            distance: 0,
+            levels: vec![LevelCosts::default(); a.tree.num_levels()],
+        };
+    }
     if a.code <= b.code {
         ted_star_directional(&a.tree, &b.tree, config)
     } else {
@@ -214,6 +332,7 @@ pub fn ted_star_directional(t1: &Tree, t2: &Tree, config: &TedStarConfig) -> Ted
     let k = t1.num_levels().max(t2.num_levels());
     let mut levels = vec![LevelCosts::default(); k];
     let mut distance = 0u64;
+    let sweep_interner = config.interned_canonization.then(SignatureInterner::new);
 
     // Labels of the *real* nodes one level below the one being processed,
     // indexed by position within their level. Re-canonization (step 6)
@@ -234,9 +353,18 @@ pub fn ted_star_directional(t1: &Tree, t2: &Tree, config: &TedStarConfig) -> Ted
         let s1 = collections(t1, l, &child_labels1, n);
         let s2 = collections(t2, l, &child_labels2, n);
 
-        // Step 3 of the paper's six (node canonization): joint dense ranks
-        // over both levels' collections (Algorithm 2).
-        let (c1, c2) = canonize(&s1, &s2);
+        // Step 3 of the paper's six (node canonization): either dense
+        // joint ranks over both levels' collections (Algorithm 2), or —
+        // the fast path — interned signature ids, which induce the same
+        // equality partition with one hash lookup per slot. The interner
+        // is *local to this sweep*: re-canonization manufactures hybrid
+        // multisets that exist only for this pair, and feeding those into
+        // the process-global interner would grow it with every pair
+        // compared instead of with every distinct shape.
+        let (c1, c2) = match &sweep_interner {
+            Some(interner) => canonize_interned(&s1, &s2, interner),
+            None => canonize(&s1, &s2),
+        };
 
         // Steps 4–5: bipartite construction + minimum matching.
         let (bipartite, f) = match_levels(&s1, &s2, &c1, &c2, config);
@@ -244,7 +372,10 @@ pub fn ted_star_directional(t1: &Tree, t2: &Tree, config: &TedStarConfig) -> Ted
         // Equation 5. With the exact matcher the subtraction is provably
         // non-negative and even; the greedy matcher voids that warranty,
         // so clamp instead of panicking there.
-        if config.matcher == Matcher::Hungarian {
+        if matches!(
+            config.matcher,
+            Matcher::Hungarian | Matcher::LegacyHungarian
+        ) {
             debug_assert!(
                 bipartite >= prev_padding,
                 "m(G²)={bipartite} < P_below={prev_padding} at level {l}"
@@ -345,8 +476,64 @@ fn canonize(s1: &[Vec<u32>], s2: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
     (c1, c2)
 }
 
-/// Steps 4–5: build `G²ᵢ` and compute the minimum matching cost plus the
+/// Interned canonization: each (sorted) collection's label is its global
+/// interner id. Induces exactly the equality partition of [`canonize`]
+/// with one hash lookup per slot, and ids are reusable across levels,
+/// pairs, and threads.
+fn canonize_interned(
+    s1: &[Vec<u32>],
+    s2: &[Vec<u32>],
+    interner: &SignatureInterner,
+) -> (Vec<u32>, Vec<u32>) {
+    let label = |s: &Vec<u32>| interner.intern(s);
+    (s1.iter().map(label).collect(), s2.iter().map(label).collect())
+}
+
+/// One side's multiplicity class: slots sharing a canonization label
+/// (i.e. carrying identical children collections).
+struct SlotClass {
+    label: u32,
+    /// Member slots, ascending.
+    slots: Vec<u32>,
+}
+
+/// Groups a level's slots by label, ascending by label (members ascending
+/// by slot index).
+fn group_by_label(c: &[u32]) -> Vec<SlotClass> {
+    let mut pairs: Vec<(u32, u32)> = c
+        .iter()
+        .enumerate()
+        .map(|(slot, &label)| (label, slot as u32))
+        .collect();
+    pairs.sort_unstable();
+    let mut out: Vec<SlotClass> = Vec::new();
+    for (label, slot) in pairs {
+        match out.last_mut() {
+            Some(class) if class.label == label => class.slots.push(slot),
+            _ => out.push(SlotClass {
+                label,
+                slots: vec![slot],
+            }),
+        }
+    }
+    out
+}
+
+/// Steps 4–5: compute the minimum matching cost of `G²ᵢ` plus the
 /// bijection `f` (as `f[slot1] = slot2` over all `n` padded slots).
+///
+/// The matching never needs individual slots: slots with equal labels are
+/// interchangeable, so the problem is grouped into multiplicity classes
+/// and solved as a transportation problem over *distinct* collections
+/// only. For determinism — and so that every [`Matcher::Hungarian`]
+/// engine yields the same distance — classes are ordered by their
+/// smallest member slot (the slot partition, unlike label values or the
+/// label-bearing collections, is identical under every canonization
+/// engine), the transportation solve breaks ties toward lower indices,
+/// and flows expand to slots in ascending order. The checked dense engine
+/// (`collapse_duplicates: false`) then only replaces how the *cost* is
+/// obtained; the legacy and greedy matchers keep their original per-slot
+/// semantics.
 fn match_levels(
     s1: &[Vec<u32>],
     s2: &[Vec<u32>],
@@ -360,17 +547,156 @@ fn match_levels(
         return (0, f);
     }
 
-    let (rest1, rest2) = if config.skip_zero_pairs {
-        pair_identical(c1, c2, &mut f)
-    } else {
-        ((0..n as u32).collect(), (0..n as u32).collect())
-    };
-    debug_assert_eq!(rest1.len(), rest2.len());
+    let mut g1 = group_by_label(c1);
+    let mut g2 = group_by_label(c2);
 
-    if rest1.is_empty() {
+    if config.skip_zero_pairs {
+        // Merge-scan the label-sorted class lists; equal labels mean
+        // identical collections (zero-weight edges), and pairing those
+        // first is always part of some optimal matching (triangle
+        // inequality through the identical pair). Which partner a slot
+        // zero-pairs with never matters: both carry the same label, so
+        // re-canonization adopts the same value either way.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < g1.len() && j < g2.len() {
+            match g1[i].label.cmp(&g2[j].label) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let pairs = g1[i].slots.len().min(g2[j].slots.len());
+                    for p in 0..pairs {
+                        f[g1[i].slots[p] as usize] = g2[j].slots[p];
+                    }
+                    g1[i].slots.drain(..pairs);
+                    g2[j].slots.drain(..pairs);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        g1.retain(|class| !class.slots.is_empty());
+        g2.retain(|class| !class.slots.is_empty());
+    }
+    debug_assert_eq!(
+        g1.iter().map(|c| c.slots.len()).sum::<usize>(),
+        g2.iter().map(|c| c.slots.len()).sum::<usize>()
+    );
+
+    if g1.is_empty() {
         return (0, f);
     }
 
+    // Canonical class order: by smallest member slot. Label *values* (and
+    // hence the label-sorted grouping order, and even the lexicographic
+    // order of the collections, which contain child labels) depend on the
+    // canonization engine — but the *partition of slots into classes* does
+    // not, so ordering classes by their first slot pins one deterministic
+    // transportation instance for every configuration.
+    g1.sort_by_key(|class| class.slots[0]);
+    g2.sort_by_key(|class| class.slots[0]);
+
+    match config.matcher {
+        // Original per-slot paths: build their own dense matrices, take
+        // the bijection straight from the assignment. No class matrix or
+        // transportation work happens for them.
+        Matcher::Greedy => {
+            let cost = slot_level_matching(s1, s2, &g1, &g2, &mut f, greedy_matching);
+            return (cost, f);
+        }
+        Matcher::LegacyHungarian => {
+            let cost = slot_level_matching(s1, s2, &g1, &g2, &mut f, hungarian);
+            return (cost, f);
+        }
+        Matcher::Hungarian => {}
+    }
+
+    let (rows, cols) = (g1.len(), g2.len());
+    let mut class_costs = vec![0i64; rows * cols];
+    for (i, rc) in g1.iter().enumerate() {
+        let sx = &s1[rc.slots[0] as usize];
+        for (j, cc) in g2.iter().enumerate() {
+            class_costs[i * cols + j] =
+                symmetric_difference(sx, &s2[cc.slots[0] as usize]) as i64;
+        }
+    }
+
+    let supplies: Vec<u64> = g1.iter().map(|c| c.slots.len() as u64).collect();
+    let demands: Vec<u64> = g2.iter().map(|c| c.slots.len() as u64).collect();
+    let transport = transportation(&supplies, &demands, &class_costs);
+
+    let cost = if config.collapse_duplicates {
+        transport.cost
+    } else {
+        // Dense engine: expand classes back to the per-slot matrix and run
+        // the O(n³) Hungarian algorithm. Kept as the validation baseline —
+        // its optimum must agree with the collapsed solver on every level
+        // of every pair, which the test suite exercises heavily.
+        let dense = dense_cost(&g1, &g2, &class_costs);
+        assert_eq!(
+            dense, transport.cost,
+            "collapsed transportation disagrees with dense Hungarian"
+        );
+        dense
+    };
+
+    // Canonical expansion: consume flows in ascending (row class, column
+    // class) order, slots within each class in ascending order. Step 6
+    // (re-canonization) reads `f`, so this choice — not the cost engine —
+    // is what pins the distance.
+    let mut col_cursor = vec![0usize; cols];
+    for (i, rc) in g1.iter().enumerate() {
+        let mut row_cursor = 0usize;
+        for (j, cc) in g2.iter().enumerate() {
+            for _ in 0..transport.flows[i * cols + j] {
+                f[rc.slots[row_cursor] as usize] = cc.slots[col_cursor[j]];
+                row_cursor += 1;
+                col_cursor[j] += 1;
+            }
+        }
+        debug_assert_eq!(row_cursor, rc.slots.len(), "row class not exhausted");
+    }
+
+    (cost as u64, f)
+}
+
+/// The dense-matrix optimal cost over the leftover classes (expanded back
+/// to per-slot rows/columns).
+fn dense_cost(g1: &[SlotClass], g2: &[SlotClass], class_costs: &[i64]) -> i64 {
+    let m: usize = g1.iter().map(|c| c.slots.len()).sum();
+    let cols = g2.len();
+    let mut costs = CostMatrix::zeros(m);
+    let mut row = 0usize;
+    for (i, rc) in g1.iter().enumerate() {
+        for _ in &rc.slots {
+            let mut col = 0usize;
+            for (j, cc) in g2.iter().enumerate() {
+                for _ in &cc.slots {
+                    costs.set(row, col, class_costs[i * cols + j]);
+                    col += 1;
+                }
+            }
+            row += 1;
+        }
+    }
+    hungarian(&costs).cost
+}
+
+/// Original per-slot matching over the dense leftover matrix; the
+/// bijection comes straight from whichever assignment `matcher` returns
+/// (the greedy and legacy-Hungarian paths keep their original
+/// semantics, tie-breaks included).
+fn slot_level_matching(
+    s1: &[Vec<u32>],
+    s2: &[Vec<u32>],
+    g1: &[SlotClass],
+    g2: &[SlotClass],
+    f: &mut [u32],
+    matcher: fn(&CostMatrix) -> ned_matching::Assignment,
+) -> u64 {
+    let mut rest1: Vec<u32> = g1.iter().flat_map(|c| c.slots.iter().copied()).collect();
+    let mut rest2: Vec<u32> = g2.iter().flat_map(|c| c.slots.iter().copied()).collect();
+    rest1.sort_unstable();
+    rest2.sort_unstable();
     let r = rest1.len();
     let mut costs = CostMatrix::zeros(r);
     for (i, &x) in rest1.iter().enumerate() {
@@ -379,48 +705,11 @@ fn match_levels(
             costs.set(i, j, symmetric_difference(sx, &s2[y as usize]) as i64);
         }
     }
-    let assignment = match config.matcher {
-        Matcher::Hungarian => hungarian(&costs),
-        Matcher::Greedy => greedy_matching(&costs),
-    };
+    let assignment = matcher(&costs);
     for (i, &j) in assignment.row_to_col.iter().enumerate() {
         f[rest1[i] as usize] = rest2[j];
     }
-    (assignment.cost as u64, f)
-}
-
-/// Pairs slots with identical canonization labels (zero-weight edges),
-/// writing them into `f` and returning the leftover slots of each side.
-/// Always part of some optimal matching: for the metric weight
-/// `w(x, y) = |S(x) Δ S(y)|`, exchanging any matching to include a
-/// zero-weight pair cannot increase cost (triangle inequality through the
-/// identical pair).
-fn pair_identical(c1: &[u32], c2: &[u32], f: &mut [u32]) -> (Vec<u32>, Vec<u32>) {
-    let n = c1.len();
-    let max_label = c1
-        .iter()
-        .chain(c2.iter())
-        .copied()
-        .max()
-        .map(|m| m as usize + 1)
-        .unwrap_or(0);
-    // Bucket side-2 slots by label.
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_label];
-    for (y, &label) in c2.iter().enumerate() {
-        buckets[label as usize].push(y as u32);
-    }
-    let mut rest1 = Vec::new();
-    for (x, &label) in c1.iter().enumerate() {
-        if let Some(y) = buckets[label as usize].pop() {
-            f[x] = y;
-        } else {
-            rest1.push(x as u32);
-        }
-    }
-    let mut rest2: Vec<u32> = buckets.into_iter().flatten().collect();
-    rest2.sort_unstable();
-    debug_assert_eq!(rest1.len() + (n - rest1.len()), n);
-    (rest1, rest2)
+    assignment.cost as u64
 }
 
 /// `|a Δ b|` for sorted multisets — the edge weight of `G²ᵢ` (Section 5.4).
@@ -620,6 +909,7 @@ mod tests {
         let plain = TedStarConfig {
             matcher: Matcher::Hungarian,
             skip_zero_pairs: false,
+            ..TedStarConfig::standard()
         };
         for _ in 0..40 {
             let a = random_bounded_depth_tree(22, 4, &mut rng);
@@ -644,6 +934,7 @@ mod tests {
         let greedy = TedStarConfig {
             matcher: Matcher::Greedy,
             skip_zero_pairs: true,
+            ..TedStarConfig::standard()
         };
         for _ in 0..40 {
             let a = random_bounded_depth_tree(20, 4, &mut rng);

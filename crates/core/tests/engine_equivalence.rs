@@ -1,0 +1,253 @@
+//! Cross-engine equivalence: every exact TED\* configuration must produce
+//! the same distance on every input.
+//!
+//! The collapsed transportation engine, the dense Hungarian engine, and
+//! both canonization strategies (joint sort ranks vs interned signature
+//! ids) share one canonical matching expansion, so equality is by
+//! construction — these tests exercise that construction hard, including
+//! the internal `assert!` in the dense path that cross-checks the
+//! collapsed solver's optimum against the dense Hungarian optimum on
+//! every level of every pair.
+
+use ned_core::{
+    ted_star, ted_star_class_lower_bound, ted_star_prepared_report, ted_star_with, Matcher,
+    PreparedTree, TedStarConfig,
+};
+use ned_tree::generate::{
+    caterpillar_tree, path_tree, perfect_tree, random_bounded_depth_tree, random_attachment_tree,
+    star_tree,
+};
+use ned_tree::Tree;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// All four exact-engine combinations.
+fn exact_configs() -> [(&'static str, TedStarConfig); 4] {
+    let base = TedStarConfig::standard();
+    [
+        ("collapsed+interned", base),
+        ("collapsed+ranked", TedStarConfig {
+            interned_canonization: false,
+            ..base
+        }),
+        ("dense+interned", TedStarConfig {
+            collapse_duplicates: false,
+            ..base
+        }),
+        ("dense+ranked", TedStarConfig::dense()),
+    ]
+}
+
+#[test]
+fn engines_agree_on_random_bounded_depth_pairs() {
+    let mut rng = SmallRng::seed_from_u64(0xEDED);
+    let configs = exact_configs();
+    for round in 0..300 {
+        let a = random_bounded_depth_tree(4 + round % 60, 2 + round % 5, &mut rng);
+        let b = random_bounded_depth_tree(4 + (round * 7) % 60, 2 + (round / 3) % 5, &mut rng);
+        let reference = ted_star_with(&a, &b, &configs[0].1);
+        for (name, config) in &configs[1..] {
+            assert_eq!(
+                ted_star_with(&a, &b, config),
+                reference,
+                "engine {name} diverged on round {round}: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_random_attachment_pairs() {
+    let mut rng = SmallRng::seed_from_u64(0xA77A);
+    let configs = exact_configs();
+    for round in 0..200 {
+        let a = random_attachment_tree(2 + round % 40, &mut rng);
+        let b = random_attachment_tree(2 + (round * 3) % 40, &mut rng);
+        let reference = ted_star_with(&a, &b, &configs[0].1);
+        for (name, config) in &configs[1..] {
+            assert_eq!(ted_star_with(&a, &b, config), reference, "{name} round {round}");
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_structured_extremes() {
+    let configs = exact_configs();
+    let shapes: Vec<Tree> = vec![
+        Tree::singleton(),
+        path_tree(12),
+        star_tree(40),
+        perfect_tree(2, 5),
+        perfect_tree(3, 4),
+        caterpillar_tree(6, 3),
+    ];
+    for a in &shapes {
+        for b in &shapes {
+            let reference = ted_star_with(a, b, &configs[0].1);
+            for (name, config) in &configs[1..] {
+                assert_eq!(ted_star_with(a, b, config), reference, "{name}: {a:?} vs {b:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_with_zero_pair_skip_disabled() {
+    // With zero-pairing off, every slot flows through the matching — the
+    // strongest exercise of collapsed-vs-dense cost agreement.
+    let mut rng = SmallRng::seed_from_u64(0x2052);
+    for round in 0..80 {
+        let a = random_bounded_depth_tree(4 + round % 30, 3, &mut rng);
+        let b = random_bounded_depth_tree(4 + (round * 5) % 30, 4, &mut rng);
+        let collapsed = TedStarConfig {
+            skip_zero_pairs: false,
+            ..TedStarConfig::standard()
+        };
+        let dense = TedStarConfig {
+            skip_zero_pairs: false,
+            ..TedStarConfig::dense()
+        };
+        assert_eq!(
+            ted_star_with(&a, &b, &collapsed),
+            ted_star_with(&a, &b, &dense),
+            "round {round}"
+        );
+    }
+}
+
+#[test]
+fn default_config_matches_its_fast_twin() {
+    // TedStarConfig::default() is the all-legacy engine with zero-pairing
+    // off. Zero-pairing itself selects among optimal matchings (the
+    // documented tie-break sensitivity), so the invariant is: at *fixed*
+    // `skip_zero_pairs`, every exact engine computes the same distance.
+    let mut rng = SmallRng::seed_from_u64(0xDEF0);
+    for _ in 0..100 {
+        let a = random_bounded_depth_tree(20, 4, &mut rng);
+        let b = random_bounded_depth_tree(25, 3, &mut rng);
+        let reference = ted_star_with(&a, &b, &TedStarConfig::default());
+        for (name, config) in exact_configs() {
+            let config = TedStarConfig {
+                skip_zero_pairs: false,
+                ..config
+            };
+            assert_eq!(ted_star_with(&a, &b, &config), reference, "{name}");
+        }
+    }
+}
+
+/// A random tree with the exact level widths given (so two draws share a
+/// level profile and the level-size lower bound between them is 0).
+fn random_fixed_profile_tree(widths: &[usize], rng: &mut SmallRng) -> Tree {
+    use rand::Rng;
+    assert_eq!(widths[0], 1);
+    let mut parents = vec![0u32];
+    let mut prev_start = 0usize;
+    let mut prev_len = 1usize;
+    for &w in &widths[1..] {
+        let start = parents.len();
+        for _ in 0..w {
+            parents.push((prev_start + rng.gen_range(0..prev_len)) as u32);
+        }
+        prev_start = start;
+        prev_len = w;
+    }
+    Tree::from_parents(&parents).expect("valid level-profile tree")
+}
+
+#[test]
+fn class_lower_bound_is_sound() {
+    let mut rng = SmallRng::seed_from_u64(0xB0BB);
+    for _ in 0..400 {
+        let a = random_bounded_depth_tree(24, 4, &mut rng);
+        let b = random_bounded_depth_tree(18, 3, &mut rng);
+        let (pa, pb) = (PreparedTree::new(&a), PreparedTree::new(&b));
+        let bound = ted_star_class_lower_bound(&pa, &pb);
+        let exact = ted_star(&a, &b);
+        assert!(bound <= exact, "class bound {bound} > distance {exact}");
+        // symmetric
+        assert_eq!(bound, ted_star_class_lower_bound(&pb, &pa));
+        // and at least as strong as the level-size bound
+        assert!(bound >= ned_core::ted_star_lower_bound(&a, &b));
+    }
+}
+
+#[test]
+fn class_lower_bound_beats_size_bound_on_equal_profiles() {
+    // Trees sharing a level profile have level-size bound 0; the class
+    // histogram still separates differing shapes — that extra pruning
+    // power is the point of carrying interned classes on PreparedTree.
+    let mut rng = SmallRng::seed_from_u64(0xB0CC);
+    let mut tighter = 0usize;
+    let mut total = 0usize;
+    for _ in 0..100 {
+        let widths = [1usize, 4, 8, 8];
+        let a = random_fixed_profile_tree(&widths, &mut rng);
+        let b = random_fixed_profile_tree(&widths, &mut rng);
+        let (pa, pb) = (PreparedTree::new(&a), PreparedTree::new(&b));
+        let bound = ted_star_class_lower_bound(&pa, &pb);
+        let exact = ted_star(&a, &b);
+        assert!(bound <= exact, "class bound {bound} > distance {exact}");
+        assert_eq!(ned_core::ted_star_lower_bound(&a, &b), 0);
+        total += 1;
+        if bound > 0 {
+            tighter += 1;
+        }
+    }
+    assert!(
+        tighter * 2 > total,
+        "class bound separated only {tighter}/{total} equal-profile pairs"
+    );
+}
+
+#[test]
+fn prepared_report_early_exit_matches_full_sweep() {
+    let mut rng = SmallRng::seed_from_u64(0x1503);
+    for _ in 0..50 {
+        let a = random_bounded_depth_tree(16, 4, &mut rng);
+        let pa = PreparedTree::new(&a);
+        let pb = PreparedTree::new(&a);
+        let report = ted_star_prepared_report(&pa, &pb, &TedStarConfig::standard());
+        assert_eq!(report.distance, 0);
+        assert_eq!(report.levels.len(), a.num_levels());
+        assert!(report.levels.iter().all(|l| l.padding == 0 && l.matching == 0));
+    }
+}
+
+#[test]
+fn legacy_hungarian_is_exact_per_level() {
+    // The legacy matcher takes its bijection straight from the dense
+    // assignment (tie-break sensitive), but its per-level costs are still
+    // optimal, so the distance respects every hard bound and the metric
+    // identity.
+    let mut rng = SmallRng::seed_from_u64(0x1E6A);
+    let legacy = TedStarConfig {
+        matcher: Matcher::LegacyHungarian,
+        ..TedStarConfig::standard()
+    };
+    for _ in 0..60 {
+        let a = random_bounded_depth_tree(20, 4, &mut rng);
+        let b = random_bounded_depth_tree(24, 3, &mut rng);
+        assert_eq!(ted_star_with(&a, &a, &legacy), 0);
+        let d = ted_star_with(&a, &b, &legacy);
+        assert!(d <= (a.len() + b.len() - 2) as u64);
+        assert!(d >= ned_core::ted_star_lower_bound(&a, &b));
+    }
+}
+
+#[test]
+fn greedy_stays_sane_under_new_grouping() {
+    let mut rng = SmallRng::seed_from_u64(0x6EED);
+    let greedy = TedStarConfig {
+        matcher: Matcher::Greedy,
+        ..TedStarConfig::standard()
+    };
+    for _ in 0..60 {
+        let a = random_bounded_depth_tree(22, 4, &mut rng);
+        let b = random_bounded_depth_tree(22, 4, &mut rng);
+        assert_eq!(ted_star_with(&a, &a, &greedy), 0);
+        let d = ted_star_with(&a, &b, &greedy);
+        assert!(d <= (a.len() + b.len() - 2) as u64);
+        assert!(d >= ned_core::ted_star_lower_bound(&a, &b));
+    }
+}

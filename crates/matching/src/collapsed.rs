@@ -1,0 +1,460 @@
+//! Duplicate-collapsed assignment: solve the matching on *distinct*
+//! rows/columns only.
+//!
+//! TED\* cost matrices are full of repeats — on a real BFS-tree level most
+//! slots carry one of a handful of children signatures, so whole swaths of
+//! rows (and columns) of the `n × n` matrix are identical. An assignment
+//! problem with duplicated rows/columns is exactly a **transportation
+//! problem** over the distinct row/column classes, with the class
+//! multiplicities as supplies and demands: interchangeable rows can be
+//! permuted within any solution without changing its cost, so the optimum
+//! of the collapsed problem equals the optimum of the expanded one.
+//!
+//! [`collapsed_hungarian`] detects the classes by hashing rows/columns and
+//! solves the reduced problem in `O((R + C) · R · C)` time via successive
+//! shortest paths — versus `O(n³)` for the dense Hungarian — then expands
+//! back to a full [`Assignment`]. [`transportation`] is the underlying
+//! solver, exposed because the TED\* sweep builds class-level problems
+//! directly without ever materializing the dense matrix.
+
+use crate::{Assignment, CostMatrix};
+use std::collections::HashMap;
+
+/// Solution of a transportation problem: the optimal cost and the flow
+/// shipped between every supply/demand class pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transport {
+    /// Minimum total cost `Σ flow(i, j) · cost(i, j)`.
+    pub cost: i64,
+    /// Row-major `R × C` flow matrix: `flows[i * C + j]` units go from
+    /// supply class `i` to demand class `j`.
+    pub flows: Vec<u64>,
+}
+
+/// Minimum-cost transportation: ship `supplies[i]` units from each supply
+/// class to cover `demands[j]` units at each demand class, paying
+/// `costs[i * demands.len() + j]` per unit.
+///
+/// Requirements: `Σ supplies == Σ demands` and `costs.len() == R·C`.
+/// Costs may be negative (they are shifted internally). The solver is
+/// **deterministic**: ties are always broken toward lower indices, so the
+/// returned flow matrix is a pure function of the inputs.
+///
+/// # Panics
+/// Panics if the supply/demand totals differ or `costs` has the wrong
+/// length.
+pub fn transportation(supplies: &[u64], demands: &[u64], costs: &[i64]) -> Transport {
+    let r = supplies.len();
+    let c = demands.len();
+    assert_eq!(costs.len(), r * c, "costs must be R×C row-major");
+    let total: u64 = supplies.iter().sum();
+    assert_eq!(
+        total,
+        demands.iter().sum::<u64>(),
+        "supply and demand totals must match"
+    );
+    if total == 0 || r == 0 || c == 0 {
+        return Transport {
+            cost: 0,
+            flows: vec![0; r * c],
+        };
+    }
+
+    // Shift costs non-negative so Dijkstra works from the start. Every
+    // unit of flow crosses exactly one (i, j) edge, so the shift
+    // contributes exactly `shift · total` to the objective.
+    let shift = costs.iter().copied().min().unwrap_or(0).min(0);
+    const INF: i64 = i64::MAX / 4;
+
+    let mut flows = vec![0u64; r * c];
+    let mut supply_left = supplies.to_vec();
+    let mut demand_left = demands.to_vec();
+    // Node potentials for reduced costs (rows then columns).
+    let mut pot_row = vec![0i64; r];
+    let mut pot_col = vec![0i64; c];
+    let mut shipped = 0u64;
+
+    while shipped < total {
+        // Dijkstra over the residual graph from all rows with remaining
+        // supply. Nodes: 0..r rows, r..r+c columns.
+        let n = r + c;
+        let mut dist = vec![INF; n];
+        let mut done = vec![false; n];
+        let mut parent = vec![usize::MAX; n];
+        for (i, &s) in supply_left.iter().enumerate() {
+            if s > 0 {
+                dist[i] = 0;
+            }
+        }
+        loop {
+            let mut u = usize::MAX;
+            let mut best = INF;
+            for v in 0..n {
+                if !done[v] && dist[v] < best {
+                    best = dist[v];
+                    u = v;
+                }
+            }
+            if u == usize::MAX {
+                break;
+            }
+            done[u] = true;
+            if u < r {
+                // Forward edges row u -> every column.
+                for j in 0..c {
+                    let w = costs[u * c + j] - shift;
+                    let reduced = w + pot_row[u] - pot_col[j];
+                    debug_assert!(reduced >= 0, "negative reduced cost");
+                    let nd = dist[u] + reduced;
+                    if nd < dist[r + j] {
+                        dist[r + j] = nd;
+                        parent[r + j] = u;
+                    }
+                }
+            } else {
+                // Backward edges column (u - r) -> rows with flow to undo.
+                let j = u - r;
+                for i in 0..r {
+                    if flows[i * c + j] > 0 {
+                        let w = costs[i * c + j] - shift;
+                        let reduced = pot_col[j] - w - pot_row[i];
+                        debug_assert!(reduced >= 0, "negative residual reduced cost");
+                        let nd = dist[u] + reduced;
+                        if nd < dist[i] {
+                            dist[i] = nd;
+                            parent[i] = u;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cheapest reachable column with unmet demand (ties -> lowest j).
+        let mut target = usize::MAX;
+        let mut best = INF;
+        for (j, &d) in demand_left.iter().enumerate() {
+            if d > 0 && dist[r + j] < best {
+                best = dist[r + j];
+                target = j;
+            }
+        }
+        assert!(
+            target != usize::MAX,
+            "transportation: demand unreachable (supply/demand mismatch?)"
+        );
+
+        // Update potentials (Johnson-style) for the next round. The
+        // standard clamped form `π += min(dist, dist_target)` keeps every
+        // reduced cost non-negative, including edges out of nodes the
+        // search never reached.
+        for i in 0..r {
+            pot_row[i] += dist[i].min(best);
+        }
+        for j in 0..c {
+            pot_col[j] += dist[r + j].min(best);
+        }
+
+        // Walk the path back to a source row, finding the bottleneck.
+        let mut bottleneck = demand_left[target];
+        let mut v = r + target;
+        loop {
+            let p = parent[v];
+            if v >= r {
+                // edge p(row) -> v(col): forward, no capacity limit
+                if parent[p] == usize::MAX {
+                    bottleneck = bottleneck.min(supply_left[p]);
+                    break;
+                }
+            } else {
+                // edge p(col) -> v(row): backward over existing flow
+                bottleneck = bottleneck.min(flows[v * c + (p - r)]);
+            }
+            v = p;
+        }
+        debug_assert!(bottleneck > 0);
+
+        // Apply the augmentation.
+        let mut v = r + target;
+        loop {
+            let p = parent[v];
+            if v >= r {
+                flows[p * c + (v - r)] += bottleneck;
+                if parent[p] == usize::MAX {
+                    supply_left[p] -= bottleneck;
+                    break;
+                }
+            } else {
+                flows[v * c + (p - r)] -= bottleneck;
+            }
+            v = p;
+        }
+        demand_left[target] -= bottleneck;
+        shipped += bottleneck;
+    }
+
+    let cost = flows
+        .iter()
+        .enumerate()
+        .map(|(idx, &f)| costs[idx] * f as i64)
+        .sum();
+    Transport { cost, flows }
+}
+
+/// Distinct-row/column structure of a square cost matrix.
+#[derive(Debug)]
+pub struct MatrixClasses {
+    /// For each distinct row class, the member row indices (ascending).
+    pub row_members: Vec<Vec<usize>>,
+    /// For each distinct column class, the member column indices (ascending).
+    pub col_members: Vec<Vec<usize>>,
+    /// `R × C` class-level cost matrix, row-major.
+    pub costs: Vec<i64>,
+}
+
+impl MatrixClasses {
+    /// Groups identical rows and identical columns of `m`. Classes are
+    /// ordered by their first member index, so the grouping is
+    /// deterministic.
+    pub fn group(m: &CostMatrix) -> Self {
+        let n = m.size();
+        let mut row_classes: HashMap<&[i64], usize> = HashMap::new();
+        let mut row_members: Vec<Vec<usize>> = Vec::new();
+        for r in 0..n {
+            let key = m.row(r);
+            match row_classes.get(key) {
+                Some(&class) => row_members[class].push(r),
+                None => {
+                    row_classes.insert(key, row_members.len());
+                    row_members.push(vec![r]);
+                }
+            }
+        }
+        // Columns: hash the column vectors.
+        let mut col_classes: HashMap<Vec<i64>, usize> = HashMap::new();
+        let mut col_members: Vec<Vec<usize>> = Vec::new();
+        for col in 0..n {
+            let key: Vec<i64> = (0..n).map(|row| m.get(row, col)).collect();
+            match col_classes.get(&key) {
+                Some(&class) => col_members[class].push(col),
+                None => {
+                    col_classes.insert(key, col_members.len());
+                    col_members.push(vec![col]);
+                }
+            }
+        }
+        let costs = row_members
+            .iter()
+            .flat_map(|rows| {
+                let rep = rows[0];
+                col_members.iter().map(move |cols| (rep, cols[0]))
+            })
+            .map(|(r, c)| m.get(r, c))
+            .collect();
+        MatrixClasses {
+            row_members,
+            col_members,
+            costs,
+        }
+    }
+}
+
+/// Expands a class-level flow matrix into a per-row assignment.
+///
+/// Flows are consumed in ascending `(row class, column class)` order and
+/// members within each class in ascending index order, so the expansion is
+/// deterministic. Rows and columns must balance (a perfect matching).
+pub fn expand_flows(
+    row_members: &[Vec<usize>],
+    col_members: &[Vec<usize>],
+    flows: &[u64],
+    n: usize,
+) -> Vec<usize> {
+    let c = col_members.len();
+    let mut row_to_col = vec![usize::MAX; n];
+    let mut row_cursor = vec![0usize; row_members.len()];
+    let mut col_cursor = vec![0usize; col_members.len()];
+    for (i, members) in row_members.iter().enumerate() {
+        for (j, cols) in col_members.iter().enumerate() {
+            let f = flows[i * c + j] as usize;
+            for _ in 0..f {
+                let row = members[row_cursor[i]];
+                let col = cols[col_cursor[j]];
+                row_cursor[i] += 1;
+                col_cursor[j] += 1;
+                row_to_col[row] = col;
+            }
+        }
+    }
+    row_to_col
+}
+
+/// Exact minimum-cost perfect matching that first collapses duplicate
+/// rows/columns into multiplicity classes, solves the reduced
+/// transportation problem, and expands back.
+///
+/// The cost always equals [`crate::hungarian`]'s (duplicated rows are
+/// interchangeable in any optimum); the returned permutation may be a
+/// *different* optimal matching, chosen canonically (ties broken toward
+/// lower indices). With `R` distinct rows and `C` distinct columns the
+/// running time is `O(n² )` for class detection plus `O((R + C)·R·C)` for
+/// the solve — far below `O(n³)` when duplication is heavy.
+///
+/// ```
+/// use ned_matching::{collapsed_hungarian, hungarian, CostMatrix};
+///
+/// // Two identical rows: the 3×3 problem collapses to 2×3.
+/// let m = CostMatrix::from_rows(&[&[4, 1, 3], &[4, 1, 3], &[3, 2, 2]]);
+/// assert_eq!(collapsed_hungarian(&m).cost, hungarian(&m).cost);
+/// ```
+pub fn collapsed_hungarian(costs: &CostMatrix) -> Assignment {
+    let n = costs.size();
+    if n == 0 {
+        return Assignment {
+            row_to_col: Vec::new(),
+            cost: 0,
+        };
+    }
+    let classes = MatrixClasses::group(costs);
+    let supplies: Vec<u64> = classes.row_members.iter().map(|m| m.len() as u64).collect();
+    let demands: Vec<u64> = classes.col_members.iter().map(|m| m.len() as u64).collect();
+    let transport = transportation(&supplies, &demands, &classes.costs);
+    let row_to_col = expand_flows(
+        &classes.row_members,
+        &classes.col_members,
+        &transport.flows,
+        n,
+    );
+    let cost: i64 = row_to_col
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| costs.get(r, c))
+        .sum();
+    debug_assert_eq!(cost, transport.cost, "expansion changed the cost");
+    Assignment { row_to_col, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, rng: &mut SmallRng, max: i64) -> CostMatrix {
+        let mut m = CostMatrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m.set(r, c, rng.gen_range(0..max));
+            }
+        }
+        m
+    }
+
+    /// Duplicates random rows/columns of `m` in place.
+    fn inject_duplicates(m: &mut CostMatrix, rng: &mut SmallRng, copies: usize) {
+        let n = m.size();
+        for _ in 0..copies {
+            let (src, dst) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if rng.gen_bool(0.5) {
+                for c in 0..n {
+                    let v = m.get(src, c);
+                    m.set(dst, c, v);
+                }
+            } else {
+                for r in 0..n {
+                    let v = m.get(r, src);
+                    m.set(r, dst, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(collapsed_hungarian(&CostMatrix::zeros(0)).cost, 0);
+        let m = CostMatrix::from_rows(&[&[7]]);
+        let a = collapsed_hungarian(&m);
+        assert_eq!(a.cost, 7);
+        assert_eq!(a.row_to_col, vec![0]);
+    }
+
+    #[test]
+    fn all_rows_identical_collapses_to_one_class() {
+        let m = CostMatrix::from_rows(&[&[5, 1, 2], &[5, 1, 2], &[5, 1, 2]]);
+        let classes = MatrixClasses::group(&m);
+        assert_eq!(classes.row_members.len(), 1);
+        assert_eq!(classes.col_members.len(), 3);
+        let a = collapsed_hungarian(&m);
+        assert_eq!(a.cost, hungarian(&m).cost);
+        assert_eq!(a.cost, 8);
+    }
+
+    #[test]
+    fn matches_hungarian_on_random_matrices() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for n in [1usize, 2, 3, 5, 8, 13, 21] {
+            for _ in 0..20 {
+                let mut m = random_matrix(n, &mut rng, 30);
+                inject_duplicates(&mut m, &mut rng, n);
+                let a = collapsed_hungarian(&m);
+                let h = hungarian(&m);
+                assert_eq!(a.cost, h.cost, "n={n} {m:?}");
+                // and the expansion is a permutation
+                let mut seen = vec![false; n];
+                for &c in &a.row_to_col {
+                    assert!(!seen[c]);
+                    seen[c] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        for _ in 0..30 {
+            let mut m = random_matrix(6, &mut rng, 20);
+            for r in 0..6 {
+                for c in 0..6 {
+                    m.set(r, c, m.get(r, c) - 10);
+                }
+            }
+            inject_duplicates(&mut m, &mut rng, 4);
+            assert_eq!(collapsed_hungarian(&m).cost, hungarian(&m).cost);
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut m = random_matrix(9, &mut rng, 10);
+        inject_duplicates(&mut m, &mut rng, 12);
+        let a = collapsed_hungarian(&m);
+        let b = collapsed_hungarian(&m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transportation_simple() {
+        // 2 supplies of 2 units, 2 demands of 2 units.
+        let t = transportation(&[2, 2], &[2, 2], &[1, 3, 3, 1]);
+        assert_eq!(t.cost, 4);
+        assert_eq!(t.flows, vec![2, 0, 0, 2]);
+    }
+
+    #[test]
+    fn transportation_prefers_cheap_splits() {
+        // One supplier must split across both demands.
+        let t = transportation(&[3, 1], &[2, 2], &[1, 2, 5, 0]);
+        // supplier 0: 2 units to demand 0 (cost 2) + 1 unit to demand 1
+        // (cost 2); supplier 1: 1 unit to demand 1 (cost 0). Total 4.
+        assert_eq!(t.cost, 4);
+        assert_eq!(t.flows, vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "totals must match")]
+    fn transportation_rejects_imbalance() {
+        transportation(&[1], &[2], &[0]);
+    }
+}

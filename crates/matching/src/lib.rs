@@ -14,8 +14,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod collapsed;
 mod matrix;
 
+pub use collapsed::{collapsed_hungarian, expand_flows, transportation, MatrixClasses, Transport};
 pub use matrix::CostMatrix;
 
 /// The result of a matching: a bijection and its total cost.
@@ -28,11 +30,23 @@ pub struct Assignment {
 }
 
 impl Assignment {
-    /// Inverse mapping: `col_to_row[c]` is the row matched to column `c`.
-    pub fn col_to_row(&self) -> Vec<usize> {
-        let mut inv = vec![usize::MAX; self.row_to_col.len()];
+    /// Inverse mapping: `col_to_row[c]` is the row matched to column `c`,
+    /// or `None` for a column no row was assigned to (possible when the
+    /// assignment is partial or rectangular — square perfect matchings
+    /// fill every slot).
+    pub fn col_to_row(&self) -> Vec<Option<usize>> {
+        let mut inv = vec![None; self.row_to_col.len()];
         for (r, &c) in self.row_to_col.iter().enumerate() {
-            inv[c] = r;
+            if c == usize::MAX {
+                continue; // unmatched row
+            }
+            debug_assert!(
+                c < inv.len(),
+                "column {c} out of range for {}-row assignment",
+                inv.len()
+            );
+            debug_assert!(inv[c].is_none(), "column {c} matched twice");
+            inv[c] = Some(r);
         }
         inv
     }
@@ -255,7 +269,7 @@ mod tests {
         }
         let inv = a.col_to_row();
         for (c, &r) in inv.iter().enumerate() {
-            assert_eq!(a.row_to_col[r], c);
+            assert_eq!(a.row_to_col[r.expect("square matching fills every column")], c);
         }
     }
 

@@ -1,7 +1,10 @@
 //! Property tests for the matching crate: the Hungarian algorithm against
-//! brute force, and structural invariants that hold for any cost matrix.
+//! brute force, the duplicate-collapsed solver against Hungarian, and
+//! structural invariants that hold for any cost matrix.
 
-use ned_matching::{brute_force_matching, greedy_matching, hungarian, CostMatrix};
+use ned_matching::{
+    brute_force_matching, collapsed_hungarian, greedy_matching, hungarian, CostMatrix,
+};
 use proptest::prelude::*;
 
 fn matrix_strategy(max_n: usize, max_cost: i64) -> impl Strategy<Value = CostMatrix> {
@@ -15,6 +18,35 @@ fn matrix_strategy(max_n: usize, max_cost: i64) -> impl Strategy<Value = CostMat
             }
             m
         })
+    })
+}
+
+/// A matrix plus a list of row/column duplications to apply: the natural
+/// habitat of the collapsed solver.
+fn duplicated_matrix_strategy(
+    max_n: usize,
+    max_cost: i64,
+) -> impl Strategy<Value = CostMatrix> {
+    (matrix_strategy(max_n, max_cost), any::<u64>()).prop_map(|(mut m, seed)| {
+        use rand::{Rng, SeedableRng};
+        let n = m.size();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        // Duplicate ~half the rows/columns on top of random content.
+        for _ in 0..n {
+            let (src, dst) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if rng.gen_bool(0.5) {
+                for c in 0..n {
+                    let v = m.get(src, c);
+                    m.set(dst, c, v);
+                }
+            } else {
+                for r in 0..n {
+                    let v = m.get(r, src);
+                    m.set(r, dst, v);
+                }
+            }
+        }
+        m
     })
 }
 
@@ -45,6 +77,43 @@ proptest! {
     #[test]
     fn greedy_never_beats_hungarian(m in matrix_strategy(10, 50)) {
         prop_assert!(greedy_matching(&m).cost >= hungarian(&m).cost);
+    }
+
+    #[test]
+    fn collapsed_matches_hungarian_cost(m in duplicated_matrix_strategy(12, 60)) {
+        prop_assert_eq!(collapsed_hungarian(&m).cost, hungarian(&m).cost);
+    }
+
+    #[test]
+    fn collapsed_matches_hungarian_without_duplicates(m in matrix_strategy(10, 200)) {
+        // No injected duplication: every class is a singleton and the
+        // transportation solve degenerates to plain assignment.
+        prop_assert_eq!(collapsed_hungarian(&m).cost, hungarian(&m).cost);
+    }
+
+    #[test]
+    fn collapsed_output_is_a_permutation(m in duplicated_matrix_strategy(14, 30)) {
+        let a = collapsed_hungarian(&m);
+        let mut seen = vec![false; m.size()];
+        for &c in &a.row_to_col {
+            prop_assert!(c < m.size());
+            prop_assert!(!seen[c], "column used twice");
+            seen[c] = true;
+        }
+        let sum: i64 = a.row_to_col.iter().enumerate().map(|(r, &c)| m.get(r, c)).sum();
+        prop_assert_eq!(sum, a.cost);
+    }
+
+    #[test]
+    fn collapsed_handles_negative_costs(m in duplicated_matrix_strategy(8, 50)) {
+        let n = m.size();
+        let mut neg = CostMatrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                neg.set(r, c, m.get(r, c) - 25);
+            }
+        }
+        prop_assert_eq!(collapsed_hungarian(&neg).cost, hungarian(&neg).cost);
     }
 
     #[test]

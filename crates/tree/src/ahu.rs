@@ -41,6 +41,11 @@ pub fn canonical_code(tree: &Tree) -> Vec<u8> {
 /// Nodes on the *same level* receive equal labels iff their subtrees are
 /// isomorphic (the paper's Definition 5 / Lemma 1 applied to a single
 /// tree). Labels on different levels are unrelated. `O(n log n)`.
+///
+/// Prefer [`crate::SignatureInterner::subtree_ids`] when labels need to be
+/// comparable across trees or reused across calls — it answers the same
+/// equality question with one hash lookup per node instead of a
+/// comparison sort per level, and its ids are process-wide.
 pub fn canonical_level_labels(tree: &Tree) -> Vec<u32> {
     let n = tree.len();
     let mut labels = vec![0u32; n];

@@ -11,6 +11,9 @@
 //!   re-canonicalizes the storage into BFS order.
 //! * [`ahu`] — AHU canonical forms and unordered rooted-tree isomorphism
 //!   (polynomial, used for the metric identity property).
+//! * [`SignatureInterner`] — process-wide interning of canonical
+//!   children-multisets into dense `u32` ids, the label currency of the
+//!   TED\* hot path (`ned-core`) and its duplicate-collapsed matching.
 //! * [`generate`] — seeded random and structured tree generators used by the
 //!   test-suite, the property tests, and the benchmarks.
 //! * [`exact`] — exponential-time *exact* unordered tree edit distance
@@ -26,9 +29,11 @@ mod builder;
 mod error;
 pub mod exact;
 pub mod generate;
+mod intern;
 pub mod serialize;
 mod tree;
 
 pub use builder::TreeBuilder;
 pub use error::TreeError;
+pub use intern::SignatureInterner;
 pub use tree::{NodeId, Tree};
