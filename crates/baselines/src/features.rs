@@ -98,9 +98,8 @@ impl RefexFeatures {
             return raw;
         }
         for col in 0..raw.dim {
-            let mut order: Vec<(f64, usize)> = (0..n)
-                .map(|v| (raw.data[v * raw.dim + col], v))
-                .collect();
+            let mut order: Vec<(f64, usize)> =
+                (0..n).map(|v| (raw.data[v * raw.dim + col], v)).collect();
             order.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
             let mut bin = 0.0f64;
             let mut idx = 0usize;
@@ -261,8 +260,7 @@ pub fn netsimile_features(g: &Graph, v: NodeId) -> Vec<f64> {
 /// (Hausdorff over NED), included as the baseline for that extension.
 pub fn netsimile_graph_signature(g: &Graph) -> Vec<f64> {
     let n = g.num_nodes();
-    let mut columns: Vec<Vec<f64>> =
-        (0..7).map(|_| Vec::with_capacity(n)).collect();
+    let mut columns: Vec<Vec<f64>> = (0..7).map(|_| Vec::with_capacity(n)).collect();
     for v in g.nodes() {
         for (col, &x) in columns.iter_mut().zip(netsimile_features(g, v).iter()) {
             col.push(x);
@@ -427,7 +425,10 @@ mod tests {
         let rs = canberra_distance(&s1, &s3);
         assert!(rr < rs, "same-family graphs should be closer: {rr} vs {rs}");
         // identity on identical graphs
-        assert_eq!(canberra_distance(&s1, &netsimile_graph_signature(&road1)), 0.0);
+        assert_eq!(
+            canberra_distance(&s1, &netsimile_graph_signature(&road1)),
+            0.0
+        );
     }
 
     #[test]
@@ -491,14 +492,10 @@ mod tests {
         // when deeper topology differs. A 6-cycle node vs an infinite-path
         // imitation (path of 7, middle node): same degree, same ego edges,
         // same boundary.
-        let cyc = Graph::undirected_from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
-        );
-        let path = Graph::undirected_from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)],
-        );
+        let cyc =
+            Graph::undirected_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let path =
+            Graph::undirected_from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
         let f_cyc = refex_node_features(&cyc, 0, 0);
         let f_path = refex_node_features(&path, 3, 0);
         assert_eq!(l1_distance(&f_cyc, &f_path), 0.0);

@@ -100,10 +100,7 @@ mod tests {
         // Two disjoint, isomorphic stars inside one graph: the centers are
         // structurally identical, yet every set coefficient says 0 —
         // the paper's argument for topology-based inter-graph measures.
-        let g = Graph::undirected_from_edges(
-            8,
-            &[(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7)],
-        );
+        let g = Graph::undirected_from_edges(8, &[(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7)]);
         assert_eq!(jaccard(&g, 0, 4), 0.0);
         assert_eq!(dice(&g, 0, 4), 0.0);
         assert_eq!(ochiai(&g, 0, 4), 0.0);

@@ -125,7 +125,10 @@ mod tests {
         let g = bipartite_example();
         let cfg = SimRankConfig::default();
         let s01 = simrank(&g, 0, 1, &cfg);
-        assert!(s01 > 0.3, "nodes sharing all neighbors must score high: {s01}");
+        assert!(
+            s01 > 0.3,
+            "nodes sharing all neighbors must score high: {s01}"
+        );
         // and scores live in [0, 1]
         let m = simrank_matrix(&g, &cfg);
         for &x in &m {

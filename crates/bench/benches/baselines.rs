@@ -17,7 +17,13 @@ fn bench_per_pair(c: &mut Criterion) {
         let mut i = 0u32;
         bencher.iter(|| {
             i = i.wrapping_add(137);
-            ned(&g, i % g.num_nodes() as u32, &g, (i / 2) % g.num_nodes() as u32, k)
+            ned(
+                &g,
+                i % g.num_nodes() as u32,
+                &g,
+                (i / 2) % g.num_nodes() as u32,
+                k,
+            )
         });
     });
     group.bench_function("feature", |bencher| {

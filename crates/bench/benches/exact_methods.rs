@@ -2,8 +2,8 @@
 //! baselines (the micro version of Figure 5a): watch the wall.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ned_core::ted_star;
 use ned_core::reference::exhaustive_ted_star;
+use ned_core::ted_star;
 use ned_graph::exact_ged::{exact_ged_rooted, SmallGraph};
 use ned_tree::exact::exact_ted_bounded;
 use ned_tree::generate::random_bounded_depth_tree;

@@ -27,10 +27,13 @@ fn bench_ned_pair_engines(c: &mut Criterion) {
     for (name, config) in [
         ("collapsed", TedStarConfig::standard()),
         // original path, no transportation/cross-check overhead
-        ("dense-legacy", TedStarConfig {
-            matcher: ned_core::Matcher::LegacyHungarian,
-            ..TedStarConfig::standard()
-        }),
+        (
+            "dense-legacy",
+            TedStarConfig {
+                matcher: ned_core::Matcher::LegacyHungarian,
+                ..TedStarConfig::standard()
+            },
+        ),
         // dense Hungarian cost + collapsed cross-check (validation mode)
         ("dense-checked", TedStarConfig::dense()),
     ] {

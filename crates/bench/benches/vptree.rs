@@ -59,8 +59,7 @@ fn bench_index_alternatives(c: &mut Criterion) {
     group.sample_size(10);
     let (tree, queries) = setup(800);
     let metric = FnMetric(|a: &NodeSignature, b: &NodeSignature| a.distance(b) as f64);
-    let int_metric =
-        ned_index::IntFnMetric(|a: &NodeSignature, b: &NodeSignature| a.distance(b));
+    let int_metric = ned_index::IntFnMetric(|a: &NodeSignature, b: &NodeSignature| a.distance(b));
     let bounded = ned_index::FnBoundedMetric(
         |a: &NodeSignature, b: &NodeSignature| a.distance(b) as f64,
         |a: &NodeSignature, b: &NodeSignature| a.distance_lower_bound(b) as f64,
@@ -98,9 +97,7 @@ fn bench_build(c: &mut Criterion) {
     let sigs = signatures(&g, &nodes, 3);
     let metric = FnMetric(|a: &NodeSignature, b: &NodeSignature| a.distance(b) as f64);
     group.bench_function("pgp_500_sigs", |bencher| {
-        bencher.iter(|| {
-            VpTree::build(sigs.clone(), &metric, &mut SmallRng::seed_from_u64(1))
-        });
+        bencher.iter(|| VpTree::build(sigs.clone(), &metric, &mut SmallRng::seed_from_u64(1)));
     });
     group.finish();
 }

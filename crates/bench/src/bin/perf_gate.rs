@@ -1,0 +1,244 @@
+//! CI performance gate: compares a freshly measured benchmark snapshot
+//! against the committed `BENCH_*.json` trajectory and fails on
+//! regressions.
+//!
+//! ```text
+//! cargo run --release -p ned-bench --bin perf_gate [fresh.json] [baseline.json ...]
+//! ```
+//!
+//! With no explicit baselines, every `BENCH_<n>.json` in the current
+//! directory (the committed trajectory, ordered by `<n>`) is used. For
+//! each benchmark name present in the fresh snapshot, the most recent
+//! baseline that also measured it provides the reference `ns_per_op`; a
+//! fresh value more than [`MAX_REGRESSION`] above the reference fails the
+//! gate. Names only one side knows are reported but never fail — new
+//! benchmarks enter the trajectory the first time their snapshot is
+//! committed.
+//!
+//! The full comparison is written to `perf_gate_diff.json` (uploaded as a
+//! CI artifact) so a red gate is diagnosable without re-running anything.
+//!
+//! **Baselines must come from the machine class that measures.** Absolute
+//! ns/op only compares meaningfully against snapshots taken on comparable
+//! hardware; refresh the committed trajectory from the CI `bench-snapshot`
+//! artifact (`BENCH_ci.json`) rather than from a developer laptop, or the
+//! hardware gap will read as a regression. Hardware-independent floors
+//! (the ≥5× speedup comparisons) are enforced separately by
+//! `perf_snapshot` itself and never depend on the trajectory.
+
+use std::process::ExitCode;
+
+/// A fresh value above `baseline * (1 + MAX_REGRESSION)` fails the gate.
+const MAX_REGRESSION: f64 = 0.30;
+
+/// Where the comparison report is written.
+const DIFF_PATH: &str = "perf_gate_diff.json";
+
+#[derive(Debug, Clone, PartialEq)]
+struct Bench {
+    name: String,
+    ns_per_op: f64,
+}
+
+/// Extracts `{"name": ..., "ns_per_op": ...}` pairs from a
+/// `ned-bench/1` snapshot. A deliberately small scanner — the format is
+/// produced by `perf_snapshot` in this same crate, not by arbitrary
+/// tools.
+fn parse_snapshot(text: &str) -> Result<Vec<Bench>, String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"name\"") {
+        rest = &rest[pos + "\"name\"".len()..];
+        let open = rest
+            .find('"')
+            .ok_or_else(|| "unterminated name field".to_string())?;
+        rest = &rest[open + 1..];
+        let close = rest
+            .find('"')
+            .ok_or_else(|| "unterminated name string".to_string())?;
+        let name = rest[..close].to_string();
+        rest = &rest[close + 1..];
+        let key = "\"ns_per_op\":";
+        let kpos = rest
+            .find(key)
+            .ok_or_else(|| format!("benchmark {name:?} has no ns_per_op"))?;
+        let tail = rest[kpos + key.len()..].trim_start();
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(tail.len());
+        let ns_per_op: f64 = tail[..end]
+            .trim()
+            .parse()
+            .map_err(|_| format!("benchmark {name:?}: bad ns_per_op {:?}", &tail[..end]))?;
+        out.push(Bench { name, ns_per_op });
+        rest = &tail[end..];
+    }
+    if out.is_empty() {
+        return Err("no benchmarks found".to_string());
+    }
+    Ok(out)
+}
+
+fn read_snapshot(path: &str) -> Result<Vec<Bench>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_snapshot(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The committed trajectory: `BENCH_<n>.json` files beside the working
+/// directory, ordered by `<n>` ascending (oldest first).
+fn discover_trajectory(exclude: &str) -> Vec<String> {
+    let mut found: Vec<(u64, String)> = Vec::new();
+    let Ok(dir) = std::fs::read_dir(".") else {
+        return Vec::new();
+    };
+    for entry in dir.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == exclude {
+            continue;
+        }
+        if let Some(num) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            found.push((num, name));
+        }
+    }
+    found.sort_unstable();
+    found.into_iter().map(|(_, name)| name).collect()
+}
+
+struct Row {
+    name: String,
+    fresh: f64,
+    baseline: Option<(f64, String)>,
+    ratio: Option<f64>,
+    status: &'static str,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fresh_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_ci.json".to_string());
+    let baselines: Vec<String> = if args.len() > 1 {
+        args[1..].to_vec()
+    } else {
+        let fresh_file = std::path::Path::new(&fresh_path)
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        discover_trajectory(&fresh_file)
+    };
+    if baselines.is_empty() {
+        eprintln!("perf_gate: no committed BENCH_*.json trajectory found");
+        return ExitCode::FAILURE;
+    }
+
+    let fresh = match read_snapshot(&fresh_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Most recent baseline first when resolving a name.
+    let mut history: Vec<(String, Vec<Bench>)> = Vec::new();
+    for path in &baselines {
+        match read_snapshot(path) {
+            Ok(b) => history.push((path.clone(), b)),
+            Err(e) => {
+                eprintln!("perf_gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut regressions = 0usize;
+    for bench in &fresh {
+        let reference = history.iter().rev().find_map(|(path, benches)| {
+            benches
+                .iter()
+                .find(|b| b.name == bench.name)
+                .map(|b| (b.ns_per_op, path.clone()))
+        });
+        let (ratio, status) = match &reference {
+            None => (None, "new"),
+            Some((base, _)) => {
+                let ratio = bench.ns_per_op / base;
+                if ratio > 1.0 + MAX_REGRESSION {
+                    regressions += 1;
+                    (Some(ratio), "regression")
+                } else {
+                    (Some(ratio), "ok")
+                }
+            }
+        };
+        rows.push(Row {
+            name: bench.name.clone(),
+            fresh: bench.ns_per_op,
+            baseline: reference,
+            ratio,
+            status,
+        });
+    }
+
+    let mut report = String::from("{\n  \"schema\": \"ned-perf-gate/1\",\n");
+    report.push_str(&format!(
+        "  \"fresh\": {fresh_path:?},\n  \"max_regression\": {MAX_REGRESSION},\n  \"rows\": [\n"
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        let (base_val, base_file) = match &row.baseline {
+            Some((v, f)) => (format!("{v:.1}"), format!("{f:?}")),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        let ratio = row
+            .ratio
+            .map(|r| format!("{r:.3}"))
+            .unwrap_or_else(|| "null".to_string());
+        report.push_str(&format!(
+            "    {{\"name\": {:?}, \"fresh_ns\": {:.1}, \"baseline_ns\": {}, \"baseline_file\": {}, \"ratio\": {}, \"status\": {:?}}}{}\n",
+            row.name,
+            row.fresh,
+            base_val,
+            base_file,
+            ratio,
+            row.status,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    report.push_str(&format!("  ],\n  \"regressions\": {regressions}\n}}\n"));
+    if let Err(e) = std::fs::write(DIFF_PATH, &report) {
+        eprintln!("perf_gate: cannot write {DIFF_PATH}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "perf_gate: {fresh_path} vs {} baseline snapshot(s)",
+        history.len()
+    );
+    for row in &rows {
+        match (&row.baseline, row.ratio) {
+            (Some((base, file)), Some(ratio)) => println!(
+                "  [{:^10}] {:<40} {:>12.1} ns vs {:>12.1} ns ({file}) ratio {ratio:.3}",
+                row.status, row.name, row.fresh, base
+            ),
+            _ => println!(
+                "  [{:^10}] {:<40} {:>12.1} ns (no baseline yet)",
+                row.status, row.name, row.fresh
+            ),
+        }
+    }
+    println!("wrote {DIFF_PATH}");
+    if regressions > 0 {
+        eprintln!(
+            "perf_gate: {regressions} benchmark(s) regressed more than {:.0}%",
+            MAX_REGRESSION * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf_gate: ok");
+    ExitCode::SUCCESS
+}

@@ -10,7 +10,7 @@
 use ned_core::{ned_with_extractors, ted_star_with, TedStarConfig};
 use ned_graph::bfs::TreeExtractor;
 use ned_graph::generators;
-use ned_index::{FnMetric, VpTree};
+use ned_index::{FnMetric, ShardedVpForest, SignatureMetric, VpTree};
 use ned_matching::{collapsed_hungarian, hungarian, CostMatrix};
 use ned_tree::Tree;
 use rand::rngs::SmallRng;
@@ -200,9 +200,8 @@ fn main() {
     let g = generators::road_network(40, 40, 0.4, 0.02, &mut rng);
     let nodes: Vec<u32> = (0..400u32).map(|i| i * 4 % 1600).collect();
     let sigs = ned_core::signatures(&g, &nodes, 4);
-    let metric = FnMetric(|a: &ned_core::NodeSignature, b: &ned_core::NodeSignature| {
-        a.distance(b) as f64
-    });
+    let metric =
+        FnMetric(|a: &ned_core::NodeSignature, b: &ned_core::NodeSignature| a.distance(b) as f64);
     let tree = VpTree::build(sigs.clone(), &metric, &mut rng);
     let queries: Vec<&ned_core::NodeSignature> = sigs.iter().take(16).collect();
     let knn_ns = measure(7, 2, || {
@@ -215,6 +214,51 @@ fn main() {
         ns_per_op: knn_ns,
     });
 
+    // --- sharded_knn: dynamic forest vs full scan on BA-4000 ------------
+    // The serving-layer workload: 4000 interned BA signatures in a
+    // sharded VP forest (incremental inserts, so the logarithmic merge
+    // machinery is what gets measured), queried from a *different* BA
+    // graph. The linear baseline pays one exact TED* per live signature;
+    // the forest prunes with the interned-class lower bound and the
+    // duplicate buckets before any exact call.
+    let gdb = generators::barabasi_albert(4000, 3, &mut rng);
+    let gq = generators::barabasi_albert(4000, 3, &mut rng);
+    let db_nodes: Vec<u32> = gdb.nodes().collect();
+    let db_sigs = ned_core::signatures(&gdb, &db_nodes, 3);
+    let mut forest = ShardedVpForest::new(1024, 0xF0);
+    for (i, sig) in db_sigs.into_iter().enumerate() {
+        forest.insert(&SignatureMetric, i as u64, sig);
+    }
+    let probe_nodes: Vec<u32> = (0..6u32).map(|i| i * 577 % 4000).collect();
+    let probes = ned_core::signatures(&gq, &probe_nodes, 3);
+    // sanity: the forest is exact before it is fast
+    for q in &probes {
+        assert_eq!(
+            forest.knn(&SignatureMetric, q, 5, 0),
+            forest.scan_knn(&SignatureMetric, q, 5),
+            "forest kNN diverged from the linear scan"
+        );
+    }
+    let forest_ns = measure(7, 2, || {
+        for q in &probes {
+            std::hint::black_box(forest.knn(&SignatureMetric, q, 5, 0));
+        }
+    }) / probes.len() as f64;
+    entries.push(Entry {
+        name: "sharded_knn/ba4000-k3-forest",
+        ns_per_op: forest_ns,
+    });
+    let linear_ns = measure(3, 1, || {
+        for q in &probes {
+            std::hint::black_box(forest.scan_knn(&SignatureMetric, q, 5));
+        }
+    }) / probes.len() as f64;
+    entries.push(Entry {
+        name: "sharded_knn/ba4000-k3-linear",
+        ns_per_op: linear_ns,
+    });
+    let sharded_speedup = linear_ns / forest_ns;
+
     // --- report ---------------------------------------------------------
     let mut json = String::from("{\n  \"schema\": \"ned-bench/1\",\n  \"benchmarks\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -226,7 +270,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2}\n  }}\n}}\n"
+        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2}\n  }}\n}}\n"
     ));
     std::fs::write(&out_path, &json).expect("write benchmark snapshot");
     println!("{json}");
@@ -234,5 +278,9 @@ fn main() {
     assert!(
         ned_pair_speedup >= 5.0,
         "collapsed ned_pair speedup {ned_pair_speedup:.2}x below the 5x target"
+    );
+    assert!(
+        sharded_speedup >= 5.0,
+        "sharded kNN speedup {sharded_speedup:.2}x below the 5x target"
     );
 }

@@ -256,7 +256,10 @@ pub fn bounds_ablation(cfg: &ExpConfig) -> String {
         format!("{:.3}", mean(&ged_ratio)),
         ged_violations.to_string(),
     ]);
-    format!("Ablation: theoretical bounds on road trees:\n{}", t.render())
+    format!(
+        "Ablation: theoretical bounds on road trees:\n{}",
+        t.render()
+    )
 }
 
 fn tree_as_small_graph(t: &Tree) -> SmallGraph {

@@ -160,15 +160,7 @@ pub fn fig11(cfg: &ExpConfig) -> String {
     let mut t11a = Table::new(&["ratio", "NED precision", "Feature precision"]);
     for ratio in [0.01, 0.02, 0.05, 0.10, 0.20] {
         let anon = anonymize(&g, Method::Perturb(ratio), &mut rng);
-        let p = deanon_precision(
-            &g,
-            &anon.graph,
-            &anon.mapping,
-            &queries,
-            K,
-            5,
-            cfg.threads,
-        );
+        let p = deanon_precision(&g, &anon.graph, &anon.mapping, &queries, K, 5, cfg.threads);
         t11a.row(vec![
             format!("{ratio:.2}"),
             format!("{:.3}", p.ned),
@@ -181,15 +173,7 @@ pub fn fig11(cfg: &ExpConfig) -> String {
     let anon = anonymize(&g, Method::Perturb(0.01), &mut rng);
     let mut t11b = Table::new(&["top-l", "NED precision", "Feature precision"]);
     for l in [1usize, 2, 5, 10, 20] {
-        let p = deanon_precision(
-            &g,
-            &anon.graph,
-            &anon.mapping,
-            &queries,
-            K,
-            l,
-            cfg.threads,
-        );
+        let p = deanon_precision(&g, &anon.graph, &anon.mapping, &queries, K, l, cfg.threads);
         t11b.row(vec![
             l.to_string(),
             format!("{:.3}", p.ned),

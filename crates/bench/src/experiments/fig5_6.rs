@@ -88,9 +88,7 @@ pub fn run(cfg: &ExpConfig) -> String {
             let s1 = SmallGraph::from_neighborhood(&g1, u, k - 1, GED_CAP);
             let s2 = SmallGraph::from_neighborhood(&g2, v, k - 1, GED_CAP);
             if let (Some(s1), Some(s2)) = (s1, s2) {
-                let (dg, dt_ged) = time(|| {
-                    exact_ged_rooted(&s1, &s2).expect("within cap")
-                });
+                let (dg, dt_ged) = time(|| exact_ged_rooted(&s1, &s2).expect("within cap"));
                 row.ged_time += dt_ged;
                 row.ged_vals.push(dg as f64);
             }

@@ -85,10 +85,24 @@ pub fn fig9a(cfg: &ExpConfig) -> String {
         for (&u, &v) in us.iter().zip(&vs).take(hits_pairs) {
             // The similarity matrix is |N1| x |N2|; guard against hub
             // neighborhoods at large scales blowing past memory/time.
-            let n1 = ned_graph::bfs::bfs_levels(&g, u, hits_cfg.hops + 1, ned_graph::Direction::Outgoing)
-                .into_iter().map(|l| l.len()).sum::<usize>();
-            let n2 = ned_graph::bfs::bfs_levels(&g, v, hits_cfg.hops + 1, ned_graph::Direction::Outgoing)
-                .into_iter().map(|l| l.len()).sum::<usize>();
+            let n1 = ned_graph::bfs::bfs_levels(
+                &g,
+                u,
+                hits_cfg.hops + 1,
+                ned_graph::Direction::Outgoing,
+            )
+            .into_iter()
+            .map(|l| l.len())
+            .sum::<usize>();
+            let n2 = ned_graph::bfs::bfs_levels(
+                &g,
+                v,
+                hits_cfg.hops + 1,
+                ned_graph::Direction::Outgoing,
+            )
+            .into_iter()
+            .map(|l| l.len())
+            .sum::<usize>();
             if n1.saturating_mul(n2) > 2_000_000 {
                 continue; // skip pathological pairs, like any practical system would
             }
@@ -127,7 +141,11 @@ pub fn fig9b(cfg: &ExpConfig) -> String {
     ]);
     for dataset in [Dataset::Pgp, Dataset::Gnutella] {
         // floor PGP's scale: its stand-in clamps to 256 nodes below ~5%
-        let scale = if dataset == Dataset::Pgp { cfg.scale.max(0.05) } else { cfg.scale };
+        let scale = if dataset == Dataset::Pgp {
+            cfg.scale.max(0.05)
+        } else {
+            cfg.scale
+        };
         let g = dataset.generate(scale, cfg.seed);
         let k = dataset.recommended_k();
         let mut rng = cfg.rng(0x9b ^ dataset.paper_nodes() as u64);

@@ -27,10 +27,7 @@ pub fn run_all(cfg: &ExpConfig) -> String {
         ("Figure 7", Box::new(|c: &ExpConfig| fig7::run(c))),
         ("Figure 8", Box::new(|c: &ExpConfig| fig8::run(c))),
         ("Figure 9", Box::new(|c: &ExpConfig| fig9::run(c))),
-        (
-            "Figures 10 & 11",
-            Box::new(|c: &ExpConfig| deanon::run(c)),
-        ),
+        ("Figures 10 & 11", Box::new(|c: &ExpConfig| deanon::run(c))),
         ("Ablations", Box::new(|c: &ExpConfig| ablation::run(c))),
         (
             "Extensions (directed NED, Appendix A)",

@@ -78,51 +78,11 @@ pub fn sample_nodes(n: usize, count: usize, rng: &mut SmallRng) -> Vec<u32> {
     out
 }
 
-/// Parallel map over an index range using scoped threads. Results are in
-/// input order. `threads = 0` means "available parallelism".
-pub fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, threads: usize, f: F) -> Vec<T> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(n.max(1));
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    // Work-stealing over single indices via an atomic counter; each worker
-    // collects (index, value) pairs which are scattered back afterwards.
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let f = &f;
-    let results: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
-    for batch in results {
-        for (i, v) in batch {
-            slots[i] = Some(v);
-        }
-    }
-    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
-}
+/// Parallel map over an index range. Results are in input order;
+/// `threads = 0` means "available parallelism". This is the shared
+/// scoped-thread pool from `ned-core` — re-exported so every experiment
+/// keeps one fan-out implementation.
+pub use ned_core::batch::par_map;
 
 /// Minimal aligned-column table printer for experiment output.
 #[derive(Debug, Clone)]

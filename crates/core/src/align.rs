@@ -218,7 +218,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let g = generators::barabasi_albert(120, 2, &mut rng);
         let a = align(&g, &g, &AlignConfig::default());
-        assert!(a.coverage(g.num_nodes()) > 0.95, "coverage {}", a.coverage(g.num_nodes()));
+        assert!(
+            a.coverage(g.num_nodes()) > 0.95,
+            "coverage {}",
+            a.coverage(g.num_nodes())
+        );
         assert!(
             a.edge_correctness > 0.9,
             "identical graphs should align: EC {}",
@@ -293,7 +297,15 @@ mod tests {
     #[test]
     fn mapping_and_coverage_helpers() {
         let g = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        let a = align(&g, &g, &AlignConfig { k: 3, seeds: 4, max_seed_distance: 0 });
+        let a = align(
+            &g,
+            &g,
+            &AlignConfig {
+                k: 3,
+                seeds: 4,
+                max_seed_distance: 0,
+            },
+        );
         let mapping = a.mapping(4);
         for &(u, v) in &a.pairs {
             assert_eq!(mapping[u as usize], Some(v));

@@ -77,7 +77,10 @@ impl EditSummary {
                 ));
             }
             if op.moves > 0 {
-                out.push_str(&format!(" move {} node(s) at level {};", op.moves, op.level));
+                out.push_str(&format!(
+                    " move {} node(s) at level {};",
+                    op.moves, op.level
+                ));
             }
         }
         out
@@ -243,7 +246,11 @@ impl Arena {
                 continue;
             }
             let p = self.parent[id];
-            parents[remap[id] as usize] = if p == u32::MAX { remap[id] } else { remap[p as usize] };
+            parents[remap[id] as usize] = if p == u32::MAX {
+                remap[id]
+            } else {
+                remap[p as usize]
+            };
         }
         Tree::from_parents(&parents).expect("script preserves tree validity")
     }
@@ -322,10 +329,8 @@ pub fn script(t1: &Tree, t2: &Tree) -> EditScript {
             for col in 0..n {
                 let cost = match (candidates.get(row), side2.get(col)) {
                     (Some(&x), Some(&y)) => {
-                        let needs_move =
-                            i64::from(arena.parent[x as usize] != desired_parent[col]);
-                        let divergence =
-                            profile_l1(&profiles1[x as usize], &profiles2[y as usize]);
+                        let needs_move = i64::from(arena.parent[x as usize] != desired_parent[col]);
+                        let divergence = profile_l1(&profiles1[x as usize], &profiles2[y as usize]);
                         let bonus = i64::from(fp1[x as usize] == fp2[y as usize]);
                         SCALE * (needs_move + divergence) - bonus
                     }
@@ -411,7 +416,10 @@ pub fn apply(t1: &Tree, script: &EditScript) -> Tree {
                     (id as usize) < arena.parent.len() && arena.alive[id as usize],
                     "op {step}: deleting dead/unknown node {id}"
                 );
-                assert!(id != 0 || arena.parent.len() == 1, "op {step}: deleting the root");
+                assert!(
+                    id != 0 || arena.parent.len() == 1,
+                    "op {step}: deleting the root"
+                );
                 assert_eq!(
                     arena.children_alive(id),
                     0,
@@ -425,8 +433,7 @@ pub fn apply(t1: &Tree, script: &EditScript) -> Tree {
                     "op {step}: moving dead/unknown node {id}"
                 );
                 assert!(
-                    (new_parent as usize) < arena.parent.len()
-                        && arena.alive[new_parent as usize],
+                    (new_parent as usize) < arena.parent.len() && arena.alive[new_parent as usize],
                     "op {step}: moving onto dead/unknown parent {new_parent}"
                 );
                 assert_ne!(id, 0, "op {step}: the root cannot move");

@@ -10,7 +10,10 @@ use ned_graph::{Graph, NodeId};
 
 /// Directed Hausdorff term `h(A, B) = max_{a∈A} min_{b∈B} δ_T(a, b)`.
 pub fn directed_hausdorff(a: &[NodeSignature], b: &[NodeSignature]) -> u64 {
-    assert!(!a.is_empty() && !b.is_empty(), "collections must be non-empty");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "collections must be non-empty"
+    );
     a.iter()
         .map(|x| {
             b.iter()

@@ -5,9 +5,7 @@
 //! the extraction is deterministic, NED is a metric on nodes — across
 //! graphs — and admits metric indexing (crate `ned-index`).
 
-use crate::ted_star::{
-    ted_star, ted_star_prepared, PreparedTree, TedStarConfig, TedStarReport,
-};
+use crate::ted_star::{ted_star, ted_star_prepared, PreparedTree, TedStarConfig, TedStarReport};
 use ned_graph::bfs::{k_adjacent_tree, k_adjacent_tree_dir, TreeExtractor};
 use ned_graph::{Direction, Graph, NodeId};
 use ned_tree::Tree;
@@ -93,6 +91,12 @@ impl NodeSignature {
         &self.prepared
     }
 
+    /// Consumes the signature, returning the prepared tree (used by the
+    /// snapshot machinery in [`crate::store`]).
+    pub fn into_prepared(self) -> PreparedTree {
+        self.prepared
+    }
+
     /// `TED*` between two signatures = NED between the two nodes.
     pub fn distance(&self, other: &NodeSignature) -> u64 {
         ted_star_prepared(&self.prepared, &other.prepared)
@@ -169,9 +173,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn cycle(n: usize) -> Graph {
-        let edges: Vec<(u32, u32)> = (0..n as u32)
-            .map(|i| (i, ((i + 1) % n as u32)))
-            .collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, ((i + 1) % n as u32))).collect();
         Graph::undirected_from_edges(n, &edges)
     }
 
@@ -252,7 +254,10 @@ mod tests {
     fn directed_ned_symmetry() {
         let g1 = Graph::directed_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
         let g2 = Graph::directed_from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
-        assert_eq!(ned_directed(&g1, 0, &g2, 0, 3), ned_directed(&g2, 0, &g1, 0, 3));
+        assert_eq!(
+            ned_directed(&g1, 0, &g2, 0, 3),
+            ned_directed(&g2, 0, &g1, 0, 3)
+        );
     }
 
     #[test]

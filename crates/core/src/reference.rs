@@ -108,9 +108,7 @@ fn neighbors(tree: &Tree, max_nodes: usize) -> Vec<Tree> {
 }
 
 fn parent_array(tree: &Tree) -> Vec<u32> {
-    tree.nodes()
-        .map(|v| tree.parent(v).unwrap_or(0))
-        .collect()
+    tree.nodes().map(|v| tree.parent(v).unwrap_or(0)).collect()
 }
 
 #[cfg(test)]
@@ -139,7 +137,10 @@ mod tests {
     #[test]
     fn star_to_path() {
         // verified by hand: delete depth-2 leaf + insert depth-1 leaf
-        assert_eq!(exhaustive_ted_star(&star_tree(3), &path_tree(3), 5), Some(2));
+        assert_eq!(
+            exhaustive_ted_star(&star_tree(3), &path_tree(3), 5),
+            Some(2)
+        );
     }
 
     #[test]

@@ -1,16 +1,40 @@
 //! A per-graph signature store: lazily extracted, canonicalized, and
-//! **interned** k-adjacent trees.
+//! **interned** k-adjacent trees — plus the **persistent snapshot codec**
+//! that lets signature sets survive process restarts.
 //!
 //! Real graphs are full of structurally identical neighborhoods
 //! (`equivalence_classes` shows thousands of nodes sharing one shape at
 //! small `k`), so storing one [`PreparedTree`] per *distinct* shape —
 //! shared via `Arc` — cuts memory by the equivalence-class factor and
 //! makes repeated distance queries allocation-free on the signature side.
+//!
+//! # Snapshot format
+//!
+//! [`encode_snapshot`] / [`decode_snapshot`] implement a dependency-free,
+//! versioned, length-prefixed little-endian binary codec with a trailing
+//! FNV-1a checksum:
+//!
+//! ```text
+//! magic    8 bytes  b"NEDSNAP1"
+//! version  u32      1
+//! k        u32      extraction parameter the signatures were built at
+//! shapes   u32      count, then per shape a length-prefixed record:
+//!                   record_len u32, node_count u32, parents (node_count-1) × u32
+//! entries  u32      count, then per entry: id u64, node u32, shape_idx u32
+//! checksum u64      FNV-1a64 over every preceding byte
+//! ```
+//!
+//! Shapes are stored **once per distinct isomorphism class** (the on-disk
+//! analogue of the in-memory interning above); entries reference them by
+//! index. Interner ids are process-local and never serialized — decoding
+//! re-canonicalizes and re-interns, which is exactly what makes decoded
+//! signatures produce bit-identical distances on any machine.
 
 use crate::ned::NodeSignature;
 use crate::ted_star::{ted_star_prepared, PreparedTree};
 use ned_graph::bfs::TreeExtractor;
 use ned_graph::{Graph, NodeId};
+use ned_tree::Tree;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -112,6 +136,393 @@ impl<'g> SignatureStore<'g> {
     pub fn stats(&self) -> (u64, u64) {
         (self.extractions, self.hits)
     }
+
+    /// Serializes every signature extracted so far (see the
+    /// [module docs](self) for the format). Entry ids are the node ids;
+    /// distinct shapes are written once. Restore with
+    /// [`SignatureStore::warm_from_snapshot`].
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let entries = self
+            .cache
+            .iter()
+            .enumerate()
+            .filter_map(|(v, slot)| {
+                slot.as_ref()
+                    .map(|sig| (v as u64, v as NodeId, sig.as_ref()))
+            })
+            .collect::<Vec<_>>();
+        encode_snapshot(self.k, entries)
+    }
+
+    /// Rebuilds a store for `graph` from [`SignatureStore::snapshot_bytes`]
+    /// output: the cache is pre-warmed with every persisted signature
+    /// (re-canonicalized and re-interned, so distances are bit-identical
+    /// to the original store's), and un-persisted nodes still extract
+    /// lazily. Fails if the snapshot is damaged or references nodes the
+    /// graph does not have.
+    pub fn warm_from_snapshot(graph: &'g Graph, bytes: &[u8]) -> Result<Self, CodecError> {
+        let snap = decode_snapshot(bytes)?;
+        let mut store = SignatureStore::new(graph, snap.k);
+        for &(_, node, shape) in &snap.rows {
+            if node as usize >= graph.num_nodes() {
+                return Err(CodecError::Malformed(format!(
+                    "snapshot node {node} out of range for a graph of {} nodes",
+                    graph.num_nodes()
+                )));
+            }
+            // Shapes are already shared Arcs — intern and cache without a
+            // single tree clone.
+            let arc = &snap.shapes[shape as usize];
+            let shared = store
+                .interned
+                .entry(arc.root_class())
+                .or_insert_with(|| Arc::clone(arc));
+            store.cache[node as usize] = Some(Arc::clone(shared));
+        }
+        Ok(store)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codec
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening a signature snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"NEDSNAP1";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors surfaced while decoding persisted bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than a field (or the framing) requires.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The leading magic bytes did not match.
+    BadMagic,
+    /// A format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The trailing checksum did not match the content.
+    ChecksumMismatch {
+        /// Checksum recomputed over the content.
+        expected: u64,
+        /// Checksum stored in the file.
+        found: u64,
+    },
+    /// Structurally invalid content (bad tree, dangling shape index, …).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(f, "truncated input: needed {needed} bytes, had {available}")
+            }
+            CodecError::BadMagic => write!(f, "bad magic bytes (not a NED snapshot)"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checksum mismatch: content hashes to {expected:#018x}, file says {found:#018x}"
+            ),
+            CodecError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a64 over `bytes` — the codec's integrity hash (not
+/// cryptographic; it guards against truncation and bit rot, not
+/// adversaries).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian byte writer for the snapshot family of formats. Public
+/// so sibling crates (the forest persistence in `ned-index`) can frame
+/// their own sections with the same primitives and checksum discipline.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer starting with `magic`.
+    pub fn with_magic(magic: &[u8; 8]) -> Self {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(magic);
+        w
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes.
+    pub fn put_block(&mut self, bytes: &[u8]) {
+        self.put_u32(u32::try_from(bytes.len()).expect("block over 4 GiB"));
+        self.put_raw(bytes);
+    }
+
+    /// Bytes written so far (before the checksum).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends the FNV-1a checksum of everything written and returns the
+    /// finished byte vector.
+    pub fn finish(mut self) -> Vec<u8> {
+        let sum = fnv1a64(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Checked little-endian reader over a checksummed byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Validates framing (magic + trailing checksum) and returns a reader
+    /// positioned just past the magic. The checksum footer is excluded
+    /// from the readable range.
+    pub fn open(bytes: &'a [u8], magic: &[u8; 8]) -> Result<Self, CodecError> {
+        if bytes.len() < magic.len() + 8 {
+            return Err(CodecError::Truncated {
+                needed: magic.len() + 8,
+                available: bytes.len(),
+            });
+        }
+        let (content, footer) = bytes.split_at(bytes.len() - 8);
+        if &content[..magic.len()] != magic {
+            return Err(CodecError::BadMagic);
+        }
+        let found = u64::from_le_bytes(footer.try_into().expect("8-byte footer"));
+        let expected = fnv1a64(content);
+        if expected != found {
+            return Err(CodecError::ChecksumMismatch { expected, found });
+        }
+        Ok(Reader {
+            buf: content,
+            pos: magic.len(),
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::Truncated {
+                needed: n,
+                available: self.buf.len() - self.pos,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `u32`-length-prefixed block.
+    pub fn block(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Bytes left before the checksum footer.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// A decoded snapshot: distinct shapes (shared, one [`PreparedTree`] per
+/// isomorphism class — the in-memory mirror of the on-disk dedup) plus
+/// the `(id, node, shape index)` rows referencing them.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The `k` the signatures were extracted at.
+    pub k: usize,
+    /// Distinct prepared shapes, indexed by the rows.
+    pub shapes: Vec<Arc<PreparedTree>>,
+    /// `(id, node, shape index)` triples, in persisted order.
+    pub rows: Vec<(u64, NodeId, u32)>,
+}
+
+impl Snapshot {
+    /// Materializes owned `(id, signature)` pairs. Costs one prepared-tree
+    /// clone per row; consumers that can share (like
+    /// [`SignatureStore::warm_from_snapshot`]) should read
+    /// [`Snapshot::shapes`]/[`Snapshot::rows`] directly instead.
+    pub fn entries(&self) -> Vec<(u64, NodeSignature)> {
+        self.rows
+            .iter()
+            .map(|&(id, node, shape)| {
+                let prepared = (*self.shapes[shape as usize]).clone();
+                (id, NodeSignature::from_prepared(node, prepared))
+            })
+            .collect()
+    }
+}
+
+/// Serializes `(id, node, prepared-tree)` triples — typically
+/// signatures — into the NEDSNAP1 format. Shapes are deduplicated by
+/// isomorphism class, so a million structurally-equal signatures cost one
+/// tree record plus a million 16-byte entries.
+pub fn encode_snapshot<'a, I>(k: usize, entries: I) -> Vec<u8>
+where
+    I: IntoIterator<Item = (u64, NodeId, &'a PreparedTree)>,
+{
+    let mut shapes: Vec<&PreparedTree> = Vec::new();
+    let mut shape_of: HashMap<u32, u32> = HashMap::new();
+    let mut rows: Vec<(u64, NodeId, u32)> = Vec::new();
+    for (id, node, prepared) in entries {
+        let idx = *shape_of.entry(prepared.root_class()).or_insert_with(|| {
+            shapes.push(prepared);
+            (shapes.len() - 1) as u32
+        });
+        rows.push((id, node, idx));
+    }
+
+    let mut w = Writer::with_magic(&SNAPSHOT_MAGIC);
+    w.put_u32(SNAPSHOT_VERSION);
+    w.put_u32(u32::try_from(k).expect("k fits u32"));
+    w.put_u32(u32::try_from(shapes.len()).expect("shape count fits u32"));
+    let mut record = Vec::new();
+    for prepared in shapes {
+        let tree = prepared.tree();
+        record.clear();
+        record.extend_from_slice(&(tree.len() as u32).to_le_bytes());
+        for v in 1..tree.len() as u32 {
+            let p = tree.parent(v).expect("non-root has a parent");
+            record.extend_from_slice(&p.to_le_bytes());
+        }
+        w.put_block(&record);
+    }
+    w.put_u32(u32::try_from(rows.len()).expect("entry count fits u32"));
+    for (id, node, shape) in rows {
+        w.put_u64(id);
+        w.put_u32(node);
+        w.put_u32(shape);
+    }
+    w.finish()
+}
+
+/// Decodes [`encode_snapshot`] output. Every shape is rebuilt,
+/// re-canonicalized, and re-interned through the process-global
+/// interner, so decoded signatures are drop-in equal to the encoded
+/// ones: distances are bit-identical.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, CodecError> {
+    let mut r = Reader::open(bytes, &SNAPSHOT_MAGIC)?;
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let k = r.u32()? as usize;
+    let shape_count = r.u32()? as usize;
+    // Counts come from the file; checking them against the bytes actually
+    // present keeps a forged header from turning `with_capacity` into an
+    // allocation abort instead of a clean `Malformed` error. Every shape
+    // record costs ≥ 8 bytes (length prefix + node count), every entry
+    // exactly 16.
+    if shape_count as u64 * 8 > r.remaining() as u64 {
+        return Err(CodecError::Malformed(format!(
+            "{shape_count} shapes cannot fit in {} remaining bytes",
+            r.remaining()
+        )));
+    }
+    let mut shapes: Vec<Arc<PreparedTree>> = Vec::with_capacity(shape_count);
+    for s in 0..shape_count {
+        let record = r.block()?;
+        if record.len() < 4 {
+            return Err(CodecError::Malformed(format!(
+                "shape {s}: record too short"
+            )));
+        }
+        let n = u32::from_le_bytes(record[..4].try_into().expect("4 bytes")) as usize;
+        if n == 0 {
+            return Err(CodecError::Malformed(format!("shape {s}: empty tree")));
+        }
+        if record.len() != 4 + (n - 1) * 4 {
+            return Err(CodecError::Malformed(format!(
+                "shape {s}: {} bytes for a {n}-node tree",
+                record.len()
+            )));
+        }
+        let mut parents = Vec::with_capacity(n);
+        parents.push(0u32);
+        for chunk in record[4..].chunks_exact(4) {
+            parents.push(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+        }
+        let tree = Tree::from_parents(&parents)
+            .map_err(|e| CodecError::Malformed(format!("shape {s}: {e}")))?;
+        shapes.push(Arc::new(PreparedTree::new(&tree)));
+    }
+    let entry_count = r.u32()? as usize;
+    if entry_count as u64 * 16 > r.remaining() as u64 {
+        return Err(CodecError::Malformed(format!(
+            "{entry_count} entries cannot fit in {} remaining bytes",
+            r.remaining()
+        )));
+    }
+    let mut rows = Vec::with_capacity(entry_count);
+    for e in 0..entry_count {
+        let id = r.u64()?;
+        let node = r.u32()?;
+        let shape = r.u32()?;
+        if shape as usize >= shapes.len() {
+            return Err(CodecError::Malformed(format!(
+                "entry {e}: shape index {shape} out of range ({shape_count} shapes)"
+            )));
+        }
+        rows.push((id, node, shape));
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::Malformed(format!(
+            "{} trailing bytes after the last entry",
+            r.remaining()
+        )));
+    }
+    Ok(Snapshot { k, shapes, rows })
 }
 
 #[cfg(test)]

@@ -486,7 +486,10 @@ fn canonize_interned(
     interner: &SignatureInterner,
 ) -> (Vec<u32>, Vec<u32>) {
     let label = |s: &Vec<u32>| interner.intern(s);
-    (s1.iter().map(label).collect(), s2.iter().map(label).collect())
+    (
+        s1.iter().map(label).collect(),
+        s2.iter().map(label).collect(),
+    )
 }
 
 /// One side's multiplicity class: slots sharing a canonization label
@@ -615,8 +618,7 @@ fn match_levels(
     for (i, rc) in g1.iter().enumerate() {
         let sx = &s1[rc.slots[0] as usize];
         for (j, cc) in g2.iter().enumerate() {
-            class_costs[i * cols + j] =
-                symmetric_difference(sx, &s2[cc.slots[0] as usize]) as i64;
+            class_costs[i * cols + j] = symmetric_difference(sx, &s2[cc.slots[0] as usize]) as i64;
         }
     }
 
@@ -801,8 +803,9 @@ mod tests {
             let a = random_bounded_depth_tree(30, 4, &mut rng);
             // Build an isomorphic copy by reversing children insertion:
             // shuffle node ids via from_parents round trip with relabeled ids.
-            let mut parents: Vec<(u32, u32)> =
-                (1..a.len() as u32).map(|v| (v, a.parent(v).unwrap())).collect();
+            let mut parents: Vec<(u32, u32)> = (1..a.len() as u32)
+                .map(|v| (v, a.parent(v).unwrap()))
+                .collect();
             parents.reverse();
             // new ids: old id -> position in reversed order + 1
             let mut new_id = vec![0u32; a.len()];
@@ -829,7 +832,10 @@ mod tests {
             let b = random_bounded_depth_tree(8, 3, &mut rng);
             if ted_star(&a, &b) == 0 {
                 zero_seen += 1;
-                assert!(ahu::isomorphic(&a, &b), "distance 0 on non-isomorphic trees");
+                assert!(
+                    ahu::isomorphic(&a, &b),
+                    "distance 0 on non-isomorphic trees"
+                );
             }
         }
         // With 8-node depth<=3 trees some collisions should occur; if not,
@@ -974,10 +980,7 @@ mod tests {
             let b = random_bounded_depth_tree(10, 3, &mut rng);
             let pa = PreparedTree::new(&a);
             let pb = PreparedTree::new(&b);
-            assert_eq!(
-                pa.code() == pb.code(),
-                ned_tree::ahu::isomorphic(&a, &b)
-            );
+            assert_eq!(pa.code() == pb.code(), ned_tree::ahu::isomorphic(&a, &b));
         }
     }
 

@@ -24,11 +24,7 @@ pub struct LevelWeights {
 ///
 /// `weights` is called with the paper's 1-based level index (1 = root
 /// level).
-pub fn weighted_ted_star(
-    t1: &Tree,
-    t2: &Tree,
-    weights: impl Fn(usize) -> LevelWeights,
-) -> f64 {
+pub fn weighted_ted_star(t1: &Tree, t2: &Tree, weights: impl Fn(usize) -> LevelWeights) -> f64 {
     let report = ted_star_report(t1, t2, &TedStarConfig::standard());
     report
         .levels
@@ -154,7 +150,10 @@ mod tests {
         let star = Graph::undirected_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
         let path = Graph::undirected_from_edges(3, &[(0, 1), (1, 2)]);
         // unit weights equal plain NED
-        let w1 = weighted_ned(&star, 0, &path, 0, 3, |_| LevelWeights { pad: 1.0, mov: 1.0 });
+        let w1 = weighted_ned(&star, 0, &path, 0, 3, |_| LevelWeights {
+            pad: 1.0,
+            mov: 1.0,
+        });
         assert_eq!(w1, crate::ned(&star, 0, &path, 0, 3) as f64);
         // root-heavy weights discount deep edits
         let heavy = weighted_ned(&star, 0, &path, 0, 3, root_heavy_weights(0.5));

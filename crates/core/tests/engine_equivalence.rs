@@ -14,7 +14,7 @@ use ned_core::{
     PreparedTree, TedStarConfig,
 };
 use ned_tree::generate::{
-    caterpillar_tree, path_tree, perfect_tree, random_bounded_depth_tree, random_attachment_tree,
+    caterpillar_tree, path_tree, perfect_tree, random_attachment_tree, random_bounded_depth_tree,
     star_tree,
 };
 use ned_tree::Tree;
@@ -26,14 +26,20 @@ fn exact_configs() -> [(&'static str, TedStarConfig); 4] {
     let base = TedStarConfig::standard();
     [
         ("collapsed+interned", base),
-        ("collapsed+ranked", TedStarConfig {
-            interned_canonization: false,
-            ..base
-        }),
-        ("dense+interned", TedStarConfig {
-            collapse_duplicates: false,
-            ..base
-        }),
+        (
+            "collapsed+ranked",
+            TedStarConfig {
+                interned_canonization: false,
+                ..base
+            },
+        ),
+        (
+            "dense+interned",
+            TedStarConfig {
+                collapse_duplicates: false,
+                ..base
+            },
+        ),
         ("dense+ranked", TedStarConfig::dense()),
     ]
 }
@@ -65,7 +71,11 @@ fn engines_agree_on_random_attachment_pairs() {
         let b = random_attachment_tree(2 + (round * 3) % 40, &mut rng);
         let reference = ted_star_with(&a, &b, &configs[0].1);
         for (name, config) in &configs[1..] {
-            assert_eq!(ted_star_with(&a, &b, config), reference, "{name} round {round}");
+            assert_eq!(
+                ted_star_with(&a, &b, config),
+                reference,
+                "{name} round {round}"
+            );
         }
     }
 }
@@ -85,7 +95,11 @@ fn engines_agree_on_structured_extremes() {
         for b in &shapes {
             let reference = ted_star_with(a, b, &configs[0].1);
             for (name, config) in &configs[1..] {
-                assert_eq!(ted_star_with(a, b, config), reference, "{name}: {a:?} vs {b:?}");
+                assert_eq!(
+                    ted_star_with(a, b, config),
+                    reference,
+                    "{name}: {a:?} vs {b:?}"
+                );
             }
         }
     }
@@ -210,7 +224,10 @@ fn prepared_report_early_exit_matches_full_sweep() {
         let report = ted_star_prepared_report(&pa, &pb, &TedStarConfig::standard());
         assert_eq!(report.distance, 0);
         assert_eq!(report.levels.len(), a.num_levels());
-        assert!(report.levels.iter().all(|l| l.padding == 0 && l.matching == 0));
+        assert!(report
+            .levels
+            .iter()
+            .all(|l| l.padding == 0 && l.matching == 0));
     }
 }
 

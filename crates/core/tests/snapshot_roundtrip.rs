@@ -1,0 +1,251 @@
+//! Property tests for the persistent snapshot codec (`ned-core::store`):
+//! arbitrary signatures must round-trip to **bit-identical distances**,
+//! and damaged bytes must fail loudly with the right error — never decode
+//! to something quietly wrong.
+
+use ned_core::store::{
+    decode_snapshot, encode_snapshot, fnv1a64, CodecError, SignatureStore, Writer, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
+use ned_core::{NodeSignature, PreparedTree};
+use ned_graph::generators;
+use ned_tree::generate::random_bounded_depth_tree;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A batch of signatures with deliberately duplicate-heavy shapes (the
+/// codec deduplicates by isomorphism class; duplicates exercise that).
+fn signature_batch(seed: u64, count: usize, max_nodes: usize, depth: usize) -> Vec<NodeSignature> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut shapes: Vec<PreparedTree> = Vec::new();
+    (0..count)
+        .map(|i| {
+            let reuse = !shapes.is_empty() && rng.gen_bool(0.4);
+            let prepared = if reuse {
+                shapes[rng.gen_range(0..shapes.len())].clone()
+            } else {
+                let n = rng.gen_range(1..=max_nodes);
+                let t = random_bounded_depth_tree(n, depth, &mut rng);
+                let p = PreparedTree::new(&t);
+                shapes.push(p.clone());
+                p
+            };
+            NodeSignature::from_prepared(i as u32, prepared)
+        })
+        .collect()
+}
+
+fn encode(k: usize, sigs: &[NodeSignature]) -> Vec<u8> {
+    encode_snapshot(
+        k,
+        sigs.iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64 * 3 + 1, s.node, s.prepared())),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_is_distance_identical(
+        seed in any::<u64>(),
+        count in 1..30usize,
+        k in 1..6usize,
+    ) {
+        let sigs = signature_batch(seed, count, 24, k);
+        let bytes = encode(k, &sigs);
+        let snap = decode_snapshot(&bytes).expect("round trip");
+        prop_assert_eq!(snap.k, k);
+        let entries = snap.entries();
+        prop_assert_eq!(entries.len(), sigs.len());
+        // on-disk (and decoded) shapes are deduplicated by isomorphism class
+        prop_assert!(snap.shapes.len() <= sigs.len());
+        for (i, (id, back)) in entries.iter().enumerate() {
+            prop_assert_eq!(*id, i as u64 * 3 + 1);
+            prop_assert_eq!(back.node, sigs[i].node);
+            // decoded vs original: distance 0 (isomorphic shapes)
+            prop_assert_eq!(back.distance(&sigs[i]), 0);
+        }
+        // every pairwise distance is bit-identical, decoded-vs-decoded
+        // and decoded-vs-original alike
+        for i in 0..sigs.len() {
+            for j in 0..sigs.len() {
+                let want = sigs[i].distance(&sigs[j]);
+                prop_assert_eq!(entries[i].1.distance(&entries[j].1), want);
+                prop_assert_eq!(entries[i].1.distance(&sigs[j]), want);
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(seed in any::<u64>(), count in 1..20usize) {
+        let sigs = signature_batch(seed, count, 16, 4);
+        prop_assert_eq!(encode(3, &sigs), encode(3, &sigs));
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        seed in any::<u64>(),
+        count in 1..12usize,
+        flip in any::<u32>(),
+    ) {
+        let sigs = signature_batch(seed, count, 12, 3);
+        let mut bytes = encode(3, &sigs);
+        let bit = flip as usize % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        // A flip anywhere must surface as *some* CodecError — magic,
+        // checksum, or (for flips inside the checksum footer itself)
+        // a mismatch against the untouched content.
+        prop_assert!(decode_snapshot(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_is_detected(
+        seed in any::<u64>(),
+        count in 1..12usize,
+        cut in any::<u32>(),
+    ) {
+        let sigs = signature_batch(seed, count, 12, 3);
+        let bytes = encode(3, &sigs);
+        let keep = cut as usize % bytes.len();
+        prop_assert!(decode_snapshot(&bytes[..keep]).is_err());
+    }
+}
+
+#[test]
+fn corrupted_header_paths() {
+    let sigs = signature_batch(1, 5, 10, 3);
+    let good = encode(3, &sigs);
+
+    // empty / shorter than the framing
+    assert!(matches!(
+        decode_snapshot(&[]),
+        Err(CodecError::Truncated { .. })
+    ));
+    assert!(matches!(
+        decode_snapshot(&good[..10]),
+        Err(CodecError::Truncated { .. })
+    ));
+
+    // wrong magic (checksum fixed up so the magic check is what fires)
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    let body_len = bad_magic.len() - 8;
+    let sum = fnv1a64(&bad_magic[..body_len]).to_le_bytes();
+    bad_magic[body_len..].copy_from_slice(&sum);
+    assert!(matches!(
+        decode_snapshot(&bad_magic),
+        Err(CodecError::BadMagic)
+    ));
+
+    // corrupted content: checksum catches it first
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0xFF;
+    assert!(matches!(
+        decode_snapshot(&flipped),
+        Err(CodecError::ChecksumMismatch { .. })
+    ));
+
+    // future version (checksum fixed up): explicit UnsupportedVersion
+    let mut future = good.clone();
+    future[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+    let body_len = future.len() - 8;
+    let sum = fnv1a64(&future[..body_len]).to_le_bytes();
+    future[body_len..].copy_from_slice(&sum);
+    match decode_snapshot(&future) {
+        Err(CodecError::UnsupportedVersion(v)) => assert_eq!(v, SNAPSHOT_VERSION + 1),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+
+    // truncated mid-file: the checksum footer no longer matches
+    let chopped = &good[..good.len() - 20];
+    assert!(matches!(
+        decode_snapshot(chopped),
+        Err(CodecError::ChecksumMismatch { .. }) | Err(CodecError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn malformed_but_well_framed_content_is_rejected() {
+    // A structurally broken snapshot with valid magic + checksum: one
+    // entry pointing at a shape that does not exist.
+    let mut w = Writer::with_magic(&SNAPSHOT_MAGIC);
+    w.put_u32(SNAPSHOT_VERSION);
+    w.put_u32(3); // k
+    w.put_u32(0); // no shapes
+    w.put_u32(1); // ... but one entry
+    w.put_u64(7);
+    w.put_u32(0);
+    w.put_u32(5); // dangling shape index
+    let bytes = w.finish();
+    assert!(matches!(
+        decode_snapshot(&bytes),
+        Err(CodecError::Malformed(_))
+    ));
+
+    // forged counts (valid checksum, absurd sizes) must be Malformed, not
+    // an allocation abort
+    let mut w = Writer::with_magic(&SNAPSHOT_MAGIC);
+    w.put_u32(SNAPSHOT_VERSION);
+    w.put_u32(3); // k
+    w.put_u32(u32::MAX); // shape_count far beyond the bytes present
+    let bytes = w.finish();
+    assert!(matches!(
+        decode_snapshot(&bytes),
+        Err(CodecError::Malformed(_))
+    ));
+    let mut w = Writer::with_magic(&SNAPSHOT_MAGIC);
+    w.put_u32(SNAPSHOT_VERSION);
+    w.put_u32(3); // k
+    w.put_u32(0); // no shapes
+    w.put_u32(u32::MAX); // entry_count far beyond the bytes present
+    let bytes = w.finish();
+    assert!(matches!(
+        decode_snapshot(&bytes),
+        Err(CodecError::Malformed(_))
+    ));
+
+    // trailing garbage after the last entry (still checksummed)
+    let sigs = signature_batch(2, 3, 8, 3);
+    let good = encode(2, &sigs);
+    let mut w = Writer::with_magic(&SNAPSHOT_MAGIC);
+    w.put_raw(&good[8..good.len() - 8]);
+    w.put_u32(0xDEAD);
+    let padded = w.finish();
+    assert!(matches!(
+        decode_snapshot(&padded),
+        Err(CodecError::Malformed(_))
+    ));
+}
+
+#[test]
+fn signature_store_snapshot_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let g = generators::barabasi_albert(80, 2, &mut rng);
+    let mut store = SignatureStore::new(&g, 3);
+    for v in (0..80u32).step_by(3) {
+        store.get(v);
+    }
+    let bytes = store.snapshot_bytes();
+    let mut warmed = SignatureStore::warm_from_snapshot(&g, &bytes).expect("warm");
+    assert_eq!(warmed.k(), 3);
+    assert_eq!(warmed.cached_nodes(), store.cached_nodes());
+    assert_eq!(warmed.distinct_shapes(), store.distinct_shapes());
+    // warmed distances equal fresh distances, with zero new extractions
+    // for the persisted nodes
+    for (u, v) in [(0u32, 3u32), (9, 42), (63, 0), (30, 30)] {
+        assert_eq!(warmed.distance(u, v), store.distance(u, v));
+    }
+    let (extractions, _) = warmed.stats();
+    assert_eq!(extractions, 0, "persisted nodes must not re-extract");
+
+    // a snapshot from a bigger graph cannot warm a smaller one
+    let small = generators::barabasi_albert(10, 2, &mut rng);
+    assert!(matches!(
+        SignatureStore::warm_from_snapshot(&small, &bytes),
+        Err(CodecError::Malformed(_))
+    ));
+}

@@ -47,7 +47,10 @@ pub struct Anonymized {
 
 /// Applies `method` to `g` (undirected graphs only).
 pub fn anonymize<R: Rng + ?Sized>(g: &Graph, method: Method, rng: &mut R) -> Anonymized {
-    assert!(!g.is_directed(), "anonymization implemented for undirected graphs");
+    assert!(
+        !g.is_directed(),
+        "anonymization implemented for undirected graphs"
+    );
     let edited = match method {
         Method::Naive => g.clone(),
         Method::Sparsify(frac) => sparsify(g, frac, rng),

@@ -21,12 +21,7 @@ use ned_tree::Tree;
 
 /// Nodes of each BFS level around `root`, up to `max_levels` levels
 /// (`max_levels >= 1`; level 0 is `[root]`).
-pub fn bfs_levels(
-    g: &Graph,
-    root: NodeId,
-    max_levels: usize,
-    dir: Direction,
-) -> Vec<Vec<NodeId>> {
+pub fn bfs_levels(g: &Graph, root: NodeId, max_levels: usize, dir: Direction) -> Vec<Vec<NodeId>> {
     let mut extractor = TreeExtractor::new(g);
     let (tree, nodes) = extractor.extract_with_nodes(root, max_levels, dir);
     (0..tree.num_levels())

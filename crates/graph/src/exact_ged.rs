@@ -204,10 +204,12 @@ impl GedSearch<'_> {
             // Newly decided edges: (a, i) for assigned a < i.
             let mut gained = 0usize;
             for a in 0..i {
-                if self.g1.has_edge(a, i) && self.phi[a] != EPS
-                    && self.g2.has_edge(self.phi[a] as usize, j) {
-                        gained += 1;
-                    }
+                if self.g1.has_edge(a, i)
+                    && self.phi[a] != EPS
+                    && self.g2.has_edge(self.phi[a] as usize, j)
+                {
+                    gained += 1;
+                }
             }
             self.phi[i] = j as u32;
             self.recurse(i + 1, used2 | (1 << j), matched + 1, common + gained);

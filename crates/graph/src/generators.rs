@@ -63,7 +63,10 @@ impl UnionFind {
 /// G(n, m): exactly `m` distinct edges chosen uniformly at random.
 pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
     let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_m, "cannot place {m} edges in a {n}-node simple graph");
+    assert!(
+        m <= max_m,
+        "cannot place {m} edges in a {n}-node simple graph"
+    );
     let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m * 2);
     let mut builder = GraphBuilder::undirected(n);
     builder.reserve(m);
@@ -174,12 +177,7 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
 /// Holme–Kim powerlaw-cluster model: Barabási–Albert plus triad formation
 /// with probability `p_triad` after each preferential step. Matches the
 /// heavy tail *and* high clustering of collaboration graphs (DBLP).
-pub fn powerlaw_cluster<R: Rng + ?Sized>(
-    n: usize,
-    m: usize,
-    p_triad: f64,
-    rng: &mut R,
-) -> Graph {
+pub fn powerlaw_cluster<R: Rng + ?Sized>(n: usize, m: usize, p_triad: f64, rng: &mut R) -> Graph {
     assert!(m >= 1 && n > m);
     assert!((0.0..=1.0).contains(&p_triad));
     let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
@@ -460,7 +458,11 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
 ) -> Graph {
     let blocks = sizes.len();
     assert!(blocks > 0, "need at least one block");
-    assert_eq!(p.len(), blocks, "probability matrix must be blocks x blocks");
+    assert_eq!(
+        p.len(),
+        blocks,
+        "probability matrix must be blocks x blocks"
+    );
     for row in p {
         assert_eq!(row.len(), blocks);
         for &x in row {
@@ -543,7 +545,10 @@ mod tests {
         let g = erdos_renyi_gnp(300, 0.05, &mut rng(3));
         let expected = 0.05 * (300.0 * 299.0 / 2.0);
         let m = g.num_edges() as f64;
-        assert!((m - expected).abs() < expected * 0.25, "m={m} exp={expected}");
+        assert!(
+            (m - expected).abs() < expected * 0.25,
+            "m={m} exp={expected}"
+        );
     }
 
     #[test]
@@ -564,7 +569,11 @@ mod tests {
         assert_eq!(g.num_nodes(), 400);
         // m0 star (3 edges) + (n - m - 1) * m new ones, minus any dedup
         assert!(g.num_edges() > 1000);
-        assert!(g.max_degree() >= 20, "expected a hub, got {}", g.max_degree());
+        assert!(
+            g.max_degree() >= 20,
+            "expected a hub, got {}",
+            g.max_degree()
+        );
         let stats = crate::stats::connected_components(&g);
         assert_eq!(stats, 1);
     }
@@ -573,7 +582,10 @@ mod tests {
     fn powerlaw_cluster_has_triangles() {
         let g = powerlaw_cluster(300, 3, 0.8, &mut rng(5));
         let cc = crate::stats::average_clustering(&g, 100, &mut rng(55));
-        assert!(cc > 0.05, "clustering {cc} too low for a triad-closure model");
+        assert!(
+            cc > 0.05,
+            "clustering {cc} too low for a triad-closure model"
+        );
     }
 
     #[test]

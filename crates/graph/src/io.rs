@@ -62,7 +62,11 @@ pub fn write_edge_list(g: &Graph, path: &Path) -> Result<(), GraphError> {
     writeln!(
         w,
         "# {} graph: {} nodes, {} edges",
-        if g.is_directed() { "directed" } else { "undirected" },
+        if g.is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        },
         g.num_nodes(),
         g.num_edges()
     )?;

@@ -117,7 +117,10 @@ pub fn degree_histogram(g: &Graph) -> Vec<usize> {
 /// Exact triangle count via the forward (degree-ordered) algorithm,
 /// `O(m^{3/2})`. Undirected graphs only.
 pub fn triangle_count(g: &Graph) -> u64 {
-    assert!(!g.is_directed(), "triangle counting expects undirected graphs");
+    assert!(
+        !g.is_directed(),
+        "triangle counting expects undirected graphs"
+    );
     let n = g.num_nodes();
     // rank nodes by (degree, id); orient each edge low-rank -> high-rank
     let mut rank = vec![0u32; n];

@@ -7,10 +7,13 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn edges_strategy(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+fn edges_strategy(
+    max_nodes: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2..max_nodes).prop_flat_map(move |n| {
-        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..max_edges)
-            .prop_map(move |pairs| {
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..max_edges).prop_map(
+            move |pairs| {
                 (
                     n,
                     pairs
@@ -18,7 +21,8 @@ fn edges_strategy(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (
                         .map(|(a, b)| (a % n as u32, b % n as u32))
                         .collect(),
                 )
-            })
+            },
+        )
     })
 }
 

@@ -90,15 +90,14 @@ impl<T> BkTree<T> {
             return;
         };
         loop {
-            let d = metric.distance(
-                &self.items[self.nodes[cur].item],
-                &self.items[item_idx],
-            );
+            let d = metric.distance(&self.items[self.nodes[cur].item], &self.items[item_idx]);
             match self.nodes[cur].children.iter().find(|&&(key, _)| key == d) {
                 Some(&(_, next)) => cur = next,
                 None => {
                     self.nodes[cur].children.push((d, node_idx));
-                    self.nodes[cur].children.sort_unstable_by_key(|&(key, _)| key);
+                    self.nodes[cur]
+                        .children
+                        .sort_unstable_by_key(|&(key, _)| key);
                     return;
                 }
             }
@@ -211,8 +210,11 @@ mod tests {
         let tree = BkTree::build(items.clone(), &AbsDiff);
         for q in [0u64, 17, 500, 996] {
             for r in [0u64, 5, 50] {
-                let mut got: Vec<usize> =
-                    tree.range(&AbsDiff, &q, r).iter().map(|h| h.index).collect();
+                let mut got: Vec<usize> = tree
+                    .range(&AbsDiff, &q, r)
+                    .iter()
+                    .map(|h| h.index)
+                    .collect();
                 got.sort_unstable();
                 let want: Vec<usize> = items
                     .iter()

@@ -88,7 +88,10 @@ pub fn filter_refine_knn<T, M: BoundedMetric<T>>(
         refined += 1;
         debug_assert!(d + 1e-9 >= lb, "lower bound {lb} exceeds distance {d}");
         if hits.len() < k || d < hits.last().expect("non-empty").distance {
-            hits.push(Hit { index: i, distance: d });
+            hits.push(Hit {
+                index: i,
+                distance: d,
+            });
             hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("NaN"));
             hits.truncate(k);
         }

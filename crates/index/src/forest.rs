@@ -1,0 +1,852 @@
+//! A **dynamic, sharded metric index**: the serving-layer counterpart of
+//! the build-once [`VpTree`].
+//!
+//! [`ShardedVpForest`] maintains one small mutable buffer plus a run of
+//! geometrically-sized immutable VP-trees (the classic *logarithmic
+//! method* for turning a static structure dynamic):
+//!
+//! * **insert** appends to the buffer; when the buffer reaches its
+//!   threshold it is frozen into a VP-tree, first swallowing every
+//!   trailing shard no larger than itself — so at most `O(log n)` shards
+//!   exist and each item is rebuilt `O(log n)` times amortized.
+//! * **remove** deletes buffered items in place; sharded items (and
+//!   sharded copies superseded by a replacing insert) just lose their
+//!   live record — generation-tagged entries make stale copies invisible
+//!   immediately, and once stale entries outnumber half the sharded
+//!   items the forest compacts (one rebuild dropping every dead entry).
+//! * **knn / range** fan out across the shards in parallel on the
+//!   [`ned_core::batch`] pool, each shard pruning with the cheap
+//!   [`BoundedMetric::lower_bound`] *before any exact distance call* and
+//!   with a **shared atomic bound** (the best k-th distance any shard has
+//!   proven so far), then merge through one bounded heap ordered by
+//!   `(distance, id)` — results are exact and deterministic regardless of
+//!   thread timing.
+//!
+//! Items carry caller-assigned `u64` ids; every query reports hits as
+//! [`ForestHit`] `(id, distance)` pairs, so results stay meaningful across
+//! rebuilds, restarts, and process boundaries (see
+//! [`crate::signatures::SignatureIndex`] for the persistent NED wiring).
+
+use crate::filter::BoundedMetric;
+use crate::{Metric, SearchCollector, VpTree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A forest query hit: the item's caller-assigned id and its exact
+/// distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestHit {
+    /// Caller-assigned item id.
+    pub id: u64,
+    /// Exact distance to the query.
+    pub distance: f64,
+}
+
+/// Where a live item currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Buffer,
+    Shard,
+}
+
+/// The authoritative record for a live id: where its current copy lives
+/// and that copy's generation. Stale copies of the same id (superseded by
+/// a replacement, or removed) may linger inside immutable shards until a
+/// compaction; they carry an older generation and are filtered out of
+/// every query, so updates never pay for an eager rebuild.
+#[derive(Debug, Clone, Copy)]
+struct LiveSlot {
+    slot: Slot,
+    gen: u32,
+    /// `true` when stale (older-generation) physical copies of this id
+    /// may still sit inside shards. Only then does a remove need to leave
+    /// a [`ShardedVpForest::retired`] watermark behind — which is what
+    /// keeps that map bounded by the compaction cycle instead of growing
+    /// with every removed id.
+    dirty: bool,
+}
+
+/// An indexed entry: caller id, the generation this copy was written at,
+/// and the item itself. Id + generation ride along so shard rebuilds and
+/// query hits never lose track of identity, and so stale copies are
+/// distinguishable from the current one.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    id: u64,
+    gen: u32,
+    item: T,
+}
+
+/// Adapts a caller metric over `T` to the `Entry<T>` pairs the shards
+/// store (ids are invisible to the metric).
+struct EntryMetric<'m, M>(&'m M);
+
+impl<T, M: Metric<T>> Metric<Entry<T>> for EntryMetric<'_, M> {
+    fn distance(&self, a: &Entry<T>, b: &Entry<T>) -> f64 {
+        self.0.distance(&a.item, &b.item)
+    }
+}
+
+impl<T, M: BoundedMetric<T>> BoundedMetric<Entry<T>> for EntryMetric<'_, M> {
+    fn lower_bound(&self, a: &Entry<T>, b: &Entry<T>) -> f64 {
+        self.0.lower_bound(&a.item, &b.item)
+    }
+}
+
+/// Snapshot of a forest's internal shape (exposed for observability and
+/// the CLI `index`/`serve` commands).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForestStats {
+    /// Live items (buffer + shards − tombstones).
+    pub len: usize,
+    /// Items currently in the mutable buffer.
+    pub buffer: usize,
+    /// Physical size of each immutable shard, largest first.
+    pub shard_sizes: Vec<usize>,
+    /// Tombstoned (logically deleted, physically present) items.
+    pub tombstones: usize,
+}
+
+/// Dynamic sharded VP forest. See the [module docs](self) for the design.
+///
+/// The metric is passed per call (the forest stores no closure state), and
+/// must behave identically across calls — mixing metrics between `insert`
+/// and `knn` silently breaks pruning, exactly as with [`VpTree`].
+#[derive(Debug, Clone)]
+pub struct ShardedVpForest<T> {
+    buffer: Vec<Entry<T>>,
+    /// Immutable shards, physical sizes strictly decreasing.
+    shards: Vec<VpTree<Entry<T>>>,
+    /// Every live id, its location, and its current generation; removed
+    /// ids are absent.
+    live: HashMap<u64, LiveSlot>,
+    /// Stale entries (removed or superseded) still physically present
+    /// inside shards; drives the compaction threshold.
+    dead: usize,
+    /// Generation watermark for removed ids: the generation a re-insert
+    /// must start at so it can never collide with a stale physical copy.
+    /// Cleared by compaction (which drops every stale copy).
+    retired: HashMap<u64, u32>,
+    /// Buffer size that triggers a freeze into a shard.
+    threshold: usize,
+    /// Seed for deterministic shard builds (combined with `epoch`).
+    seed: u64,
+    /// Bumped per shard build so successive builds draw distinct
+    /// deterministic vantage sequences.
+    epoch: u64,
+}
+
+impl<T: Clone> ShardedVpForest<T> {
+    /// An empty forest. `threshold` is the buffer size that triggers a
+    /// shard build (clamped to ≥ 1); `seed` fixes every future shard's
+    /// vantage choices, making the whole structure deterministic.
+    pub fn new(threshold: usize, seed: u64) -> Self {
+        ShardedVpForest {
+            buffer: Vec::new(),
+            shards: Vec::new(),
+            live: HashMap::new(),
+            dead: 0,
+            retired: HashMap::new(),
+            threshold: threshold.max(1),
+            seed,
+            epoch: 0,
+        }
+    }
+
+    /// Bulk constructor: one shard over `entries` (buffer if below the
+    /// threshold). Ids must be unique; later duplicates replace earlier
+    /// ones. This is the load path — results are identical to inserting
+    /// one by one, only cheaper.
+    pub fn from_entries<M: Metric<T>>(
+        threshold: usize,
+        seed: u64,
+        entries: Vec<(u64, T)>,
+        metric: &M,
+    ) -> Self {
+        let mut forest = Self::new(threshold, seed);
+        let mut dedup: HashMap<u64, T> = HashMap::new();
+        let mut order: Vec<u64> = Vec::with_capacity(entries.len());
+        for (id, item) in entries {
+            if dedup.insert(id, item).is_none() {
+                order.push(id);
+            }
+        }
+        let items: Vec<Entry<T>> = order
+            .into_iter()
+            .map(|id| Entry {
+                id,
+                gen: 0,
+                item: dedup.remove(&id).expect("id collected above"),
+            })
+            .collect();
+        let slot = if items.len() < forest.threshold {
+            Slot::Buffer
+        } else {
+            Slot::Shard
+        };
+        for e in &items {
+            forest.live.insert(
+                e.id,
+                LiveSlot {
+                    slot,
+                    gen: 0,
+                    dirty: false,
+                },
+            );
+        }
+        if slot == Slot::Buffer {
+            forest.buffer = items;
+        } else {
+            forest.push_shard(items, metric);
+        }
+        forest
+    }
+
+    /// Live item count.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` when no live items exist.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Whether `id` is currently indexed.
+    pub fn contains(&self, id: u64) -> bool {
+        self.live.contains_key(&id)
+    }
+
+    /// Internal shape, for observability.
+    pub fn stats(&self) -> ForestStats {
+        ForestStats {
+            len: self.live.len(),
+            buffer: self.buffer.len(),
+            shard_sizes: self.shards.iter().map(VpTree::len).collect(),
+            tombstones: self.dead,
+        }
+    }
+
+    /// Live `(id, item)` entries, buffer first, then shards largest-first
+    /// (an arbitrary but deterministic order; sort by id for a canonical
+    /// one).
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.buffer
+            .iter()
+            .map(|e| (e.id, &e.item))
+            .chain(self.shards.iter().flat_map(move |s| {
+                s.items()
+                    .iter()
+                    .filter(|e| is_current(&self.live, e.id, e.gen))
+                    .map(|e| (e.id, &e.item))
+            }))
+    }
+
+    /// Inserts `item` under `id`, replacing any live item with the same
+    /// id. Returns `true` when the id was new. May trigger a shard build
+    /// (amortized `O(log n)` rebuilds per item over any insert sequence);
+    /// replacing a sharded item just bumps the id's generation — the old
+    /// copy becomes invisible immediately and is physically reclaimed at
+    /// the next merge or compaction.
+    pub fn insert<M: Metric<T>>(&mut self, metric: &M, id: u64, item: T) -> bool {
+        let (fresh, gen) = match self.live.entry(id) {
+            MapEntry::Occupied(mut occupied) => {
+                let prev = *occupied.get();
+                match prev.slot {
+                    Slot::Buffer => {
+                        let pos = self
+                            .buffer
+                            .iter()
+                            .position(|e| e.id == id)
+                            .expect("live buffer id present");
+                        self.buffer.swap_remove(pos);
+                    }
+                    Slot::Shard => {
+                        self.dead += 1;
+                    }
+                }
+                let gen = prev.gen.wrapping_add(1);
+                *occupied.get_mut() = LiveSlot {
+                    slot: Slot::Buffer,
+                    gen,
+                    // A sharded predecessor stays behind as a stale copy.
+                    dirty: prev.dirty || prev.slot == Slot::Shard,
+                };
+                (false, gen)
+            }
+            MapEntry::Vacant(vacant) => {
+                // A retirement watermark means stale copies of this id
+                // may still exist; resume above them.
+                let (gen, dirty) = match self.retired.remove(&id) {
+                    Some(g) => (g, true),
+                    None => (0, false),
+                };
+                vacant.insert(LiveSlot {
+                    slot: Slot::Buffer,
+                    gen,
+                    dirty,
+                });
+                (true, gen)
+            }
+        };
+        self.buffer.push(Entry { id, gen, item });
+        if self.buffer.len() >= self.threshold {
+            self.flush(metric);
+        }
+        self.maybe_compact(metric);
+        fresh
+    }
+
+    /// Removes `id`. Buffered items disappear immediately; sharded items
+    /// become invisible at once (their live record is gone) and are
+    /// physically dropped at the next merge or compaction, which triggers
+    /// itself once stale entries outnumber half the sharded items.
+    /// Returns `false` when the id was not live.
+    pub fn remove<M: Metric<T>>(&mut self, metric: &M, id: u64) -> bool {
+        match self.live.remove(&id) {
+            None => false,
+            Some(ls) => {
+                if ls.dirty || ls.slot == Slot::Shard {
+                    self.retired.insert(id, ls.gen.wrapping_add(1));
+                }
+                match ls.slot {
+                    Slot::Buffer => {
+                        let pos = self
+                            .buffer
+                            .iter()
+                            .position(|e| e.id == id)
+                            .expect("live buffer id present");
+                        self.buffer.swap_remove(pos);
+                    }
+                    Slot::Shard => {
+                        self.dead += 1;
+                    }
+                }
+                self.maybe_compact(metric);
+                true
+            }
+        }
+    }
+
+    /// Freezes the buffer into a shard, first merging every trailing shard
+    /// no larger than the accumulated batch (the logarithmic method).
+    fn flush<M: Metric<T>>(&mut self, metric: &M) {
+        let mut items = std::mem::take(&mut self.buffer);
+        for e in &items {
+            self.live
+                .get_mut(&e.id)
+                .expect("buffer entries are live")
+                .slot = Slot::Shard;
+        }
+        while let Some(last) = self.shards.last() {
+            if last.len() > items.len() {
+                break;
+            }
+            let merged = self.shards.pop().expect("non-empty checked");
+            let live = &self.live;
+            let mut reclaimed = 0usize;
+            items.extend(merged.into_items().into_iter().filter(|e| {
+                let keep = is_current(live, e.id, e.gen);
+                reclaimed += usize::from(!keep);
+                keep
+            }));
+            self.dead -= reclaimed;
+        }
+        self.push_shard(items, metric);
+    }
+
+    /// Compacts once stale entries outnumber half the sharded items — or
+    /// once retirement watermarks do, which bounds the `retired` map by
+    /// the same cycle (compaction clears it) even when merges reclaim the
+    /// stale copies themselves first.
+    fn maybe_compact<M: Metric<T>>(&mut self, metric: &M) {
+        let sharded: usize = self.shards.iter().map(VpTree::len).sum();
+        if self.dead * 2 > sharded || self.retired.len() > sharded {
+            self.compact(metric);
+        }
+    }
+
+    /// Rebuilds everything (buffer excluded) into one shard, dropping
+    /// every stale entry.
+    fn compact<M: Metric<T>>(&mut self, metric: &M) {
+        let mut items: Vec<Entry<T>> = Vec::new();
+        let live = &self.live;
+        for shard in self.shards.drain(..) {
+            items.extend(
+                shard
+                    .into_items()
+                    .into_iter()
+                    .filter(|e| is_current(live, e.id, e.gen)),
+            );
+        }
+        self.dead = 0;
+        // Every stale copy is gone: retirement watermarks are moot and no
+        // live id has shadows left.
+        self.retired.clear();
+        for ls in self.live.values_mut() {
+            ls.dirty = false;
+        }
+        if !items.is_empty() {
+            self.push_shard(items, metric);
+        }
+    }
+
+    fn push_shard<M: Metric<T>>(&mut self, items: Vec<Entry<T>>, metric: &M) {
+        if items.is_empty() {
+            return;
+        }
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ self.epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.epoch += 1;
+        let tree = VpTree::build(items, &EntryMetric(metric), &mut rng);
+        self.shards.push(tree);
+        // Merging in flush keeps sizes decreasing; compact leaves one.
+        debug_assert!(self.shards.windows(2).all(|w| w[0].len() > w[1].len()));
+    }
+
+    /// The `k` nearest live items, sorted by `(distance, id)` — exact and
+    /// fully deterministic (bit-identical to [`Self::scan_knn`]). Shards
+    /// are searched in parallel on up to `threads` threads (`0` = all
+    /// cores); every exact metric call is guarded by the lower bound and
+    /// by the sharpest bound any shard has published so far.
+    pub fn knn<M>(&self, metric: &M, query: &T, k: usize, threads: usize) -> Vec<ForestHit>
+    where
+        T: Sync,
+        M: BoundedMetric<T> + Sync,
+    {
+        if k == 0 || self.live.is_empty() {
+            return Vec::new();
+        }
+        let shared = SharedBound::unbounded();
+        // Buffer first: it is small, and whatever bound it proves
+        // transfers to every shard search below.
+        let mut merged = BoundedHeap::new(k, &shared);
+        for e in &self.buffer {
+            if metric.lower_bound(query, &e.item) <= merged.tau() {
+                merged.offer_id(e.id, metric.distance(query, &e.item));
+            }
+        }
+        let q = query_entry(query);
+        let per_shard: Vec<Vec<ForestHit>> =
+            ned_core::batch::par_map(self.shards.len(), threads, |si| {
+                let mut collector = ShardCollector {
+                    heap: BoundedHeap::new(k, &shared),
+                    items: self.shards[si].items(),
+                    live: &self.live,
+                };
+                self.shards[si].search(&EntryMetric(metric), &q, &mut collector);
+                collector.heap.into_sorted()
+            });
+        for hits in per_shard {
+            for h in hits {
+                merged.offer_id(h.id, h.distance);
+            }
+        }
+        merged.into_sorted()
+    }
+
+    /// Every live item within `radius` of `query` (inclusive), sorted by
+    /// `(distance, id)`.
+    pub fn range<M>(&self, metric: &M, query: &T, radius: f64, threads: usize) -> Vec<ForestHit>
+    where
+        T: Sync,
+        M: BoundedMetric<T> + Sync,
+    {
+        let mut out: Vec<ForestHit> = self
+            .buffer
+            .iter()
+            .filter(|e| metric.lower_bound(query, &e.item) <= radius)
+            .filter_map(|e| {
+                let d = metric.distance(query, &e.item);
+                (d <= radius).then_some(ForestHit {
+                    id: e.id,
+                    distance: d,
+                })
+            })
+            .collect();
+        let q = query_entry(query);
+        let per_shard: Vec<Vec<ForestHit>> =
+            ned_core::batch::par_map(self.shards.len(), threads, |si| {
+                let mut collector = RangeCollector {
+                    radius,
+                    out: Vec::new(),
+                    items: self.shards[si].items(),
+                    live: &self.live,
+                };
+                self.shards[si].search(&EntryMetric(metric), &q, &mut collector);
+                collector.out
+            });
+        out.extend(per_shard.into_iter().flatten());
+        sort_hits(&mut out);
+        out
+    }
+
+    /// Full-scan baseline: exact distance to every live item, no bounds,
+    /// no index structure. The forest's query results are defined to match
+    /// this exactly.
+    pub fn scan_knn<M: Metric<T>>(&self, metric: &M, query: &T, k: usize) -> Vec<ForestHit> {
+        let mut hits: Vec<ForestHit> = self
+            .entries()
+            .map(|(id, item)| ForestHit {
+                id,
+                distance: metric.distance(query, item),
+            })
+            .collect();
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+}
+
+/// The query wrapped as an entry (the id is never read by the metric).
+fn query_entry<T: Clone>(query: &T) -> Entry<T> {
+    Entry {
+        id: u64::MAX,
+        gen: 0,
+        item: query.clone(),
+    }
+}
+
+/// Is `(id, gen)` the current live copy?
+fn is_current(live: &HashMap<u64, LiveSlot>, id: u64, gen: u32) -> bool {
+    live.get(&id).is_some_and(|ls| ls.gen == gen)
+}
+
+fn sort_hits(hits: &mut [ForestHit]) {
+    hits.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("NaN distance")
+            .then_with(|| a.id.cmp(&b.id))
+    });
+}
+
+/// The k-th-best distance proven by *any* shard so far, shared across the
+/// parallel fan-out as non-negative `f64` bits (bit order equals numeric
+/// order there, so `fetch_min` tightens monotonically and lock-free).
+///
+/// Soundness: if some shard holds `k` candidates all at distance
+/// `<= tau`, then the global k-th best is `<= tau`, so any candidate with
+/// distance strictly above `tau` can never enter the merged top-k — ties
+/// at `tau` are *not* pruned, which is what preserves the deterministic
+/// `(distance, id)` ordering.
+struct SharedBound(AtomicU64);
+
+impl SharedBound {
+    fn unbounded() -> Self {
+        SharedBound(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    fn tighten(&self, tau: f64) {
+        debug_assert!(tau >= 0.0, "metric distances are non-negative");
+        self.0.fetch_min(tau.to_bits(), Ordering::Relaxed);
+    }
+
+    fn current(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Max-heap entry ordered by `(distance, id)` — the worst current hit on
+/// top, ids breaking distance ties so results are deterministic.
+struct WorstFirst(ForestHit);
+
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.distance == other.0.distance && self.0.id == other.0.id
+    }
+}
+impl Eq for WorstFirst {}
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .distance
+            .partial_cmp(&other.0.distance)
+            .expect("NaN distance")
+            .then_with(|| self.0.id.cmp(&other.0.id))
+    }
+}
+
+/// A bounded `(distance, id)` max-heap that publishes its k-th best
+/// distance to the shared bound whenever it is full.
+struct BoundedHeap<'s> {
+    heap: std::collections::BinaryHeap<WorstFirst>,
+    k: usize,
+    shared: &'s SharedBound,
+}
+
+impl<'s> BoundedHeap<'s> {
+    fn new(k: usize, shared: &'s SharedBound) -> Self {
+        BoundedHeap {
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+            k,
+            shared,
+        }
+    }
+
+    /// Effective pruning bound: the sharpest of this heap's k-th best and
+    /// the shared bound. Candidates strictly above it are hopeless;
+    /// candidates *at* it may still win on id, so callers must compare
+    /// with `>` only.
+    fn tau(&self) -> f64 {
+        let local = if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().expect("non-empty").0.distance
+        };
+        local.min(self.shared.current())
+    }
+
+    fn offer_id(&mut self, id: u64, distance: f64) {
+        let hit = WorstFirst(ForestHit { id, distance });
+        if self.heap.len() < self.k {
+            self.heap.push(hit);
+        } else if hit < *self.heap.peek().expect("non-empty") {
+            self.heap.pop();
+            self.heap.push(hit);
+        } else {
+            return;
+        }
+        if self.heap.len() == self.k {
+            self.shared
+                .tighten(self.heap.peek().expect("non-empty").0.distance);
+        }
+    }
+
+    fn into_sorted(self) -> Vec<ForestHit> {
+        let mut hits: Vec<ForestHit> = self.heap.into_iter().map(|w| w.0).collect();
+        sort_hits(&mut hits);
+        hits
+    }
+}
+
+/// Per-shard k-NN collector: maps item indices back to ids, drops stale
+/// copies, feeds the bounded heap.
+struct ShardCollector<'a, 's, T> {
+    heap: BoundedHeap<'s>,
+    items: &'a [Entry<T>],
+    live: &'a HashMap<u64, LiveSlot>,
+}
+
+impl<T> SearchCollector for ShardCollector<'_, '_, T> {
+    fn offer(&mut self, index: usize, distance: f64) {
+        let e = &self.items[index];
+        if is_current(self.live, e.id, e.gen) {
+            self.heap.offer_id(e.id, distance);
+        }
+    }
+
+    fn tau(&self) -> f64 {
+        self.heap.tau()
+    }
+}
+
+/// Per-shard range collector: fixed bound, unbounded output.
+struct RangeCollector<'a, T> {
+    radius: f64,
+    out: Vec<ForestHit>,
+    items: &'a [Entry<T>],
+    live: &'a HashMap<u64, LiveSlot>,
+}
+
+impl<T> SearchCollector for RangeCollector<'_, T> {
+    fn offer(&mut self, index: usize, distance: f64) {
+        if distance > self.radius {
+            return;
+        }
+        let e = &self.items[index];
+        if is_current(self.live, e.id, e.gen) {
+            self.out.push(ForestHit { id: e.id, distance });
+        }
+    }
+
+    fn tau(&self) -> f64 {
+        self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnBoundedMetric;
+    use rand::Rng;
+
+    fn metric() -> FnBoundedMetric<impl Fn(&f64, &f64) -> f64, impl Fn(&f64, &f64) -> f64> {
+        FnBoundedMetric(
+            |a: &f64, b: &f64| (a - b).abs(),
+            |a: &f64, b: &f64| ((a - b).abs() / 8.0).floor() * 8.0,
+        )
+    }
+
+    fn assert_exact(forest: &ShardedVpForest<f64>, q: f64, k: usize) {
+        let m = metric();
+        let fast = forest.knn(&m, &q, k, 2);
+        let slow = forest.scan_knn(&m, &q, k);
+        assert_eq!(fast, slow, "q={q} k={k}");
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let m = metric();
+        let mut f: ShardedVpForest<f64> = ShardedVpForest::new(4, 1);
+        assert!(f.is_empty());
+        assert!(f.knn(&m, &1.0, 3, 0).is_empty());
+        assert!(f.range(&m, &1.0, 10.0, 0).is_empty());
+        f.insert(&m, 7, 3.5);
+        assert_eq!(f.len(), 1);
+        let hits = f.knn(&m, &0.0, 5, 0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 7);
+        assert_eq!(hits[0].distance, 3.5);
+    }
+
+    #[test]
+    fn inserts_roll_into_geometric_shards() {
+        let m = metric();
+        let mut f = ShardedVpForest::new(8, 2);
+        for i in 0..100u64 {
+            f.insert(&m, i, (i * 37 % 101) as f64);
+        }
+        let stats = f.stats();
+        assert_eq!(stats.len, 100);
+        assert!(stats.buffer < 8);
+        assert!(stats.shard_sizes.len() <= 5, "{stats:?}");
+        for w in stats.shard_sizes.windows(2) {
+            assert!(w[0] > w[1], "sizes must decrease: {stats:?}");
+        }
+        for q in [0.0, 17.5, 50.0, 120.0] {
+            for k in [1, 5, 23, 200] {
+                assert_exact(&f, q, k);
+            }
+        }
+    }
+
+    #[test]
+    fn removes_and_replacements_stay_exact() {
+        let m = metric();
+        let mut f = ShardedVpForest::new(6, 3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut live: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        for step in 0..500u64 {
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            if roll < 0.55 || live.is_empty() {
+                let id = rng.gen_range(0..120u64);
+                let v: f64 = rng.gen_range(0.0..500.0);
+                let fresh = f.insert(&m, id, v);
+                assert_eq!(fresh, !live.contains_key(&id), "step {step}");
+                live.insert(id, v);
+            } else {
+                let id = rng.gen_range(0..120u64);
+                let removed = f.remove(&m, id);
+                assert_eq!(removed, live.remove(&id).is_some(), "step {step}");
+            }
+            assert_eq!(f.len(), live.len(), "step {step}");
+            if step % 23 == 0 {
+                let q: f64 = rng.gen_range(0.0..500.0);
+                let k = rng.gen_range(1..8usize);
+                let fast = f.knn(&m, &q, k, 2);
+                let mut want: Vec<ForestHit> = live
+                    .iter()
+                    .map(|(&id, &v)| ForestHit {
+                        id,
+                        distance: (v - q).abs(),
+                    })
+                    .collect();
+                sort_hits(&mut want);
+                want.truncate(k);
+                assert_eq!(fast, want, "step {step} q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_filtered_scan() {
+        let m = metric();
+        let mut f = ShardedVpForest::new(5, 5);
+        for i in 0..80u64 {
+            f.insert(&m, i, (i * 13 % 97) as f64);
+        }
+        for i in (0..80u64).step_by(3) {
+            f.remove(&m, i);
+        }
+        let got = f.range(&m, &40.0, 15.0, 2);
+        let mut want: Vec<ForestHit> = f
+            .entries()
+            .filter_map(|(id, &v)| {
+                let d = (v - 40.0_f64).abs();
+                (d <= 15.0).then_some(ForestHit { id, distance: d })
+            })
+            .collect();
+        sort_hits(&mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicate_values_tie_break_by_id() {
+        let m = metric();
+        let mut f = ShardedVpForest::new(4, 6);
+        for id in [9u64, 3, 7, 1, 5] {
+            f.insert(&m, id, 100.0);
+        }
+        let hits = f.knn(&m, &100.0, 3, 0);
+        assert_eq!(
+            hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+            vec![1, 3, 5],
+            "ties must resolve to the smallest ids"
+        );
+    }
+
+    #[test]
+    fn reinsert_after_remove_resurrects_nothing() {
+        let m = metric();
+        let mut f = ShardedVpForest::new(2, 7);
+        f.insert(&m, 1, 10.0);
+        f.insert(&m, 2, 20.0);
+        f.insert(&m, 3, 30.0); // all in shards now
+        assert!(f.remove(&m, 2));
+        f.insert(&m, 2, 99.0);
+        let hits = f.knn(&m, &20.0, 1, 0);
+        assert_eq!(hits[0].id, 1, "the dead 20.0 copy must not reappear");
+        let all = f.knn(&m, &0.0, 10, 0);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().any(|h| h.id == 2 && h.distance == 99.0));
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental() {
+        let m = metric();
+        let entries: Vec<(u64, f64)> = (0..60u64).map(|i| (i, (i * 29 % 83) as f64)).collect();
+        let bulk = ShardedVpForest::from_entries(8, 9, entries.clone(), &m);
+        let mut inc = ShardedVpForest::new(8, 9);
+        for (id, v) in entries {
+            inc.insert(&m, id, v);
+        }
+        for q in [0.0, 41.0, 80.0] {
+            for k in [1, 7, 60] {
+                assert_eq!(bulk.knn(&m, &q, k, 0), inc.knn(&m, &q, k, 0), "q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let m = metric();
+        let mut f = ShardedVpForest::new(16, 10);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for i in 0..300u64 {
+            f.insert(&m, i, rng.gen_range(0.0..1000.0));
+        }
+        for q in [0.0, 333.3, 999.0] {
+            assert_eq!(f.knn(&m, &q, 9, 1), f.knn(&m, &q, 9, 0), "q={q}");
+            assert_eq!(f.range(&m, &q, 50.0, 1), f.range(&m, &q, 50.0, 0), "q={q}");
+        }
+    }
+}

@@ -16,9 +16,13 @@
 
 pub mod bk_tree;
 pub mod filter;
+pub mod forest;
+pub mod signatures;
 
 pub use bk_tree::{BkTree, IntFnMetric, IntMetric};
 pub use filter::{filter_refine_knn, BoundedMetric, FilteredKnn, FnBoundedMetric};
+pub use forest::{ForestHit, ForestStats, ShardedVpForest};
+pub use signatures::{SignatureIndex, SignatureMetric};
 
 use rand::Rng;
 use std::cell::Cell;
@@ -91,19 +95,35 @@ pub struct Hit {
 /// Construction is `O(n log n)` distance computations in expectation;
 /// k-NN queries prune sub-trees whose annulus cannot contain a better
 /// candidate than the current k-th best.
+///
+/// **Duplicates are collapsed.** Items at distance 0 from a vantage point
+/// are — by the identity axiom — indistinguishable from it under the
+/// metric, so they are stored as a flat duplicate bucket on the vantage
+/// node instead of being recursed into. A degenerate input (thousands of
+/// identical items, the norm for interned NED signatures on scale-free
+/// graphs) therefore costs **one** distance evaluation per query instead
+/// of one per copy, and the median-radius split can never go degenerate:
+/// every remaining distance is strictly positive, and the split of the
+/// remainder is positional (half and half), not radius-based.
 #[derive(Debug, Clone)]
 pub struct VpTree<T> {
     items: Vec<T>,
     nodes: Vec<VpNode>,
+    /// Flat pool of duplicate item indices; each node owns the slice
+    /// `dup_start..dup_start + dup_len`.
+    dup_items: Vec<u32>,
     root: Option<usize>,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct VpNode {
     item: usize,
-    /// Median distance from the vantage point to its subtree items;
-    /// `inside` holds items with `d <= radius`.
+    /// Median distance from the vantage point to its non-duplicate
+    /// subtree items; `inside` holds items with `d <= radius`.
     radius: f64,
+    /// Range into [`VpTree::dup_items`]: items at distance 0 from `item`.
+    dup_start: u32,
+    dup_len: u32,
     inside: Option<usize>,
     outside: Option<usize>,
 }
@@ -114,9 +134,15 @@ impl<T> VpTree<T> {
     pub fn build<M: Metric<T>, R: Rng + ?Sized>(items: Vec<T>, metric: &M, rng: &mut R) -> Self {
         let n = items.len();
         let mut nodes = Vec::with_capacity(n);
+        let mut dup_items = Vec::new();
         let mut ids: Vec<usize> = (0..n).collect();
-        let root = Self::build_rec(&items, metric, rng, &mut ids, &mut nodes);
-        VpTree { items, nodes, root }
+        let root = Self::build_rec(&items, metric, rng, &mut ids, &mut nodes, &mut dup_items);
+        VpTree {
+            items,
+            nodes,
+            dup_items,
+            root,
+        }
     }
 
     fn build_rec<M: Metric<T>, R: Rng + ?Sized>(
@@ -125,6 +151,7 @@ impl<T> VpTree<T> {
         rng: &mut R,
         ids: &mut [usize],
         nodes: &mut Vec<VpNode>,
+        dup_items: &mut Vec<u32>,
     ) -> Option<usize> {
         if ids.is_empty() {
             return None;
@@ -138,6 +165,8 @@ impl<T> VpTree<T> {
             nodes.push(VpNode {
                 item: vantage,
                 radius: 0.0,
+                dup_start: dup_items.len() as u32,
+                dup_len: 0,
                 inside: None,
                 outside: None,
             });
@@ -148,21 +177,43 @@ impl<T> VpTree<T> {
             .map(|&i| (metric.distance(&items[vantage], &items[i]), i))
             .collect();
         dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
-        let mid = (dists.len() - 1) / 2;
-        let radius = dists[mid].0;
+        // Duplicate collapse: distance 0 to the vantage point means the
+        // item is metrically identical to it, so queries never need a
+        // separate distance evaluation for it. Bucketing duplicates here
+        // also keeps the median radius strictly positive below, which is
+        // what protects duplicate-heavy inputs from degenerate splits.
+        let zeros = dists.iter().take_while(|&&(d, _)| d == 0.0).count();
+        let dup_start = dup_items.len() as u32;
+        dup_items.extend(dists[..zeros].iter().map(|&(_, i)| i as u32));
         for (slot, (_, i)) in rest.iter_mut().zip(&dists) {
             *slot = *i;
         }
-        let (inside_ids, outside_ids) = rest.split_at_mut(mid + 1);
+        let live = &mut rest[zeros..];
+        if live.is_empty() {
+            nodes.push(VpNode {
+                item: vantage,
+                radius: 0.0,
+                dup_start,
+                dup_len: zeros as u32,
+                inside: None,
+                outside: None,
+            });
+            return Some(nodes.len() - 1);
+        }
+        let mid = (live.len() - 1) / 2;
+        let radius = dists[zeros + mid].0;
+        let (inside_ids, outside_ids) = live.split_at_mut(mid + 1);
         let placeholder = nodes.len();
         nodes.push(VpNode {
             item: vantage,
             radius,
+            dup_start,
+            dup_len: zeros as u32,
             inside: None,
             outside: None,
         });
-        let inside = Self::build_rec(items, metric, rng, inside_ids, nodes);
-        let outside = Self::build_rec(items, metric, rng, outside_ids, nodes);
+        let inside = Self::build_rec(items, metric, rng, inside_ids, nodes, dup_items);
+        let outside = Self::build_rec(items, metric, rng, outside_ids, nodes, dup_items);
         nodes[placeholder].inside = inside;
         nodes[placeholder].outside = outside;
         Some(placeholder)
@@ -184,6 +235,12 @@ impl<T> VpTree<T> {
         &self.items
     }
 
+    /// Consumes the tree, returning the items (original order). Used by
+    /// [`forest::ShardedVpForest`] when merging shards.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+
     /// The `k` nearest items to `query`, closest first (ties broken by
     /// traversal order). `metric` must be the one used at build time (or
     /// an equivalent wrapper such as [`CountingMetric`]).
@@ -191,89 +248,172 @@ impl<T> VpTree<T> {
         if k == 0 || self.items.is_empty() {
             return Vec::new();
         }
-        // max-heap of current best k (worst on top)
-        let mut heap: BinaryHeap<HeapHit> = BinaryHeap::with_capacity(k + 1);
-        self.knn_rec(self.root, metric, query, k, &mut heap);
-        let mut hits: Vec<Hit> = heap.into_iter().map(|h| h.0).collect();
+        let mut collector = KnnCollector {
+            // max-heap of current best k (worst on top)
+            heap: BinaryHeap::with_capacity(k + 1),
+            k,
+        };
+        self.search(&ZeroBound(metric), query, &mut collector);
+        let mut hits: Vec<Hit> = collector.heap.into_iter().map(|h| h.0).collect();
         hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("NaN distance"));
         hits
     }
 
-    fn knn_rec<M: Metric<T>>(
-        &self,
-        node: Option<usize>,
-        metric: &M,
-        query: &T,
-        k: usize,
-        heap: &mut BinaryHeap<HeapHit>,
-    ) {
-        let Some(idx) = node else { return };
-        let n = self.nodes[idx];
-        let d = metric.distance(query, &self.items[n.item]);
-        if heap.len() < k {
-            heap.push(HeapHit(Hit {
-                index: n.item,
-                distance: d,
-            }));
-        } else if d < heap.peek().expect("non-empty").0.distance {
-            heap.pop();
-            heap.push(HeapHit(Hit {
-                index: n.item,
-                distance: d,
-            }));
-        }
-        // Visit the more promising side first, prune with the annulus test.
-        if d <= n.radius {
-            self.knn_rec(n.inside, metric, query, k, heap);
-            if d + self.current_tau(heap, k) >= n.radius {
-                self.knn_rec(n.outside, metric, query, k, heap);
-            }
-        } else {
-            self.knn_rec(n.outside, metric, query, k, heap);
-            if d - self.current_tau(heap, k) <= n.radius {
-                self.knn_rec(n.inside, metric, query, k, heap);
-            }
-        }
-    }
-
-    fn current_tau(&self, heap: &BinaryHeap<HeapHit>, k: usize) -> f64 {
-        if heap.len() < k {
-            f64::INFINITY
-        } else {
-            heap.peek().expect("non-empty").0.distance
-        }
+    /// The duplicate bucket of `node`: item indices at distance 0 from its
+    /// vantage point (hence at the vantage's distance from any query).
+    fn dups(&self, n: &VpNode) -> &[u32] {
+        &self.dup_items[n.dup_start as usize..(n.dup_start + n.dup_len) as usize]
     }
 
     /// All items within `radius` of `query` (inclusive), unordered.
     pub fn range<M: Metric<T>>(&self, metric: &M, query: &T, radius: f64) -> Vec<Hit> {
-        let mut out = Vec::new();
-        self.range_rec(self.root, metric, query, radius, &mut out);
-        out
+        let mut collector = RangeCollector {
+            radius,
+            out: Vec::new(),
+        };
+        self.search(&ZeroBound(metric), query, &mut collector);
+        collector.out
     }
 
-    fn range_rec<M: Metric<T>>(
+    /// Streaming filter-and-refine search, the engine behind
+    /// [`forest::ShardedVpForest`] queries.
+    ///
+    /// At every visited node the cheap [`BoundedMetric::lower_bound`] is
+    /// evaluated **before** the exact distance; when the bound already
+    /// exceeds the collector's current [`SearchCollector::tau`], the exact
+    /// computation is skipped entirely and both sub-trees are scanned
+    /// (each getting its own bound check) — the annulus test needs the
+    /// exact distance, so pruning degrades gracefully into a
+    /// lower-bound-filtered scan instead of paying for exact distances.
+    /// Every candidate that survives is handed to
+    /// [`SearchCollector::offer`]; duplicate-bucket items are offered at
+    /// their vantage point's distance without further metric calls.
+    ///
+    /// The collector decides what "tau" means: a k-NN collector returns
+    /// its current k-th best distance (shrinking as hits arrive), a range
+    /// collector a fixed radius. Results are exact for any collector whose
+    /// `tau` never excludes a candidate it would still accept.
+    pub fn search<M: BoundedMetric<T>, C: SearchCollector>(
+        &self,
+        metric: &M,
+        query: &T,
+        collector: &mut C,
+    ) {
+        self.search_rec(self.root, metric, query, collector);
+    }
+
+    fn search_rec<M: BoundedMetric<T>, C: SearchCollector>(
         &self,
         node: Option<usize>,
         metric: &M,
         query: &T,
-        radius: f64,
-        out: &mut Vec<Hit>,
+        collector: &mut C,
     ) {
         let Some(idx) = node else { return };
         let n = self.nodes[idx];
+        let tau = collector.tau();
+        let lb = metric.lower_bound(query, &self.items[n.item]);
+        if lb > tau {
+            // The vantage point (and its duplicates) provably cannot beat
+            // the bound; without its exact distance the annulus test is
+            // unavailable, so scan both sides under their own bounds.
+            self.search_rec(n.inside, metric, query, collector);
+            self.search_rec(n.outside, metric, query, collector);
+            return;
+        }
         let d = metric.distance(query, &self.items[n.item]);
-        if d <= radius {
-            out.push(Hit {
-                index: n.item,
-                distance: d,
-            });
+        collector.offer(n.item, d);
+        for &dup in self.dups(&n) {
+            collector.offer(dup as usize, d);
         }
-        if d - radius <= n.radius {
-            self.range_rec(n.inside, metric, query, radius, out);
+        if d <= n.radius {
+            self.search_rec(n.inside, metric, query, collector);
+            if d + collector.tau() >= n.radius {
+                self.search_rec(n.outside, metric, query, collector);
+            }
+        } else {
+            self.search_rec(n.outside, metric, query, collector);
+            if d - collector.tau() <= n.radius {
+                self.search_rec(n.inside, metric, query, collector);
+            }
         }
-        if d + radius >= n.radius {
-            self.range_rec(n.outside, metric, query, radius, out);
+    }
+}
+
+/// Consumer driving [`VpTree::search`]: receives surviving candidates and
+/// exposes the current pruning bound.
+pub trait SearchCollector {
+    /// A candidate item (index into the tree's item slice) at its exact
+    /// distance from the query. May be called with distances above
+    /// [`SearchCollector::tau`]; the collector filters.
+    fn offer(&mut self, index: usize, distance: f64);
+
+    /// Current pruning bound: the search may skip any computation that
+    /// provably cannot produce a distance `<= tau()`. Must never shrink
+    /// below a value that would have excluded a candidate the collector
+    /// still wants (for k-NN: the current k-th best; for range: the
+    /// radius).
+    fn tau(&self) -> f64;
+}
+
+/// Views a plain [`Metric`] as a [`BoundedMetric`] with the trivial (but
+/// sound) lower bound 0 — the bound check never fires and [`VpTree::search`]
+/// degenerates to the classic annulus-pruned traversal, which is how
+/// [`VpTree::knn`] and [`VpTree::range`] share its implementation.
+struct ZeroBound<'m, M>(&'m M);
+
+impl<T, M: Metric<T>> Metric<T> for ZeroBound<'_, M> {
+    fn distance(&self, a: &T, b: &T) -> f64 {
+        self.0.distance(a, b)
+    }
+}
+
+impl<T, M: Metric<T>> BoundedMetric<T> for ZeroBound<'_, M> {
+    fn lower_bound(&self, _a: &T, _b: &T) -> f64 {
+        0.0
+    }
+}
+
+/// [`VpTree::knn`]'s collector: bounded max-heap by distance.
+struct KnnCollector {
+    heap: BinaryHeap<HeapHit>,
+    k: usize,
+}
+
+impl SearchCollector for KnnCollector {
+    fn offer(&mut self, index: usize, distance: f64) {
+        if self.heap.len() < self.k {
+            self.heap.push(HeapHit(Hit { index, distance }));
+        } else if distance < self.heap.peek().expect("non-empty").0.distance {
+            self.heap.pop();
+            self.heap.push(HeapHit(Hit { index, distance }));
         }
+    }
+
+    fn tau(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().expect("non-empty").0.distance
+        }
+    }
+}
+
+/// [`VpTree::range`]'s collector: fixed bound, keep everything inside it.
+struct RangeCollector {
+    radius: f64,
+    out: Vec<Hit>,
+}
+
+impl SearchCollector for RangeCollector {
+    fn offer(&mut self, index: usize, distance: f64) {
+        if distance <= self.radius {
+            self.out.push(Hit { index, distance });
+        }
+    }
+
+    fn tau(&self) -> f64 {
+        self.radius
     }
 }
 
@@ -416,6 +556,113 @@ mod tests {
             tree_calls * 4 < scan_calls,
             "VP-tree used {tree_calls} calls vs scan {scan_calls}"
         );
+    }
+
+    #[test]
+    fn thousand_identical_points_collapse() {
+        // Regression: duplicate-heavy inputs used to be at the mercy of a
+        // zero median radius; duplicates now collapse into the vantage
+        // node's bucket, so the build stays shallow and a query resolves
+        // the whole cluster with O(1) distance evaluations.
+        let points = vec![7.0f64; 1000];
+        let tree = VpTree::build(points.clone(), &AbsDiff, &mut SmallRng::seed_from_u64(13));
+        // Structure: a single node holding 999 duplicates.
+        assert_eq!(tree.nodes.len(), 1, "identical items must share one node");
+        let counting = CountingMetric::new(&AbsDiff);
+        let hits = tree.knn(&counting, &7.0, 5);
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| h.distance == 0.0));
+        assert_eq!(counting.calls(), 1, "one evaluation serves every duplicate");
+        // range sees all 1000 copies
+        assert_eq!(tree.range(&AbsDiff, &7.0, 0.0).len(), 1000);
+        // and the results still agree with a linear scan
+        let a = tree.knn(&AbsDiff, &9.5, 3);
+        let b = linear_knn(&points, &AbsDiff, &9.5, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.distance, y.distance);
+        }
+    }
+
+    #[test]
+    fn duplicate_clusters_mixed_with_distinct_points() {
+        // Three heavy clusters plus distinct points: exactness must hold
+        // for knn and range everywhere.
+        let mut points = Vec::new();
+        for c in [100.0f64, 200.0, 300.0] {
+            points.extend((0..200).map(|_| c));
+        }
+        points.extend((0..50).map(|i| i as f64 * 13.7));
+        let tree = VpTree::build(points.clone(), &AbsDiff, &mut SmallRng::seed_from_u64(14));
+        let mut qrng = SmallRng::seed_from_u64(15);
+        for _ in 0..40 {
+            let q: f64 = qrng.gen_range(0.0..700.0);
+            for k in [1usize, 7, 250] {
+                let a = tree.knn(&AbsDiff, &q, k);
+                let b = linear_knn(&points, &AbsDiff, &q, k);
+                assert_eq!(a.len(), b.len(), "q={q} k={k}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.distance, y.distance, "q={q} k={k}");
+                }
+            }
+            let r = qrng.gen_range(0.0..120.0);
+            let mut got: Vec<usize> = tree
+                .range(&AbsDiff, &q, r)
+                .into_iter()
+                .map(|h| h.index)
+                .collect();
+            got.sort_unstable();
+            let want: Vec<usize> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| (p - q).abs() <= r)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, want, "range q={q} r={r}");
+        }
+    }
+
+    #[test]
+    fn search_collector_matches_knn() {
+        struct TopK {
+            k: usize,
+            hits: Vec<Hit>,
+        }
+        impl SearchCollector for TopK {
+            fn offer(&mut self, index: usize, distance: f64) {
+                self.hits.push(Hit { index, distance });
+                self.hits
+                    .sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("NaN"));
+                self.hits.truncate(self.k);
+            }
+            fn tau(&self) -> f64 {
+                if self.hits.len() < self.k {
+                    f64::INFINITY
+                } else {
+                    self.hits[self.k - 1].distance
+                }
+            }
+        }
+        let points = random_points(400, 21);
+        let tree = VpTree::build(points.clone(), &AbsDiff, &mut SmallRng::seed_from_u64(22));
+        // A sound lower bound for |a-b|: the distance between coarse bins.
+        let m = FnBoundedMetric(
+            |a: &f64, b: &f64| (a - b).abs(),
+            |a: &f64, b: &f64| ((a - b).abs() / 16.0).floor() * 16.0,
+        );
+        let mut qrng = SmallRng::seed_from_u64(23);
+        for _ in 0..30 {
+            let q: f64 = qrng.gen_range(-50.0..1050.0);
+            let mut c = TopK {
+                k: 7,
+                hits: Vec::new(),
+            };
+            tree.search(&m, &q, &mut c);
+            let want = linear_knn(&points, &m, &q, 7);
+            assert_eq!(c.hits.len(), want.len());
+            for (x, y) in c.hits.iter().zip(&want) {
+                assert_eq!(x.distance, y.distance, "q={q}");
+            }
+        }
     }
 
     #[test]

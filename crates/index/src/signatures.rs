@@ -1,0 +1,381 @@
+//! NED wiring for the sharded forest: a **persistent node-signature
+//! index**.
+//!
+//! [`SignatureIndex`] owns a [`ShardedVpForest`] of
+//! [`NodeSignature`]s under the NED metric, assigns stable `u64` ids as
+//! signatures arrive (possibly from many graphs), and serializes to the
+//! `ned-core::store` snapshot codec wrapped in its own framed, versioned,
+//! checksummed file — an index built once survives process restarts and
+//! answers queries immediately after [`SignatureIndex::load`], with no
+//! re-extraction and no re-preparation.
+//!
+//! Queries go through [`SignatureMetric`]: exact distances are TED\* on
+//! prepared signatures, and the filter step is the interned-class lower
+//! bound ([`NodeSignature::distance_lower_bound`]), evaluated before
+//! every exact call both in the forest's buffer scan and inside each
+//! VP shard.
+
+use crate::forest::{ForestHit, ForestStats, ShardedVpForest};
+use crate::{BoundedMetric, Metric};
+use ned_core::store::{self, CodecError, Reader, Writer};
+use ned_core::NodeSignature;
+use ned_graph::{Graph, NodeId};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+/// NED over node signatures as a [`BoundedMetric`]: exact distances are
+/// `TED*` (a true metric, hence VP-tree-safe), the lower bound is the
+/// interned-class histogram bound. `u64` distances are exact in `f64`
+/// far beyond any real tree size (`< 2^53`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SignatureMetric;
+
+impl Metric<NodeSignature> for SignatureMetric {
+    fn distance(&self, a: &NodeSignature, b: &NodeSignature) -> f64 {
+        a.distance(b) as f64
+    }
+}
+
+impl BoundedMetric<NodeSignature> for SignatureMetric {
+    fn lower_bound(&self, a: &NodeSignature, b: &NodeSignature) -> f64 {
+        a.distance_lower_bound(b) as f64
+    }
+}
+
+/// Magic bytes opening a persisted signature index.
+pub const INDEX_MAGIC: [u8; 8] = *b"NEDIDX01";
+/// Current index file format version.
+pub const INDEX_VERSION: u32 = 1;
+
+/// A dynamic, persistent k-NN index over node signatures. See the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct SignatureIndex {
+    forest: ShardedVpForest<NodeSignature>,
+    k: usize,
+    threshold: usize,
+    seed: u64,
+    next_id: u64,
+}
+
+impl SignatureIndex {
+    /// An empty index for signatures extracted at parameter `k`.
+    /// `threshold` is the forest's buffer-freeze size; `seed` pins shard
+    /// construction.
+    pub fn new(k: usize, threshold: usize, seed: u64) -> Self {
+        SignatureIndex {
+            forest: ShardedVpForest::new(threshold, seed),
+            k,
+            threshold: threshold.max(1),
+            seed,
+            next_id: 0,
+        }
+    }
+
+    /// The extraction parameter every indexed signature was built at.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Live signature count.
+    pub fn len(&self) -> usize {
+        self.forest.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.forest.is_empty()
+    }
+
+    /// Forest shape (shard sizes, buffer fill, tombstones).
+    pub fn stats(&self) -> ForestStats {
+        self.forest.stats()
+    }
+
+    /// The underlying forest (read-only).
+    pub fn forest(&self) -> &ShardedVpForest<NodeSignature> {
+        &self.forest
+    }
+
+    /// Indexes one signature, returning its assigned id.
+    pub fn insert(&mut self, sig: NodeSignature) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.forest.insert(&SignatureMetric, id, sig);
+        id
+    }
+
+    /// Extracts and indexes the signatures of `nodes` in `graph`,
+    /// returning the id range assigned (`first..first + nodes.len()`,
+    /// in node order).
+    pub fn insert_graph(&mut self, graph: &Graph, nodes: &[NodeId]) -> std::ops::Range<u64> {
+        let first = self.next_id;
+        for sig in ned_core::signatures(graph, nodes, self.k) {
+            self.insert(sig);
+        }
+        first..self.next_id
+    }
+
+    /// Removes a signature by id. Returns `false` for unknown ids.
+    pub fn remove(&mut self, id: u64) -> bool {
+        self.forest.remove(&SignatureMetric, id)
+    }
+
+    /// The signature stored under `id`, if live (`O(n)` — a diagnostic
+    /// accessor, not a query path).
+    pub fn get(&self, id: u64) -> Option<&NodeSignature> {
+        self.forest
+            .entries()
+            .find(|&(eid, _)| eid == id)
+            .map(|(_, sig)| sig)
+    }
+
+    /// The `top` nearest indexed signatures, sorted by `(distance, id)`,
+    /// exact. `threads = 0` uses all cores.
+    pub fn query(&self, sig: &NodeSignature, top: usize, threads: usize) -> Vec<ForestHit> {
+        self.forest.knn(&SignatureMetric, sig, top, threads)
+    }
+
+    /// [`SignatureIndex::query`] for a node of a graph (extracts the
+    /// query signature at this index's `k` first).
+    pub fn query_node(
+        &self,
+        graph: &Graph,
+        node: NodeId,
+        top: usize,
+        threads: usize,
+    ) -> Vec<ForestHit> {
+        let sig = NodeSignature::extract(graph, node, self.k);
+        self.query(&sig, top, threads)
+    }
+
+    /// Every indexed signature within `radius` of `sig`.
+    pub fn range(&self, sig: &NodeSignature, radius: u64, threads: usize) -> Vec<ForestHit> {
+        self.forest
+            .range(&SignatureMetric, sig, radius as f64, threads)
+    }
+
+    /// Full-scan baseline over the same live set — the reference the
+    /// forest's results are defined against, and the benchmark
+    /// comparator.
+    pub fn scan(&self, sig: &NodeSignature, top: usize) -> Vec<ForestHit> {
+        self.forest.scan_knn(&SignatureMetric, sig, top)
+    }
+
+    /// Serializes the whole index (config + every live signature) into
+    /// the framed NEDIDX01 format; the embedded signature block is a
+    /// standard `ned-core::store` snapshot.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut entries: Vec<(u64, &NodeSignature)> = self.forest.entries().collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        let snapshot = store::encode_snapshot(
+            self.k,
+            entries
+                .iter()
+                .map(|&(id, sig)| (id, sig.node, sig.prepared())),
+        );
+        let mut w = Writer::with_magic(&INDEX_MAGIC);
+        w.put_u32(INDEX_VERSION);
+        w.put_u32(self.k as u32);
+        w.put_u64(self.threshold as u64);
+        w.put_u64(self.seed);
+        w.put_u64(self.next_id);
+        w.put_block(&snapshot);
+        w.finish()
+    }
+
+    /// Restores [`SignatureIndex::to_bytes`] output. The forest is
+    /// bulk-rebuilt (same live set, same query results — shard layout may
+    /// differ, which is invisible through the exact query API).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::open(bytes, &INDEX_MAGIC)?;
+        let version = r.u32()?;
+        if version != INDEX_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let k = r.u32()? as usize;
+        let threshold = r.u64()? as usize;
+        let seed = r.u64()?;
+        let next_id = r.u64()?;
+        let snapshot = store::decode_snapshot(r.block()?)?;
+        if snapshot.k != k {
+            return Err(CodecError::Malformed(format!(
+                "index header says k = {k} but the signature block was built at k = {}",
+                snapshot.k
+            )));
+        }
+        let entries: Vec<(u64, NodeSignature)> = snapshot.entries();
+        for &(id, _) in &entries {
+            if id >= next_id {
+                return Err(CodecError::Malformed(format!(
+                    "entry id {id} not below the persisted id watermark {next_id}"
+                )));
+            }
+        }
+        let forest = ShardedVpForest::from_entries(threshold, seed, entries, &SignatureMetric);
+        Ok(SignatureIndex {
+            forest,
+            k,
+            threshold,
+            seed,
+            next_id,
+        })
+    }
+
+    /// [`SignatureIndex::to_bytes`] straight to a file — atomically: the
+    /// bytes land in a sibling temp file that is renamed over `path`, so
+    /// a crash or full disk mid-save can never destroy a previously good
+    /// index (the whole point of persisting one).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let bytes = self.to_bytes();
+        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// [`SignatureIndex::from_bytes`] straight from a file.
+    pub fn load(path: &Path) -> Result<Self, LoadError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(Self::from_bytes(&bytes)?)
+    }
+}
+
+/// Errors from [`SignatureIndex::load`]: I/O or decoding.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The bytes could not be decoded.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "{e}"),
+            LoadError::Codec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl From<CodecError> for LoadError {
+    fn from(e: CodecError) -> Self {
+        LoadError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ned_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn build_query_matches_scan() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::barabasi_albert(300, 3, &mut rng);
+        let nodes: Vec<u32> = g.nodes().collect();
+        let mut index = SignatureIndex::new(3, 64, 42);
+        let ids = index.insert_graph(&g, &nodes);
+        assert_eq!(ids, 0..300);
+        assert_eq!(index.len(), 300);
+        for probe in [0u32, 57, 123, 299] {
+            let sig = NodeSignature::extract(&g, probe, 3);
+            let fast = index.query(&sig, 7, 0);
+            let slow = index.scan(&sig, 7);
+            assert_eq!(fast, slow, "probe {probe}");
+            assert_eq!(fast[0].distance, 0.0, "probe is its own nearest neighbor");
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_results() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g1 = generators::barabasi_albert(150, 2, &mut rng);
+        let g2 = generators::erdos_renyi_gnm(100, 220, &mut rng);
+        let mut index = SignatureIndex::new(4, 32, 7);
+        index.insert_graph(&g1, &g1.nodes().collect::<Vec<_>>());
+        index.insert_graph(&g2, &g2.nodes().collect::<Vec<_>>());
+        index.remove(17);
+        index.remove(200);
+
+        let bytes = index.to_bytes();
+        let back = SignatureIndex::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.len(), index.len());
+        assert_eq!(back.k(), index.k());
+        for probe in [0u32, 31, 99] {
+            let sig = NodeSignature::extract(&g2, probe, 4);
+            assert_eq!(
+                back.query(&sig, 9, 0),
+                index.query(&sig, 9, 0),
+                "probe {probe}"
+            );
+        }
+        // ids keep advancing from the persisted watermark
+        let mut back = back;
+        let new_id = back.insert(NodeSignature::extract(&g1, 0, 4));
+        assert_eq!(new_id, 250);
+    }
+
+    #[test]
+    fn mixed_graph_index_finds_cross_graph_twins() {
+        // Identical structure indexed from two different graphs must be
+        // found at distance 0 from either side.
+        let cycle_a =
+            Graph::undirected_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let cycle_b = Graph::undirected_from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ],
+        );
+        let mut index = SignatureIndex::new(3, 4, 1);
+        index.insert_graph(&cycle_a, &cycle_a.nodes().collect::<Vec<_>>());
+        let hits = index.query_node(&cycle_b, 0, 3, 0);
+        assert!(hits.iter().all(|h| h.distance == 0.0), "{hits:?}");
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(matches!(
+            SignatureIndex::from_bytes(b"short"),
+            Err(CodecError::Truncated { .. })
+        ));
+        let mut ok = SignatureIndex::new(3, 4, 1).to_bytes();
+        ok[0] = b'X';
+        assert!(matches!(
+            SignatureIndex::from_bytes(&ok),
+            Err(CodecError::BadMagic)
+        ));
+        let mut flipped = SignatureIndex::new(3, 4, 1).to_bytes();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(matches!(
+            SignatureIndex::from_bytes(&flipped),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+}

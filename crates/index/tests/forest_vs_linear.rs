@@ -1,0 +1,172 @@
+//! Cross-engine property tests: the sharded forest must return **exactly**
+//! the hits of a linear scan over the same live signature set — same ids,
+//! same distances — through arbitrary interleavings of inserts and
+//! removes, in serial and parallel query modes, and across a save/load
+//! round trip.
+
+use ned_core::{signatures, NodeSignature};
+use ned_graph::generators;
+use ned_index::{ForestHit, ShardedVpForest, SignatureIndex, SignatureMetric};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Reference result computed from first principles: exact NED to every
+/// live `(id, signature)` pair, sorted by `(distance, id)`.
+fn reference_knn(
+    live: &HashMap<u64, NodeSignature>,
+    q: &NodeSignature,
+    k: usize,
+) -> Vec<ForestHit> {
+    let mut hits: Vec<ForestHit> = live
+        .iter()
+        .map(|(&id, sig)| ForestHit {
+            id,
+            distance: q.distance(sig) as f64,
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("NaN")
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    hits.truncate(k);
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forest_knn_equals_linear_scan_under_churn(
+        seed in any::<u64>(),
+        threshold in 1..48usize,
+        ops in 20..120usize,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g1 = generators::barabasi_albert(100, 2, &mut rng);
+        let g2 = generators::erdos_renyi_gnm(80, 160, &mut rng);
+        let nodes1: Vec<u32> = g1.nodes().collect();
+        let nodes2: Vec<u32> = g2.nodes().collect();
+        let pool: Vec<NodeSignature> = signatures(&g1, &nodes1, 3)
+            .into_iter()
+            .chain(signatures(&g2, &nodes2, 3))
+            .collect();
+
+        let mut forest: ShardedVpForest<NodeSignature> =
+            ShardedVpForest::new(threshold, seed);
+        let mut live: HashMap<u64, NodeSignature> = HashMap::new();
+        for step in 0..ops {
+            if live.is_empty() || rng.gen_bool(0.6) {
+                let id = rng.gen_range(0..60u64);
+                let sig = pool[rng.gen_range(0..pool.len())].clone();
+                let fresh = forest.insert(&SignatureMetric, id, sig.clone());
+                prop_assert_eq!(fresh, !live.contains_key(&id), "step {}", step);
+                live.insert(id, sig);
+            } else {
+                let id = rng.gen_range(0..60u64);
+                let removed = forest.remove(&SignatureMetric, id);
+                prop_assert_eq!(removed, live.remove(&id).is_some(), "step {}", step);
+            }
+            prop_assert_eq!(forest.len(), live.len(), "step {}", step);
+
+            if step % 9 == 0 {
+                let q = &pool[rng.gen_range(0..pool.len())];
+                let k = rng.gen_range(1..10usize);
+                let want = reference_knn(&live, q, k);
+                let serial = forest.knn(&SignatureMetric, q, k, 1);
+                let parallel = forest.knn(&SignatureMetric, q, k, 0);
+                prop_assert_eq!(&serial, &want, "serial knn, step {}", step);
+                prop_assert_eq!(&parallel, &want, "parallel knn, step {}", step);
+                let scan = forest.scan_knn(&SignatureMetric, q, k);
+                prop_assert_eq!(&scan, &want, "scan baseline, step {}", step);
+            }
+        }
+    }
+
+    #[test]
+    fn forest_range_equals_linear_filter(
+        seed in any::<u64>(),
+        threshold in 1..32usize,
+        radius in 0..12u64,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(90, 3, &mut rng);
+        let nodes: Vec<u32> = g.nodes().collect();
+        let pool = signatures(&g, &nodes, 3);
+        let mut forest: ShardedVpForest<NodeSignature> =
+            ShardedVpForest::new(threshold, seed);
+        let mut live: HashMap<u64, NodeSignature> = HashMap::new();
+        for (i, sig) in pool.iter().enumerate() {
+            forest.insert(&SignatureMetric, i as u64, sig.clone());
+            live.insert(i as u64, sig.clone());
+        }
+        for drop in (0..90u64).step_by(4) {
+            forest.remove(&SignatureMetric, drop);
+            live.remove(&drop);
+        }
+        let q = &pool[rng.gen_range(0..pool.len())];
+        let got = forest.range(&SignatureMetric, q, radius as f64, 0);
+        let mut want: Vec<ForestHit> = live
+            .iter()
+            .filter_map(|(&id, sig)| {
+                let d = q.distance(sig);
+                (d <= radius).then_some(ForestHit {
+                    id,
+                    distance: d as f64,
+                })
+            })
+            .collect();
+        want.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("NaN")
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn save_load_round_trip_is_query_identical(
+        seed in any::<u64>(),
+        threshold in 1..40usize,
+        removals in 0..30usize,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(120, 2, &mut rng);
+        let nodes: Vec<u32> = g.nodes().collect();
+        let mut index = SignatureIndex::new(3, threshold, seed);
+        index.insert_graph(&g, &nodes);
+        for _ in 0..removals {
+            index.remove(rng.gen_range(0..120u64));
+        }
+        let bytes = index.to_bytes();
+        let back = SignatureIndex::from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(back.len(), index.len());
+
+        // Queries after the round trip are bit-identical to before — and
+        // both are the linear scan's answer.
+        let probes = signatures(&g, &[0, 13, 77, 119], 3);
+        for q in &probes {
+            let k = rng.gen_range(1..12usize);
+            let before = index.query(q, k, 0);
+            let after = back.query(q, k, 0);
+            let scan = index.scan(q, k);
+            prop_assert_eq!(&before, &scan);
+            prop_assert_eq!(&after, &scan);
+        }
+
+        // ... and the restored index stays exact under further churn.
+        let mut back = back;
+        let mut extra = signatures(&g, &[5, 6, 7], 3).into_iter();
+        let new_id = back.insert(extra.next().expect("three sigs"));
+        prop_assert!(back.remove(new_id));
+        back.insert(extra.next().expect("three sigs"));
+        let q = extra.next().expect("three sigs");
+        let fast = back.query(&q, 6, 0);
+        let slow = back.scan(&q, 6);
+        prop_assert_eq!(fast, slow);
+    }
+}

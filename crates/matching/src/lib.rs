@@ -269,7 +269,10 @@ mod tests {
         }
         let inv = a.col_to_row();
         for (c, &r) in inv.iter().enumerate() {
-            assert_eq!(a.row_to_col[r.expect("square matching fills every column")], c);
+            assert_eq!(
+                a.row_to_col[r.expect("square matching fills every column")],
+                c
+            );
         }
     }
 

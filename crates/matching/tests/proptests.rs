@@ -23,10 +23,7 @@ fn matrix_strategy(max_n: usize, max_cost: i64) -> impl Strategy<Value = CostMat
 
 /// A matrix plus a list of row/column duplications to apply: the natural
 /// habitat of the collapsed solver.
-fn duplicated_matrix_strategy(
-    max_n: usize,
-    max_cost: i64,
-) -> impl Strategy<Value = CostMatrix> {
+fn duplicated_matrix_strategy(max_n: usize, max_cost: i64) -> impl Strategy<Value = CostMatrix> {
     (matrix_strategy(max_n, max_cost), any::<u64>()).prop_map(|(mut m, seed)| {
         use rand::{Rng, SeedableRng};
         let n = m.size();

@@ -56,15 +56,12 @@ pub fn canonical_level_labels(tree: &Tree) -> Vec<u32> {
         let mut keyed: Vec<(Vec<u32>, u32)> = range
             .clone()
             .map(|v| {
-                let mut s: Vec<u32> =
-                    tree.children(v).map(|c| labels[c as usize]).collect();
+                let mut s: Vec<u32> = tree.children(v).map(|c| labels[c as usize]).collect();
                 s.sort_unstable();
                 (s, v)
             })
             .collect();
-        keyed.sort_unstable_by(|a, b| {
-            a.0.len().cmp(&b.0.len()).then_with(|| a.0.cmp(&b.0))
-        });
+        keyed.sort_unstable_by(|a, b| a.0.len().cmp(&b.0.len()).then_with(|| a.0.cmp(&b.0)));
         let mut next = 0u32;
         let mut prev: Option<&[u32]> = None;
         // Assign dense ranks; equal collections share a label.
@@ -115,12 +112,8 @@ pub fn canonical_form(tree: &Tree) -> Tree {
     for v in (0..n as u32).rev() {
         let mut kids: Vec<u32> = tree.children(v).collect();
         kids.sort_by(|&a, &b| codes[a as usize].cmp(&codes[b as usize]));
-        let mut code = Vec::with_capacity(
-            2 + kids
-                .iter()
-                .map(|&c| codes[c as usize].len())
-                .sum::<usize>(),
-        );
+        let mut code =
+            Vec::with_capacity(2 + kids.iter().map(|&c| codes[c as usize].len()).sum::<usize>());
         code.push(b'(');
         for &c in &kids {
             code.extend_from_slice(&codes[c as usize]);

@@ -75,11 +75,7 @@ pub fn random_prufer_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Tree {
 /// Random tree whose depth never exceeds `max_depth` levels below the root
 /// (so the result has at most `max_depth + 1` levels). Mimics the shape of
 /// k-adjacent trees, the paper's input distribution.
-pub fn random_bounded_depth_tree<R: Rng + ?Sized>(
-    n: usize,
-    max_depth: usize,
-    rng: &mut R,
-) -> Tree {
+pub fn random_bounded_depth_tree<R: Rng + ?Sized>(n: usize, max_depth: usize, rng: &mut R) -> Tree {
     assert!(n >= 1);
     let mut parents = vec![0u32];
     let mut depths = vec![0usize];
@@ -158,8 +154,11 @@ pub fn mutate<R: Rng + ?Sized>(tree: &Tree, ops: usize, rng: &mut R) -> (Tree, V
         .collect();
     let mut applied = Vec::with_capacity(ops);
 
-    let alive =
-        |ps: &Vec<Option<u32>>| -> Vec<u32> { (0..ps.len() as u32).filter(|&v| ps[v as usize].is_some()).collect() };
+    let alive = |ps: &Vec<Option<u32>>| -> Vec<u32> {
+        (0..ps.len() as u32)
+            .filter(|&v| ps[v as usize].is_some())
+            .collect()
+    };
     let depth_of = |ps: &Vec<Option<u32>>, mut v: u32| -> usize {
         let mut d = 0;
         while v != 0 {
@@ -213,9 +212,7 @@ pub fn mutate<R: Rng + ?Sized>(tree: &Tree, ops: usize, rng: &mut R) -> (Tree, V
                 let candidates: Vec<u32> = nodes
                     .iter()
                     .copied()
-                    .filter(|&p| {
-                        p != old_parent && p != v && depth_of(&parents, p) == target_depth
-                    })
+                    .filter(|&p| p != old_parent && p != v && depth_of(&parents, p) == target_depth)
                     .collect();
                 if candidates.is_empty() {
                     continue;

@@ -259,7 +259,11 @@ mod tests {
         let ids: Vec<Vec<u32>> = std::thread::scope(|scope| {
             (0..4)
                 .map(|_| {
-                    scope.spawn(|| keys.iter().map(|k| interner.intern(k)).collect::<Vec<u32>>())
+                    scope.spawn(|| {
+                        keys.iter()
+                            .map(|k| interner.intern(k))
+                            .collect::<Vec<u32>>()
+                    })
                 })
                 .collect::<Vec<_>>()
                 .into_iter()

@@ -204,7 +204,10 @@ mod tests {
         assert!(art.contains("|-- *"));
         assert!(art.contains("`-- *"));
         // deepest node is indented below a last-child prefix
-        assert!(art.contains("|   `-- *") || art.contains("    `-- *"), "{art}");
+        assert!(
+            art.contains("|   `-- *") || art.contains("    `-- *"),
+            "{art}"
+        );
     }
 
     #[test]

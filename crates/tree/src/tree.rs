@@ -50,9 +50,7 @@ impl Tree {
 
     /// Like [`Tree::from_parents`] but also returns `mapping` where
     /// `mapping[new_id] = original_id`.
-    pub fn from_parents_with_mapping(
-        parents: &[NodeId],
-    ) -> Result<(Self, Vec<NodeId>), TreeError> {
+    pub fn from_parents_with_mapping(parents: &[NodeId]) -> Result<(Self, Vec<NodeId>), TreeError> {
         let n = parents.len();
         if n == 0 {
             return Err(TreeError::Empty);

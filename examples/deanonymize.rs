@@ -41,10 +41,8 @@ fn main() {
     for &original in &samples {
         let hidden = anon.mapping[original as usize];
         let query = NodeSignature::extract(&anon.graph, hidden, K);
-        let mut ranked: Vec<(u64, NodeId)> = known
-            .iter()
-            .map(|c| (query.distance(c), c.node))
-            .collect();
+        let mut ranked: Vec<(u64, NodeId)> =
+            known.iter().map(|c| (query.distance(c), c.node)).collect();
         ranked.sort_unstable();
         if ranked.iter().take(TOP_L).any(|&(_, n)| n == original) {
             hits += 1;
@@ -67,10 +65,8 @@ fn main() {
         for &original in &samples {
             let hidden = anon.mapping[original as usize];
             let query = NodeSignature::extract(&anon.graph, hidden, K);
-            let mut ranked: Vec<(u64, NodeId)> = known
-                .iter()
-                .map(|c| (query.distance(c), c.node))
-                .collect();
+            let mut ranked: Vec<(u64, NodeId)> =
+                known.iter().map(|c| (query.distance(c), c.node)).collect();
             ranked.sort_unstable();
             if ranked.iter().take(TOP_L).any(|&(_, n)| n == original) {
                 hits += 1;

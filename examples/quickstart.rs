@@ -11,13 +11,20 @@ fn main() {
     //      0-1-2-3-4-5-0,  5-6-7
     let a = Graph::undirected_from_edges(
         8,
-        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (5, 6), (6, 7)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 0),
+            (5, 6),
+            (6, 7),
+        ],
     );
     // Graph B: a star of 5 leaves with one leaf extended into a chain.
-    let b = Graph::undirected_from_edges(
-        8,
-        &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6), (6, 7)],
-    );
+    let b =
+        Graph::undirected_from_edges(8, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6), (6, 7)]);
 
     println!("graph A: {:?}", a);
     println!("graph B: {:?}", b);

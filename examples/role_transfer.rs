@@ -44,7 +44,10 @@ fn main() {
     // Signatures for the labeled side.
     let labeled_nodes: Vec<NodeId> = labeled.nodes().collect();
     let labeled_sigs = signatures(&labeled, &labeled_nodes, K);
-    let labels: Vec<Role> = labeled_nodes.iter().map(|&v| role_of(&labeled, v)).collect();
+    let labels: Vec<Role> = labeled_nodes
+        .iter()
+        .map(|&v| role_of(&labeled, v))
+        .collect();
 
     // Classify a sample of the unlabeled network.
     let sample: Vec<NodeId> = (0..200u32).map(|i| (i * 7) % 1500).collect();

@@ -32,7 +32,10 @@ fn main() {
         );
 
         // How fast do equivalence classes shatter with k?
-        println!("{:>3} {:>10} {:>14} {:>12}", "k", "classes", "largest class", "singletons");
+        println!(
+            "{:>3} {:>10} {:>14} {:>12}",
+            "k", "classes", "largest class", "singletons"
+        );
         for k in 1..=dataset.recommended_k() {
             let classes = equivalence_classes(&g, k);
             let singletons = classes.iter().filter(|c| c.len() == 1).count();

@@ -8,6 +8,12 @@
 //! ned-cli deanon <graph.edges> [--method naive|sparsify|perturb]
 //!                [--ratio F] [--k N] [--top N] [--samples N] [--seed N]
 //! ned-cli hausdorff <g1.edges> <g2.edges> [--k N] [--sample N] [--seed N]
+//! ned-cli index build <out.idx> <graph.edges> [--k N] [--threshold N] [--seed N]
+//! ned-cli index add <idx> <graph.edges> [--out PATH]
+//! ned-cli index query <idx> <graph.edges> <node> [--top N] [--threads N] [--verify]
+//! ned-cli index save <idx> <out.idx>
+//! ned-cli index load <idx>
+//! ned-cli serve <idx>
 //! ```
 
 use ned::baselines::features::{l1_distance, RefexFeatures};
@@ -32,6 +38,8 @@ fn main() -> ExitCode {
         Some("hausdorff") => cmd_hausdorff(&args[1..]),
         Some("classes") => cmd_classes(&args[1..]),
         Some("suggest-k") => cmd_suggest_k(&args[1..]),
+        Some("index") => cmd_index(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -60,7 +68,14 @@ fn print_usage() {
          \x20 deanon <graph> [--method M] [--ratio F] [--k N] [--top N] [--samples N] [--seed N]\n\
          \x20 hausdorff <g1> <g2> [--k N] [--sample N] [--seed N]  whole-graph distance\n\
          \x20 classes <graph> [--k N] [--show N]                 structural equivalence classes\n\
-         \x20 suggest-k <graph> [--target N] [--samples N]       pick a k for this graph\n"
+         \x20 suggest-k <graph> [--target N] [--samples N]       pick a k for this graph\n\
+         \x20 index build <out.idx> <graph> [--k N] [--threshold N] [--seed N]\n\
+         \x20                                                    build + save a persistent signature index\n\
+         \x20 index add <idx> <graph> [--out PATH]               index another graph's signatures\n\
+         \x20 index query <idx> <graph> <node> [--top N] [--threads N] [--verify]\n\
+         \x20 index save <idx> <out.idx>                         re-encode (verifies the file round-trips)\n\
+         \x20 index load <idx>                                   load + print index stats\n\
+         \x20 serve <idx>                                        long-lived query REPL over stdin\n"
     );
 }
 
@@ -129,7 +144,10 @@ fn parse_node(g: &Graph, s: &str) -> Result<NodeId, String> {
     if (v as usize) < g.num_nodes() {
         Ok(v)
     } else {
-        Err(format!("node {v} out of range (graph has {} nodes)", g.num_nodes()))
+        Err(format!(
+            "node {v} out of range (graph has {} nodes)",
+            g.num_nodes()
+        ))
     }
 }
 
@@ -275,8 +293,14 @@ fn cmd_deanon(raw: &[String]) -> Result<(), String> {
         method.name(),
         sample.len()
     );
-    println!("  NED precision:     {:.3}", ned_hits as f64 / sample.len() as f64);
-    println!("  Feature precision: {:.3}", feat_hits as f64 / sample.len() as f64);
+    println!(
+        "  NED precision:     {:.3}",
+        ned_hits as f64 / sample.len() as f64
+    );
+    println!(
+        "  Feature precision: {:.3}",
+        feat_hits as f64 / sample.len() as f64
+    );
     Ok(())
 }
 
@@ -300,12 +324,7 @@ fn cmd_classes(raw: &[String]) -> Result<(), String> {
             shape.truncate(57);
             shape.push_str("...");
         }
-        println!(
-            "  #{:<3} {:>6} nodes  shape {}",
-            i + 1,
-            class.len(),
-            shape
-        );
+        println!("  #{:<3} {:>6} nodes  shape {}", i + 1, class.len(), shape);
     }
     Ok(())
 }
@@ -320,6 +339,265 @@ fn cmd_suggest_k(raw: &[String]) -> Result<(), String> {
     let k = ned::graph::bfs::suggest_k(&g, target, samples, &mut rng);
     println!("suggested k = {k} (median sampled tree reaches ~{target} nodes)");
     Ok(())
+}
+
+fn load_index(path: &str) -> Result<ned::index::SignatureIndex, String> {
+    ned::index::SignatureIndex::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn save_index(index: &ned::index::SignatureIndex, path: &str) -> Result<(), String> {
+    index
+        .save(Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn print_index_stats(index: &ned::index::SignatureIndex) {
+    let stats = index.stats();
+    println!(
+        "signatures: {} (k = {}), buffer {}, shards {:?}, tombstones {}",
+        stats.len,
+        index.k(),
+        stats.buffer,
+        stats.shard_sizes,
+        stats.tombstones
+    );
+}
+
+fn cmd_index(raw: &[String]) -> Result<(), String> {
+    match raw.first().map(String::as_str) {
+        Some("build") => cmd_index_build(&raw[1..]),
+        Some("add") => cmd_index_add(&raw[1..]),
+        Some("query") => cmd_index_query(&raw[1..]),
+        Some("save") => cmd_index_save(&raw[1..]),
+        Some("load") => cmd_index_load(&raw[1..]),
+        Some(other) => Err(format!(
+            "unknown index subcommand {other:?}; try build/add/query/save/load"
+        )),
+        None => Err("missing index subcommand (build/add/query/save/load)".into()),
+    }
+}
+
+fn cmd_index_build(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let out = args.positional(0, "output index path")?;
+    let graph_path = args.positional(1, "graph path")?;
+    let g = load(graph_path, false)?;
+    let k: usize = args.get("k", 3)?;
+    let threshold: usize = args.get("threshold", 1024)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let mut index = ned::index::SignatureIndex::new(k, threshold, seed);
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let ids = index.insert_graph(&g, &nodes);
+    save_index(&index, out)?;
+    println!(
+        "indexed {} signatures of {graph_path} as ids {}..{} -> {out}",
+        nodes.len(),
+        ids.start,
+        ids.end
+    );
+    print_index_stats(&index);
+    Ok(())
+}
+
+fn cmd_index_add(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let idx_path = args.positional(0, "index path")?;
+    let graph_path = args.positional(1, "graph path")?;
+    let out: String = args.get("out", idx_path.to_string())?;
+    let mut index = load_index(idx_path)?;
+    let g = load(graph_path, false)?;
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let ids = index.insert_graph(&g, &nodes);
+    save_index(&index, &out)?;
+    println!(
+        "added {} signatures of {graph_path} as ids {}..{} -> {out}",
+        nodes.len(),
+        ids.start,
+        ids.end
+    );
+    print_index_stats(&index);
+    Ok(())
+}
+
+fn cmd_index_query(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["verify"])?;
+    let index = load_index(args.positional(0, "index path")?)?;
+    let g = load(args.positional(1, "query graph")?, false)?;
+    let v = parse_node(&g, args.positional(2, "query node")?)?;
+    let top: usize = args.get("top", 5)?;
+    let threads: usize = args.get("threads", 0)?;
+    let sig = NodeSignature::extract(&g, v, index.k());
+    let hits = index.query(&sig, top, threads);
+    println!(
+        "top-{top} of {} indexed signatures for node {v} (k = {}):",
+        index.len(),
+        index.k()
+    );
+    for (rank, h) in hits.iter().enumerate() {
+        println!("  {:>2}. id {:>8}  NED = {}", rank + 1, h.id, h.distance);
+    }
+    if args.has("verify") {
+        let slow = index.scan(&sig, top);
+        if hits == slow {
+            println!(
+                "verified: identical to the full scan ({} items)",
+                index.len()
+            );
+        } else {
+            return Err(format!(
+                "index disagrees with full scan: {hits:?} vs {slow:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_index_save(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let src = args.positional(0, "index path")?;
+    let dst = args.positional(1, "output path")?;
+    let index = load_index(src)?;
+    save_index(&index, dst)?;
+    let back = load_index(dst)?;
+    if back.len() != index.len() || back.k() != index.k() {
+        return Err(format!("round-trip mismatch writing {dst}"));
+    }
+    println!(
+        "re-encoded {src} -> {dst} ({} signatures, verified)",
+        back.len()
+    );
+    Ok(())
+}
+
+fn cmd_index_load(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let path = args.positional(0, "index path")?;
+    let index = load_index(path)?;
+    println!("{path}:");
+    print_index_stats(&index);
+    Ok(())
+}
+
+/// Long-lived serving mode: the index is loaded (and its signatures
+/// prepared) once; queries then stream over stdin, one command per line,
+/// answers over stdout. `help` lists the commands.
+fn cmd_serve(raw: &[String]) -> Result<(), String> {
+    use std::io::BufRead;
+    let args = Args::parse(raw, &[])?;
+    let idx_path = args.positional(0, "index path")?;
+    let threads: usize = args.get("threads", 0)?;
+    let mut index = load_index(idx_path)?;
+    let mut graphs: std::collections::HashMap<String, Graph> = std::collections::HashMap::new();
+    println!("serving {idx_path}; type `help` for commands");
+    print_index_stats(&index);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        match serve_line(&mut index, &mut graphs, threads, line.trim()) {
+            Ok(ServeOutcome::Continue) => {}
+            Ok(ServeOutcome::Quit) => break,
+            Err(msg) => println!("error: {msg}"),
+        }
+    }
+    println!("bye");
+    Ok(())
+}
+
+enum ServeOutcome {
+    Continue,
+    Quit,
+}
+
+fn serve_line(
+    index: &mut ned::index::SignatureIndex,
+    graphs: &mut std::collections::HashMap<String, Graph>,
+    threads: usize,
+    line: &str,
+) -> Result<ServeOutcome, String> {
+    fn cached_graph<'a>(
+        graphs: &'a mut std::collections::HashMap<String, Graph>,
+        path: &str,
+    ) -> Result<&'a Graph, String> {
+        if !graphs.contains_key(path) {
+            let g = load(path, false)?;
+            graphs.insert(path.to_string(), g);
+        }
+        Ok(graphs.get(path).expect("inserted above"))
+    }
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    match tokens.as_slice() {
+        [] | ["#", ..] => Ok(ServeOutcome::Continue),
+        ["quit"] | ["exit"] => Ok(ServeOutcome::Quit),
+        ["help"] => {
+            println!(
+                "commands:\n\
+                 \x20 query <graph.edges> <node> [top]   nearest indexed signatures\n\
+                 \x20 sig <parens-tree> [top]            query by a literal tree shape\n\
+                 \x20 add <graph.edges> <node>           index one more signature\n\
+                 \x20 remove <id>                        drop a signature by id\n\
+                 \x20 stats                              index shape\n\
+                 \x20 save <path>                        persist the current index\n\
+                 \x20 quit"
+            );
+            Ok(ServeOutcome::Continue)
+        }
+        ["stats"] => {
+            print_index_stats(index);
+            Ok(ServeOutcome::Continue)
+        }
+        ["query", path, node] | ["query", path, node, _] => {
+            let top: usize = match tokens.get(3) {
+                Some(t) => t.parse().map_err(|_| format!("bad top {t:?}"))?,
+                None => 5,
+            };
+            let g = cached_graph(graphs, path)?;
+            let v = parse_node(g, node)?;
+            let hits = index.query_node(g, v, top, threads);
+            for h in &hits {
+                println!("hit id={} ned={}", h.id, h.distance);
+            }
+            println!("ok {} hits", hits.len());
+            Ok(ServeOutcome::Continue)
+        }
+        ["sig", shape] | ["sig", shape, _] => {
+            let top: usize = match tokens.get(2) {
+                Some(t) => t.parse().map_err(|_| format!("bad top {t:?}"))?,
+                None => 5,
+            };
+            let tree = ned::tree::serialize::parse(shape).map_err(|e| e.to_string())?;
+            let prepared = ned::core::PreparedTree::new(&tree);
+            let sig = NodeSignature::from_prepared(0, prepared);
+            let hits = index.query(&sig, top, threads);
+            for h in &hits {
+                println!("hit id={} ned={}", h.id, h.distance);
+            }
+            println!("ok {} hits", hits.len());
+            Ok(ServeOutcome::Continue)
+        }
+        ["add", path, node] => {
+            let g = cached_graph(graphs, path)?;
+            let v = parse_node(g, node)?;
+            let sig = NodeSignature::extract(g, v, index.k());
+            let id = index.insert(sig);
+            println!("ok id={id}");
+            Ok(ServeOutcome::Continue)
+        }
+        ["remove", id] => {
+            let id: u64 = id.parse().map_err(|_| format!("bad id {id:?}"))?;
+            if index.remove(id) {
+                println!("ok removed {id}");
+            } else {
+                println!("ok no such id {id}");
+            }
+            Ok(ServeOutcome::Continue)
+        }
+        ["save", path] => {
+            save_index(index, path)?;
+            println!("ok saved {path}");
+            Ok(ServeOutcome::Continue)
+        }
+        _ => Err(format!("unrecognized command {line:?}; try `help`")),
+    }
 }
 
 fn cmd_hausdorff(raw: &[String]) -> Result<(), String> {

@@ -15,7 +15,9 @@
 //!   Hausdorff graph distance, edit-script summaries.
 //! * [`baselines`] (`ned-baselines`) — HITS-based and Feature-based
 //!   similarities.
-//! * [`index`] (`ned-index`) — VP-tree metric index.
+//! * [`index`] (`ned-index`) — metric indexing: VP-tree, BK-tree,
+//!   filter-and-refine, the dynamic [`index::ShardedVpForest`], and the
+//!   persistent [`index::SignatureIndex`] serving layer.
 //! * [`datasets`] (`ned-datasets`) — the six Table 2 dataset stand-ins.
 //!
 //! ## Quick start
@@ -53,6 +55,6 @@ pub mod prelude {
     };
     pub use ned_graph::bfs::{k_adjacent_tree, TreeExtractor};
     pub use ned_graph::{Graph, GraphBuilder, NodeId};
-    pub use ned_index::{FnMetric, Metric, VpTree};
+    pub use ned_index::{FnMetric, Metric, ShardedVpForest, SignatureIndex, VpTree};
     pub use ned_tree::{Tree, TreeBuilder};
 }

@@ -60,8 +60,14 @@ fn deanonymization_ordering() {
     let naive = precision(Method::Naive, &mut rng);
     let heavy = precision(Method::Perturb(0.40), &mut rng);
     let random_guess = 5.0 / g.num_nodes() as f64;
-    assert!(naive > 0.5, "naive de-anonymization precision {naive} too low");
-    assert!(naive >= heavy, "heavier anonymization must not help: {naive} < {heavy}");
+    assert!(
+        naive > 0.5,
+        "naive de-anonymization precision {naive} too low"
+    );
+    assert!(
+        naive >= heavy,
+        "heavier anonymization must not help: {naive} < {heavy}"
+    );
     assert!(naive > random_guess * 10.0);
 }
 
@@ -74,7 +80,10 @@ fn hausdorff_separates_families() {
     let nodes = |g: &Graph| -> Vec<NodeId> { (0..120.min(g.num_nodes()) as u32).collect() };
     let rr = hausdorff_between(&road1, &nodes(&road1), &road2, &nodes(&road2), 3);
     let rs = hausdorff_between(&road1, &nodes(&road1), &social, &nodes(&social), 3);
-    assert!(rr < rs, "roads vs roads ({rr}) should beat roads vs social ({rs})");
+    assert!(
+        rr < rs,
+        "roads vs roads ({rr}) should beat roads vs social ({rs})"
+    );
 }
 
 /// Relabeling invariance — a reproduction finding, tested precisely.

@@ -28,8 +28,8 @@ fn ged_bounded_by_twice_ted_star() {
         let a = random_bounded_depth_tree(9, 3, &mut rng);
         let b = random_bounded_depth_tree(9, 3, &mut rng);
         let ts = ted_star(&a, &b);
-        let ged = exact_ged_rooted(&tree_as_graph(&a), &tree_as_graph(&b))
-            .expect("trees within GED cap");
+        let ged =
+            exact_ged_rooted(&tree_as_graph(&a), &tree_as_graph(&b)).expect("trees within GED cap");
         assert!(
             ged <= 2 * ts,
             "Equation 18 violated: GED {ged} > 2 * TED* {ts}"

@@ -178,7 +178,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Length specification for [`vec()`]: a fixed `usize` or a `Range<usize>`.
     pub trait SizeRange {
         /// Draws a length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;
@@ -238,7 +238,9 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// The RNG for one test case: test-path seed mixed with the case index.
 pub fn case_rng(test_path: &str, case: u32) -> TestRng {
-    TestRng::seed_from_u64(fnv1a(test_path.as_bytes()) ^ (u64::from(case).wrapping_mul(0x9e3779b97f4a7c15)))
+    TestRng::seed_from_u64(
+        fnv1a(test_path.as_bytes()) ^ (u64::from(case).wrapping_mul(0x9e3779b97f4a7c15)),
+    )
 }
 
 /// Everything a property-test file needs.

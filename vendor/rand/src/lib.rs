@@ -221,7 +221,10 @@ mod tests {
                 trues += 1;
             }
         }
-        assert!((3000..7000).contains(&trues), "gen_bool badly biased: {trues}");
+        assert!(
+            (3000..7000).contains(&trues),
+            "gen_bool badly biased: {trues}"
+        );
     }
 
     #[test]
