@@ -3,7 +3,8 @@
 //! remove/compact churn.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ned_core::{signatures, NodeSignature};
+use ned_bench::util::ClassicSignatureMetric;
+use ned_core::{signatures, NodeSignature, TedMemo};
 use ned_graph::generators;
 use ned_index::{ShardedVpForest, SignatureIndex, SignatureMetric};
 use rand::rngs::SmallRng;
@@ -102,9 +103,42 @@ fn bench_snapshot_round_trip(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_bounded_vs_unbounded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_knn/bounded_vs_unbounded");
+    group.sample_size(10);
+    let (forest, probes) = setup(2000, 3);
+    group.bench_function("bounded_memo_warm", |bencher| {
+        let mut i = 0usize;
+        bencher.iter(|| {
+            i = (i + 1) % probes.len();
+            forest.knn(&SignatureMetric, &probes[i], 5, 0)
+        });
+    });
+    group.bench_function("bounded_memo_cold", |bencher| {
+        let mut i = 0usize;
+        bencher.iter(|| {
+            TedMemo::global().clear();
+            i = (i + 1) % probes.len();
+            forest.knn(&SignatureMetric, &probes[i], 5, 0)
+        });
+    });
+    // The unbounded baseline must be memo-free: `UnboundedSignatureMetric`
+    // only disables the budget but still routes through the memoized
+    // kernel, which the warm arms above would have fully populated.
+    group.bench_function("classic_unbounded", |bencher| {
+        let mut i = 0usize;
+        bencher.iter(|| {
+            i = (i + 1) % probes.len();
+            forest.knn(&ClassicSignatureMetric, &probes[i], 5, 0)
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_forest_vs_scan, bench_incremental_build, bench_snapshot_round_trip
+    targets = bench_forest_vs_scan, bench_incremental_build, bench_snapshot_round_trip,
+        bench_bounded_vs_unbounded
 }
 criterion_main!(benches);

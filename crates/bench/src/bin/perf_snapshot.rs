@@ -1,13 +1,16 @@
-//! Machine-readable performance snapshot: writes `BENCH_1.json` with
-//! ns/op for the pipeline's hot paths, including a same-run comparison of
-//! the duplicate-collapsed TED\*/NED engine against the dense Hungarian
-//! baseline on wide-level trees.
+//! Machine-readable performance snapshot: writes `BENCH_3.json` with
+//! ns/op for the pipeline's hot paths — the duplicate-collapsed
+//! TED\*/NED engine against the dense Hungarian baseline, the sharded
+//! forest against the linear scan, and (since PR 3) the budget-aware
+//! bounded kernel against the frozen PR 2 unbounded forest path, plus a
+//! memo-cold/memo-warm pair for the cross-pair distance memo.
 //!
 //! Run with `cargo run --release -p ned-bench --bin perf_snapshot
 //! [output.json]`. Every workload is seeded, so successive runs measure
 //! identical work.
 
-use ned_core::{ned_with_extractors, ted_star_with, TedStarConfig};
+use ned_bench::util::ClassicSignatureMetric;
+use ned_core::{ned_with_extractors, ted_star_with, TedMemo, TedStarConfig};
 use ned_graph::bfs::TreeExtractor;
 use ned_graph::generators;
 use ned_index::{FnMetric, ShardedVpForest, SignatureMetric, VpTree};
@@ -100,7 +103,7 @@ struct Entry {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_1.json".to_string());
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
     let mut entries: Vec<Entry> = Vec::new();
 
     // --- ned_pair: wide-level synthetic trees, collapsed vs dense -------
@@ -231,17 +234,24 @@ fn main() {
     }
     let probe_nodes: Vec<u32> = (0..6u32).map(|i| i * 577 % 4000).collect();
     let probes = ned_core::signatures(&gq, &probe_nodes, 3);
-    // sanity: the forest is exact before it is fast
+    // sanity: the forest is exact before it is fast — through the frozen
+    // PR 2 metric *and* the bounded kernel, which must agree bit-for-bit
     for q in &probes {
+        let reference = forest.scan_knn(&ClassicSignatureMetric, q, 5);
+        assert_eq!(
+            forest.knn(&ClassicSignatureMetric, q, 5, 0),
+            reference,
+            "classic forest kNN diverged from the linear scan"
+        );
         assert_eq!(
             forest.knn(&SignatureMetric, q, 5, 0),
-            forest.scan_knn(&SignatureMetric, q, 5),
-            "forest kNN diverged from the linear scan"
+            reference,
+            "bounded forest kNN diverged from the linear scan"
         );
     }
     let forest_ns = measure(7, 2, || {
         for q in &probes {
-            std::hint::black_box(forest.knn(&SignatureMetric, q, 5, 0));
+            std::hint::black_box(forest.knn(&ClassicSignatureMetric, q, 5, 0));
         }
     }) / probes.len() as f64;
     entries.push(Entry {
@@ -250,7 +260,7 @@ fn main() {
     });
     let linear_ns = measure(3, 1, || {
         for q in &probes {
-            std::hint::black_box(forest.scan_knn(&SignatureMetric, q, 5));
+            std::hint::black_box(forest.scan_knn(&ClassicSignatureMetric, q, 5));
         }
     }) / probes.len() as f64;
     entries.push(Entry {
@@ -258,6 +268,59 @@ fn main() {
         ns_per_op: linear_ns,
     });
     let sharded_speedup = linear_ns / forest_ns;
+
+    // --- sharded_knn bounded: budget-aware kernel + scratch arena + memo -
+    // The serving configuration this PR ships: every exact TED* call in
+    // the fan-out takes the current pruning radius as its abandonment
+    // budget, runs allocation-free on the thread-local scratch, and
+    // repeated (query class, candidate class) pairs hit the cross-pair
+    // memo. Steady state (memo warm across repeat queries — the serving
+    // regime) must beat the frozen PR 2 path by ≥ 1.5×.
+    TedMemo::global().clear();
+    let bounded_ns = measure(7, 2, || {
+        for q in &probes {
+            std::hint::black_box(forest.knn(&SignatureMetric, q, 5, 0));
+        }
+    }) / probes.len() as f64;
+    entries.push(Entry {
+        name: "sharded_knn/ba4000-k3-bounded",
+        ns_per_op: bounded_ns,
+    });
+    let bounded_speedup = forest_ns / bounded_ns;
+
+    // --- ted_within: cross-pair memo, cold vs warm ----------------------
+    // One query signature against a candidate batch, budget high enough
+    // that every pair runs (or serves) a full sweep. Cold clears the memo
+    // inside the timed loop; warm reuses it — the delta is what the memo
+    // buys on structurally repetitive (scale-free) candidate sets, where
+    // repeat queries keep meeting the same class pairs.
+    let memo_probe = &probes[0];
+    let cand_nodes: Vec<u32> = (0..64u32).map(|i| i * 131 % 4000).collect();
+    let cands = ned_core::signatures(&gdb, &cand_nodes, 3);
+    let memo_budget = u64::MAX;
+    let cold_ns = measure(5, 2, || {
+        TedMemo::global().clear();
+        for c in &cands {
+            std::hint::black_box(memo_probe.distance_within(c, memo_budget));
+        }
+    }) / cands.len() as f64;
+    entries.push(Entry {
+        name: "ted_within/ba4000-memo-cold",
+        ns_per_op: cold_ns,
+    });
+    TedMemo::global().clear();
+    for c in &cands {
+        std::hint::black_box(memo_probe.distance_within(c, memo_budget));
+    }
+    let warm_ns = measure(7, 8, || {
+        for c in &cands {
+            std::hint::black_box(memo_probe.distance_within(c, memo_budget));
+        }
+    }) / cands.len() as f64;
+    entries.push(Entry {
+        name: "ted_within/ba4000-memo-warm",
+        ns_per_op: warm_ns,
+    });
 
     // --- report ---------------------------------------------------------
     let mut json = String::from("{\n  \"schema\": \"ned-bench/1\",\n  \"benchmarks\": [\n");
@@ -270,7 +333,8 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2}\n  }}\n}}\n"
+        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2},\n    \"bounded_knn_speedup_vs_unbounded_forest\": {bounded_speedup:.2},\n    \"memo_warm_speedup_vs_cold\": {:.2}\n  }}\n}}\n",
+        cold_ns / warm_ns
     ));
     std::fs::write(&out_path, &json).expect("write benchmark snapshot");
     println!("{json}");
@@ -282,5 +346,10 @@ fn main() {
     assert!(
         sharded_speedup >= 5.0,
         "sharded kNN speedup {sharded_speedup:.2}x below the 5x target"
+    );
+    assert!(
+        bounded_speedup >= 1.5,
+        "bounded forest kNN speedup {bounded_speedup:.2}x below the 1.5x floor \
+         over the PR 2 unbounded path"
     );
 }

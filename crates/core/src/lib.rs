@@ -39,18 +39,22 @@ pub mod align;
 pub mod batch;
 pub mod edit_script;
 pub mod hausdorff;
+pub mod memo;
 mod ned;
 pub mod reference;
 pub mod store;
+mod ted_kernel;
 mod ted_star;
 pub mod weighted;
 
+pub use memo::TedMemo;
 pub use ned::{
     equivalence_classes, ned, ned_directed, ned_profile, ned_with_extractors, signatures,
     NodeSignature,
 };
 pub use ted_star::{
     ted_star, ted_star_class_lower_bound, ted_star_directional, ted_star_lower_bound,
-    ted_star_prepared, ted_star_prepared_report, ted_star_report, ted_star_with, ted_star_within,
-    LevelCosts, Matcher, PreparedTree, TedStarConfig, TedStarReport,
+    ted_star_prepared, ted_star_prepared_report, ted_star_prepared_within, ted_star_report,
+    ted_star_with, ted_star_within, LevelCosts, Matcher, PreparedTree, TedStarConfig,
+    TedStarReport,
 };

@@ -1,0 +1,248 @@
+//! Cross-pair TED\* memo: distances (and budget-abort floors) cached by
+//! interned isomorphism-class pairs.
+//!
+//! Query workloads compare one signature against many candidates, and on
+//! scale-free graphs the candidates repeat a handful of neighborhood
+//! shapes — the interned store deduplicates them, the VP forest buckets
+//! exact duplicates *within* a shard, but the same `(query class,
+//! candidate class)` sub-problem still reappears across shards, across
+//! the mutable buffer, and across successive queries. TED\* is a pure
+//! function of the two isomorphism classes, and every
+//! [`PreparedTree`](crate::PreparedTree) already carries its class as a
+//! dense process-wide interner id
+//! ([`root_class`](crate::PreparedTree::root_class)), so the pair
+//! `(class_a, class_b)` is a perfect memo key: one `u64`, stable for the
+//! process lifetime.
+//!
+//! Two kinds of facts are cached:
+//!
+//! * **`Exact(d)`** — the pair's true distance, recorded when a bounded
+//!   sweep ran to completion. Served for any future budget.
+//! * **`AtLeast(b)`** — the distance is known to *exceed* `b`, recorded
+//!   when a sweep abandoned under budget `b`. A future query with budget
+//!   `<= b` is answered `None` without touching the trees (the common
+//!   case in kNN verification, where the pruning radius only shrinks);
+//!   a looser budget falls through to a fresh sweep, whose outcome then
+//!   upgrades the entry.
+//!
+//! The memo is sharded behind mutexes like the signature interner, sized
+//! by a process-wide capacity knob ([`TedMemo::set_capacity`], `0`
+//! disables caching entirely), and evicts coarsely: when a shard fills
+//! past its share of the capacity it is cleared wholesale before the next
+//! insert. Eviction only ever drops cache — correctness never depends on
+//! an entry being present.
+//!
+//! **Granularity note.** The memo deliberately caches whole-pair results
+//! rather than per-level sweep suffixes. A suffix of the level sweep *is*
+//! a pure function of the two level-class multisets, but resuming above a
+//! memoized suffix would also need the re-canonized labels *per slot
+//! position*, and positions are an artifact of each tree's canonical
+//! layout — two trees sharing a level multiset can arrange it
+//! differently, so positional labels do not transfer across pairs. The
+//! pair level is the coarsest key that is both sound and
+//! position-independent.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+const SHARDS: usize = 16;
+
+/// Default total entry capacity (across all shards).
+pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 20;
+
+/// A cached fact about one class pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MemoEntry {
+    /// The exact distance.
+    Exact(u64),
+    /// The distance is known to be **strictly greater** than this value.
+    AtLeast(u64),
+}
+
+/// The process-wide cross-pair TED\* memo. See the [module docs](self).
+pub struct TedMemo {
+    shards: [Mutex<HashMap<u64, MemoEntry>>; SHARDS],
+    capacity: AtomicUsize,
+}
+
+impl TedMemo {
+    fn new() -> Self {
+        TedMemo {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            capacity: AtomicUsize::new(DEFAULT_MEMO_CAPACITY),
+        }
+    }
+
+    /// The shared process-wide memo, used by
+    /// [`ted_star_prepared_within`](crate::ted_star_prepared_within).
+    pub fn global() -> &'static TedMemo {
+        static GLOBAL: OnceLock<TedMemo> = OnceLock::new();
+        GLOBAL.get_or_init(TedMemo::new)
+    }
+
+    /// Sets the total entry capacity. `0` disables the memo (lookups
+    /// miss, inserts are dropped). Shrinking does not eagerly evict;
+    /// over-full shards clear themselves on their next insert.
+    pub fn set_capacity(&self, cap: usize) {
+        self.capacity.store(cap, Ordering::Relaxed);
+    }
+
+    /// Current total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached entry (capacity is unchanged).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("memo shard poisoned").clear();
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn shard_of(key: u64) -> usize {
+        // Multiplicative mix so nearby interner ids spread across shards.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % SHARDS
+    }
+
+    /// Answers a bounded-distance query from the cache alone:
+    /// `Some(result)` when the cache fully decides it, `None` when a
+    /// sweep is required.
+    pub(crate) fn consult(&self, key: u64, budget: u64) -> Option<Option<u64>> {
+        if self.capacity() == 0 {
+            return None;
+        }
+        let shard = self.shards[Self::shard_of(key)]
+            .lock()
+            .expect("memo shard poisoned");
+        match shard.get(&key)? {
+            MemoEntry::Exact(d) => Some((*d <= budget).then_some(*d)),
+            MemoEntry::AtLeast(b) if *b >= budget => Some(None),
+            MemoEntry::AtLeast(_) => None,
+        }
+    }
+
+    /// Records the exact distance of a pair.
+    pub(crate) fn record_exact(&self, key: u64, distance: u64) {
+        self.record(key, MemoEntry::Exact(distance));
+    }
+
+    /// Records that a pair's distance exceeds `bound`.
+    pub(crate) fn record_at_least(&self, key: u64, bound: u64) {
+        self.record(key, MemoEntry::AtLeast(bound));
+    }
+
+    fn record(&self, key: u64, entry: MemoEntry) {
+        let cap = self.capacity();
+        if cap == 0 {
+            return;
+        }
+        let per_shard = (cap / SHARDS).max(1);
+        let mut shard = self.shards[Self::shard_of(key)]
+            .lock()
+            .expect("memo shard poisoned");
+        match shard.get_mut(&key) {
+            Some(existing) => {
+                // Exact beats AtLeast; AtLeast floors only ever rise.
+                *existing = match (*existing, entry) {
+                    (MemoEntry::Exact(d), _) => MemoEntry::Exact(d),
+                    (MemoEntry::AtLeast(_), MemoEntry::Exact(d)) => MemoEntry::Exact(d),
+                    (MemoEntry::AtLeast(a), MemoEntry::AtLeast(b)) => MemoEntry::AtLeast(a.max(b)),
+                };
+            }
+            None => {
+                if shard.len() >= per_shard {
+                    // Coarse eviction: drop the whole shard. Cheap, keeps
+                    // the map bounded, and loses nothing but cache.
+                    shard.clear();
+                }
+                shard.insert(key, entry);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for TedMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TedMemo")
+            .field("entries", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+/// The memo key of an unordered class pair (TED\* is symmetric, so both
+/// orientations share one entry).
+#[inline]
+pub(crate) fn pair_key(a: u32, b: u32) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_key_is_symmetric_and_injective_on_ordered_pairs() {
+        assert_eq!(pair_key(3, 7), pair_key(7, 3));
+        assert_ne!(pair_key(3, 7), pair_key(3, 8));
+        assert_ne!(pair_key(0, 1), pair_key(1, 1));
+    }
+
+    #[test]
+    fn consult_semantics() {
+        let memo = TedMemo::new();
+        let k = pair_key(1, 2);
+        assert_eq!(memo.consult(k, 10), None);
+        memo.record_at_least(k, 5);
+        assert_eq!(memo.consult(k, 5), Some(None), "budget <= floor: decided");
+        assert_eq!(memo.consult(k, 6), None, "budget above floor: recompute");
+        memo.record_at_least(k, 3);
+        assert_eq!(memo.consult(k, 5), Some(None), "floors never regress");
+        memo.record_exact(k, 9);
+        assert_eq!(memo.consult(k, 8), Some(None));
+        assert_eq!(memo.consult(k, 9), Some(Some(9)));
+        memo.record_at_least(k, 100);
+        assert_eq!(memo.consult(k, 200), Some(Some(9)), "exact facts persist");
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let memo = TedMemo::new();
+        memo.set_capacity(0);
+        memo.record_exact(pair_key(1, 2), 4);
+        assert_eq!(memo.len(), 0);
+        assert_eq!(memo.consult(pair_key(1, 2), 10), None);
+    }
+
+    #[test]
+    fn eviction_bounds_the_shards() {
+        let memo = TedMemo::new();
+        memo.set_capacity(SHARDS * 4);
+        for a in 0..200u32 {
+            memo.record_exact(pair_key(a, a + 1), u64::from(a));
+        }
+        assert!(
+            memo.len() <= SHARDS * 4 + SHARDS,
+            "memo grew past its capacity: {}",
+            memo.len()
+        );
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+}

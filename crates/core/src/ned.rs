@@ -102,6 +102,16 @@ impl NodeSignature {
         ted_star_prepared(&self.prepared, &other.prepared)
     }
 
+    /// Budgeted [`NodeSignature::distance`]: `Some(d)` **iff**
+    /// `d <= budget`, computed by the early-abandoning kernel
+    /// ([`crate::ted_star_prepared_within`]) — the call shape similarity
+    /// search uses, passing its current pruning radius as the budget so
+    /// hopeless candidates abandon mid-sweep instead of paying for the
+    /// full level sweep.
+    pub fn distance_within(&self, other: &NodeSignature, budget: u64) -> Option<u64> {
+        crate::ted_star::ted_star_prepared_within(&self.prepared, &other.prepared, budget)
+    }
+
     /// Cheap lower bound on [`NodeSignature::distance`]: the level-size L1
     /// bound maxed with the interned class-histogram bound (see
     /// [`crate::ted_star_class_lower_bound`]); the filter step of

@@ -1,0 +1,442 @@
+//! The budget-aware TED\* kernel: a scratch-arena, early-abandoning
+//! implementation of Algorithm 1 used by
+//! [`ted_star_prepared_within`](crate::ted_star_prepared_within) (and,
+//! with an unlimited budget, by
+//! [`ted_star_prepared`](crate::ted_star_prepared)).
+//!
+//! Three things distinguish it from the configurable engine in
+//! [`crate::ted_star`]:
+//!
+//! 1. **Early abandoning.** The sweep maintains
+//!    `partial_cost + P_l + residual(l)` — the cost banked at already
+//!    processed levels, plus the current level's forced padding, plus the
+//!    padding still forced at every level above — and returns `None` the
+//!    moment that floor exceeds the budget. The budget is also pushed
+//!    *inside* each level's matching: the transportation solve
+//!    ([`ned_matching::transportation_into`]) aborts mid-augmentation
+//!    once the level's bipartite cost alone proves the total distance
+//!    exceeds the budget.
+//! 2. **Scratch-arena reuse.** Every buffer the sweep needs — flat
+//!    children-collection storage, the pair-local label table, class
+//!    groupings, the transportation solver state — lives in a
+//!    thread-local [`TedStarScratch`] recycled across calls, so a
+//!    steady-state call performs **zero heap allocations** (pinned by
+//!    the counting-allocator test in `tests/alloc_counting.rs`).
+//! 3. **Hash-consed pair-local labels.** Node canonization uses a flat,
+//!    reusable hash table ([`LabelTable`]) instead of a per-call
+//!    [`SignatureInterner`](ned_tree::SignatureInterner). Labels only
+//!    ever feed equality checks, so any injective relabeling leaves the
+//!    distance unchanged.
+//!
+//! The kernel always runs the standard configuration semantics
+//! (zero-pair elimination, duplicate-collapsed transportation matching,
+//! canonical flow expansion) and is **bit-identical** to every exact
+//! engine of [`crate::ted_star`] whenever it completes — classes are
+//! ordered by their smallest member slot, the transportation solver
+//! breaks ties toward lower indices, and flows expand to slots in
+//! ascending order, exactly as in `match_levels`. The cross-engine
+//! property tests pin this.
+
+use crate::ted_star::symmetric_difference;
+use ned_matching::{transportation_into, TransportScratch};
+use ned_tree::Tree;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Flat (CSR-style) per-slot children-label collections for one padded
+/// level: slot `i`'s collection is `data[offsets[i]..offsets[i + 1]]`,
+/// sorted. Padded slots hold empty collections.
+#[derive(Debug, Default)]
+struct FlatCollections {
+    offsets: Vec<u32>,
+    data: Vec<u32>,
+}
+
+impl FlatCollections {
+    #[inline]
+    fn get(&self, slot: usize) -> &[u32] {
+        &self.data[self.offsets[slot] as usize..self.offsets[slot + 1] as usize]
+    }
+
+    /// Rebuilds the collections for the `n` (padded) slots of level `l`,
+    /// reading the labels of the *real* nodes one level below.
+    fn build(&mut self, t: &Tree, l: usize, child_labels: &[u32], n: usize) {
+        self.offsets.clear();
+        self.data.clear();
+        self.offsets.push(0);
+        let lvl = t.level(l);
+        let below_start = t.level(l + 1).start;
+        for v in lvl.clone() {
+            let start = self.data.len();
+            for c in t.children(v) {
+                self.data.push(child_labels[(c - below_start) as usize]);
+            }
+            self.data[start..].sort_unstable();
+            self.offsets.push(self.data.len() as u32);
+        }
+        for _ in lvl.len()..n {
+            self.offsets.push(self.data.len() as u32);
+        }
+    }
+}
+
+/// A reusable hash-consing table mapping sorted label multisets to dense
+/// pair-local ids: the kernel's replacement for per-call interners.
+/// Collision chains and key storage are flat vectors, and
+/// [`LabelTable::reset`] retains every capacity, so steady-state
+/// labeling allocates nothing.
+#[derive(Debug, Default)]
+struct LabelTable {
+    /// FNV hash of a key → first label id carrying that hash.
+    heads: HashMap<u64, u32>,
+    /// Label id → `(start, len)` of its key copy in `keys`.
+    spans: Vec<(u32, u32)>,
+    /// Label id → next label id with the same hash (`u32::MAX` = none).
+    chain: Vec<u32>,
+    /// Flat storage of key copies.
+    keys: Vec<u32>,
+}
+
+impl LabelTable {
+    fn reset(&mut self) {
+        self.heads.clear();
+        self.spans.clear();
+        self.chain.clear();
+        self.keys.clear();
+    }
+
+    #[inline]
+    fn key_of(&self, id: u32) -> &[u32] {
+        let (start, len) = self.spans[id as usize];
+        &self.keys[start as usize..(start + len) as usize]
+    }
+
+    /// The dense id of `key` (a sorted multiset), assigning a fresh id on
+    /// first sight.
+    fn label(&mut self, key: &[u32]) -> u32 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in key {
+            h ^= u64::from(w);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Walk the collision chain for this hash.
+        let head = self.heads.get(&h).copied();
+        let mut cur = head;
+        while let Some(id) = cur {
+            if self.key_of(id) == key {
+                return id;
+            }
+            let next = self.chain[id as usize];
+            cur = (next != u32::MAX).then_some(next);
+        }
+        let id = self.spans.len() as u32;
+        let start = self.keys.len() as u32;
+        self.keys.extend_from_slice(key);
+        self.spans.push((start, key.len() as u32));
+        self.chain.push(head.unwrap_or(u32::MAX));
+        self.heads.insert(h, id);
+        id
+    }
+}
+
+/// The kernel's whole working set, recycled across calls through a
+/// thread-local (see [`bounded_sweep`]). Nothing here outlives a call
+/// semantically — the struct exists purely so the backing heap blocks
+/// do.
+#[derive(Debug, Default)]
+pub(crate) struct TedStarScratch {
+    /// `residual[l]` = padding still forced at levels `0..l`.
+    residual: Vec<u64>,
+    s1: FlatCollections,
+    s2: FlatCollections,
+    labels: LabelTable,
+    c1: Vec<u32>,
+    c2: Vec<u32>,
+    child1: Vec<u32>,
+    child2: Vec<u32>,
+    pairs1: Vec<(u32, u32)>,
+    pairs2: Vec<(u32, u32)>,
+    slots1: Vec<u32>,
+    slots2: Vec<u32>,
+    /// Leftover classes: `(first_slot, start, len)` ranges into `slots*`.
+    classes1: Vec<(u32, u32, u32)>,
+    classes2: Vec<(u32, u32, u32)>,
+    class_costs: Vec<i64>,
+    supplies: Vec<u64>,
+    demands: Vec<u64>,
+    f: Vec<u32>,
+    inv: Vec<u32>,
+    col_cursor: Vec<u32>,
+    transport: TransportScratch,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<TedStarScratch> = RefCell::new(TedStarScratch::default());
+}
+
+/// [`bounded_sweep`] on this thread's recycled scratch arena.
+pub(crate) fn bounded_sweep_tl(t1: &Tree, t2: &Tree, budget: u64) -> Option<u64> {
+    SCRATCH.with(|s| bounded_sweep(t1, t2, budget, &mut s.borrow_mut()))
+}
+
+/// Algorithm 1, bottom-up, abandoning the moment the distance is proven
+/// to exceed `budget`. Returns `Some(d)` **iff** `d <= budget`; a
+/// completed sweep's distance is bit-identical to the unbounded engines.
+///
+/// Callers are expected to have handled the isomorphic fast path
+/// (`Some(0)`) and to pass the trees ordered by canonical code, exactly
+/// as [`crate::ted_star_prepared_report`] does.
+pub(crate) fn bounded_sweep(
+    t1: &Tree,
+    t2: &Tree,
+    budget: u64,
+    sc: &mut TedStarScratch,
+) -> Option<u64> {
+    let k = t1.num_levels().max(t2.num_levels());
+    // residual[l]: padding forced at the levels that will still be
+    // unprocessed after level l — the sound, statically-known part of the
+    // remaining cost (matching costs above are lower-bounded by zero).
+    sc.residual.clear();
+    sc.residual.push(0);
+    for l in 1..k {
+        let below = sc.residual[l - 1] + t1.level_size(l - 1).abs_diff(t2.level_size(l - 1)) as u64;
+        sc.residual.push(below);
+    }
+
+    let TedStarScratch {
+        residual,
+        s1,
+        s2,
+        labels,
+        c1,
+        c2,
+        child1,
+        child2,
+        pairs1,
+        pairs2,
+        slots1,
+        slots2,
+        classes1,
+        classes2,
+        class_costs,
+        supplies,
+        demands,
+        f,
+        inv,
+        col_cursor,
+        transport,
+    } = sc;
+
+    let mut partial = 0u64;
+    let mut prev_padding = 0u64; // P_{l+1}, zero below the bottom level
+    child1.clear();
+    child2.clear();
+
+    for l in (0..k).rev() {
+        let n1 = t1.level_size(l);
+        let n2 = t2.level_size(l);
+        let n = n1.max(n2);
+        let padding = n1.abs_diff(n2) as u64;
+
+        // The floor on the final distance if this level costs nothing
+        // beyond its forced padding: banked cost + this level's padding +
+        // the padding forced above. Blowing the budget here is final.
+        let floor = partial + padding + residual[l];
+        if floor > budget {
+            return None;
+        }
+
+        // Steps 1–2: padding + children-label collections.
+        s1.build(t1, l, child1, n);
+        s2.build(t2, l, child2, n);
+
+        // Step 3: canonization via the pair-local label table (labels
+        // are shared across both sides, so cross-side equality holds).
+        labels.reset();
+        c1.clear();
+        c2.clear();
+        for i in 0..n {
+            c1.push(labels.label(s1.get(i)));
+        }
+        for i in 0..n {
+            c2.push(labels.label(s2.get(i)));
+        }
+
+        // Zero-pair elimination: pair equal-label slots off first
+        // (always part of some optimum — identical collections have a
+        // zero-weight edge), leaving per-label leftover classes.
+        f.clear();
+        f.resize(n, u32::MAX);
+        pairs1.clear();
+        pairs1.extend(c1.iter().enumerate().map(|(s, &l)| (l, s as u32)));
+        pairs1.sort_unstable();
+        pairs2.clear();
+        pairs2.extend(c2.iter().enumerate().map(|(s, &l)| (l, s as u32)));
+        pairs2.sort_unstable();
+        slots1.clear();
+        slots2.clear();
+        classes1.clear();
+        classes2.clear();
+        {
+            let (mut i, mut j) = (0usize, 0usize);
+            let run = |pairs: &[(u32, u32)], from: usize| -> usize {
+                let label = pairs[from].0;
+                let mut end = from + 1;
+                while end < pairs.len() && pairs[end].0 == label {
+                    end += 1;
+                }
+                end
+            };
+            let push_leftover =
+                |pairs: &[(u32, u32)],
+                 from: usize,
+                 to: usize,
+                 slots: &mut Vec<u32>,
+                 classes: &mut Vec<(u32, u32, u32)>| {
+                    if from == to {
+                        return;
+                    }
+                    let start = slots.len() as u32;
+                    slots.extend(pairs[from..to].iter().map(|&(_, s)| s));
+                    classes.push((pairs[from].1, start, (to - from) as u32));
+                };
+            while i < pairs1.len() && j < pairs2.len() {
+                let (ie, je) = (run(pairs1, i), run(pairs2, j));
+                match pairs1[i].0.cmp(&pairs2[j].0) {
+                    std::cmp::Ordering::Less => {
+                        push_leftover(pairs1, i, ie, slots1, classes1);
+                        i = ie;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        push_leftover(pairs2, j, je, slots2, classes2);
+                        j = je;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let zero = (ie - i).min(je - j);
+                        for p in 0..zero {
+                            f[pairs1[i + p].1 as usize] = pairs2[j + p].1;
+                        }
+                        // Leftovers are the larger run's suffix — the
+                        // same slots `drain(..pairs)` leaves behind in
+                        // the configurable engine.
+                        push_leftover(pairs1, i + zero, ie, slots1, classes1);
+                        push_leftover(pairs2, j + zero, je, slots2, classes2);
+                        i = ie;
+                        j = je;
+                    }
+                }
+            }
+            while i < pairs1.len() {
+                let ie = run(pairs1, i);
+                push_leftover(pairs1, i, ie, slots1, classes1);
+                i = ie;
+            }
+            while j < pairs2.len() {
+                let je = run(pairs2, j);
+                push_leftover(pairs2, j, je, slots2, classes2);
+                j = je;
+            }
+        }
+        debug_assert_eq!(
+            classes1.iter().map(|&(_, _, len)| len).sum::<u32>(),
+            classes2.iter().map(|&(_, _, len)| len).sum::<u32>(),
+            "leftover slots must balance at level {l}"
+        );
+
+        // Steps 4–5 on the leftovers: the duplicate-collapsed
+        // transportation problem, under the level's share of the budget.
+        let bipartite = if classes1.is_empty() {
+            0u64
+        } else {
+            // Canonical class order: by smallest member slot (slot
+            // partitions are engine-independent; label values are not).
+            classes1.sort_unstable_by_key(|&(first, _, _)| first);
+            classes2.sort_unstable_by_key(|&(first, _, _)| first);
+
+            let cols = classes2.len();
+            class_costs.clear();
+            supplies.clear();
+            demands.clear();
+            for &(first1, _, len1) in classes1.iter() {
+                supplies.push(u64::from(len1));
+                let sx = s1.get(first1 as usize);
+                for &(first2, _, _) in classes2.iter() {
+                    class_costs.push(symmetric_difference(sx, s2.get(first2 as usize)) as i64);
+                }
+            }
+            demands.extend(classes2.iter().map(|&(_, _, len)| u64::from(len)));
+
+            // Equation 5 will charge `(m(G²) − P_below) / 2` moves at
+            // this level; the budget leaves room for at most `slack` of
+            // them, so the matching may cost at most this much before
+            // the whole distance provably exceeds the budget.
+            let slack = budget - floor;
+            let limit = slack
+                .saturating_mul(2)
+                .saturating_add(prev_padding)
+                .min(i64::MAX as u64) as i64;
+            let cost = transportation_into(supplies, demands, class_costs, limit, transport)?;
+
+            // Canonical expansion: flows consumed in ascending
+            // (row class, column class) order, slots within each class
+            // ascending — the choice that pins re-canonization (and so
+            // the distance) across engines.
+            col_cursor.clear();
+            col_cursor.resize(cols, 0);
+            for (ci, &(_, start1, len1)) in classes1.iter().enumerate() {
+                let mut rc = 0u32;
+                for (cj, &(_, start2, _)) in classes2.iter().enumerate() {
+                    for _ in 0..transport.flows[ci * cols + cj] {
+                        let from = slots1[(start1 + rc) as usize];
+                        let to = slots2[(start2 + col_cursor[cj]) as usize];
+                        f[from as usize] = to;
+                        rc += 1;
+                        col_cursor[cj] += 1;
+                    }
+                }
+                debug_assert_eq!(rc, len1, "row class not exhausted at level {l}");
+            }
+            cost as u64
+        };
+
+        // Equation 5: with exact matching the subtraction is provably
+        // non-negative and even.
+        debug_assert!(
+            bipartite >= prev_padding,
+            "m(G²)={bipartite} < P_below={prev_padding} at level {l}"
+        );
+        debug_assert_eq!(
+            (bipartite - prev_padding) % 2,
+            0,
+            "odd matching residue at level {l}"
+        );
+        let matching = bipartite.saturating_sub(prev_padding) / 2;
+
+        // Step 6: re-canonization — the smaller (padded) side adopts the
+        // labels of its matched partners, so both levels expose equal
+        // label multisets to the level above. The child-label buffers are
+        // dead once this level's collections were built, so they are
+        // overwritten in place (their capacities stay monotone, which is
+        // what keeps steady-state calls allocation-free).
+        child1.clear();
+        child2.clear();
+        if n1 < n2 {
+            child1.extend((0..n1).map(|x| c2[f[x] as usize]));
+            child2.extend_from_slice(&c2[..n2]);
+        } else {
+            inv.clear();
+            inv.resize(n, 0);
+            for (x, &y) in f.iter().enumerate() {
+                inv[y as usize] = x as u32;
+            }
+            child1.extend_from_slice(&c1[..n1]);
+            child2.extend((0..n2).map(|y| c1[inv[y] as usize]));
+        }
+
+        partial += padding + matching;
+        prev_padding = padding;
+    }
+
+    debug_assert!(partial <= budget, "completed sweep exceeded its budget");
+    Some(partial)
+}

@@ -273,15 +273,92 @@ pub fn ted_star_class_lower_bound(a: &PreparedTree, b: &PreparedTree) -> u64 {
     size_l1.max(hist_bound)
 }
 
-/// Early-abandoning `TED*`: returns `None` as soon as the distance is
-/// known to exceed `limit` (currently: when the lower bound already
-/// does), otherwise the exact distance (which may itself exceed `limit` —
-/// callers filter on the returned value).
+/// Early-abandoning `TED*`: `Some(d)` **iff** the distance `d` is
+/// `<= limit`, `None` **whenever** it exceeds `limit` — a hard contract,
+/// not a best-effort filter, so callers never need to re-check the
+/// returned value against `limit`.
+///
+/// Runs the budget-aware kernel (see [`ted_star_prepared_within`]),
+/// which abandons the level sweep — and even a single level's
+/// transportation solve — the moment the partial cost plus the padding
+/// still forced at unprocessed levels proves the distance exceeds
+/// `limit`. Unlike the prepared path this one-shot entry point
+/// canonicalizes per call and touches **neither the process-global
+/// [`SignatureInterner`] nor the cross-pair memo** (ephemeral trees
+/// streamed through here must not grow unbounded process state);
+/// repeated-query workloads should prepare once and use
+/// [`ted_star_prepared_within`] to get both.
 pub fn ted_star_within(t1: &Tree, t2: &Tree, limit: u64) -> Option<u64> {
     if ted_star_lower_bound(t1, t2) > limit {
+        // Cheap static reject before paying for canonicalization.
         return None;
     }
-    Some(ted_star(t1, t2))
+    let a = ned_tree::ahu::canonical_form(t1);
+    let b = ned_tree::ahu::canonical_form(t2);
+    let code_a = ned_tree::ahu::canonical_code(&a);
+    let code_b = ned_tree::ahu::canonical_code(&b);
+    if code_a == code_b {
+        return Some(0);
+    }
+    if code_a <= code_b {
+        crate::ted_kernel::bounded_sweep_tl(&a, &b, limit)
+    } else {
+        crate::ted_kernel::bounded_sweep_tl(&b, &a, limit)
+    }
+}
+
+/// Budget-aware `TED*` between prepared trees: `Some(d)` **iff**
+/// `d <= budget`, `None` **iff** `d > budget`, with a completed
+/// computation bit-identical to [`ted_star_prepared`]. This is the exact
+/// call the metric index issues for every candidate, passing the current
+/// pruning radius as the budget.
+///
+/// The kernel (see `ted_kernel`) first rejects on the full
+/// [`ted_star_class_lower_bound`] (the interned class-histogram bound),
+/// then sweeps levels bottom-up while maintaining
+/// `partial_cost + residual_lower_bound(remaining levels)` — the
+/// residual being the padding still forced at unprocessed levels, i.e.
+/// the level-size differences — and aborts mid-sweep — or mid-matching,
+/// via the bounded transportation solver — the moment that floor
+/// exceeds the budget. All
+/// per-call state lives in a thread-local scratch arena, so steady-state
+/// calls allocate nothing; results are additionally cached in the
+/// process-wide [`TedMemo`](crate::memo::TedMemo) keyed by the pair's
+/// interned isomorphism classes (aborts are cached too, as
+/// distance-exceeds-budget floors).
+///
+/// ```
+/// use ned_core::{ted_star_prepared, ted_star_prepared_within, PreparedTree};
+/// use ned_tree::generate::{path_tree, star_tree};
+///
+/// let a = PreparedTree::new(&path_tree(10));
+/// let b = PreparedTree::new(&star_tree(10));
+/// let d = ted_star_prepared(&a, &b);
+/// assert_eq!(ted_star_prepared_within(&a, &b, d), Some(d));
+/// assert_eq!(ted_star_prepared_within(&a, &b, d - 1), None);
+/// ```
+pub fn ted_star_prepared_within(a: &PreparedTree, b: &PreparedTree, budget: u64) -> Option<u64> {
+    if a.code == b.code {
+        return Some(0);
+    }
+    let memo = crate::memo::TedMemo::global();
+    let key = crate::memo::pair_key(a.root_class(), b.root_class());
+    if let Some(decided) = memo.consult(key, budget) {
+        return decided;
+    }
+    if ted_star_class_lower_bound(a, b) > budget {
+        return None;
+    }
+    let result = if a.code <= b.code {
+        crate::ted_kernel::bounded_sweep_tl(&a.tree, &b.tree, budget)
+    } else {
+        crate::ted_kernel::bounded_sweep_tl(&b.tree, &a.tree, budget)
+    };
+    match result {
+        Some(d) => memo.record_exact(key, d),
+        None => memo.record_at_least(key, budget),
+    }
+    result
 }
 
 /// `TED*` under an explicit [`TedStarConfig`].
@@ -296,9 +373,13 @@ pub fn ted_star_report(t1: &Tree, t2: &Tree, config: &TedStarConfig) -> TedStarR
 }
 
 /// TED\* between pre-canonicalized trees — the fast path for query
-/// workloads that compare each signature many times.
+/// workloads that compare each signature many times. Runs on the
+/// budget-aware kernel with an unlimited budget, so it shares the
+/// scratch arena and the cross-pair memo with
+/// [`ted_star_prepared_within`]; distances are bit-identical to every
+/// configuration of [`ted_star_prepared_report`] with an exact matcher.
 pub fn ted_star_prepared(a: &PreparedTree, b: &PreparedTree) -> u64 {
-    ted_star_prepared_report(a, b, &TedStarConfig::standard()).distance
+    ted_star_prepared_within(a, b, u64::MAX).expect("an unlimited budget never abandons")
 }
 
 /// Report variant of [`ted_star_prepared`].
@@ -715,7 +796,7 @@ fn slot_level_matching(
 }
 
 /// `|a Δ b|` for sorted multisets — the edge weight of `G²ᵢ` (Section 5.4).
-fn symmetric_difference(a: &[u32], b: &[u32]) -> usize {
+pub(crate) fn symmetric_difference(a: &[u32], b: &[u32]) -> usize {
     let (mut i, mut j, mut d) = (0usize, 0usize, 0usize);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {

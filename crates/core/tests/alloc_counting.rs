@@ -1,0 +1,122 @@
+//! Counting-allocator proof that `ted_star_prepared_within` performs
+//! **zero heap allocations per call in steady state**: after a warm-up
+//! pass has grown the thread-local scratch arena (and, separately, with
+//! the memo serving hits), repeating the same workload must not touch
+//! the allocator at all.
+//!
+//! The whole file is one test in its own process so the global counting
+//! allocator and the process-wide memo are not shared with unrelated
+//! tests.
+
+use ned_core::{ted_star_prepared, ted_star_prepared_within, PreparedTree, TedMemo};
+use ned_tree::generate::random_bounded_depth_tree;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+// Per-thread allocation counter: the libtest harness's coordinator
+// thread allocates concurrently (channel traffic, output buffering), so
+// a process-global counter would charge its noise to the kernel under
+// test. The `const` initializer keeps the TLS slot allocation-free to
+// access, and `try_with` tolerates the teardown window at thread exit.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+fn bump() {
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+#[test]
+fn steady_state_bounded_calls_do_not_allocate() {
+    // A varied corpus: different sizes, depths, and therefore different
+    // level widths and class structures — the scratch must absorb the
+    // high-water mark of all of them.
+    let mut rng = SmallRng::seed_from_u64(0xA110C);
+    let prepared: Vec<PreparedTree> = (0..10)
+        .map(|i| PreparedTree::new(&random_bounded_depth_tree(10 + i * 7, 3 + i % 4, &mut rng)))
+        .collect();
+    let workload = |budgets: &[u64]| {
+        let mut checksum = 0u64;
+        for (i, a) in prepared.iter().enumerate() {
+            for b in prepared.iter().skip(i + 1) {
+                for &t in budgets {
+                    if let Some(d) = ted_star_prepared_within(a, b, t) {
+                        checksum = checksum.wrapping_add(d + 1);
+                    }
+                }
+            }
+        }
+        checksum
+    };
+    let budgets = [0u64, 3, 10, 50, u64::MAX];
+
+    // --- Kernel alone: memo disabled, every call runs the full sweep ---
+    TedMemo::global().set_capacity(0);
+    TedMemo::global().clear();
+    let reference = workload(&budgets); // warm-up grows the scratch arena
+    let before = allocations();
+    let repeat = workload(&budgets);
+    let after = allocations();
+    assert_eq!(repeat, reference, "steady-state repeat changed results");
+    assert_eq!(
+        after - before,
+        0,
+        "the bounded kernel allocated in steady state (memo disabled)"
+    );
+
+    // --- Memo hits: warm cache, repeat calls never reach the kernel ----
+    TedMemo::global().set_capacity(1 << 20);
+    TedMemo::global().clear();
+    let warm = workload(&budgets); // populates the memo
+    assert_eq!(warm, reference, "memo-backed results diverged");
+    let before = allocations();
+    let served = workload(&budgets);
+    let after = allocations();
+    assert_eq!(served, reference);
+    assert_eq!(after - before, 0, "memo-served steady state allocated");
+
+    // The unbounded prepared path shares the same kernel and arena —
+    // memo disabled again so every call genuinely runs the sweep rather
+    // than being served from the cache warmed above.
+    TedMemo::global().set_capacity(0);
+    TedMemo::global().clear();
+    let before = allocations();
+    for (i, a) in prepared.iter().enumerate() {
+        for b in prepared.iter().skip(i + 1) {
+            std::hint::black_box(ted_star_prepared(a, b));
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "ted_star_prepared allocated in steady state"
+    );
+}

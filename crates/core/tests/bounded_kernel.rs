@@ -1,0 +1,122 @@
+//! Property tests pinning the budget-aware TED\* kernel to the unbounded
+//! path: for every pair and every budget, `ted_star_prepared_within`
+//! returns `Some(d)` with `d == ted_star_prepared(a, b)` **iff**
+//! `d <= budget`, and `None` otherwise — bit-identical distances for
+//! every accepted candidate, no false abandons, regardless of budget
+//! order, orientation, or what the cross-pair memo has already seen.
+
+use ned_core::{
+    ted_star, ted_star_prepared, ted_star_prepared_within, ted_star_with, ted_star_within,
+    PreparedTree, TedStarConfig,
+};
+use ned_tree::generate::random_bounded_depth_tree;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bounded_matches_unbounded_for_every_budget(
+        seed in any::<u64>(),
+        nodes_a in 2..40usize,
+        nodes_b in 2..40usize,
+        depth_a in 2..6usize,
+        depth_b in 2..6usize,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = random_bounded_depth_tree(nodes_a, depth_a, &mut rng);
+        let b = random_bounded_depth_tree(nodes_b, depth_b, &mut rng);
+        let pa = PreparedTree::new(&a);
+        let pb = PreparedTree::new(&b);
+        let d = ted_star_prepared(&pa, &pb);
+        prop_assert_eq!(d, ted_star(&a, &b), "kernel diverged from Algorithm 1");
+
+        // Every budget around the distance, plus random ones: the
+        // contract is exact, not best-effort.
+        let mut budgets = vec![0, d.saturating_sub(2), d.saturating_sub(1), d, d + 1, d + 7, u64::MAX];
+        budgets.extend((0..6).map(|_| rng.gen_range(0..d.max(1) * 2 + 2)));
+        for &t in &budgets {
+            let want = (d <= t).then_some(d);
+            prop_assert_eq!(ted_star_prepared_within(&pa, &pb, t), want, "budget {}", t);
+            // symmetric in its arguments, like the metric itself
+            prop_assert_eq!(ted_star_prepared_within(&pb, &pa, t), want, "budget {} flipped", t);
+        }
+    }
+
+    #[test]
+    fn memo_stays_correct_under_interleaved_budgets(
+        seed in any::<u64>(),
+    ) {
+        // Drive one pair through a budget sequence designed to exercise
+        // every memo transition: abort floors recorded low then raised,
+        // then an exact fact recorded, then served for both outcomes.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = random_bounded_depth_tree(30, 4, &mut rng);
+        let b = random_bounded_depth_tree(24, 5, &mut rng);
+        let pa = PreparedTree::new(&a);
+        let pb = PreparedTree::new(&b);
+        let d = ted_star_prepared(&pa, &pb);
+        let mut budgets: Vec<u64> = (0..d + 3).collect();
+        // descending, ascending, then shuffled
+        let mut seq: Vec<u64> = budgets.iter().rev().copied().collect();
+        seq.extend(budgets.iter().copied());
+        for _ in 0..budgets.len() {
+            let i = rng.gen_range(0..budgets.len());
+            let j = rng.gen_range(0..budgets.len());
+            budgets.swap(i, j);
+        }
+        seq.extend(budgets);
+        for &t in &seq {
+            prop_assert_eq!(
+                ted_star_prepared_within(&pa, &pb, t),
+                (d <= t).then_some(d),
+                "budget {} in interleaved sequence",
+                t
+            );
+        }
+    }
+
+    #[test]
+    fn ted_star_within_hard_contract(
+        seed in any::<u64>(),
+        limit in 0..40u64,
+    ) {
+        // `None` whenever the distance exceeds `limit`, `Some(d)` with
+        // the true distance otherwise — never `Some(d)` with `d > limit`.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = random_bounded_depth_tree(25, 4, &mut rng);
+        let b = random_bounded_depth_tree(18, 3, &mut rng);
+        let d = ted_star(&a, &b);
+        prop_assert_eq!(ted_star_within(&a, &b, limit), (d <= limit).then_some(d));
+    }
+}
+
+#[test]
+fn bounded_kernel_agrees_with_every_exact_engine() {
+    // Belt and braces on top of the proptests: the kernel (unlimited
+    // budget) against the dense checked engine and the classic standard
+    // configuration on a fixed corpus.
+    let mut rng = SmallRng::seed_from_u64(0xB0B);
+    for _ in 0..30 {
+        let a = random_bounded_depth_tree(35, 5, &mut rng);
+        let b = random_bounded_depth_tree(28, 4, &mut rng);
+        let pa = PreparedTree::new(&a);
+        let pb = PreparedTree::new(&b);
+        let kernel = ted_star_prepared_within(&pa, &pb, u64::MAX).expect("unlimited");
+        assert_eq!(kernel, ted_star_with(&a, &b, &TedStarConfig::standard()));
+        assert_eq!(kernel, ted_star_with(&a, &b, &TedStarConfig::dense()));
+    }
+}
+
+#[test]
+fn identical_pairs_short_circuit() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let a = random_bounded_depth_tree(20, 4, &mut rng);
+    let pa = PreparedTree::new(&a);
+    let pb = PreparedTree::new(&a);
+    // Budget 0 still accepts a zero distance.
+    assert_eq!(ted_star_prepared_within(&pa, &pb, 0), Some(0));
+    assert_eq!(ted_star_prepared_within(&pa, &pa, u64::MAX), Some(0));
+}

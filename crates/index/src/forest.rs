@@ -20,7 +20,11 @@
 //!   with a **shared atomic bound** (the best k-th distance any shard has
 //!   proven so far), then merge through one bounded heap ordered by
 //!   `(distance, id)` — results are exact and deterministic regardless of
-//!   thread timing.
+//!   thread timing. Every exact call that does happen is issued through
+//!   [`BoundedMetric::distance_within`] with the sharpest bound known at
+//!   that moment as its budget, so a budget-aware metric (TED\* over node
+//!   signatures) abandons hopeless candidates mid-computation instead of
+//!   finishing a distance the collector would discard anyway.
 //!
 //! Items carry caller-assigned `u64` ids; every query reports hits as
 //! [`ForestHit`] `(id, distance)` pairs, so results stay meaningful across
@@ -93,6 +97,12 @@ impl<T, M: Metric<T>> Metric<Entry<T>> for EntryMetric<'_, M> {
 impl<T, M: BoundedMetric<T>> BoundedMetric<Entry<T>> for EntryMetric<'_, M> {
     fn lower_bound(&self, a: &Entry<T>, b: &Entry<T>) -> f64 {
         self.0.lower_bound(&a.item, &b.item)
+    }
+
+    fn distance_within(&self, a: &Entry<T>, b: &Entry<T>, budget: f64) -> Option<f64> {
+        // Forwarded so a budget-aware caller metric early-abandons inside
+        // the shards too, not just in the buffer scan.
+        self.0.distance_within(&a.item, &b.item, budget)
     }
 }
 
@@ -422,11 +432,15 @@ impl<T: Clone> ShardedVpForest<T> {
         }
         let shared = SharedBound::unbounded();
         // Buffer first: it is small, and whatever bound it proves
-        // transfers to every shard search below.
+        // transfers to every shard search below. Every exact call takes
+        // the current k-th-best distance as its abandonment budget.
         let mut merged = BoundedHeap::new(k, &shared);
         for e in &self.buffer {
-            if metric.lower_bound(query, &e.item) <= merged.tau() {
-                merged.offer_id(e.id, metric.distance(query, &e.item));
+            let tau = merged.tau();
+            if metric.lower_bound(query, &e.item) <= tau {
+                if let Some(d) = metric.distance_within(query, &e.item, tau) {
+                    merged.offer_id(e.id, d);
+                }
             }
         }
         let q = query_entry(query);
@@ -460,8 +474,8 @@ impl<T: Clone> ShardedVpForest<T> {
             .iter()
             .filter(|e| metric.lower_bound(query, &e.item) <= radius)
             .filter_map(|e| {
-                let d = metric.distance(query, &e.item);
-                (d <= radius).then_some(ForestHit {
+                let d = metric.distance_within(query, &e.item, radius)?;
+                Some(ForestHit {
                     id: e.id,
                     distance: d,
                 })

@@ -22,7 +22,7 @@ pub mod signatures;
 pub use bk_tree::{BkTree, IntFnMetric, IntMetric};
 pub use filter::{filter_refine_knn, BoundedMetric, FilteredKnn, FnBoundedMetric};
 pub use forest::{ForestHit, ForestStats, ShardedVpForest};
-pub use signatures::{SignatureIndex, SignatureMetric};
+pub use signatures::{SignatureIndex, SignatureMetric, UnboundedSignatureMetric};
 
 use rand::Rng;
 use std::cell::Cell;
@@ -285,7 +285,16 @@ impl<T> VpTree<T> {
     /// (each getting its own bound check) — the annulus test needs the
     /// exact distance, so pruning degrades gracefully into a
     /// lower-bound-filtered scan instead of paying for exact distances.
-    /// Every candidate that survives is handed to
+    ///
+    /// Surviving candidates are refined through
+    /// [`BoundedMetric::distance_within`] under the budget
+    /// `node radius + tau`: that budget is loose enough to answer every
+    /// question the traversal asks — a hit needs `d <= tau`, pruning the
+    /// inside sub-tree needs to know whether `d - tau <= radius` — so an
+    /// abandoned computation (`None`) simultaneously proves "not a hit"
+    /// and "inside annulus unreachable", and the search recurses outside
+    /// only. No pruning power is lost relative to computing the exact
+    /// distance. Every candidate that survives is handed to
     /// [`SearchCollector::offer`]; duplicate-bucket items are offered at
     /// their vantage point's distance without further metric calls.
     ///
@@ -321,20 +330,35 @@ impl<T> VpTree<T> {
             self.search_rec(n.outside, metric, query, collector);
             return;
         }
-        let d = metric.distance(query, &self.items[n.item]);
-        collector.offer(n.item, d);
-        for &dup in self.dups(&n) {
-            collector.offer(dup as usize, d);
-        }
-        if d <= n.radius {
-            self.search_rec(n.inside, metric, query, collector);
-            if d + collector.tau() >= n.radius {
+        // Budget = radius + tau: covers the hit test (d <= tau) *and* the
+        // only annulus question a too-far vantage can still influence
+        // (is d <= radius + tau, i.e. can the inside ball intersect the
+        // query ball). Ties at the budget are returned, not abandoned,
+        // preserving deterministic (distance, id) ordering downstream.
+        match metric.distance_within(query, &self.items[n.item], n.radius + tau) {
+            None => {
+                // d > radius + tau >= tau: neither the vantage point nor
+                // its duplicates can be hits, and the inside ball
+                // (all within `radius` of the vantage) lies strictly
+                // beyond tau of the query. Only the outside remains.
                 self.search_rec(n.outside, metric, query, collector);
             }
-        } else {
-            self.search_rec(n.outside, metric, query, collector);
-            if d - collector.tau() <= n.radius {
-                self.search_rec(n.inside, metric, query, collector);
+            Some(d) => {
+                collector.offer(n.item, d);
+                for &dup in self.dups(&n) {
+                    collector.offer(dup as usize, d);
+                }
+                if d <= n.radius {
+                    self.search_rec(n.inside, metric, query, collector);
+                    if d + collector.tau() >= n.radius {
+                        self.search_rec(n.outside, metric, query, collector);
+                    }
+                } else {
+                    self.search_rec(n.outside, metric, query, collector);
+                    if d - collector.tau() <= n.radius {
+                        self.search_rec(n.inside, metric, query, collector);
+                    }
+                }
             }
         }
     }

@@ -3,17 +3,37 @@
 //! same distances — through arbitrary interleavings of inserts and
 //! removes, in serial and parallel query modes, and across a save/load
 //! round trip.
+//!
+//! Since the budget-aware kernel landed, every forest query here also
+//! exercises the bounded path: [`SignatureMetric`] overrides
+//! `BoundedMetric::distance_within`, so `knn`/`range` issue each exact
+//! TED\* call under the current pruning radius. Reference results go
+//! through the classic Algorithm 1 engine (no bounded kernel, no scratch
+//! arena, no memo — see [`classic_distance`]), so these tests pin the
+//! bounded serving stack bit-identical to an independent implementation,
+//! not merely to itself.
 
-use ned_core::{signatures, NodeSignature};
+use ned_core::{signatures, ted_star_prepared_report, NodeSignature, TedStarConfig};
 use ned_graph::generators;
-use ned_index::{ForestHit, ShardedVpForest, SignatureIndex, SignatureMetric};
+use ned_index::{
+    BoundedMetric, ForestHit, Metric, ShardedVpForest, SignatureIndex, SignatureMetric,
+    UnboundedSignatureMetric,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
-/// Reference result computed from first principles: exact NED to every
-/// live `(id, signature)` pair, sorted by `(distance, id)`.
+/// Exact NED computed through the classic Algorithm 1 engine — a code
+/// path that shares neither the bounded kernel, the scratch arena, nor
+/// the cross-pair memo with the forest under test, so a defect in any
+/// of those cannot corrupt reference and result identically.
+fn classic_distance(a: &NodeSignature, b: &NodeSignature) -> f64 {
+    ted_star_prepared_report(a.prepared(), b.prepared(), &TedStarConfig::standard()).distance as f64
+}
+
+/// Reference result computed from first principles: classic-engine NED
+/// to every live `(id, signature)` pair, sorted by `(distance, id)`.
 fn reference_knn(
     live: &HashMap<u64, NodeSignature>,
     q: &NodeSignature,
@@ -23,7 +43,7 @@ fn reference_knn(
         .iter()
         .map(|(&id, sig)| ForestHit {
             id,
-            distance: q.distance(sig) as f64,
+            distance: classic_distance(q, sig),
         })
         .collect();
     hits.sort_by(|a, b| {
@@ -112,11 +132,8 @@ proptest! {
         let mut want: Vec<ForestHit> = live
             .iter()
             .filter_map(|(&id, sig)| {
-                let d = q.distance(sig);
-                (d <= radius).then_some(ForestHit {
-                    id,
-                    distance: d as f64,
-                })
+                let d = classic_distance(q, sig);
+                (d <= radius as f64).then_some(ForestHit { id, distance: d })
             })
             .collect();
         want.sort_by(|a, b| {
@@ -168,5 +185,78 @@ proptest! {
         let fast = back.query(&q, 6, 0);
         let slow = back.scan(&q, 6);
         prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn bounded_metric_contract_on_signature_pairs(
+        seed in any::<u64>(),
+    ) {
+        // `distance_within(a, b, t)` is `Some(d)` with the exact distance
+        // iff `d <= t` — for integral, fractional, negative, and infinite
+        // budgets alike.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g1 = generators::barabasi_albert(60, 2, &mut rng);
+        let g2 = generators::road_network(6, 6, 0.4, 0.05, &mut rng);
+        let a = signatures(&g1, &(0..20u32).collect::<Vec<_>>(), 3);
+        let b = signatures(&g2, &(0..20u32).collect::<Vec<_>>(), 3);
+        let m = SignatureMetric;
+        for (x, y) in a.iter().zip(&b) {
+            let d = m.distance(x, y);
+            for t in [0.0, d - 1.0, d - 0.5, d, d + 0.5, d + 10.0, f64::INFINITY] {
+                let want = (d <= t).then_some(d);
+                prop_assert_eq!(m.distance_within(x, y, t), want, "budget {}", t);
+            }
+            prop_assert_eq!(m.distance_within(x, y, -1.0), None, "negative budget");
+        }
+    }
+
+    #[test]
+    fn bounded_forest_equals_unbounded_forest_under_churn(
+        seed in any::<u64>(),
+        threshold in 1..32usize,
+        ops in 20..90usize,
+    ) {
+        // A duplicate-heavy pool (every signature drawn from a small node
+        // set, so interned shapes repeat constantly — the memo's target
+        // regime): bounded knn and range must equal both the unbounded
+        // metric's results and the first-principles reference.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(50, 3, &mut rng);
+        let nodes: Vec<u32> = g.nodes().collect();
+        let pool = signatures(&g, &nodes, 3);
+        let mut forest: ShardedVpForest<NodeSignature> =
+            ShardedVpForest::new(threshold, seed);
+        let mut live: HashMap<u64, NodeSignature> = HashMap::new();
+        for step in 0..ops {
+            if live.is_empty() || rng.gen_bool(0.7) {
+                let id = rng.gen_range(0..40u64);
+                let sig = pool[rng.gen_range(0..pool.len())].clone();
+                forest.insert(&SignatureMetric, id, sig.clone());
+                live.insert(id, sig);
+            } else {
+                let id = rng.gen_range(0..40u64);
+                forest.remove(&SignatureMetric, id);
+                live.remove(&id);
+            }
+            if step % 7 == 0 {
+                let q = &pool[rng.gen_range(0..pool.len())];
+                let k = rng.gen_range(1..8usize);
+                let want = reference_knn(&live, q, k);
+                prop_assert_eq!(&forest.knn(&SignatureMetric, q, k, 0), &want, "bounded, step {}", step);
+                prop_assert_eq!(
+                    &forest.knn(&UnboundedSignatureMetric, q, k, 0),
+                    &want,
+                    "unbounded, step {}",
+                    step
+                );
+                let radius = rng.gen_range(0..6u64) as f64;
+                prop_assert_eq!(
+                    forest.range(&SignatureMetric, q, radius, 0),
+                    forest.range(&UnboundedSignatureMetric, q, radius, 0),
+                    "range, step {}",
+                    step
+                );
+            }
+        }
     }
 }

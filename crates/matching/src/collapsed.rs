@@ -16,6 +16,15 @@
 //! back to a full [`Assignment`]. [`transportation`] is the underlying
 //! solver, exposed because the TED\* sweep builds class-level problems
 //! directly without ever materializing the dense matrix.
+//!
+//! Both solvers also come in **budgeted** variants
+//! ([`transportation_within`], [`collapsed_hungarian_within`]) that abort
+//! mid-solve the moment the optimum is provably above a caller limit —
+//! successive shortest paths accumulate cost monotonically per
+//! augmentation, so a partial solve already lower-bounds the optimum.
+//! [`transportation_into`] additionally takes a reusable
+//! [`TransportScratch`], making a steady-state solve allocation-free;
+//! it is the engine the budget-aware TED\* kernel in `ned-core` runs on.
 
 use crate::{Assignment, CostMatrix};
 use std::collections::HashMap;
@@ -31,6 +40,33 @@ pub struct Transport {
     pub flows: Vec<u64>,
 }
 
+/// Reusable scratch for [`transportation_into`]: every vector the solver
+/// needs, grown once and recycled across calls so a steady-state caller
+/// (the TED\* level sweep) performs **zero heap allocations** per solve.
+///
+/// After a successful solve, [`TransportScratch::flows`] holds the
+/// row-major `R × C` flow matrix of the optimum.
+#[derive(Debug, Default)]
+pub struct TransportScratch {
+    /// Flow matrix of the most recent successful solve (`R × C`,
+    /// row-major) — the same data [`Transport::flows`] would carry.
+    pub flows: Vec<u64>,
+    supply_left: Vec<u64>,
+    demand_left: Vec<u64>,
+    pot_row: Vec<i64>,
+    pot_col: Vec<i64>,
+    dist: Vec<i64>,
+    done: Vec<bool>,
+    parent: Vec<usize>,
+}
+
+impl TransportScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Minimum-cost transportation: ship `supplies[i]` units from each supply
 /// class to cover `demands[j]` units at each demand class, paying
 /// `costs[i * demands.len() + j]` per unit.
@@ -44,6 +80,57 @@ pub struct Transport {
 /// Panics if the supply/demand totals differ or `costs` has the wrong
 /// length.
 pub fn transportation(supplies: &[u64], demands: &[u64], costs: &[i64]) -> Transport {
+    let mut scratch = TransportScratch::new();
+    let cost = transportation_into(supplies, demands, costs, i64::MAX, &mut scratch)
+        .expect("an unlimited transportation solve cannot abort");
+    Transport {
+        cost,
+        flows: std::mem::take(&mut scratch.flows),
+    }
+}
+
+/// Early-abandoning [`transportation`]: returns `None` as soon as the
+/// optimal cost is provably above `limit`, otherwise the full solution.
+/// `Some(t)` is returned **iff** the optimum is `<= limit`, and the
+/// flows of a returned solution are bit-identical to the unlimited
+/// solver's (the abort check never changes which augmenting paths are
+/// taken, only whether the solve runs to completion).
+pub fn transportation_within(
+    supplies: &[u64],
+    demands: &[u64],
+    costs: &[i64],
+    limit: i64,
+) -> Option<Transport> {
+    let mut scratch = TransportScratch::new();
+    let cost = transportation_into(supplies, demands, costs, limit, &mut scratch)?;
+    Some(Transport {
+        cost,
+        flows: std::mem::take(&mut scratch.flows),
+    })
+}
+
+/// The transportation engine behind [`transportation`] and
+/// [`transportation_within`]: solves into caller-provided
+/// [`TransportScratch`] (zero allocations once the scratch has grown) and
+/// abandons as soon as the optimum is provably above `limit`.
+///
+/// Returns the optimal cost (flows are left in `scratch.flows`), or
+/// `None` **iff** the optimum exceeds `limit`. Successive shortest paths
+/// ship flow at non-decreasing true cost, so the accumulated cost plus a
+/// per-remaining-unit floor (the cheapest edge anywhere) is a valid lower
+/// bound on the optimum at every augmentation — the moment it passes
+/// `limit` the solve aborts mid-flight.
+///
+/// # Panics
+/// Panics if the supply/demand totals differ or `costs` has the wrong
+/// length.
+pub fn transportation_into(
+    supplies: &[u64],
+    demands: &[u64],
+    costs: &[i64],
+    limit: i64,
+    scratch: &mut TransportScratch,
+) -> Option<i64> {
     let r = supplies.len();
     let c = demands.len();
     assert_eq!(costs.len(), r * c, "costs must be R×C row-major");
@@ -53,34 +140,58 @@ pub fn transportation(supplies: &[u64], demands: &[u64], costs: &[i64]) -> Trans
         demands.iter().sum::<u64>(),
         "supply and demand totals must match"
     );
+    scratch.flows.clear();
+    scratch.flows.resize(r * c, 0);
     if total == 0 || r == 0 || c == 0 {
-        return Transport {
-            cost: 0,
-            flows: vec![0; r * c],
-        };
+        return if limit >= 0 { Some(0) } else { None };
     }
 
     // Shift costs non-negative so Dijkstra works from the start. Every
     // unit of flow crosses exactly one (i, j) edge, so the shift
     // contributes exactly `shift · total` to the objective.
-    let shift = costs.iter().copied().min().unwrap_or(0).min(0);
+    let min_cost = costs.iter().copied().min().unwrap_or(0);
+    let shift = min_cost.min(0);
+    // Every unit still to ship crosses some (i, j) edge, so it costs at
+    // least `min_cost`: the floor that makes mid-solve abandoning sound
+    // even before the cheap flow has been routed.
+    let floor = |cost_so_far: i64, remaining: u64| -> i64 {
+        cost_so_far.saturating_add(min_cost.saturating_mul(remaining as i64))
+    };
+    if floor(0, total) > limit {
+        return None;
+    }
     const INF: i64 = i64::MAX / 4;
 
-    let mut flows = vec![0u64; r * c];
-    let mut supply_left = supplies.to_vec();
-    let mut demand_left = demands.to_vec();
+    let flows = &mut scratch.flows;
+    scratch.supply_left.clear();
+    scratch.supply_left.extend_from_slice(supplies);
+    scratch.demand_left.clear();
+    scratch.demand_left.extend_from_slice(demands);
+    let supply_left = &mut scratch.supply_left;
+    let demand_left = &mut scratch.demand_left;
     // Node potentials for reduced costs (rows then columns).
-    let mut pot_row = vec![0i64; r];
-    let mut pot_col = vec![0i64; c];
+    scratch.pot_row.clear();
+    scratch.pot_row.resize(r, 0);
+    scratch.pot_col.clear();
+    scratch.pot_col.resize(c, 0);
+    let pot_row = &mut scratch.pot_row;
+    let pot_col = &mut scratch.pot_col;
     let mut shipped = 0u64;
+    let mut cost_so_far = 0i64;
 
     while shipped < total {
         // Dijkstra over the residual graph from all rows with remaining
         // supply. Nodes: 0..r rows, r..r+c columns.
         let n = r + c;
-        let mut dist = vec![INF; n];
-        let mut done = vec![false; n];
-        let mut parent = vec![usize::MAX; n];
+        scratch.dist.clear();
+        scratch.dist.resize(n, INF);
+        scratch.done.clear();
+        scratch.done.resize(n, false);
+        scratch.parent.clear();
+        scratch.parent.resize(n, usize::MAX);
+        let dist = &mut scratch.dist;
+        let done = &mut scratch.done;
+        let parent = &mut scratch.parent;
         for (i, &s) in supply_left.iter().enumerate() {
             if s > 0 {
                 dist[i] = 0;
@@ -173,31 +284,51 @@ pub fn transportation(supplies: &[u64], demands: &[u64], costs: &[i64]) -> Trans
         }
         debug_assert!(bottleneck > 0);
 
-        // Apply the augmentation.
+        // Apply the augmentation, tracking the true (unshifted) cost of
+        // the current flow as it changes.
         let mut v = r + target;
         loop {
             let p = parent[v];
             if v >= r {
-                flows[p * c + (v - r)] += bottleneck;
+                let idx = p * c + (v - r);
+                flows[idx] += bottleneck;
+                cost_so_far += costs[idx] * bottleneck as i64;
                 if parent[p] == usize::MAX {
                     supply_left[p] -= bottleneck;
                     break;
                 }
             } else {
-                flows[v * c + (p - r)] -= bottleneck;
+                let idx = v * c + (p - r);
+                flows[idx] -= bottleneck;
+                cost_so_far -= costs[idx] * bottleneck as i64;
             }
             v = p;
         }
         demand_left[target] -= bottleneck;
         shipped += bottleneck;
+
+        // Early abandon: successive shortest paths only get more
+        // expensive, and every unshipped unit costs at least the global
+        // minimum edge — once that floor clears `limit`, so does the
+        // optimum.
+        if floor(cost_so_far, total - shipped) > limit {
+            return None;
+        }
     }
 
-    let cost = flows
-        .iter()
-        .enumerate()
-        .map(|(idx, &f)| costs[idx] * f as i64)
-        .sum();
-    Transport { cost, flows }
+    debug_assert_eq!(
+        cost_so_far,
+        flows
+            .iter()
+            .enumerate()
+            .map(|(idx, &f)| costs[idx] * f as i64)
+            .sum::<i64>(),
+        "incremental cost tracking diverged"
+    );
+    if cost_so_far > limit {
+        return None;
+    }
+    Some(cost_so_far)
 }
 
 /// Distinct-row/column structure of a square cost matrix.
@@ -307,30 +438,45 @@ pub fn expand_flows(
 /// assert_eq!(collapsed_hungarian(&m).cost, hungarian(&m).cost);
 /// ```
 pub fn collapsed_hungarian(costs: &CostMatrix) -> Assignment {
+    collapsed_hungarian_within(costs, i64::MAX).expect("an unlimited matching cannot abort")
+}
+
+/// Early-abandoning [`collapsed_hungarian`]: returns `None` as soon as
+/// the optimal matching cost is provably above `limit`, otherwise the
+/// full assignment. `Some(a)` is returned **iff** the optimum is
+/// `<= limit`, and a returned assignment is bit-identical to
+/// [`collapsed_hungarian`]'s.
+pub fn collapsed_hungarian_within(costs: &CostMatrix, limit: i64) -> Option<Assignment> {
     let n = costs.size();
     if n == 0 {
-        return Assignment {
+        return (limit >= 0).then(|| Assignment {
             row_to_col: Vec::new(),
             cost: 0,
-        };
+        });
     }
     let classes = MatrixClasses::group(costs);
     let supplies: Vec<u64> = classes.row_members.iter().map(|m| m.len() as u64).collect();
     let demands: Vec<u64> = classes.col_members.iter().map(|m| m.len() as u64).collect();
-    let transport = transportation(&supplies, &demands, &classes.costs);
+    let transport = transportation_within(&supplies, &demands, &classes.costs, limit)?;
     let row_to_col = expand_flows(
         &classes.row_members,
         &classes.col_members,
         &transport.flows,
         n,
     );
-    let cost: i64 = row_to_col
-        .iter()
-        .enumerate()
-        .map(|(r, &c)| costs.get(r, c))
-        .sum();
-    debug_assert_eq!(cost, transport.cost, "expansion changed the cost");
-    Assignment { row_to_col, cost }
+    debug_assert_eq!(
+        transport.cost,
+        row_to_col
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| costs.get(r, c))
+            .sum::<i64>(),
+        "expansion changed the cost"
+    );
+    Some(Assignment {
+        row_to_col,
+        cost: transport.cost,
+    })
 }
 
 #[cfg(test)]
@@ -456,5 +602,74 @@ mod tests {
     #[should_panic(expected = "totals must match")]
     fn transportation_rejects_imbalance() {
         transportation(&[1], &[2], &[0]);
+    }
+
+    #[test]
+    fn within_agrees_with_unlimited_at_and_above_the_optimum() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for _ in 0..40 {
+            let r = rng.gen_range(1..6usize);
+            let c = rng.gen_range(1..6usize);
+            let supplies: Vec<u64> = (0..r).map(|_| rng.gen_range(1..5u64)).collect();
+            let total: u64 = supplies.iter().sum();
+            // random demands summing to the supply total
+            let mut demands = vec![0u64; c];
+            for _ in 0..total {
+                demands[rng.gen_range(0..c)] += 1;
+            }
+            let costs: Vec<i64> = (0..r * c).map(|_| rng.gen_range(-5..20)).collect();
+            let full = transportation(&supplies, &demands, &costs);
+            for slack in [0i64, 1, 100] {
+                let t = transportation_within(&supplies, &demands, &costs, full.cost + slack)
+                    .expect("limit at/above the optimum must solve");
+                assert_eq!(t, full, "slack {slack}");
+            }
+            assert_eq!(
+                transportation_within(&supplies, &demands, &costs, full.cost - 1),
+                None,
+                "limit below the optimum must abandon"
+            );
+        }
+    }
+
+    #[test]
+    fn within_scratch_reuse_is_consistent() {
+        let mut scratch = TransportScratch::new();
+        let a = transportation_into(&[2, 2], &[2, 2], &[1, 3, 3, 1], i64::MAX, &mut scratch);
+        assert_eq!(a, Some(4));
+        assert_eq!(scratch.flows, vec![2, 0, 0, 2]);
+        // reuse for a differently-shaped problem
+        let b = transportation_into(&[3, 1], &[2, 2], &[1, 2, 5, 0], i64::MAX, &mut scratch);
+        assert_eq!(b, Some(4));
+        assert_eq!(scratch.flows, vec![2, 1, 0, 1]);
+        // and an aborted solve leaves the scratch reusable
+        assert_eq!(
+            transportation_into(&[3, 1], &[2, 2], &[1, 2, 5, 0], 3, &mut scratch),
+            None
+        );
+        let c = transportation_into(&[2, 2], &[2, 2], &[1, 3, 3, 1], 4, &mut scratch);
+        assert_eq!(c, Some(4));
+        assert_eq!(scratch.flows, vec![2, 0, 0, 2]);
+    }
+
+    #[test]
+    fn collapsed_hungarian_within_matches_unbounded() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        for _ in 0..25 {
+            let n = rng.gen_range(1..10usize);
+            let mut m = random_matrix(n, &mut rng, 25);
+            inject_duplicates(&mut m, &mut rng, n);
+            let full = collapsed_hungarian(&m);
+            let bounded = collapsed_hungarian_within(&m, full.cost).expect("at the optimum");
+            assert_eq!(bounded, full);
+            assert_eq!(collapsed_hungarian_within(&m, full.cost - 1), None);
+        }
+        // empty matrix edge case
+        assert_eq!(
+            collapsed_hungarian_within(&CostMatrix::zeros(0), 0)
+                .expect("empty is free")
+                .cost,
+            0
+        );
     }
 }

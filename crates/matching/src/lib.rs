@@ -17,7 +17,10 @@
 mod collapsed;
 mod matrix;
 
-pub use collapsed::{collapsed_hungarian, expand_flows, transportation, MatrixClasses, Transport};
+pub use collapsed::{
+    collapsed_hungarian, collapsed_hungarian_within, expand_flows, transportation,
+    transportation_into, transportation_within, MatrixClasses, Transport, TransportScratch,
+};
 pub use matrix::CostMatrix;
 
 /// The result of a matching: a bijection and its total cost.

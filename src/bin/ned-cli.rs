@@ -10,7 +10,8 @@
 //! ned-cli hausdorff <g1.edges> <g2.edges> [--k N] [--sample N] [--seed N]
 //! ned-cli index build <out.idx> <graph.edges> [--k N] [--threshold N] [--seed N]
 //! ned-cli index add <idx> <graph.edges> [--out PATH]
-//! ned-cli index query <idx> <graph.edges> <node> [--top N] [--threads N] [--verify]
+//! ned-cli index query <idx> <graph.edges> <node> [--top N] [--radius R]
+//!                     [--threads N] [--verify]
 //! ned-cli index save <idx> <out.idx>
 //! ned-cli index load <idx>
 //! ned-cli serve <idx>
@@ -72,7 +73,8 @@ fn print_usage() {
          \x20 index build <out.idx> <graph> [--k N] [--threshold N] [--seed N]\n\
          \x20                                                    build + save a persistent signature index\n\
          \x20 index add <idx> <graph> [--out PATH]               index another graph's signatures\n\
-         \x20 index query <idx> <graph> <node> [--top N] [--threads N] [--verify]\n\
+         \x20 index query <idx> <graph> <node> [--top N] [--radius R] [--threads N] [--verify]\n\
+         \x20                                                    --radius R: bounded threshold query\n\
          \x20 index save <idx> <out.idx>                         re-encode (verifies the file round-trips)\n\
          \x20 index load <idx>                                   load + print index stats\n\
          \x20 serve <idx>                                        long-lived query REPL over stdin\n"
@@ -115,11 +117,18 @@ impl<'a> Args<'a> {
     }
 
     fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        self.opt(name).map(|v| v.unwrap_or(default))
+    }
+
+    /// A flag that changes behavior by its mere presence: `Ok(None)` when
+    /// absent, `Ok(Some(parsed))` when given.
+    fn opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
         match self.flags.iter().find(|&&(n, _)| n == name) {
             Some(&(_, v)) => v
                 .parse()
+                .map(Some)
                 .map_err(|_| format!("cannot parse --{name} value {v:?}")),
-            None => Ok(default),
+            None => Ok(None),
         }
     }
 
@@ -424,20 +433,56 @@ fn cmd_index_query(raw: &[String]) -> Result<(), String> {
     let index = load_index(args.positional(0, "index path")?)?;
     let g = load(args.positional(1, "query graph")?, false)?;
     let v = parse_node(&g, args.positional(2, "query node")?)?;
-    let top: usize = args.get("top", 5)?;
+    let top_flag: Option<usize> = args.opt("top")?;
     let threads: usize = args.get("threads", 0)?;
+    let radius: Option<u64> = args.opt("radius")?;
     let sig = NodeSignature::extract(&g, v, index.k());
-    let hits = index.query(&sig, top, threads);
-    println!(
-        "top-{top} of {} indexed signatures for node {v} (k = {}):",
-        index.len(),
-        index.k()
-    );
+    let hits = match radius {
+        // Threshold query: the radius is the abandonment budget of every
+        // exact TED* call — candidates past it stop mid-sweep instead of
+        // being computed in full and filtered afterwards. All hits are
+        // printed unless --top caps them.
+        Some(r) => {
+            let mut hits = index.range(&sig, r, threads);
+            if let Some(top) = top_flag {
+                hits.truncate(top);
+            }
+            println!(
+                "signatures within NED <= {r} of node {v} among {} indexed (k = {}):",
+                index.len(),
+                index.k()
+            );
+            hits
+        }
+        None => {
+            let top = top_flag.unwrap_or(5);
+            let hits = index.query(&sig, top, threads);
+            println!(
+                "top-{top} of {} indexed signatures for node {v} (k = {}):",
+                index.len(),
+                index.k()
+            );
+            hits
+        }
+    };
     for (rank, h) in hits.iter().enumerate() {
         println!("  {:>2}. id {:>8}  NED = {}", rank + 1, h.id, h.distance);
     }
     if args.has("verify") {
-        let slow = index.scan(&sig, top);
+        let slow = match radius {
+            Some(r) => {
+                let mut all = index.scan(&sig, index.len());
+                all.retain(|h| h.distance <= r as f64);
+                // Replicate the --top cap only when it was actually
+                // given; an uncapped range query must match the filtered
+                // scan in full, or dropped hits would still "verify".
+                if let Some(top) = top_flag {
+                    all.truncate(top);
+                }
+                all
+            }
+            None => index.scan(&sig, top_flag.unwrap_or(5)),
+        };
         if hits == slow {
             println!(
                 "verified: identical to the full scan ({} items)",
@@ -532,6 +577,10 @@ fn serve_line(
             println!(
                 "commands:\n\
                  \x20 query <graph.edges> <node> [top]   nearest indexed signatures\n\
+                 \x20 range <graph.edges> <node> <r>     all signatures with NED <= r\n\
+                 \x20                                    (r is the budget of every exact\n\
+                 \x20                                    TED* call - bounded, not\n\
+                 \x20                                    compute-then-filter)\n\
                  \x20 sig <parens-tree> [top]            query by a literal tree shape\n\
                  \x20 add <graph.edges> <node>           index one more signature\n\
                  \x20 remove <id>                        drop a signature by id\n\
@@ -553,6 +602,20 @@ fn serve_line(
             let g = cached_graph(graphs, path)?;
             let v = parse_node(g, node)?;
             let hits = index.query_node(g, v, top, threads);
+            for h in &hits {
+                println!("hit id={} ned={}", h.id, h.distance);
+            }
+            println!("ok {} hits", hits.len());
+            Ok(ServeOutcome::Continue)
+        }
+        ["range", path, node, radius] => {
+            let r: u64 = radius
+                .parse()
+                .map_err(|_| format!("bad radius {radius:?}"))?;
+            let g = cached_graph(graphs, path)?;
+            let v = parse_node(g, node)?;
+            let sig = NodeSignature::extract(g, v, index.k());
+            let hits = index.range(&sig, r, threads);
             for h in &hits {
                 println!("hit id={} ned={}", h.id, h.distance);
             }
