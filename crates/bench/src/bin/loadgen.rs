@@ -1,0 +1,481 @@
+//! `loadgen` — load generator for the concurrent NED serving layer.
+//!
+//! ```text
+//! loadgen prep  --out PATH [--nodes N] [--k K] [--seed S]
+//! loadgen bench [--nodes N] [--k K] [--readers R] [--ops N] [--top T]
+//!               [--writes N] [--seed S]
+//! loadgen smoke --addr HOST:PORT --index PATH [--readers R] [--reads N]
+//!               [--writes N] [--seed S]
+//! ```
+//!
+//! * `prep` builds a Barabási–Albert graph index and saves it — the
+//!   fixture the CI soak serves with `ned-cli serve --tcp`.
+//! * `bench` drives the in-process workload (1 reader vs `--readers`,
+//!   optionally racing `--writes` net-zero write batches) and prints
+//!   aggregate throughput plus p50/p99 latency.
+//! * `smoke` is the CI soak client: a reader fleet plus one writer
+//!   hammer a live TCP server with a bounded mixed workload (batched and
+//!   single-command frames; the write churn is net-zero), validating
+//!   every reply. Afterwards it replays a sample of knn queries and
+//!   compares them hit-for-hit against a **single-threaded linear scan**
+//!   over the same index file the server loaded. Any protocol error,
+//!   panic, reply mismatch, or epoch/size drift exits non-zero, which is
+//!   what fails the CI `soak` job.
+
+use ned_bench::loadgen::{knn_read_workload, run_reader_fleet, scaling_floor, LatencySummary};
+use ned_index::{ConcurrentNedIndex, SignatureIndex, WireClient};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("prep") => cmd_prep(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("smoke") => cmd_smoke(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}; try `loadgen help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "loadgen — load generator for the concurrent NED serving layer\n\
+         \n\
+         subcommands:\n\
+         \x20 prep  --out PATH [--nodes N] [--k K] [--seed S]     build + save a BA-graph index\n\
+         \x20 bench [--nodes N] [--k K] [--readers R] [--ops N]   in-process reader-scaling run\n\
+         \x20       [--top T] [--writes N] [--seed S]             (--writes adds concurrent churn)\n\
+         \x20 smoke --addr HOST:PORT --index PATH [--readers R]   bounded mixed soak against a live\n\
+         \x20       [--reads N] [--writes N] [--seed S]           `ned-cli serve --tcp` server\n"
+    );
+}
+
+/// `--flag value` parser (no positionals, no switches — loadgen is
+/// flag-only).
+struct Flags<'a>(Vec<(&'a str, &'a str)>);
+
+impl<'a> Flags<'a> {
+    fn parse(raw: &'a [String]) -> Result<Self, String> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let name = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", raw[i]))?;
+            let value = raw
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for --{name}"))?;
+            out.push((name, value.as_str()));
+            i += 2;
+        }
+        Ok(Flags(out))
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.0.iter().find(|&&(n, _)| n == name) {
+            Some(&(_, v)) => v
+                .parse()
+                .map_err(|_| format!("cannot parse --{name} value {v:?}")),
+            None => Ok(default),
+        }
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.0
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("missing required --{name}"))
+    }
+}
+
+fn cmd_prep(raw: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(raw)?;
+    let out = flags.require("out")?;
+    let nodes: usize = flags.get("nodes", 4000)?;
+    let k: usize = flags.get("k", 3)?;
+    let seed: u64 = flags.get("seed", 0xBA)?;
+    let (index, _) = ned_bench::loadgen::ba_fixture(nodes, k, 1, seed);
+    index
+        .save(Path::new(out))
+        .map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "prep: wrote {out} ({} signatures, k = {k}, BA-{nodes}, seed {seed})",
+        index.len()
+    );
+    Ok(())
+}
+
+fn print_summary(label: &str, s: &LatencySummary) {
+    println!(
+        "  {label:<28} {:>9.0} ns/op  {:>10.0} ops/s  p50 {:>9.0} ns  p99 {:>9.0} ns  ({} ops)",
+        s.ns_per_op,
+        s.ops_per_sec(),
+        s.p50_ns,
+        s.p99_ns,
+        s.ops
+    );
+}
+
+fn cmd_bench(raw: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(raw)?;
+    let nodes: usize = flags.get("nodes", 4000)?;
+    let k: usize = flags.get("k", 3)?;
+    let readers: usize = flags.get("readers", 4)?;
+    let total_ops: usize = flags.get("ops", 240)?;
+    let top: usize = flags.get("top", 5)?;
+    let writes: usize = flags.get("writes", 0)?;
+    let seed: u64 = flags.get("seed", 0xBA)?;
+    println!("bench: building BA-{nodes} fixture (k = {k}) ...");
+    let (index, probes) = ned_bench::loadgen::ba_fixture(nodes, k, 16, seed);
+    let (mut writer, reader) = ConcurrentNedIndex::split(index);
+    // Warm-up pass (thread-local scratch arenas, the TED* memo).
+    knn_read_workload(&reader, &probes, 1, 8, top);
+    let single = knn_read_workload(&reader, &probes, 1, total_ops, top);
+    // The fleet run: optionally with concurrent writer churn (--writes N
+    // net-zero insert/remove batches racing the readers), the full mixed
+    // serving regime.
+    let fleet = std::thread::scope(|scope| {
+        if writes > 0 {
+            let writer = &mut writer;
+            let spare = probes[0].clone();
+            scope.spawn(move || {
+                for _ in 0..writes {
+                    let id = writer.insert(spare.clone());
+                    writer.remove(id);
+                }
+            });
+        }
+        knn_read_workload(&reader, &probes, readers, total_ops / readers.max(1), top)
+    });
+    let churn = if writes > 0 {
+        format!(" (against {writes} concurrent net-zero write batches)")
+    } else {
+        String::new()
+    };
+    println!("bench: aggregate knn throughput, 1 vs {readers} reader thread(s){churn}:");
+    print_summary("1 reader", &single);
+    print_summary(&format!("{readers} readers"), &fleet);
+    let speedup = single.ns_per_op / fleet.ns_per_op;
+    let floor = scaling_floor(readers);
+    println!(
+        "bench: speedup {speedup:.2}x (hardware-scaled floor {floor:.2}x on {} core(s))",
+        std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1)
+    );
+    // The scaling floor is a pure-read contract; concurrent churn
+    // legitimately eats into it, so --writes runs are report-only.
+    if writes == 0 && speedup < floor {
+        return Err(format!(
+            "reader scaling {speedup:.2}x below the {floor:.2}x floor"
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// smoke: the CI soak client
+// ---------------------------------------------------------------------------
+
+/// Connects with retries — the CI job races the server's startup.
+fn connect_patiently(addr: &str) -> Result<WireClient, String> {
+    let mut last = String::new();
+    for _ in 0..100 {
+        match WireClient::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => {
+                last = e.to_string();
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    Err(format!("cannot connect to {addr} after 10s: {last}"))
+}
+
+fn parse_id(reply: &str) -> Result<u64, String> {
+    reply
+        .trim()
+        .strip_prefix("ok id=")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed addsig reply {reply:?}"))
+}
+
+/// Parses `hit id=<id> ned=<d>` lines; errors on anything unexpected.
+fn parse_hits(reply: &str) -> Result<Vec<(u64, f64)>, String> {
+    let mut hits = Vec::new();
+    for line in reply.lines() {
+        if let Some(rest) = line.strip_prefix("hit id=") {
+            let (id, d) = rest
+                .split_once(" ned=")
+                .ok_or_else(|| format!("malformed hit line {line:?}"))?;
+            hits.push((
+                id.parse().map_err(|_| format!("bad id in {line:?}"))?,
+                d.parse().map_err(|_| format!("bad distance in {line:?}"))?,
+            ));
+        } else if !(line.starts_with("ok ") || line == "ok") {
+            return Err(format!("unexpected reply line {line:?}"));
+        }
+    }
+    Ok(hits)
+}
+
+fn expect_ok(reply: &str, what: &str) -> Result<(), String> {
+    if reply.lines().last().is_some_and(|l| l.starts_with("ok")) {
+        Ok(())
+    } else {
+        Err(format!("{what}: server said {reply:?}"))
+    }
+}
+
+fn cmd_smoke(raw: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(raw)?;
+    let addr = flags.require("addr")?.to_string();
+    let index_path = flags.require("index")?;
+    let readers: usize = flags.get("readers", 2)?;
+    let reads_per_reader: usize = flags.get("reads", 120)?;
+    let writes: usize = flags.get("writes", 30)?;
+    let seed: u64 = flags.get("seed", 0x50AC)?;
+
+    // The server's ground truth: the same index file it loaded. The
+    // soak's write churn is net-zero, so the post-soak state must equal
+    // this byte-for-byte in query behavior.
+    let local =
+        SignatureIndex::load(Path::new(index_path)).map_err(|e| format!("{index_path}: {e}"))?;
+    let shapes: Vec<String> = local
+        .forest()
+        .entries()
+        .enumerate()
+        .filter(|(i, _)| i % (local.len() / 24).max(1) == 0)
+        .map(|(_, (_, sig))| ned_tree::serialize::print(sig.tree()))
+        .collect();
+    if shapes.is_empty() {
+        return Err("index file holds no signatures to probe with".into());
+    }
+    // Width beyond every indexed tree's widest level: a star of this
+    // width (or wider) cannot be isomorphic to anything in the index, so
+    // its nearest indexed neighbor is provably at distance > 0 — which
+    // is what makes the within-frame write-visibility check below real
+    // rather than satisfied by a pre-existing duplicate.
+    let novel_base = local
+        .forest()
+        .entries()
+        .map(|(_, sig)| sig.tree().max_width())
+        .max()
+        .unwrap_or(1)
+        + 1;
+
+    let mut probe_client = connect_patiently(&addr)?;
+    let stats = probe_client
+        .call("stats")
+        .map_err(|e| format!("stats: {e}"))?;
+    if !stats.contains(&format!("signatures: {} (", local.len())) {
+        return Err(format!(
+            "server stats {stats:?} disagree with {index_path} ({} signatures)",
+            local.len()
+        ));
+    }
+    let epoch0 = query_epoch(&mut probe_client)?;
+    println!("smoke: connected to {addr}; {stats}");
+
+    // --- the bounded mixed soak -----------------------------------------
+    // Reader fleet: alternating single-command frames and read-only batch
+    // frames (the pool fan-out path). One concurrent writer: addsig /
+    // remove pairs, including one mixed write+read batch frame.
+    let soak_error: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    let fail = |msg: String| {
+        soak_error
+            .lock()
+            .expect("no poisoned error slot")
+            .get_or_insert(msg);
+    };
+    let summary = std::thread::scope(|scope| {
+        let writer_addr = addr.clone();
+        let writer_shapes = &shapes;
+        let fail = &fail;
+        scope.spawn(move || {
+            let run = || -> Result<(), String> {
+                let mut c = connect_patiently(&writer_addr)?;
+                let mut ids = Vec::with_capacity(writes);
+                for w in 0..writes {
+                    let shape = &writer_shapes[(w * 7 + 3) % writer_shapes.len()];
+                    if w % 5 == 4 {
+                        // Mixed batch frame: the write must be visible to
+                        // the read behind it in the same frame. The shape
+                        // is a star wider than anything indexed (a fresh
+                        // width each time), so the only possible ned=0
+                        // hit is the id this very addsig returned —
+                        // a pre-existing duplicate cannot fake this.
+                        let novel = star_shape(novel_base + w);
+                        let reply = c
+                            .call(&format!("addsig {novel}\nsig {novel} 1"))
+                            .map_err(|e| format!("writer batch: {e}"))?;
+                        let id = parse_id(reply.lines().next().unwrap_or_default())?;
+                        if !reply.lines().any(|l| l == format!("hit id={id} ned=0")) {
+                            return Err(format!(
+                                "addsig in a batch frame was not visible to the \
+                                 sig query behind it: {reply:?}"
+                            ));
+                        }
+                        ids.push(id);
+                    } else {
+                        let reply = c
+                            .call(&format!("addsig {shape}"))
+                            .map_err(|e| format!("writer addsig: {e}"))?;
+                        ids.push(parse_id(&reply)?);
+                    }
+                }
+                for id in ids {
+                    let reply = c
+                        .call(&format!("remove {id}"))
+                        .map_err(|e| format!("writer remove: {e}"))?;
+                    if reply != format!("ok removed {id}") {
+                        return Err(format!("remove {id}: server said {reply:?}"));
+                    }
+                }
+                Ok(())
+            };
+            if let Err(e) = run() {
+                fail(format!("writer: {e}"));
+            }
+        });
+
+        let addr = &addr;
+        let shapes = &shapes;
+        run_reader_fleet(readers, reads_per_reader, move |t| {
+            let mut client = connect_patiently(addr).unwrap_or_else(|e| panic!("reader {t}: {e}"));
+            let mut rng_state = seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            move |i| {
+                // xorshift so each reader walks its own probe sequence
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                let shape = &shapes[(rng_state as usize) % shapes.len()];
+                let mut run = || -> Result<(), String> {
+                    if i % 3 == 2 {
+                        // Read-only batch frame: three commands, three
+                        // ordered terminators, fan-out on the server pool.
+                        let reply = client
+                            .call(&format!("sig {shape} 5\nepoch\nrangesig {shape} 2"))
+                            .map_err(|e| e.to_string())?;
+                        let terminators = reply.lines().filter(|l| l.starts_with("ok")).count();
+                        if terminators != 3 || reply.contains("error:") {
+                            return Err(format!("batch reply malformed: {reply:?}"));
+                        }
+                        parse_hits(&reply)?;
+                    } else {
+                        let reply = client
+                            .call(&format!("sig {shape} 5"))
+                            .map_err(|e| e.to_string())?;
+                        expect_ok(&reply, "sig query")?;
+                        let hits = parse_hits(&reply)?;
+                        if hits.len() > 5 {
+                            return Err(format!("top-5 query returned {} hits", hits.len()));
+                        }
+                        if hits.first().is_some_and(|&(_, d)| d != 0.0) {
+                            return Err(format!(
+                                "probe shape is indexed; nearest hit must be 0, got {hits:?}"
+                            ));
+                        }
+                    }
+                    Ok(())
+                };
+                if let Err(e) = run() {
+                    panic!("reader {t} op {i}: {e}");
+                }
+            }
+        })
+    });
+    if let Some(err) = soak_error.into_inner().expect("no poisoned error slot") {
+        return Err(err);
+    }
+
+    // --- post-soak integrity --------------------------------------------
+    // The only writer was ours and its churn was net-zero: the epoch must
+    // have advanced exactly once per write command, and the live set must
+    // be back to the index file's.
+    let epoch1 = query_epoch(&mut probe_client)?;
+    let write_commands = 2 * writes; // every addsig and every remove
+    if epoch1 - epoch0 != write_commands as u64 {
+        return Err(format!(
+            "epoch advanced by {} over the soak, expected exactly {write_commands} \
+             (one publication per write command)",
+            epoch1 - epoch0
+        ));
+    }
+    let stats = probe_client.call("stats").map_err(|e| e.to_string())?;
+    if !stats.contains(&format!("signatures: {} (", local.len())) {
+        return Err(format!(
+            "post-soak stats {stats:?} diverged from the net-zero expectation ({})",
+            local.len()
+        ));
+    }
+
+    // --- the linear-scan spot check -------------------------------------
+    // Replay a sample of knn queries against the quiesced server and
+    // demand hit-for-hit agreement with a single-threaded linear scan
+    // over the index file.
+    let mut checked = 0usize;
+    for (i, (_, sig)) in local.forest().entries().enumerate() {
+        if i % (local.len() / 12).max(1) != 0 {
+            continue;
+        }
+        let shape = ned_tree::serialize::print(sig.tree());
+        let reply = probe_client
+            .call(&format!("sig {shape} 5"))
+            .map_err(|e| format!("spot check query: {e}"))?;
+        let got = parse_hits(&reply)?;
+        let want: Vec<(u64, f64)> = local
+            .scan(sig, 5)
+            .iter()
+            .map(|h| (h.id, h.distance))
+            .collect();
+        if got != want {
+            return Err(format!(
+                "DIVERGENCE on probe {i}: server {got:?} vs linear scan {want:?}"
+            ));
+        }
+        checked += 1;
+    }
+
+    println!(
+        "smoke: ok — {} reads across {readers} reader(s), {writes} net-zero write pairs, \
+         epoch +{write_commands}, {checked} post-soak probes matched the linear scan",
+        summary.ops
+    );
+    print_summary("mixed read workload", &summary);
+    Ok(())
+}
+
+/// `(()()...())` — a root with `width` leaf children.
+fn star_shape(width: usize) -> String {
+    let mut s = String::with_capacity(2 * width + 2);
+    s.push('(');
+    for _ in 0..width {
+        s.push_str("()");
+    }
+    s.push(')');
+    s
+}
+
+fn query_epoch(client: &mut WireClient) -> Result<u64, String> {
+    let reply = client.call("epoch").map_err(|e| e.to_string())?;
+    reply
+        .trim()
+        .strip_prefix("ok epoch=")
+        .and_then(|s| s.split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed epoch reply {reply:?}"))
+}

@@ -19,6 +19,15 @@
 //! gate**: a deleted benchmark silently drops perf coverage, which is a
 //! regression of the pipeline itself.
 //!
+//! **Latency percentiles are first-class series.** A benchmark object
+//! may carry `p50_ns` / `p99_ns` next to its mean (the serving-layer
+//! `loadgen/...` entries do); each percentile becomes its own trajectory
+//! series named `<benchmark>@p50` / `<benchmark>@p99` and goes through
+//! the identical per-series regression check — same 30% threshold, same
+//! 1µs noise floor. A tail-latency regression therefore fails CI even
+//! when the mean hides it, and dropping a percentile from a benchmark
+//! that used to report it counts as a missing series.
+//!
 //! The full comparison is written to `perf_gate_diff.json` (uploaded as a
 //! CI artifact) so a red gate is diagnosable without re-running anything.
 //!
@@ -54,10 +63,27 @@ struct Bench {
     ns_per_op: f64,
 }
 
+/// Parses the number following `key` inside `window`, if present.
+fn parse_number_after(window: &str, key: &str) -> Result<Option<f64>, String> {
+    let Some(kpos) = window.find(key) else {
+        return Ok(None);
+    };
+    let tail = window[kpos + key.len()..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end]
+        .trim()
+        .parse()
+        .map(Some)
+        .map_err(|_| format!("bad {key} value {:?}", &tail[..end]))
+}
+
 /// Extracts `{"name": ..., "ns_per_op": ...}` pairs from a
-/// `ned-bench/1` snapshot. A deliberately small scanner — the format is
-/// produced by `perf_snapshot` in this same crate, not by arbitrary
-/// tools.
+/// `ned-bench/1` snapshot, expanding optional `p50_ns` / `p99_ns`
+/// fields into their own `<name>@p50` / `<name>@p99` series. A
+/// deliberately small scanner — the format is produced by
+/// `perf_snapshot` in this same crate, not by arbitrary tools.
 fn parse_snapshot(text: &str) -> Result<Vec<Bench>, String> {
     let mut out = Vec::new();
     let mut rest = text;
@@ -72,20 +98,30 @@ fn parse_snapshot(text: &str) -> Result<Vec<Bench>, String> {
             .ok_or_else(|| "unterminated name string".to_string())?;
         let name = rest[..close].to_string();
         rest = &rest[close + 1..];
-        let key = "\"ns_per_op\":";
-        let kpos = rest
-            .find(key)
+        // Everything up to the next benchmark object is this one's
+        // window; the optional percentile fields must sit inside it.
+        let window = match rest.find("\"name\"") {
+            Some(next) => &rest[..next],
+            None => rest,
+        };
+        let ns_per_op = parse_number_after(window, "\"ns_per_op\":")
+            .map_err(|e| format!("benchmark {name:?}: {e}"))?
             .ok_or_else(|| format!("benchmark {name:?} has no ns_per_op"))?;
-        let tail = rest[kpos + key.len()..].trim_start();
-        let end = tail
-            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-            .unwrap_or(tail.len());
-        let ns_per_op: f64 = tail[..end]
-            .trim()
-            .parse()
-            .map_err(|_| format!("benchmark {name:?}: bad ns_per_op {:?}", &tail[..end]))?;
-        out.push(Bench { name, ns_per_op });
-        rest = &tail[end..];
+        out.push(Bench {
+            name: name.clone(),
+            ns_per_op,
+        });
+        for (key, suffix) in [("\"p50_ns\":", "@p50"), ("\"p99_ns\":", "@p99")] {
+            if let Some(v) =
+                parse_number_after(window, key).map_err(|e| format!("benchmark {name:?}: {e}"))?
+            {
+                out.push(Bench {
+                    name: format!("{name}{suffix}"),
+                    ns_per_op: v,
+                });
+            }
+        }
+        rest = &rest[window.len()..];
     }
     if out.is_empty() {
         return Err("no benchmarks found".to_string());
@@ -335,6 +371,69 @@ mod tests {
         assert_eq!(parsed[0], bench("a/b", 12.5));
         assert_eq!(parsed[1], bench("c", 3e4));
         assert!(parse_snapshot("{}").is_err());
+    }
+
+    #[test]
+    fn parse_expands_percentiles_into_their_own_series() {
+        let text = r#"{"schema": "ned-bench/1", "benchmarks": [
+            {"name": "loadgen/knn-r4", "ns_per_op": 120000.0, "p50_ns": 110000.0, "p99_ns": 950000.0},
+            {"name": "plain", "ns_per_op": 7.5}
+        ]}"#;
+        let parsed = parse_snapshot(text).expect("parses");
+        assert_eq!(
+            parsed,
+            vec![
+                bench("loadgen/knn-r4", 120000.0),
+                bench("loadgen/knn-r4@p50", 110000.0),
+                bench("loadgen/knn-r4@p99", 950000.0),
+                bench("plain", 7.5),
+            ],
+            "each percentile becomes its own series; neighbors are untouched"
+        );
+    }
+
+    #[test]
+    fn percentile_series_regress_independently() {
+        // The mean holds steady while p99 blows past 30% + 1µs: the gate
+        // must fail on the tail alone.
+        let fresh = vec![
+            bench("serve", 100_000.0),
+            bench("serve@p50", 101_000.0),
+            bench("serve@p99", 400_000.0),
+        ];
+        let history = vec![(
+            "BENCH_4.json".to_string(),
+            vec![
+                bench("serve", 100_000.0),
+                bench("serve@p50", 100_000.0),
+                bench("serve@p99", 200_000.0),
+            ],
+        )];
+        let (rows, regressions, missing) = compare(&fresh, &history);
+        assert_eq!(missing, 0);
+        assert_eq!(regressions, 1, "only the p99 series regressed");
+        assert_eq!(rows[0].status, "ok");
+        assert_eq!(
+            rows[1].status, "ok",
+            "1µs noise floor covers p50's 1% drift"
+        );
+        assert_eq!(rows[2].status, "regression");
+    }
+
+    #[test]
+    fn dropping_a_percentile_is_a_missing_series() {
+        // The benchmark still reports its mean but stopped reporting the
+        // p99 the trajectory knows: lost tail-latency coverage fails.
+        let fresh = vec![bench("serve", 90_000.0)];
+        let history = vec![(
+            "BENCH_4.json".to_string(),
+            vec![bench("serve", 100_000.0), bench("serve@p99", 150_000.0)],
+        )];
+        let (rows, regressions, missing) = compare(&fresh, &history);
+        assert_eq!(regressions, 0);
+        assert_eq!(missing, 1);
+        let row = rows.iter().find(|r| r.name == "serve@p99").expect("row");
+        assert_eq!(row.status, "missing");
     }
 
     #[test]

@@ -1,19 +1,26 @@
-//! Machine-readable performance snapshot: writes `BENCH_3.json` with
+//! Machine-readable performance snapshot: writes `BENCH_4.json` with
 //! ns/op for the pipeline's hot paths — the duplicate-collapsed
 //! TED\*/NED engine against the dense Hungarian baseline, the sharded
-//! forest against the linear scan, and (since PR 3) the budget-aware
-//! bounded kernel against the frozen PR 2 unbounded forest path, plus a
-//! memo-cold/memo-warm pair for the cross-pair distance memo.
+//! forest against the linear scan, the budget-aware bounded kernel
+//! against the frozen PR 2 unbounded forest path, a memo-cold/memo-warm
+//! pair for the cross-pair distance memo, and (since PR 4) the
+//! concurrent serving layer's reader-fleet throughput (1 vs 4 reader
+//! threads over one published snapshot), with p50/p99 latency
+//! percentiles alongside the aggregate mean — `perf_gate` checks every
+//! percentile it finds as its own trajectory series.
 //!
 //! Run with `cargo run --release -p ned-bench --bin perf_snapshot
 //! [output.json]`. Every workload is seeded, so successive runs measure
 //! identical work.
 
+use ned_bench::loadgen::{knn_read_workload, scaling_floor, LatencySummary};
 use ned_bench::util::ClassicSignatureMetric;
 use ned_core::{ned_with_extractors, ted_star_with, TedMemo, TedStarConfig};
 use ned_graph::bfs::TreeExtractor;
 use ned_graph::generators;
-use ned_index::{FnMetric, ShardedVpForest, SignatureMetric, VpTree};
+use ned_index::{
+    ConcurrentNedIndex, FnMetric, ShardedVpForest, SignatureIndex, SignatureMetric, VpTree,
+};
 use ned_matching::{collapsed_hungarian, hungarian, CostMatrix};
 use ned_tree::Tree;
 use rand::rngs::SmallRng;
@@ -35,6 +42,27 @@ fn measure<F: FnMut()>(samples: usize, iters: usize, mut f: F) -> f64 {
         .collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("NaN time"));
     times[times.len() / 2]
+}
+
+/// Per-metric median over repeated fleet runs — the drift discipline
+/// [`measure`] applies to scalar entries, extended to latency summaries.
+/// A single run's p99 is one noisy tail sample (the ~2nd-largest of ~120
+/// ops); gating that at 30% would make CI flaky, so each recorded metric
+/// is the median of `runs` independent runs instead.
+fn median_summary(runs: usize, mut run: impl FnMut() -> LatencySummary) -> LatencySummary {
+    let mut all: Vec<LatencySummary> = (0..runs.max(1)).map(|_| run()).collect();
+    let mid = all.len() / 2;
+    let median_by = |all: &mut [LatencySummary], f: fn(&LatencySummary) -> f64| -> f64 {
+        all.sort_by(|a, b| f(a).partial_cmp(&f(b)).expect("NaN metric"));
+        f(&all[mid])
+    };
+    LatencySummary {
+        ns_per_op: median_by(&mut all, |s| s.ns_per_op),
+        p50_ns: median_by(&mut all, |s| s.p50_ns),
+        p99_ns: median_by(&mut all, |s| s.p99_ns),
+        wall_ns: all[mid].wall_ns,
+        ops: all[mid].ops,
+    }
 }
 
 /// A tree with the level widths given, children spread over the previous
@@ -98,12 +126,16 @@ fn random_matrix(n: usize, duplicate_rows: bool, rng: &mut SmallRng) -> CostMatr
 struct Entry {
     name: &'static str,
     ns_per_op: f64,
+    /// Optional latency percentiles (serving-layer entries only);
+    /// `perf_gate` tracks each as its own `name@p50` / `name@p99` series.
+    p50_ns: Option<f64>,
+    p99_ns: Option<f64>,
 }
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".to_string());
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
     let mut entries: Vec<Entry> = Vec::new();
 
     // --- ned_pair: wide-level synthetic trees, collapsed vs dense -------
@@ -144,6 +176,8 @@ fn main() {
     entries.push(Entry {
         name: "ned_pair/width192/collapsed",
         ns_per_op: collapsed_ns,
+        p50_ns: None,
+        p99_ns: None,
     });
     let dense_ns = measure(3, 1, || {
         for (a, b) in &pairs {
@@ -153,6 +187,8 @@ fn main() {
     entries.push(Entry {
         name: "ned_pair/width192/dense-legacy",
         ns_per_op: dense_ns,
+        p50_ns: None,
+        p99_ns: None,
     });
     let ned_pair_speedup = dense_ns / collapsed_ns;
 
@@ -175,6 +211,8 @@ fn main() {
     entries.push(Entry {
         name: "ned_pair/ba4000-k4",
         ns_per_op: ned_ns,
+        p50_ns: None,
+        p99_ns: None,
     });
 
     // --- hungarian: dense kernel and collapsed on duplicate-heavy input -
@@ -184,6 +222,8 @@ fn main() {
         ns_per_op: measure(7, 2, || {
             std::hint::black_box(hungarian(&m_rand));
         }),
+        p50_ns: None,
+        p99_ns: None,
     });
     let m_dup = random_matrix(128, true, &mut rng);
     entries.push(Entry {
@@ -191,12 +231,16 @@ fn main() {
         ns_per_op: measure(7, 2, || {
             std::hint::black_box(hungarian(&m_dup));
         }),
+        p50_ns: None,
+        p99_ns: None,
     });
     entries.push(Entry {
         name: "hungarian/128-duplicated-collapsed",
         ns_per_op: measure(7, 8, || {
             std::hint::black_box(collapsed_hungarian(&m_dup));
         }),
+        p50_ns: None,
+        p99_ns: None,
     });
 
     // --- vptree: exact k-NN over NED signatures ------------------------
@@ -215,6 +259,8 @@ fn main() {
     entries.push(Entry {
         name: "vptree/knn5-road1600",
         ns_per_op: knn_ns,
+        p50_ns: None,
+        p99_ns: None,
     });
 
     // --- sharded_knn: dynamic forest vs full scan on BA-4000 ------------
@@ -229,8 +275,8 @@ fn main() {
     let db_nodes: Vec<u32> = gdb.nodes().collect();
     let db_sigs = ned_core::signatures(&gdb, &db_nodes, 3);
     let mut forest = ShardedVpForest::new(1024, 0xF0);
-    for (i, sig) in db_sigs.into_iter().enumerate() {
-        forest.insert(&SignatureMetric, i as u64, sig);
+    for (i, sig) in db_sigs.iter().enumerate() {
+        forest.insert(&SignatureMetric, i as u64, sig.clone());
     }
     let probe_nodes: Vec<u32> = (0..6u32).map(|i| i * 577 % 4000).collect();
     let probes = ned_core::signatures(&gq, &probe_nodes, 3);
@@ -257,6 +303,8 @@ fn main() {
     entries.push(Entry {
         name: "sharded_knn/ba4000-k3-forest",
         ns_per_op: forest_ns,
+        p50_ns: None,
+        p99_ns: None,
     });
     let linear_ns = measure(3, 1, || {
         for q in &probes {
@@ -266,6 +314,8 @@ fn main() {
     entries.push(Entry {
         name: "sharded_knn/ba4000-k3-linear",
         ns_per_op: linear_ns,
+        p50_ns: None,
+        p99_ns: None,
     });
     let sharded_speedup = linear_ns / forest_ns;
 
@@ -285,6 +335,8 @@ fn main() {
     entries.push(Entry {
         name: "sharded_knn/ba4000-k3-bounded",
         ns_per_op: bounded_ns,
+        p50_ns: None,
+        p99_ns: None,
     });
     let bounded_speedup = forest_ns / bounded_ns;
 
@@ -307,6 +359,8 @@ fn main() {
     entries.push(Entry {
         name: "ted_within/ba4000-memo-cold",
         ns_per_op: cold_ns,
+        p50_ns: None,
+        p99_ns: None,
     });
     TedMemo::global().clear();
     for c in &cands {
@@ -320,20 +374,61 @@ fn main() {
     entries.push(Entry {
         name: "ted_within/ba4000-memo-warm",
         ns_per_op: warm_ns,
+        p50_ns: None,
+        p99_ns: None,
     });
+
+    // --- loadgen: concurrent reader-fleet throughput, 1 vs 4 readers ----
+    // The PR 4 serving layer: the same BA-4000 signature set behind a
+    // ConcurrentNedIndex, queried by a fleet of reader threads (each with
+    // intra-query fan-out 1 — concurrency comes from requests). The
+    // figure recorded is aggregate ns per knn op (wall / total ops) plus
+    // per-op p50/p99, and the gate is reader *scaling*: 4 readers must
+    // beat 1 reader by the hardware-scaled floor (the full 2x wherever 4
+    // cores exist — CI runners — and proportionally less on smaller
+    // machines, where the check still pins "concurrency must not cost
+    // throughput").
+    let serving = SignatureIndex::from_signatures(3, 1024, 0xF0, db_sigs);
+    let (_writer, reader) = ConcurrentNedIndex::split(serving);
+    // Warm-up: thread scratch arenas + the TED* memo, as in serving.
+    knn_read_workload(&reader, &probes, 1, 8, 5);
+    let single = median_summary(3, || knn_read_workload(&reader, &probes, 1, 120, 5));
+    let fleet = median_summary(3, || knn_read_workload(&reader, &probes, 4, 30, 5));
+    entries.push(Entry {
+        name: "loadgen/ba4000-knn-r1",
+        ns_per_op: single.ns_per_op,
+        p50_ns: Some(single.p50_ns),
+        p99_ns: Some(single.p99_ns),
+    });
+    entries.push(Entry {
+        name: "loadgen/ba4000-knn-r4",
+        ns_per_op: fleet.ns_per_op,
+        p50_ns: Some(fleet.p50_ns),
+        p99_ns: Some(fleet.p99_ns),
+    });
+    let reader_scaling = single.ns_per_op / fleet.ns_per_op;
 
     // --- report ---------------------------------------------------------
     let mut json = String::from("{\n  \"schema\": \"ned-bench/1\",\n  \"benchmarks\": [\n");
     for (i, e) in entries.iter().enumerate() {
+        let mut obj = format!(
+            "{{\"name\": \"{}\", \"ns_per_op\": {:.1}",
+            e.name, e.ns_per_op
+        );
+        if let Some(p50) = e.p50_ns {
+            obj.push_str(&format!(", \"p50_ns\": {p50:.1}"));
+        }
+        if let Some(p99) = e.p99_ns {
+            obj.push_str(&format!(", \"p99_ns\": {p99:.1}"));
+        }
+        obj.push('}');
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ns_per_op\": {:.1}}}{}\n",
-            e.name,
-            e.ns_per_op,
+            "    {obj}{}\n",
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2},\n    \"bounded_knn_speedup_vs_unbounded_forest\": {bounded_speedup:.2},\n    \"memo_warm_speedup_vs_cold\": {:.2}\n  }}\n}}\n",
+        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2},\n    \"bounded_knn_speedup_vs_unbounded_forest\": {bounded_speedup:.2},\n    \"memo_warm_speedup_vs_cold\": {:.2},\n    \"loadgen_reader_scaling_4r_vs_1r\": {reader_scaling:.2}\n  }}\n}}\n",
         cold_ns / warm_ns
     ));
     std::fs::write(&out_path, &json).expect("write benchmark snapshot");
@@ -351,5 +446,11 @@ fn main() {
         bounded_speedup >= 1.5,
         "bounded forest kNN speedup {bounded_speedup:.2}x below the 1.5x floor \
          over the PR 2 unbounded path"
+    );
+    let reader_floor = scaling_floor(4);
+    assert!(
+        reader_scaling >= reader_floor,
+        "reader-fleet scaling {reader_scaling:.2}x (4 vs 1 readers) below the \
+         hardware-scaled floor {reader_floor:.2}x — ≥ 2x wherever 4 cores exist"
     );
 }

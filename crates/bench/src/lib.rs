@@ -23,4 +23,5 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod loadgen;
 pub mod util;

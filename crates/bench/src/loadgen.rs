@@ -1,0 +1,201 @@
+//! Load-generation workloads for the concurrent serving layer: reader
+//! fleets with per-op latency recording, shared by the `loadgen` binary
+//! (in-process throughput runs and the TCP soak) and by `perf_snapshot`
+//! (the committed `loadgen/...` trajectory entries and the reader-scaling
+//! gate).
+//!
+//! The aggregate figure of merit is **ns per op across the whole fleet**
+//! (wall time / total ops): with `R` readers on enough cores it drops
+//! roughly `R`-fold while per-op latency (the p50/p99 here) stays flat —
+//! which is exactly the claim the CI throughput gate checks.
+
+use ned_core::NodeSignature;
+use ned_graph::generators;
+use ned_index::{IndexReader, SignatureIndex};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Latency/throughput summary of one workload run.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    /// Total operations completed across every reader.
+    pub ops: usize,
+    /// Wall-clock time for the whole fleet, nanoseconds.
+    pub wall_ns: u64,
+    /// Aggregate nanoseconds per operation: `wall_ns / ops`. This is the
+    /// throughput-scaling metric (halves when throughput doubles).
+    pub ns_per_op: f64,
+    /// Median single-operation latency, nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile single-operation latency, nanoseconds.
+    pub p99_ns: f64,
+}
+
+impl LatencySummary {
+    /// Aggregate throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Nearest-rank percentile (`p` in `0..=100`) over ascending `sorted`.
+pub fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)] as f64
+}
+
+/// Runs `readers` threads, each performing `ops_per_reader` operations,
+/// timing every operation. `setup(reader_idx)` builds the per-thread
+/// state (clone an [`IndexReader`], connect a TCP client, ...); the
+/// returned closure runs one operation given its op index. A panic in
+/// any operation (protocol violation, divergent result) propagates out
+/// of this call.
+pub fn run_reader_fleet<S, F>(readers: usize, ops_per_reader: usize, setup: S) -> LatencySummary
+where
+    S: Fn(usize) -> F + Sync,
+    F: FnMut(usize),
+{
+    let readers = readers.max(1);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(readers * ops_per_reader));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..readers {
+            let setup = &setup;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut op = setup(t);
+                let mut local = Vec::with_capacity(ops_per_reader);
+                for i in 0..ops_per_reader {
+                    let t0 = Instant::now();
+                    op(i);
+                    local.push(t0.elapsed().as_nanos() as u64);
+                }
+                latencies
+                    .lock()
+                    .expect("no poisoned latency log")
+                    .extend(local);
+            });
+        }
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let mut all = latencies.into_inner().expect("no poisoned latency log");
+    all.sort_unstable();
+    let ops = all.len();
+    LatencySummary {
+        ops,
+        wall_ns,
+        ns_per_op: wall_ns as f64 / ops.max(1) as f64,
+        p50_ns: percentile(&all, 50.0),
+        p99_ns: percentile(&all, 99.0),
+    }
+}
+
+/// In-process knn read workload against a concurrent reader handle:
+/// every op is a top-`top` query with intra-query fan-out 1 (the serving
+/// configuration — concurrency comes from the fleet, not from shards).
+pub fn knn_read_workload(
+    reader: &IndexReader,
+    probes: &[NodeSignature],
+    readers: usize,
+    ops_per_reader: usize,
+    top: usize,
+) -> LatencySummary {
+    assert!(!probes.is_empty(), "need at least one probe");
+    run_reader_fleet(readers, ops_per_reader, |t| {
+        let reader = reader.clone();
+        move |i| {
+            let probe = &probes[(t * 31 + i) % probes.len()];
+            let hits = reader.knn(probe, top, 1);
+            assert!(
+                hits.len() <= top,
+                "knn returned more than the requested top-{top}"
+            );
+            std::hint::black_box(hits);
+        }
+    })
+}
+
+/// The standard BA-graph serving fixture: a `nodes`-node Barabási–Albert
+/// index (parameter `k`) plus `probes` query signatures drawn from an
+/// *independent* BA graph. Deterministic in `seed`.
+pub fn ba_fixture(
+    nodes: usize,
+    k: usize,
+    probes: usize,
+    seed: u64,
+) -> (SignatureIndex, Vec<NodeSignature>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let gdb = generators::barabasi_albert(nodes, 3, &mut rng);
+    let gq = generators::barabasi_albert(nodes, 3, &mut rng);
+    let db_nodes: Vec<u32> = gdb.nodes().collect();
+    let sigs = ned_core::signatures(&gdb, &db_nodes, k);
+    let index = SignatureIndex::from_signatures(k, 1024, seed ^ 0xF0, sigs);
+    let probe_nodes: Vec<u32> = (0..probes as u32)
+        .map(|i| (i * 577) % nodes as u32)
+        .collect();
+    let probe_sigs = ned_core::signatures(&gq, &probe_nodes, k);
+    (index, probe_sigs)
+}
+
+/// The reader-scaling floor the throughput gate demands from `readers`
+/// threads on this machine: the full `readers/2` (e.g. ≥ 2× for 4
+/// readers) when the hardware has that many cores, proportionally less
+/// on smaller machines, and — below 2 cores — only the sanity floor
+/// that adding threads must not collapse throughput. CI runners have
+/// ≥ 4 cores, so the real 2× gate is what runs there; a 1-core dev
+/// container still checks that the concurrency layer costs (almost)
+/// nothing when it cannot win anything.
+pub fn scaling_floor(readers: usize) -> f64 {
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    readers.min(cores).max(1) as f64 / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 1.0), 1.0);
+        assert_eq!(percentile(&[42], 50.0), 42.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+    }
+
+    #[test]
+    fn fleet_counts_every_op_and_orders_percentiles() {
+        let summary = run_reader_fleet(3, 20, |_t| {
+            |_i| {
+                std::hint::black_box(0);
+            }
+        });
+        assert_eq!(summary.ops, 60);
+        assert!(summary.p50_ns <= summary.p99_ns);
+        assert!(summary.ns_per_op > 0.0);
+        assert!(summary.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn knn_workload_runs_against_a_fixture() {
+        let (index, probes) = ba_fixture(120, 2, 4, 9);
+        let (_, reader) = ned_index::ConcurrentNedIndex::split(index);
+        let summary = knn_read_workload(&reader, &probes, 2, 5, 3);
+        assert_eq!(summary.ops, 10);
+    }
+
+    #[test]
+    fn scaling_floor_caps_at_the_hardware() {
+        let f = scaling_floor(4);
+        assert!((0.5..=2.0).contains(&f), "floor {f} out of range");
+    }
+}

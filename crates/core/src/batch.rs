@@ -68,6 +68,120 @@ fn indexed_par_map<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + S
     slots.into_iter().map(|s| s.expect("slot filled")).collect()
 }
 
+/// A job queued on a [`WorkerPool`].
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A **persistent** thread pool, complementing the scoped [`par_map`].
+///
+/// `par_map` spawns and joins scoped threads per call — the right shape
+/// for big offline batches (the spawn cost amortizes over thousands of
+/// distance computations), and the only shape that can borrow non-
+/// `'static` data. A *serving* layer has the opposite profile: many
+/// small, independent requests arriving over time, each owning its data
+/// (`Arc` snapshots, decoded frames). Spawning threads per request would
+/// dominate the work; [`WorkerPool`] keeps the threads alive across
+/// requests and hands jobs over a channel, so the steady-state cost of a
+/// fan-out is one channel send per job. The TCP batch protocol's
+/// read-only command fan-out (`ned-index`'s server) and the load
+/// generator both reuse one pool for their whole lifetime.
+///
+/// Dropping the pool closes the queue and joins every worker; jobs
+/// already queued still run. A panicking job kills its worker thread
+/// (shrinking the pool) but never poisons the queue — remaining workers
+/// keep serving, and [`WorkerPool::run_ordered`] reports the panic to
+/// its caller.
+pub struct WorkerPool {
+    tx: Option<std::sync::mpsc::Sender<PoolJob>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool of `threads` workers (`0` = all available parallelism).
+    pub fn new(threads: usize) -> Self {
+        let threads = thread_count(threads, usize::MAX);
+        let (tx, rx) = std::sync::mpsc::channel::<PoolJob>();
+        let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = std::sync::Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Hold the queue lock only for the dequeue, never
+                    // while running the job.
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => return, // a sibling panicked mid-recv
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => return, // queue closed: pool dropped
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads started (some may have died to panicking
+    /// jobs since).
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues one fire-and-forget job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool alive until drop")
+            .send(Box::new(job))
+            .expect("workers alive until drop");
+    }
+
+    /// Runs every job on the pool and returns their results **in job
+    /// order** (submission order, not completion order). Blocks until all
+    /// are done; panics if any job panicked.
+    pub fn run_ordered<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.execute(move || {
+                // A send can only fail if the caller's receiver is gone,
+                // which cannot happen while run_ordered blocks below.
+                let _ = tx.send((i, job()));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut received = 0usize;
+        while let Ok((i, v)) = rx.recv() {
+            slots[i] = Some(v);
+            received += 1;
+        }
+        assert_eq!(
+            received, n,
+            "a pool job panicked before producing its result"
+        );
+        slots.into_iter().map(|s| s.expect("slot filled")).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel is the shutdown signal; queued jobs drain.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 /// Full `|queries| × |database|` distance matrix, row-major.
 pub fn distance_matrix(
     queries: &[NodeSignature],
@@ -247,6 +361,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn worker_pool_runs_ordered_batches_and_survives_reuse() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        // Repeated fan-outs on one pool — the serving-layer usage shape.
+        for round in 0..5u64 {
+            let jobs: Vec<_> = (0..17u64).map(|i| move || i * i + round).collect();
+            let got = pool.run_ordered(jobs);
+            let want: Vec<u64> = (0..17).map(|i| i * i + round).collect();
+            assert_eq!(got, want, "round {round}");
+        }
+        // Fire-and-forget side channel.
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.execute(move || tx.send(41 + 1).expect("receiver alive"));
+        assert_eq!(rx.recv().expect("job ran"), 42);
+    }
+
+    #[test]
+    fn worker_pool_single_thread_still_completes() {
+        let pool = WorkerPool::new(1);
+        let jobs: Vec<_> = (0..8usize).map(|i| move || i * 2).collect();
+        assert_eq!(pool.run_ordered(jobs), vec![0, 2, 4, 6, 8, 10, 12, 14]);
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub mod store;
 mod ted_kernel;
 mod ted_star;
 pub mod weighted;
+pub mod wire;
 
+pub use batch::WorkerPool;
 pub use memo::TedMemo;
 pub use ned::{
     equivalence_classes, ned, ned_directed, ned_profile, ned_with_extractors, signatures,

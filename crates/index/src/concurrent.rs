@@ -1,0 +1,408 @@
+//! **Concurrent serving layer**: lock-light concurrent reads over a
+//! [`SignatureIndex`] that a single writer keeps updating.
+//!
+//! [`ConcurrentNedIndex`] splits the index into two handles:
+//!
+//! * [`IndexReader`] (cheaply cloneable, one per serving thread) answers
+//!   knn/range queries against an immutable **snapshot** — an
+//!   `Arc<SignatureIndex>` whose forest internals are themselves
+//!   `Arc`-shared (see [`crate::forest`]'s *Cloning is snapshotting*).
+//!   Grabbing the snapshot is a read-lock held for one `Arc` clone
+//!   (nanoseconds, never across a distance computation), after which the
+//!   query runs entirely on private immutable data: readers never block
+//!   each other, never block the writer, and reuse the full PR 3 machinery
+//!   — interned-class lower bounds, the budgeted early-abandoning TED\*
+//!   kernel, and the shared pruning radius — unchanged.
+//! * [`IndexWriter`] (exactly one; not `Clone`) applies
+//!   insert/remove/replace **batches** to its private master copy and
+//!   then *publishes* the new state atomically: one cheap
+//!   [`SignatureIndex::clone`] (reference bumps plus copy-on-write
+//!   bookkeeping) swapped in under a momentary write lock, bumping the
+//!   epoch.
+//!
+//! # Why snapshot publication is write-side-only
+//!
+//! Readers never install, repair, or upgrade snapshots — publication is
+//! the writer's exclusive job, and that asymmetry is what keeps the whole
+//! scheme simple and correct:
+//!
+//! * **No read-side retry loops.** With a single publisher, "install the
+//!   new state" is a plain store of an `Arc` — no CAS loop, no ABA
+//!   hazard, no helping protocol. A reader's entire synchronization
+//!   footprint is one brief read-lock.
+//! * **Monotonic epochs for free.** Snapshots are published in the order
+//!   the writer created them, so the epoch counter advances monotonically
+//!   and every reader observes a *prefix-consistent* history: whatever
+//!   snapshot it holds is exactly some state the writer published, never
+//!   a torn mix of two (pinned by the linearizability-style test in
+//!   `tests/concurrent.rs`).
+//! * **Reclamation is just `Arc`.** The last reader holding an old
+//!   snapshot frees it on drop; no epoch-based reclamation, hazard
+//!   pointers, or quiescence tracking. The price — a brief spike while an
+//!   old snapshot lingers — is bounded by the slowest in-flight query.
+//! * **Compaction stays off the read path.** Merges and compactions run
+//!   on the writer's private master copy; readers keep answering from
+//!   their snapshots while a compaction is in flight and only ever see
+//!   its *result*, published like any other batch. A compaction can delay
+//!   the next write batch, never a read.
+//!
+//! # What a write batch actually costs
+//!
+//! Publication itself is `O(shards)` reference bumps, but sharing the
+//! copy-on-write internals with the snapshot re-arms them: the *first*
+//! mutation of the next batch pays one copy of the live-id bookkeeping
+//! map (shallow, `O(live ids)`) and of the mutable buffer (deep, up to
+//! `threshold` signatures) — never of the frozen shards, which hold the
+//! bulk of the data. That cost is per **batch**, not per operation, so a
+//! writer that applies each op as its own batch (the TCP server's
+//! per-command writes) pays it per op, while a batched writer amortizes
+//! it across the whole batch — batching writes is how throughput scales
+//! on the write side, and exactly the shape the TCP batch protocol and
+//! the load generator drive.
+
+use crate::forest::ForestHit;
+use crate::signatures::SignatureIndex;
+use ned_core::NodeSignature;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// One operation of a write batch.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Index a signature under the next automatically assigned id.
+    Insert(NodeSignature),
+    /// Put a signature at an explicit id, replacing any live occupant.
+    Replace(u64, NodeSignature),
+    /// Drop a signature by id.
+    Remove(u64),
+}
+
+/// What each [`WriteOp`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The id assigned to an [`WriteOp::Insert`].
+    Inserted(u64),
+    /// A [`WriteOp::Replace`] landed; `fresh` is `true` when the id was
+    /// not previously live.
+    Replaced {
+        /// The explicit id written.
+        id: u64,
+        /// Whether the id was newly created rather than overwritten.
+        fresh: bool,
+    },
+    /// A [`WriteOp::Remove`] ran; `existed` is `false` for unknown ids.
+    Removed {
+        /// The id removed.
+        id: u64,
+        /// Whether a live signature was actually dropped.
+        existed: bool,
+    },
+}
+
+/// The state shared between the writer and every reader handle.
+struct Shared {
+    /// The currently published snapshot. The lock is held for one `Arc`
+    /// clone (readers) or one pointer store (writer) — never across any
+    /// distance computation.
+    current: RwLock<Arc<SignatureIndex>>,
+    /// Bumped once per publication; `0` is the initial state.
+    epoch: AtomicU64,
+}
+
+impl Shared {
+    /// Current snapshot. Lock poisoning is unrecoverable only for state
+    /// that can be half-written; an `Arc` store cannot be, so a poisoned
+    /// lock (a reader or writer panicked elsewhere) still yields the last
+    /// fully published snapshot.
+    fn snapshot(&self) -> Arc<SignatureIndex> {
+        let guard = self
+            .current
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        Arc::clone(&guard)
+    }
+
+    fn publish(&self, snap: Arc<SignatureIndex>) {
+        let mut guard = self
+            .current
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *guard = snap;
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// A read handle: clone one per serving thread. See the
+/// [module docs](self).
+#[derive(Clone)]
+pub struct IndexReader {
+    shared: Arc<Shared>,
+}
+
+impl IndexReader {
+    /// The currently published snapshot — immutable, self-consistent, and
+    /// valid for as long as the `Arc` is held. Grab one snapshot per
+    /// request when answering multiple questions that must agree.
+    pub fn snapshot(&self) -> Arc<SignatureIndex> {
+        self.shared.snapshot()
+    }
+
+    /// How many publications have happened (`0` = initial state).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Live signatures in the current snapshot.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// `true` when the current snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    /// The extraction parameter of the indexed signatures.
+    pub fn k(&self) -> usize {
+        self.snapshot().k()
+    }
+
+    /// The `top` nearest indexed signatures in the current snapshot.
+    ///
+    /// `threads` is the *intra*-query fan-out (as in
+    /// [`SignatureIndex::query`]); concurrent serving gets its
+    /// parallelism from many reader threads, so servers should pass `1`
+    /// here and let requests, not shards, occupy the cores.
+    pub fn knn(&self, sig: &NodeSignature, top: usize, threads: usize) -> Vec<ForestHit> {
+        self.snapshot().query(sig, top, threads)
+    }
+
+    /// Every indexed signature within `radius` in the current snapshot.
+    pub fn range(&self, sig: &NodeSignature, radius: u64, threads: usize) -> Vec<ForestHit> {
+        self.snapshot().range(sig, radius, threads)
+    }
+}
+
+/// The write handle: exactly one exists per [`ConcurrentNedIndex`] (or
+/// per [`ConcurrentNedIndex::split`] pair), which is what makes
+/// publication a plain store. See the [module docs](self).
+pub struct IndexWriter {
+    master: SignatureIndex,
+    shared: Arc<Shared>,
+}
+
+impl IndexWriter {
+    /// A reader handle over the same shared state.
+    pub fn reader(&self) -> IndexReader {
+        IndexReader {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The writer's current (already published) state. Between batches
+    /// the master and the published snapshot are identical; use this for
+    /// persistence (`save`) and stats without racing readers.
+    pub fn index(&self) -> &SignatureIndex {
+        &self.master
+    }
+
+    /// Applies a whole batch to the master copy, then publishes the new
+    /// state **once**, atomically. Readers see either the pre-batch or
+    /// the post-batch state, never anything in between.
+    pub fn apply(&mut self, batch: impl IntoIterator<Item = WriteOp>) -> Vec<WriteOutcome> {
+        let outcomes: Vec<WriteOutcome> = batch
+            .into_iter()
+            .map(|op| match op {
+                WriteOp::Insert(sig) => WriteOutcome::Inserted(self.master.insert(sig)),
+                WriteOp::Replace(id, sig) => WriteOutcome::Replaced {
+                    id,
+                    fresh: self.master.insert_at(id, sig),
+                },
+                WriteOp::Remove(id) => WriteOutcome::Removed {
+                    id,
+                    existed: self.master.remove(id),
+                },
+            })
+            .collect();
+        self.publish();
+        outcomes
+    }
+
+    /// Single-op convenience: [`WriteOp::Insert`] as its own batch.
+    pub fn insert(&mut self, sig: NodeSignature) -> u64 {
+        match self.apply([WriteOp::Insert(sig)]).pop() {
+            Some(WriteOutcome::Inserted(id)) => id,
+            _ => unreachable!("insert batch returns Inserted"),
+        }
+    }
+
+    /// Single-op convenience: [`WriteOp::Replace`] as its own batch.
+    pub fn replace(&mut self, id: u64, sig: NodeSignature) -> bool {
+        match self.apply([WriteOp::Replace(id, sig)]).pop() {
+            Some(WriteOutcome::Replaced { fresh, .. }) => fresh,
+            _ => unreachable!("replace batch returns Replaced"),
+        }
+    }
+
+    /// Single-op convenience: [`WriteOp::Remove`] as its own batch.
+    pub fn remove(&mut self, id: u64) -> bool {
+        match self.apply([WriteOp::Remove(id)]).pop() {
+            Some(WriteOutcome::Removed { existed, .. }) => existed,
+            _ => unreachable!("remove batch returns Removed"),
+        }
+    }
+
+    fn publish(&mut self) {
+        // The clone is cheap by construction: shard Arcs bump, the
+        // copy-on-write buffer/bookkeeping share until the next mutation.
+        self.shared.publish(Arc::new(self.master.clone()));
+    }
+}
+
+/// The facade bundling the single writer (behind a mutex, so any serving
+/// thread can submit a batch) with freely cloneable readers. For
+/// single-threaded ownership of the writer, use
+/// [`ConcurrentNedIndex::split`] instead and let the type system enforce
+/// the single-writer discipline with no lock at all.
+pub struct ConcurrentNedIndex {
+    writer: Mutex<IndexWriter>,
+    reader: IndexReader,
+}
+
+impl ConcurrentNedIndex {
+    /// Wraps `index` for concurrent serving, publishing it as epoch-0.
+    pub fn new(index: SignatureIndex) -> Self {
+        let (writer, reader) = Self::split(index);
+        ConcurrentNedIndex {
+            writer: Mutex::new(writer),
+            reader,
+        }
+    }
+
+    /// Splits `index` into the one writer and a first reader.
+    pub fn split(index: SignatureIndex) -> (IndexWriter, IndexReader) {
+        let shared = Arc::new(Shared {
+            current: RwLock::new(Arc::new(index.clone())),
+            epoch: AtomicU64::new(0),
+        });
+        let writer = IndexWriter {
+            master: index,
+            shared: Arc::clone(&shared),
+        };
+        let reader = IndexReader { shared };
+        (writer, reader)
+    }
+
+    /// A fresh read handle (cheap; clone one per thread).
+    pub fn reader(&self) -> IndexReader {
+        self.reader.clone()
+    }
+
+    /// Exclusive access to the writer. Serializes write batches across
+    /// serving threads; readers are unaffected while this is held.
+    pub fn writer(&self) -> MutexGuard<'_, IndexWriter> {
+        self.writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ned_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_index() -> (SignatureIndex, Vec<NodeSignature>) {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = generators::barabasi_albert(120, 2, &mut rng);
+        let nodes: Vec<u32> = g.nodes().collect();
+        let mut index = SignatureIndex::new(2, 16, 9);
+        index.insert_graph(&g, &nodes);
+        let probes = ned_core::signatures(&g, &[0, 17, 63], 2);
+        (index, probes)
+    }
+
+    #[test]
+    fn readers_see_published_batches_snapshots_stay_frozen() {
+        let (index, probes) = small_index();
+        let (mut writer, reader) = ConcurrentNedIndex::split(index);
+        assert_eq!(reader.epoch(), 0);
+        assert_eq!(reader.len(), 120);
+
+        let frozen = reader.snapshot();
+        let before = frozen.query(&probes[0], 5, 1);
+
+        let outcomes = writer.apply([
+            WriteOp::Insert(probes[1].clone()),
+            WriteOp::Remove(3),
+            WriteOp::Remove(99_999),
+            WriteOp::Replace(7, probes[2].clone()),
+        ]);
+        assert_eq!(outcomes[0], WriteOutcome::Inserted(120));
+        assert_eq!(
+            outcomes[1],
+            WriteOutcome::Removed {
+                id: 3,
+                existed: true
+            }
+        );
+        assert_eq!(
+            outcomes[2],
+            WriteOutcome::Removed {
+                id: 99_999,
+                existed: false
+            }
+        );
+        assert_eq!(
+            outcomes[3],
+            WriteOutcome::Replaced {
+                id: 7,
+                fresh: false
+            }
+        );
+
+        // One batch = one publication.
+        assert_eq!(reader.epoch(), 1);
+        assert_eq!(reader.len(), 120); // +1 insert, -1 remove
+                                       // The old snapshot is untouched by the batch.
+        assert_eq!(frozen.len(), 120);
+        assert_eq!(frozen.query(&probes[0], 5, 1), before);
+        assert!(frozen.get(3).is_some());
+        // The new snapshot reflects every op, exactly like a scan.
+        let snap = reader.snapshot();
+        assert!(snap.get(3).is_none());
+        assert_eq!(
+            reader.knn(&probes[0], 5, 1),
+            snap.scan(&probes[0], 5),
+            "published snapshot must stay forest-exact"
+        );
+    }
+
+    #[test]
+    fn facade_serializes_writers_and_hands_out_readers() {
+        let (index, probes) = small_index();
+        let service = ConcurrentNedIndex::new(index);
+        let r1 = service.reader();
+        let r2 = service.reader();
+        let id = service.writer().insert(probes[0].clone());
+        assert_eq!(id, 120);
+        assert_eq!(r1.epoch(), 1);
+        assert_eq!(r2.len(), 121);
+        assert_eq!(r1.knn(&probes[0], 1, 1)[0].distance, 0.0);
+        assert!(service.writer().remove(id));
+        assert_eq!(r2.epoch(), 2);
+    }
+
+    #[test]
+    fn writer_master_matches_published_state_between_batches() {
+        let (index, probes) = small_index();
+        let (mut writer, reader) = ConcurrentNedIndex::split(index);
+        writer.insert(probes[0].clone());
+        writer.remove(0);
+        let snap = reader.snapshot();
+        assert_eq!(writer.index().len(), snap.len());
+        assert_eq!(writer.index().scan(&probes[1], 7), snap.scan(&probes[1], 7));
+    }
+}

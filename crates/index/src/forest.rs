@@ -30,6 +30,20 @@
 //! [`ForestHit`] `(id, distance)` pairs, so results stay meaningful across
 //! rebuilds, restarts, and process boundaries (see
 //! [`crate::signatures::SignatureIndex`] for the persistent NED wiring).
+//!
+//! # Cloning is snapshotting
+//!
+//! Every bulky piece of the forest lives behind an [`Arc`]: the immutable
+//! VP shards are `Arc<VpTree>`, and the mutable buffer plus the live/
+//! retired bookkeeping maps are copy-on-write (`Arc::make_mut`). `Clone`
+//! therefore costs `O(shards + 1)` reference bumps — no tree, item, or
+//! map is copied — and the clone is a fully independent, immutable-until-
+//! mutated snapshot of the forest at that instant. This is what the
+//! [`crate::concurrent`] serving layer publishes to readers after every
+//! write batch: mutating the original (or the clone) copies only the
+//! pieces actually touched, and a frozen shard is never copied at all
+//! unless a merge must physically reclaim entries out of a tree some
+//! snapshot still references.
 
 use crate::filter::BoundedMetric;
 use crate::{Metric, SearchCollector, VpTree};
@@ -38,6 +52,7 @@ use rand::SeedableRng;
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A forest query hit: the item's caller-assigned id and its exact
 /// distance to the query.
@@ -127,19 +142,23 @@ pub struct ForestStats {
 /// and `knn` silently breaks pruning, exactly as with [`VpTree`].
 #[derive(Debug, Clone)]
 pub struct ShardedVpForest<T> {
-    buffer: Vec<Entry<T>>,
-    /// Immutable shards, physical sizes strictly decreasing.
-    shards: Vec<VpTree<Entry<T>>>,
+    /// Mutable tail, copy-on-write: snapshots share it until the next
+    /// buffered mutation, which copies at most `threshold` entries.
+    buffer: Arc<Vec<Entry<T>>>,
+    /// Immutable shards, physical sizes strictly decreasing. Shared with
+    /// every snapshot — a shard is only deep-copied when a merge must
+    /// consume its entries while a snapshot still holds the `Arc`.
+    shards: Vec<Arc<VpTree<Entry<T>>>>,
     /// Every live id, its location, and its current generation; removed
-    /// ids are absent.
-    live: HashMap<u64, LiveSlot>,
+    /// ids are absent. Copy-on-write alongside the buffer.
+    live: Arc<HashMap<u64, LiveSlot>>,
     /// Stale entries (removed or superseded) still physically present
     /// inside shards; drives the compaction threshold.
     dead: usize,
     /// Generation watermark for removed ids: the generation a re-insert
     /// must start at so it can never collide with a stale physical copy.
     /// Cleared by compaction (which drops every stale copy).
-    retired: HashMap<u64, u32>,
+    retired: Arc<HashMap<u64, u32>>,
     /// Buffer size that triggers a freeze into a shard.
     threshold: usize,
     /// Seed for deterministic shard builds (combined with `epoch`).
@@ -155,11 +174,11 @@ impl<T: Clone> ShardedVpForest<T> {
     /// vantage choices, making the whole structure deterministic.
     pub fn new(threshold: usize, seed: u64) -> Self {
         ShardedVpForest {
-            buffer: Vec::new(),
+            buffer: Arc::new(Vec::new()),
             shards: Vec::new(),
-            live: HashMap::new(),
+            live: Arc::new(HashMap::new()),
             dead: 0,
-            retired: HashMap::new(),
+            retired: Arc::new(HashMap::new()),
             threshold: threshold.max(1),
             seed,
             epoch: 0,
@@ -197,8 +216,9 @@ impl<T: Clone> ShardedVpForest<T> {
         } else {
             Slot::Shard
         };
+        let live = Arc::make_mut(&mut forest.live);
         for e in &items {
-            forest.live.insert(
+            live.insert(
                 e.id,
                 LiveSlot {
                     slot,
@@ -208,7 +228,7 @@ impl<T: Clone> ShardedVpForest<T> {
             );
         }
         if slot == Slot::Buffer {
-            forest.buffer = items;
+            forest.buffer = Arc::new(items);
         } else {
             forest.push_shard(items, metric);
         }
@@ -235,7 +255,7 @@ impl<T: Clone> ShardedVpForest<T> {
         ForestStats {
             len: self.live.len(),
             buffer: self.buffer.len(),
-            shard_sizes: self.shards.iter().map(VpTree::len).collect(),
+            shard_sizes: self.shards.iter().map(|s| s.len()).collect(),
             tombstones: self.dead,
         }
     }
@@ -262,17 +282,17 @@ impl<T: Clone> ShardedVpForest<T> {
     /// copy becomes invisible immediately and is physically reclaimed at
     /// the next merge or compaction.
     pub fn insert<M: Metric<T>>(&mut self, metric: &M, id: u64, item: T) -> bool {
-        let (fresh, gen) = match self.live.entry(id) {
+        let (fresh, gen) = match Arc::make_mut(&mut self.live).entry(id) {
             MapEntry::Occupied(mut occupied) => {
                 let prev = *occupied.get();
                 match prev.slot {
                     Slot::Buffer => {
-                        let pos = self
-                            .buffer
+                        let buffer = Arc::make_mut(&mut self.buffer);
+                        let pos = buffer
                             .iter()
                             .position(|e| e.id == id)
                             .expect("live buffer id present");
-                        self.buffer.swap_remove(pos);
+                        buffer.swap_remove(pos);
                     }
                     Slot::Shard => {
                         self.dead += 1;
@@ -290,7 +310,7 @@ impl<T: Clone> ShardedVpForest<T> {
             MapEntry::Vacant(vacant) => {
                 // A retirement watermark means stale copies of this id
                 // may still exist; resume above them.
-                let (gen, dirty) = match self.retired.remove(&id) {
+                let (gen, dirty) = match Arc::make_mut(&mut self.retired).remove(&id) {
                     Some(g) => (g, true),
                     None => (0, false),
                 };
@@ -302,7 +322,7 @@ impl<T: Clone> ShardedVpForest<T> {
                 (true, gen)
             }
         };
-        self.buffer.push(Entry { id, gen, item });
+        Arc::make_mut(&mut self.buffer).push(Entry { id, gen, item });
         if self.buffer.len() >= self.threshold {
             self.flush(metric);
         }
@@ -316,20 +336,20 @@ impl<T: Clone> ShardedVpForest<T> {
     /// itself once stale entries outnumber half the sharded items.
     /// Returns `false` when the id was not live.
     pub fn remove<M: Metric<T>>(&mut self, metric: &M, id: u64) -> bool {
-        match self.live.remove(&id) {
+        match Arc::make_mut(&mut self.live).remove(&id) {
             None => false,
             Some(ls) => {
                 if ls.dirty || ls.slot == Slot::Shard {
-                    self.retired.insert(id, ls.gen.wrapping_add(1));
+                    Arc::make_mut(&mut self.retired).insert(id, ls.gen.wrapping_add(1));
                 }
                 match ls.slot {
                     Slot::Buffer => {
-                        let pos = self
-                            .buffer
+                        let buffer = Arc::make_mut(&mut self.buffer);
+                        let pos = buffer
                             .iter()
                             .position(|e| e.id == id)
                             .expect("live buffer id present");
-                        self.buffer.swap_remove(pos);
+                        buffer.swap_remove(pos);
                     }
                     Slot::Shard => {
                         self.dead += 1;
@@ -344,12 +364,12 @@ impl<T: Clone> ShardedVpForest<T> {
     /// Freezes the buffer into a shard, first merging every trailing shard
     /// no larger than the accumulated batch (the logarithmic method).
     fn flush<M: Metric<T>>(&mut self, metric: &M) {
-        let mut items = std::mem::take(&mut self.buffer);
-        for e in &items {
-            self.live
-                .get_mut(&e.id)
-                .expect("buffer entries are live")
-                .slot = Slot::Shard;
+        let mut items = std::mem::take(Arc::make_mut(&mut self.buffer));
+        {
+            let live = Arc::make_mut(&mut self.live);
+            for e in &items {
+                live.get_mut(&e.id).expect("buffer entries are live").slot = Slot::Shard;
+            }
         }
         while let Some(last) = self.shards.last() {
             if last.len() > items.len() {
@@ -358,7 +378,7 @@ impl<T: Clone> ShardedVpForest<T> {
             let merged = self.shards.pop().expect("non-empty checked");
             let live = &self.live;
             let mut reclaimed = 0usize;
-            items.extend(merged.into_items().into_iter().filter(|e| {
+            items.extend(unshare_tree(merged).into_iter().filter(|e| {
                 let keep = is_current(live, e.id, e.gen);
                 reclaimed += usize::from(!keep);
                 keep
@@ -373,7 +393,7 @@ impl<T: Clone> ShardedVpForest<T> {
     /// the same cycle (compaction clears it) even when merges reclaim the
     /// stale copies themselves first.
     fn maybe_compact<M: Metric<T>>(&mut self, metric: &M) {
-        let sharded: usize = self.shards.iter().map(VpTree::len).sum();
+        let sharded: usize = self.shards.iter().map(|s| s.len()).sum();
         if self.dead * 2 > sharded || self.retired.len() > sharded {
             self.compact(metric);
         }
@@ -386,8 +406,7 @@ impl<T: Clone> ShardedVpForest<T> {
         let live = &self.live;
         for shard in self.shards.drain(..) {
             items.extend(
-                shard
-                    .into_items()
+                unshare_tree(shard)
                     .into_iter()
                     .filter(|e| is_current(live, e.id, e.gen)),
             );
@@ -395,8 +414,8 @@ impl<T: Clone> ShardedVpForest<T> {
         self.dead = 0;
         // Every stale copy is gone: retirement watermarks are moot and no
         // live id has shadows left.
-        self.retired.clear();
-        for ls in self.live.values_mut() {
+        Arc::make_mut(&mut self.retired).clear();
+        for ls in Arc::make_mut(&mut self.live).values_mut() {
             ls.dirty = false;
         }
         if !items.is_empty() {
@@ -412,7 +431,7 @@ impl<T: Clone> ShardedVpForest<T> {
             SmallRng::seed_from_u64(self.seed ^ self.epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         self.epoch += 1;
         let tree = VpTree::build(items, &EntryMetric(metric), &mut rng);
-        self.shards.push(tree);
+        self.shards.push(Arc::new(tree));
         // Merging in flush keeps sizes decreasing; compact leaves one.
         debug_assert!(self.shards.windows(2).all(|w| w[0].len() > w[1].len()));
     }
@@ -424,7 +443,7 @@ impl<T: Clone> ShardedVpForest<T> {
     /// by the sharpest bound any shard has published so far.
     pub fn knn<M>(&self, metric: &M, query: &T, k: usize, threads: usize) -> Vec<ForestHit>
     where
-        T: Sync,
+        T: Send + Sync,
         M: BoundedMetric<T> + Sync,
     {
         if k == 0 || self.live.is_empty() {
@@ -435,7 +454,7 @@ impl<T: Clone> ShardedVpForest<T> {
         // transfers to every shard search below. Every exact call takes
         // the current k-th-best distance as its abandonment budget.
         let mut merged = BoundedHeap::new(k, &shared);
-        for e in &self.buffer {
+        for e in self.buffer.iter() {
             let tau = merged.tau();
             if metric.lower_bound(query, &e.item) <= tau {
                 if let Some(d) = metric.distance_within(query, &e.item, tau) {
@@ -466,7 +485,7 @@ impl<T: Clone> ShardedVpForest<T> {
     /// `(distance, id)`.
     pub fn range<M>(&self, metric: &M, query: &T, radius: f64, threads: usize) -> Vec<ForestHit>
     where
-        T: Sync,
+        T: Send + Sync,
         M: BoundedMetric<T> + Sync,
     {
         let mut out: Vec<ForestHit> = self
@@ -512,6 +531,18 @@ impl<T: Clone> ShardedVpForest<T> {
         sort_hits(&mut hits);
         hits.truncate(k);
         hits
+    }
+}
+
+/// Consumes a possibly-snapshot-shared shard, returning its entries.
+/// A uniquely-owned tree is unwrapped for free; a tree some snapshot
+/// still references is left untouched and its entries are cloned out —
+/// the only point where snapshotting can cost a deep copy, and only for
+/// the shards a merge or compaction physically consumes.
+fn unshare_tree<T: Clone>(tree: Arc<VpTree<Entry<T>>>) -> Vec<Entry<T>> {
+    match Arc::try_unwrap(tree) {
+        Ok(owned) => owned.into_items(),
+        Err(shared) => shared.items().to_vec(),
     }
 }
 
@@ -848,6 +879,29 @@ mod tests {
                 assert_eq!(bulk.knn(&m, &q, k, 0), inc.knn(&m, &q, k, 0), "q={q} k={k}");
             }
         }
+    }
+
+    #[test]
+    fn clone_is_an_independent_snapshot() {
+        let m = metric();
+        let mut f = ShardedVpForest::new(4, 8);
+        for i in 0..40u64 {
+            f.insert(&m, i, (i * 7 % 53) as f64);
+        }
+        let snap = f.clone();
+        let before = snap.knn(&m, &10.0, 5, 0);
+        // Churn the original hard enough to merge, compact, and reuse ids.
+        for i in 0..40u64 {
+            f.remove(&m, i);
+        }
+        for i in 0..60u64 {
+            f.insert(&m, i + 100, (i * 11 % 97) as f64);
+        }
+        assert_eq!(snap.len(), 40, "snapshot must not see later writes");
+        assert_eq!(snap.knn(&m, &10.0, 5, 0), before);
+        assert_exact(&snap, 10.0, 5);
+        assert_exact(&f, 10.0, 5);
+        assert!(f.knn(&m, &10.0, 5, 0).iter().all(|h| h.id >= 100));
     }
 
     #[test]

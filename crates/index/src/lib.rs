@@ -15,13 +15,17 @@
 #![forbid(unsafe_code)]
 
 pub mod bk_tree;
+pub mod concurrent;
 pub mod filter;
 pub mod forest;
+pub mod server;
 pub mod signatures;
 
 pub use bk_tree::{BkTree, IntFnMetric, IntMetric};
+pub use concurrent::{ConcurrentNedIndex, IndexReader, IndexWriter, WriteOp, WriteOutcome};
 pub use filter::{filter_refine_knn, BoundedMetric, FilteredKnn, FnBoundedMetric};
 pub use forest::{ForestHit, ForestStats, ShardedVpForest};
+pub use server::{Dispatch, NedServer, WireClient};
 pub use signatures::{SignatureIndex, SignatureMetric, UnboundedSignatureMetric};
 
 use rand::Rng;

@@ -1,0 +1,400 @@
+//! The **serving front-end** over [`crate::concurrent::ConcurrentNedIndex`]:
+//! one command dispatcher shared by every surface, a dependency-free
+//! `std::net` TCP server speaking the framed batch protocol, and the
+//! matching client.
+//!
+//! # Command language
+//!
+//! One command per line, answers as text whose final line starts with
+//! `ok` or `error:`. The same lines work over every surface — the CLI
+//! REPL feeds stdin lines straight into [`NedServer::dispatch`], the TCP
+//! server feeds it decoded frame payloads — so behavior cannot drift
+//! between the interactive and networked paths.
+//!
+//! ```text
+//! query <graph.edges> <node> [top]    nearest indexed signatures
+//! range <graph.edges> <node> <r>      all signatures with NED <= r
+//! sig <parens-tree> [top]             query by a literal tree shape
+//! rangesig <parens-tree> <r>          range query by a literal shape
+//! add <graph.edges> <node>            index one more signature
+//! addsig <parens-tree>                index a literal tree shape
+//! remove <id>                         drop a signature by id
+//! stats | epoch | help | quit
+//! save <path>                         persist the current index
+//! ```
+//!
+//! # The batch protocol
+//!
+//! A TCP frame (see [`ned_core::wire`]) carries one *or more*
+//! newline-separated commands; the reply frame carries the concatenated
+//! replies in command order. Batching amortizes round-trips, and a frame
+//! of **read-only** commands additionally fans out across the server's
+//! persistent [`WorkerPool`] (each command grabs its own snapshot — reads
+//! never block). Frames containing any write run sequentially in frame
+//! order, so a client's `addsig` is visible to the commands after it in
+//! the same frame.
+//!
+//! Connections are thread-per-connection `std::net` — no async runtime,
+//! in keeping with the repo's no-external-dependencies rule. A frame that
+//! fails checksum/magic/length validation gets a best-effort
+//! `error: ...` reply and the connection is closed: once framing sync is
+//! lost the stream cannot be trusted.
+
+use crate::concurrent::{ConcurrentNedIndex, IndexReader};
+use crate::forest::ForestHit;
+use crate::signatures::SignatureIndex;
+use ned_core::{wire, NodeSignature, PreparedTree, WorkerPool};
+use ned_graph::{io as graph_io, Graph, NodeId};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Outcome of dispatching one command line.
+pub enum Dispatch {
+    /// The text to show or send back (final line `ok ...` / `error: ...`).
+    Reply(String),
+    /// The client asked to end the session (`quit` / `exit`).
+    Quit,
+}
+
+/// The shared serving state: concurrent index, graph cache, worker pool.
+/// Cheap to share — wrap in an [`Arc`] and hand clones to every
+/// connection thread (see [`NedServer::serve_tcp`]).
+pub struct NedServer {
+    index: ConcurrentNedIndex,
+    /// Parsed edge-list files, cached across commands and connections.
+    graphs: Mutex<HashMap<String, Arc<Graph>>>,
+    /// Persistent pool reused by every read-only batch frame.
+    pool: WorkerPool,
+    /// Intra-query fan-out passed to the forest (`1` is right for
+    /// concurrent serving: requests, not shards, should fill the cores).
+    query_threads: usize,
+}
+
+impl NedServer {
+    /// Wraps `index` for serving. `query_threads` is the per-query shard
+    /// fan-out (`0` = all cores — right for a single-user REPL, wrong for
+    /// a concurrent server, which should pass `1`); `pool_threads` sizes
+    /// the batch pool (`0` = all cores).
+    pub fn new(index: SignatureIndex, query_threads: usize, pool_threads: usize) -> Self {
+        NedServer {
+            index: ConcurrentNedIndex::new(index),
+            graphs: Mutex::new(HashMap::new()),
+            pool: WorkerPool::new(pool_threads),
+            query_threads,
+        }
+    }
+
+    /// A read handle onto the served index.
+    pub fn reader(&self) -> IndexReader {
+        self.index.reader()
+    }
+
+    /// One-line summary of the current snapshot (the `stats` reply body).
+    pub fn stats_line(&self) -> String {
+        let snap = self.reader().snapshot();
+        let stats = snap.stats();
+        format!(
+            "signatures: {} (k = {}), buffer {}, shards {:?}, tombstones {}, epoch {}",
+            stats.len,
+            snap.k(),
+            stats.buffer,
+            stats.shard_sizes,
+            stats.tombstones,
+            self.reader().epoch(),
+        )
+    }
+
+    /// Executes one command line. Errors come back as `Reply` text with
+    /// an `error:` prefix, so every surface reports them identically.
+    pub fn dispatch(&self, line: &str) -> Dispatch {
+        match self.try_dispatch(line.trim()) {
+            Ok(d) => d,
+            Err(msg) => Dispatch::Reply(format!("error: {msg}")),
+        }
+    }
+
+    /// Executes a whole frame payload: one or more newline-separated
+    /// commands. Multi-command payloads of pure reads fan out on the
+    /// worker pool (order-preserving); anything containing a write runs
+    /// sequentially. Returns the concatenated reply and whether the
+    /// session should end.
+    pub fn handle_payload(self: &Arc<Self>, payload: &str) -> (String, bool) {
+        let lines: Vec<&str> = payload.lines().collect();
+        if lines.len() > 1 && lines.iter().all(|l| is_read_only(l)) {
+            let jobs: Vec<_> = lines
+                .iter()
+                .map(|l| {
+                    let server = Arc::clone(self);
+                    let line = l.to_string();
+                    move || match server.dispatch(&line) {
+                        Dispatch::Reply(r) => r,
+                        Dispatch::Quit => unreachable!("read-only lines never quit"),
+                    }
+                })
+                .collect();
+            return (self.pool.run_ordered(jobs).join("\n"), false);
+        }
+        let mut replies = Vec::with_capacity(lines.len());
+        for l in &lines {
+            match self.dispatch(l) {
+                Dispatch::Reply(r) => replies.push(r),
+                Dispatch::Quit => {
+                    replies.push("ok bye".to_string());
+                    return (replies.join("\n"), true);
+                }
+            }
+        }
+        (replies.join("\n"), false)
+    }
+
+    /// Accept loop: one thread per connection, all sharing this server.
+    /// Runs until the listener itself fails; individual connection errors
+    /// only end that connection.
+    pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        for conn in listener.incoming() {
+            let stream = conn?;
+            let server = Arc::clone(self);
+            std::thread::spawn(move || server.handle_conn(stream));
+        }
+        Ok(())
+    }
+
+    fn handle_conn(self: Arc<Self>, stream: TcpStream) {
+        let mut read_half = &stream;
+        let mut write_half = &stream;
+        loop {
+            match wire::read_frame(&mut read_half) {
+                Ok(None) => return, // clean disconnect
+                Ok(Some(payload)) => {
+                    let reply = match String::from_utf8(payload) {
+                        Ok(text) => {
+                            let (reply, quit) = self.handle_payload(&text);
+                            if wire::write_frame(&mut write_half, reply.as_bytes()).is_err() || quit
+                            {
+                                return;
+                            }
+                            continue;
+                        }
+                        Err(_) => "error: frame payload is not UTF-8".to_string(),
+                    };
+                    if wire::write_frame(&mut write_half, reply.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    // Framing sync is gone (bad length, magic, or
+                    // checksum): tell the client why, then hang up.
+                    let _ = wire::write_frame(&mut write_half, format!("error: {e}").as_bytes());
+                    return;
+                }
+            }
+        }
+    }
+
+    fn try_dispatch(&self, line: &str) -> Result<Dispatch, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let reply = match tokens.as_slice() {
+            [] | ["#", ..] => String::new(),
+            ["quit"] | ["exit"] => return Ok(Dispatch::Quit),
+            ["help"] => HELP.to_string(),
+            ["stats"] => format!("{}\nok", self.stats_line()),
+            ["epoch"] => {
+                let r = self.reader();
+                format!("ok epoch={} len={}", r.epoch(), r.len())
+            }
+            ["query", path, node] | ["query", path, node, _] => {
+                let top = parse_opt_count(tokens.get(3), 5)?;
+                let sig = self.extract(path, node)?;
+                fmt_hits(&self.reader().knn(&sig, top, self.query_threads))
+            }
+            ["range", path, node, radius] => {
+                let r: u64 = radius
+                    .parse()
+                    .map_err(|_| format!("bad radius {radius:?}"))?;
+                let sig = self.extract(path, node)?;
+                fmt_hits(&self.reader().range(&sig, r, self.query_threads))
+            }
+            ["sig", shape] | ["sig", shape, _] => {
+                let top = parse_opt_count(tokens.get(2), 5)?;
+                let sig = parse_sig(shape)?;
+                fmt_hits(&self.reader().knn(&sig, top, self.query_threads))
+            }
+            ["rangesig", shape, radius] => {
+                let r: u64 = radius
+                    .parse()
+                    .map_err(|_| format!("bad radius {radius:?}"))?;
+                let sig = parse_sig(shape)?;
+                fmt_hits(&self.reader().range(&sig, r, self.query_threads))
+            }
+            ["add", path, node] => {
+                let sig = self.extract(path, node)?;
+                format!("ok id={}", self.index.writer().insert(sig))
+            }
+            ["addsig", shape] => {
+                let sig = parse_sig(shape)?;
+                format!("ok id={}", self.index.writer().insert(sig))
+            }
+            ["remove", id] => {
+                let id: u64 = id.parse().map_err(|_| format!("bad id {id:?}"))?;
+                if self.index.writer().remove(id) {
+                    format!("ok removed {id}")
+                } else {
+                    format!("ok no such id {id}")
+                }
+            }
+            ["save", path] => {
+                self.index
+                    .writer()
+                    .index()
+                    .save(Path::new(path))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                format!("ok saved {path}")
+            }
+            _ => return Err(format!("unrecognized command {line:?}; try `help`")),
+        };
+        Ok(Dispatch::Reply(reply))
+    }
+
+    /// Extracts the query signature for `<path> <node>`, caching the
+    /// parsed graph. The cache lock is never held across parsing or
+    /// extraction.
+    fn extract(&self, path: &str, node: &str) -> Result<NodeSignature, String> {
+        let cached = {
+            let graphs = self.graphs.lock().unwrap_or_else(|p| p.into_inner());
+            graphs.get(path).cloned()
+        };
+        let graph = match cached {
+            Some(g) => g,
+            None => {
+                let g = Arc::new(
+                    graph_io::read_edge_list(Path::new(path), false)
+                        .map_err(|e| format!("{path}: {e}"))?,
+                );
+                self.graphs
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .insert(path.to_string(), Arc::clone(&g));
+                g
+            }
+        };
+        let v: NodeId = node.parse().map_err(|_| format!("bad node id {node:?}"))?;
+        if (v as usize) >= graph.num_nodes() {
+            return Err(format!(
+                "node {v} out of range (graph has {} nodes)",
+                graph.num_nodes()
+            ));
+        }
+        Ok(NodeSignature::extract(&graph, v, self.reader().k()))
+    }
+}
+
+/// Whether a command line only reads — the batch-fan-out eligibility
+/// test. Unknown commands count as reads: they produce an error reply
+/// without touching anything.
+fn is_read_only(line: &str) -> bool {
+    !matches!(
+        line.split_whitespace().next(),
+        Some("add") | Some("addsig") | Some("remove") | Some("save") | Some("quit") | Some("exit")
+    )
+}
+
+fn parse_opt_count(token: Option<&&str>, default: usize) -> Result<usize, String> {
+    match token {
+        Some(t) => t.parse().map_err(|_| format!("bad top {t:?}")),
+        None => Ok(default),
+    }
+}
+
+fn parse_sig(shape: &str) -> Result<NodeSignature, String> {
+    let tree = ned_tree::serialize::parse(shape).map_err(|e| e.to_string())?;
+    Ok(NodeSignature::from_prepared(0, PreparedTree::new(&tree)))
+}
+
+fn fmt_hits(hits: &[ForestHit]) -> String {
+    let mut out = String::new();
+    for h in hits {
+        out.push_str(&format!("hit id={} ned={}\n", h.id, h.distance));
+    }
+    out.push_str(&format!("ok {} hits", hits.len()));
+    out
+}
+
+const HELP: &str = "commands:\n\
+    \x20 query <graph.edges> <node> [top]   nearest indexed signatures\n\
+    \x20 range <graph.edges> <node> <r>     all signatures with NED <= r\n\
+    \x20                                    (r is the budget of every exact\n\
+    \x20                                    TED* call - bounded, not\n\
+    \x20                                    compute-then-filter)\n\
+    \x20 sig <parens-tree> [top]            query by a literal tree shape\n\
+    \x20 rangesig <parens-tree> <r>         range query by a literal shape\n\
+    \x20 add <graph.edges> <node>           index one more signature\n\
+    \x20 addsig <parens-tree>               index a literal tree shape\n\
+    \x20 remove <id>                        drop a signature by id\n\
+    \x20 stats                              index shape + epoch\n\
+    \x20 epoch                              publication count + live size\n\
+    \x20 save <path>                        persist the current index\n\
+    \x20 quit\n\
+    ok";
+
+/// A blocking client for the framed TCP protocol — used by the CLI, the
+/// load generator, and the loopback tests.
+pub struct WireClient {
+    stream: TcpStream,
+}
+
+impl WireClient {
+    /// Connects to a serving `ned-cli serve --tcp` address.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        Ok(WireClient {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one payload (one command, or a newline-separated batch) and
+    /// returns the reply text.
+    pub fn call(&mut self, payload: &str) -> Result<String, wire::WireError> {
+        self.send_raw(payload.as_bytes())?;
+        self.read_reply()
+    }
+
+    /// Sends raw payload bytes without reading a reply. Only useful
+    /// together with [`WireClient::read_reply`]; [`WireClient::call`] is
+    /// the normal entry point.
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<(), wire::WireError> {
+        wire::write_frame(&mut self.stream, payload)?;
+        Ok(())
+    }
+
+    /// Reads one reply frame as text.
+    pub fn read_reply(&mut self) -> Result<String, wire::WireError> {
+        match wire::read_frame(&mut self.stream)? {
+            Some(bytes) => String::from_utf8(bytes).map_err(|_| {
+                wire::WireError::Codec(ned_core::store::CodecError::Malformed(
+                    "reply payload is not UTF-8".to_string(),
+                ))
+            }),
+            None => Err(wire::WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ))),
+        }
+    }
+
+    /// Writes raw bytes *outside* the frame discipline — the hook the
+    /// malformed-frame tests use to poison a stream on purpose.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads whatever bytes remain until EOF (used after the server hangs
+    /// up on a poisoned stream).
+    pub fn read_to_end(&mut self) -> std::io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.stream.read_to_end(&mut out)?;
+        Ok(out)
+    }
+}

@@ -105,6 +105,32 @@ impl SignatureIndex {
         }
     }
 
+    /// Bulk constructor over pre-extracted signatures, assigned ids
+    /// `0..n` in order — one shard build instead of `n` incremental
+    /// inserts (identical query results; the load-generation and
+    /// benchmark harnesses use this to stand up large indexes cheaply).
+    pub fn from_signatures(
+        k: usize,
+        threshold: usize,
+        seed: u64,
+        sigs: Vec<NodeSignature>,
+    ) -> Self {
+        let entries: Vec<(u64, NodeSignature)> = sigs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, s))
+            .collect();
+        let next_id = entries.len() as u64;
+        let forest = ShardedVpForest::from_entries(threshold, seed, entries, &SignatureMetric);
+        SignatureIndex {
+            forest,
+            k,
+            threshold: threshold.max(1),
+            seed,
+            next_id,
+        }
+    }
+
     /// The extraction parameter every indexed signature was built at.
     pub fn k(&self) -> usize {
         self.k
@@ -147,6 +173,17 @@ impl SignatureIndex {
             self.insert(sig);
         }
         first..self.next_id
+    }
+
+    /// Inserts `sig` under the explicit `id` — replacing the live
+    /// signature with that id if one exists — and advances the automatic
+    /// id watermark past it. Returns `true` when the id was not
+    /// previously live. This is the *replace* primitive of the concurrent
+    /// write path; [`SignatureIndex::insert`] remains the normal
+    /// auto-assigning entry point.
+    pub fn insert_at(&mut self, id: u64, sig: NodeSignature) -> bool {
+        self.next_id = self.next_id.max(id.saturating_add(1));
+        self.forest.insert(&SignatureMetric, id, sig)
     }
 
     /// Removes a signature by id. Returns `false` for unknown ids.

@@ -1,0 +1,230 @@
+//! Loopback round-trip tests for the framed TCP serving layer: command
+//! dispatch over a real socket, the batch protocol, concurrent clients,
+//! and — just as important — the malformed-frame error paths (garbage
+//! bodies, corrupted checksums, hostile length prefixes all get an
+//! `error:` reply and a closed connection, never a hang or a panic).
+
+use ned_core::{wire, NodeSignature};
+use ned_graph::generators;
+use ned_index::{NedServer, SignatureIndex, WireClient};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+/// Starts a server over a fresh BA-graph index on an ephemeral loopback
+/// port; returns the address (the listener thread dies with the test
+/// process).
+fn start_server() -> (std::net::SocketAddr, Arc<NedServer>) {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let g = generators::barabasi_albert(120, 2, &mut rng);
+    let nodes: Vec<u32> = g.nodes().collect();
+    let mut index = SignatureIndex::new(2, 32, 1);
+    index.insert_graph(&g, &nodes);
+    let server = Arc::new(NedServer::new(index, 1, 2));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = server.serve_tcp(listener);
+        });
+    }
+    (addr, server)
+}
+
+#[test]
+fn commands_round_trip_over_the_socket() {
+    let (addr, server) = start_server();
+    let mut client = WireClient::connect(addr).expect("connect");
+
+    let stats = client.call("stats").expect("stats");
+    assert!(stats.contains("signatures: 120"), "{stats}");
+    assert!(stats.ends_with("ok"), "{stats}");
+
+    let hits = client.call("sig (()()) 3").expect("sig query");
+    assert!(hits.ends_with("ok 3 hits"), "{hits}");
+    assert_eq!(hits.matches("hit id=").count(), 3, "{hits}");
+
+    let range = client.call("rangesig (()()) 1").expect("range query");
+    assert!(range.contains("ok "), "{range}");
+
+    // Writes round-trip and bump the epoch; reads see them immediately.
+    let before = server.reader().epoch();
+    let added = client.call("addsig (()()())").expect("addsig");
+    assert!(added.starts_with("ok id="), "{added}");
+    let id: u64 = added.trim_start_matches("ok id=").parse().expect("id");
+    assert_eq!(id, 120);
+    assert_eq!(server.reader().epoch(), before + 1);
+    let removed = client.call(&format!("remove {id}")).expect("remove");
+    assert_eq!(removed, format!("ok removed {id}"));
+    let gone = client.call(&format!("remove {id}")).expect("remove again");
+    assert_eq!(gone, format!("ok no such id {id}"));
+
+    // Unknown commands are in-band errors, not dropped connections.
+    let err = client.call("frobnicate 3").expect("still connected");
+    assert!(err.starts_with("error:"), "{err}");
+    let after = client.call("epoch").expect("connection survives errors");
+    assert!(after.starts_with("ok epoch="), "{after}");
+}
+
+#[test]
+fn batch_frames_return_one_reply_per_command_in_order() {
+    let (addr, _server) = start_server();
+    let mut client = WireClient::connect(addr).expect("connect");
+
+    // Pure-read batch: fans out on the server's worker pool, but replies
+    // must come back in command order.
+    let reply = client
+        .call("epoch\nsig (()()) 2\nstats\nsig (()) 1")
+        .expect("read batch");
+    let lines: Vec<&str> = reply.lines().collect();
+    assert!(lines[0].starts_with("ok epoch="), "{reply}");
+    let ok_lines = reply
+        .lines()
+        .filter(|l| l.starts_with("ok") || l.starts_with("error:"))
+        .count();
+    assert_eq!(ok_lines, 4, "one terminator per command: {reply}");
+    assert!(reply.ends_with("ok 1 hits"), "{reply}");
+
+    // A batch containing a write runs sequentially in frame order: the
+    // epoch read *after* the write observes it.
+    let before: u64 = {
+        let r = client.call("epoch").expect("epoch");
+        r.split("epoch=")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let reply = client.call("addsig (()())\nepoch").expect("mixed batch");
+    assert!(reply.contains("ok id="), "{reply}");
+    assert!(
+        reply.contains(&format!("epoch={}", before + 1)),
+        "write must be visible to later commands in the same frame: {reply}"
+    );
+
+    // quit ends the session after flushing the reply.
+    let bye = client.call("quit").expect("quit reply");
+    assert_eq!(bye, "ok bye");
+    assert!(
+        client.call("stats").is_err(),
+        "connection must be closed after quit"
+    );
+}
+
+#[test]
+fn concurrent_clients_get_consistent_replies() {
+    let (addr, _server) = start_server();
+    let writer_handle = std::thread::spawn(move || {
+        let mut c = WireClient::connect(addr).expect("connect writer");
+        for i in 0..20 {
+            let r = c.call("addsig (()()(()))").expect("addsig");
+            assert!(r.starts_with("ok id="), "iter {i}: {r}");
+            let id: u64 = r.trim_start_matches("ok id=").parse().expect("id");
+            let r = c.call(&format!("remove {id}")).expect("remove");
+            assert_eq!(r, format!("ok removed {id}"), "iter {i}");
+        }
+    });
+    let readers: Vec<_> = (0..3)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = WireClient::connect(addr).expect("connect reader");
+                for i in 0..25 {
+                    let r = c.call("sig (()()) 4").expect("query");
+                    assert!(r.ends_with("ok 4 hits"), "reader {t} iter {i}: {r}");
+                    assert_eq!(r.matches("hit id=").count(), 4, "reader {t} iter {i}");
+                }
+            })
+        })
+        .collect();
+    writer_handle.join().expect("writer thread");
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+}
+
+#[test]
+fn malformed_frames_get_an_error_reply_and_a_hangup() {
+    let (addr, _server) = start_server();
+
+    // Valid length prefix, garbage body: bad magic.
+    let mut client = WireClient::connect(addr).expect("connect");
+    let mut poison = Vec::new();
+    poison.extend_from_slice(&32u32.to_le_bytes());
+    poison.extend_from_slice(&[0xAB; 32]);
+    client.send_bytes(&poison).expect("send garbage");
+    let reply = client.read_reply().expect("error reply before hangup");
+    assert!(reply.starts_with("error:"), "{reply}");
+    assert!(
+        reply.contains("malformed frame") || reply.contains("magic"),
+        "{reply}"
+    );
+    let rest = client.read_to_end().expect("read after error");
+    assert!(rest.is_empty(), "server must close a poisoned stream");
+
+    // Corrupted checksum inside an otherwise well-formed frame.
+    let mut client = WireClient::connect(addr).expect("connect");
+    let mut frame = wire::encode_frame(b"stats");
+    let last = frame.len() - 1;
+    frame[last] ^= 0xFF;
+    client.send_bytes(&frame).expect("send corrupted");
+    let reply = client.read_reply().expect("error reply");
+    assert!(reply.contains("checksum"), "{reply}");
+    assert!(client.read_to_end().expect("eof").is_empty());
+
+    // Hostile length prefix: rejected without a giant allocation.
+    let mut client = WireClient::connect(addr).expect("connect");
+    client
+        .send_bytes(&u32::MAX.to_le_bytes())
+        .expect("send hostile length");
+    let reply = client.read_reply().expect("error reply");
+    assert!(reply.contains("bad frame length"), "{reply}");
+    assert!(client.read_to_end().expect("eof").is_empty());
+
+    // Non-UTF-8 payload in a valid frame: in-band error, connection
+    // survives (framing sync is intact).
+    let mut client = WireClient::connect(addr).expect("connect");
+    client
+        .send_raw(&[0xFF, 0xFE, 0x80])
+        .expect("send non-utf8 payload");
+    let reply = client.read_reply().expect("reply");
+    assert!(reply.contains("not UTF-8"), "{reply}");
+    let ok = client.call("epoch").expect("connection still usable");
+    assert!(ok.starts_with("ok epoch="), "{ok}");
+
+    // And the server is still healthy for everyone else.
+    let mut client = WireClient::connect(addr).expect("connect");
+    assert!(client.call("stats").expect("stats").contains("signatures:"));
+}
+
+#[test]
+fn queries_over_tcp_match_local_scans() {
+    let (addr, server) = start_server();
+    let mut client = WireClient::connect(addr).expect("connect");
+    // The server's own snapshot is the ground truth; the wire must not
+    // change a single hit.
+    let mut rng = SmallRng::seed_from_u64(77);
+    let g = generators::barabasi_albert(120, 2, &mut rng);
+    let snap = server.reader().snapshot();
+    for node in [0u32, 13, 59, 118] {
+        let sig = NodeSignature::extract(&g, node, 2);
+        let want = snap.scan(&sig, 5);
+        let shape = ned_tree::serialize::print(sig.tree());
+        let reply = client.call(&format!("sig {shape} 5")).expect("query");
+        let got: Vec<(u64, f64)> = reply
+            .lines()
+            .filter(|l| l.starts_with("hit "))
+            .map(|l| {
+                let id = l.split("id=").nth(1).unwrap().split(' ').next().unwrap();
+                let d = l.split("ned=").nth(1).unwrap();
+                (id.parse().unwrap(), d.parse().unwrap())
+            })
+            .collect();
+        let want: Vec<(u64, f64)> = want.iter().map(|h| (h.id, h.distance)).collect();
+        assert_eq!(got, want, "node {node}");
+    }
+}

@@ -14,7 +14,7 @@
 //!                     [--threads N] [--verify]
 //! ned-cli index save <idx> <out.idx>
 //! ned-cli index load <idx>
-//! ned-cli serve <idx>
+//! ned-cli serve <idx> [--tcp ADDR] [--threads N] [--pool N]
 //! ```
 
 use ned::baselines::features::{l1_distance, RefexFeatures};
@@ -77,7 +77,8 @@ fn print_usage() {
          \x20                                                    --radius R: bounded threshold query\n\
          \x20 index save <idx> <out.idx>                         re-encode (verifies the file round-trips)\n\
          \x20 index load <idx>                                   load + print index stats\n\
-         \x20 serve <idx>                                        long-lived query REPL over stdin\n"
+         \x20 serve <idx> [--tcp ADDR] [--threads N] [--pool N]  long-lived serving: stdin REPL, or a\n\
+         \x20                                                    concurrent TCP server with --tcp\n"
     );
 }
 
@@ -523,143 +524,49 @@ fn cmd_index_load(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Long-lived serving mode: the index is loaded (and its signatures
-/// prepared) once; queries then stream over stdin, one command per line,
-/// answers over stdout. `help` lists the commands.
+/// Long-lived serving mode. Without `--tcp`, a stdin REPL: one command
+/// per line, answers on stdout. With `--tcp ADDR`, a concurrent
+/// thread-per-connection server speaking the framed batch protocol
+/// (`ned_core::wire`). Both surfaces are thin clients of the *same*
+/// [`ned::index::NedServer`] dispatch, so a command behaves identically
+/// whether typed interactively or sent over a socket.
 fn cmd_serve(raw: &[String]) -> Result<(), String> {
     use std::io::BufRead;
     let args = Args::parse(raw, &[])?;
     let idx_path = args.positional(0, "index path")?;
-    let threads: usize = args.get("threads", 0)?;
-    let mut index = load_index(idx_path)?;
-    let mut graphs: std::collections::HashMap<String, Graph> = std::collections::HashMap::new();
-    println!("serving {idx_path}; type `help` for commands");
-    print_index_stats(&index);
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| e.to_string())?;
-        match serve_line(&mut index, &mut graphs, threads, line.trim()) {
-            Ok(ServeOutcome::Continue) => {}
-            Ok(ServeOutcome::Quit) => break,
-            Err(msg) => println!("error: {msg}"),
+    let tcp: Option<String> = args.opt("tcp")?;
+    // Intra-query fan-out: a single-user REPL may as well use every core
+    // per query; a concurrent server leaves cores to concurrent requests.
+    let threads: usize = args.get("threads", if tcp.is_some() { 1 } else { 0 })?;
+    let pool: usize = args.get("pool", 0)?;
+    let index = load_index(idx_path)?;
+    let server = std::sync::Arc::new(ned::index::NedServer::new(index, threads, pool));
+    match tcp {
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(&addr).map_err(|e| format!("{addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            println!("serving {idx_path} on tcp://{local}");
+            println!("{}", server.stats_line());
+            server.serve_tcp(listener).map_err(|e| e.to_string())
         }
-    }
-    println!("bye");
-    Ok(())
-}
-
-enum ServeOutcome {
-    Continue,
-    Quit,
-}
-
-fn serve_line(
-    index: &mut ned::index::SignatureIndex,
-    graphs: &mut std::collections::HashMap<String, Graph>,
-    threads: usize,
-    line: &str,
-) -> Result<ServeOutcome, String> {
-    fn cached_graph<'a>(
-        graphs: &'a mut std::collections::HashMap<String, Graph>,
-        path: &str,
-    ) -> Result<&'a Graph, String> {
-        if !graphs.contains_key(path) {
-            let g = load(path, false)?;
-            graphs.insert(path.to_string(), g);
-        }
-        Ok(graphs.get(path).expect("inserted above"))
-    }
-    let tokens: Vec<&str> = line.split_whitespace().collect();
-    match tokens.as_slice() {
-        [] | ["#", ..] => Ok(ServeOutcome::Continue),
-        ["quit"] | ["exit"] => Ok(ServeOutcome::Quit),
-        ["help"] => {
-            println!(
-                "commands:\n\
-                 \x20 query <graph.edges> <node> [top]   nearest indexed signatures\n\
-                 \x20 range <graph.edges> <node> <r>     all signatures with NED <= r\n\
-                 \x20                                    (r is the budget of every exact\n\
-                 \x20                                    TED* call - bounded, not\n\
-                 \x20                                    compute-then-filter)\n\
-                 \x20 sig <parens-tree> [top]            query by a literal tree shape\n\
-                 \x20 add <graph.edges> <node>           index one more signature\n\
-                 \x20 remove <id>                        drop a signature by id\n\
-                 \x20 stats                              index shape\n\
-                 \x20 save <path>                        persist the current index\n\
-                 \x20 quit"
-            );
-            Ok(ServeOutcome::Continue)
-        }
-        ["stats"] => {
-            print_index_stats(index);
-            Ok(ServeOutcome::Continue)
-        }
-        ["query", path, node] | ["query", path, node, _] => {
-            let top: usize = match tokens.get(3) {
-                Some(t) => t.parse().map_err(|_| format!("bad top {t:?}"))?,
-                None => 5,
-            };
-            let g = cached_graph(graphs, path)?;
-            let v = parse_node(g, node)?;
-            let hits = index.query_node(g, v, top, threads);
-            for h in &hits {
-                println!("hit id={} ned={}", h.id, h.distance);
+        None => {
+            println!("serving {idx_path}; type `help` for commands");
+            println!("{}", server.stats_line());
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| e.to_string())?;
+                let (reply, quit) = server.handle_payload(&line);
+                if !reply.is_empty() {
+                    println!("{reply}");
+                }
+                if quit {
+                    break;
+                }
             }
-            println!("ok {} hits", hits.len());
-            Ok(ServeOutcome::Continue)
+            println!("bye");
+            Ok(())
         }
-        ["range", path, node, radius] => {
-            let r: u64 = radius
-                .parse()
-                .map_err(|_| format!("bad radius {radius:?}"))?;
-            let g = cached_graph(graphs, path)?;
-            let v = parse_node(g, node)?;
-            let sig = NodeSignature::extract(g, v, index.k());
-            let hits = index.range(&sig, r, threads);
-            for h in &hits {
-                println!("hit id={} ned={}", h.id, h.distance);
-            }
-            println!("ok {} hits", hits.len());
-            Ok(ServeOutcome::Continue)
-        }
-        ["sig", shape] | ["sig", shape, _] => {
-            let top: usize = match tokens.get(2) {
-                Some(t) => t.parse().map_err(|_| format!("bad top {t:?}"))?,
-                None => 5,
-            };
-            let tree = ned::tree::serialize::parse(shape).map_err(|e| e.to_string())?;
-            let prepared = ned::core::PreparedTree::new(&tree);
-            let sig = NodeSignature::from_prepared(0, prepared);
-            let hits = index.query(&sig, top, threads);
-            for h in &hits {
-                println!("hit id={} ned={}", h.id, h.distance);
-            }
-            println!("ok {} hits", hits.len());
-            Ok(ServeOutcome::Continue)
-        }
-        ["add", path, node] => {
-            let g = cached_graph(graphs, path)?;
-            let v = parse_node(g, node)?;
-            let sig = NodeSignature::extract(g, v, index.k());
-            let id = index.insert(sig);
-            println!("ok id={id}");
-            Ok(ServeOutcome::Continue)
-        }
-        ["remove", id] => {
-            let id: u64 = id.parse().map_err(|_| format!("bad id {id:?}"))?;
-            if index.remove(id) {
-                println!("ok removed {id}");
-            } else {
-                println!("ok no such id {id}");
-            }
-            Ok(ServeOutcome::Continue)
-        }
-        ["save", path] => {
-            save_index(index, path)?;
-            println!("ok saved {path}");
-            Ok(ServeOutcome::Continue)
-        }
-        _ => Err(format!("unrecognized command {line:?}; try `help`")),
     }
 }
 
