@@ -1,26 +1,32 @@
 //! `loadgen` — load generator for the concurrent NED serving layer.
 //!
 //! ```text
-//! loadgen prep  --out PATH [--nodes N] [--k K] [--seed S]
+//! loadgen prep  --out PATH [--graph-out PATH] [--nodes N] [--k K] [--seed S]
 //! loadgen bench [--nodes N] [--k K] [--readers R] [--ops N] [--top T]
 //!               [--writes N] [--seed S]
 //! loadgen smoke --addr HOST:PORT --index PATH [--readers R] [--reads N]
-//!               [--writes N] [--seed S]
+//!               [--writes N] [--graph PATH] [--deltas N] [--seed S]
 //! ```
 //!
 //! * `prep` builds a Barabási–Albert graph index and saves it — the
-//!   fixture the CI soak serves with `ned-cli serve --tcp`.
+//!   fixture the CI soak serves with `ned-cli serve --tcp`
+//!   (`--graph-out` also writes the edge list, for `serve --graph` /
+//!   `track` delta churn).
 //! * `bench` drives the in-process workload (1 reader vs `--readers`,
-//!   optionally racing `--writes` net-zero write batches) and prints
-//!   aggregate throughput plus p50/p99 latency.
+//!   optionally racing `--writes` net-zero **graph-delta** edge flips
+//!   through a `GraphMaintainer`) and prints aggregate throughput,
+//!   p50/p99 latency, dirty-set/replace counts, and memo efficacy.
 //! * `smoke` is the CI soak client: a reader fleet plus one writer
 //!   hammer a live TCP server with a bounded mixed workload (batched and
 //!   single-command frames; the write churn is net-zero), validating
-//!   every reply. Afterwards it replays a sample of knn queries and
-//!   compares them hit-for-hit against a **single-threaded linear scan**
-//!   over the same index file the server loaded. Any protocol error,
-//!   panic, reply mismatch, or epoch/size drift exits non-zero, which is
-//!   what fails the CI `soak` job.
+//!   every reply. With `--graph` it then tracks the mutating graph and
+//!   flips `--deltas` non-edges on and off, checking that the epoch
+//!   advances **exactly once per delta batch** and that only the dirty
+//!   set is recomputed. Afterwards it replays a sample of knn queries
+//!   and compares them hit-for-hit against a **single-threaded linear
+//!   scan** over the same index file the server loaded. Any protocol
+//!   error, panic, reply mismatch, or epoch/size drift exits non-zero,
+//!   which is what fails the CI `soak` job.
 
 use ned_bench::loadgen::{knn_read_workload, run_reader_fleet, scaling_floor, LatencySummary};
 use ned_index::{ConcurrentNedIndex, SignatureIndex, WireClient};
@@ -54,11 +60,13 @@ fn print_usage() {
         "loadgen — load generator for the concurrent NED serving layer\n\
          \n\
          subcommands:\n\
-         \x20 prep  --out PATH [--nodes N] [--k K] [--seed S]     build + save a BA-graph index\n\
+         \x20 prep  --out PATH [--graph-out PATH] [--nodes N]     build + save a BA-graph index\n\
+         \x20       [--k K] [--seed S]                            (+ its edge list for delta churn)\n\
          \x20 bench [--nodes N] [--k K] [--readers R] [--ops N]   in-process reader-scaling run\n\
-         \x20       [--top T] [--writes N] [--seed S]             (--writes adds concurrent churn)\n\
+         \x20       [--top T] [--writes N] [--seed S]             (--writes races graph-delta flips)\n\
          \x20 smoke --addr HOST:PORT --index PATH [--readers R]   bounded mixed soak against a live\n\
-         \x20       [--reads N] [--writes N] [--seed S]           `ned-cli serve --tcp` server\n"
+         \x20       [--reads N] [--writes N] [--graph PATH]       `ned-cli serve --tcp` server\n\
+         \x20       [--deltas N] [--seed S]                       (--graph adds edge-flip deltas)\n"
     );
 }
 
@@ -107,10 +115,18 @@ fn cmd_prep(raw: &[String]) -> Result<(), String> {
     let nodes: usize = flags.get("nodes", 4000)?;
     let k: usize = flags.get("k", 3)?;
     let seed: u64 = flags.get("seed", 0xBA)?;
-    let (index, _) = ned_bench::loadgen::ba_fixture(nodes, k, 1, seed);
+    let graph_out: String = flags.get("graph-out", String::new())?;
+    let (graph, index, _) = ned_bench::loadgen::ba_fixture_with_graph(nodes, k, 1, seed);
     index
         .save(Path::new(out))
         .map_err(|e| format!("{out}: {e}"))?;
+    if !graph_out.is_empty() {
+        // The edge list the server can `track` for delta churn: the
+        // exact graph the index was built from, ids preserved.
+        ned_graph::io::write_edge_list(&graph, Path::new(&graph_out))
+            .map_err(|e| format!("{graph_out}: {e}"))?;
+        println!("prep: wrote {graph_out} (edge list for `serve --graph` / `track`)");
+    }
     println!(
         "prep: wrote {out} ({} signatures, k = {k}, BA-{nodes}, seed {seed})",
         index.len()
@@ -139,35 +155,54 @@ fn cmd_bench(raw: &[String]) -> Result<(), String> {
     let writes: usize = flags.get("writes", 0)?;
     let seed: u64 = flags.get("seed", 0xBA)?;
     println!("bench: building BA-{nodes} fixture (k = {k}) ...");
-    let (index, probes) = ned_bench::loadgen::ba_fixture(nodes, k, 16, seed);
+    let (graph, index, probes) = ned_bench::loadgen::ba_fixture_with_graph(nodes, k, 16, seed);
     let (mut writer, reader) = ConcurrentNedIndex::split(index);
     // Warm-up pass (thread-local scratch arenas, the TED* memo).
     knn_read_workload(&reader, &probes, 1, 8, top);
+    let memo_before = ned_core::TedMemo::global().stats();
     let single = knn_read_workload(&reader, &probes, 1, total_ops, top);
-    // The fleet run: optionally with concurrent writer churn (--writes N
-    // net-zero insert/remove batches racing the readers), the full mixed
-    // serving regime.
+    // The fleet run: optionally with concurrent writer churn — `--writes
+    // N` net-zero **graph-delta** flips (add a non-edge, recompute only
+    // its (k-1)-hop dirty set, remove it again) racing the readers: the
+    // full mixed serving regime a live mutating graph produces.
+    let mut churn_stats = (0usize, 0usize); // (dirty candidates, replaces)
     let fleet = std::thread::scope(|scope| {
+        let churn_stats = &mut churn_stats;
         if writes > 0 {
             let writer = &mut writer;
-            let spare = probes[0].clone();
+            let graph = &graph;
             scope.spawn(move || {
-                for _ in 0..writes {
-                    let id = writer.insert(spare.clone());
-                    writer.remove(id);
+                let mut maintainer = ned_index::GraphMaintainer::attach(graph, k, 0, 1);
+                let flips = ned_bench::loadgen::non_edges(graph, writes, seed ^ 0xF11);
+                for (a, b) in flips {
+                    let add = maintainer.apply(&[ned_graph::GraphDelta::AddEdge(a, b)], writer);
+                    let del = maintainer.apply(&[ned_graph::GraphDelta::RemoveEdge(a, b)], writer);
+                    churn_stats.0 += add.candidates + del.candidates;
+                    churn_stats.1 += add.replaced + del.replaced;
                 }
             });
         }
         knn_read_workload(&reader, &probes, readers, total_ops / readers.max(1), top)
     });
     let churn = if writes > 0 {
-        format!(" (against {writes} concurrent net-zero write batches)")
+        format!(" (against {writes} concurrent net-zero edge-flip delta batches)")
     } else {
         String::new()
     };
     println!("bench: aggregate knn throughput, 1 vs {readers} reader thread(s){churn}:");
     print_summary("1 reader", &single);
     print_summary(&format!("{readers} readers"), &fleet);
+    if writes > 0 {
+        println!(
+            "bench: delta churn recomputed {} dirty candidates, replaced {} signatures \
+             ({} edge flips)",
+            churn_stats.0, churn_stats.1, writes
+        );
+    }
+    println!(
+        "bench: memo over the run: {}",
+        ned_core::TedMemo::global().stats().since(&memo_before)
+    );
     let speedup = single.ns_per_op / fleet.ns_per_op;
     let floor = scaling_floor(readers);
     println!(
@@ -247,6 +282,11 @@ fn cmd_smoke(raw: &[String]) -> Result<(), String> {
     let readers: usize = flags.get("readers", 2)?;
     let reads_per_reader: usize = flags.get("reads", 120)?;
     let writes: usize = flags.get("writes", 30)?;
+    let deltas: usize = flags.get("deltas", 8)?;
+    let graph_path: Option<String> = {
+        let p: String = flags.get("graph", String::new())?;
+        (!p.is_empty()).then_some(p)
+    };
     let seed: u64 = flags.get("seed", 0x50AC)?;
 
     // The server's ground truth: the same index file it loaded. The
@@ -423,6 +463,64 @@ fn cmd_smoke(raw: &[String]) -> Result<(), String> {
         ));
     }
 
+    // --- the graph-delta phase (--graph) --------------------------------
+    // Track the mutating graph and flip non-edges on and off. Contract:
+    // the epoch advances **exactly once per delta batch** (each
+    // addedge/deledge command is one batch), only the dirty set is
+    // recomputed (the reply reports it), and the net-zero churn returns
+    // every signature to the index file's — which the spot check below
+    // then verifies hit-for-hit.
+    let mut delta_commands = 0usize;
+    if let Some(graph_path) = graph_path.as_deref() {
+        let graph = ned_graph::io::read_edge_list(Path::new(graph_path), false)
+            .map_err(|e| format!("{graph_path}: {e}"))?;
+        let reply = probe_client
+            .call(&format!("track {graph_path}"))
+            .map_err(|e| e.to_string())?;
+        if !reply.starts_with("ok tracking graph") {
+            return Err(format!("track: server said {reply:?}"));
+        }
+        let flips = ned_bench::loadgen::non_edges(&graph, deltas, seed ^ 0xDE17A);
+        let epoch_before_deltas = query_epoch(&mut probe_client)?;
+        let mut dirty_total = 0usize;
+        for &(a, b) in &flips {
+            for cmd in [format!("addedge {a} {b}"), format!("deledge {a} {b}")] {
+                let reply = probe_client.call(&cmd).map_err(|e| e.to_string())?;
+                let applied = reply.starts_with("ok applied=1");
+                if !applied {
+                    return Err(format!("{cmd}: server said {reply:?}"));
+                }
+                dirty_total += reply
+                    .split("dirty=")
+                    .nth(1)
+                    .and_then(|s| s.split(' ').next())
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| format!("{cmd}: malformed delta reply {reply:?}"))?;
+                delta_commands += 1;
+                let epoch_now = query_epoch(&mut probe_client)?;
+                if epoch_now != epoch_before_deltas + delta_commands as u64 {
+                    return Err(format!(
+                        "epoch {epoch_now} after {delta_commands} delta batches \
+                         (started at {epoch_before_deltas}): a delta batch must \
+                         publish exactly once"
+                    ));
+                }
+            }
+        }
+        if dirty_total >= flips.len() * 2 * local.len() {
+            return Err(format!(
+                "delta churn recomputed {dirty_total} candidates over {} batches — \
+                 the dirty set degenerated into full rebuilds",
+                flips.len() * 2
+            ));
+        }
+        println!(
+            "smoke: {} delta batches (edge flips on {graph_path}), {dirty_total} dirty \
+             candidates recomputed, epoch advanced once per batch",
+            flips.len() * 2
+        );
+    }
+
     // --- the linear-scan spot check -------------------------------------
     // Replay a sample of knn queries against the quiesced server and
     // demand hit-for-hit agreement with a single-threaded linear scan
@@ -451,11 +549,15 @@ fn cmd_smoke(raw: &[String]) -> Result<(), String> {
     }
 
     println!(
-        "smoke: ok — {} reads across {readers} reader(s), {writes} net-zero write pairs, \
-         epoch +{write_commands}, {checked} post-soak probes matched the linear scan",
+        "smoke: ok — {} reads across {readers} reader(s), {writes} net-zero write pairs \
+         + {delta_commands} delta batches, {checked} post-soak probes matched the linear scan",
         summary.ops
     );
     print_summary("mixed read workload", &summary);
+    let stats = probe_client.call("stats").map_err(|e| e.to_string())?;
+    if let Some(memo) = stats.lines().find(|l| l.starts_with("memo:")) {
+        println!("smoke: server {memo}");
+    }
     Ok(())
 }
 

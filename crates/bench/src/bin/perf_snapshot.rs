@@ -1,13 +1,15 @@
-//! Machine-readable performance snapshot: writes `BENCH_4.json` with
+//! Machine-readable performance snapshot: writes `BENCH_5.json` with
 //! ns/op for the pipeline's hot paths — the duplicate-collapsed
 //! TED\*/NED engine against the dense Hungarian baseline, the sharded
 //! forest against the linear scan, the budget-aware bounded kernel
 //! against the frozen PR 2 unbounded forest path, a memo-cold/memo-warm
-//! pair for the cross-pair distance memo, and (since PR 4) the
-//! concurrent serving layer's reader-fleet throughput (1 vs 4 reader
-//! threads over one published snapshot), with p50/p99 latency
-//! percentiles alongside the aggregate mean — `perf_gate` checks every
-//! percentile it finds as its own trajectory series.
+//! pair for the cross-pair distance memo, the PR 4 concurrent serving
+//! layer's reader-fleet throughput (1 vs 4 reader threads over one
+//! published snapshot, with p50/p99 latency percentiles as their own
+//! `perf_gate` series), and (since PR 5) whole-graph **ingest** —
+//! shared-frontier bulk extraction vs the independent per-node baseline,
+//! gated at ≥ 3× — plus **delta churn**: ns per maintained edge flip on
+//! a live index (dirty-set recompute only, one publication per flip).
 //!
 //! Run with `cargo run --release -p ned-bench --bin perf_snapshot
 //! [output.json]`. Every workload is seeded, so successive runs measure
@@ -135,7 +137,7 @@ struct Entry {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
     let mut entries: Vec<Entry> = Vec::new();
 
     // --- ned_pair: wide-level synthetic trees, collapsed vs dense -------
@@ -378,6 +380,101 @@ fn main() {
         p99_ns: None,
     });
 
+    // --- ingest: bulk shared-frontier extraction vs per-node baseline ---
+    // Whole-graph signature extraction on BA-4000 at k = 4 (~880-node
+    // trees). The baseline is the pre-bulk ingest path: one independent
+    // extract-and-canonicalize per node over a shared BFS scratch
+    // (`ned_core::signatures`). The bulk pipeline interns bottom-up on
+    // flat scratch and hash-conses canonical shapes — measured
+    // single-threaded and with a **fresh factory per run** (cold caches),
+    // so the figure is the algorithmic sharing, not parallelism or reuse.
+    let ging = generators::barabasi_albert(4000, 3, &mut rng);
+    let ingest_nodes: Vec<u32> = ging.nodes().collect();
+    let ingest_k = 4usize;
+    // exactness first: bulk output must be bit-identical to per-node
+    assert_eq!(
+        ned_core::bulk_signatures(&ging, &ingest_nodes, ingest_k, 1),
+        ned_core::signatures(&ging, &ingest_nodes, ingest_k),
+        "bulk ingest diverged from per-node extraction"
+    );
+    let per_node_ns = measure(3, 1, || {
+        std::hint::black_box(ned_core::signatures(&ging, &ingest_nodes, ingest_k));
+    }) / ingest_nodes.len() as f64;
+    entries.push(Entry {
+        name: "ingest/ba4000-per-node",
+        ns_per_op: per_node_ns,
+        p50_ns: None,
+        p99_ns: None,
+    });
+    let bulk_ns = measure(3, 1, || {
+        std::hint::black_box(ned_core::bulk_signatures(&ging, &ingest_nodes, ingest_k, 1));
+    }) / ingest_nodes.len() as f64;
+    entries.push(Entry {
+        name: "ingest/ba4000-bulk",
+        ns_per_op: bulk_ns,
+        p50_ns: None,
+        p99_ns: None,
+    });
+    let ingest_speedup = per_node_ns / bulk_ns;
+
+    // --- delta: incremental maintenance under edge churn ----------------
+    // A live index tracking BA-4000 at k = 3: each edge flip (add a
+    // non-edge as one delta batch, remove it as another) recomputes only
+    // the (k-1)-hop dirty set through a kept-alive factory and publishes
+    // once per batch. Recorded as ns per maintained edge flip (two
+    // batches). The full-rebuild alternative is `n` extractions *per
+    // flip* — the ingest entries above price exactly that.
+    let delta_graph = generators::barabasi_albert(4000, 3, &mut rng);
+    let delta_index = SignatureIndex::from_graph(&delta_graph, 3, 1024, 0xDE, 1);
+    let mut maintainer = ned_index::GraphMaintainer::attach(&delta_graph, 3, 0, 1);
+    let (mut delta_writer, delta_reader) = ConcurrentNedIndex::split(delta_index);
+    let flips = ned_bench::loadgen::non_edges(&delta_graph, 8, 0xF11B);
+    // warm + sanity: every flip applies, publishes twice, and nets zero
+    {
+        let epoch0 = delta_reader.epoch();
+        let (a, b) = flips[0];
+        let add = maintainer.apply(&[ned_graph::GraphDelta::AddEdge(a, b)], &mut delta_writer);
+        let del = maintainer.apply(
+            &[ned_graph::GraphDelta::RemoveEdge(a, b)],
+            &mut delta_writer,
+        );
+        assert_eq!((add.applied, del.applied), (1, 1));
+        assert_eq!(add.replaced, del.replaced, "net-zero flip must undo itself");
+        assert!(
+            add.candidates < delta_graph.num_nodes(),
+            "dirty set degenerated into a rebuild"
+        );
+        assert_eq!(
+            delta_reader.epoch(),
+            epoch0 + 2,
+            "one publication per batch"
+        );
+    }
+    let flips_per_round = flips.len() as f64;
+    let edge_churn_ns = measure(5, 1, || {
+        for &(a, b) in &flips {
+            let add = maintainer.apply(&[ned_graph::GraphDelta::AddEdge(a, b)], &mut delta_writer);
+            let del = maintainer.apply(
+                &[ned_graph::GraphDelta::RemoveEdge(a, b)],
+                &mut delta_writer,
+            );
+            std::hint::black_box((add, del));
+        }
+    }) / flips_per_round;
+    entries.push(Entry {
+        name: "delta/ba4000-edge-churn",
+        ns_per_op: edge_churn_ns,
+        p50_ns: None,
+        p99_ns: None,
+    });
+    // What a flip would cost without incremental maintenance: one full
+    // re-extraction of every signature at the same k.
+    let delta_nodes: Vec<u32> = delta_graph.nodes().collect();
+    let rebuild_ns = measure(3, 1, || {
+        std::hint::black_box(ned_core::signatures(&delta_graph, &delta_nodes, 3));
+    });
+    let delta_speedup_vs_rebuild = rebuild_ns / edge_churn_ns;
+
     // --- loadgen: concurrent reader-fleet throughput, 1 vs 4 readers ----
     // The PR 4 serving layer: the same BA-4000 signature set behind a
     // ConcurrentNedIndex, queried by a fleet of reader threads (each with
@@ -428,7 +525,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2},\n    \"bounded_knn_speedup_vs_unbounded_forest\": {bounded_speedup:.2},\n    \"memo_warm_speedup_vs_cold\": {:.2},\n    \"loadgen_reader_scaling_4r_vs_1r\": {reader_scaling:.2}\n  }}\n}}\n",
+        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2},\n    \"bounded_knn_speedup_vs_unbounded_forest\": {bounded_speedup:.2},\n    \"memo_warm_speedup_vs_cold\": {:.2},\n    \"loadgen_reader_scaling_4r_vs_1r\": {reader_scaling:.2},\n    \"ingest_bulk_speedup_vs_per_node\": {ingest_speedup:.2},\n    \"delta_flip_speedup_vs_rebuild\": {delta_speedup_vs_rebuild:.2}\n  }}\n}}\n",
         cold_ns / warm_ns
     ));
     std::fs::write(&out_path, &json).expect("write benchmark snapshot");
@@ -452,5 +549,15 @@ fn main() {
         reader_scaling >= reader_floor,
         "reader-fleet scaling {reader_scaling:.2}x (4 vs 1 readers) below the \
          hardware-scaled floor {reader_floor:.2}x — ≥ 2x wherever 4 cores exist"
+    );
+    assert!(
+        ingest_speedup >= 3.0,
+        "bulk ingest speedup {ingest_speedup:.2}x below the 3x floor over the \
+         per-node extraction baseline"
+    );
+    assert!(
+        delta_speedup_vs_rebuild >= 3.0,
+        "an incremental edge flip ({edge_churn_ns:.0} ns) is not even 3x cheaper \
+         than a full rebuild ({rebuild_ns:.0} ns)"
     );
 }

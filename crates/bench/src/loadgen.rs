@@ -13,7 +13,7 @@ use ned_core::NodeSignature;
 use ned_graph::generators;
 use ned_index::{IndexReader, SignatureIndex};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -129,17 +129,74 @@ pub fn ba_fixture(
     probes: usize,
     seed: u64,
 ) -> (SignatureIndex, Vec<NodeSignature>) {
+    let (_, index, probe_sigs) = ba_fixture_with_graph(nodes, k, probes, seed);
+    (index, probe_sigs)
+}
+
+/// [`ba_fixture`] that also hands back the database graph — the delta
+/// churn workloads (in-process and TCP) mutate it through a
+/// `GraphMaintainer`, so they need the graph the index was built from.
+pub fn ba_fixture_with_graph(
+    nodes: usize,
+    k: usize,
+    probes: usize,
+    seed: u64,
+) -> (ned_graph::Graph, SignatureIndex, Vec<NodeSignature>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let gdb = generators::barabasi_albert(nodes, 3, &mut rng);
     let gq = generators::barabasi_albert(nodes, 3, &mut rng);
     let db_nodes: Vec<u32> = gdb.nodes().collect();
-    let sigs = ned_core::signatures(&gdb, &db_nodes, k);
+    let sigs = ned_core::bulk_signatures(&gdb, &db_nodes, k, 0);
     let index = SignatureIndex::from_signatures(k, 1024, seed ^ 0xF0, sigs);
     let probe_nodes: Vec<u32> = (0..probes as u32)
         .map(|i| (i * 577) % nodes as u32)
         .collect();
     let probe_sigs = ned_core::signatures(&gq, &probe_nodes, k);
-    (index, probe_sigs)
+    (gdb, index, probe_sigs)
+}
+
+/// `count` deterministic distinct non-edges of `g` — the edge pairs the
+/// delta churn workloads flip on and off (adding then removing a
+/// non-edge is net-zero by construction).
+///
+/// # Panics
+/// Panics when the graph has fewer than `count` distinct non-edges (a
+/// near-complete graph): better a clear failure than a sampling loop
+/// that hangs a CI job.
+pub fn non_edges(g: &ned_graph::Graph, count: usize, seed: u64) -> Vec<(u32, u32)> {
+    let n = g.num_nodes() as u32;
+    assert!(n >= 2, "need at least two nodes");
+    let available = n as usize * (n as usize - 1) / 2 - g.num_edges();
+    assert!(
+        available >= count,
+        "graph has only {available} non-edges but {count} were requested"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::new();
+    // Rejection sampling with a generous attempt bound; on pathological
+    // densities fall back to a deterministic sweep rather than spinning.
+    let mut attempts = 0usize;
+    while out.len() < count && attempts < 64 * count.max(16) {
+        attempts += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let key = (a.min(b), a.max(b));
+        if a != b && !g.has_edge(a, b) && seen.insert(key) {
+            out.push(key);
+        }
+    }
+    'sweep: for a in 0..n {
+        for b in (a + 1)..n {
+            if out.len() >= count {
+                break 'sweep;
+            }
+            if !g.has_edge(a, b) && seen.insert((a, b)) {
+                out.push((a, b));
+            }
+        }
+    }
+    out
 }
 
 /// The reader-scaling floor the throughput gate demands from `readers`

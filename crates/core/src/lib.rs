@@ -37,6 +37,7 @@
 
 pub mod align;
 pub mod batch;
+pub mod bulk;
 pub mod edit_script;
 pub mod hausdorff;
 pub mod memo;
@@ -49,10 +50,11 @@ pub mod weighted;
 pub mod wire;
 
 pub use batch::WorkerPool;
-pub use memo::TedMemo;
+pub use bulk::{bulk_signatures, BulkSignatureExtractor, SignatureFactory};
+pub use memo::{MemoStats, TedMemo};
 pub use ned::{
     equivalence_classes, ned, ned_directed, ned_profile, ned_with_extractors, signatures,
-    NodeSignature,
+    NodeSignature, SignatureExtractor,
 };
 pub use ted_star::{
     ted_star, ted_star_class_lower_bound, ted_star_directional, ted_star_lower_bound,

@@ -43,13 +43,74 @@
 //! position-independent.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 const SHARDS: usize = 16;
 
 /// Default total entry capacity (across all shards).
 pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 20;
+
+/// A point-in-time snapshot of the memo's effectiveness counters —
+/// surfaced through the server `stats` command and the load generator so
+/// memo efficacy under churn is observable, not guessed.
+///
+/// Counters are cumulative for the process lifetime; diff two snapshots
+/// to scope them to a workload phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Consults fully answered from the cache (exact value served, or a
+    /// budget provably exceeded by a recorded floor).
+    pub hits: u64,
+    /// Consults that required a fresh sweep (absent key, an insufficient
+    /// floor, or a disabled memo).
+    pub misses: u64,
+    /// Entries dropped by coarse shard eviction.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Total entry capacity (`0` = disabled).
+    pub capacity: usize,
+}
+
+impl MemoStats {
+    /// Hits as a fraction of all consults (`0.0` when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot (`entries`/`capacity`
+    /// stay absolute).
+    pub fn since(&self, earlier: &MemoStats) -> MemoStats {
+        MemoStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            entries: self.entries,
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl std::fmt::Display for MemoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits {} misses {} ({:.1}% hit rate) evictions {} entries {}/{}",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate(),
+            self.evictions,
+            self.entries,
+            self.capacity
+        )
+    }
+}
 
 /// A cached fact about one class pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +125,9 @@ pub(crate) enum MemoEntry {
 pub struct TedMemo {
     shards: [Mutex<HashMap<u64, MemoEntry>>; SHARDS],
     capacity: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl TedMemo {
@@ -71,6 +135,21 @@ impl TedMemo {
         TedMemo {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             capacity: AtomicUsize::new(DEFAULT_MEMO_CAPACITY),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Current effectiveness counters plus size/capacity. See
+    /// [`MemoStats`].
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity(),
         }
     }
 
@@ -124,16 +203,25 @@ impl TedMemo {
     /// sweep is required.
     pub(crate) fn consult(&self, key: u64, budget: u64) -> Option<Option<u64>> {
         if self.capacity() == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let shard = self.shards[Self::shard_of(key)]
-            .lock()
-            .expect("memo shard poisoned");
-        match shard.get(&key)? {
-            MemoEntry::Exact(d) => Some((*d <= budget).then_some(*d)),
-            MemoEntry::AtLeast(b) if *b >= budget => Some(None),
-            MemoEntry::AtLeast(_) => None,
-        }
+        let decided = {
+            let shard = self.shards[Self::shard_of(key)]
+                .lock()
+                .expect("memo shard poisoned");
+            match shard.get(&key) {
+                None => None,
+                Some(MemoEntry::Exact(d)) => Some((*d <= budget).then_some(*d)),
+                Some(MemoEntry::AtLeast(b)) if *b >= budget => Some(None),
+                Some(MemoEntry::AtLeast(_)) => None,
+            }
+        };
+        match decided {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        decided
     }
 
     /// Records the exact distance of a pair.
@@ -168,6 +256,8 @@ impl TedMemo {
                 if shard.len() >= per_shard {
                     // Coarse eviction: drop the whole shard. Cheap, keeps
                     // the map bounded, and loses nothing but cache.
+                    self.evictions
+                        .fetch_add(shard.len() as u64, Ordering::Relaxed);
                     shard.clear();
                 }
                 shard.insert(key, entry);
@@ -219,6 +309,30 @@ mod tests {
         assert_eq!(memo.consult(k, 9), Some(Some(9)));
         memo.record_at_least(k, 100);
         assert_eq!(memo.consult(k, 200), Some(Some(9)), "exact facts persist");
+    }
+
+    #[test]
+    fn stats_count_hits_misses_and_evictions() {
+        let memo = TedMemo::new();
+        let k = pair_key(4, 9);
+        assert_eq!(memo.consult(k, 10), None); // miss: absent
+        memo.record_exact(k, 3);
+        assert_eq!(memo.consult(k, 10), Some(Some(3))); // hit
+        memo.record_at_least(pair_key(1, 2), 7);
+        assert_eq!(memo.consult(pair_key(1, 2), 9), None); // miss: floor too low
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        assert_eq!(s.entries, 2);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        // force evictions: tiny capacity, many inserts
+        memo.set_capacity(SHARDS);
+        for a in 0..200u32 {
+            memo.record_exact(pair_key(a, a + 1), 1);
+        }
+        assert!(memo.stats().evictions > 0, "{:?}", memo.stats());
+        let delta = memo.stats().since(&s);
+        assert_eq!(delta.hits, 0);
+        assert!(delta.evictions > 0);
     }
 
     #[test]

@@ -58,27 +58,41 @@ pub fn ned_profile(g1: &Graph, u: NodeId, g2: &Graph, v: NodeId, k_max: usize) -
 /// the unit NED actually compares. Pre-extracting signatures is how query
 /// workloads (nearest neighbor search, de-anonymization) avoid repeating
 /// BFS and canonicalization per distance call.
+///
+/// The prepared tree is held behind an [`std::sync::Arc`], so cloning a
+/// signature — which the serving stack does constantly (index inserts,
+/// snapshot publication, replace batches) — is a reference bump, and
+/// structurally equal signatures produced by the bulk pipeline
+/// ([`crate::SignatureFactory`]) share one allocation per isomorphism
+/// class. Equality still compares contents.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeSignature {
     /// The node this signature describes (id in its home graph).
     pub node: NodeId,
-    prepared: PreparedTree,
+    prepared: std::sync::Arc<PreparedTree>,
 }
 
 impl NodeSignature {
     /// Wraps an already-prepared tree as the signature of `node` (used by
     /// [`crate::store::SignatureStore`]).
     pub fn from_prepared(node: NodeId, prepared: PreparedTree) -> Self {
+        NodeSignature {
+            node,
+            prepared: std::sync::Arc::new(prepared),
+        }
+    }
+
+    /// Like [`NodeSignature::from_prepared`] but sharing an existing
+    /// allocation — the zero-copy path for stores and bulk caches that
+    /// already hold their trees in `Arc`s.
+    pub fn from_shared(node: NodeId, prepared: std::sync::Arc<PreparedTree>) -> Self {
         NodeSignature { node, prepared }
     }
 
     /// Extracts the signature of one node.
     pub fn extract(g: &Graph, node: NodeId, k: usize) -> Self {
         let tree = k_adjacent_tree(g, node, k);
-        NodeSignature {
-            node,
-            prepared: PreparedTree::new(&tree),
-        }
+        NodeSignature::from_prepared(node, PreparedTree::new(&tree))
     }
 
     /// The canonical-layout k-adjacent tree.
@@ -92,9 +106,10 @@ impl NodeSignature {
     }
 
     /// Consumes the signature, returning the prepared tree (used by the
-    /// snapshot machinery in [`crate::store`]).
+    /// snapshot machinery in [`crate::store`]); clones only if the tree
+    /// is still shared.
     pub fn into_prepared(self) -> PreparedTree {
-        self.prepared
+        std::sync::Arc::try_unwrap(self.prepared).unwrap_or_else(|arc| (*arc).clone())
     }
 
     /// `TED*` between two signatures = NED between the two nodes.
@@ -162,17 +177,39 @@ pub fn equivalence_classes(g: &Graph, k: usize) -> Vec<Vec<NodeId>> {
 
 /// Extracts signatures for a batch of nodes, reusing one BFS scratch.
 pub fn signatures(g: &Graph, nodes: &[NodeId], k: usize) -> Vec<NodeSignature> {
-    let mut extractor = TreeExtractor::new(g);
+    let mut extractor = SignatureExtractor::new(g);
     nodes
         .iter()
-        .map(|&node| {
-            let tree = extractor.extract(node, k);
-            NodeSignature {
-                node,
-                prepared: PreparedTree::new(&tree),
-            }
-        })
+        .map(|&node| extractor.extract(node, k))
         .collect()
+}
+
+/// A reusable **per-node** signature extractor: one [`TreeExtractor`]
+/// (and its visited-set scratch arena) amortized across every extraction
+/// from the same graph, instead of a fresh `O(n)` allocation per node as
+/// [`NodeSignature::extract`] pays.
+///
+/// This is the non-bulk fallback of the ingestion pipeline (each node is
+/// still canonicalized independently); the shared-work bulk path is
+/// [`crate::SignatureFactory`], which additionally hash-conses canonical
+/// shapes across nodes.
+pub struct SignatureExtractor<'g> {
+    extractor: TreeExtractor<'g>,
+}
+
+impl<'g> SignatureExtractor<'g> {
+    /// Scratch sized for `g`.
+    pub fn new(g: &'g Graph) -> Self {
+        SignatureExtractor {
+            extractor: TreeExtractor::new(g),
+        }
+    }
+
+    /// Extracts one node's signature, reusing the shared scratch.
+    pub fn extract(&mut self, node: NodeId, k: usize) -> NodeSignature {
+        let tree = self.extractor.extract(node, k);
+        NodeSignature::from_prepared(node, PreparedTree::new(&tree))
+    }
 }
 
 #[cfg(test)]

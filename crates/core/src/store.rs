@@ -112,12 +112,15 @@ impl<'g> SignatureStore<'g> {
         ted_star_prepared(&a, &b)
     }
 
-    /// Materializes [`NodeSignature`]s for a node set (shared trees are
-    /// cloned out — use [`SignatureStore::get`] to stay zero-copy).
+    /// Materializes [`NodeSignature`]s for a node set, sharing the
+    /// store's deduplicated tree `Arc`s (no copies).
     pub fn signatures(&mut self, nodes: &[NodeId]) -> Vec<NodeSignature> {
         nodes
             .iter()
-            .map(|&node| NodeSignature::from_prepared(node, (*self.get(node)).clone()))
+            .map(|&node| {
+                let shared = self.get(node);
+                NodeSignature::from_shared(node, shared)
+            })
             .collect()
     }
 
@@ -389,16 +392,19 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Materializes owned `(id, signature)` pairs. Costs one prepared-tree
-    /// clone per row; consumers that can share (like
-    /// [`SignatureStore::warm_from_snapshot`]) should read
-    /// [`Snapshot::shapes`]/[`Snapshot::rows`] directly instead.
+    /// Materializes owned `(id, signature)` pairs — zero-copy: every row
+    /// shares its deduplicated shape `Arc`, so a million structurally
+    /// equal signatures cost a million reference bumps, not a million
+    /// tree copies (signatures hold their prepared tree behind an `Arc`
+    /// since the bulk-ingestion work).
     pub fn entries(&self) -> Vec<(u64, NodeSignature)> {
         self.rows
             .iter()
             .map(|&(id, node, shape)| {
-                let prepared = (*self.shapes[shape as usize]).clone();
-                (id, NodeSignature::from_prepared(node, prepared))
+                (
+                    id,
+                    NodeSignature::from_shared(node, Arc::clone(&self.shapes[shape as usize])),
+                )
             })
             .collect()
     }

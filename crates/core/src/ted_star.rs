@@ -187,6 +187,29 @@ impl PreparedTree {
         }
     }
 
+    /// Assembles a prepared tree from pre-computed canonical parts — the
+    /// bulk-ingestion fast path (`crate::bulk`), which reconstructs the
+    /// canonical layout, code, and level classes by [`ned_tree::ShapeTable`]
+    /// expansion instead of calling [`PreparedTree::new`] per node.
+    ///
+    /// The caller guarantees `tree` is AHU-canonical, `code` is its
+    /// canonical code, and `level_classes` are its per-level sorted
+    /// global-interner class ids; debug builds re-derive and check all
+    /// three.
+    pub(crate) fn from_parts(tree: Tree, code: Box<[u8]>, level_classes: Vec<Vec<u32>>) -> Self {
+        let prepared = PreparedTree {
+            tree,
+            code,
+            level_classes,
+        };
+        debug_assert_eq!(
+            prepared,
+            PreparedTree::new(&prepared.tree),
+            "from_parts parts disagree with a fresh preparation"
+        );
+        prepared
+    }
+
     /// The canonical-layout tree.
     pub fn tree(&self) -> &Tree {
         &self.tree

@@ -1,0 +1,346 @@
+//! **Dynamic graphs under edge churn**: a mutable adjacency overlay, the
+//! [`GraphDelta`] edit language, and the truncated-BFS *dirty set* that
+//! bounds which node signatures a delta can possibly change.
+//!
+//! # Why the dirty radius is `k − 1`
+//!
+//! A k-adjacent tree has `k` levels: the root plus every node within
+//! `k − 1` hops, and its shape is a pure function of the subgraph induced
+//! on that `(k − 1)`-hop ball (BFS depths and parent assignment both only
+//! read edges whose endpoints lie in the ball). An edge delta `(a, b)`
+//! can therefore change `T(u, k)` only if it changes that induced
+//! subgraph or the ball itself — and either way **both** endpoints must
+//! lie within `k − 1` hops of `u` in the graph variant that *contains*
+//! the edge (for the ball to grow or shrink through the edge, one
+//! endpoint must even be within `k − 2` hops, which puts the other within
+//! `k − 1`). By symmetry of undirected distance, every such `u` lies in
+//! the `(k − 1)`-hop ball of *either* endpoint of the touched edge: one
+//! truncated BFS from one endpoint — in the with-edge graph — is a
+//! complete candidate set. Recomputing those candidates and diffing their
+//! interned root classes then yields the **exact** changed set (equal
+//! class ⇔ isomorphic tree ⇔ bit-identical signature), which is what the
+//! incremental index maintenance in `ned-index` replays as
+//! `WriteOp::Replace` batches.
+//!
+//! The overlay is undirected-only: the serving pipeline indexes
+//! undirected signatures, and the ball symmetry above is what makes the
+//! single-endpoint dirty BFS sound.
+
+use crate::{Graph, NodeId};
+
+/// One edit to a dynamic graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphDelta {
+    /// Add the undirected edge `(a, b)`. A no-op if present or `a == b`.
+    AddEdge(NodeId, NodeId),
+    /// Remove the undirected edge `(a, b)`. A no-op if absent.
+    RemoveEdge(NodeId, NodeId),
+    /// Append a fresh isolated node (its id is the current node count).
+    AddNode,
+    /// Remove a node: drops all its edges and retires its id (the slot
+    /// stays allocated so other ids remain stable).
+    RemoveNode(NodeId),
+}
+
+/// What applying one delta did: whether the graph actually changed, the
+/// dirty-set candidates whose signatures may have changed, and the id of
+/// a node created by [`GraphDelta::AddNode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaEffect {
+    /// `false` for no-ops (adding an existing edge, removing a missing
+    /// one); no-ops dirty nothing.
+    pub applied: bool,
+    /// Every node whose k-adjacent tree *may* have changed (the
+    /// `(k − 1)`-hop ball of a touched endpoint, in BFS order). Exact
+    /// change detection is the caller's recompute-and-diff.
+    pub candidates: Vec<NodeId>,
+    /// The node created by an [`GraphDelta::AddNode`].
+    pub added_node: Option<NodeId>,
+}
+
+/// A mutable undirected graph: sorted adjacency lists plus reusable BFS
+/// scratch for dirty-set computation. Snapshots to CSR ([`Graph`]) in
+/// `O(n + m)` for extraction. See the [module docs](self).
+pub struct DynamicGraph {
+    adj: Vec<Vec<NodeId>>,
+    num_edges: usize,
+    visited: Vec<u32>,
+    epoch: u32,
+    queue: Vec<NodeId>,
+}
+
+impl DynamicGraph {
+    /// Wraps a CSR graph for mutation.
+    ///
+    /// # Panics
+    /// Panics on directed graphs (see the [module docs](self)).
+    pub fn from_graph(g: &Graph) -> Self {
+        assert!(
+            !g.is_directed(),
+            "DynamicGraph supports undirected graphs only"
+        );
+        let adj: Vec<Vec<NodeId>> = g.nodes().map(|v| g.neighbors(v).to_vec()).collect();
+        DynamicGraph {
+            visited: vec![0; adj.len()],
+            num_edges: g.num_edges(),
+            adj,
+            epoch: 0,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Number of node slots (including removed-and-retired ones).
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of live undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted neighbors of `v`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v as usize]
+    }
+
+    /// Is `(a, b)` a live edge?
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Applies `delta` and reports its dirty candidates at `radius`
+    /// hops (pass `k − 1` for signatures extracted at parameter `k`).
+    ///
+    /// # Panics
+    /// Panics on out-of-range node ids; validate untrusted input first.
+    pub fn apply(&mut self, delta: GraphDelta, radius: usize) -> DeltaEffect {
+        let nop = |added: Option<NodeId>| DeltaEffect {
+            applied: false,
+            candidates: Vec::new(),
+            added_node: added,
+        };
+        match delta {
+            GraphDelta::AddEdge(a, b) => {
+                if !self.insert_edge(a, b) {
+                    return nop(None);
+                }
+                // Ball in the with-edge graph: the edge is present now.
+                DeltaEffect {
+                    applied: true,
+                    candidates: self.ball(a, radius),
+                    added_node: None,
+                }
+            }
+            GraphDelta::RemoveEdge(a, b) => {
+                if !self.has_edge(a, b) {
+                    return nop(None);
+                }
+                // Ball in the with-edge graph: *before* the removal.
+                let candidates = self.ball(a, radius);
+                self.delete_edge(a, b);
+                DeltaEffect {
+                    applied: true,
+                    candidates,
+                    added_node: None,
+                }
+            }
+            GraphDelta::AddNode => {
+                let v = self.adj.len() as NodeId;
+                self.adj.push(Vec::new());
+                self.visited.push(0);
+                DeltaEffect {
+                    applied: true,
+                    candidates: vec![v],
+                    added_node: Some(v),
+                }
+            }
+            GraphDelta::RemoveNode(v) => {
+                // Every dropped edge has endpoint v, so one ball around v
+                // (with all edges still present) covers them all.
+                let candidates = self.ball(v, radius);
+                let nbrs = std::mem::take(&mut self.adj[v as usize]);
+                self.num_edges -= nbrs.len();
+                for w in nbrs {
+                    let list = &mut self.adj[w as usize];
+                    if let Ok(pos) = list.binary_search(&v) {
+                        list.remove(pos);
+                    }
+                }
+                DeltaEffect {
+                    applied: true,
+                    candidates,
+                    added_node: None,
+                }
+            }
+        }
+    }
+
+    fn insert_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        assert!(
+            (a as usize) < self.adj.len() && (b as usize) < self.adj.len(),
+            "edge ({a}, {b}) out of range for {} nodes",
+            self.adj.len()
+        );
+        if a == b {
+            return false;
+        }
+        let list = &mut self.adj[a as usize];
+        match list.binary_search(&b) {
+            Ok(_) => false,
+            Err(pos) => {
+                list.insert(pos, b);
+                let other = &mut self.adj[b as usize];
+                let pos = other.binary_search(&a).expect_err("symmetric absence");
+                other.insert(pos, a);
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    fn delete_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        let Ok(pos) = self.adj[a as usize].binary_search(&b) else {
+            return false;
+        };
+        self.adj[a as usize].remove(pos);
+        let pos = self.adj[b as usize]
+            .binary_search(&a)
+            .expect("symmetric presence");
+        self.adj[b as usize].remove(pos);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Every node within `radius` hops of `center` (inclusive), in BFS
+    /// order. Reuses internal scratch; `O(ball size)`.
+    pub fn ball(&mut self, center: NodeId, radius: usize) -> Vec<NodeId> {
+        assert!((center as usize) < self.adj.len(), "node {center} unknown");
+        if self.epoch == u32::MAX {
+            self.visited.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.queue.clear();
+        self.queue.push(center);
+        self.visited[center as usize] = epoch;
+        let mut level_start = 0usize;
+        for _ in 0..radius {
+            let level_end = self.queue.len();
+            if level_start == level_end {
+                break;
+            }
+            for i in level_start..level_end {
+                let v = self.queue[i];
+                for &w in &self.adj[v as usize] {
+                    let seen = &mut self.visited[w as usize];
+                    if *seen != epoch {
+                        *seen = epoch;
+                        self.queue.push(w);
+                    }
+                }
+            }
+            level_start = level_end;
+        }
+        self.queue.clone()
+    }
+
+    /// Snapshots the current state to CSR for extraction.
+    pub fn to_graph(&self) -> Graph {
+        Graph::from_sorted_adjacency(&self.adj)
+    }
+}
+
+impl std::fmt::Debug for DynamicGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DynamicGraph(n={}, m={})",
+            self.num_nodes(),
+            self.num_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn round_trip_and_edge_ops() {
+        let g = Graph::undirected_from_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+        let mut d = DynamicGraph::from_graph(&g);
+        assert_eq!(d.to_graph(), g);
+        assert!(d.apply(GraphDelta::AddEdge(3, 4), 2).applied);
+        assert!(!d.apply(GraphDelta::AddEdge(3, 4), 2).applied, "duplicate");
+        assert!(!d.apply(GraphDelta::AddEdge(2, 2), 2).applied, "self-loop");
+        assert!(d.apply(GraphDelta::RemoveEdge(0, 1), 2).applied);
+        assert!(!d.apply(GraphDelta::RemoveEdge(0, 1), 2).applied, "absent");
+        let expect = Graph::undirected_from_edges(5, &[(1, 2), (2, 3), (3, 4)]);
+        assert_eq!(d.to_graph(), expect);
+        assert_eq!(d.num_edges(), 3);
+    }
+
+    #[test]
+    fn add_and_remove_node() {
+        let g = Graph::undirected_from_edges(3, &[(0, 1), (1, 2)]);
+        let mut d = DynamicGraph::from_graph(&g);
+        let effect = d.apply(GraphDelta::AddNode, 2);
+        assert_eq!(effect.added_node, Some(3));
+        assert_eq!(effect.candidates, vec![3]);
+        assert!(d.apply(GraphDelta::AddEdge(3, 0), 2).applied);
+        let effect = d.apply(GraphDelta::RemoveNode(1), 2);
+        assert!(effect.applied);
+        assert!(effect.candidates.contains(&1));
+        assert!(d.neighbors(1).is_empty());
+        assert_eq!(d.num_edges(), 1); // only 0-3 left
+        assert_eq!(d.to_graph().num_edges(), 1);
+    }
+
+    #[test]
+    fn ball_matches_bfs_levels() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::erdos_renyi_gnm(60, 110, &mut rng);
+        let mut d = DynamicGraph::from_graph(&g);
+        for radius in 0..4 {
+            for v in [0u32, 17, 42] {
+                let mut got = d.ball(v, radius);
+                got.sort_unstable();
+                let mut want: Vec<NodeId> =
+                    crate::bfs::bfs_levels(&g, v, radius + 1, crate::Direction::Outgoing)
+                        .into_iter()
+                        .flatten()
+                        .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "v={v} radius={radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_churn_matches_rebuilt_graph() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = generators::barabasi_albert(40, 2, &mut rng);
+        let mut d = DynamicGraph::from_graph(&g);
+        let mut edges: std::collections::BTreeSet<(NodeId, NodeId)> = g.edges().collect();
+        for _ in 0..300 {
+            let a = rng.gen_range(0..40u32);
+            let b = rng.gen_range(0..40u32);
+            let key = (a.min(b), a.max(b));
+            if rng.gen_bool(0.5) {
+                let effect = d.apply(GraphDelta::AddEdge(a, b), 2);
+                assert_eq!(effect.applied, a != b && edges.insert(key));
+            } else {
+                let effect = d.apply(GraphDelta::RemoveEdge(a, b), 2);
+                assert_eq!(effect.applied, edges.remove(&key));
+            }
+            assert_eq!(d.num_edges(), edges.len());
+        }
+        let want = Graph::undirected_from_edges(40, &edges.iter().copied().collect::<Vec<_>>()[..]);
+        assert_eq!(d.to_graph(), want);
+    }
+}

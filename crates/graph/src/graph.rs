@@ -73,6 +73,44 @@ impl Graph {
         b.build()
     }
 
+    /// Packs already-normalized undirected adjacency lists straight into
+    /// CSR — the fast snapshot path for [`crate::delta::DynamicGraph`],
+    /// which maintains exactly this invariant between deltas and must not
+    /// pay a full [`crate::GraphBuilder`] sort per batch.
+    ///
+    /// Every list must be sorted ascending, self-loop-free, duplicate-free
+    /// and symmetric (`b ∈ adj[a]` ⇔ `a ∈ adj[b]`); violations are caught
+    /// by `debug_assert!` only.
+    pub fn from_sorted_adjacency(adj: &[Vec<NodeId>]) -> Self {
+        let n = adj.len();
+        let mut out_offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            debug_assert!(
+                adj[v].windows(2).all(|w| w[0] < w[1]),
+                "adjacency of {v} not sorted/deduped"
+            );
+            debug_assert!(
+                adj[v].iter().all(|&w| (w as usize) < n && w as usize != v),
+                "adjacency of {v} out of range or self-loop"
+            );
+            out_offsets[v + 1] = out_offsets[v] + adj[v].len();
+        }
+        let mut out_targets = Vec::with_capacity(out_offsets[n]);
+        for list in adj {
+            out_targets.extend_from_slice(list);
+        }
+        let num_edges = out_targets.len() / 2;
+        debug_assert!(out_targets.len() % 2 == 0, "asymmetric adjacency");
+        Graph::from_csr(
+            false,
+            out_offsets,
+            out_targets,
+            Vec::new(),
+            Vec::new(),
+            num_edges,
+        )
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {

@@ -9,6 +9,10 @@
 //! * [`bfs`] — breadth-first search, the paper's *k-adjacent tree*
 //!   extraction (Definition 1, and Definition 2 for directed graphs), and
 //!   k-hop neighborhood subgraph extraction.
+//! * [`bulk`] — shared-work bulk extraction: all-nodes k-adjacent tree
+//!   canonization on flat scratch, hash-consing shapes bottom-up.
+//! * [`delta`] — dynamic graphs: [`GraphDelta`] edits with truncated-BFS
+//!   dirty sets for incremental signature maintenance.
 //! * [`generators`] — seeded random-graph models used as stand-ins for the
 //!   paper's datasets (see DESIGN.md §4 for the substitution table).
 //! * [`anonymize`] — the three anonymization schemes of the
@@ -24,6 +28,8 @@
 pub mod anonymize;
 pub mod bfs;
 mod builder;
+pub mod bulk;
+pub mod delta;
 mod error;
 pub mod exact_ged;
 pub mod generators;
@@ -32,5 +38,7 @@ pub mod io;
 pub mod stats;
 
 pub use builder::GraphBuilder;
+pub use bulk::BulkExtractor;
+pub use delta::{DeltaEffect, DynamicGraph, GraphDelta};
 pub use error::GraphError;
 pub use graph::{Direction, Graph, NodeId};

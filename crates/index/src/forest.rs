@@ -189,12 +189,34 @@ impl<T: Clone> ShardedVpForest<T> {
     /// threshold). Ids must be unique; later duplicates replace earlier
     /// ones. This is the load path — results are identical to inserting
     /// one by one, only cheaper.
-    pub fn from_entries<M: Metric<T>>(
+    pub fn from_entries<M>(threshold: usize, seed: u64, entries: Vec<(u64, T)>, metric: &M) -> Self
+    where
+        T: Send + Sync,
+        M: Metric<T> + Sync,
+    {
+        Self::from_entries_balanced(threshold, seed, entries, metric, 1)
+    }
+
+    /// [`ShardedVpForest::from_entries`] with the one-shot build packed
+    /// into up to `max_shards` **balanced** shards (near-equal sizes,
+    /// strictly decreasing to respect the logarithmic-method invariant).
+    /// Query results are identical to any other construction order; the
+    /// point is build- and query-side parallelism: the shard VP-trees are
+    /// built concurrently on the [`ned_core::batch`] pool here, and every
+    /// later fan-out query can occupy `max_shards` cores instead of one.
+    /// The result is deterministic regardless of thread timing (each
+    /// shard's vantage rng is derived from `seed` and its position).
+    pub fn from_entries_balanced<M>(
         threshold: usize,
         seed: u64,
         entries: Vec<(u64, T)>,
         metric: &M,
-    ) -> Self {
+        max_shards: usize,
+    ) -> Self
+    where
+        T: Send + Sync,
+        M: Metric<T> + Sync,
+    {
         let mut forest = Self::new(threshold, seed);
         let mut dedup: HashMap<u64, T> = HashMap::new();
         let mut order: Vec<u64> = Vec::with_capacity(entries.len());
@@ -203,7 +225,7 @@ impl<T: Clone> ShardedVpForest<T> {
                 order.push(id);
             }
         }
-        let items: Vec<Entry<T>> = order
+        let mut items: Vec<Entry<T>> = order
             .into_iter()
             .map(|id| Entry {
                 id,
@@ -230,7 +252,32 @@ impl<T: Clone> ShardedVpForest<T> {
         if slot == Slot::Buffer {
             forest.buffer = Arc::new(items);
         } else {
-            forest.push_shard(items, metric);
+            // Largest shard first so the physical sizes decrease, as the
+            // incremental merge machinery expects. Each chunk builds its
+            // VP-tree independently (and concurrently) with the same
+            // deterministic per-epoch rng the sequential path would use.
+            let mut chunks: Vec<std::sync::Mutex<Option<Vec<Entry<T>>>>> = Vec::new();
+            for size in balanced_shard_sizes(items.len(), max_shards) {
+                let tail = items.split_off(size);
+                chunks.push(std::sync::Mutex::new(Some(items)));
+                items = tail;
+            }
+            debug_assert!(items.is_empty());
+            let first_epoch = forest.epoch;
+            let trees: Vec<VpTree<Entry<T>>> = ned_core::batch::par_map(chunks.len(), 0, |i| {
+                let chunk = chunks[i]
+                    .lock()
+                    .expect("chunk slot poisoned")
+                    .take()
+                    .expect("each chunk is taken once");
+                let mut rng = Self::shard_rng(seed, first_epoch + i as u64);
+                VpTree::build(chunk, &EntryMetric(metric), &mut rng)
+            });
+            for tree in trees {
+                forest.epoch += 1;
+                forest.shards.push(Arc::new(tree));
+            }
+            debug_assert!(forest.shards.windows(2).all(|w| w[0].len() > w[1].len()));
         }
         forest
     }
@@ -423,12 +470,18 @@ impl<T: Clone> ShardedVpForest<T> {
         }
     }
 
+    /// The deterministic vantage rng of the shard built at `epoch` —
+    /// shared by the incremental path and the parallel one-shot build so
+    /// both produce identical trees for identical inputs.
+    fn shard_rng(seed: u64, epoch: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
     fn push_shard<M: Metric<T>>(&mut self, items: Vec<Entry<T>>, metric: &M) {
         if items.is_empty() {
             return;
         }
-        let mut rng =
-            SmallRng::seed_from_u64(self.seed ^ self.epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Self::shard_rng(self.seed, self.epoch);
         self.epoch += 1;
         let tree = VpTree::build(items, &EntryMetric(metric), &mut rng);
         self.shards.push(Arc::new(tree));
@@ -532,6 +585,30 @@ impl<T: Clone> ShardedVpForest<T> {
         hits.truncate(k);
         hits
     }
+}
+
+/// Splits `n` items into at most `max_shards` near-equal, **strictly
+/// decreasing**, positive sizes summing to `n` (largest first). Strict
+/// decrease keeps the logarithmic method's size invariant; near-equality
+/// is what balances build and query fan-out.
+fn balanced_shard_sizes(n: usize, max_shards: usize) -> Vec<usize> {
+    let mut s = max_shards.max(1);
+    // Need base >= 1 after reserving 0..s-1 distinct increments.
+    while s > 1 && n < s * (s - 1) / 2 + s {
+        s -= 1;
+    }
+    let stagger = s * (s - 1) / 2;
+    let base = (n - stagger) / s;
+    let mut rem = n - stagger - base * s;
+    let mut sizes = Vec::with_capacity(s);
+    for i in 0..s {
+        // Largest first: base + (s-1-i) + (remainder soaked by shard 0).
+        let extra = if i == 0 { std::mem::take(&mut rem) } else { 0 };
+        sizes.push(base + (s - 1 - i) + extra);
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), n);
+    debug_assert!(sizes.windows(2).all(|w| w[0] > w[1]));
+    sizes
 }
 
 /// Consumes a possibly-snapshot-shared shard, returning its entries.
@@ -879,6 +956,55 @@ mod tests {
                 assert_eq!(bulk.knn(&m, &q, k, 0), inc.knn(&m, &q, k, 0), "q={q} k={k}");
             }
         }
+    }
+
+    #[test]
+    fn balanced_bulk_build_equals_single_shard() {
+        let m = metric();
+        let entries: Vec<(u64, f64)> = (0..137u64).map(|i| (i, (i * 31 % 151) as f64)).collect();
+        let single = ShardedVpForest::from_entries(16, 9, entries.clone(), &m);
+        let balanced = ShardedVpForest::from_entries_balanced(16, 9, entries.clone(), &m, 4);
+        let stats = balanced.stats();
+        assert_eq!(stats.shard_sizes.len(), 4, "{stats:?}");
+        assert!(stats.shard_sizes.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(stats.shard_sizes.iter().sum::<usize>(), 137);
+        for q in [0.0, 40.0, 151.0] {
+            for k in [1usize, 9, 137] {
+                assert_eq!(
+                    balanced.knn(&m, &q, k, 2),
+                    single.knn(&m, &q, k, 0),
+                    "q={q} k={k}"
+                );
+            }
+            assert_eq!(
+                balanced.range(&m, &q, 25.0, 2),
+                single.range(&m, &q, 25.0, 0)
+            );
+        }
+        // churn on top of a balanced build stays exact
+        let mut f = balanced;
+        for i in 0..60u64 {
+            f.insert(&m, 1000 + i, (i * 7 % 91) as f64);
+        }
+        for i in (0..137u64).step_by(3) {
+            f.remove(&m, i);
+        }
+        assert_exact(&f, 33.0, 11);
+    }
+
+    #[test]
+    fn balanced_shard_sizes_edge_cases() {
+        assert_eq!(balanced_shard_sizes(10, 1), vec![10]);
+        assert_eq!(balanced_shard_sizes(10, 3), vec![5, 3, 2]);
+        let sizes = balanced_shard_sizes(4000, 8);
+        assert_eq!(sizes.iter().sum::<usize>(), 4000);
+        assert_eq!(sizes.len(), 8);
+        assert!(sizes.windows(2).all(|w| w[0] > w[1]));
+        // tiny n: shard count shrinks rather than emitting empty shards
+        let sizes = balanced_shard_sizes(3, 8);
+        assert!(sizes.iter().all(|&s| s > 0));
+        assert_eq!(sizes.iter().sum::<usize>(), 3);
+        assert_eq!(balanced_shard_sizes(1, 4), vec![1]);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod bk_tree;
 pub mod concurrent;
 pub mod filter;
 pub mod forest;
+pub mod maintain;
 pub mod server;
 pub mod signatures;
 
@@ -25,6 +26,7 @@ pub use bk_tree::{BkTree, IntFnMetric, IntMetric};
 pub use concurrent::{ConcurrentNedIndex, IndexReader, IndexWriter, WriteOp, WriteOutcome};
 pub use filter::{filter_refine_knn, BoundedMetric, FilteredKnn, FnBoundedMetric};
 pub use forest::{ForestHit, ForestStats, ShardedVpForest};
+pub use maintain::{DeltaReport, GraphMaintainer};
 pub use server::{Dispatch, NedServer, WireClient};
 pub use signatures::{SignatureIndex, SignatureMetric, UnboundedSignatureMetric};
 

@@ -19,6 +19,13 @@
 //! add <graph.edges> <node>            index one more signature
 //! addsig <parens-tree>                index a literal tree shape
 //! remove <id>                         drop a signature by id
+//! track <graph.edges>                 attach a mutating graph (raw
+//!                                     add/addsig/remove writes detach
+//!                                     it — they break its node ↔ id
+//!                                     invariant; re-track to resume)
+//! addedge <a> <b> | deledge <a> <b>   mutate the tracked graph; the
+//!                                     (k-1)-hop dirty set is recomputed
+//!                                     and published as one epoch
 //! stats | epoch | help | quit
 //! save <path>                         persist the current index
 //! ```
@@ -40,11 +47,12 @@
 //! `error: ...` reply and the connection is closed: once framing sync is
 //! lost the stream cannot be trusted.
 
-use crate::concurrent::{ConcurrentNedIndex, IndexReader};
+use crate::concurrent::{ConcurrentNedIndex, IndexReader, IndexWriter};
 use crate::forest::ForestHit;
+use crate::maintain::GraphMaintainer;
 use crate::signatures::SignatureIndex;
-use ned_core::{wire, NodeSignature, PreparedTree, WorkerPool};
-use ned_graph::{io as graph_io, Graph, NodeId};
+use ned_core::{wire, NodeSignature, PreparedTree, TedMemo, WorkerPool};
+use ned_graph::{io as graph_io, Graph, GraphDelta, NodeId};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -66,6 +74,11 @@ pub struct NedServer {
     index: ConcurrentNedIndex,
     /// Parsed edge-list files, cached across commands and connections.
     graphs: Mutex<HashMap<String, Arc<Graph>>>,
+    /// The tracked mutating graph behind `addedge`/`deledge`
+    /// (`track <path>` installs one). Locked for the whole delta
+    /// application — writes are serialized anyway, and readers never
+    /// touch it.
+    maintained: Mutex<Option<GraphMaintainer>>,
     /// Persistent pool reused by every read-only batch frame.
     pool: WorkerPool,
     /// Intra-query fan-out passed to the forest (`1` is right for
@@ -82,9 +95,68 @@ impl NedServer {
         NedServer {
             index: ConcurrentNedIndex::new(index),
             graphs: Mutex::new(HashMap::new()),
+            maintained: Mutex::new(None),
             pool: WorkerPool::new(pool_threads),
             query_threads,
         }
+    }
+
+    /// Installs `graph` as the tracked graph behind `addedge`/`deledge`,
+    /// verifying it actually matches the served index (node `v` indexed
+    /// under id `v` with the same neighborhood shape). The `track`
+    /// command and `ned-cli serve --graph` both land here.
+    ///
+    /// The writer lock is held across verification *and* installation,
+    /// so no write can slip between the check and the attach; raw index
+    /// writes (`add`/`addsig`/`remove`) after that point **detach** the
+    /// tracked graph instead of silently breaking its node ↔ id
+    /// invariant (re-`track` to resume deltas).
+    pub fn track(&self, graph: &Graph) -> Result<String, String> {
+        let mut tracked = self.maintained.lock().unwrap_or_else(|p| p.into_inner());
+        let writer = self.index.writer();
+        let maintainer = GraphMaintainer::attach(graph, writer.index().k(), 0, self.query_threads);
+        maintainer.verify_against(writer.index())?;
+        let line = format!(
+            "tracking graph ({} nodes, {} edges, k = {})",
+            maintainer.num_nodes(),
+            maintainer.num_edges(),
+            maintainer.k()
+        );
+        *tracked = Some(maintainer);
+        Ok(line)
+    }
+
+    /// Runs a raw index write while detaching any tracked graph — a raw
+    /// write breaks the maintainer's "node `v` ⇔ id `v`, class as
+    /// recorded" invariant, and a stale maintainer could later resurrect
+    /// a removed id through a `Replace`. The maintained lock is held
+    /// across the write so a concurrent `track` cannot interleave.
+    fn raw_write<R>(&self, op: impl FnOnce(&mut IndexWriter) -> R) -> R {
+        let mut tracked = self.maintained.lock().unwrap_or_else(|p| p.into_inner());
+        let result = op(&mut self.index.writer());
+        *tracked = None;
+        result
+    }
+
+    /// Applies one graph delta through the tracked maintainer as one
+    /// atomic write batch (one epoch). Errors if no graph is tracked or
+    /// an endpoint is out of range.
+    fn apply_delta(&self, delta: GraphDelta) -> Result<String, String> {
+        let mut guard = self.maintained.lock().unwrap_or_else(|p| p.into_inner());
+        let maintainer = guard
+            .as_mut()
+            .ok_or("no tracked graph; run `track <graph.edges>` first")?;
+        if let GraphDelta::AddEdge(a, b) | GraphDelta::RemoveEdge(a, b) = delta {
+            let n = maintainer.num_nodes();
+            if a as usize >= n || b as usize >= n {
+                return Err(format!("edge ({a}, {b}) out of range ({n} nodes)"));
+            }
+        }
+        let report = {
+            let mut writer = self.index.writer();
+            maintainer.apply(&[delta], &mut writer)
+        };
+        Ok(format!("{report} epoch={}", self.reader().epoch()))
     }
 
     /// A read handle onto the served index.
@@ -92,18 +164,30 @@ impl NedServer {
         self.index.reader()
     }
 
-    /// One-line summary of the current snapshot (the `stats` reply body).
+    /// One-line summary of the current snapshot plus the TED\* memo's
+    /// effectiveness counters (the `stats` reply body).
     pub fn stats_line(&self) -> String {
         let snap = self.reader().snapshot();
         let stats = snap.stats();
+        let tracking = match self
+            .maintained
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .as_ref()
+        {
+            Some(m) => format!("{} nodes / {} edges", m.num_nodes(), m.num_edges()),
+            None => "none".to_string(),
+        };
         format!(
-            "signatures: {} (k = {}), buffer {}, shards {:?}, tombstones {}, epoch {}",
+            "signatures: {} (k = {}), buffer {}, shards {:?}, tombstones {}, epoch {}, \
+             tracking {tracking}\nmemo: {}",
             stats.len,
             snap.k(),
             stats.buffer,
             stats.shard_sizes,
             stats.tombstones,
             self.reader().epoch(),
+            TedMemo::global().stats(),
         )
     }
 
@@ -231,19 +315,31 @@ impl NedServer {
             }
             ["add", path, node] => {
                 let sig = self.extract(path, node)?;
-                format!("ok id={}", self.index.writer().insert(sig))
+                format!("ok id={}", self.raw_write(|w| w.insert(sig)))
             }
             ["addsig", shape] => {
                 let sig = parse_sig(shape)?;
-                format!("ok id={}", self.index.writer().insert(sig))
+                format!("ok id={}", self.raw_write(|w| w.insert(sig)))
             }
             ["remove", id] => {
                 let id: u64 = id.parse().map_err(|_| format!("bad id {id:?}"))?;
-                if self.index.writer().remove(id) {
+                if self.raw_write(|w| w.remove(id)) {
                     format!("ok removed {id}")
                 } else {
                     format!("ok no such id {id}")
                 }
+            }
+            ["track", path] => {
+                let graph = self.graph(path)?;
+                format!("ok {}", self.track(&graph)?)
+            }
+            ["addedge", a, b] => {
+                let (a, b) = parse_edge(a, b)?;
+                format!("ok {}", self.apply_delta(GraphDelta::AddEdge(a, b))?)
+            }
+            ["deledge", a, b] => {
+                let (a, b) = parse_edge(a, b)?;
+                format!("ok {}", self.apply_delta(GraphDelta::RemoveEdge(a, b))?)
             }
             ["save", path] => {
                 self.index
@@ -258,16 +354,15 @@ impl NedServer {
         Ok(Dispatch::Reply(reply))
     }
 
-    /// Extracts the query signature for `<path> <node>`, caching the
-    /// parsed graph. The cache lock is never held across parsing or
-    /// extraction.
-    fn extract(&self, path: &str, node: &str) -> Result<NodeSignature, String> {
+    /// Loads (and caches) the edge-list graph at `path`. The cache lock
+    /// is never held across parsing.
+    fn graph(&self, path: &str) -> Result<Arc<Graph>, String> {
         let cached = {
             let graphs = self.graphs.lock().unwrap_or_else(|p| p.into_inner());
             graphs.get(path).cloned()
         };
-        let graph = match cached {
-            Some(g) => g,
+        match cached {
+            Some(g) => Ok(g),
             None => {
                 let g = Arc::new(
                     graph_io::read_edge_list(Path::new(path), false)
@@ -277,9 +372,15 @@ impl NedServer {
                     .lock()
                     .unwrap_or_else(|p| p.into_inner())
                     .insert(path.to_string(), Arc::clone(&g));
-                g
+                Ok(g)
             }
-        };
+        }
+    }
+
+    /// Extracts the query signature for `<path> <node>`, caching the
+    /// parsed graph.
+    fn extract(&self, path: &str, node: &str) -> Result<NodeSignature, String> {
+        let graph = self.graph(path)?;
         let v: NodeId = node.parse().map_err(|_| format!("bad node id {node:?}"))?;
         if (v as usize) >= graph.num_nodes() {
             return Err(format!(
@@ -297,8 +398,22 @@ impl NedServer {
 fn is_read_only(line: &str) -> bool {
     !matches!(
         line.split_whitespace().next(),
-        Some("add") | Some("addsig") | Some("remove") | Some("save") | Some("quit") | Some("exit")
+        Some("add")
+            | Some("addsig")
+            | Some("remove")
+            | Some("save")
+            | Some("quit")
+            | Some("exit")
+            | Some("track")
+            | Some("addedge")
+            | Some("deledge")
     )
+}
+
+fn parse_edge(a: &str, b: &str) -> Result<(NodeId, NodeId), String> {
+    let a: NodeId = a.parse().map_err(|_| format!("bad node id {a:?}"))?;
+    let b: NodeId = b.parse().map_err(|_| format!("bad node id {b:?}"))?;
+    Ok((a, b))
 }
 
 fn parse_opt_count(token: Option<&&str>, default: usize) -> Result<usize, String> {
@@ -333,7 +448,13 @@ const HELP: &str = "commands:\n\
     \x20 add <graph.edges> <node>           index one more signature\n\
     \x20 addsig <parens-tree>               index a literal tree shape\n\
     \x20 remove <id>                        drop a signature by id\n\
-    \x20 stats                              index shape + epoch\n\
+    \x20 track <graph.edges>                attach a mutating graph (node v\n\
+    \x20                                    must be indexed under id v; raw\n\
+    \x20                                    add/addsig/remove detach it)\n\
+    \x20 addedge <a> <b>                    add a tracked-graph edge; only\n\
+    \x20 deledge <a> <b>                    the (k-1)-hop dirty set is\n\
+    \x20                                    recomputed, one epoch per delta\n\
+    \x20 stats                              index shape + epoch + memo\n\
     \x20 epoch                              publication count + live size\n\
     \x20 save <path>                        persist the current index\n\
     \x20 quit\n\

@@ -106,9 +106,10 @@ impl SignatureIndex {
     }
 
     /// Bulk constructor over pre-extracted signatures, assigned ids
-    /// `0..n` in order — one shard build instead of `n` incremental
-    /// inserts (identical query results; the load-generation and
-    /// benchmark harnesses use this to stand up large indexes cheaply).
+    /// `0..n` in order — a balanced one-shot shard build (one shard per
+    /// available core) instead of `n` incremental inserts. Query results
+    /// are identical; the load-generation and benchmark harnesses use
+    /// this to stand up large indexes cheaply.
     pub fn from_signatures(
         k: usize,
         threshold: usize,
@@ -120,8 +121,46 @@ impl SignatureIndex {
             .enumerate()
             .map(|(i, s)| (i as u64, s))
             .collect();
-        let next_id = entries.len() as u64;
-        let forest = ShardedVpForest::from_entries(threshold, seed, entries, &SignatureMetric);
+        Self::from_entries(k, threshold, seed, entries)
+    }
+
+    /// Bulk-builds the whole index for every node of `graph` through the
+    /// shared-work extraction pipeline ([`ned_core::bulk_signatures`]) and
+    /// a balanced one-shot shard build — the fast path behind
+    /// `ned-cli index build`. `threads` bounds the extraction fan-out
+    /// (`0` = all cores); the balanced shard VP-trees always build
+    /// concurrently on the batch pool.
+    pub fn from_graph(
+        graph: &Graph,
+        k: usize,
+        threshold: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        let sigs = ned_core::bulk_signatures(graph, &nodes, k, threads);
+        Self::from_signatures(k, threshold, seed, sigs)
+    }
+
+    fn from_entries(
+        k: usize,
+        threshold: usize,
+        seed: u64,
+        entries: Vec<(u64, NodeSignature)>,
+    ) -> Self {
+        let next_id = entries
+            .iter()
+            .map(|&(id, _)| id.saturating_add(1))
+            .max()
+            .unwrap_or(0);
+        let shards = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let forest = ShardedVpForest::from_entries_balanced(
+            threshold,
+            seed,
+            entries,
+            &SignatureMetric,
+            shards,
+        );
         SignatureIndex {
             forest,
             k,
@@ -166,11 +205,34 @@ impl SignatureIndex {
 
     /// Extracts and indexes the signatures of `nodes` in `graph`,
     /// returning the id range assigned (`first..first + nodes.len()`,
-    /// in node order).
+    /// in node order). Extraction runs through the shared-work bulk
+    /// pipeline ([`ned_core::bulk_signatures`]); use
+    /// [`SignatureIndex::insert_graph_per_node`] for the independent
+    /// per-node fallback.
     pub fn insert_graph(&mut self, graph: &Graph, nodes: &[NodeId]) -> std::ops::Range<u64> {
         let first = self.next_id;
-        for sig in ned_core::signatures(graph, nodes, self.k) {
+        for sig in ned_core::bulk_signatures(graph, nodes, self.k, 0) {
             self.insert(sig);
+        }
+        first..self.next_id
+    }
+
+    /// The non-bulk fallback of [`SignatureIndex::insert_graph`]: each
+    /// node is extracted and canonicalized independently, but through
+    /// **one** reused [`ned_core::SignatureExtractor`] (one BFS scratch
+    /// arena for the whole batch) instead of a fresh per-node allocation
+    /// of the visited set. Identical signatures and ids; this is also the
+    /// ingest baseline the `ingest/...` benchmarks compare the bulk
+    /// pipeline against.
+    pub fn insert_graph_per_node(
+        &mut self,
+        graph: &Graph,
+        nodes: &[NodeId],
+    ) -> std::ops::Range<u64> {
+        let first = self.next_id;
+        let mut extractor = ned_core::SignatureExtractor::new(graph);
+        for &v in nodes {
+            self.insert(extractor.extract(v, self.k));
         }
         first..self.next_id
     }
@@ -282,7 +344,14 @@ impl SignatureIndex {
                 )));
             }
         }
-        let forest = ShardedVpForest::from_entries(threshold, seed, entries, &SignatureMetric);
+        let shards = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let forest = ShardedVpForest::from_entries_balanced(
+            threshold,
+            seed,
+            entries,
+            &SignatureMetric,
+            shards,
+        );
         Ok(SignatureIndex {
             forest,
             k,

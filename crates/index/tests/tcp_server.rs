@@ -34,6 +34,96 @@ fn start_server() -> (std::net::SocketAddr, Arc<NedServer>) {
 }
 
 #[test]
+fn track_addedge_deledge_maintain_the_live_index() {
+    // The server needs the tracked graph as a file; build both the file
+    // and the index from the same graph.
+    let mut rng = SmallRng::seed_from_u64(78);
+    let g = generators::barabasi_albert(90, 2, &mut rng);
+    let path = std::env::temp_dir().join(format!("ned-track-{}.edges", std::process::id()));
+    ned_graph::io::write_edge_list(&g, &path).expect("write graph");
+    let mut index = SignatureIndex::new(3, 32, 1);
+    index.insert_graph(&g, &g.nodes().collect::<Vec<_>>());
+    let server = Arc::new(NedServer::new(index, 1, 2));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = server.serve_tcp(listener);
+        });
+    }
+    let mut client = WireClient::connect(addr).expect("connect");
+
+    // Deltas before tracking are in-band errors.
+    let err = client.call("addedge 0 1").expect("reply");
+    assert!(err.starts_with("error:"), "{err}");
+
+    let tracked = client
+        .call(&format!("track {}", path.display()))
+        .expect("track");
+    assert!(tracked.starts_with("ok tracking graph"), "{tracked}");
+
+    // Pick a non-edge; flip it on and off. One epoch per delta command.
+    let (a, b) = g
+        .nodes()
+        .flat_map(|a| g.nodes().map(move |b| (a, b)))
+        .find(|&(a, b)| a < b && !g.has_edge(a, b))
+        .expect("some non-edge");
+    let epoch0 = server.reader().epoch();
+    let added = client.call(&format!("addedge {a} {b}")).expect("addedge");
+    assert!(added.starts_with("ok applied=1"), "{added}");
+    assert_eq!(server.reader().epoch(), epoch0 + 1);
+    // duplicate add: applied=0, still one publication
+    let dup = client.call(&format!("addedge {a} {b}")).expect("dup");
+    assert!(dup.starts_with("ok applied=0"), "{dup}");
+    assert_eq!(server.reader().epoch(), epoch0 + 2);
+    let removed = client.call(&format!("deledge {a} {b}")).expect("deledge");
+    assert!(removed.starts_with("ok applied=1"), "{removed}");
+    assert_eq!(server.reader().epoch(), epoch0 + 3);
+    // out-of-range endpoints are in-band errors
+    let oob = client.call("addedge 0 100000").expect("reply");
+    assert!(oob.starts_with("error:"), "{oob}");
+
+    // Net-zero churn: every indexed signature equals a fresh extraction
+    // from the original graph.
+    let snap = server.reader().snapshot();
+    for v in g.nodes() {
+        let want = NodeSignature::extract(&g, v, 3);
+        let got = snap.get(u64::from(v)).expect("indexed");
+        assert_eq!(got.prepared(), want.prepared(), "node {v}");
+    }
+    // The memo line and tracking status are part of stats now.
+    let stats = client.call("stats").expect("stats");
+    assert!(stats.contains("memo: hits"), "{stats}");
+    assert!(stats.contains("tracking 90 nodes"), "{stats}");
+
+    // A raw write breaks the tracked graph's node <-> id invariant, so it
+    // detaches the maintainer: deltas error until the graph is re-tracked
+    // (otherwise a stale maintainer could resurrect the removed id
+    // through a later Replace).
+    let removed = client.call("remove 0").expect("raw remove");
+    assert_eq!(removed, "ok removed 0");
+    let detached = client.call(&format!("addedge {a} {b}")).expect("reply");
+    assert!(
+        detached.starts_with("error: no tracked graph"),
+        "{detached}"
+    );
+    let stats = client.call("stats").expect("stats");
+    assert!(stats.contains("tracking none"), "{stats}");
+    // restoring the removed signature lets track verify again
+    let shape = ned_tree::serialize::print(NodeSignature::extract(&g, 0, 3).tree());
+    let readd = client.call(&format!("addsig {shape}")).expect("addsig");
+    assert!(readd.starts_with("ok id="), "{readd}");
+    // ...but node 0's signature now lives under a different id, so track
+    // must refuse rather than maintain a wrong mapping.
+    let retrack = client
+        .call(&format!("track {}", path.display()))
+        .expect("reply");
+    assert!(retrack.starts_with("error:"), "{retrack}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn commands_round_trip_over_the_socket() {
     let (addr, server) = start_server();
     let mut client = WireClient::connect(addr).expect("connect");

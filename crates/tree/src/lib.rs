@@ -14,6 +14,10 @@
 //! * [`SignatureInterner`] — process-wide interning of canonical
 //!   children-multisets into dense `u32` ids, the label currency of the
 //!   TED\* hot path (`ned-core`) and its duplicate-collapsed matching.
+//! * [`ShapeTable`] — hash-consed canonical shapes per interned class
+//!   (code bytes + code-ordered children), letting bulk extraction
+//!   reconstruct canonical trees by table expansion instead of per-node
+//!   re-canonicalization.
 //! * [`generate`] — seeded random and structured tree generators used by the
 //!   test-suite, the property tests, and the benchmarks.
 //! * [`exact`] — exponential-time *exact* unordered tree edit distance
@@ -31,9 +35,11 @@ pub mod exact;
 pub mod generate;
 mod intern;
 pub mod serialize;
+pub mod shapes;
 mod tree;
 
 pub use builder::TreeBuilder;
 pub use error::TreeError;
 pub use intern::SignatureInterner;
+pub use shapes::{ShapeEntry, ShapeTable};
 pub use tree::{NodeId, Tree};

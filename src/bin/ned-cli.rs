@@ -9,12 +9,13 @@
 //!                [--ratio F] [--k N] [--top N] [--samples N] [--seed N]
 //! ned-cli hausdorff <g1.edges> <g2.edges> [--k N] [--sample N] [--seed N]
 //! ned-cli index build <out.idx> <graph.edges> [--k N] [--threshold N] [--seed N]
+//!                     [--bulk | --per-node]
 //! ned-cli index add <idx> <graph.edges> [--out PATH]
 //! ned-cli index query <idx> <graph.edges> <node> [--top N] [--radius R]
 //!                     [--threads N] [--verify]
 //! ned-cli index save <idx> <out.idx>
 //! ned-cli index load <idx>
-//! ned-cli serve <idx> [--tcp ADDR] [--threads N] [--pool N]
+//! ned-cli serve <idx> [--tcp ADDR] [--threads N] [--pool N] [--graph PATH]
 //! ```
 
 use ned::baselines::features::{l1_distance, RefexFeatures};
@@ -70,15 +71,19 @@ fn print_usage() {
          \x20 hausdorff <g1> <g2> [--k N] [--sample N] [--seed N]  whole-graph distance\n\
          \x20 classes <graph> [--k N] [--show N]                 structural equivalence classes\n\
          \x20 suggest-k <graph> [--target N] [--samples N]       pick a k for this graph\n\
-         \x20 index build <out.idx> <graph> [--k N] [--threshold N] [--seed N]\n\
+         \x20 index build <out.idx> <graph> [--k N] [--threshold N] [--seed N] [--bulk | --per-node]\n\
          \x20                                                    build + save a persistent signature index\n\
+         \x20                                                    (--bulk, the default: shared-frontier\n\
+         \x20                                                    hash-consed ingest + balanced shards)\n\
          \x20 index add <idx> <graph> [--out PATH]               index another graph's signatures\n\
          \x20 index query <idx> <graph> <node> [--top N] [--radius R] [--threads N] [--verify]\n\
          \x20                                                    --radius R: bounded threshold query\n\
          \x20 index save <idx> <out.idx>                         re-encode (verifies the file round-trips)\n\
          \x20 index load <idx>                                   load + print index stats\n\
          \x20 serve <idx> [--tcp ADDR] [--threads N] [--pool N]  long-lived serving: stdin REPL, or a\n\
-         \x20                                                    concurrent TCP server with --tcp\n"
+         \x20       [--graph PATH]                               concurrent TCP server with --tcp;\n\
+         \x20                                                    --graph pre-tracks a mutating graph\n\
+         \x20                                                    for addedge/deledge deltas\n"
     );
 }
 
@@ -388,22 +393,35 @@ fn cmd_index(raw: &[String]) -> Result<(), String> {
 }
 
 fn cmd_index_build(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &[])?;
+    let args = Args::parse(raw, &["bulk", "per-node"])?;
     let out = args.positional(0, "output index path")?;
     let graph_path = args.positional(1, "graph path")?;
     let g = load(graph_path, false)?;
     let k: usize = args.get("k", 3)?;
     let threshold: usize = args.get("threshold", 1024)?;
     let seed: u64 = args.get("seed", 42)?;
-    let mut index = ned::index::SignatureIndex::new(k, threshold, seed);
-    let nodes: Vec<NodeId> = g.nodes().collect();
-    let ids = index.insert_graph(&g, &nodes);
+    let n = g.num_nodes();
+    let t0 = std::time::Instant::now();
+    // Bulk (shared-frontier hash-consed extraction + balanced one-shot
+    // shards) is the default; --per-node keeps the independent
+    // extract-and-canonicalize baseline reachable for comparison.
+    let (index, mode) = if args.has("per-node") {
+        let mut index = ned::index::SignatureIndex::new(k, threshold, seed);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        index.insert_graph_per_node(&g, &nodes);
+        (index, "per-node")
+    } else {
+        (
+            ned::index::SignatureIndex::from_graph(&g, k, threshold, seed, 0),
+            "bulk",
+        )
+    };
+    let elapsed = t0.elapsed();
     save_index(&index, out)?;
     println!(
-        "indexed {} signatures of {graph_path} as ids {}..{} -> {out}",
-        nodes.len(),
-        ids.start,
-        ids.end
+        "indexed {n} signatures of {graph_path} as ids 0..{n} -> {out} \
+         ({mode} ingest, {:.1} ms)",
+        elapsed.as_secs_f64() * 1e3
     );
     print_index_stats(&index);
     Ok(())
@@ -539,8 +557,16 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
     // per query; a concurrent server leaves cores to concurrent requests.
     let threads: usize = args.get("threads", if tcp.is_some() { 1 } else { 0 })?;
     let pool: usize = args.get("pool", 0)?;
+    let graph: Option<String> = args.opt("graph")?;
     let index = load_index(idx_path)?;
     let server = std::sync::Arc::new(ned::index::NedServer::new(index, threads, pool));
+    if let Some(graph_path) = graph {
+        // Pre-track the mutating graph so addedge/deledge work without a
+        // per-session `track` command.
+        let g = load(&graph_path, false)?;
+        let line = server.track(&g).map_err(|e| format!("{graph_path}: {e}"))?;
+        println!("{line}");
+    }
     match tcp {
         Some(addr) => {
             let listener =
