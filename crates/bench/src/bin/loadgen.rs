@@ -6,6 +6,11 @@
 //!               [--writes N] [--seed S]
 //! loadgen smoke --addr HOST:PORT --index PATH [--readers R] [--reads N]
 //!               [--writes N] [--graph PATH] [--deltas N] [--seed S]
+//! loadgen chaos --addr HOST:PORT --index PATH [--clients C] [--ops N]
+//!               [--seed S]
+//! loadgen crash --server-bin PATH --index PATH --wal PATH [--cycles N]
+//!               [--checkpoint-every N] [--kill-min-ms N] [--kill-max-ms N]
+//!               [--seed S]
 //! ```
 //!
 //! * `prep` builds a Barabási–Albert graph index and saves it — the
@@ -27,6 +32,24 @@
 //!   scan** over the same index file the server loaded. Any protocol
 //!   error, panic, reply mismatch, or epoch/size drift exits non-zero,
 //!   which is what fails the CI `soak` job.
+//! * `chaos` puts a fault-injecting TCP proxy ([`ned_bench::chaos`]) in
+//!   front of a live server and hammers it through the proxy with a
+//!   read-only client fleet while frames are delayed, dropped,
+//!   truncated, and bit-flipped. Chaos clients tolerate any per-call
+//!   outcome; the hard contract is checked **directly** (not through the
+//!   proxy) afterwards: the server is still serving, the epoch never
+//!   moved (no corrupted frame was mistaken for a write), and a sample
+//!   of knn queries still matches a single-threaded linear scan
+//!   hit-for-hit.
+//! * `crash` is the kill-and-restart durability soak: it spawns
+//!   `ned-cli serve --wal` as a child process, churns acknowledged
+//!   addsig/remove writes while a killer thread SIGKILLs the child
+//!   mid-churn, restarts it, and requires the recovered state to match
+//!   the acknowledged model **exactly** — epoch and live-set size
+//!   reconciled up to the single in-flight op the kill may have caught,
+//!   and every acknowledged signature answered hit-for-hit. The final
+//!   cycle exercises the clean path too: `shutdown` must drain,
+//!   checkpoint, and exit 0, and the next boot must replay nothing.
 
 use ned_bench::loadgen::{knn_read_workload, run_reader_fleet, scaling_floor, LatencySummary};
 use ned_index::{ConcurrentNedIndex, SignatureIndex, WireClient};
@@ -40,6 +63,8 @@ fn main() -> ExitCode {
         Some("prep") => cmd_prep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("smoke") => cmd_smoke(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
+        Some("crash") => cmd_crash(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -66,7 +91,12 @@ fn print_usage() {
          \x20       [--top T] [--writes N] [--seed S]             (--writes races graph-delta flips)\n\
          \x20 smoke --addr HOST:PORT --index PATH [--readers R]   bounded mixed soak against a live\n\
          \x20       [--reads N] [--writes N] [--graph PATH]       `ned-cli serve --tcp` server\n\
-         \x20       [--deltas N] [--seed S]                       (--graph adds edge-flip deltas)\n"
+         \x20       [--deltas N] [--seed S]                       (--graph adds edge-flip deltas)\n\
+         \x20 chaos --addr HOST:PORT --index PATH [--clients C]   fault-injecting proxy soak: the\n\
+         \x20       [--ops N] [--seed S]                          server must survive torn frames\n\
+         \x20 crash --server-bin PATH --index PATH --wal PATH     SIGKILL-and-restart durability\n\
+         \x20       [--cycles N] [--checkpoint-every N]           soak against `ned-cli serve\n\
+         \x20       [--kill-min-ms N] [--kill-max-ms N] [--seed S] --wal` (exact recovery check)\n"
     );
 }
 
@@ -525,28 +555,7 @@ fn cmd_smoke(raw: &[String]) -> Result<(), String> {
     // Replay a sample of knn queries against the quiesced server and
     // demand hit-for-hit agreement with a single-threaded linear scan
     // over the index file.
-    let mut checked = 0usize;
-    for (i, (_, sig)) in local.forest().entries().enumerate() {
-        if i % (local.len() / 12).max(1) != 0 {
-            continue;
-        }
-        let shape = ned_tree::serialize::print(sig.tree());
-        let reply = probe_client
-            .call(&format!("sig {shape} 5"))
-            .map_err(|e| format!("spot check query: {e}"))?;
-        let got = parse_hits(&reply)?;
-        let want: Vec<(u64, f64)> = local
-            .scan(sig, 5)
-            .iter()
-            .map(|h| (h.id, h.distance))
-            .collect();
-        if got != want {
-            return Err(format!(
-                "DIVERGENCE on probe {i}: server {got:?} vs linear scan {want:?}"
-            ));
-        }
-        checked += 1;
-    }
+    let checked = linear_spot_check(&mut probe_client, &local)?;
 
     println!(
         "smoke: ok — {} reads across {readers} reader(s), {writes} net-zero write pairs \
@@ -573,11 +582,490 @@ fn star_shape(width: usize) -> String {
 }
 
 fn query_epoch(client: &mut WireClient) -> Result<u64, String> {
+    Ok(query_epoch_len(client)?.0)
+}
+
+/// Parses the full `ok epoch=<e> len=<n>` reply.
+fn query_epoch_len(client: &mut WireClient) -> Result<(u64, u64), String> {
     let reply = client.call("epoch").map_err(|e| e.to_string())?;
-    reply
-        .trim()
-        .strip_prefix("ok epoch=")
-        .and_then(|s| s.split(' ').next())
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("malformed epoch reply {reply:?}"))
+    let parsed = reply.trim().strip_prefix("ok epoch=").and_then(|rest| {
+        let (epoch, rest) = rest.split_once(' ')?;
+        let len = rest.strip_prefix("len=")?;
+        Some((epoch.parse().ok()?, len.parse().ok()?))
+    });
+    parsed.ok_or_else(|| format!("malformed epoch reply {reply:?}"))
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+// ---------------------------------------------------------------------------
+// chaos: fault-injecting proxy soak
+// ---------------------------------------------------------------------------
+
+fn cmd_chaos(raw: &[String]) -> Result<(), String> {
+    use ned_bench::chaos::{ChaosConfig, ChaosProxy};
+    use std::net::ToSocketAddrs;
+    let flags = Flags::parse(raw)?;
+    let addr = flags.require("addr")?.to_string();
+    let index_path = flags.require("index")?;
+    let clients: usize = flags.get("clients", 3)?;
+    let ops: usize = flags.get("ops", 150)?;
+    let seed: u64 = flags.get("seed", 0xC405)?;
+
+    let local =
+        SignatureIndex::load(Path::new(index_path)).map_err(|e| format!("{index_path}: {e}"))?;
+    let shapes: Vec<String> = local
+        .forest()
+        .entries()
+        .enumerate()
+        .filter(|(i, _)| i % (local.len() / 16).max(1) == 0)
+        .map(|(_, (_, sig))| ned_tree::serialize::print(sig.tree()))
+        .collect();
+    if shapes.is_empty() {
+        return Err("index file holds no signatures to probe with".into());
+    }
+    let upstream = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("{addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolves to nothing"))?;
+
+    // The clean control connection dials the server directly — the epoch
+    // it sees now must be the epoch it sees after the storm.
+    let mut direct = connect_patiently(&addr)?;
+    let epoch0 = query_epoch(&mut direct)?;
+
+    let proxy = ChaosProxy::spawn(
+        upstream,
+        ChaosConfig {
+            seed,
+            ..ChaosConfig::default()
+        },
+    )
+    .map_err(|e| format!("chaos proxy: {e}"))?;
+    let proxy_addr = proxy.addr().to_string();
+    println!(
+        "chaos: proxy {proxy_addr} -> {addr}; {clients} client(s) x {ops} ops through the storm"
+    );
+
+    // The chaos fleet: read-only traffic through the proxy. Any single
+    // call may be delayed, severed, or garbled — every outcome is
+    // tolerated per call; the server-side contract is checked directly
+    // afterwards.
+    let (ok_replies, error_frames, severed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let proxy_addr = proxy_addr.as_str();
+                let shapes = &shapes;
+                scope.spawn(move || {
+                    let mut rng = seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut conn: Option<WireClient> = None;
+                    let (mut ok, mut errs, mut cut) = (0u64, 0u64, 0u64);
+                    for i in 0..ops {
+                        let mut client = match conn.take() {
+                            Some(c) => c,
+                            None => match WireClient::connect(proxy_addr) {
+                                Ok(c) => {
+                                    // A truncated frame would otherwise hang
+                                    // this client until the server's idle
+                                    // timeout; give up on a call sooner.
+                                    let _ = c.set_timeouts(
+                                        Some(Duration::from_millis(500)),
+                                        Some(Duration::from_millis(500)),
+                                    );
+                                    c
+                                }
+                                Err(_) => {
+                                    cut += 1;
+                                    std::thread::sleep(Duration::from_millis(10));
+                                    continue;
+                                }
+                            },
+                        };
+                        let shape = &shapes[xorshift(&mut rng) as usize % shapes.len()];
+                        let payload = match i % 3 {
+                            0 => format!("sig {shape} 3"),
+                            1 => "epoch".to_string(),
+                            _ => format!("epoch\nsig {shape} 2"),
+                        };
+                        match client.call(&payload) {
+                            Ok(reply) => {
+                                if reply.contains("error:") {
+                                    errs += 1;
+                                } else {
+                                    ok += 1;
+                                }
+                                conn = Some(client);
+                            }
+                            Err(_) => cut += 1,
+                        }
+                    }
+                    (ok, errs, cut)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos client panicked"))
+            .fold((0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
+    });
+
+    let stats = proxy.stop();
+    println!("chaos: proxy injected {stats}");
+    println!(
+        "chaos: clients saw {ok_replies} clean replies, {error_frames} error frames, \
+         {severed} severed calls"
+    );
+    if stats.faults() == 0 {
+        return Err("the proxy injected no faults — raise --ops until the soak is real".into());
+    }
+
+    // The hard contract, checked on a fresh direct connection: still
+    // serving, nothing corrupted executed as a write, answers exact.
+    let mut direct = connect_patiently(&addr)?;
+    let epoch1 = query_epoch(&mut direct)?;
+    if epoch1 != epoch0 {
+        return Err(format!(
+            "epoch moved {epoch0} -> {epoch1} under read-only chaos — a corrupted \
+             frame was executed as a write"
+        ));
+    }
+    let checked = linear_spot_check(&mut direct, &local)?;
+    println!(
+        "chaos: ok — server survived the storm; {checked} direct probes matched the linear scan"
+    );
+    Ok(())
+}
+
+/// Replays a sample of knn queries and demands hit-for-hit agreement
+/// with a single-threaded linear scan over the index file.
+fn linear_spot_check(client: &mut WireClient, local: &SignatureIndex) -> Result<usize, String> {
+    let mut checked = 0usize;
+    for (i, (_, sig)) in local.forest().entries().enumerate() {
+        if i % (local.len() / 12).max(1) != 0 {
+            continue;
+        }
+        let shape = ned_tree::serialize::print(sig.tree());
+        let reply = client
+            .call(&format!("sig {shape} 5"))
+            .map_err(|e| format!("spot check query: {e}"))?;
+        let got = parse_hits(&reply)?;
+        let want: Vec<(u64, f64)> = local
+            .scan(sig, 5)
+            .iter()
+            .map(|h| (h.id, h.distance))
+            .collect();
+        if got != want {
+            return Err(format!(
+                "DIVERGENCE on probe {i}: server {got:?} vs linear scan {want:?}"
+            ));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+// ---------------------------------------------------------------------------
+// crash: SIGKILL-and-restart durability soak
+// ---------------------------------------------------------------------------
+
+/// The single write whose acknowledgement a SIGKILL may have eaten. The
+/// WAL journals before the reply, so the op is either fully recovered or
+/// fully absent — never half-applied — and the post-restart epoch/len
+/// pair says which.
+enum Pending {
+    Insert { width: usize },
+    Remove { id: u64 },
+}
+
+fn spawn_server(
+    bin: &str,
+    index: &str,
+    wal: &str,
+    addr: &str,
+    checkpoint_every: u64,
+) -> Result<std::process::Child, String> {
+    std::process::Command::new(bin)
+        .args([
+            "serve",
+            index,
+            "--tcp",
+            addr,
+            "--wal",
+            wal,
+            "--checkpoint-every",
+            &checkpoint_every.to_string(),
+        ])
+        .stdin(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn {bin}: {e}"))
+}
+
+/// Queries the freshly recovered server and reconciles it against the
+/// acknowledged model: epoch and live-set size must match exactly, up to
+/// the one in-flight op the kill may have caught (which the WAL either
+/// captured — then the epoch and len both advanced and the model absorbs
+/// it — or it didn't, and both are unchanged). Then every acknowledged
+/// signature must answer hit-for-hit.
+fn reconcile_and_verify(
+    client: &mut WireClient,
+    model: &mut Vec<(u64, usize)>,
+    acked_epoch: &mut Option<u64>,
+    pending: &mut Option<Pending>,
+    base_len: u64,
+) -> Result<(), String> {
+    let (epoch, len) = query_epoch_len(client)?;
+    let expected_len = base_len + model.len() as u64;
+    match (acked_epoch.as_mut(), pending.take()) {
+        (None, _) => {
+            if len != expected_len {
+                return Err(format!(
+                    "first boot: server len {len}, the index file held {expected_len}"
+                ));
+            }
+            *acked_epoch = Some(epoch);
+        }
+        (Some(acked), None) => {
+            if epoch != *acked || len != expected_len {
+                return Err(format!(
+                    "recovered (epoch {epoch}, len {len}) != acknowledged (epoch {acked}, \
+                     len {expected_len}) with no write in flight"
+                ));
+            }
+        }
+        (Some(acked), Some(Pending::Insert { width })) => {
+            if epoch == *acked && len == expected_len {
+                // The kill beat the journal append: the op never happened.
+            } else if epoch == *acked + 1 && len == expected_len + 1 {
+                // Journaled, applied, ack lost: adopt it — its id is
+                // whatever answers the (unique) star at distance 0.
+                let reply = client
+                    .call(&format!("sig {} 1", star_shape(width)))
+                    .map_err(|e| format!("in-flight insert probe: {e}"))?;
+                let hits = parse_hits(&reply)?;
+                let Some(&(id, 0.0)) = hits.first() else {
+                    return Err(format!(
+                        "len/epoch say the in-flight insert (width {width}) was recovered, \
+                         but the index cannot find it: {hits:?}"
+                    ));
+                };
+                model.push((id, width));
+                *acked += 1;
+            } else {
+                return Err(format!(
+                    "recovered (epoch {epoch}, len {len}) is consistent with neither \
+                     outcome of the in-flight insert (acknowledged epoch {acked}, \
+                     len {expected_len})"
+                ));
+            }
+        }
+        (Some(acked), Some(Pending::Remove { id })) => {
+            if epoch == *acked && len == expected_len {
+                // Never journaled; the id must still be alive (verified below).
+            } else if epoch == *acked + 1 && len == expected_len - 1 {
+                model.retain(|&(mid, _)| mid != id);
+                *acked += 1;
+            } else {
+                return Err(format!(
+                    "recovered (epoch {epoch}, len {len}) is consistent with neither \
+                     outcome of the in-flight remove of {id} (acknowledged epoch {acked}, \
+                     len {expected_len})"
+                ));
+            }
+        }
+    }
+    // Hit-for-hit: every acknowledged star is unique in the index, so its
+    // top-1 must be exactly (its id, distance 0).
+    for &(id, width) in model.iter() {
+        let reply = client
+            .call(&format!("sig {} 1", star_shape(width)))
+            .map_err(|e| format!("verification query for id {id}: {e}"))?;
+        let hits = parse_hits(&reply)?;
+        if hits.first() != Some(&(id, 0.0)) {
+            return Err(format!(
+                "recovered index lost acknowledged id {id} (star width {width}): {hits:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Churns acknowledged writes until the connection dies under the
+/// killer's SIGKILL; returns how many were acknowledged. Star widths are
+/// burned at issue time (not at ack time) so an applied-but-unacked
+/// insert can never collide with a later one.
+fn churn_until_killed(
+    client: &mut WireClient,
+    model: &mut Vec<(u64, usize)>,
+    acked_epoch: &mut u64,
+    pending: &mut Option<Pending>,
+    next_width: &mut usize,
+    rng: &mut u64,
+) -> Result<u64, String> {
+    let mut acked = 0u64;
+    for _ in 0..5_000_000u64 {
+        // Insert-biased so the model grows, but bounded so post-restart
+        // verification stays O(hundreds) of queries.
+        let insert = model.len() < 3 || (!xorshift(rng).is_multiple_of(3) && model.len() < 150);
+        if insert {
+            let width = *next_width;
+            *next_width += 1;
+            *pending = Some(Pending::Insert { width });
+            match client.call(&format!("addsig {}", star_shape(width))) {
+                Ok(reply) => {
+                    let id = parse_id(&reply)?;
+                    model.push((id, width));
+                    *acked_epoch += 1;
+                    *pending = None;
+                    acked += 1;
+                }
+                Err(_) => return Ok(acked), // the SIGKILL landed mid-call
+            }
+        } else {
+            let pick = xorshift(rng) as usize % model.len();
+            let (id, _) = model[pick];
+            *pending = Some(Pending::Remove { id });
+            match client.call(&format!("remove {id}")) {
+                Ok(reply) => {
+                    if reply != format!("ok removed {id}") {
+                        return Err(format!("remove {id}: server said {reply:?}"));
+                    }
+                    model.swap_remove(pick);
+                    *acked_epoch += 1;
+                    *pending = None;
+                    acked += 1;
+                }
+                Err(_) => return Ok(acked),
+            }
+        }
+    }
+    Err("the killer never fired".into())
+}
+
+fn cmd_crash(raw: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(raw)?;
+    let server_bin = flags.require("server-bin")?.to_string();
+    let index_path = flags.require("index")?.to_string();
+    let wal_path = flags.require("wal")?.to_string();
+    let cycles: usize = flags.get("cycles", 3)?;
+    let checkpoint_every: u64 = flags.get("checkpoint-every", 8)?;
+    let kill_min: u64 = flags.get("kill-min-ms", 120)?;
+    let kill_max: u64 = flags.get("kill-max-ms", 400)?;
+    let seed: u64 = flags.get("seed", 0xD1E)?;
+    if kill_max < kill_min {
+        return Err("--kill-max-ms must be >= --kill-min-ms".into());
+    }
+
+    // The acknowledged model starts from the index file the first boot
+    // loads; novel star widths can never collide with anything in it.
+    let local =
+        SignatureIndex::load(Path::new(&index_path)).map_err(|e| format!("{index_path}: {e}"))?;
+    let base_len = local.len() as u64;
+    let mut next_width = local
+        .forest()
+        .entries()
+        .map(|(_, sig)| sig.tree().max_width())
+        .max()
+        .unwrap_or(1)
+        + 1;
+    drop(local);
+
+    // One loopback port for every (re)start of the child.
+    let addr = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+        probe.local_addr().map_err(|e| e.to_string())?.to_string()
+    };
+
+    let mut rng = seed | 1;
+    let mut model: Vec<(u64, usize)> = Vec::new();
+    let mut acked_epoch: Option<u64> = None;
+    let mut pending: Option<Pending> = None;
+    let (mut total_acked, mut kills) = (0u64, 0u64);
+
+    for cycle in 0..cycles {
+        let child = spawn_server(&server_bin, &index_path, &wal_path, &addr, checkpoint_every)?;
+        let mut client = connect_patiently(&addr)?;
+        reconcile_and_verify(
+            &mut client,
+            &mut model,
+            &mut acked_epoch,
+            &mut pending,
+            base_len,
+        )
+        .map_err(|e| format!("cycle {}: {e}", cycle + 1))?;
+        let verified = model.len();
+
+        let child = std::sync::Arc::new(std::sync::Mutex::new(child));
+        let delay =
+            Duration::from_millis(kill_min + xorshift(&mut rng) % (kill_max - kill_min + 1));
+        let killer = {
+            let child = std::sync::Arc::clone(&child);
+            std::thread::spawn(move || {
+                std::thread::sleep(delay);
+                let _ = child.lock().expect("child handle").kill();
+            })
+        };
+        let acked = churn_until_killed(
+            &mut client,
+            &mut model,
+            acked_epoch.as_mut().expect("epoch known after first boot"),
+            &mut pending,
+            &mut next_width,
+            &mut rng,
+        )
+        .map_err(|e| format!("cycle {}: {e}", cycle + 1))?;
+        killer.join().map_err(|_| "killer thread panicked")?;
+        child
+            .lock()
+            .expect("child handle")
+            .wait()
+            .map_err(|e| format!("reaping the killed server: {e}"))?;
+        kills += 1;
+        total_acked += acked;
+        println!(
+            "crash: cycle {} — recovered + verified {verified} acknowledged signatures, \
+             acked {acked} more writes, then SIGKILL after {delay:?}",
+            cycle + 1
+        );
+    }
+
+    // The clean path: recover once more, verify, then `shutdown` must
+    // drain, checkpoint, and exit 0 — twice, so the boot after a drain
+    // checkpoint is verified too.
+    for round in 0..2u32 {
+        let mut child = spawn_server(&server_bin, &index_path, &wal_path, &addr, checkpoint_every)?;
+        let mut client = connect_patiently(&addr)?;
+        reconcile_and_verify(
+            &mut client,
+            &mut model,
+            &mut acked_epoch,
+            &mut pending,
+            base_len,
+        )
+        .map_err(|e| format!("clean round {}: {e}", round + 1))?;
+        let reply = client
+            .call("shutdown")
+            .map_err(|e| format!("shutdown: {e}"))?;
+        if !reply.starts_with("ok draining") {
+            return Err(format!("shutdown: server said {reply:?}"));
+        }
+        let status = child
+            .wait()
+            .map_err(|e| format!("waiting for the draining server: {e}"))?;
+        if !status.success() {
+            return Err(format!("clean shutdown exited with {status}, expected 0"));
+        }
+    }
+    println!(
+        "crash: ok — survived {kills} SIGKILLs, {total_acked} acknowledged writes recovered \
+         exactly; final live set {base_len}+{} signatures, epoch {}",
+        model.len(),
+        acked_epoch.unwrap_or(0)
+    );
+    Ok(())
 }

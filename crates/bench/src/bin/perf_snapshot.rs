@@ -9,7 +9,10 @@
 //! `perf_gate` series), and (since PR 5) whole-graph **ingest** —
 //! shared-frontier bulk extraction vs the independent per-node baseline,
 //! gated at ≥ 3× — plus **delta churn**: ns per maintained edge flip on
-//! a live index (dirty-set recompute only, one publication per flip).
+//! a live index (dirty-set recompute only, one publication per flip),
+//! measured both in-memory and (since PR 6) with every batch journaled
+//! through the write-ahead log (`FsyncPolicy::EveryN(16)`), where the
+//! durability overhead is gated at ≤ 30% of the in-memory trajectory.
 //!
 //! Run with `cargo run --release -p ned-bench --bin perf_snapshot
 //! [output.json]`. Every workload is seeded, so successive runs measure
@@ -137,7 +140,7 @@ struct Entry {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
     let mut entries: Vec<Entry> = Vec::new();
 
     // --- ned_pair: wide-level synthetic trees, collapsed vs dense -------
@@ -451,7 +454,7 @@ fn main() {
         );
     }
     let flips_per_round = flips.len() as f64;
-    let edge_churn_ns = measure(5, 1, || {
+    let edge_churn_ns = measure(15, 1, || {
         for &(a, b) in &flips {
             let add = maintainer.apply(&[ned_graph::GraphDelta::AddEdge(a, b)], &mut delta_writer);
             let del = maintainer.apply(
@@ -467,6 +470,43 @@ fn main() {
         p50_ns: None,
         p99_ns: None,
     });
+    // --- delta churn with a write-ahead log attached --------------------
+    // The identical flip workload, but every maintained batch is
+    // journaled (and periodically fsynced) through the PR 6 WAL before
+    // it publishes — the durable serving configuration. EveryN(16)
+    // group-commits: flushes are scheduled on the WAL's background
+    // syncer thread, so the append path pays encode + checksum + write
+    // but never an inline fdatasync.
+    // Durability must ride along at ≤ 1.3x the in-memory churn cost,
+    // asserted against *this same run* so the gate is hardware-free.
+    let wal_dir = std::env::temp_dir().join(format!("ned-perf-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&wal_dir).expect("create WAL scratch dir");
+    let wal_log_path = wal_dir.join("churn.wal");
+    let wal_index = SignatureIndex::from_graph(&delta_graph, 3, 1024, 0xDE, 1);
+    let mut wal_maintainer = ned_index::GraphMaintainer::attach(&delta_graph, 3, 0, 1);
+    let (mut wal_writer, _wal_reader) = ConcurrentNedIndex::split(wal_index);
+    wal_writer.attach_wal(
+        ned_core::wal::WalWriter::create(&wal_log_path, 0, ned_core::wal::FsyncPolicy::EveryN(16))
+            .expect("create bench WAL"),
+    );
+    let wal_churn_ns = measure(15, 1, || {
+        for &(a, b) in &flips {
+            let add =
+                wal_maintainer.apply(&[ned_graph::GraphDelta::AddEdge(a, b)], &mut wal_writer);
+            let del =
+                wal_maintainer.apply(&[ned_graph::GraphDelta::RemoveEdge(a, b)], &mut wal_writer);
+            std::hint::black_box((add, del));
+        }
+    }) / flips_per_round;
+    entries.push(Entry {
+        name: "delta/ba4000-edge-churn-wal",
+        ns_per_op: wal_churn_ns,
+        p50_ns: None,
+        p99_ns: None,
+    });
+    let wal_overhead = wal_churn_ns / edge_churn_ns;
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
     // What a flip would cost without incremental maintenance: one full
     // re-extraction of every signature at the same k.
     let delta_nodes: Vec<u32> = delta_graph.nodes().collect();
@@ -525,7 +565,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2},\n    \"bounded_knn_speedup_vs_unbounded_forest\": {bounded_speedup:.2},\n    \"memo_warm_speedup_vs_cold\": {:.2},\n    \"loadgen_reader_scaling_4r_vs_1r\": {reader_scaling:.2},\n    \"ingest_bulk_speedup_vs_per_node\": {ingest_speedup:.2},\n    \"delta_flip_speedup_vs_rebuild\": {delta_speedup_vs_rebuild:.2}\n  }}\n}}\n",
+        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2},\n    \"bounded_knn_speedup_vs_unbounded_forest\": {bounded_speedup:.2},\n    \"memo_warm_speedup_vs_cold\": {:.2},\n    \"loadgen_reader_scaling_4r_vs_1r\": {reader_scaling:.2},\n    \"ingest_bulk_speedup_vs_per_node\": {ingest_speedup:.2},\n    \"delta_flip_speedup_vs_rebuild\": {delta_speedup_vs_rebuild:.2},\n    \"delta_wal_overhead_vs_in_memory\": {wal_overhead:.2}\n  }}\n}}\n",
         cold_ns / warm_ns
     ));
     std::fs::write(&out_path, &json).expect("write benchmark snapshot");
@@ -559,5 +599,10 @@ fn main() {
         delta_speedup_vs_rebuild >= 3.0,
         "an incremental edge flip ({edge_churn_ns:.0} ns) is not even 3x cheaper \
          than a full rebuild ({rebuild_ns:.0} ns)"
+    );
+    assert!(
+        wal_overhead <= 1.3,
+        "WAL-journaled churn ({wal_churn_ns:.0} ns/flip) is {wal_overhead:.2}x the \
+         in-memory churn ({edge_churn_ns:.0} ns/flip) — over the 30% durability budget"
     );
 }

@@ -1,0 +1,378 @@
+//! Fault-injecting TCP proxy for chaos-testing the serving layer.
+//!
+//! [`ChaosProxy`] listens on a loopback port and forwards every accepted
+//! connection to an upstream server, injecting faults into the forwarded
+//! byte stream in both directions:
+//!
+//! * **delay** — hold a chunk for [`ChaosConfig::delay`] before
+//!   forwarding it (slow links, GC pauses, overloaded switches);
+//! * **drop** — sever the proxied connection without forwarding the
+//!   chunk (a dying peer, a mid-frame RST);
+//! * **truncate** — forward only a prefix of the chunk and then sever
+//!   the connection (a torn frame: the receiver sees a length prefix
+//!   whose payload never finishes arriving);
+//! * **bit-flip** — flip one bit of the chunk and forward it intact
+//!   otherwise (line corruption; with the wire protocol's length-prefix
+//!   validation this lands as a garbage command, a garbled reply, or a
+//!   bad frame length the server must reject cleanly).
+//!
+//! Fault decisions are driven by a deterministic xorshift stream seeded
+//! from [`ChaosConfig::seed`] and the per-connection sequence number, so
+//! a chaos run is reproducible given the same connection order. The
+//! proxy never touches the upstream server's correctness: the contract
+//! under test is that the *server* survives every injected fault with at
+//! worst a clean per-connection error, while clients connected directly
+//! (not through the proxy) keep getting exact answers.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Fault rates and intensities for a [`ChaosProxy`]. Each `*_one_in`
+/// field is a per-chunk probability of `1/n` (`0` disables that fault).
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Delay one forwarded chunk in this many (0 = never).
+    pub delay_one_in: u32,
+    /// How long a delayed chunk is held.
+    pub delay: Duration,
+    /// Sever one connection in this many chunks without forwarding.
+    pub drop_one_in: u32,
+    /// Truncate one chunk in this many (forward a prefix, then sever).
+    pub truncate_one_in: u32,
+    /// Flip one bit in one chunk in this many.
+    pub bitflip_one_in: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A0_5EED,
+            delay_one_in: 6,
+            delay: Duration::from_millis(15),
+            drop_one_in: 24,
+            truncate_one_in: 16,
+            bitflip_one_in: 10,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shared {
+    conns: AtomicU64,
+    chunks: AtomicU64,
+    delayed: AtomicU64,
+    dropped: AtomicU64,
+    truncated: AtomicU64,
+    bitflipped: AtomicU64,
+}
+
+/// A snapshot of the faults a [`ChaosProxy`] has injected so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Connections proxied.
+    pub conns: u64,
+    /// Chunks forwarded (fault rolls happen per chunk).
+    pub chunks: u64,
+    /// Chunks held for the configured delay.
+    pub delayed: u64,
+    /// Connections severed without forwarding the pending chunk.
+    pub dropped: u64,
+    /// Chunks forwarded as a prefix before severing the connection.
+    pub truncated: u64,
+    /// Chunks forwarded with one bit flipped.
+    pub bitflipped: u64,
+}
+
+impl ChaosStats {
+    /// Total faults injected across every category.
+    pub fn faults(&self) -> u64 {
+        self.delayed + self.dropped + self.truncated + self.bitflipped
+    }
+}
+
+impl std::fmt::Display for ChaosStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} conns, {} chunks; faults: {} delayed, {} dropped, {} truncated, {} bit-flipped",
+            self.conns, self.chunks, self.delayed, self.dropped, self.truncated, self.bitflipped
+        )
+    }
+}
+
+/// The running proxy: a loopback listener whose accepted connections are
+/// pumped to the upstream address through the fault injector. Stop it
+/// with [`ChaosProxy::stop`]; dropping it stops it too.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds a fresh loopback port and starts proxying to `upstream`.
+    pub fn spawn(upstream: SocketAddr, config: ChaosConfig) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, upstream, config, shared, stop))
+        };
+        Ok(ChaosProxy {
+            addr,
+            shared,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The loopback address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current fault counters.
+    pub fn stats(&self) -> ChaosStats {
+        let s = &self.shared;
+        ChaosStats {
+            conns: s.conns.load(Ordering::Relaxed),
+            chunks: s.chunks.load(Ordering::Relaxed),
+            delayed: s.delayed.load(Ordering::Relaxed),
+            dropped: s.dropped.load(Ordering::Relaxed),
+            truncated: s.truncated.load(Ordering::Relaxed),
+            bitflipped: s.bitflipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, lets the pump threads wind down, and returns the
+    /// final fault counters.
+    pub fn stop(mut self) -> ChaosStats {
+        self.halt();
+        self.stats()
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    config: ChaosConfig,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conn_id = 0u64;
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                conn_id += 1;
+                shared.conns.fetch_add(1, Ordering::Relaxed);
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
+                    continue;
+                };
+                for (dir, src, dst) in [(0u64, client, server), (1u64, server2, client2)] {
+                    let config = config.clone();
+                    let shared = Arc::clone(&shared);
+                    let stop = Arc::clone(&stop);
+                    // Seed each pump from (run seed, connection, direction)
+                    // so fault placement is reproducible per stream.
+                    let seed = config.seed ^ conn_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ dir;
+                    std::thread::spawn(move || pump(src, dst, &config, &shared, &stop, seed));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Forwards `src` to `dst`, rolling each fault once per chunk. Severs
+/// both directions on exit so a drop/truncate tears the whole proxied
+/// connection, exactly like a failing link would.
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    config: &ChaosConfig,
+    shared: &Shared,
+    stop: &AtomicBool,
+    seed: u64,
+) {
+    let _ = src.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut rng = seed | 1;
+    let mut buf = [0u8; 2048];
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        shared.chunks.fetch_add(1, Ordering::Relaxed);
+        fn roll(rng: &mut u64, one_in: u32) -> bool {
+            one_in != 0 && xorshift(rng).is_multiple_of(one_in as u64)
+        }
+        if roll(&mut rng, config.bitflip_one_in) {
+            let byte = xorshift(&mut rng) as usize % n;
+            let bit = (xorshift(&mut rng) % 8) as u32;
+            buf[byte] ^= 1u8 << bit;
+            shared.bitflipped.fetch_add(1, Ordering::Relaxed);
+        }
+        if roll(&mut rng, config.delay_one_in) {
+            shared.delayed.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(config.delay);
+        }
+        if roll(&mut rng, config.truncate_one_in) {
+            shared.truncated.fetch_add(1, Ordering::Relaxed);
+            let _ = dst.write_all(&buf[..(n / 2).max(1)]);
+            break;
+        }
+        if roll(&mut rng, config.drop_one_in) {
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        if dst.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// A trivial line-echo upstream for exercising the proxy alone.
+    fn echo_server() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("echo addr");
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut out = stream;
+                    let mut line = String::new();
+                    while let Ok(n) = reader.read_line(&mut line) {
+                        if n == 0 || out.write_all(line.as_bytes()).is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn clean_config_forwards_transparently() {
+        let upstream = echo_server();
+        let off = ChaosConfig {
+            delay_one_in: 0,
+            drop_one_in: 0,
+            truncate_one_in: 0,
+            bitflip_one_in: 0,
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::spawn(upstream, off).expect("spawn proxy");
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect via proxy");
+        conn.write_all(b"hello through the proxy\n").expect("write");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert_eq!(line, "hello through the proxy\n");
+        let stats = proxy.stop();
+        assert_eq!(stats.conns, 1);
+        assert_eq!(stats.faults(), 0, "every fault was disabled: {stats}");
+    }
+
+    #[test]
+    fn faults_fire_and_the_upstream_survives() {
+        let upstream = echo_server();
+        let aggressive = ChaosConfig {
+            seed: 7,
+            delay_one_in: 3,
+            delay: Duration::from_millis(1),
+            drop_one_in: 8,
+            truncate_one_in: 8,
+            bitflip_one_in: 3,
+        };
+        let proxy = ChaosProxy::spawn(upstream, aggressive).expect("spawn proxy");
+        for i in 0..24 {
+            let Ok(mut conn) = TcpStream::connect(proxy.addr()) else {
+                continue;
+            };
+            let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+            for j in 0..8 {
+                if conn
+                    .write_all(format!("ping {i} {j}\n").as_bytes())
+                    .is_err()
+                {
+                    break;
+                }
+                let mut scratch = [0u8; 64];
+                if matches!(conn.read(&mut scratch), Err(_) | Ok(0)) {
+                    break;
+                }
+            }
+        }
+        let stats = proxy.stop();
+        assert!(
+            stats.faults() > 0,
+            "no faults after 24 chaos conns: {stats}"
+        );
+        // The upstream must still answer a clean, direct connection.
+        let mut direct = TcpStream::connect(upstream).expect("upstream died");
+        direct.write_all(b"still alive\n").expect("write direct");
+        let mut reader = BufReader::new(direct);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read direct");
+        assert_eq!(line, "still alive\n");
+    }
+}

@@ -46,6 +46,7 @@ pub mod reference;
 pub mod store;
 mod ted_kernel;
 mod ted_star;
+pub mod wal;
 pub mod weighted;
 pub mod wire;
 

@@ -1,0 +1,558 @@
+//! **NEDWAL1** — an append-only, checksummed write-ahead log.
+//!
+//! The serving layer journals every acknowledged write batch here *before*
+//! publishing it, so a crash (power loss, SIGKILL, OOM) can lose at most
+//! writes that were never acknowledged. The format reuses the NEDSNAP1 /
+//! NEDWIRE1 integrity discipline ([`crate::store::fnv1a64`]) and is
+//! deliberately payload-agnostic: `ned-index` stores encoded `WriteOp`
+//! batches, but any byte payload works.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! header  := magic "NEDWAL1\n" | version u32 | base u64 | fnv1a64(prev 20 bytes) u64
+//! record  := len u32 | payload (len bytes) | fnv1a64(len_le_bytes ++ payload) u64
+//! file    := header record*
+//! ```
+//!
+//! All integers are little-endian. `base` is an opaque caller tag — the
+//! index layer stores the epoch of the snapshot this log extends, so a
+//! checkpoint that saves a new snapshot resets the log with a new base.
+//!
+//! # Torn tails
+//!
+//! A crash mid-append leaves a *torn tail*: a record whose length prefix,
+//! payload, or checksum is incomplete or wrong. [`replay_bytes`] stops at
+//! the last record whose checksum verifies and reports how many bytes of
+//! the file were valid; [`WalWriter::open_appending`] truncates the file to
+//! that length before appending again. A torn tail is an expected crash
+//! artifact, not corruption — only a damaged *header* (or a checksum
+//! mismatch in the middle of otherwise valid data, which also just stops
+//! replay) is surfaced as an error.
+
+use crate::store::{fnv1a64, CodecError};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Leading magic bytes of a NEDWAL1 log file.
+pub const WAL_MAGIC: [u8; 8] = *b"NEDWAL1\n";
+
+/// Current format version.
+pub const WAL_VERSION: u32 = 1;
+
+/// Fixed header size: magic (8) + version (4) + base (8) + checksum (8).
+pub const WAL_HEADER_LEN: usize = 28;
+
+/// Per-record framing overhead: length prefix (4) + checksum (8).
+pub const WAL_RECORD_OVERHEAD: usize = 12;
+
+/// When (and whether) appends are flushed to stable storage.
+///
+/// The policy trades acknowledged-write durability against fsync latency;
+/// see the README's "Durability & crash recovery" section for guidance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every appended record (batch). An acknowledged
+    /// write is on stable storage before the acknowledgement is sent.
+    PerBatch,
+    /// Group commit: every `n` records a flush is *scheduled* on a
+    /// background syncer thread, keeping `fdatasync` latency off the
+    /// append path entirely. A crash can lose the batches of the last
+    /// unfinished flush window — at least the last `n - 1`, plus
+    /// whatever was appended while the in-flight flush ran. Flush
+    /// failures are surfaced on the next [`WalWriter::append`] or
+    /// [`WalWriter::sync`] call.
+    EveryN(u32),
+    /// Never fsync explicitly; the OS flushes on its own schedule. A
+    /// crash loses whatever the page cache had not written back (process
+    /// death alone — e.g. SIGKILL — loses nothing).
+    Never,
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::PerBatch => write!(f, "per-batch"),
+            FsyncPolicy::EveryN(n) => write!(f, "every {n} batches"),
+            FsyncPolicy::Never => write!(f, "os-buffered"),
+        }
+    }
+}
+
+/// The result of scanning a log: every record with a valid checksum, in
+/// append order, plus enough framing detail to resume appending safely.
+#[derive(Debug, Clone)]
+pub struct WalReplay {
+    /// `base` tag from the header (`0` when the header itself was torn).
+    pub base: u64,
+    /// Whether a complete, checksummed header was present. A fresh file
+    /// that crashed during creation has `header_ok == false` and no
+    /// records; the caller should recreate the log.
+    pub header_ok: bool,
+    /// Payloads of all valid records, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// File prefix length (bytes) covered by the header plus all valid
+    /// records — the length to truncate to before appending again.
+    pub valid_bytes: u64,
+    /// `true` when trailing bytes past `valid_bytes` were ignored (torn
+    /// or corrupt tail).
+    pub torn_tail: bool,
+}
+
+/// Scans an in-memory NEDWAL1 image. See [`WalReplay`] for semantics.
+///
+/// # Errors
+///
+/// Returns an error only when the file is demonstrably not a usable WAL:
+/// wrong magic, unsupported version, or a header whose checksum fails
+/// (header writes are tiny and synced at creation, so a damaged header is
+/// corruption, not a crash artifact). A file too short to hold a header is
+/// treated as a torn creation: `Ok` with `header_ok == false`.
+pub fn replay_bytes(bytes: &[u8]) -> Result<WalReplay, CodecError> {
+    if bytes.len() < WAL_HEADER_LEN {
+        return Ok(WalReplay {
+            base: 0,
+            header_ok: false,
+            records: Vec::new(),
+            valid_bytes: 0,
+            torn_tail: !bytes.is_empty(),
+        });
+    }
+    if bytes[..8] != WAL_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let base = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let found = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+    let expected = fnv1a64(&bytes[..20]);
+    if expected != found {
+        return Err(CodecError::ChecksumMismatch { expected, found });
+    }
+
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < 4 {
+            break; // torn length prefix (or clean end of file)
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        // Bound against the bytes actually present before allocating:
+        // a bit-flipped length prefix must not drive a huge allocation.
+        let Some(total) = len.checked_add(WAL_RECORD_OVERHEAD) else {
+            break;
+        };
+        if rest.len() < total {
+            break; // torn payload or checksum
+        }
+        let payload = &rest[4..4 + len];
+        let found = u64::from_le_bytes(rest[4 + len..total].try_into().expect("8 bytes"));
+        if fnv1a64(&rest[..4 + len]) != found {
+            break; // bit rot or a torn rewrite — stop at the last good record
+        }
+        records.push(payload.to_vec());
+        pos += total;
+    }
+
+    Ok(WalReplay {
+        base,
+        header_ok: true,
+        records,
+        valid_bytes: pos as u64,
+        torn_tail: pos != bytes.len(),
+    })
+}
+
+/// Reads and scans a log file. A *missing* file is reported as
+/// `Ok(None)` so callers can distinguish "never had a WAL" from a
+/// damaged one.
+pub fn replay_file(path: &Path) -> io::Result<Option<Result<WalReplay, CodecError>>> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    Ok(Some(replay_bytes(&bytes)))
+}
+
+/// Background group-commit syncer for [`FsyncPolicy::EveryN`].
+///
+/// The append path hands a cloned file handle to this thread and keeps
+/// going; the thread runs `fdatasync` off the hot path. `fdatasync`
+/// flushes everything dirty *at the moment the syscall runs*, so a
+/// request enqueued at time `t` is covered by whichever flush starts
+/// after `t` — dropping a trigger because one is already queued never
+/// widens the loss window.
+struct Syncer {
+    tx: Option<SyncSender<File>>,
+    error: Arc<Mutex<Option<io::Error>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Syncer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Syncer").finish_non_exhaustive()
+    }
+}
+
+impl Syncer {
+    fn spawn() -> Self {
+        let (tx, rx) = sync_channel::<File>(1);
+        let error = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&error);
+        let handle = std::thread::Builder::new()
+            .name("ned-wal-sync".into())
+            .spawn(move || {
+                while let Ok(file) = rx.recv() {
+                    if let Err(e) = file.sync_data() {
+                        *slot.lock().expect("WAL syncer error slot") = Some(e);
+                    }
+                }
+            })
+            .expect("spawn WAL syncer thread");
+        Syncer {
+            tx: Some(tx),
+            error,
+            handle: Some(handle),
+        }
+    }
+
+    /// Schedules a flush of `file`. Returns any error a *previous* flush
+    /// hit, so durability failures stay loud even though they happen off
+    /// the append path.
+    fn request(&self, file: &File) -> io::Result<()> {
+        if let Some(e) = self.take_error() {
+            return Err(e);
+        }
+        match self
+            .tx
+            .as_ref()
+            .expect("syncer alive")
+            .try_send(file.try_clone()?)
+        {
+            // Full: a flush is queued and has not started yet — when it
+            // runs it will cover everything appended so far.
+            Ok(()) | Err(TrySendError::Full(_)) => Ok(()),
+            Err(TrySendError::Disconnected(_)) => Err(io::Error::other("WAL syncer thread died")),
+        }
+    }
+
+    fn take_error(&self) -> Option<io::Error> {
+        self.error.lock().expect("WAL syncer error slot").take()
+    }
+}
+
+impl Drop for Syncer {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Appending side of a NEDWAL1 log.
+///
+/// One writer owns the file at a time (the index layer guarantees this via
+/// the single-`IndexWriter` rule). Appends are buffered only by the OS;
+/// [`FsyncPolicy`] controls when they are forced to stable storage.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    base: u64,
+    policy: FsyncPolicy,
+    unsynced: u32,
+    appended: u64,
+    syncer: Option<Syncer>,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) a log at `path` with the given `base` tag,
+    /// writes the header, and syncs both the file and its parent
+    /// directory so the header survives a crash.
+    pub fn create(path: &Path, base: u64, policy: FsyncPolicy) -> io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN);
+        header.extend_from_slice(&WAL_MAGIC);
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        header.extend_from_slice(&base.to_le_bytes());
+        header.extend_from_slice(&fnv1a64(&header).to_le_bytes());
+        file.write_all(&header)?;
+        file.sync_all()?;
+        sync_parent_dir(path)?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            base,
+            policy,
+            unsynced: 0,
+            appended: 0,
+            syncer: None,
+        })
+    }
+
+    /// Opens an existing log for appending after a replay: truncates any
+    /// torn tail past `valid_bytes` (as reported by [`replay_bytes`]) and
+    /// positions the cursor at the end.
+    ///
+    /// `valid_bytes` must cover at least a full header; recover from a
+    /// header-less file with [`WalWriter::create`] instead.
+    pub fn open_appending(
+        path: &Path,
+        base: u64,
+        valid_bytes: u64,
+        policy: FsyncPolicy,
+    ) -> io::Result<Self> {
+        assert!(
+            valid_bytes >= WAL_HEADER_LEN as u64,
+            "open_appending needs a valid header (got {valid_bytes} bytes)"
+        );
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_bytes)?;
+        file.sync_all()?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            base,
+            policy,
+            unsynced: 0,
+            appended: 0,
+            syncer: None,
+        })
+    }
+
+    /// Appends one record and applies the fsync policy.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(payload.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "WAL record over 4 GiB"))?;
+        let mut buf = Vec::with_capacity(payload.len() + WAL_RECORD_OVERHEAD);
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(payload);
+        buf.extend_from_slice(&fnv1a64(&buf).to_le_bytes());
+        self.file.write_all(&buf)?;
+        self.appended += 1;
+        self.unsynced += 1;
+        match self.policy {
+            FsyncPolicy::PerBatch => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.unsynced = 0;
+                    let syncer = self.syncer.get_or_insert_with(Syncer::spawn);
+                    syncer.request(&self.file)?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forces all appended records to stable storage now, regardless of
+    /// policy — synchronously, on the calling thread. Also surfaces any
+    /// error a background group-commit flush hit since the last call.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(e) = self.syncer.as_ref().and_then(Syncer::take_error) {
+            return Err(e);
+        }
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Restarts the log in place with a new `base` tag (used after a
+    /// checkpoint has made the old records redundant). The previous
+    /// records are gone once this returns.
+    pub fn reset(&mut self, base: u64) -> io::Result<()> {
+        *self = WalWriter::create(&self.path, base, self.policy)?;
+        Ok(())
+    }
+
+    /// The `base` tag this log was created (or last reset) with.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Records appended through this writer since open/reset.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// The fsync policy in force.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Fsyncs the directory containing `path`, making a just-created or
+/// just-renamed entry durable. On platforms where directories cannot be
+/// opened (e.g. Windows), this is a no-op.
+pub fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    match File::open(&parent) {
+        Ok(dir) => dir.sync_all(),
+        // Windows refuses to open directories with File::open; rename
+        // metadata durability is best-effort there.
+        Err(_) if cfg!(windows) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Encodes one record exactly as [`WalWriter::append`] writes it — for
+/// tests and tools that need to splice or inspect log images.
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(payload.len() + WAL_RECORD_OVERHEAD);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&fnv1a64(&buf).to_le_bytes());
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nedwal-test-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let dir = tmpdir();
+        let path = dir.join("log.wal");
+        let mut w = WalWriter::create(&path, 7, FsyncPolicy::PerBatch).unwrap();
+        w.append(b"alpha").unwrap();
+        w.append(b"").unwrap();
+        w.append(&[0xffu8; 300]).unwrap();
+        assert_eq!(w.appended(), 3);
+
+        let replay = replay_file(&path).unwrap().unwrap().unwrap();
+        assert!(replay.header_ok);
+        assert_eq!(replay.base, 7);
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[0], b"alpha");
+        assert_eq!(replay.records[1], b"");
+        assert_eq!(replay.records[2], vec![0xffu8; 300]);
+        assert_eq!(replay.valid_bytes, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let dir = tmpdir();
+        assert!(replay_file(&dir.join("nope.wal")).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_discards_records_and_retags() {
+        let dir = tmpdir();
+        let path = dir.join("log.wal");
+        let mut w = WalWriter::create(&path, 0, FsyncPolicy::Never).unwrap();
+        w.append(b"old").unwrap();
+        w.reset(42).unwrap();
+        w.append(b"new").unwrap();
+        let replay = replay_file(&path).unwrap().unwrap().unwrap();
+        assert_eq!(replay.base, 42);
+        assert_eq!(replay.records, vec![b"new".to_vec()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_appending_truncates_torn_tail() {
+        let dir = tmpdir();
+        let path = dir.join("log.wal");
+        let mut w = WalWriter::create(&path, 1, FsyncPolicy::PerBatch).unwrap();
+        w.append(b"kept").unwrap();
+        drop(w);
+        // Simulate a crash mid-append: half a record at the tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let torn = encode_record(b"torn-away");
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let replay = replay_bytes(&bytes).unwrap();
+        assert!(replay.torn_tail);
+        assert_eq!(replay.records, vec![b"kept".to_vec()]);
+
+        let mut w = WalWriter::open_appending(
+            &path,
+            replay.base,
+            replay.valid_bytes,
+            FsyncPolicy::PerBatch,
+        )
+        .unwrap();
+        w.append(b"after-recovery").unwrap();
+        let replay = replay_file(&path).unwrap().unwrap().unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(
+            replay.records,
+            vec![b"kept".to_vec(), b"after-recovery".to_vec()]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_n_policy_counts_records() {
+        let dir = tmpdir();
+        let path = dir.join("log.wal");
+        let mut w = WalWriter::create(&path, 0, FsyncPolicy::EveryN(3)).unwrap();
+        for i in 0..7u8 {
+            w.append(&[i]).unwrap();
+        }
+        // No crash-visibility assertion possible in-process; just check the
+        // bookkeeping and that an explicit sync resets the counter.
+        assert_eq!(w.appended(), 7);
+        w.sync().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_n_background_flushes_survive_drop_and_reset() {
+        let dir = tmpdir();
+        let path = dir.join("log.wal");
+        let mut w = WalWriter::create(&path, 0, FsyncPolicy::EveryN(2)).unwrap();
+        for i in 0..64u8 {
+            w.append(&[i; 33]).unwrap(); // triggers 32 background flushes
+        }
+        w.sync().unwrap(); // surfaces any background flush error
+        w.reset(9).unwrap(); // drops the old syncer mid-flight
+        w.append(b"post-reset").unwrap();
+        drop(w); // joins the syncer thread without deadlocking
+        let replay = replay_file(&path).unwrap().unwrap().unwrap();
+        assert_eq!(replay.base, 9);
+        assert_eq!(replay.records, vec![b"post-reset".to_vec()]);
+        assert!(!replay.torn_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

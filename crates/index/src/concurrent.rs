@@ -62,6 +62,7 @@
 
 use crate::forest::ForestHit;
 use crate::signatures::SignatureIndex;
+use ned_core::wal::WalWriter;
 use ned_core::NodeSignature;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -189,6 +190,11 @@ impl IndexReader {
 pub struct IndexWriter {
     master: SignatureIndex,
     shared: Arc<Shared>,
+    /// When attached, every batch is journaled here (encoded by
+    /// `crate::durable`) after it is applied to the master but **before**
+    /// it is published — so no reader (and no client acknowledgement) can
+    /// ever observe a state the log does not reproduce.
+    wal: Option<WalWriter>,
 }
 
 impl IndexWriter {
@@ -197,6 +203,34 @@ impl IndexWriter {
         IndexReader {
             shared: Arc::clone(&self.shared),
         }
+    }
+
+    /// The epoch of the currently published state.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Attaches a write-ahead log; every subsequent batch is journaled
+    /// before publication. Attach *after* any recovery replay (replaying
+    /// through an attached log would re-journal the records being
+    /// replayed).
+    pub fn attach_wal(&mut self, wal: WalWriter) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&WalWriter> {
+        self.wal.as_ref()
+    }
+
+    /// Mutable access to the attached log (checkpointing resets it).
+    pub fn wal_mut(&mut self) -> Option<&mut WalWriter> {
+        self.wal.as_mut()
+    }
+
+    /// Detaches and returns the log, leaving the writer ephemeral.
+    pub fn detach_wal(&mut self) -> Option<WalWriter> {
+        self.wal.take()
     }
 
     /// The writer's current (already published) state. Between batches
@@ -209,23 +243,72 @@ impl IndexWriter {
     /// Applies a whole batch to the master copy, then publishes the new
     /// state **once**, atomically. Readers see either the pre-batch or
     /// the post-batch state, never anything in between.
+    ///
+    /// With a WAL attached this panics if the journal append fails; use
+    /// [`IndexWriter::try_apply`] where an I/O failure must be a
+    /// recoverable error (the server's write path does).
     pub fn apply(&mut self, batch: impl IntoIterator<Item = WriteOp>) -> Vec<WriteOutcome> {
-        let outcomes: Vec<WriteOutcome> = batch
-            .into_iter()
-            .map(|op| match op {
-                WriteOp::Insert(sig) => WriteOutcome::Inserted(self.master.insert(sig)),
-                WriteOp::Replace(id, sig) => WriteOutcome::Replaced {
-                    id,
-                    fresh: self.master.insert_at(id, sig),
-                },
-                WriteOp::Remove(id) => WriteOutcome::Removed {
-                    id,
-                    existed: self.master.remove(id),
-                },
-            })
-            .collect();
+        self.try_apply(batch)
+            .expect("write-ahead log append failed")
+    }
+
+    /// [`IndexWriter::apply`] with journal failures surfaced as errors.
+    ///
+    /// The batch is **all-or-nothing against the published state**, even
+    /// under failure:
+    ///
+    /// * a panic inside an op (a poisoned signature, a forest bug) rolls
+    ///   the master back to the published snapshot and re-raises — the
+    ///   batch never happened, and the writer stays usable if the panic
+    ///   is caught downstream (the server isolates it per connection);
+    /// * a WAL append error rolls back the same way and returns `Err` —
+    ///   an unjournaled batch is never published, so every state a reader
+    ///   (or an acknowledged client) can see is reproducible from
+    ///   snapshot + log.
+    pub fn try_apply(
+        &mut self,
+        batch: impl IntoIterator<Item = WriteOp>,
+    ) -> std::io::Result<Vec<WriteOutcome>> {
+        let ops: Vec<WriteOp> = batch.into_iter().collect();
+        // Encode before the ops are consumed; the record carries the
+        // epoch this batch will publish as.
+        let record = self
+            .wal
+            .as_ref()
+            .map(|_| crate::durable::encode_batch(self.epoch() + 1, &ops));
+        let master = &mut self.master;
+        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            ops.into_iter()
+                .map(|op| match op {
+                    WriteOp::Insert(sig) => WriteOutcome::Inserted(master.insert(sig)),
+                    WriteOp::Replace(id, sig) => WriteOutcome::Replaced {
+                        id,
+                        fresh: master.insert_at(id, sig),
+                    },
+                    WriteOp::Remove(id) => WriteOutcome::Removed {
+                        id,
+                        existed: master.remove(id),
+                    },
+                })
+                .collect::<Vec<WriteOutcome>>()
+        }));
+        let outcomes = match applied {
+            Ok(outcomes) => outcomes,
+            Err(panic) => {
+                // Roll the possibly half-applied master back to the
+                // published (pre-batch) state, then let the panic travel.
+                self.master = (*self.shared.snapshot()).clone();
+                std::panic::resume_unwind(panic);
+            }
+        };
+        if let (Some(wal), Some(record)) = (self.wal.as_mut(), record) {
+            if let Err(e) = wal.append(&record) {
+                self.master = (*self.shared.snapshot()).clone();
+                return Err(e);
+            }
+        }
         self.publish();
-        outcomes
+        Ok(outcomes)
     }
 
     /// Single-op convenience: [`WriteOp::Insert`] as its own batch.
@@ -281,16 +364,34 @@ impl ConcurrentNedIndex {
 
     /// Splits `index` into the one writer and a first reader.
     pub fn split(index: SignatureIndex) -> (IndexWriter, IndexReader) {
+        Self::split_at(index, 0)
+    }
+
+    /// [`ConcurrentNedIndex::split`] with the epoch counter starting at
+    /// `epoch` — recovery uses this so a restored index resumes the epoch
+    /// sequence it crashed at instead of restarting from 0.
+    pub fn split_at(index: SignatureIndex, epoch: u64) -> (IndexWriter, IndexReader) {
         let shared = Arc::new(Shared {
             current: RwLock::new(Arc::new(index.clone())),
-            epoch: AtomicU64::new(0),
+            epoch: AtomicU64::new(epoch),
         });
         let writer = IndexWriter {
             master: index,
             shared: Arc::clone(&shared),
+            wal: None,
         };
         let reader = IndexReader { shared };
         (writer, reader)
+    }
+
+    /// Wraps an existing writer (typically one that just replayed a WAL
+    /// and had the log re-attached) into the serving facade.
+    pub fn from_writer(writer: IndexWriter) -> Self {
+        let reader = writer.reader();
+        ConcurrentNedIndex {
+            writer: Mutex::new(writer),
+            reader,
+        }
     }
 
     /// A fresh read handle (cheap; clone one per thread).

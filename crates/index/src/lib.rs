@@ -16,6 +16,7 @@
 
 pub mod bk_tree;
 pub mod concurrent;
+pub mod durable;
 pub mod filter;
 pub mod forest;
 pub mod maintain;
@@ -24,10 +25,11 @@ pub mod signatures;
 
 pub use bk_tree::{BkTree, IntFnMetric, IntMetric};
 pub use concurrent::{ConcurrentNedIndex, IndexReader, IndexWriter, WriteOp, WriteOutcome};
+pub use durable::{DurableError, DurableIndex, DurableOptions, RecoveryReport};
 pub use filter::{filter_refine_knn, BoundedMetric, FilteredKnn, FnBoundedMetric};
 pub use forest::{ForestHit, ForestStats, ShardedVpForest};
 pub use maintain::{DeltaReport, GraphMaintainer};
-pub use server::{Dispatch, NedServer, WireClient};
+pub use server::{Dispatch, NedServer, ServerConfig, WireClient};
 pub use signatures::{SignatureIndex, SignatureMetric, UnboundedSignatureMetric};
 
 use rand::Rng;

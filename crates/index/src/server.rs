@@ -1,5 +1,5 @@
-//! The **serving front-end** over [`crate::concurrent::ConcurrentNedIndex`]:
-//! one command dispatcher shared by every surface, a dependency-free
+//! The **serving front-end** over [`crate::durable::DurableIndex`]: one
+//! command dispatcher shared by every surface, a dependency-free
 //! `std::net` TCP server speaking the framed batch protocol, and the
 //! matching client.
 //!
@@ -28,6 +28,8 @@
 //!                                     and published as one epoch
 //! stats | epoch | help | quit
 //! save <path>                         persist the current index
+//! checkpoint                          snapshot + reset the WAL now
+//! shutdown                            drain, checkpoint, exit cleanly
 //! ```
 //!
 //! # The batch protocol
@@ -46,8 +48,30 @@
 //! fails checksum/magic/length validation gets a best-effort
 //! `error: ...` reply and the connection is closed: once framing sync is
 //! lost the stream cannot be trusted.
+//!
+//! # Fault tolerance
+//!
+//! The server is built to keep serving through misbehaving clients and
+//! its own bugs ([`ServerConfig`] holds the knobs):
+//!
+//! * every accepted socket gets **read/write timeouts**, so a wedged or
+//!   malicious client cannot pin a connection thread forever;
+//! * admissions are capped at [`ServerConfig::max_conns`]; excess
+//!   connections get a clean `error: server overloaded ...` frame and
+//!   are closed — never silently dropped, never unbounded threads;
+//! * command execution is wrapped in `catch_unwind` (per command *and*
+//!   per connection), so a panicking handler poisons at most its own
+//!   connection — the writer's panic-atomic rollback (see
+//!   [`IndexWriter::try_apply`]) keeps the index itself consistent;
+//! * `shutdown` drains: the acceptor stops, in-flight frames finish,
+//!   idle connections are nudged closed, a final checkpoint runs, and
+//!   [`NedServer::serve_tcp`] returns `Ok(())` so the process can exit 0.
+//!
+//! All of it is observable: `stats` reports accepted/active/timeout/
+//! overload/panic counters next to the durability line.
 
-use crate::concurrent::{ConcurrentNedIndex, IndexReader, IndexWriter};
+use crate::concurrent::{IndexReader, IndexWriter, WriteOp, WriteOutcome};
+use crate::durable::DurableIndex;
 use crate::forest::ForestHit;
 use crate::maintain::GraphMaintainer;
 use crate::signatures::SignatureIndex;
@@ -55,9 +79,12 @@ use ned_core::{wire, NodeSignature, PreparedTree, TedMemo, WorkerPool};
 use ned_graph::{io as graph_io, Graph, GraphDelta, NodeId};
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Outcome of dispatching one command line.
 pub enum Dispatch {
@@ -65,13 +92,61 @@ pub enum Dispatch {
     Reply(String),
     /// The client asked to end the session (`quit` / `exit`).
     Quit,
+    /// The client asked the whole server to drain and exit (`shutdown`).
+    /// The accept loop stops; the surface should end its session too.
+    Shutdown,
 }
 
-/// The shared serving state: concurrent index, graph cache, worker pool.
+/// Serving limits and fault-tolerance knobs. `Default` suits tests and
+/// the REPL; `ned-cli serve` exposes the connection cap as `--max-conns`.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Per-socket read timeout (`None` = block forever). A connection
+    /// idle past this is closed with an `error: socket timeout` frame.
+    pub read_timeout: Option<Duration>,
+    /// Per-socket write timeout (`None` = block forever) — protects
+    /// against clients that stop draining their receive buffer.
+    pub write_timeout: Option<Duration>,
+    /// Admission cap: connections accepted while this many are already
+    /// active get an `error: server overloaded` frame and are closed.
+    pub max_conns: usize,
+    /// How long `shutdown` waits for in-flight connections — applied
+    /// twice: once politely, once after force-closing idle sockets.
+    pub drain_grace: Duration,
+    /// Enables the hidden `__panic` command that panics inside the
+    /// dispatcher — the fault-injection hook for panic-isolation tests.
+    /// Never enable outside tests.
+    pub enable_test_panic: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_conns: 256,
+            drain_grace: Duration::from_secs(2),
+            enable_test_panic: false,
+        }
+    }
+}
+
+/// Monotonic serving counters, reported by `stats`.
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    timeouts: AtomicU64,
+    overloaded: AtomicU64,
+    panics: AtomicU64,
+    checkpoint_failures: AtomicU64,
+    active: AtomicUsize,
+}
+
+/// The shared serving state: durable index, graph cache, worker pool.
 /// Cheap to share — wrap in an [`Arc`] and hand clones to every
 /// connection thread (see [`NedServer::serve_tcp`]).
 pub struct NedServer {
-    index: ConcurrentNedIndex,
+    index: DurableIndex,
     /// Parsed edge-list files, cached across commands and connections.
     graphs: Mutex<HashMap<String, Arc<Graph>>>,
     /// The tracked mutating graph behind `addedge`/`deledge`
@@ -84,21 +159,58 @@ pub struct NedServer {
     /// Intra-query fan-out passed to the forest (`1` is right for
     /// concurrent serving: requests, not shards, should fill the cores).
     query_threads: usize,
+    config: ServerConfig,
+    /// Set by `shutdown`; the acceptor checks it per accepted connection
+    /// and connection loops check it per frame.
+    shutting_down: AtomicBool,
+    /// Where the acceptor is listening — `initiate_shutdown` connects
+    /// here once to wake a blocked `accept`.
+    local_addr: Mutex<Option<SocketAddr>>,
+    /// Clones of every live connection's stream, so drain can nudge
+    /// idle keep-alive clients closed.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_seq: AtomicU64,
+    counters: Counters,
 }
 
 impl NedServer {
-    /// Wraps `index` for serving. `query_threads` is the per-query shard
-    /// fan-out (`0` = all cores — right for a single-user REPL, wrong for
-    /// a concurrent server, which should pass `1`); `pool_threads` sizes
-    /// the batch pool (`0` = all cores).
+    /// Wraps `index` for **ephemeral** serving (no WAL, no checkpoints).
+    /// `query_threads` is the per-query shard fan-out (`0` = all cores —
+    /// right for a single-user REPL, wrong for a concurrent server, which
+    /// should pass `1`); `pool_threads` sizes the batch pool (`0` = all
+    /// cores).
     pub fn new(index: SignatureIndex, query_threads: usize, pool_threads: usize) -> Self {
+        Self::with_durability(DurableIndex::ephemeral(index), query_threads, pool_threads)
+    }
+
+    /// Serves a [`DurableIndex`] — typically one fresh out of
+    /// [`DurableIndex::recover`], with its WAL attached. Write commands
+    /// journal before acknowledging and checkpoint on the index's cadence.
+    pub fn with_durability(index: DurableIndex, query_threads: usize, pool_threads: usize) -> Self {
         NedServer {
-            index: ConcurrentNedIndex::new(index),
+            index,
             graphs: Mutex::new(HashMap::new()),
             maintained: Mutex::new(None),
             pool: WorkerPool::new(pool_threads),
             query_threads,
+            config: ServerConfig::default(),
+            shutting_down: AtomicBool::new(false),
+            local_addr: Mutex::new(None),
+            conns: Mutex::new(HashMap::new()),
+            conn_seq: AtomicU64::new(0),
+            counters: Counters::default(),
         }
+    }
+
+    /// Replaces the serving limits (builder-style, before sharing).
+    pub fn with_config(mut self, config: ServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The durable index being served (checkpoint paths, cadence, …).
+    pub fn durable(&self) -> &DurableIndex {
+        &self.index
     }
 
     /// Installs `graph` as the tracked graph behind `addedge`/`deledge`,
@@ -138,9 +250,36 @@ impl NedServer {
         result
     }
 
+    /// One raw write op, journaled (when durable) and checkpointed on
+    /// cadence. A WAL append failure is an `error:` reply, **not** an
+    /// acknowledgment — the batch was rolled back and never published.
+    fn write_one(&self, op: WriteOp) -> Result<WriteOutcome, String> {
+        let mut outcomes = self
+            .raw_write(|w| w.try_apply([op]))
+            .map_err(|e| format!("write-ahead log append failed (write not applied): {e}"))?;
+        self.after_write();
+        Ok(outcomes.pop().expect("one op in, one outcome out"))
+    }
+
+    /// Post-acknowledgment bookkeeping: checkpoint when the WAL has
+    /// accumulated a full cadence worth of batches. Checkpoint failures
+    /// are counted (the WAL still has everything) rather than failing
+    /// the already-acknowledged write.
+    fn after_write(&self) {
+        if self.index.checkpoint_if_due().is_err() {
+            self.counters
+                .checkpoint_failures
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Applies one graph delta through the tracked maintainer as one
     /// atomic write batch (one epoch). Errors if no graph is tracked or
-    /// an endpoint is out of range.
+    /// an endpoint is out of range. A panic mid-application (including a
+    /// WAL append failure surfacing through [`IndexWriter::apply`])
+    /// detaches the tracked graph — the maintainer's shadow state can no
+    /// longer be trusted — while the index itself stays consistent via
+    /// the writer's rollback.
     fn apply_delta(&self, delta: GraphDelta) -> Result<String, String> {
         let mut guard = self.maintained.lock().unwrap_or_else(|p| p.into_inner());
         let maintainer = guard
@@ -152,11 +291,27 @@ impl NedServer {
                 return Err(format!("edge ({a}, {b}) out of range ({n} nodes)"));
             }
         }
-        let report = {
+        let applied = catch_unwind(AssertUnwindSafe(|| {
             let mut writer = self.index.writer();
             maintainer.apply(&[delta], &mut writer)
-        };
-        Ok(format!("{report} epoch={}", self.reader().epoch()))
+        }));
+        match applied {
+            Ok(report) => {
+                drop(guard);
+                self.after_write();
+                Ok(format!("{report} epoch={}", self.reader().epoch()))
+            }
+            Err(_) => {
+                *guard = None;
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                Err(
+                    "delta application failed (journal append failure or internal panic); \
+                     the index rolled back to its last published state and the tracked \
+                     graph was detached — re-track to resume"
+                        .into(),
+                )
+            }
+        }
     }
 
     /// A read handle onto the served index.
@@ -164,8 +319,9 @@ impl NedServer {
         self.index.reader()
     }
 
-    /// One-line summary of the current snapshot plus the TED\* memo's
-    /// effectiveness counters (the `stats` reply body).
+    /// Multi-line summary of the current snapshot, the TED\* memo's
+    /// effectiveness counters, the serving counters, and the durability
+    /// configuration (the `stats` reply body).
     pub fn stats_line(&self) -> String {
         let snap = self.reader().snapshot();
         let stats = snap.stats();
@@ -178,9 +334,11 @@ impl NedServer {
             Some(m) => format!("{} nodes / {} edges", m.num_nodes(), m.num_edges()),
             None => "none".to_string(),
         };
+        let c = &self.counters;
         format!(
             "signatures: {} (k = {}), buffer {}, shards {:?}, tombstones {}, epoch {}, \
-             tracking {tracking}\nmemo: {}",
+             tracking {tracking}\nmemo: {}\nserver: accepted {}, active {}, timeouts {}, \
+             overloaded {}, panics isolated {}, checkpoint failures {}\n{}",
             stats.len,
             snap.k(),
             stats.buffer,
@@ -188,6 +346,13 @@ impl NedServer {
             stats.tombstones,
             self.reader().epoch(),
             TedMemo::global().stats(),
+            c.accepted.load(Ordering::Relaxed),
+            c.active.load(Ordering::Relaxed),
+            c.timeouts.load(Ordering::Relaxed),
+            c.overloaded.load(Ordering::Relaxed),
+            c.panics.load(Ordering::Relaxed),
+            c.checkpoint_failures.load(Ordering::Relaxed),
+            self.index.describe(),
         )
     }
 
@@ -197,6 +362,25 @@ impl NedServer {
         match self.try_dispatch(line.trim()) {
             Ok(d) => d,
             Err(msg) => Dispatch::Reply(format!("error: {msg}")),
+        }
+    }
+
+    /// [`NedServer::dispatch`] behind a panic shield: a handler that
+    /// panics answers `error: internal panic ...` instead of unwinding
+    /// into (and killing) whatever thread is serving the surface. The
+    /// index stays consistent — [`IndexWriter::try_apply`] rolls the
+    /// master copy back to the published snapshot before re-raising.
+    pub fn dispatch_isolated(&self, line: &str) -> Dispatch {
+        match catch_unwind(AssertUnwindSafe(|| self.dispatch(line))) {
+            Ok(d) => d,
+            Err(_) => {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                Dispatch::Reply(
+                    "error: internal panic while executing the command; the index rolled \
+                     back to its last published state and the server is still serving"
+                        .to_string(),
+                )
+            }
         }
     }
 
@@ -213,9 +397,12 @@ impl NedServer {
                 .map(|l| {
                     let server = Arc::clone(self);
                     let line = l.to_string();
-                    move || match server.dispatch(&line) {
+                    // The isolation matters doubly here: a panic that
+                    // escaped a pool job would kill a pool worker and
+                    // poison every later batch frame.
+                    move || match server.dispatch_isolated(&line) {
                         Dispatch::Reply(r) => r,
-                        Dispatch::Quit => unreachable!("read-only lines never quit"),
+                        _ => unreachable!("read-only lines never end the session"),
                     }
                 })
                 .collect();
@@ -223,10 +410,18 @@ impl NedServer {
         }
         let mut replies = Vec::with_capacity(lines.len());
         for l in &lines {
-            match self.dispatch(l) {
+            match self.dispatch_isolated(l) {
                 Dispatch::Reply(r) => replies.push(r),
                 Dispatch::Quit => {
                     replies.push("ok bye".to_string());
+                    return (replies.join("\n"), true);
+                }
+                Dispatch::Shutdown => {
+                    replies.push(
+                        "ok draining: in-flight connections finish, a final checkpoint \
+                         runs, then the server exits"
+                            .to_string(),
+                    );
                     return (replies.join("\n"), true);
                 }
             }
@@ -234,21 +429,106 @@ impl NedServer {
         (replies.join("\n"), false)
     }
 
-    /// Accept loop: one thread per connection, all sharing this server.
-    /// Runs until the listener itself fails; individual connection errors
-    /// only end that connection.
-    pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
-        for conn in listener.incoming() {
-            let stream = conn?;
-            let server = Arc::clone(self);
-            std::thread::spawn(move || server.handle_conn(stream));
+    /// Flips the drain flag and wakes the acceptor with a throwaway
+    /// loopback connection (an accept blocked in the kernel cannot see
+    /// an atomic). Idempotent; the `shutdown` command lands here.
+    pub fn initiate_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        let addr = *self.local_addr.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(addr) = addr {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
         }
-        Ok(())
     }
 
-    fn handle_conn(self: Arc<Self>, stream: TcpStream) {
-        let mut read_half = &stream;
-        let mut write_half = &stream;
+    /// Whether `shutdown` has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Final checkpoint (snapshot + WAL reset); `Ok(None)` when serving
+    /// ephemerally. The drain path and the CLI's session teardown both
+    /// call this so a clean exit never needs log replay on the next boot.
+    pub fn finalize(&self) -> std::io::Result<Option<u64>> {
+        self.index.checkpoint()
+    }
+
+    /// Accept loop: one thread per connection, all sharing this server.
+    /// Runs until the listener fails or `shutdown` drains it; individual
+    /// connection errors only end that connection. On shutdown the loop
+    /// stops accepting, waits out in-flight frames (force-closing idle
+    /// sockets after [`ServerConfig::drain_grace`]), runs a final
+    /// checkpoint, and returns `Ok(())` so the process can exit 0.
+    pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        *self.local_addr.lock().unwrap_or_else(|p| p.into_inner()) = listener.local_addr().ok();
+        for conn in listener.incoming() {
+            if self.is_shutting_down() {
+                break;
+            }
+            let stream = conn?;
+            self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            // The accept loop is the only incrementer of `active`, so
+            // check-then-increment cannot race past the cap.
+            let active = self.counters.active.load(Ordering::Relaxed);
+            if active >= self.config.max_conns {
+                self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                let mut w = &stream;
+                let _ = wire::write_frame(
+                    &mut w,
+                    format!(
+                        "error: server overloaded ({active}/{} connections); retry later",
+                        self.config.max_conns
+                    )
+                    .as_bytes(),
+                );
+                continue; // drop closes the socket
+            }
+            self.counters.active.fetch_add(1, Ordering::Relaxed);
+            let id = self.conn_seq.fetch_add(1, Ordering::Relaxed);
+            if let Ok(clone) = stream.try_clone() {
+                self.conns
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .insert(id, clone);
+            }
+            let server = Arc::clone(self);
+            std::thread::spawn(move || {
+                // Belt over the per-command suspenders: nothing a
+                // connection does may unwind into the process.
+                if catch_unwind(AssertUnwindSafe(|| server.handle_conn(&stream))).is_err() {
+                    server.counters.panics.fetch_add(1, Ordering::Relaxed);
+                }
+                server.counters.active.fetch_sub(1, Ordering::Relaxed);
+                server
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .remove(&id);
+            });
+        }
+        self.drain();
+        self.finalize().map(|_| ())
+    }
+
+    /// Waits for in-flight connections, then force-closes stragglers and
+    /// waits once more. Every wait is bounded by the drain grace.
+    fn drain(&self) {
+        let wait = |deadline: Instant| {
+            while self.counters.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        };
+        wait(Instant::now() + self.config.drain_grace);
+        for (_, conn) in self.conns.lock().unwrap_or_else(|p| p.into_inner()).drain() {
+            let _ = conn.shutdown(SocketShutdown::Both);
+        }
+        wait(Instant::now() + self.config.drain_grace);
+    }
+
+    fn handle_conn(self: &Arc<Self>, stream: &TcpStream) {
+        let _ = stream.set_read_timeout(self.config.read_timeout);
+        let _ = stream.set_write_timeout(self.config.write_timeout);
+        let mut read_half = stream;
+        let mut write_half = stream;
         loop {
             match wire::read_frame(&mut read_half) {
                 Ok(None) => return, // clean disconnect
@@ -256,7 +536,9 @@ impl NedServer {
                     let reply = match String::from_utf8(payload) {
                         Ok(text) => {
                             let (reply, quit) = self.handle_payload(&text);
-                            if wire::write_frame(&mut write_half, reply.as_bytes()).is_err() || quit
+                            if wire::write_frame(&mut write_half, reply.as_bytes()).is_err()
+                                || quit
+                                || self.is_shutting_down()
                             {
                                 return;
                             }
@@ -267,6 +549,21 @@ impl NedServer {
                     if wire::write_frame(&mut write_half, reply.as_bytes()).is_err() {
                         return;
                     }
+                }
+                Err(wire::WireError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // The socket timeout fired: the client is wedged (or
+                    // just idle past the limit). Say why, then hang up.
+                    self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    let _ = wire::write_frame(
+                        &mut write_half,
+                        b"error: socket timeout; closing connection",
+                    );
+                    return;
                 }
                 Err(e) => {
                     // Framing sync is gone (bad length, magic, or
@@ -283,6 +580,10 @@ impl NedServer {
         let reply = match tokens.as_slice() {
             [] | ["#", ..] => String::new(),
             ["quit"] | ["exit"] => return Ok(Dispatch::Quit),
+            ["shutdown"] => {
+                self.initiate_shutdown();
+                return Ok(Dispatch::Shutdown);
+            }
             ["help"] => HELP.to_string(),
             ["stats"] => format!("{}\nok", self.stats_line()),
             ["epoch"] => {
@@ -315,18 +616,23 @@ impl NedServer {
             }
             ["add", path, node] => {
                 let sig = self.extract(path, node)?;
-                format!("ok id={}", self.raw_write(|w| w.insert(sig)))
+                match self.write_one(WriteOp::Insert(sig))? {
+                    WriteOutcome::Inserted(id) => format!("ok id={id}"),
+                    _ => unreachable!("insert answers Inserted"),
+                }
             }
             ["addsig", shape] => {
                 let sig = parse_sig(shape)?;
-                format!("ok id={}", self.raw_write(|w| w.insert(sig)))
+                match self.write_one(WriteOp::Insert(sig))? {
+                    WriteOutcome::Inserted(id) => format!("ok id={id}"),
+                    _ => unreachable!("insert answers Inserted"),
+                }
             }
             ["remove", id] => {
                 let id: u64 = id.parse().map_err(|_| format!("bad id {id:?}"))?;
-                if self.raw_write(|w| w.remove(id)) {
-                    format!("ok removed {id}")
-                } else {
-                    format!("ok no such id {id}")
+                match self.write_one(WriteOp::Remove(id))? {
+                    WriteOutcome::Removed { existed: true, .. } => format!("ok removed {id}"),
+                    _ => format!("ok no such id {id}"),
                 }
             }
             ["track", path] => {
@@ -348,6 +654,14 @@ impl NedServer {
                     .save(Path::new(path))
                     .map_err(|e| format!("{path}: {e}"))?;
                 format!("ok saved {path}")
+            }
+            ["checkpoint"] => match self.index.checkpoint() {
+                Ok(Some(epoch)) => format!("ok checkpoint epoch={epoch}"),
+                Ok(None) => "ok ephemeral index; nothing to checkpoint".to_string(),
+                Err(e) => return Err(format!("checkpoint failed: {e}")),
+            },
+            ["__panic"] if self.config.enable_test_panic => {
+                panic!("test-injected panic (`__panic` command)")
             }
             _ => return Err(format!("unrecognized command {line:?}; try `help`")),
         };
@@ -394,7 +708,9 @@ impl NedServer {
 
 /// Whether a command line only reads — the batch-fan-out eligibility
 /// test. Unknown commands count as reads: they produce an error reply
-/// without touching anything.
+/// without touching anything. `shutdown`, `checkpoint`, and the
+/// fault-injection `__panic` must run on the connection thread, never a
+/// pool worker, so they count as writes here.
 fn is_read_only(line: &str) -> bool {
     !matches!(
         line.split_whitespace().next(),
@@ -407,6 +723,9 @@ fn is_read_only(line: &str) -> bool {
             | Some("track")
             | Some("addedge")
             | Some("deledge")
+            | Some("checkpoint")
+            | Some("shutdown")
+            | Some("__panic")
     )
 }
 
@@ -454,9 +773,12 @@ const HELP: &str = "commands:\n\
     \x20 addedge <a> <b>                    add a tracked-graph edge; only\n\
     \x20 deledge <a> <b>                    the (k-1)-hop dirty set is\n\
     \x20                                    recomputed, one epoch per delta\n\
-    \x20 stats                              index shape + epoch + memo\n\
+    \x20 stats                              index shape + epoch + memo +\n\
+    \x20                                    serving counters + durability\n\
     \x20 epoch                              publication count + live size\n\
     \x20 save <path>                        persist the current index\n\
+    \x20 checkpoint                         snapshot now + reset the WAL\n\
+    \x20 shutdown                           drain, checkpoint, exit cleanly\n\
     \x20 quit\n\
     ok";
 
@@ -464,14 +786,40 @@ const HELP: &str = "commands:\n\
 /// load generator, and the loopback tests.
 pub struct WireClient {
     stream: TcpStream,
+    /// The resolved peer, remembered for [`WireClient::reconnect`].
+    addr: Option<SocketAddr>,
 }
 
 impl WireClient {
     /// Connects to a serving `ned-cli serve --tcp` address.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        Ok(WireClient {
-            stream: TcpStream::connect(addr)?,
-        })
+        let stream = TcpStream::connect(addr)?;
+        let addr = stream.peer_addr().ok();
+        Ok(WireClient { stream, addr })
+    }
+
+    /// Applies socket timeouts so a dead or drained server surfaces as a
+    /// timely error instead of a hung client.
+    pub fn set_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)
+    }
+
+    /// Drops the current stream and dials the remembered peer address
+    /// again. Any reply in flight on the old stream is lost.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let addr = self.addr.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "peer address unknown; cannot reconnect",
+            )
+        })?;
+        self.stream = TcpStream::connect(addr)?;
+        Ok(())
     }
 
     /// Sends one payload (one command, or a newline-separated batch) and
@@ -479,6 +827,36 @@ impl WireClient {
     pub fn call(&mut self, payload: &str) -> Result<String, wire::WireError> {
         self.send_raw(payload.as_bytes())?;
         self.read_reply()
+    }
+
+    /// [`WireClient::call`] with bounded exponential-backoff
+    /// reconnect-and-retry, for payloads that are safe to send twice —
+    /// **idempotent reads only**. A retried write could double-apply: the
+    /// server may have executed a call whose reply was lost. Waits 20 ms
+    /// before the second attempt, doubling up to 2 s, `attempts` tries
+    /// total; returns the last error if none succeed.
+    pub fn call_idempotent(
+        &mut self,
+        payload: &str,
+        attempts: u32,
+    ) -> Result<String, wire::WireError> {
+        let mut delay = Duration::from_millis(20);
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_secs(2));
+                if let Err(e) = self.reconnect() {
+                    last = Some(wire::WireError::Io(e));
+                    continue;
+                }
+            }
+            match self.call(payload) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
     }
 
     /// Sends raw payload bytes without reading a reply. Only useful

@@ -77,8 +77,13 @@ impl BoundedMetric<NodeSignature> for UnboundedSignatureMetric {
 
 /// Magic bytes opening a persisted signature index.
 pub const INDEX_MAGIC: [u8; 8] = *b"NEDIDX01";
-/// Current index file format version.
+/// Index file format version without an epoch field (plain saves).
 pub const INDEX_VERSION: u32 = 1;
+/// Index file format version carrying the publication epoch the snapshot
+/// was taken at — written by checkpoints so WAL replay knows which log
+/// records the snapshot already contains. Decoding accepts both versions
+/// (a version-1 file reads back as epoch 0).
+pub const INDEX_VERSION_EPOCH: u32 = 2;
 
 /// A dynamic, persistent k-NN index over node signatures. See the
 /// [module docs](self).
@@ -298,6 +303,18 @@ impl SignatureIndex {
     /// the framed NEDIDX01 format; the embedded signature block is a
     /// standard `ned-core::store` snapshot.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode(None)
+    }
+
+    /// [`SignatureIndex::to_bytes`] in the version-2 framing, embedding
+    /// the publication `epoch` this state corresponds to. Checkpoints use
+    /// this so recovery can skip WAL records the snapshot already
+    /// contains.
+    pub fn to_bytes_at_epoch(&self, epoch: u64) -> Vec<u8> {
+        self.encode(Some(epoch))
+    }
+
+    fn encode(&self, epoch: Option<u64>) -> Vec<u8> {
         let mut entries: Vec<(u64, &NodeSignature)> = self.forest.entries().collect();
         entries.sort_unstable_by_key(|&(id, _)| id);
         let snapshot = store::encode_snapshot(
@@ -307,11 +324,18 @@ impl SignatureIndex {
                 .map(|&(id, sig)| (id, sig.node, sig.prepared())),
         );
         let mut w = Writer::with_magic(&INDEX_MAGIC);
-        w.put_u32(INDEX_VERSION);
+        w.put_u32(if epoch.is_some() {
+            INDEX_VERSION_EPOCH
+        } else {
+            INDEX_VERSION
+        });
         w.put_u32(self.k as u32);
         w.put_u64(self.threshold as u64);
         w.put_u64(self.seed);
         w.put_u64(self.next_id);
+        if let Some(e) = epoch {
+            w.put_u64(e);
+        }
         w.put_block(&snapshot);
         w.finish()
     }
@@ -320,15 +344,27 @@ impl SignatureIndex {
     /// bulk-rebuilt (same live set, same query results — shard layout may
     /// differ, which is invisible through the exact query API).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::decode_with_epoch(bytes).map(|(index, _)| index)
+    }
+
+    /// Decodes either framing version, returning the index together with
+    /// its persisted epoch (`0` for version-1 files, which predate the
+    /// epoch field).
+    pub fn decode_with_epoch(bytes: &[u8]) -> Result<(Self, u64), CodecError> {
         let mut r = Reader::open(bytes, &INDEX_MAGIC)?;
         let version = r.u32()?;
-        if version != INDEX_VERSION {
+        if version != INDEX_VERSION && version != INDEX_VERSION_EPOCH {
             return Err(CodecError::UnsupportedVersion(version));
         }
         let k = r.u32()? as usize;
         let threshold = r.u64()? as usize;
         let seed = r.u64()?;
         let next_id = r.u64()?;
+        let epoch = if version >= INDEX_VERSION_EPOCH {
+            r.u64()?
+        } else {
+            0
+        };
         let snapshot = store::decode_snapshot(r.block()?)?;
         if snapshot.k != k {
             return Err(CodecError::Malformed(format!(
@@ -352,38 +388,59 @@ impl SignatureIndex {
             &SignatureMetric,
             shards,
         );
-        Ok(SignatureIndex {
-            forest,
-            k,
-            threshold,
-            seed,
-            next_id,
-        })
+        Ok((
+            SignatureIndex {
+                forest,
+                k,
+                threshold,
+                seed,
+                next_id,
+            },
+            epoch,
+        ))
     }
 
-    /// [`SignatureIndex::to_bytes`] straight to a file — atomically: the
-    /// bytes land in a sibling temp file that is renamed over `path`, so
-    /// a crash or full disk mid-save can never destroy a previously good
-    /// index (the whole point of persisting one).
+    /// [`SignatureIndex::to_bytes`] straight to a file — atomically *and
+    /// durably*: the bytes land in a synced sibling temp file that is
+    /// renamed over `path`, and the parent directory is fsynced after the
+    /// rename, so a crash at any point leaves either the old complete
+    /// file or the new complete file — never a zero-length or torn one.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let bytes = self.to_bytes();
-        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
-        tmp_name.push(".tmp");
-        let tmp = path.with_file_name(tmp_name);
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, path)
+        write_file_durably(path, &self.to_bytes())
+    }
+
+    /// [`SignatureIndex::save`] in the epoch-carrying version-2 framing
+    /// (same durability discipline) — the checkpoint primitive.
+    pub fn save_at_epoch(&self, epoch: u64, path: &Path) -> std::io::Result<()> {
+        write_file_durably(path, &self.to_bytes_at_epoch(epoch))
     }
 
     /// [`SignatureIndex::from_bytes`] straight from a file.
     pub fn load(path: &Path) -> Result<Self, LoadError> {
+        Self::load_with_epoch(path).map(|(index, _)| index)
+    }
+
+    /// [`SignatureIndex::decode_with_epoch`] straight from a file.
+    pub fn load_with_epoch(path: &Path) -> Result<(Self, u64), LoadError> {
         let mut bytes = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut bytes)?;
-        Ok(Self::from_bytes(&bytes)?)
+        Ok(Self::decode_with_epoch(&bytes)?)
     }
+}
+
+/// Atomic + durable file replacement: write a synced temp sibling, rename
+/// it over `path`, fsync the parent directory.
+fn write_file_durably(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    ned_core::wal::sync_parent_dir(path)
 }
 
 /// Errors from [`SignatureIndex::load`]: I/O or decoding.

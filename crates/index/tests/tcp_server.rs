@@ -6,31 +6,43 @@
 
 use ned_core::{wire, NodeSignature};
 use ned_graph::generators;
-use ned_index::{NedServer, SignatureIndex, WireClient};
+use ned_index::{NedServer, ServerConfig, SignatureIndex, WireClient};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Starts a server over a fresh BA-graph index on an ephemeral loopback
 /// port; returns the address (the listener thread dies with the test
 /// process).
 fn start_server() -> (std::net::SocketAddr, Arc<NedServer>) {
+    let (addr, server, _) = start_server_with(ServerConfig::default());
+    (addr, server)
+}
+
+/// [`start_server`] with explicit serving limits, also returning the
+/// acceptor thread's handle so shutdown tests can join it.
+fn start_server_with(
+    config: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    Arc<NedServer>,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
     let mut rng = SmallRng::seed_from_u64(77);
     let g = generators::barabasi_albert(120, 2, &mut rng);
     let nodes: Vec<u32> = g.nodes().collect();
     let mut index = SignatureIndex::new(2, 32, 1);
     index.insert_graph(&g, &nodes);
-    let server = Arc::new(NedServer::new(index, 1, 2));
+    let server = Arc::new(NedServer::new(index, 1, 2).with_config(config));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
-    {
+    let handle = {
         let server = Arc::clone(&server);
-        std::thread::spawn(move || {
-            let _ = server.serve_tcp(listener);
-        });
-    }
-    (addr, server)
+        std::thread::spawn(move || server.serve_tcp(listener))
+    };
+    (addr, server, handle)
 }
 
 #[test]
@@ -317,4 +329,165 @@ fn queries_over_tcp_match_local_scans() {
         let want: Vec<(u64, f64)> = want.iter().map(|h| (h.id, h.distance)).collect();
         assert_eq!(got, want, "node {node}");
     }
+}
+
+#[test]
+fn overload_cap_rejects_with_a_clean_error_frame() {
+    let (addr, _server, _h) = start_server_with(ServerConfig {
+        max_conns: 1,
+        drain_grace: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let mut first = WireClient::connect(addr).expect("connect first");
+    // Round-trip once so the acceptor has definitely admitted us before
+    // the second connection races in.
+    assert!(first
+        .call("epoch")
+        .expect("first client works")
+        .starts_with("ok"));
+
+    let mut second = WireClient::connect(addr).expect("tcp connect still succeeds");
+    let refusal = second.read_reply().expect("overload frame");
+    assert!(refusal.starts_with("error: server overloaded"), "{refusal}");
+    assert!(
+        second.read_to_end().expect("eof").is_empty(),
+        "overloaded connection must be closed after the error frame"
+    );
+
+    // Freeing the slot lets new clients in (the handler decrements the
+    // active count asynchronously, so poll briefly). A probe on a
+    // rejected connection reads the overload frame where its reply
+    // would be; an admitted probe gets the real answer.
+    assert_eq!(first.call("quit").expect("quit"), "ok bye");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let reply = loop {
+        let mut probe = WireClient::connect(addr).expect("probe connect");
+        match probe.call("epoch") {
+            Ok(r) if r.starts_with("ok epoch=") => break r,
+            Ok(r) => assert!(r.starts_with("error: server overloaded"), "{r}"),
+            Err(_) => {} // rejected and closed mid-probe
+        }
+        assert!(std::time::Instant::now() < deadline, "slot never freed");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(reply.starts_with("ok epoch="), "{reply}");
+}
+
+#[test]
+fn idle_connections_time_out_with_an_error_frame() {
+    let (addr, server, _h) = start_server_with(ServerConfig {
+        read_timeout: Some(Duration::from_millis(150)),
+        ..ServerConfig::default()
+    });
+    let mut client = WireClient::connect(addr).expect("connect");
+    // Send nothing: the server's read timeout must fire, answer with an
+    // in-band error, and close the connection.
+    let reply = client.read_reply().expect("timeout frame");
+    assert!(reply.contains("socket timeout"), "{reply}");
+    assert!(client.read_to_end().expect("eof").is_empty());
+    let stats = {
+        let mut c = WireClient::connect(addr).expect("connect");
+        c.call("stats").expect("stats")
+    };
+    assert!(stats.contains("timeouts 1"), "{stats}");
+    drop(server);
+}
+
+#[test]
+fn a_panicking_command_is_isolated_to_an_error_reply() {
+    let (addr, server, _h) = start_server_with(ServerConfig {
+        enable_test_panic: true,
+        ..ServerConfig::default()
+    });
+    let mut client = WireClient::connect(addr).expect("connect");
+    let epoch_before = server.reader().epoch();
+
+    let reply = client.call("__panic").expect("panic must become a reply");
+    assert!(reply.starts_with("error: internal panic"), "{reply}");
+
+    // The connection, the server, and the index all survive.
+    let ok = client.call("epoch").expect("same connection still works");
+    assert!(ok.starts_with("ok epoch="), "{ok}");
+    assert_eq!(
+        server.reader().epoch(),
+        epoch_before,
+        "no phantom publication"
+    );
+    let added = client.call("addsig (()())").expect("writes still work");
+    assert!(added.starts_with("ok id="), "{added}");
+
+    // Mixed into a batch frame, the panic poisons only its own line.
+    let batch = client
+        .call("epoch\n__panic\nepoch")
+        .expect("batch with a panicking line");
+    let lines: Vec<&str> = batch.lines().collect();
+    assert!(lines[0].starts_with("ok epoch="), "{batch}");
+    assert!(lines[1].starts_with("error: internal panic"), "{batch}");
+    assert!(lines[2].starts_with("ok epoch="), "{batch}");
+
+    let stats = client.call("stats").expect("stats");
+    assert!(stats.contains("panics isolated 2"), "{stats}");
+}
+
+#[test]
+fn shutdown_drains_checkpoints_and_stops_the_acceptor() {
+    let (addr, server, handle) = start_server_with(ServerConfig {
+        drain_grace: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let mut client = WireClient::connect(addr).expect("connect");
+    // An idle second connection must not wedge the drain.
+    let _idle = WireClient::connect(addr).expect("idle connect");
+    std::thread::sleep(Duration::from_millis(50));
+
+    let reply = client.call("shutdown").expect("shutdown reply");
+    assert!(reply.starts_with("ok draining"), "{reply}");
+    assert!(server.is_shutting_down());
+
+    // The accept loop exits cleanly: exit code 0 material.
+    let served = handle.join().expect("acceptor thread");
+    assert!(served.is_ok(), "{served:?}");
+
+    // The listener is gone; new connections are refused.
+    assert!(
+        WireClient::connect(addr).is_err() || {
+            // A connect may still succeed if the OS hands us a queued
+            // backlog slot, but no one will ever answer.
+            let mut c = WireClient::connect(addr).expect("backlog connect");
+            c.set_timeouts(Some(Duration::from_millis(200)), None)
+                .expect("timeouts");
+            c.call("epoch").is_err()
+        }
+    );
+}
+
+#[test]
+fn client_reconnects_and_retries_idempotent_reads() {
+    let (addr, _server) = start_server();
+    let mut client = WireClient::connect(addr).expect("connect");
+    // `quit` makes the server hang up; the next plain call fails...
+    assert_eq!(client.call("quit").expect("quit"), "ok bye");
+    assert!(
+        client.call("epoch").is_err(),
+        "closed connection must error"
+    );
+    // ...but the idempotent wrapper reconnects and succeeds.
+    let reply = client
+        .call_idempotent("epoch", 4)
+        .expect("reconnect + retry");
+    assert!(reply.starts_with("ok epoch="), "{reply}");
+}
+
+#[test]
+fn stats_reports_serving_counters_and_durability() {
+    let (addr, _server) = start_server();
+    let mut client = WireClient::connect(addr).expect("connect");
+    let stats = client.call("stats").expect("stats");
+    assert!(stats.contains("server: accepted"), "{stats}");
+    assert!(
+        stats.contains("durability: none (in-memory only)"),
+        "{stats}"
+    );
+    let ckpt = client.call("checkpoint").expect("checkpoint");
+    assert!(ckpt.contains("ephemeral"), "{ckpt}");
 }

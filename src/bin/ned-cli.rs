@@ -16,6 +16,8 @@
 //! ned-cli index save <idx> <out.idx>
 //! ned-cli index load <idx>
 //! ned-cli serve <idx> [--tcp ADDR] [--threads N] [--pool N] [--graph PATH]
+//!                     [--wal PATH] [--checkpoint-every N] [--fsync MODE]
+//!                     [--max-conns N]
 //! ```
 
 use ned::baselines::features::{l1_distance, RefexFeatures};
@@ -81,9 +83,14 @@ fn print_usage() {
          \x20 index save <idx> <out.idx>                         re-encode (verifies the file round-trips)\n\
          \x20 index load <idx>                                   load + print index stats\n\
          \x20 serve <idx> [--tcp ADDR] [--threads N] [--pool N]  long-lived serving: stdin REPL, or a\n\
-         \x20       [--graph PATH]                               concurrent TCP server with --tcp;\n\
-         \x20                                                    --graph pre-tracks a mutating graph\n\
-         \x20                                                    for addedge/deledge deltas\n"
+         \x20       [--graph PATH] [--wal PATH]                  concurrent TCP server with --tcp;\n\
+         \x20       [--checkpoint-every N] [--fsync MODE]        --graph pre-tracks a mutating graph\n\
+         \x20       [--max-conns N]                              for addedge/deledge deltas;\n\
+         \x20                                                    --wal makes writes crash-safe: replay\n\
+         \x20                                                    the log over the newest checkpoint at\n\
+         \x20                                                    boot, journal every batch before the\n\
+         \x20                                                    ack, checkpoint every N batches\n\
+         \x20                                                    (--fsync per-batch | every-<n> | os)\n"
     );
 }
 
@@ -542,12 +549,33 @@ fn cmd_index_load(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the `--fsync` mode: `per-batch` (sync every journaled batch),
+/// `every-<n>` (sync once per `n` batches), or `os` (leave syncing to
+/// the OS page cache — fast, but a power loss can lose the tail).
+fn parse_fsync(mode: &str) -> Result<ned::core::wal::FsyncPolicy, String> {
+    use ned::core::wal::FsyncPolicy;
+    match mode {
+        "per-batch" => Ok(FsyncPolicy::PerBatch),
+        "os" | "never" => Ok(FsyncPolicy::Never),
+        other => other
+            .strip_prefix("every-")
+            .and_then(|n| n.parse().ok())
+            .map(FsyncPolicy::EveryN)
+            .ok_or_else(|| format!("bad --fsync {other:?}; use per-batch, every-<n>, or os")),
+    }
+}
+
 /// Long-lived serving mode. Without `--tcp`, a stdin REPL: one command
 /// per line, answers on stdout. With `--tcp ADDR`, a concurrent
 /// thread-per-connection server speaking the framed batch protocol
 /// (`ned_core::wire`). Both surfaces are thin clients of the *same*
 /// [`ned::index::NedServer`] dispatch, so a command behaves identically
 /// whether typed interactively or sent over a socket.
+///
+/// With `--wal PATH` the index is served **durably**: boot replays the
+/// log over the newest checkpoint (truncating any torn tail), every
+/// write batch is journaled before it is acknowledged, and a checkpoint
+/// runs every `--checkpoint-every` batches plus once at clean shutdown.
 fn cmd_serve(raw: &[String]) -> Result<(), String> {
     use std::io::BufRead;
     let args = Args::parse(raw, &[])?;
@@ -558,8 +586,28 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
     let threads: usize = args.get("threads", if tcp.is_some() { 1 } else { 0 })?;
     let pool: usize = args.get("pool", 0)?;
     let graph: Option<String> = args.opt("graph")?;
-    let index = load_index(idx_path)?;
-    let server = std::sync::Arc::new(ned::index::NedServer::new(index, threads, pool));
+    let wal: Option<String> = args.opt("wal")?;
+    let durable = match &wal {
+        Some(wal_path) => {
+            let opts = ned::index::DurableOptions {
+                fsync: parse_fsync(&args.get::<String>("fsync", "per-batch".into())?)?,
+                checkpoint_every: args.get("checkpoint-every", 64)?,
+            };
+            let (durable, report) =
+                ned::index::DurableIndex::recover(Path::new(idx_path), Path::new(wal_path), opts)
+                    .map_err(|e| format!("{idx_path} + {wal_path}: {e}"))?;
+            println!("recovery: {report}");
+            durable
+        }
+        None => ned::index::DurableIndex::ephemeral(load_index(idx_path)?),
+    };
+    let config = ned::index::ServerConfig {
+        max_conns: args.get("max-conns", 256)?,
+        ..Default::default()
+    };
+    let server = std::sync::Arc::new(
+        ned::index::NedServer::with_durability(durable, threads, pool).with_config(config),
+    );
     if let Some(graph_path) = graph {
         // Pre-track the mutating graph so addedge/deledge work without a
         // per-session `track` command.
@@ -589,6 +637,11 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
                 if quit {
                     break;
                 }
+            }
+            // A clean REPL exit checkpoints too, so the next boot never
+            // needs log replay.
+            if let Some(epoch) = server.finalize().map_err(|e| e.to_string())? {
+                println!("checkpointed at epoch {epoch}");
             }
             println!("bye");
             Ok(())
