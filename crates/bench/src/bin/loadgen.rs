@@ -11,6 +11,8 @@
 //! loadgen crash --server-bin PATH --index PATH --wal PATH [--cycles N]
 //!               [--checkpoint-every N] [--kill-min-ms N] [--kill-max-ms N]
 //!               [--seed S]
+//! loadgen fleet --server-bin PATH --index PATH [--shards N] [--dir D]
+//!               [--rounds N] [--seed S]
 //! ```
 //!
 //! * `prep` builds a Barabási–Albert graph index and saves it — the
@@ -50,6 +52,19 @@
 //!   and every acknowledged signature answered hit-for-hit. The final
 //!   cycle exercises the clean path too: `shutdown` must drain,
 //!   checkpoint, and exit 0, and the next boot must replay nothing.
+//! * `fleet` is the scatter-gather soak: it splits the index into
+//!   `--shards` id-range shards, spawns one WAL-backed `ned-cli serve
+//!   --tcp` child per shard, and routes mirrored write churn plus knn
+//!   probes through an in-process [`ned_index::ShardRouter`], demanding
+//!   **bit-identical** answers to a monolith [`ned_index::NedServer`] holding the
+//!   unsplit index after every phase. Mid-churn it SIGKILLs shard 0:
+//!   the coordinator must degrade loudly (scatter reads and
+//!   victim-owned writes fail *retryably*, never wrongly) while writes
+//!   owned by surviving shards keep landing; then the victim is
+//!   respawned from its durable files on the same port and the fleet
+//!   must answer bit-identically again with every acknowledged write
+//!   present. Any divergence, hang, wrong-success, or lost ack exits
+//!   non-zero, which is what fails the CI `fleet-soak` job.
 
 use ned_bench::loadgen::{knn_read_workload, run_reader_fleet, scaling_floor, LatencySummary};
 use ned_index::{ConcurrentNedIndex, SignatureIndex, WireClient};
@@ -65,6 +80,7 @@ fn main() -> ExitCode {
         Some("smoke") => cmd_smoke(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("crash") => cmd_crash(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -96,7 +112,11 @@ fn print_usage() {
          \x20       [--ops N] [--seed S]                          server must survive torn frames\n\
          \x20 crash --server-bin PATH --index PATH --wal PATH     SIGKILL-and-restart durability\n\
          \x20       [--cycles N] [--checkpoint-every N]           soak against `ned-cli serve\n\
-         \x20       [--kill-min-ms N] [--kill-max-ms N] [--seed S] --wal` (exact recovery check)\n"
+         \x20       [--kill-min-ms N] [--kill-max-ms N] [--seed S] --wal` (exact recovery check)\n\
+         \x20 fleet --server-bin PATH --index PATH [--shards N]   scatter-gather soak: router over a\n\
+         \x20       [--dir D] [--rounds N] [--seed S]             spawned shard fleet must stay\n\
+         \x20                                                     bit-identical to the monolith\n\
+         \x20                                                     across a shard SIGKILL + respawn\n"
     );
 }
 
@@ -669,17 +689,17 @@ fn cmd_chaos(raw: &[String]) -> Result<(), String> {
                     for i in 0..ops {
                         let mut client = match conn.take() {
                             Some(c) => c,
-                            None => match WireClient::connect(proxy_addr) {
-                                Ok(c) => {
-                                    // A truncated frame would otherwise hang
-                                    // this client until the server's idle
-                                    // timeout; give up on a call sooner.
-                                    let _ = c.set_timeouts(
-                                        Some(Duration::from_millis(500)),
-                                        Some(Duration::from_millis(500)),
-                                    );
-                                    c
-                                }
+                            // A truncated frame would otherwise hang this
+                            // client until the server's idle timeout; give
+                            // up on a call sooner.
+                            None => match WireClient::builder()
+                                .timeouts(
+                                    Some(Duration::from_millis(500)),
+                                    Some(Duration::from_millis(500)),
+                                )
+                                .connect(proxy_addr)
+                            {
+                                Ok(c) => c,
                                 Err(_) => {
                                     cut += 1;
                                     std::thread::sleep(Duration::from_millis(10));
@@ -1066,6 +1086,349 @@ fn cmd_crash(raw: &[String]) -> Result<(), String> {
          exactly; final live set {base_len}+{} signatures, epoch {}",
         model.len(),
         acked_epoch.unwrap_or(0)
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// fleet: scatter-gather kill-one-shard soak
+// ---------------------------------------------------------------------------
+
+/// `(id, distance-bits)` pairs — exact hit comparison, no float tolerance.
+fn exact_key(hits: &[ned_index::ForestHit]) -> Vec<(u64, u64)> {
+    hits.iter().map(|h| (h.id, h.distance.to_bits())).collect()
+}
+
+fn monolith_key(resp: ned_core::Response) -> Result<Vec<(u64, u64)>, String> {
+    match resp {
+        ned_core::Response::Hits { hits, .. } => {
+            Ok(hits.iter().map(|h| (h.id, h.distance.to_bits())).collect())
+        }
+        other => Err(format!("monolith answered {other:?}, expected hits")),
+    }
+}
+
+/// Every probe shape, knn'd through the router and through the monolith:
+/// the fleet answer must be bit-identical, hit for hit.
+fn fleet_probe(
+    router: &ned_index::ShardRouter,
+    monolith: &ned_index::NedServer,
+    shapes: &[String],
+    label: &str,
+) -> Result<usize, String> {
+    for (i, shape) in shapes.iter().enumerate() {
+        let want = monolith_key(
+            monolith
+                .execute(&ned_core::Request::Sig {
+                    shape: shape.clone(),
+                    top: 7,
+                    within: None,
+                })
+                .map_err(|e| format!("{label}: monolith probe {i}: {e}"))?,
+        )?;
+        let got = router
+            .knn(shape, 7, None)
+            .map_err(|e| format!("{label}: fleet knn probe {i}: {e}"))?;
+        if exact_key(&got.hits) != want {
+            return Err(format!(
+                "{label}: DIVERGENCE on probe {i}: fleet {:?} vs monolith {want:?}",
+                exact_key(&got.hits)
+            ));
+        }
+    }
+    Ok(shapes.len())
+}
+
+/// One round of mirrored write churn: the same operation lands on the
+/// fleet (via the router) and on the monolith, and every visible outcome
+/// — assigned id, freshness, removal visibility — must agree.
+fn fleet_churn_round(
+    router: &ned_index::ShardRouter,
+    monolith: &ned_index::NedServer,
+    round: usize,
+    next_width: &mut usize,
+    id_space: u64,
+) -> Result<(), String> {
+    use ned_core::{Request, Response};
+    match round % 3 {
+        0 => {
+            let width = *next_width;
+            *next_width += 1;
+            let shape = star_shape(width);
+            let fleet_id = router
+                .insert_shape(&shape)
+                .map_err(|e| format!("round {round}: fleet insert: {e}"))?;
+            match monolith
+                .execute(&Request::AddSig { shape })
+                .map_err(|e| format!("round {round}: monolith addsig: {e}"))?
+            {
+                Response::Added { id } if id == fleet_id => Ok(()),
+                Response::Added { id } => Err(format!(
+                    "round {round}: id streams diverged — fleet {fleet_id}, monolith {id}"
+                )),
+                other => Err(format!("round {round}: monolith answered {other:?}")),
+            }
+        }
+        1 => {
+            let id = (round as u64 * 13) % id_space;
+            let width = *next_width;
+            *next_width += 1;
+            let shape = star_shape(width);
+            let (fresh, _epoch) = router
+                .put_shape(id, &shape)
+                .map_err(|e| format!("round {round}: fleet put {id}: {e}"))?;
+            match monolith
+                .execute(&Request::PutSig { id, shape })
+                .map_err(|e| format!("round {round}: monolith putsig: {e}"))?
+            {
+                Response::Put { fresh: mf, .. } if mf == fresh => Ok(()),
+                Response::Put { fresh: mf, .. } => Err(format!(
+                    "round {round}: putsig freshness diverged on id {id} — \
+                     fleet {fresh}, monolith {mf}"
+                )),
+                other => Err(format!("round {round}: monolith answered {other:?}")),
+            }
+        }
+        _ => {
+            let id = (round as u64 * 29) % id_space;
+            let fleet_existed = router
+                .remove(id)
+                .map_err(|e| format!("round {round}: fleet remove {id}: {e}"))?;
+            match monolith
+                .execute(&Request::Remove { id })
+                .map_err(|e| format!("round {round}: monolith remove: {e}"))?
+            {
+                Response::Removed { existed, .. } if existed == fleet_existed => Ok(()),
+                Response::Removed { existed, .. } => Err(format!(
+                    "round {round}: removal visibility diverged on id {id} — \
+                     fleet {fleet_existed}, monolith {existed}"
+                )),
+                other => Err(format!("round {round}: monolith answered {other:?}")),
+            }
+        }
+    }
+}
+
+fn cmd_fleet(raw: &[String]) -> Result<(), String> {
+    use ned_index::{NedServer, RouterOptions, ShardProcess, ShardRouter};
+
+    let flags = Flags::parse(raw)?;
+    let server_bin = flags.require("server-bin")?.to_string();
+    let index_path = flags.require("index")?.to_string();
+    let shards: usize = flags.get("shards", 3)?;
+    if shards < 2 {
+        return Err("--shards must be >= 2 (the soak kills one and keeps serving)".into());
+    }
+    let rounds: usize = flags.get("rounds", 24)?;
+    let dir: String = flags.get("dir", format!("{index_path}.fleet"))?;
+    let seed: u64 = flags.get("seed", 0xF1EE7)?;
+
+    // The unsplit index is both the fleet's source and the monolith
+    // oracle the fleet must stay bit-identical to.
+    let local =
+        SignatureIndex::load(Path::new(&index_path)).map_err(|e| format!("{index_path}: {e}"))?;
+    let k = local.k();
+    let next_id = local.next_id();
+    let shapes: Vec<String> = local
+        .forest()
+        .entries()
+        .enumerate()
+        .filter(|(i, _)| i % (local.len() / 16).max(1) == 0)
+        .map(|(_, (_, sig))| ned_tree::serialize::print(sig.tree()))
+        .collect();
+    if shapes.is_empty() {
+        return Err("index file holds no signatures to probe with".into());
+    }
+    // Star widths past anything indexed: churn inserts can never collide
+    // with historical shapes, keeping freshness/visibility unambiguous.
+    let mut next_width = local
+        .forest()
+        .entries()
+        .map(|(_, sig)| sig.tree().max_width())
+        .max()
+        .unwrap_or(1)
+        + 1;
+    let (map, parts) = ned_index::split_index(&local, shards);
+    let monolith = NedServer::new(local, 1, 1);
+
+    // One WAL-backed serve child per shard — the WAL is what makes the
+    // SIGKILL survivable without losing acknowledged writes.
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
+    let mut fleet: Vec<ShardProcess> = Vec::with_capacity(shards);
+    for (s, part) in parts.iter().enumerate() {
+        let path = Path::new(&dir).join(format!("s{s}.idx"));
+        part.save(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let wal = Path::new(&dir).join(format!("s{s}.wal"));
+        let _ = std::fs::remove_file(&wal); // a fresh soak, not a recovery
+        let shard = ShardProcess::spawn(
+            Path::new(&server_bin),
+            &path,
+            "127.0.0.1:0",
+            Some(&wal),
+            &[],
+        )
+        .map_err(|e| format!("spawning shard {s}: {e}"))?;
+        println!(
+            "fleet: shard {s} — {} signatures, pid {}, tcp://{}",
+            part.len(),
+            shard.pid(),
+            shard.addr()
+        );
+        fleet.push(shard);
+    }
+    let opts = RouterOptions {
+        k,
+        next_id,
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        retry_attempts: 2,
+        read_rounds: 3,
+    };
+    let replicas: Vec<Vec<String>> = fleet.iter().map(|s| vec![s.addr().to_string()]).collect();
+    let router = ShardRouter::connect(map, replicas, opts).map_err(|e| e.to_string())?;
+    println!(
+        "fleet: {}",
+        router.stats_line().lines().next().unwrap_or("")
+    );
+    let id_space = next_id + rounds as u64;
+    let _ = seed; // churn is deterministic by round; the seed names the run
+
+    // --- phase 1: healthy churn -----------------------------------------
+    for round in 0..rounds / 2 {
+        fleet_churn_round(&router, &monolith, round, &mut next_width, id_space)?;
+        if round % 4 == 3 {
+            fleet_probe(&router, &monolith, &shapes, "healthy churn")?;
+        }
+    }
+    fleet_probe(&router, &monolith, &shapes, "after healthy churn")?;
+    println!("fleet: healthy churn ok ({} mirrored writes)", rounds / 2);
+
+    // --- phase 2: SIGKILL shard 0, demand loud degradation ---------------
+    let victim_addr = fleet[0].addr().to_string();
+    let victim_path = fleet[0].index_path().to_path_buf();
+    let victim_wal = Path::new(&dir).join("s0.wal");
+    fleet[0]
+        .kill()
+        .map_err(|e| format!("killing shard 0: {e}"))?;
+    println!("fleet: SIGKILLed shard 0 (was {victim_addr})");
+
+    // Scatter reads need every shard: they must fail *retryably* — never
+    // hang, never succeed with silently missing hits.
+    match router.knn(&shapes[0], 5, None) {
+        Ok(_) => {
+            return Err("knn succeeded with a dead shard — the scatter lost hits silently".into())
+        }
+        Err(e) if e.is_retryable() => {}
+        Err(e) => return Err(format!("degraded knn failed non-retryably: {e}")),
+    }
+    // Writes owned by the dead shard fail retryably and are NOT acked...
+    let victim_id = router.map().starts()[1].saturating_sub(1);
+    match router.put_shape(victim_id, &star_shape(next_width)) {
+        Ok(_) => return Err(format!("put id={victim_id} succeeded on a dead shard")),
+        Err(e) if e.is_retryable() => {}
+        Err(e) => return Err(format!("degraded put failed non-retryably: {e}")),
+    }
+    // ...while auto-assigned inserts (owned by the last, living shard)
+    // keep landing, mirrored on both sides.
+    let mut degraded_ids: Vec<(u64, usize)> = Vec::new();
+    for _ in 0..3 {
+        let width = next_width;
+        next_width += 1;
+        let shape = star_shape(width);
+        let id = router
+            .insert_shape(&shape)
+            .map_err(|e| format!("degraded insert: {e}"))?;
+        match monolith
+            .execute(&ned_core::Request::AddSig { shape })
+            .map_err(|e| format!("degraded monolith addsig: {e}"))?
+        {
+            ned_core::Response::Added { id: mid } if mid == id => degraded_ids.push((id, width)),
+            other => return Err(format!("degraded id streams diverged: {id} vs {other:?}")),
+        }
+    }
+    println!(
+        "fleet: degraded mode ok — reads and victim writes failed retryably, \
+         {} inserts still acked on surviving shards",
+        degraded_ids.len()
+    );
+
+    // --- phase 3: respawn shard 0 from its durable files ------------------
+    let mut revived = None;
+    for _ in 0..40 {
+        match ShardProcess::spawn(
+            Path::new(&server_bin),
+            &victim_path,
+            &victim_addr,
+            Some(&victim_wal),
+            &[],
+        ) {
+            Ok(p) => {
+                revived = Some(p);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(250)),
+        }
+    }
+    fleet[0] = revived.ok_or(format!(
+        "could not respawn shard 0 on {victim_addr} within 10s"
+    ))?;
+    println!(
+        "fleet: respawned shard 0 (pid {}) on {victim_addr}",
+        fleet[0].pid()
+    );
+
+    // Recovery contract: bit-identical again, and every write acked
+    // during degradation is present (each star is unique in the index,
+    // so its top-1 must be exactly its own id at distance 0). The failed
+    // degraded put must NOT have half-applied — the probe sweep above
+    // would diverge from the monolith if it had.
+    fleet_probe(&router, &monolith, &shapes, "after respawn")?;
+    for &(id, width) in &degraded_ids {
+        let got = router
+            .knn(&star_shape(width), 1, None)
+            .map_err(|e| format!("post-respawn probe for id {id}: {e}"))?;
+        let first = got.hits.first().map(|h| (h.id, h.distance));
+        if first != Some((id, 0.0)) {
+            return Err(format!(
+                "acked degraded-mode insert {id} went missing after respawn: {first:?}"
+            ));
+        }
+    }
+
+    // --- phase 4: churn again, now touching the recovered shard too -------
+    for round in rounds / 2..rounds {
+        fleet_churn_round(&router, &monolith, round, &mut next_width, id_space)?;
+        if round % 4 == 3 {
+            fleet_probe(&router, &monolith, &shapes, "post-recovery churn")?;
+        }
+    }
+    let checked = fleet_probe(&router, &monolith, &shapes, "final")?;
+    let (_epoch_sum, fleet_len) = router.epoch().map_err(|e| e.to_string())?;
+    let mono_len = match monolith
+        .execute(&ned_core::Request::Epoch)
+        .map_err(|e| e.to_string())?
+    {
+        ned_core::Response::Epoch { len, .. } => len,
+        other => return Err(format!("monolith epoch answered {other:?}")),
+    };
+    if fleet_len != mono_len {
+        return Err(format!(
+            "fleet live set {fleet_len} != monolith {mono_len} after the soak"
+        ));
+    }
+
+    let acked = router.shutdown_fleet();
+    for shard in &mut fleet {
+        shard
+            .wait_or_kill(Duration::from_secs(5))
+            .map_err(|e| format!("draining shard: {e}"))?;
+    }
+    println!(
+        "fleet: ok — {rounds} mirrored writes + {} degraded-mode inserts across a shard \
+         SIGKILL/respawn, {checked} final probes bit-identical to the monolith, live set \
+         {fleet_len} reconciled, {acked} replica(s) drained",
+        degraded_ids.len()
     );
     Ok(())
 }

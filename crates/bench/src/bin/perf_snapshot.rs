@@ -1,4 +1,4 @@
-//! Machine-readable performance snapshot: writes `BENCH_5.json` with
+//! Machine-readable performance snapshot: writes `BENCH_7.json` with
 //! ns/op for the pipeline's hot paths — the duplicate-collapsed
 //! TED\*/NED engine against the dense Hungarian baseline, the sharded
 //! forest against the linear scan, the budget-aware bounded kernel
@@ -13,6 +13,11 @@
 //! measured both in-memory and (since PR 6) with every batch journaled
 //! through the write-ahead log (`FsyncPolicy::EveryN(16)`), where the
 //! durability overhead is gated at ≤ 30% of the in-memory trajectory.
+//! Since PR 7 the snapshot also prices the **distributed serving layer**:
+//! the same knn workload scatter-gathered by a [`ned_index::ShardRouter`] over a
+//! 3-shard loopback-TCP fleet vs one TCP server holding the unsplit
+//! index, bit-identical answers asserted before timing and the
+//! coordination overhead gated against the single-server wire path.
 //!
 //! Run with `cargo run --release -p ned-bench --bin perf_snapshot
 //! [output.json]`. Every workload is seeded, so successive runs measure
@@ -140,7 +145,7 @@ struct Entry {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
     let mut entries: Vec<Entry> = Vec::new();
 
     // --- ned_pair: wide-level synthetic trees, collapsed vs dense -------
@@ -525,7 +530,7 @@ fn main() {
     // cores exist — CI runners — and proportionally less on smaller
     // machines, where the check still pins "concurrency must not cost
     // throughput").
-    let serving = SignatureIndex::from_signatures(3, 1024, 0xF0, db_sigs);
+    let serving = SignatureIndex::from_signatures(3, 1024, 0xF0, db_sigs.clone());
     let (_writer, reader) = ConcurrentNedIndex::split(serving);
     // Warm-up: thread scratch arenas + the TED* memo, as in serving.
     knn_read_workload(&reader, &probes, 1, 8, 5);
@@ -544,6 +549,119 @@ fn main() {
         p99_ns: Some(fleet.p99_ns),
     });
     let reader_scaling = single.ns_per_op / fleet.ns_per_op;
+
+    // --- fleet: scatter-gather router over a 3-shard TCP fleet -----------
+    // The PR 7 distributed serving layer: the identical BA-4000 signature
+    // set split into 3 id-range shards, each behind its own loopback TCP
+    // server, queried through the ShardRouter (shared-radius scatter, one
+    // bounded merge heap). The baseline is the same knn through ONE TCP
+    // server holding the unsplit index — same wire protocol, no scatter —
+    // so the ratio prices exactly the coordination: per-shard framing,
+    // the scatter threads, and the merge.
+    let fleet_index = SignatureIndex::from_signatures(3, 1024, 0xF0, db_sigs);
+    let probe_shapes: Vec<String> = probes
+        .iter()
+        .map(|s| ned_tree::serialize::print(s.tree()))
+        .collect();
+    let spawn_tcp = |server: ned_index::NedServer| {
+        let server = std::sync::Arc::new(server);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let thread = {
+            let server = std::sync::Arc::clone(&server);
+            std::thread::spawn(move || {
+                let _ = server.serve_tcp(listener);
+            })
+        };
+        (server, addr, thread)
+    };
+    let (single_srv, single_addr, single_thread) =
+        spawn_tcp(ned_index::NedServer::new(fleet_index.clone(), 1, 1));
+    let mut wire = ned_index::WireClient::connect(&single_addr).expect("dial single server");
+    let (shard_map, shard_parts) = ned_index::split_index(&fleet_index, 3);
+    let mut shard_srvs = Vec::new();
+    let mut shard_groups = Vec::new();
+    for part in shard_parts {
+        let (srv, addr, thread) = spawn_tcp(ned_index::NedServer::new(part, 1, 1));
+        shard_groups.push(vec![addr]);
+        shard_srvs.push((srv, thread));
+    }
+    let router = ned_index::ShardRouter::connect(
+        shard_map,
+        shard_groups,
+        ned_index::RouterOptions {
+            k: 3,
+            next_id: fleet_index.next_id(),
+            ..Default::default()
+        },
+    )
+    .expect("router connects to the shard fleet");
+    // exactness first: the scatter-gather must be bit-identical to the
+    // single server over the same wire before its latency means anything
+    for shape in &probe_shapes {
+        let scattered = router.knn(shape, 5, None).expect("fleet knn");
+        let direct = match wire
+            .request(&ned_core::Request::Sig {
+                shape: shape.clone(),
+                top: 5,
+                within: None,
+            })
+            .expect("single-server knn")
+        {
+            ned_core::Response::Hits { hits, .. } => hits,
+            other => panic!("single server answered {other:?}"),
+        };
+        assert_eq!(
+            scattered
+                .hits
+                .iter()
+                .map(|h| (h.id, h.distance.to_bits()))
+                .collect::<Vec<_>>(),
+            direct
+                .iter()
+                .map(|h| (h.id, h.distance.to_bits()))
+                .collect::<Vec<_>>(),
+            "scatter-gather diverged from the single server"
+        );
+    }
+    let fleet_knn_ns = measure(7, 2, || {
+        for shape in &probe_shapes {
+            std::hint::black_box(router.knn(shape, 5, None).expect("fleet knn"));
+        }
+    }) / probe_shapes.len() as f64;
+    entries.push(Entry {
+        name: "fleet/ba4000-knn-s3",
+        ns_per_op: fleet_knn_ns,
+        p50_ns: None,
+        p99_ns: None,
+    });
+    let wire_knn_ns = measure(7, 2, || {
+        for shape in &probe_shapes {
+            std::hint::black_box(
+                wire.request(&ned_core::Request::Sig {
+                    shape: shape.clone(),
+                    top: 5,
+                    within: None,
+                })
+                .expect("single-server knn"),
+            );
+        }
+    }) / probe_shapes.len() as f64;
+    entries.push(Entry {
+        name: "fleet/ba4000-knn-wire1",
+        ns_per_op: wire_knn_ns,
+        p50_ns: None,
+        p99_ns: None,
+    });
+    let fleet_overhead = fleet_knn_ns / wire_knn_ns;
+    drop(wire);
+    drop(router);
+    single_srv.initiate_shutdown();
+    let _ = single_thread.join();
+    for (srv, thread) in shard_srvs {
+        srv.initiate_shutdown();
+        let _ = thread.join();
+    }
 
     // --- report ---------------------------------------------------------
     let mut json = String::from("{\n  \"schema\": \"ned-bench/1\",\n  \"benchmarks\": [\n");
@@ -565,7 +683,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2},\n    \"bounded_knn_speedup_vs_unbounded_forest\": {bounded_speedup:.2},\n    \"memo_warm_speedup_vs_cold\": {:.2},\n    \"loadgen_reader_scaling_4r_vs_1r\": {reader_scaling:.2},\n    \"ingest_bulk_speedup_vs_per_node\": {ingest_speedup:.2},\n    \"delta_flip_speedup_vs_rebuild\": {delta_speedup_vs_rebuild:.2},\n    \"delta_wal_overhead_vs_in_memory\": {wal_overhead:.2}\n  }}\n}}\n",
+        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2},\n    \"bounded_knn_speedup_vs_unbounded_forest\": {bounded_speedup:.2},\n    \"memo_warm_speedup_vs_cold\": {:.2},\n    \"loadgen_reader_scaling_4r_vs_1r\": {reader_scaling:.2},\n    \"ingest_bulk_speedup_vs_per_node\": {ingest_speedup:.2},\n    \"delta_flip_speedup_vs_rebuild\": {delta_speedup_vs_rebuild:.2},\n    \"delta_wal_overhead_vs_in_memory\": {wal_overhead:.2},\n    \"fleet_overhead_vs_single\": {fleet_overhead:.2}\n  }}\n}}\n",
         cold_ns / warm_ns
     ));
     std::fs::write(&out_path, &json).expect("write benchmark snapshot");
@@ -604,5 +722,15 @@ fn main() {
         wal_overhead <= 1.3,
         "WAL-journaled churn ({wal_churn_ns:.0} ns/flip) is {wal_overhead:.2}x the \
          in-memory churn ({edge_churn_ns:.0} ns/flip) — over the 30% durability budget"
+    );
+    // A deliberately loose bound: the scatter pays 3 parallel frames, 3
+    // scatter threads, and a merge per query, but each shard scans a
+    // third of the index — coordination must never cost more than 4x the
+    // single-server wire path on this workload.
+    assert!(
+        fleet_overhead <= 4.0,
+        "scatter-gather knn ({fleet_knn_ns:.0} ns/op) is {fleet_overhead:.2}x the \
+         single-server wire path ({wire_knn_ns:.0} ns/op) — over the 4x \
+         coordination budget"
     );
 }

@@ -42,6 +42,7 @@ pub mod edit_script;
 pub mod hausdorff;
 pub mod memo;
 mod ned;
+pub mod proto;
 pub mod reference;
 pub mod store;
 mod ted_kernel;
@@ -57,6 +58,7 @@ pub use ned::{
     equivalence_classes, ned, ned_directed, ned_profile, ned_with_extractors, signatures,
     NodeSignature, SignatureExtractor,
 };
+pub use proto::{Request, Response, ServerError, WireHit};
 pub use ted_star::{
     ted_star, ted_star_class_lower_bound, ted_star_directional, ted_star_lower_bound,
     ted_star_prepared, ted_star_prepared_report, ted_star_prepared_within, ted_star_report,

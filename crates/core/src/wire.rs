@@ -24,6 +24,10 @@
 //! Payloads are opaque bytes to this module; the serving protocol puts
 //! UTF-8 command lines in them (one or more newline-separated commands
 //! per frame — the *batch* protocol), but nothing here assumes text.
+//! The typed layer above — [`crate::proto`]'s `Request`/`Response` enums
+//! — renders to and parses from exactly those text payloads;
+//! [`write_text_frame`]/[`read_text_frame`] are the seam where the two
+//! meet, used by both the server's frame loop and `WireClient`.
 
 use crate::store::{CodecError, Reader, Writer};
 use std::io::{Read, Write};
@@ -142,6 +146,27 @@ pub fn read_frame<R: Read>(stream: &mut R) -> Result<Option<Vec<u8>>, WireError>
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
     decode_frame(&body).map(Some)
+}
+
+/// Writes one UTF-8 text frame — the encoding of a rendered
+/// [`crate::proto`] request or reply block.
+pub fn write_text_frame<W: Write>(stream: &mut W, text: &str) -> std::io::Result<()> {
+    write_frame(stream, text.as_bytes())
+}
+
+/// Reads one frame and decodes its payload as UTF-8 text. `Ok(None)` on
+/// clean EOF, exactly like [`read_frame`]; a non-UTF-8 payload is a
+/// [`WireError::Codec`] (the typed protocol is text, so binary garbage
+/// here means framing sync or the peer is broken).
+pub fn read_text_frame<R: Read>(stream: &mut R) -> Result<Option<String>, WireError> {
+    match read_frame(stream)? {
+        None => Ok(None),
+        Some(payload) => String::from_utf8(payload).map(Some).map_err(|e| {
+            WireError::Codec(CodecError::Malformed(format!(
+                "frame payload is not UTF-8: {e}"
+            )))
+        }),
+    }
 }
 
 #[cfg(test)]

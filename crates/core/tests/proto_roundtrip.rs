@@ -1,0 +1,309 @@
+//! Property tests for the typed command/response protocol
+//! (`ned-core::proto`): arbitrary [`Request`]s and [`Response`]s must
+//! round-trip **bit-identically** through their text forms (and through a
+//! wire frame), and the historical text grammar must keep parsing to the
+//! same typed values — the compatibility contract that lets old clients
+//! talk to new servers and the router speak for a whole fleet.
+
+use ned_core::wire::{read_text_frame, write_text_frame};
+use ned_core::{Request, Response, ServerError, WireHit};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A whitespace-free operand token (paths and shapes are single tokens
+/// by construction in the grammar).
+fn token(rng: &mut SmallRng) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._/-()";
+    let len = rng.gen_range(1..16usize);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+/// A random well-formed request (every variant reachable).
+fn request(rng: &mut SmallRng) -> Request {
+    match rng.gen_range(0..19u32) {
+        0 => Request::Query {
+            path: token(rng),
+            node: rng.gen(),
+            top: rng.gen_range(0..1000),
+        },
+        1 => Request::Range {
+            path: token(rng),
+            node: rng.gen(),
+            radius: rng.gen(),
+        },
+        2 => Request::Sig {
+            shape: token(rng),
+            top: rng.gen_range(0..1000),
+            within: if rng.gen_bool(0.5) {
+                Some(rng.gen())
+            } else {
+                None
+            },
+        },
+        3 => Request::RangeSig {
+            shape: token(rng),
+            radius: rng.gen(),
+        },
+        4 => Request::Add {
+            path: token(rng),
+            node: rng.gen(),
+        },
+        5 => Request::AddSig { shape: token(rng) },
+        6 => Request::PutSig {
+            id: rng.gen(),
+            shape: token(rng),
+        },
+        7 => Request::Remove { id: rng.gen() },
+        8 => Request::Track { path: token(rng) },
+        9 => Request::AddEdge {
+            a: rng.gen(),
+            b: rng.gen(),
+        },
+        10 => Request::DelEdge {
+            a: rng.gen(),
+            b: rng.gen(),
+        },
+        11 => Request::Stats,
+        12 => Request::Epoch,
+        13 => Request::Help,
+        14 => Request::Save { path: token(rng) },
+        15 => Request::Checkpoint,
+        16 => Request::Shutdown,
+        17 => Request::Quit,
+        _ => Request::TestPanic,
+    }
+}
+
+/// A free-text tail that cannot collide with a structured reply form or
+/// a tagged error prefix (those have reserved grammar, so a server never
+/// emits them as free text either).
+fn free_text(rng: &mut SmallRng) -> String {
+    format!("note {}", token(rng))
+}
+
+/// A random well-formed response. Distances are integral (NED is a u64
+/// carried as f64), matching what servers actually emit.
+fn response(rng: &mut SmallRng) -> Response {
+    match rng.gen_range(0..9u32) {
+        0 => Response::Hits {
+            epoch: rng.gen(),
+            hits: (0..rng.gen_range(0..8usize))
+                .map(|_| WireHit {
+                    id: rng.gen(),
+                    distance: rng.gen_range(0..1_000_000u64) as f64,
+                })
+                .collect(),
+        },
+        1 => Response::Added { id: rng.gen() },
+        2 => Response::Put {
+            id: rng.gen(),
+            fresh: rng.gen_bool(0.5),
+            epoch: rng.gen(),
+        },
+        3 => Response::Removed {
+            id: rng.gen(),
+            existed: rng.gen_bool(0.5),
+        },
+        4 => Response::Epoch {
+            epoch: rng.gen(),
+            len: rng.gen(),
+        },
+        5 => {
+            // Multi-line informational body; lines never start with
+            // "ok"/"error:"/"hit id=" (the reply grammar reserves those).
+            let lines: Vec<String> = (0..rng.gen_range(1..5usize))
+                .map(|_| free_text(rng))
+                .collect();
+            Response::Info {
+                body: lines.join("\n"),
+            }
+        }
+        6 => Response::Ok {
+            msg: if rng.gen_bool(0.3) {
+                String::new()
+            } else {
+                free_text(rng)
+            },
+        },
+        7 => Response::Error(match rng.gen_range(0..5u32) {
+            0 => ServerError::BadRequest(free_text(rng)),
+            1 => ServerError::Overloaded(free_text(rng)),
+            2 => ServerError::ShuttingDown(free_text(rng)),
+            3 => ServerError::Io(free_text(rng)),
+            _ => ServerError::Corrupt(free_text(rng)),
+        }),
+        _ => Response::Hits {
+            epoch: 0,
+            hits: Vec::new(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_round_trips_through_its_text_form(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let req = request(&mut rng);
+        let text = req.to_string();
+        let back: Request = text.parse().expect("canonical text parses");
+        prop_assert_eq!(&back, &req, "{}", text);
+    }
+
+    #[test]
+    fn response_round_trips_through_its_text_form(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let resp = response(&mut rng);
+        let text = resp.to_string();
+        let back = Response::parse(&text).expect("reply text parses");
+        prop_assert_eq!(&back, &resp, "{}", text);
+    }
+
+    #[test]
+    fn request_round_trips_through_a_wire_frame(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let req = request(&mut rng);
+        let mut buf = Vec::new();
+        write_text_frame(&mut buf, &req.to_string()).expect("frame encodes");
+        let text = read_text_frame(&mut buf.as_slice())
+            .expect("frame decodes")
+            .expect("not EOF");
+        let back: Request = text.parse().expect("framed text parses");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn batch_reply_streams_split_back_into_the_same_responses(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let replies: Vec<Response> = (0..rng.gen_range(1..6usize))
+            .map(|_| response(&mut rng))
+            .collect();
+        let frame = replies
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = Response::parse_stream(&frame).expect("stream parses");
+        prop_assert_eq!(back, replies);
+    }
+}
+
+#[test]
+fn old_request_text_forms_stay_valid() {
+    // The exact strings pre-typed-protocol clients send (REPL history,
+    // loadgen, scripts) and what they must mean.
+    let cases: &[(&str, Request)] = &[
+        (
+            "query graphs/ba.edges 7",
+            Request::Query {
+                path: "graphs/ba.edges".into(),
+                node: 7,
+                top: 5,
+            },
+        ),
+        (
+            "sig ((()()))",
+            Request::Sig {
+                shape: "((()()))".into(),
+                top: 5,
+                within: None,
+            },
+        ),
+        (
+            "sig (()) 3 within=9",
+            Request::Sig {
+                shape: "(())".into(),
+                top: 3,
+                within: Some(9),
+            },
+        ),
+        (
+            "range g.edges 0 4",
+            Request::Range {
+                path: "g.edges".into(),
+                node: 0,
+                radius: 4,
+            },
+        ),
+        ("exit", Request::Quit),
+        ("quit", Request::Quit),
+        ("  stats  ", Request::Stats),
+    ];
+    for (text, want) in cases {
+        let got: Request = text.parse().expect("old form parses");
+        assert_eq!(&got, want, "{text:?}");
+    }
+    // Blank lines and comments are non-commands, not errors.
+    assert_eq!(Request::parse_line("").expect("blank ok"), None);
+    assert_eq!(Request::parse_line("# hi").expect("comment ok"), None);
+}
+
+#[test]
+fn old_reply_text_forms_stay_parseable() {
+    // Epoch-less hit terminators (pre-fleet servers) parse as epoch 0.
+    let old = "hit id=4 ned=2\nhit id=9 ned=3\nok 2 hits";
+    match Response::parse(old).expect("old hits parse") {
+        Response::Hits { epoch, hits } => {
+            assert_eq!(epoch, 0);
+            assert_eq!(hits.len(), 2);
+            assert_eq!(hits[0].id, 4);
+            assert_eq!(hits[0].distance, 2.0);
+        }
+        other => panic!("expected hits, got {other:?}"),
+    }
+    // The historical acks keep their exact meaning.
+    assert_eq!(
+        Response::parse("ok id=12").expect("added"),
+        Response::Added { id: 12 }
+    );
+    assert_eq!(
+        Response::parse("ok removed 3").expect("removed"),
+        Response::Removed {
+            id: 3,
+            existed: true
+        }
+    );
+    assert_eq!(
+        Response::parse("ok no such id 3").expect("no such"),
+        Response::Removed {
+            id: 3,
+            existed: false
+        }
+    );
+    assert_eq!(
+        Response::parse("ok epoch=5 len=80").expect("epoch"),
+        Response::Epoch { epoch: 5, len: 80 }
+    );
+    assert_eq!(
+        Response::parse("ok").expect("bare"),
+        Response::Ok { msg: String::new() }
+    );
+    // Untagged errors are the historical catch-all: BadRequest.
+    assert_eq!(
+        Response::parse("error: unrecognized command \"zap\"; try `help`").expect("error"),
+        Response::Error(ServerError::BadRequest(
+            "unrecognized command \"zap\"; try `help`".into()
+        ))
+    );
+}
+
+#[test]
+fn corrupt_replies_fail_loudly_not_quietly() {
+    // Count mismatch, missing terminator, body before an error — every
+    // desync must surface as Corrupt, never as a plausible value.
+    for bad in [
+        "hit id=1 ned=2\nok 2 hits epoch=3",
+        "hit id=1 ned=2",
+        "some text\nerror: io: boom",
+        "hit id=1 ned=x\nok 1 hits epoch=0",
+    ] {
+        match Response::parse(bad) {
+            Err(ServerError::Corrupt(_)) => {}
+            other => panic!("{bad:?} parsed to {other:?}"),
+        }
+    }
+}

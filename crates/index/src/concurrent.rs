@@ -102,11 +102,15 @@ pub enum WriteOutcome {
 
 /// The state shared between the writer and every reader handle.
 struct Shared {
-    /// The currently published snapshot. The lock is held for one `Arc`
-    /// clone (readers) or one pointer store (writer) — never across any
-    /// distance computation.
-    current: RwLock<Arc<SignatureIndex>>,
-    /// Bumped once per publication; `0` is the initial state.
+    /// The currently published snapshot **paired with its epoch**, so a
+    /// reader can learn both in one lock acquisition — the pairing is
+    /// what lets a query reply carry exactly the epoch of the snapshot
+    /// that answered it (the shard-fleet consistency tag). The lock is
+    /// held for one `Arc` clone (readers) or one pointer store (writer)
+    /// — never across any distance computation.
+    current: RwLock<(Arc<SignatureIndex>, u64)>,
+    /// Mirror of the published epoch for lock-free reads; `0` is the
+    /// initial state.
     epoch: AtomicU64,
 }
 
@@ -116,11 +120,15 @@ impl Shared {
     /// lock (a reader or writer panicked elsewhere) still yields the last
     /// fully published snapshot.
     fn snapshot(&self) -> Arc<SignatureIndex> {
+        self.snapshot_with_epoch().0
+    }
+
+    fn snapshot_with_epoch(&self) -> (Arc<SignatureIndex>, u64) {
         let guard = self
             .current
             .read()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        Arc::clone(&guard)
+        (Arc::clone(&guard.0), guard.1)
     }
 
     fn publish(&self, snap: Arc<SignatureIndex>) {
@@ -128,8 +136,10 @@ impl Shared {
             .current
             .write()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        *guard = snap;
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        let next = self.epoch.load(Ordering::Acquire) + 1;
+        *guard = (snap, next);
+        drop(guard);
+        self.epoch.store(next, Ordering::Release);
     }
 }
 
@@ -146,6 +156,15 @@ impl IndexReader {
     /// request when answering multiple questions that must agree.
     pub fn snapshot(&self) -> Arc<SignatureIndex> {
         self.shared.snapshot()
+    }
+
+    /// The currently published snapshot **and the epoch it published
+    /// as**, read atomically under one lock acquisition. Use this when a
+    /// reply must be tagged with the version that answered it (the shard
+    /// servers do): pairing `snapshot()` with a separate `epoch()` call
+    /// can tear across a concurrent publication.
+    pub fn snapshot_with_epoch(&self) -> (Arc<SignatureIndex>, u64) {
+        self.shared.snapshot_with_epoch()
     }
 
     /// How many publications have happened (`0` = initial state).
@@ -372,7 +391,7 @@ impl ConcurrentNedIndex {
     /// sequence it crashed at instead of restarting from 0.
     pub fn split_at(index: SignatureIndex, epoch: u64) -> (IndexWriter, IndexReader) {
         let shared = Arc::new(Shared {
-            current: RwLock::new(Arc::new(index.clone())),
+            current: RwLock::new((Arc::new(index.clone()), epoch)),
             epoch: AtomicU64::new(epoch),
         });
         let writer = IndexWriter {

@@ -266,6 +266,22 @@ impl From<LoadError> for DurableError {
     }
 }
 
+impl From<DurableError> for ned_core::proto::ServerError {
+    /// Maps storage failures onto the wire taxonomy: I/O trouble is
+    /// retryable ([`ned_core::proto::ServerError::Io`]); undecodable or
+    /// inconsistent persistent state is fatal
+    /// ([`ned_core::proto::ServerError::Corrupt`]).
+    fn from(e: DurableError) -> Self {
+        match e {
+            DurableError::Io(e) => ned_core::proto::ServerError::Io(e.to_string()),
+            DurableError::Codec(e) => ned_core::proto::ServerError::Corrupt(e.to_string()),
+            DurableError::Corrupt(why) => {
+                ned_core::proto::ServerError::Corrupt(format!("unrecoverable state: {why}"))
+            }
+        }
+    }
+}
+
 /// A [`ConcurrentNedIndex`] whose acknowledged state survives crashes.
 /// See the [module docs](self) for the recovery contract.
 pub struct DurableIndex {

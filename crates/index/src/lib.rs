@@ -18,8 +18,10 @@ pub mod bk_tree;
 pub mod concurrent;
 pub mod durable;
 pub mod filter;
+pub mod fleet;
 pub mod forest;
 pub mod maintain;
+pub mod router;
 pub mod server;
 pub mod signatures;
 
@@ -27,9 +29,11 @@ pub use bk_tree::{BkTree, IntFnMetric, IntMetric};
 pub use concurrent::{ConcurrentNedIndex, IndexReader, IndexWriter, WriteOp, WriteOutcome};
 pub use durable::{DurableError, DurableIndex, DurableOptions, RecoveryReport};
 pub use filter::{filter_refine_knn, BoundedMetric, FilteredKnn, FnBoundedMetric};
+pub use fleet::{split_index, ShardProcess};
 pub use forest::{ForestHit, ForestStats, ShardedVpForest};
-pub use maintain::{DeltaReport, GraphMaintainer};
-pub use server::{Dispatch, NedServer, ServerConfig, WireClient};
+pub use maintain::{DeltaReport, GraphMaintainer, MaterializedBatch};
+pub use router::{FleetHits, RouterOptions, RouterServer, ShardMap, ShardRouter};
+pub use server::{Dispatch, NedServer, ServerConfig, WireClient, WireClientBuilder};
 pub use signatures::{SignatureIndex, SignatureMetric, UnboundedSignatureMetric};
 
 use rand::Rng;

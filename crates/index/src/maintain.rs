@@ -168,6 +168,34 @@ impl GraphMaintainer {
     /// write batch through `writer` as **one** atomic publication (the
     /// epoch advances once per call, even for an all-no-op batch).
     pub fn apply(&mut self, deltas: &[GraphDelta], writer: &mut IndexWriter) -> DeltaReport {
+        let MaterializedBatch {
+            report,
+            ops,
+            insert_from,
+            added,
+        } = self.materialize(deltas);
+        let outcomes = writer.apply(ops);
+        let ids = outcomes[insert_from..].iter().map(|o| match o {
+            WriteOutcome::Inserted(id) => *id,
+            other => unreachable!("insert op answered {other:?}"),
+        });
+        self.commit_inserted(&added, ids);
+        report
+    }
+
+    /// The first half of [`GraphMaintainer::apply`]: mutates the tracked
+    /// graph and materializes the minimal write batch **without applying
+    /// it anywhere** — the seam a shard router needs, because its write
+    /// batch must be partitioned by owning shard (and its `Insert`s
+    /// converted to explicit-id puts) before anything executes.
+    ///
+    /// The maintainer's shadow state (graph, classes, liveness) is
+    /// updated eagerly by this call; newly added nodes stay id-less until
+    /// [`GraphMaintainer::commit_inserted`] runs. If the caller fails to
+    /// apply the batch (a shard write fails partway), this maintainer's
+    /// state no longer matches the index — **discard it** and re-attach,
+    /// exactly as the server detaches a tracked graph on a failed delta.
+    pub fn materialize(&mut self, deltas: &[GraphDelta]) -> MaterializedBatch {
         let radius = self.k.saturating_sub(1);
         let mut report = DeltaReport::default();
         let mut candidates: BTreeSet<NodeId> = BTreeSet::new();
@@ -261,15 +289,46 @@ impl GraphMaintainer {
                 report.inserted += 1;
             }
         }
-        let outcomes = writer.apply(ops);
-        for (&v, outcome) in added.iter().zip(&outcomes[insert_from..]) {
-            match outcome {
-                WriteOutcome::Inserted(id) => self.ids[v as usize] = *id,
-                other => unreachable!("insert op answered {other:?}"),
-            }
+        MaterializedBatch {
+            report,
+            ops,
+            insert_from,
+            added,
         }
-        report
     }
+
+    /// The second half of [`GraphMaintainer::apply`]: records the index
+    /// ids assigned to the batch's newly added nodes. `added` is the
+    /// [`MaterializedBatch::added`] vector and `ids` must yield one id
+    /// per node **in the same order** — the order the batch's `Insert`
+    /// ops appear at `ops[insert_from..]`.
+    pub fn commit_inserted(&mut self, added: &[NodeId], ids: impl IntoIterator<Item = u64>) {
+        let mut ids = ids.into_iter();
+        for &v in added {
+            let id = ids
+                .next()
+                .expect("one assigned id per added node, in batch order");
+            self.ids[v as usize] = id;
+        }
+        assert!(ids.next().is_none(), "more ids than added nodes");
+    }
+}
+
+/// The write batch one delta batch materializes to, before it is applied
+/// anywhere — see [`GraphMaintainer::materialize`].
+#[derive(Debug)]
+pub struct MaterializedBatch {
+    /// What the batch did (its `inserted`/`removed`/`replaced` counts
+    /// describe the ops below).
+    pub report: DeltaReport,
+    /// The minimal write batch, `Remove`/`Replace` first, then `Insert`s.
+    pub ops: Vec<WriteOp>,
+    /// `ops[insert_from..]` are the `Insert` ops, one per entry of
+    /// `added`, in order.
+    pub insert_from: usize,
+    /// Nodes added by this batch, in `Insert`-op order. Their ids are
+    /// unassigned until [`GraphMaintainer::commit_inserted`].
+    pub added: Vec<NodeId>,
 }
 
 impl std::fmt::Debug for GraphMaintainer {

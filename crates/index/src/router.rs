@@ -1,0 +1,1240 @@
+//! **Scatter-gather shard router**: one coordinator in front of a fleet
+//! of [`NedServer`](crate::server::NedServer) shard processes, each
+//! serving a disjoint id range of one logical signature index.
+//!
+//! The fleet contract, in one paragraph: a [`ShardMap`] statically
+//! partitions the id space by lower bounds (`owner(id)` = the last shard
+//! whose start is ≤ `id`), writes route to every replica of the owning
+//! shard through the idempotent explicit-id `putsig` primitive (the
+//! coordinator owns id assignment), and reads scatter to all shards and
+//! merge through one bounded `(distance, id)` heap — with the shared
+//! distance budget pushed down per shard as `sig ... within=<b>`, which
+//! tightens as shard replies land. Because per-shard results are computed
+//! by the same index code at the same `k`, and the merge orders exactly
+//! like [`sort_hits`](crate::forest::ForestHit) (distance, then id, ties
+//! kept by the **inclusive** budget), a fleet answer is bit-identical to
+//! a single-process index holding all the entries — the property the
+//! `fleet.rs` integration tests pin.
+//!
+//! Consistency is **read-your-acked-writes**: every shard reply carries
+//! the publication epoch of the snapshot that answered it, the router
+//! remembers the highest epoch each shard has acked (the *fleet epoch
+//! vector*), and a scatter read retries a replica whose reply is older
+//! than that shard's acked epoch — so a cross-shard result never mixes an
+//! acked write's before and after. Multi-shard delta batches additionally
+//! run under the fleet write lock, excluding scatter reads while the
+//! batch is in flight on several shards at once.
+//!
+//! Failure model: a replica that times out, refuses (overloaded), or
+//! drops the connection is skipped in favor of the next replica of the
+//! same shard; when every replica of a shard is unreachable or stale the
+//! operation fails with a *retryable* [`ServerError::Overloaded`] — the
+//! router is degraded, not wrong, and recovers as soon as a replica comes
+//! back (connections are re-dialed lazily from per-replica pools).
+
+use crate::concurrent::WriteOp;
+use crate::forest::ForestHit;
+use crate::maintain::GraphMaintainer;
+use crate::server::{Dispatch, WireClient};
+use ned_core::{Request, Response, ServerError, WireHit};
+use ned_graph::{io as graph_io, Graph, GraphDelta, NodeId};
+use std::collections::{BinaryHeap, HashMap};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Largest number of idle pooled connections kept per replica.
+const POOL_CAP: usize = 8;
+
+/// Static id-range partition of one logical index across a shard fleet.
+///
+/// `starts[i]` is the lowest id shard `i` may own; id `x` belongs to the
+/// **last** shard with `start <= x`, so when two shards share a start
+/// (an empty split group) the later one wins and the earlier owns
+/// nothing — exactly the layout [`split_index`](crate::fleet::split_index)
+/// produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    starts: Vec<u64>,
+}
+
+impl ShardMap {
+    /// Validates and wraps a lower-bound vector: non-empty, first bound
+    /// `0` (every id must have an owner), non-decreasing.
+    pub fn new(starts: Vec<u64>) -> Result<ShardMap, String> {
+        if starts.is_empty() {
+            return Err("a shard map needs at least one shard".to_string());
+        }
+        if starts[0] != 0 {
+            return Err(format!(
+                "the first shard must start at id 0, not {}",
+                starts[0]
+            ));
+        }
+        if starts.windows(2).any(|w| w[0] > w[1]) {
+            return Err(format!("shard starts must be non-decreasing: {starts:?}"));
+        }
+        Ok(ShardMap { starts })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The lower-bound vector, in shard order.
+    pub fn starts(&self) -> &[u64] {
+        &self.starts
+    }
+
+    /// The shard owning `id` (total: every id has exactly one owner).
+    pub fn owner(&self, id: u64) -> usize {
+        // partition_point is the count of starts <= id; >= 1 since
+        // starts[0] == 0.
+        self.starts.partition_point(|s| *s <= id) - 1
+    }
+}
+
+impl std::fmt::Display for ShardMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let bounds: Vec<String> = self.starts.iter().map(u64::to_string).collect();
+        write!(f, "{}", bounds.join(","))
+    }
+}
+
+/// Tunables for a [`ShardRouter`].
+#[derive(Debug, Clone, Copy)]
+pub struct RouterOptions {
+    /// Signature parameter of the fleet (used for router-side extraction
+    /// of `query`/`range`/`track` graph commands).
+    pub k: usize,
+    /// First id the router will auto-assign. Seed from
+    /// [`SignatureIndex::next_id`](crate::signatures::SignatureIndex::next_id)
+    /// of the index the fleet was split from, so fresh inserts never
+    /// collide with historical ids.
+    pub next_id: u64,
+    /// Per-connection read timeout toward shards.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout toward shards.
+    pub write_timeout: Option<Duration>,
+    /// Redial attempts per replica for (idempotent) shard writes.
+    pub retry_attempts: u32,
+    /// Scatter-read retry rounds across a shard's replicas before the
+    /// router reports the shard degraded. Backoff between rounds doubles
+    /// from 20ms up to 500ms.
+    pub read_rounds: u32,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            k: 3,
+            next_id: 0,
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Some(Duration::from_secs(5)),
+            retry_attempts: 4,
+            read_rounds: 12,
+        }
+    }
+}
+
+/// One shard replica endpoint with its idle-connection pool.
+struct Replica {
+    addr: String,
+    pool: Mutex<Vec<WireClient>>,
+}
+
+impl Replica {
+    fn new(addr: String) -> Replica {
+        Replica {
+            addr,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pops a pooled connection or dials a fresh one.
+    fn lease(&self, opts: &RouterOptions) -> Result<WireClient, ServerError> {
+        let pooled = self.pool.lock().unwrap_or_else(|p| p.into_inner()).pop();
+        match pooled {
+            Some(c) => Ok(c),
+            None => WireClient::builder()
+                .timeouts(opts.read_timeout, opts.write_timeout)
+                .connect(&self.addr)
+                .map_err(|e| ServerError::Io(format!("{}: {e}", self.addr))),
+        }
+    }
+
+    fn give_back(&self, client: WireClient) {
+        let mut pool = self.pool.lock().unwrap_or_else(|p| p.into_inner());
+        if pool.len() < POOL_CAP {
+            pool.push(client);
+        }
+    }
+
+    /// One request on a pooled connection. In-band `error:` replies are
+    /// surfaced as `Err` so callers see one failure channel; the
+    /// connection is returned to the pool only on success.
+    fn request(&self, opts: &RouterOptions, req: &Request) -> Result<Response, ServerError> {
+        let mut batch = self.request_batch(opts, std::slice::from_ref(req))?;
+        Ok(batch.pop().expect("length checked by request_batch"))
+    }
+
+    /// One multi-command frame on a pooled connection; any in-band
+    /// `error:` element fails the whole call.
+    fn request_batch(
+        &self,
+        opts: &RouterOptions,
+        reqs: &[Request],
+    ) -> Result<Vec<Response>, ServerError> {
+        let mut client = self.lease(opts)?;
+        match client.request_batch(reqs) {
+            Ok(resps) => {
+                // A dead or desynced connection must not go back in the
+                // pool; an in-band error leaves the stream healthy.
+                self.give_back(client);
+                for resp in &resps {
+                    if let Response::Error(e) = resp {
+                        return Err(e.clone());
+                    }
+                }
+                Ok(resps)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`Replica::request_batch`] with redial-and-retry on retryable
+    /// failures — only for idempotent batches (`putsig`, `remove`,
+    /// `epoch`, `checkpoint` all are).
+    fn request_retrying(
+        &self,
+        opts: &RouterOptions,
+        reqs: &[Request],
+    ) -> Result<Vec<Response>, ServerError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.request_batch(opts, reqs) {
+                Err(e) if e.is_retryable() && attempt + 1 < opts.retry_attempts.max(1) => {
+                    std::thread::sleep(backoff(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn backoff(round: u32) -> Duration {
+    Duration::from_millis((20u64 << round.min(5)).min(500))
+}
+
+/// One shard: its replicas plus the highest epoch the router has seen a
+/// write acked at — the shard's slot in the fleet epoch vector.
+struct Shard {
+    replicas: Vec<Replica>,
+    acked_epoch: AtomicU64,
+    /// Rotation cursor so concurrent reads spread across replicas.
+    cursor: AtomicUsize,
+}
+
+/// A merged scatter-read result: globally ordered hits plus the
+/// per-shard epochs that answered — the proof of which index versions
+/// the answer was computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetHits {
+    /// Hits sorted by `(distance, id)`, exactly as a single-process
+    /// index would return them.
+    pub hits: Vec<ForestHit>,
+    /// `epochs[i]` = publication epoch of shard `i`'s answering snapshot.
+    pub epochs: Vec<u64>,
+}
+
+/// The scatter-gather coordinator. See the [module docs](self).
+///
+/// Cheap to share behind an [`Arc`]; every operation takes `&self`.
+/// Writes serialize on the id counter (the fleet keeps the repo's
+/// single-writer idiom); scatter reads run concurrently.
+pub struct ShardRouter {
+    map: ShardMap,
+    shards: Vec<Shard>,
+    opts: RouterOptions,
+    /// Fleet-wide id assignment — held across a whole write so a failed
+    /// write never leaks its id into a later insert's way.
+    next_id: Mutex<u64>,
+    /// Readers-writer fence between scatter reads (read) and multi-shard
+    /// delta batches (write): a cross-shard query never observes half of
+    /// a delta batch.
+    fleet_lock: RwLock<()>,
+    /// The tracked mutating graph, maintained router-side; its write
+    /// batches are partitioned by owner and pushed down as `putsig`s.
+    maintained: Mutex<Option<GraphMaintainer>>,
+}
+
+impl ShardRouter {
+    /// Connects to a fleet: `replicas[i]` lists the `host:port` endpoints
+    /// serving shard `i` (at least one each). Each shard is probed once —
+    /// some replica of every shard must answer `epoch` — and the fleet
+    /// epoch vector starts from those probes.
+    pub fn connect(
+        map: ShardMap,
+        replicas: Vec<Vec<String>>,
+        opts: RouterOptions,
+    ) -> Result<ShardRouter, ServerError> {
+        if replicas.len() != map.shards() {
+            return Err(ServerError::bad(format!(
+                "shard map has {} shard(s) but {} replica group(s) were given",
+                map.shards(),
+                replicas.len()
+            )));
+        }
+        if let Some(empty) = replicas.iter().position(Vec::is_empty) {
+            return Err(ServerError::bad(format!(
+                "shard {empty} has no replica endpoints"
+            )));
+        }
+        let shards: Vec<Shard> = replicas
+            .into_iter()
+            .map(|group| Shard {
+                replicas: group.into_iter().map(Replica::new).collect(),
+                acked_epoch: AtomicU64::new(0),
+                cursor: AtomicUsize::new(0),
+            })
+            .collect();
+        let router = ShardRouter {
+            map,
+            shards,
+            opts,
+            next_id: Mutex::new(opts.next_id),
+            fleet_lock: RwLock::new(()),
+            maintained: Mutex::new(None),
+        };
+        for i in 0..router.shards.len() {
+            let resp = router.shard_read(i, &Request::Epoch, 0)?;
+            if let Response::Epoch { epoch, .. } = resp {
+                router.shards[i].acked_epoch.store(epoch, Ordering::Release);
+            }
+        }
+        Ok(router)
+    }
+
+    /// The id-range partition this router routes by.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The options the router was built with.
+    pub fn options(&self) -> &RouterOptions {
+        &self.opts
+    }
+
+    /// The current fleet epoch vector (highest acked epoch per shard).
+    pub fn acked_epochs(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.acked_epoch.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// The id the next auto-assigning insert will take.
+    pub fn peek_next_id(&self) -> u64 {
+        *self.next_id.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// One read against shard `shard_idx`, requiring a reply epoch of at
+    /// least `min_epoch` when the reply carries one. Rotates across
+    /// replicas, skipping retryable failures and stale snapshots; when
+    /// every round is exhausted the shard is *degraded* and the error is
+    /// a retryable [`ServerError::Overloaded`].
+    fn shard_read(
+        &self,
+        shard_idx: usize,
+        req: &Request,
+        min_epoch: u64,
+    ) -> Result<Response, ServerError> {
+        let shard = &self.shards[shard_idx];
+        let n = shard.replicas.len();
+        let mut last: Option<ServerError> = None;
+        for round in 0..self.opts.read_rounds.max(1) {
+            if round > 0 {
+                std::thread::sleep(backoff(round - 1));
+            }
+            let start = shard.cursor.fetch_add(1, Ordering::Relaxed);
+            for i in 0..n {
+                let replica = &shard.replicas[(start + i) % n];
+                match replica.request(&self.opts, req) {
+                    Ok(resp) => match resp.epoch() {
+                        Some(epoch) if epoch < min_epoch => {
+                            last = Some(ServerError::Overloaded(format!(
+                                "replica {} lags at epoch {epoch} (need {min_epoch})",
+                                replica.addr
+                            )));
+                        }
+                        _ => return Ok(resp),
+                    },
+                    Err(e) if e.is_retryable() => last = Some(e),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Err(ServerError::Overloaded(format!(
+            "shard {shard_idx} degraded: no replica answered at epoch >= {min_epoch} ({})",
+            last.map_or_else(|| "no replicas".to_string(), |e| e.to_string())
+        )))
+    }
+
+    /// One (idempotent) write batch against **every** replica of shard
+    /// `shard_idx`. The batch must carry at least one epoch-bearing
+    /// reply (a `putsig` ack, or a trailing `epoch` probe); the write is
+    /// acked at the *minimum* epoch across replicas — only then is it on
+    /// every replica, which is what lets a later read accept any one of
+    /// them. Returns the first replica's replies.
+    fn write_shard(
+        &self,
+        shard_idx: usize,
+        reqs: &[Request],
+    ) -> Result<Vec<Response>, ServerError> {
+        let shard = &self.shards[shard_idx];
+        let mut first: Option<Vec<Response>> = None;
+        let mut acked = u64::MAX;
+        for replica in &shard.replicas {
+            let resps = replica.request_retrying(&self.opts, reqs)?;
+            let epoch = resps
+                .iter()
+                .rev()
+                .find_map(Response::epoch)
+                .ok_or_else(|| {
+                    ServerError::Corrupt(format!(
+                        "shard {shard_idx}: write batch reply carried no epoch"
+                    ))
+                })?;
+            acked = acked.min(epoch);
+            if first.is_none() {
+                first = Some(resps);
+            }
+        }
+        shard.acked_epoch.fetch_max(acked, Ordering::AcqRel);
+        Ok(first.expect("every shard has at least one replica"))
+    }
+
+    /// Scatter-gather k-NN by literal shape: bit-identical to querying a
+    /// single index holding every shard's entries. `within` (when given)
+    /// seeds the shared budget — e.g. a `sig ... within=<b>` forwarded
+    /// from an upstream coordinator.
+    pub fn knn(
+        &self,
+        shape: &str,
+        top: usize,
+        within: Option<u64>,
+    ) -> Result<FleetHits, ServerError> {
+        let _fleet = self.fleet_lock.read().unwrap_or_else(|p| p.into_inner());
+        let min_epochs = self.acked_epochs();
+        // The shared radius: an inclusive upper bound on distances that
+        // can still enter the global top-k. Starts unbounded (u64::MAX
+        // encodes "no budget") and tightens monotonically as shard
+        // replies fill the merge heap.
+        let budget = AtomicU64::new(within.unwrap_or(u64::MAX));
+        let merge = Mutex::new(BoundedMerge::new(top));
+        let epochs = Mutex::new(vec![0u64; self.shards.len()]);
+        let results: Vec<Result<(), ServerError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.shards.len())
+                .map(|i| {
+                    let (budget, merge, epochs, min_epochs) =
+                        (&budget, &merge, &epochs, &min_epochs);
+                    scope.spawn(move || -> Result<(), ServerError> {
+                        let b = budget.load(Ordering::Acquire);
+                        let req = Request::Sig {
+                            shape: shape.to_string(),
+                            top,
+                            within: (b != u64::MAX).then_some(b),
+                        };
+                        let resp = self.shard_read(i, &req, min_epochs[i])?;
+                        let Response::Hits { epoch, hits } = resp else {
+                            return Err(ServerError::Corrupt(format!(
+                                "shard {i} answered a sig query with a non-hits reply"
+                            )));
+                        };
+                        let mut m = merge.lock().unwrap_or_else(|p| p.into_inner());
+                        for hit in hits {
+                            m.push(hit);
+                        }
+                        if let Some(bound) = m.bound() {
+                            budget.fetch_min(bound, Ordering::AcqRel);
+                        }
+                        drop(m);
+                        epochs.lock().unwrap_or_else(|p| p.into_inner())[i] = epoch;
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter worker panicked"))
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(FleetHits {
+            hits: merge
+                .into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .into_sorted_hits(),
+            epochs: epochs.into_inner().unwrap_or_else(|p| p.into_inner()),
+        })
+    }
+
+    /// Scatter-gather range query by literal shape (all hits with
+    /// NED ≤ `radius`), merged into global `(distance, id)` order.
+    pub fn range(&self, shape: &str, radius: u64) -> Result<FleetHits, ServerError> {
+        let _fleet = self.fleet_lock.read().unwrap_or_else(|p| p.into_inner());
+        let min_epochs = self.acked_epochs();
+        let results: Vec<Result<(u64, Vec<WireHit>), ServerError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.shards.len())
+                .map(|i| {
+                    let min_epochs = &min_epochs;
+                    scope.spawn(move || {
+                        let req = Request::RangeSig {
+                            shape: shape.to_string(),
+                            radius,
+                        };
+                        match self.shard_read(i, &req, min_epochs[i])? {
+                            Response::Hits { epoch, hits } => Ok((epoch, hits)),
+                            _ => Err(ServerError::Corrupt(format!(
+                                "shard {i} answered a rangesig query with a non-hits reply"
+                            ))),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter worker panicked"))
+                .collect()
+        });
+        let mut hits: Vec<ForestHit> = Vec::new();
+        let mut epochs = Vec::with_capacity(self.shards.len());
+        for r in results {
+            let (epoch, shard_hits) = r?;
+            epochs.push(epoch);
+            hits.extend(shard_hits.into_iter().map(|h| ForestHit {
+                id: h.id,
+                distance: h.distance,
+            }));
+        }
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        Ok(FleetHits { hits, epochs })
+    }
+
+    /// Scatter `epoch` to every shard; returns the **summed** epochs and
+    /// live sizes — the sums are monotone under writes, which is what a
+    /// client polling `epoch` for progress relies on.
+    pub fn epoch(&self) -> Result<(u64, u64), ServerError> {
+        let _fleet = self.fleet_lock.read().unwrap_or_else(|p| p.into_inner());
+        let min_epochs = self.acked_epochs();
+        let mut epoch_sum = 0u64;
+        let mut len_sum = 0u64;
+        for (i, &min_epoch) in min_epochs.iter().enumerate() {
+            match self.shard_read(i, &Request::Epoch, min_epoch)? {
+                Response::Epoch { epoch, len } => {
+                    epoch_sum += epoch;
+                    len_sum += len;
+                }
+                _ => {
+                    return Err(ServerError::Corrupt(format!(
+                        "shard {i} answered `epoch` with a different reply"
+                    )))
+                }
+            }
+        }
+        Ok((epoch_sum, len_sum))
+    }
+
+    /// Inserts a literal shape under the next fleet-assigned id; the id
+    /// is acked on **all** replicas of the owning shard before it is
+    /// returned (a failed write burns no id and may be retried).
+    pub fn insert_shape(&self, shape: &str) -> Result<u64, ServerError> {
+        let _fleet = self.fleet_lock.read().unwrap_or_else(|p| p.into_inner());
+        let mut next = self.next_id.lock().unwrap_or_else(|p| p.into_inner());
+        let id = *next;
+        self.write_shard(
+            self.map.owner(id),
+            &[Request::PutSig {
+                id,
+                shape: shape.to_string(),
+            }],
+        )?;
+        *next = id + 1;
+        Ok(id)
+    }
+
+    /// Writes a literal shape under an **explicit** id (replacing any
+    /// live occupant) and bumps the fleet id watermark past it. Returns
+    /// `(fresh, acked_epoch_sum)`.
+    pub fn put_shape(&self, id: u64, shape: &str) -> Result<(bool, u64), ServerError> {
+        let _fleet = self.fleet_lock.read().unwrap_or_else(|p| p.into_inner());
+        let mut next = self.next_id.lock().unwrap_or_else(|p| p.into_inner());
+        let resps = self.write_shard(
+            self.map.owner(id),
+            &[Request::PutSig {
+                id,
+                shape: shape.to_string(),
+            }],
+        )?;
+        *next = (*next).max(id.saturating_add(1));
+        match resps.first() {
+            Some(Response::Put { fresh, .. }) => Ok((*fresh, self.acked_epoch_sum())),
+            _ => Err(ServerError::Corrupt(
+                "shard answered putsig with a different reply".to_string(),
+            )),
+        }
+    }
+
+    /// Removes an id from its owning shard (all replicas). Returns
+    /// whether a live signature existed.
+    pub fn remove(&self, id: u64) -> Result<bool, ServerError> {
+        let _fleet = self.fleet_lock.read().unwrap_or_else(|p| p.into_inner());
+        let resps = self.write_shard(
+            self.map.owner(id),
+            // `remove` acks carry no epoch, so harvest one explicitly.
+            &[Request::Remove { id }, Request::Epoch],
+        )?;
+        match resps.first() {
+            Some(Response::Removed { existed, .. }) => Ok(*existed),
+            _ => Err(ServerError::Corrupt(
+                "shard answered remove with a different reply".to_string(),
+            )),
+        }
+    }
+
+    /// Attaches a mutating graph for `addedge`/`deledge` deltas, exactly
+    /// like [`NedServer::track`](crate::server::NedServer::track) —
+    /// except the router holds no local index to verify against, so the
+    /// caller is trusted that node `v` is indexed fleet-wide under id
+    /// `v` (the layout a split of an `insert_graph`-built index has).
+    pub fn track(&self, graph: &Graph) -> Result<String, ServerError> {
+        let mut tracked = self.maintained.lock().unwrap_or_else(|p| p.into_inner());
+        let maintainer = GraphMaintainer::attach(graph, self.opts.k, 0, 0);
+        let line = format!(
+            "tracking graph ({} nodes, {} edges, k = {})",
+            maintainer.num_nodes(),
+            maintainer.num_edges(),
+            maintainer.k()
+        );
+        *tracked = Some(maintainer);
+        Ok(line)
+    }
+
+    /// Applies one delta batch to the tracked graph and pushes the
+    /// materialized write batch down to the owning shards, under the
+    /// fleet **write** lock — scatter reads never observe half of it.
+    /// Insert ops get fleet-assigned ids (converted to `putsig`); every
+    /// per-shard batch ends with an `epoch` probe that advances the
+    /// fleet epoch vector. On any shard failure the tracked graph is
+    /// detached (its shadow state no longer matches the fleet) and the
+    /// caller must re-track, mirroring the single-process server.
+    pub fn apply_delta(&self, deltas: &[GraphDelta]) -> Result<String, ServerError> {
+        let _fleet = self.fleet_lock.write().unwrap_or_else(|p| p.into_inner());
+        let mut tracked = self.maintained.lock().unwrap_or_else(|p| p.into_inner());
+        let maintainer = tracked
+            .as_mut()
+            .ok_or_else(|| ServerError::bad("no tracked graph; run `track <graph.edges>` first"))?;
+        // Validate endpoints against the *running* slot count: an edge may
+        // legally reference a node added earlier in the same batch.
+        let mut slots = maintainer.num_nodes();
+        for delta in deltas {
+            match delta {
+                GraphDelta::AddNode => slots += 1,
+                GraphDelta::AddEdge(a, b) | GraphDelta::RemoveEdge(a, b) => {
+                    if *a as usize >= slots || *b as usize >= slots {
+                        return Err(ServerError::bad(format!(
+                            "edge ({a}, {b}) out of range ({slots} nodes)"
+                        )));
+                    }
+                }
+                GraphDelta::RemoveNode(_) => {}
+            }
+        }
+        let batch = match catch_unwind(AssertUnwindSafe(|| maintainer.materialize(deltas))) {
+            Ok(batch) => batch,
+            Err(_) => {
+                *tracked = None;
+                return Err(ServerError::Io(
+                    "delta materialization failed (internal panic); the tracked graph was \
+                     detached — re-track to resume"
+                        .to_string(),
+                ));
+            }
+        };
+        let mut next = self.next_id.lock().unwrap_or_else(|p| p.into_inner());
+        let mut assigned = Vec::with_capacity(batch.added.len());
+        let mut per_shard: Vec<Vec<Request>> = vec![Vec::new(); self.shards.len()];
+        for op in &batch.ops {
+            match op {
+                WriteOp::Remove(id) => {
+                    per_shard[self.map.owner(*id)].push(Request::Remove { id: *id });
+                }
+                WriteOp::Replace(id, sig) => {
+                    per_shard[self.map.owner(*id)].push(Request::PutSig {
+                        id: *id,
+                        shape: ned_tree::serialize::print(sig.tree()),
+                    });
+                }
+                WriteOp::Insert(sig) => {
+                    let id = *next;
+                    *next += 1;
+                    assigned.push(id);
+                    per_shard[self.map.owner(id)].push(Request::PutSig {
+                        id,
+                        shape: ned_tree::serialize::print(sig.tree()),
+                    });
+                }
+            }
+        }
+        for (shard, mut reqs) in per_shard.into_iter().enumerate() {
+            if reqs.is_empty() {
+                continue;
+            }
+            reqs.push(Request::Epoch);
+            if let Err(e) = self.write_shard(shard, &reqs) {
+                *tracked = None;
+                return Err(ServerError::Io(format!(
+                    "delta application failed on shard {shard} ({e}); the tracked graph was \
+                     detached — re-track to resume (acked state is consistent: unacked ops \
+                     are idempotent and safe to replay)"
+                )));
+            }
+        }
+        maintainer.commit_inserted(&batch.added, assigned);
+        Ok(format!("{} epoch={}", batch.report, self.acked_epoch_sum()))
+    }
+
+    /// Sends `req` to every replica of every shard, failing on the first
+    /// error. Returns how many replicas answered (used by `checkpoint`).
+    pub fn broadcast(&self, req: &Request) -> Result<usize, ServerError> {
+        let mut count = 0;
+        for shard in &self.shards {
+            for replica in &shard.replicas {
+                replica.request_retrying(&self.opts, std::slice::from_ref(req))?;
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    /// Best-effort clean shutdown of every shard replica (each drains,
+    /// checkpoints, and exits). Unreachable replicas are skipped; returns
+    /// how many acknowledged the drain.
+    pub fn shutdown_fleet(&self) -> usize {
+        let mut count = 0;
+        for shard in &self.shards {
+            for replica in &shard.replicas {
+                if replica.request(&self.opts, &Request::Shutdown).is_ok() {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Human-readable fleet topology + epoch vector (the router's
+    /// `stats` reply).
+    pub fn stats_line(&self) -> String {
+        let mut lines = vec![format!(
+            "router: {} shard(s), bounds [{}], next id {}, k = {}",
+            self.map.shards(),
+            self.map,
+            self.peek_next_id(),
+            self.opts.k
+        )];
+        for (i, shard) in self.shards.iter().enumerate() {
+            let addrs: Vec<&str> = shard.replicas.iter().map(|r| r.addr.as_str()).collect();
+            lines.push(format!(
+                "shard {i}: start {}, acked epoch {}, replicas [{}]",
+                self.map.starts()[i],
+                shard.acked_epoch.load(Ordering::Acquire),
+                addrs.join(", ")
+            ));
+        }
+        lines.join("\n")
+    }
+
+    fn acked_epoch_sum(&self) -> u64 {
+        self.acked_epochs().iter().sum()
+    }
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("map", &self.map)
+            .field("acked_epochs", &self.acked_epochs())
+            .finish()
+    }
+}
+
+/// A bounded `(distance, id)` merge: keeps the `cap` globally smallest
+/// hits, exactly the order [`crate::forest::ShardedVpForest`] sorts by —
+/// max-heap rooted at the current worst kept hit, so the eviction bound
+/// is O(1) to read and tightens the shared scatter budget.
+struct BoundedMerge {
+    cap: usize,
+    heap: BinaryHeap<MergeEntry>,
+}
+
+impl BoundedMerge {
+    fn new(cap: usize) -> BoundedMerge {
+        BoundedMerge {
+            cap,
+            heap: BinaryHeap::with_capacity(cap.saturating_add(1)),
+        }
+    }
+
+    fn push(&mut self, hit: WireHit) {
+        if self.cap == 0 {
+            return;
+        }
+        let entry = MergeEntry(hit);
+        if self.heap.len() < self.cap {
+            self.heap.push(entry);
+        } else if let Some(worst) = self.heap.peek() {
+            if entry < *worst {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// The inclusive distance budget proven so far: once the heap is
+    /// full, no hit with distance strictly above the worst kept distance
+    /// can enter — ties still can (smaller id wins), hence *inclusive*.
+    /// Distances are integral (NED is a u64 carried as f64), so the cast
+    /// is exact.
+    fn bound(&self) -> Option<u64> {
+        if self.heap.len() == self.cap {
+            self.heap.peek().map(|worst| worst.0.distance as u64)
+        } else {
+            None
+        }
+    }
+
+    fn into_sorted_hits(self) -> Vec<ForestHit> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| ForestHit {
+                id: e.0.id,
+                distance: e.0.distance,
+            })
+            .collect()
+    }
+}
+
+/// Heap ordering: by `(distance, id)` ascending, so the heap max is the
+/// worst kept hit. Distances are never NaN (`total_cmp` for rigor).
+struct MergeEntry(WireHit);
+
+impl PartialEq for MergeEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for MergeEntry {}
+
+impl PartialOrd for MergeEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MergeEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .distance
+            .total_cmp(&other.0.distance)
+            .then_with(|| self.0.id.cmp(&other.0.id))
+    }
+}
+
+/// The router's TCP front-end: speaks the **same** framed protocol and
+/// reply grammar as a single [`NedServer`](crate::server::NedServer), so
+/// every existing client ([`WireClient`], `loadgen`, the CLI REPL) works
+/// against a fleet unchanged. Graph-file commands (`query`, `range`,
+/// `add`, `track`) are resolved router-side: the graph is loaded here,
+/// the signature extracted at the fleet's `k`, and the query pushed down
+/// by literal shape.
+pub struct RouterServer {
+    router: ShardRouter,
+    graphs: Mutex<HashMap<String, Arc<Graph>>>,
+    shutting_down: AtomicBool,
+    local_addr: Mutex<Option<SocketAddr>>,
+}
+
+impl RouterServer {
+    /// Wraps a connected router.
+    pub fn new(router: ShardRouter) -> RouterServer {
+        RouterServer {
+            router,
+            graphs: Mutex::new(HashMap::new()),
+            shutting_down: AtomicBool::new(false),
+            local_addr: Mutex::new(None),
+        }
+    }
+
+    /// The wrapped router (e.g. for a clean `shutdown_fleet` after
+    /// serving ends).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Executes one non-session request against the fleet.
+    pub fn execute(&self, req: &Request) -> Result<Response, ServerError> {
+        Ok(match req {
+            Request::Help => Response::Info {
+                body: ROUTER_HELP_BODY.to_string(),
+            },
+            Request::Stats => Response::Info {
+                body: self.router.stats_line(),
+            },
+            Request::Epoch => {
+                let (epoch, len) = self.router.epoch()?;
+                Response::Epoch { epoch, len }
+            }
+            Request::Query { path, node, top } => {
+                let shape = self.shape_for(path, *node)?;
+                fleet_hits_response(self.router.knn(&shape, *top, None)?)
+            }
+            Request::Range { path, node, radius } => {
+                let shape = self.shape_for(path, *node)?;
+                fleet_hits_response(self.router.range(&shape, *radius)?)
+            }
+            Request::Sig { shape, top, within } => {
+                fleet_hits_response(self.router.knn(shape, *top, *within)?)
+            }
+            Request::RangeSig { shape, radius } => {
+                fleet_hits_response(self.router.range(shape, *radius)?)
+            }
+            Request::Add { path, node } => {
+                let shape = self.shape_for(path, *node)?;
+                Response::Added {
+                    id: self.router.insert_shape(&shape)?,
+                }
+            }
+            Request::AddSig { shape } => Response::Added {
+                id: self.router.insert_shape(shape)?,
+            },
+            Request::PutSig { id, shape } => {
+                let (fresh, epoch) = self.router.put_shape(*id, shape)?;
+                Response::Put {
+                    id: *id,
+                    fresh,
+                    epoch,
+                }
+            }
+            Request::Remove { id } => Response::Removed {
+                id: *id,
+                existed: self.router.remove(*id)?,
+            },
+            Request::Track { path } => {
+                let graph = self.graph(path)?;
+                Response::Ok {
+                    msg: self.router.track(&graph)?,
+                }
+            }
+            Request::AddEdge { a, b } => Response::Ok {
+                msg: self.router.apply_delta(&[GraphDelta::AddEdge(*a, *b)])?,
+            },
+            Request::DelEdge { a, b } => Response::Ok {
+                msg: self.router.apply_delta(&[GraphDelta::RemoveEdge(*a, *b)])?,
+            },
+            Request::Save { .. } => {
+                return Err(ServerError::bad(
+                    "the router holds no index to save; run `save` against a shard, or \
+                     `checkpoint` to checkpoint the whole fleet",
+                ))
+            }
+            Request::Checkpoint => {
+                let n = self.router.broadcast(&Request::Checkpoint)?;
+                Response::Ok {
+                    msg: format!("checkpoint forwarded to {n} shard replica(s)"),
+                }
+            }
+            Request::TestPanic => {
+                return Err(ServerError::bad(
+                    "unrecognized command \"__panic\"; try `help`",
+                ))
+            }
+            Request::Quit | Request::Shutdown => {
+                unreachable!("session control handled by dispatch_request")
+            }
+        })
+    }
+
+    /// [`NedServer::dispatch`](crate::server::NedServer::dispatch)-shaped
+    /// entry point: parse, execute, render.
+    pub fn dispatch(&self, line: &str) -> Dispatch {
+        match Request::parse_line(line) {
+            Ok(None) => Dispatch::Reply(String::new()),
+            Ok(Some(req)) => self.dispatch_request(req),
+            Err(e) => Dispatch::Reply(Response::Error(e).to_string()),
+        }
+    }
+
+    /// Routes session control; everything else goes through
+    /// [`RouterServer::execute`].
+    pub fn dispatch_request(&self, req: Request) -> Dispatch {
+        match req {
+            Request::Quit => Dispatch::Quit,
+            Request::Shutdown => {
+                self.initiate_shutdown();
+                Dispatch::Shutdown
+            }
+            req => Dispatch::Reply(
+                self.execute(&req)
+                    .unwrap_or_else(Response::Error)
+                    .to_string(),
+            ),
+        }
+    }
+
+    /// Executes a whole frame payload (newline-separated commands,
+    /// replies concatenated in order). The scatter layer is internally
+    /// parallel, so frames run sequentially here; a panic in one command
+    /// is isolated to an error reply, like the single-process server.
+    pub fn handle_payload(&self, payload: &str) -> (String, bool) {
+        let mut replies = Vec::new();
+        for line in payload.lines() {
+            let dispatched =
+                catch_unwind(AssertUnwindSafe(|| self.dispatch(line))).unwrap_or_else(|_| {
+                    Dispatch::Reply(
+                        Response::Error(ServerError::Io(
+                            "internal panic while executing the command; the router is \
+                             still serving"
+                                .to_string(),
+                        ))
+                        .to_string(),
+                    )
+                });
+            match dispatched {
+                Dispatch::Reply(r) => replies.push(r),
+                Dispatch::Quit => {
+                    replies.push("ok bye".to_string());
+                    return (replies.join("\n"), true);
+                }
+                Dispatch::Shutdown => {
+                    replies.push(
+                        "ok draining: in-flight connections finish, then the router exits \
+                         (shards keep serving)"
+                            .to_string(),
+                    );
+                    return (replies.join("\n"), true);
+                }
+            }
+        }
+        (replies.join("\n"), false)
+    }
+
+    /// Serves the framed protocol until `shutdown`: thread per
+    /// connection, one reply frame per request frame.
+    pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        *self.local_addr.lock().unwrap_or_else(|p| p.into_inner()) = listener.local_addr().ok();
+        for conn in listener.incoming() {
+            if self.shutting_down.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let server = Arc::clone(self);
+            std::thread::spawn(move || server.handle_conn(stream));
+        }
+        Ok(())
+    }
+
+    /// Flips the drain flag and wakes the blocked acceptor.
+    pub fn initiate_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        let addr = *self.local_addr.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(addr) = addr {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+        }
+    }
+
+    fn handle_conn(&self, mut stream: TcpStream) {
+        use ned_core::wire;
+        loop {
+            match wire::read_frame(&mut stream) {
+                Ok(None) => return,
+                Err(e) => {
+                    let reply = Response::Error(ServerError::from(e)).to_string();
+                    let _ = wire::write_text_frame(&mut stream, &reply);
+                    return;
+                }
+                Ok(Some(payload)) => {
+                    let text = match String::from_utf8(payload) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            // Framing is still in sync — reply in-band
+                            // and keep the session, like NedServer.
+                            let reply = Response::Error(ServerError::Corrupt(
+                                "frame payload is not UTF-8".to_string(),
+                            ))
+                            .to_string();
+                            if wire::write_text_frame(&mut stream, &reply).is_err() {
+                                return;
+                            }
+                            continue;
+                        }
+                    };
+                    let (reply, end) = self.handle_payload(&text);
+                    if wire::write_text_frame(&mut stream, &reply).is_err() || end {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn graph(&self, path: &str) -> Result<Arc<Graph>, ServerError> {
+        let cached = {
+            let graphs = self.graphs.lock().unwrap_or_else(|p| p.into_inner());
+            graphs.get(path).cloned()
+        };
+        match cached {
+            Some(g) => Ok(g),
+            None => {
+                let g = Arc::new(
+                    graph_io::read_edge_list(Path::new(path), false)
+                        .map_err(|e| ServerError::bad(format!("{path}: {e}")))?,
+                );
+                self.graphs
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .insert(path.to_string(), Arc::clone(&g));
+                Ok(g)
+            }
+        }
+    }
+
+    /// Extracts `<path> <node>`'s signature at the fleet's `k` and
+    /// renders it as the literal shape pushed down to shards.
+    fn shape_for(&self, path: &str, node: NodeId) -> Result<String, ServerError> {
+        let graph = self.graph(path)?;
+        if (node as usize) >= graph.num_nodes() {
+            return Err(ServerError::bad(format!(
+                "node {node} out of range (graph has {} nodes)",
+                graph.num_nodes()
+            )));
+        }
+        let sig = ned_core::NodeSignature::extract(&graph, node, self.router.opts.k);
+        Ok(ned_tree::serialize::print(sig.tree()))
+    }
+}
+
+impl std::fmt::Debug for RouterServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterServer")
+            .field("router", &self.router)
+            .finish()
+    }
+}
+
+fn fleet_hits_response(fleet: FleetHits) -> Response {
+    Response::Hits {
+        // One scalar for the wire: the sum of per-shard epochs, monotone
+        // under acked writes.
+        epoch: fleet.epochs.iter().sum(),
+        hits: fleet
+            .hits
+            .iter()
+            .map(|h| WireHit {
+                id: h.id,
+                distance: h.distance,
+            })
+            .collect(),
+    }
+}
+
+const ROUTER_HELP_BODY: &str = "\
+commands (scatter-gather; same grammar as a single server):\n\
+\x20 query <graph.edges> <node> [top]   k-NN across all shards\n\
+\x20 range <graph.edges> <node> <r>     range query across all shards\n\
+\x20 sig <parens-tree> [top] [within=b] k-NN by a literal tree shape\n\
+\x20 rangesig <parens-tree> <r>         range query by a literal shape\n\
+\x20 add <graph.edges> <node>           index one signature (router assigns the id)\n\
+\x20 addsig <parens-tree>               index a literal tree shape\n\
+\x20 putsig <id> <parens-tree>          write a shape under an explicit id\n\
+\x20 remove <id>                        drop a signature by id\n\
+\x20 track <graph.edges>                attach a mutating graph for deltas\n\
+\x20 addedge <a> <b> / deledge <a> <b>  delta the tracked graph, fan out to shards\n\
+\x20 stats                              fleet topology + epoch vector\n\
+\x20 epoch                              summed shard epochs + live size\n\
+\x20 checkpoint                         checkpoint every shard replica\n\
+\x20 shutdown                           drain the router (shards keep serving)\n\
+\x20 quit                               end this session";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_map_routes_by_last_bound() {
+        let map = ShardMap::new(vec![0, 10, 10, 20]).expect("valid");
+        assert_eq!(map.owner(0), 0);
+        assert_eq!(map.owner(9), 0);
+        // Duplicate starts: the later shard wins, the earlier owns nothing.
+        assert_eq!(map.owner(10), 2);
+        assert_eq!(map.owner(19), 2);
+        assert_eq!(map.owner(20), 3);
+        assert_eq!(map.owner(u64::MAX), 3);
+    }
+
+    #[test]
+    fn shard_map_rejects_bad_bounds() {
+        assert!(ShardMap::new(vec![]).is_err());
+        assert!(ShardMap::new(vec![1]).is_err());
+        assert!(ShardMap::new(vec![0, 5, 3]).is_err());
+    }
+
+    #[test]
+    fn bounded_merge_keeps_global_order_and_bound() {
+        let mut m = BoundedMerge::new(3);
+        assert_eq!(m.bound(), None, "not full yet");
+        for (id, d) in [(7u64, 4.0), (1, 2.0), (9, 2.0), (3, 0.0), (5, 6.0)] {
+            m.push(WireHit { id, distance: d });
+        }
+        assert_eq!(m.bound(), Some(2));
+        let hits = m.into_sorted_hits();
+        let got: Vec<(u64, f64)> = hits.iter().map(|h| (h.id, h.distance)).collect();
+        // Ties at distance 2 break by id: 1 then 9.
+        assert_eq!(got, vec![(3, 0.0), (1, 2.0), (9, 2.0)]);
+    }
+
+    #[test]
+    fn bounded_merge_evicts_on_id_ties_too() {
+        let mut m = BoundedMerge::new(2);
+        m.push(WireHit {
+            id: 8,
+            distance: 5.0,
+        });
+        m.push(WireHit {
+            id: 9,
+            distance: 5.0,
+        });
+        // Same distance, smaller id: must displace id 9.
+        m.push(WireHit {
+            id: 2,
+            distance: 5.0,
+        });
+        let got: Vec<u64> = m.into_sorted_hits().iter().map(|h| h.id).collect();
+        assert_eq!(got, vec![2, 8]);
+    }
+}

@@ -1,28 +1,37 @@
 //! The **serving front-end** over [`crate::durable::DurableIndex`]: one
-//! command dispatcher shared by every surface, a dependency-free
+//! typed command dispatcher shared by every surface, a dependency-free
 //! `std::net` TCP server speaking the framed batch protocol, and the
 //! matching client.
 //!
 //! # Command language
 //!
 //! One command per line, answers as text whose final line starts with
-//! `ok` or `error:`. The same lines work over every surface — the CLI
-//! REPL feeds stdin lines straight into [`NedServer::dispatch`], the TCP
-//! server feeds it decoded frame payloads — so behavior cannot drift
-//! between the interactive and networked paths.
+//! `ok` or `error:`. The line grammar lives in [`ned_core::proto`]: a
+//! line is parsed **once** into a [`Request`] at whatever boundary it
+//! arrives (REPL stdin via [`NedServer::dispatch`], a decoded TCP frame
+//! via [`NedServer::handle_payload`]) and from there execution is an
+//! exhaustive `match` on the enum — no token matching anywhere past the
+//! parse, so behavior cannot drift between the interactive and networked
+//! paths and a coordinator composes [`Request`] values programmatically
+//! instead of formatting strings.
 //!
 //! ```text
 //! query <graph.edges> <node> [top]    nearest indexed signatures
 //! range <graph.edges> <node> <r>      all signatures with NED <= r
-//! sig <parens-tree> [top]             query by a literal tree shape
+//! sig <parens-tree> [top] [within=b]  query by a literal tree shape
+//!                                     (within= is the scatter-gather
+//!                                     distance budget pushdown)
 //! rangesig <parens-tree> <r>          range query by a literal shape
 //! add <graph.edges> <node>            index one more signature
 //! addsig <parens-tree>                index a literal tree shape
+//! putsig <id> <parens-tree>           index under an explicit id (the
+//!                                     router owns id assignment)
 //! remove <id>                         drop a signature by id
 //! track <graph.edges>                 attach a mutating graph (raw
-//!                                     add/addsig/remove writes detach
-//!                                     it — they break its node ↔ id
-//!                                     invariant; re-track to resume)
+//!                                     add/addsig/putsig/remove writes
+//!                                     detach it — they break its
+//!                                     node ↔ id invariant; re-track to
+//!                                     resume)
 //! addedge <a> <b> | deledge <a> <b>   mutate the tracked graph; the
 //!                                     (k-1)-hop dirty set is recomputed
 //!                                     and published as one epoch
@@ -32,16 +41,22 @@
 //! shutdown                            drain, checkpoint, exit cleanly
 //! ```
 //!
+//! Query replies are tagged with the **epoch of the snapshot that
+//! answered them** (`ok N hits epoch=E`), read atomically with the
+//! snapshot — the per-shard consistency tag a fleet coordinator's epoch
+//! vector is built from (see `crate::router`).
+//!
 //! # The batch protocol
 //!
 //! A TCP frame (see [`ned_core::wire`]) carries one *or more*
 //! newline-separated commands; the reply frame carries the concatenated
 //! replies in command order. Batching amortizes round-trips, and a frame
-//! of **read-only** commands additionally fans out across the server's
-//! persistent [`WorkerPool`] (each command grabs its own snapshot — reads
-//! never block). Frames containing any write run sequentially in frame
-//! order, so a client's `addsig` is visible to the commands after it in
-//! the same frame.
+//! of **read-only** commands ([`Request::is_write`] is the eligibility
+//! test) additionally fans out across the server's persistent
+//! [`WorkerPool`] (each command grabs its own snapshot — reads never
+//! block). Frames containing any write run sequentially in frame order,
+//! so a client's `addsig` is visible to the commands after it in the
+//! same frame.
 //!
 //! Connections are thread-per-connection `std::net` — no async runtime,
 //! in keeping with the repo's no-external-dependencies rule. A frame that
@@ -52,12 +67,14 @@
 //! # Fault tolerance
 //!
 //! The server is built to keep serving through misbehaving clients and
-//! its own bugs ([`ServerConfig`] holds the knobs):
+//! its own bugs ([`ServerConfig`] holds the knobs). Failures answer with
+//! a structured [`ServerError`] whose variant tells the client what to
+//! do — retry ([`ServerError::is_retryable`]) or give up:
 //!
 //! * every accepted socket gets **read/write timeouts**, so a wedged or
 //!   malicious client cannot pin a connection thread forever;
 //! * admissions are capped at [`ServerConfig::max_conns`]; excess
-//!   connections get a clean `error: server overloaded ...` frame and
+//!   connections get a clean [`ServerError::Overloaded`] frame and
 //!   are closed — never silently dropped, never unbounded threads;
 //! * command execution is wrapped in `catch_unwind` (per command *and*
 //!   per connection), so a panicking handler poisons at most its own
@@ -75,6 +92,7 @@ use crate::durable::DurableIndex;
 use crate::forest::ForestHit;
 use crate::maintain::GraphMaintainer;
 use crate::signatures::SignatureIndex;
+use ned_core::proto::{Request, Response, ServerError, WireHit};
 use ned_core::{wire, NodeSignature, PreparedTree, TedMemo, WorkerPool};
 use ned_graph::{io as graph_io, Graph, GraphDelta, NodeId};
 use std::collections::HashMap;
@@ -102,13 +120,14 @@ pub enum Dispatch {
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// Per-socket read timeout (`None` = block forever). A connection
-    /// idle past this is closed with an `error: socket timeout` frame.
+    /// idle past this is closed with an `error: io: socket timeout`
+    /// frame.
     pub read_timeout: Option<Duration>,
     /// Per-socket write timeout (`None` = block forever) — protects
     /// against clients that stop draining their receive buffer.
     pub write_timeout: Option<Duration>,
     /// Admission cap: connections accepted while this many are already
-    /// active get an `error: server overloaded` frame and are closed.
+    /// active get an [`ServerError::Overloaded`] frame and are closed.
     pub max_conns: usize,
     /// How long `shutdown` waits for in-flight connections — applied
     /// twice: once politely, once after force-closing idle sockets.
@@ -220,14 +239,16 @@ impl NedServer {
     ///
     /// The writer lock is held across verification *and* installation,
     /// so no write can slip between the check and the attach; raw index
-    /// writes (`add`/`addsig`/`remove`) after that point **detach** the
-    /// tracked graph instead of silently breaking its node ↔ id
-    /// invariant (re-`track` to resume deltas).
-    pub fn track(&self, graph: &Graph) -> Result<String, String> {
+    /// writes (`add`/`addsig`/`putsig`/`remove`) after that point
+    /// **detach** the tracked graph instead of silently breaking its
+    /// node ↔ id invariant (re-`track` to resume deltas).
+    pub fn track(&self, graph: &Graph) -> Result<String, ServerError> {
         let mut tracked = self.maintained.lock().unwrap_or_else(|p| p.into_inner());
         let writer = self.index.writer();
         let maintainer = GraphMaintainer::attach(graph, writer.index().k(), 0, self.query_threads);
-        maintainer.verify_against(writer.index())?;
+        maintainer
+            .verify_against(writer.index())
+            .map_err(ServerError::BadRequest)?;
         let line = format!(
             "tracking graph ({} nodes, {} edges, k = {})",
             maintainer.num_nodes(),
@@ -251,14 +272,22 @@ impl NedServer {
     }
 
     /// One raw write op, journaled (when durable) and checkpointed on
-    /// cadence. A WAL append failure is an `error:` reply, **not** an
+    /// cadence. Returns the outcome **and the epoch the write published
+    /// as** (read under the writer lock, so it is exactly this batch's
+    /// publication). A WAL append failure is an error reply, **not** an
     /// acknowledgment — the batch was rolled back and never published.
-    fn write_one(&self, op: WriteOp) -> Result<WriteOutcome, String> {
-        let mut outcomes = self
-            .raw_write(|w| w.try_apply([op]))
-            .map_err(|e| format!("write-ahead log append failed (write not applied): {e}"))?;
+    fn write_one(&self, op: WriteOp) -> Result<(WriteOutcome, u64), ServerError> {
+        let applied = self.raw_write(|w| {
+            let outcomes = w.try_apply([op])?;
+            Ok::<_, std::io::Error>((outcomes, w.epoch()))
+        });
+        let (mut outcomes, epoch) = applied.map_err(|e| {
+            ServerError::Io(format!(
+                "write-ahead log append failed (write not applied): {e}"
+            ))
+        })?;
         self.after_write();
-        Ok(outcomes.pop().expect("one op in, one outcome out"))
+        Ok((outcomes.pop().expect("one op in, one outcome out"), epoch))
     }
 
     /// Post-acknowledgment bookkeeping: checkpoint when the WAL has
@@ -280,36 +309,39 @@ impl NedServer {
     /// detaches the tracked graph — the maintainer's shadow state can no
     /// longer be trusted — while the index itself stays consistent via
     /// the writer's rollback.
-    fn apply_delta(&self, delta: GraphDelta) -> Result<String, String> {
+    fn apply_delta(&self, delta: GraphDelta) -> Result<String, ServerError> {
         let mut guard = self.maintained.lock().unwrap_or_else(|p| p.into_inner());
         let maintainer = guard
             .as_mut()
-            .ok_or("no tracked graph; run `track <graph.edges>` first")?;
+            .ok_or_else(|| ServerError::bad("no tracked graph; run `track <graph.edges>` first"))?;
         if let GraphDelta::AddEdge(a, b) | GraphDelta::RemoveEdge(a, b) = delta {
             let n = maintainer.num_nodes();
             if a as usize >= n || b as usize >= n {
-                return Err(format!("edge ({a}, {b}) out of range ({n} nodes)"));
+                return Err(ServerError::bad(format!(
+                    "edge ({a}, {b}) out of range ({n} nodes)"
+                )));
             }
         }
         let applied = catch_unwind(AssertUnwindSafe(|| {
             let mut writer = self.index.writer();
-            maintainer.apply(&[delta], &mut writer)
+            let report = maintainer.apply(&[delta], &mut writer);
+            (report, writer.epoch())
         }));
         match applied {
-            Ok(report) => {
+            Ok((report, epoch)) => {
                 drop(guard);
                 self.after_write();
-                Ok(format!("{report} epoch={}", self.reader().epoch()))
+                Ok(format!("{report} epoch={epoch}"))
             }
             Err(_) => {
                 *guard = None;
                 self.counters.panics.fetch_add(1, Ordering::Relaxed);
-                Err(
+                Err(ServerError::Io(
                     "delta application failed (journal append failure or internal panic); \
                      the index rolled back to its last published state and the tracked \
                      graph was detached — re-track to resume"
                         .into(),
-                )
+                ))
             }
         }
     }
@@ -323,7 +355,7 @@ impl NedServer {
     /// effectiveness counters, the serving counters, and the durability
     /// configuration (the `stats` reply body).
     pub fn stats_line(&self) -> String {
-        let snap = self.reader().snapshot();
+        let (snap, epoch) = self.reader().snapshot_with_epoch();
         let stats = snap.stats();
         let tracking = match self
             .maintained
@@ -336,7 +368,7 @@ impl NedServer {
         };
         let c = &self.counters;
         format!(
-            "signatures: {} (k = {}), buffer {}, shards {:?}, tombstones {}, epoch {}, \
+            "signatures: {} (k = {}), buffer {}, shards {:?}, tombstones {}, epoch {epoch}, \
              tracking {tracking}\nmemo: {}\nserver: accepted {}, active {}, timeouts {}, \
              overloaded {}, panics isolated {}, checkpoint failures {}\n{}",
             stats.len,
@@ -344,7 +376,6 @@ impl NedServer {
             stats.buffer,
             stats.shard_sizes,
             stats.tombstones,
-            self.reader().epoch(),
             TedMemo::global().stats(),
             c.accepted.load(Ordering::Relaxed),
             c.active.load(Ordering::Relaxed),
@@ -356,12 +387,36 @@ impl NedServer {
         )
     }
 
-    /// Executes one command line. Errors come back as `Reply` text with
-    /// an `error:` prefix, so every surface reports them identically.
+    /// Executes one command line — the **text surface** (REPL stdin).
+    /// The line is parsed once into a [`Request`] and handed to
+    /// [`NedServer::dispatch_request`]; parse failures come back as
+    /// `error:` reply text, so every surface reports them identically.
     pub fn dispatch(&self, line: &str) -> Dispatch {
-        match self.try_dispatch(line.trim()) {
-            Ok(d) => d,
-            Err(msg) => Dispatch::Reply(format!("error: {msg}")),
+        match Request::parse_line(line) {
+            Ok(None) => Dispatch::Reply(String::new()),
+            Ok(Some(req)) => self.dispatch_request(req),
+            Err(e) => Dispatch::Reply(Response::Error(e).to_string()),
+        }
+    }
+
+    /// Executes one parsed request — the **typed surface**. Session
+    /// control (`quit`, `shutdown`) surfaces as its own [`Dispatch`]
+    /// variant; everything else executes through the exhaustive match in
+    /// [`NedServer::execute`] and renders its [`Response`].
+    pub fn dispatch_request(&self, req: Request) -> Dispatch {
+        match req {
+            Request::Quit => Dispatch::Quit,
+            Request::Shutdown => {
+                self.initiate_shutdown();
+                Dispatch::Shutdown
+            }
+            req => {
+                let response = self
+                    .execute(&req)
+                    .unwrap_or_else(Response::Error)
+                    .to_string();
+                Dispatch::Reply(response)
+            }
         }
     }
 
@@ -373,57 +428,204 @@ impl NedServer {
     pub fn dispatch_isolated(&self, line: &str) -> Dispatch {
         match catch_unwind(AssertUnwindSafe(|| self.dispatch(line))) {
             Ok(d) => d,
-            Err(_) => {
-                self.counters.panics.fetch_add(1, Ordering::Relaxed);
-                Dispatch::Reply(
-                    "error: internal panic while executing the command; the index rolled \
-                     back to its last published state and the server is still serving"
-                        .to_string(),
-                )
-            }
+            Err(_) => Dispatch::Reply(self.note_panic()),
         }
     }
 
+    /// [`NedServer::dispatch_request`] behind the same panic shield.
+    pub fn dispatch_request_isolated(&self, req: Request) -> Dispatch {
+        match catch_unwind(AssertUnwindSafe(|| self.dispatch_request(req))) {
+            Ok(d) => d,
+            Err(_) => Dispatch::Reply(self.note_panic()),
+        }
+    }
+
+    /// Counts an isolated panic and renders the standard reply for it.
+    fn note_panic(&self) -> String {
+        self.counters.panics.fetch_add(1, Ordering::Relaxed);
+        "error: internal panic while executing the command; the index rolled \
+         back to its last published state and the server is still serving"
+            .to_string()
+    }
+
+    /// Executes one non-session request. This is the single exhaustive
+    /// match the whole serving layer funnels through; errors are the
+    /// structured [`ServerError`] taxonomy, rendered into
+    /// [`Response::Error`] by the surfaces.
+    pub fn execute(&self, req: &Request) -> Result<Response, ServerError> {
+        Ok(match req {
+            Request::Help => Response::Info {
+                body: HELP_BODY.to_string(),
+            },
+            Request::Stats => Response::Info {
+                body: self.stats_line(),
+            },
+            Request::Epoch => {
+                let (snap, epoch) = self.reader().snapshot_with_epoch();
+                Response::Epoch {
+                    epoch,
+                    len: snap.len() as u64,
+                }
+            }
+            Request::Query { path, node, top } => {
+                let sig = self.extract(path, *node)?;
+                let (snap, epoch) = self.reader().snapshot_with_epoch();
+                hits_response(epoch, &snap.query(&sig, *top, self.query_threads))
+            }
+            Request::Range { path, node, radius } => {
+                let sig = self.extract(path, *node)?;
+                let (snap, epoch) = self.reader().snapshot_with_epoch();
+                hits_response(epoch, &snap.range(&sig, *radius, self.query_threads))
+            }
+            Request::Sig { shape, top, within } => {
+                let sig = parse_sig(shape)?;
+                let (snap, epoch) = self.reader().snapshot_with_epoch();
+                let hits = match within {
+                    // The scatter-gather pushdown: only distances within
+                    // the coordinator's shared radius can make the global
+                    // top-k, so run a (cheaper, budget-bounded) range
+                    // query and keep the best `top` — inclusive bound, so
+                    // ties survive and the fleet merge stays bit-identical.
+                    Some(budget) => {
+                        let mut hits = snap.range(&sig, *budget, self.query_threads);
+                        hits.truncate(*top);
+                        hits
+                    }
+                    None => snap.query(&sig, *top, self.query_threads),
+                };
+                hits_response(epoch, &hits)
+            }
+            Request::RangeSig { shape, radius } => {
+                let sig = parse_sig(shape)?;
+                let (snap, epoch) = self.reader().snapshot_with_epoch();
+                hits_response(epoch, &snap.range(&sig, *radius, self.query_threads))
+            }
+            Request::Add { path, node } => {
+                let sig = self.extract(path, *node)?;
+                match self.write_one(WriteOp::Insert(sig))? {
+                    (WriteOutcome::Inserted(id), _) => Response::Added { id },
+                    _ => unreachable!("insert answers Inserted"),
+                }
+            }
+            Request::AddSig { shape } => {
+                let sig = parse_sig(shape)?;
+                match self.write_one(WriteOp::Insert(sig))? {
+                    (WriteOutcome::Inserted(id), _) => Response::Added { id },
+                    _ => unreachable!("insert answers Inserted"),
+                }
+            }
+            Request::PutSig { id, shape } => {
+                let sig = parse_sig(shape)?;
+                match self.write_one(WriteOp::Replace(*id, sig))? {
+                    (WriteOutcome::Replaced { id, fresh }, epoch) => {
+                        Response::Put { id, fresh, epoch }
+                    }
+                    _ => unreachable!("replace answers Replaced"),
+                }
+            }
+            Request::Remove { id } => match self.write_one(WriteOp::Remove(*id))? {
+                (WriteOutcome::Removed { id, existed }, _) => Response::Removed { id, existed },
+                _ => unreachable!("remove answers Removed"),
+            },
+            Request::Track { path } => {
+                let graph = self.graph(path)?;
+                Response::Ok {
+                    msg: self.track(&graph)?,
+                }
+            }
+            Request::AddEdge { a, b } => Response::Ok {
+                msg: self.apply_delta(GraphDelta::AddEdge(*a, *b))?,
+            },
+            Request::DelEdge { a, b } => Response::Ok {
+                msg: self.apply_delta(GraphDelta::RemoveEdge(*a, *b))?,
+            },
+            Request::Save { path } => {
+                self.index
+                    .writer()
+                    .index()
+                    .save(Path::new(path))
+                    .map_err(|e| ServerError::Io(format!("{path}: {e}")))?;
+                Response::Ok {
+                    msg: format!("saved {path}"),
+                }
+            }
+            Request::Checkpoint => match self.index.checkpoint() {
+                Ok(Some(epoch)) => Response::Ok {
+                    msg: format!("checkpoint epoch={epoch}"),
+                },
+                Ok(None) => Response::Ok {
+                    msg: "ephemeral index; nothing to checkpoint".to_string(),
+                },
+                Err(e) => return Err(ServerError::Io(format!("checkpoint failed: {e}"))),
+            },
+            Request::TestPanic if self.config.enable_test_panic => {
+                panic!("test-injected panic (`__panic` command)")
+            }
+            Request::TestPanic => {
+                return Err(ServerError::bad(
+                    "unrecognized command \"__panic\"; try `help`",
+                ))
+            }
+            Request::Quit | Request::Shutdown => {
+                unreachable!("session control handled by dispatch_request")
+            }
+        })
+    }
+
     /// Executes a whole frame payload: one or more newline-separated
-    /// commands. Multi-command payloads of pure reads fan out on the
-    /// worker pool (order-preserving); anything containing a write runs
-    /// sequentially. Returns the concatenated reply and whether the
-    /// session should end.
+    /// commands, each parsed once at this boundary. Multi-command
+    /// payloads of pure reads fan out on the worker pool
+    /// (order-preserving); anything containing a write runs sequentially.
+    /// Returns the concatenated reply and whether the session should end.
     pub fn handle_payload(self: &Arc<Self>, payload: &str) -> (String, bool) {
-        let lines: Vec<&str> = payload.lines().collect();
-        if lines.len() > 1 && lines.iter().all(|l| is_read_only(l)) {
-            let jobs: Vec<_> = lines
+        let parsed: Vec<Result<Option<Request>, ServerError>> =
+            payload.lines().map(Request::parse_line).collect();
+        // Blank lines and parse errors count as reads: they answer
+        // without touching anything.
+        let all_reads = parsed.len() > 1
+            && parsed
                 .iter()
-                .map(|l| {
+                .all(|p| !matches!(p, Ok(Some(req)) if req.is_write()));
+        if all_reads {
+            let jobs: Vec<_> = parsed
+                .into_iter()
+                .map(|p| {
                     let server = Arc::clone(self);
-                    let line = l.to_string();
                     // The isolation matters doubly here: a panic that
                     // escaped a pool job would kill a pool worker and
                     // poison every later batch frame.
-                    move || match server.dispatch_isolated(&line) {
-                        Dispatch::Reply(r) => r,
-                        _ => unreachable!("read-only lines never end the session"),
+                    move || match p {
+                        Ok(None) => String::new(),
+                        Err(e) => Response::Error(e).to_string(),
+                        Ok(Some(req)) => match server.dispatch_request_isolated(req) {
+                            Dispatch::Reply(r) => r,
+                            _ => unreachable!("read-only requests never end the session"),
+                        },
                     }
                 })
                 .collect();
             return (self.pool.run_ordered(jobs).join("\n"), false);
         }
-        let mut replies = Vec::with_capacity(lines.len());
-        for l in &lines {
-            match self.dispatch_isolated(l) {
-                Dispatch::Reply(r) => replies.push(r),
-                Dispatch::Quit => {
-                    replies.push("ok bye".to_string());
-                    return (replies.join("\n"), true);
-                }
-                Dispatch::Shutdown => {
-                    replies.push(
-                        "ok draining: in-flight connections finish, a final checkpoint \
-                         runs, then the server exits"
-                            .to_string(),
-                    );
-                    return (replies.join("\n"), true);
-                }
+        let mut replies = Vec::with_capacity(parsed.len());
+        for p in parsed {
+            match p {
+                Ok(None) => replies.push(String::new()),
+                Err(e) => replies.push(Response::Error(e).to_string()),
+                Ok(Some(req)) => match self.dispatch_request_isolated(req) {
+                    Dispatch::Reply(r) => replies.push(r),
+                    Dispatch::Quit => {
+                        replies.push("ok bye".to_string());
+                        return (replies.join("\n"), true);
+                    }
+                    Dispatch::Shutdown => {
+                        replies.push(
+                            "ok draining: in-flight connections finish, a final checkpoint \
+                             runs, then the server exits"
+                                .to_string(),
+                        );
+                        return (replies.join("\n"), true);
+                    }
+                },
             }
         }
         (replies.join("\n"), false)
@@ -471,15 +673,12 @@ impl NedServer {
             let active = self.counters.active.load(Ordering::Relaxed);
             if active >= self.config.max_conns {
                 self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                let refusal = ServerError::Overloaded(format!(
+                    "{active}/{} connections; retry later",
+                    self.config.max_conns
+                ));
                 let mut w = &stream;
-                let _ = wire::write_frame(
-                    &mut w,
-                    format!(
-                        "error: server overloaded ({active}/{} connections); retry later",
-                        self.config.max_conns
-                    )
-                    .as_bytes(),
-                );
+                let _ = wire::write_text_frame(&mut w, &refusal.to_string());
                 continue; // drop closes the socket
             }
             self.counters.active.fetch_add(1, Ordering::Relaxed);
@@ -533,10 +732,15 @@ impl NedServer {
             match wire::read_frame(&mut read_half) {
                 Ok(None) => return, // clean disconnect
                 Ok(Some(payload)) => {
+                    // UTF-8 decoding happens here rather than in
+                    // `read_text_frame`: a non-UTF-8 payload inside a
+                    // checksum-valid frame means framing sync is intact,
+                    // so it gets an in-band error and the connection
+                    // survives.
                     let reply = match String::from_utf8(payload) {
                         Ok(text) => {
                             let (reply, quit) = self.handle_payload(&text);
-                            if wire::write_frame(&mut write_half, reply.as_bytes()).is_err()
+                            if wire::write_text_frame(&mut write_half, &reply).is_err()
                                 || quit
                                 || self.is_shutting_down()
                             {
@@ -544,9 +748,10 @@ impl NedServer {
                             }
                             continue;
                         }
-                        Err(_) => "error: frame payload is not UTF-8".to_string(),
+                        Err(_) => ServerError::Corrupt("frame payload is not UTF-8".to_string())
+                            .to_string(),
                     };
-                    if wire::write_frame(&mut write_half, reply.as_bytes()).is_err() {
+                    if wire::write_text_frame(&mut write_half, &reply).is_err() {
                         return;
                     }
                 }
@@ -559,118 +764,25 @@ impl NedServer {
                     // The socket timeout fired: the client is wedged (or
                     // just idle past the limit). Say why, then hang up.
                     self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                    let _ = wire::write_frame(
-                        &mut write_half,
-                        b"error: socket timeout; closing connection",
-                    );
+                    let timeout = ServerError::Io("socket timeout; closing connection".to_string());
+                    let _ = wire::write_text_frame(&mut write_half, &timeout.to_string());
                     return;
                 }
                 Err(e) => {
-                    // Framing sync is gone (bad length, magic, or
-                    // checksum): tell the client why, then hang up.
-                    let _ = wire::write_frame(&mut write_half, format!("error: {e}").as_bytes());
+                    // Framing sync is gone (bad length, magic, checksum,
+                    // or non-UTF-8 payload): tell the client why — as the
+                    // Corrupt it is — then hang up.
+                    let corrupt = ServerError::from(e);
+                    let _ = wire::write_text_frame(&mut write_half, &corrupt.to_string());
                     return;
                 }
             }
         }
     }
 
-    fn try_dispatch(&self, line: &str) -> Result<Dispatch, String> {
-        let tokens: Vec<&str> = line.split_whitespace().collect();
-        let reply = match tokens.as_slice() {
-            [] | ["#", ..] => String::new(),
-            ["quit"] | ["exit"] => return Ok(Dispatch::Quit),
-            ["shutdown"] => {
-                self.initiate_shutdown();
-                return Ok(Dispatch::Shutdown);
-            }
-            ["help"] => HELP.to_string(),
-            ["stats"] => format!("{}\nok", self.stats_line()),
-            ["epoch"] => {
-                let r = self.reader();
-                format!("ok epoch={} len={}", r.epoch(), r.len())
-            }
-            ["query", path, node] | ["query", path, node, _] => {
-                let top = parse_opt_count(tokens.get(3), 5)?;
-                let sig = self.extract(path, node)?;
-                fmt_hits(&self.reader().knn(&sig, top, self.query_threads))
-            }
-            ["range", path, node, radius] => {
-                let r: u64 = radius
-                    .parse()
-                    .map_err(|_| format!("bad radius {radius:?}"))?;
-                let sig = self.extract(path, node)?;
-                fmt_hits(&self.reader().range(&sig, r, self.query_threads))
-            }
-            ["sig", shape] | ["sig", shape, _] => {
-                let top = parse_opt_count(tokens.get(2), 5)?;
-                let sig = parse_sig(shape)?;
-                fmt_hits(&self.reader().knn(&sig, top, self.query_threads))
-            }
-            ["rangesig", shape, radius] => {
-                let r: u64 = radius
-                    .parse()
-                    .map_err(|_| format!("bad radius {radius:?}"))?;
-                let sig = parse_sig(shape)?;
-                fmt_hits(&self.reader().range(&sig, r, self.query_threads))
-            }
-            ["add", path, node] => {
-                let sig = self.extract(path, node)?;
-                match self.write_one(WriteOp::Insert(sig))? {
-                    WriteOutcome::Inserted(id) => format!("ok id={id}"),
-                    _ => unreachable!("insert answers Inserted"),
-                }
-            }
-            ["addsig", shape] => {
-                let sig = parse_sig(shape)?;
-                match self.write_one(WriteOp::Insert(sig))? {
-                    WriteOutcome::Inserted(id) => format!("ok id={id}"),
-                    _ => unreachable!("insert answers Inserted"),
-                }
-            }
-            ["remove", id] => {
-                let id: u64 = id.parse().map_err(|_| format!("bad id {id:?}"))?;
-                match self.write_one(WriteOp::Remove(id))? {
-                    WriteOutcome::Removed { existed: true, .. } => format!("ok removed {id}"),
-                    _ => format!("ok no such id {id}"),
-                }
-            }
-            ["track", path] => {
-                let graph = self.graph(path)?;
-                format!("ok {}", self.track(&graph)?)
-            }
-            ["addedge", a, b] => {
-                let (a, b) = parse_edge(a, b)?;
-                format!("ok {}", self.apply_delta(GraphDelta::AddEdge(a, b))?)
-            }
-            ["deledge", a, b] => {
-                let (a, b) = parse_edge(a, b)?;
-                format!("ok {}", self.apply_delta(GraphDelta::RemoveEdge(a, b))?)
-            }
-            ["save", path] => {
-                self.index
-                    .writer()
-                    .index()
-                    .save(Path::new(path))
-                    .map_err(|e| format!("{path}: {e}"))?;
-                format!("ok saved {path}")
-            }
-            ["checkpoint"] => match self.index.checkpoint() {
-                Ok(Some(epoch)) => format!("ok checkpoint epoch={epoch}"),
-                Ok(None) => "ok ephemeral index; nothing to checkpoint".to_string(),
-                Err(e) => return Err(format!("checkpoint failed: {e}")),
-            },
-            ["__panic"] if self.config.enable_test_panic => {
-                panic!("test-injected panic (`__panic` command)")
-            }
-            _ => return Err(format!("unrecognized command {line:?}; try `help`")),
-        };
-        Ok(Dispatch::Reply(reply))
-    }
-
     /// Loads (and caches) the edge-list graph at `path`. The cache lock
     /// is never held across parsing.
-    fn graph(&self, path: &str) -> Result<Arc<Graph>, String> {
+    fn graph(&self, path: &str) -> Result<Arc<Graph>, ServerError> {
         let cached = {
             let graphs = self.graphs.lock().unwrap_or_else(|p| p.into_inner());
             graphs.get(path).cloned()
@@ -680,7 +792,7 @@ impl NedServer {
             None => {
                 let g = Arc::new(
                     graph_io::read_edge_list(Path::new(path), false)
-                        .map_err(|e| format!("{path}: {e}"))?,
+                        .map_err(|e| ServerError::bad(format!("{path}: {e}")))?,
                 );
                 self.graphs
                     .lock()
@@ -693,83 +805,55 @@ impl NedServer {
 
     /// Extracts the query signature for `<path> <node>`, caching the
     /// parsed graph.
-    fn extract(&self, path: &str, node: &str) -> Result<NodeSignature, String> {
+    fn extract(&self, path: &str, node: NodeId) -> Result<NodeSignature, ServerError> {
         let graph = self.graph(path)?;
-        let v: NodeId = node.parse().map_err(|_| format!("bad node id {node:?}"))?;
-        if (v as usize) >= graph.num_nodes() {
-            return Err(format!(
-                "node {v} out of range (graph has {} nodes)",
+        if (node as usize) >= graph.num_nodes() {
+            return Err(ServerError::bad(format!(
+                "node {node} out of range (graph has {} nodes)",
                 graph.num_nodes()
-            ));
+            )));
         }
-        Ok(NodeSignature::extract(&graph, v, self.reader().k()))
+        Ok(NodeSignature::extract(&graph, node, self.reader().k()))
     }
 }
 
-/// Whether a command line only reads — the batch-fan-out eligibility
-/// test. Unknown commands count as reads: they produce an error reply
-/// without touching anything. `shutdown`, `checkpoint`, and the
-/// fault-injection `__panic` must run on the connection thread, never a
-/// pool worker, so they count as writes here.
-fn is_read_only(line: &str) -> bool {
-    !matches!(
-        line.split_whitespace().next(),
-        Some("add")
-            | Some("addsig")
-            | Some("remove")
-            | Some("save")
-            | Some("quit")
-            | Some("exit")
-            | Some("track")
-            | Some("addedge")
-            | Some("deledge")
-            | Some("checkpoint")
-            | Some("shutdown")
-            | Some("__panic")
-    )
-}
-
-fn parse_edge(a: &str, b: &str) -> Result<(NodeId, NodeId), String> {
-    let a: NodeId = a.parse().map_err(|_| format!("bad node id {a:?}"))?;
-    let b: NodeId = b.parse().map_err(|_| format!("bad node id {b:?}"))?;
-    Ok((a, b))
-}
-
-fn parse_opt_count(token: Option<&&str>, default: usize) -> Result<usize, String> {
-    match token {
-        Some(t) => t.parse().map_err(|_| format!("bad top {t:?}")),
-        None => Ok(default),
-    }
-}
-
-fn parse_sig(shape: &str) -> Result<NodeSignature, String> {
-    let tree = ned_tree::serialize::parse(shape).map_err(|e| e.to_string())?;
+fn parse_sig(shape: &str) -> Result<NodeSignature, ServerError> {
+    let tree = ned_tree::serialize::parse(shape).map_err(|e| ServerError::bad(e.to_string()))?;
     Ok(NodeSignature::from_prepared(0, PreparedTree::new(&tree)))
 }
 
-fn fmt_hits(hits: &[ForestHit]) -> String {
-    let mut out = String::new();
-    for h in hits {
-        out.push_str(&format!("hit id={} ned={}\n", h.id, h.distance));
+/// Renders forest hits into the epoch-tagged wire response.
+fn hits_response(epoch: u64, hits: &[ForestHit]) -> Response {
+    Response::Hits {
+        epoch,
+        hits: hits
+            .iter()
+            .map(|h| WireHit {
+                id: h.id,
+                distance: h.distance,
+            })
+            .collect(),
     }
-    out.push_str(&format!("ok {} hits", hits.len()));
-    out
 }
 
-const HELP: &str = "commands:\n\
+const HELP_BODY: &str = "commands:\n\
     \x20 query <graph.edges> <node> [top]   nearest indexed signatures\n\
     \x20 range <graph.edges> <node> <r>     all signatures with NED <= r\n\
     \x20                                    (r is the budget of every exact\n\
     \x20                                    TED* call - bounded, not\n\
     \x20                                    compute-then-filter)\n\
-    \x20 sig <parens-tree> [top]            query by a literal tree shape\n\
+    \x20 sig <parens-tree> [top] [within=b] query by a literal tree shape\n\
+    \x20                                    (within= caps useful distances\n\
+    \x20                                    - the fleet radius pushdown)\n\
     \x20 rangesig <parens-tree> <r>         range query by a literal shape\n\
     \x20 add <graph.edges> <node>           index one more signature\n\
     \x20 addsig <parens-tree>               index a literal tree shape\n\
+    \x20 putsig <id> <parens-tree>          index under an explicit id\n\
+    \x20                                    (coordinators own id assignment)\n\
     \x20 remove <id>                        drop a signature by id\n\
     \x20 track <graph.edges>                attach a mutating graph (node v\n\
     \x20                                    must be indexed under id v; raw\n\
-    \x20                                    add/addsig/remove detach it)\n\
+    \x20                                    add/addsig/putsig/remove detach)\n\
     \x20 addedge <a> <b>                    add a tracked-graph edge; only\n\
     \x20 deledge <a> <b>                    the (k-1)-hop dirty set is\n\
     \x20                                    recomputed, one epoch per delta\n\
@@ -779,27 +863,96 @@ const HELP: &str = "commands:\n\
     \x20 save <path>                        persist the current index\n\
     \x20 checkpoint                         snapshot now + reset the WAL\n\
     \x20 shutdown                           drain, checkpoint, exit cleanly\n\
-    \x20 quit\n\
-    ok";
+    \x20 quit";
 
 /// A blocking client for the framed TCP protocol — used by the CLI, the
-/// load generator, and the loopback tests.
+/// shard router, the load generator, and the loopback tests.
+///
+/// Configure through [`WireClient::builder`]:
+///
+/// ```no_run
+/// use ned_index::server::WireClient;
+/// use std::time::Duration;
+///
+/// let mut client = WireClient::builder()
+///     .timeouts(Some(Duration::from_secs(5)), Some(Duration::from_secs(5)))
+///     .retry(4)
+///     .connect("127.0.0.1:7878")?;
+/// let reply = client.call("epoch")?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub struct WireClient {
     stream: TcpStream,
-    /// The resolved peer, remembered for [`WireClient::reconnect`].
+    /// The resolved peer, remembered for redialing.
     addr: Option<SocketAddr>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    /// Attempts used by [`WireClient::call_with_retry`].
+    retry_attempts: u32,
+}
+
+/// Configures and connects a [`WireClient`] — the one place connection
+/// policy (timeouts, retry budget) is decided, replacing the deprecated
+/// post-hoc setters.
+#[derive(Debug, Clone, Copy)]
+pub struct WireClientBuilder {
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    retry_attempts: u32,
+}
+
+impl WireClientBuilder {
+    /// Socket read/write timeouts (`None` = block forever). Applied at
+    /// connect time and re-applied on every internal redial.
+    pub fn timeouts(mut self, read: Option<Duration>, write: Option<Duration>) -> Self {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self
+    }
+
+    /// Total attempts [`WireClient::call_with_retry`] makes (including
+    /// the first); clamped to at least 1.
+    pub fn retry(mut self, attempts: u32) -> Self {
+        self.retry_attempts = attempts.max(1);
+        self
+    }
+
+    /// Dials the server and returns the configured client.
+    pub fn connect<A: ToSocketAddrs>(self, addr: A) -> std::io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        stream.set_write_timeout(self.write_timeout)?;
+        let addr = stream.peer_addr().ok();
+        Ok(WireClient {
+            stream,
+            addr,
+            read_timeout: self.read_timeout,
+            write_timeout: self.write_timeout,
+            retry_attempts: self.retry_attempts,
+        })
+    }
 }
 
 impl WireClient {
-    /// Connects to a serving `ned-cli serve --tcp` address.
+    /// A builder with no timeouts and a single attempt — the
+    /// configuration entry point.
+    pub fn builder() -> WireClientBuilder {
+        WireClientBuilder {
+            read_timeout: None,
+            write_timeout: None,
+            retry_attempts: 1,
+        }
+    }
+
+    /// Connects to a serving `ned-cli serve --tcp` address with the
+    /// default configuration (no timeouts, one attempt).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        let addr = stream.peer_addr().ok();
-        Ok(WireClient { stream, addr })
+        Self::builder().connect(addr)
     }
 
     /// Applies socket timeouts so a dead or drained server surfaces as a
     /// timely error instead of a hung client.
+    #[deprecated(note = "configure via `WireClient::builder().timeouts(..)` instead")]
     pub fn set_timeouts(
         &self,
         read: Option<Duration>,
@@ -811,14 +964,25 @@ impl WireClient {
 
     /// Drops the current stream and dials the remembered peer address
     /// again. Any reply in flight on the old stream is lost.
+    #[deprecated(note = "redialing is internal to `WireClient::call_with_retry`; \
+                         reconnect by building a new client")]
     pub fn reconnect(&mut self) -> std::io::Result<()> {
+        self.redial()
+    }
+
+    /// Dials the remembered peer again, re-applying the configured
+    /// timeouts, and replaces the stream.
+    fn redial(&mut self) -> std::io::Result<()> {
         let addr = self.addr.ok_or_else(|| {
             std::io::Error::new(
                 std::io::ErrorKind::AddrNotAvailable,
                 "peer address unknown; cannot reconnect",
             )
         })?;
-        self.stream = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        stream.set_write_timeout(self.write_timeout)?;
+        self.stream = stream;
         Ok(())
     }
 
@@ -830,23 +994,35 @@ impl WireClient {
     }
 
     /// [`WireClient::call`] with bounded exponential-backoff
-    /// reconnect-and-retry, for payloads that are safe to send twice —
-    /// **idempotent reads only**. A retried write could double-apply: the
-    /// server may have executed a call whose reply was lost. Waits 20 ms
-    /// before the second attempt, doubling up to 2 s, `attempts` tries
-    /// total; returns the last error if none succeed.
+    /// reconnect-and-retry using the builder-configured attempt budget,
+    /// for payloads that are safe to send twice — **idempotent reads
+    /// only**. A retried write could double-apply: the server may have
+    /// executed a call whose reply was lost. Waits 20 ms before the
+    /// second attempt, doubling up to 2 s; returns the last error if no
+    /// attempt succeeds.
+    pub fn call_with_retry(&mut self, payload: &str) -> Result<String, wire::WireError> {
+        self.retry_inner(payload, self.retry_attempts)
+    }
+
+    /// [`WireClient::call_with_retry`] with an explicit attempt count.
+    #[deprecated(note = "set the attempt budget via `WireClient::builder().retry(..)` \
+                         and use `call_with_retry`")]
     pub fn call_idempotent(
         &mut self,
         payload: &str,
         attempts: u32,
     ) -> Result<String, wire::WireError> {
+        self.retry_inner(payload, attempts)
+    }
+
+    fn retry_inner(&mut self, payload: &str, attempts: u32) -> Result<String, wire::WireError> {
         let mut delay = Duration::from_millis(20);
         let mut last = None;
         for attempt in 0..attempts.max(1) {
             if attempt > 0 {
                 std::thread::sleep(delay);
                 delay = (delay * 2).min(Duration::from_secs(2));
-                if let Err(e) = self.reconnect() {
+                if let Err(e) = self.redial() {
                     last = Some(wire::WireError::Io(e));
                     continue;
                 }
@@ -859,6 +1035,42 @@ impl WireClient {
         Err(last.expect("at least one attempt ran"))
     }
 
+    /// Sends one typed request and parses the typed reply — the
+    /// programmatic surface the shard router drives. Transport failures
+    /// and malformed replies both surface as [`ServerError`], so callers
+    /// branch on one retryability taxonomy.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServerError> {
+        let reply = self.call(&req.to_string())?;
+        Response::parse(&reply)
+    }
+
+    /// [`WireClient::request`] with the configured retry budget — for
+    /// idempotent (read) requests only.
+    pub fn request_with_retry(&mut self, req: &Request) -> Result<Response, ServerError> {
+        let reply = self.call_with_retry(&req.to_string())?;
+        Response::parse(&reply)
+    }
+
+    /// Sends a typed batch as one frame and parses the replies, which
+    /// arrive in request order (one per request — the count is checked).
+    pub fn request_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ServerError> {
+        let payload = reqs
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reply = self.call(&payload)?;
+        let responses = Response::parse_stream(&reply)?;
+        if responses.len() != reqs.len() {
+            return Err(ServerError::Corrupt(format!(
+                "sent {} requests, got {} replies",
+                reqs.len(),
+                responses.len()
+            )));
+        }
+        Ok(responses)
+    }
+
     /// Sends raw payload bytes without reading a reply. Only useful
     /// together with [`WireClient::read_reply`]; [`WireClient::call`] is
     /// the normal entry point.
@@ -869,12 +1081,8 @@ impl WireClient {
 
     /// Reads one reply frame as text.
     pub fn read_reply(&mut self) -> Result<String, wire::WireError> {
-        match wire::read_frame(&mut self.stream)? {
-            Some(bytes) => String::from_utf8(bytes).map_err(|_| {
-                wire::WireError::Codec(ned_core::store::CodecError::Malformed(
-                    "reply payload is not UTF-8".to_string(),
-                ))
-            }),
+        match wire::read_text_frame(&mut self.stream)? {
+            Some(text) => Ok(text),
             None => Err(wire::WireError::Io(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection before replying",

@@ -200,6 +200,60 @@ impl SignatureIndex {
         &self.forest
     }
 
+    /// The id watermark: the id the next [`SignatureIndex::insert`] will
+    /// assign. A shard coordinator seeds its fleet-wide id counter from
+    /// this so explicit-id puts never collide with historical ids.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Splits this index into `shards` disjoint indexes by **id range**
+    /// for a scatter-gather fleet: entries are ordered by id and cut into
+    /// near-equal contiguous runs. Returns `(starts, indexes)` where
+    /// `starts[i]` is the lowest id shard `i` may own (`starts[0] == 0`,
+    /// strictly the boundary used for routing: id `x` belongs to the last
+    /// shard with `start <= x`). Every shard keeps this index's `k`,
+    /// threshold and seed, so per-shard query results are bit-identical
+    /// to querying the same entries here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn split_for_fleet(&self, shards: usize) -> (Vec<u64>, Vec<SignatureIndex>) {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        let mut entries: Vec<(u64, NodeSignature)> = self
+            .forest
+            .entries()
+            .map(|(id, sig)| (id, sig.clone()))
+            .collect();
+        entries.sort_by_key(|&(id, _)| id);
+        let per = entries.len() / shards;
+        let extra = entries.len() % shards;
+        let mut starts = Vec::with_capacity(shards);
+        let mut indexes = Vec::with_capacity(shards);
+        let mut offset = 0usize;
+        for s in 0..shards {
+            let take = per + usize::from(s < extra);
+            let group = entries[offset..offset + take].to_vec();
+            // The boundary is the group's lowest id; an empty tail group
+            // starts past every live id so it owns only future ids.
+            let start = if s == 0 {
+                0
+            } else {
+                group.first().map_or(self.next_id, |&(id, _)| id)
+            };
+            starts.push(start);
+            indexes.push(SignatureIndex::from_entries(
+                self.k,
+                self.threshold,
+                self.seed,
+                group,
+            ));
+            offset += take;
+        }
+        (starts, indexes)
+    }
+
     /// Indexes one signature, returning its assigned id.
     pub fn insert(&mut self, sig: NodeSignature) -> u64 {
         let id = self.next_id;

@@ -145,7 +145,7 @@ fn commands_round_trip_over_the_socket() {
     assert!(stats.ends_with("ok"), "{stats}");
 
     let hits = client.call("sig (()()) 3").expect("sig query");
-    assert!(hits.ends_with("ok 3 hits"), "{hits}");
+    assert!(hits.contains("ok 3 hits epoch="), "{hits}");
     assert_eq!(hits.matches("hit id=").count(), 3, "{hits}");
 
     let range = client.call("rangesig (()()) 1").expect("range query");
@@ -187,7 +187,7 @@ fn batch_frames_return_one_reply_per_command_in_order() {
         .filter(|l| l.starts_with("ok") || l.starts_with("error:"))
         .count();
     assert_eq!(ok_lines, 4, "one terminator per command: {reply}");
-    assert!(reply.ends_with("ok 1 hits"), "{reply}");
+    assert!(reply.contains("ok 1 hits epoch="), "{reply}");
 
     // A batch containing a write runs sequentially in frame order: the
     // epoch read *after* the write observes it.
@@ -237,7 +237,7 @@ fn concurrent_clients_get_consistent_replies() {
                 let mut c = WireClient::connect(addr).expect("connect reader");
                 for i in 0..25 {
                     let r = c.call("sig (()()) 4").expect("query");
-                    assert!(r.ends_with("ok 4 hits"), "reader {t} iter {i}: {r}");
+                    assert!(r.contains("ok 4 hits epoch="), "reader {t} iter {i}: {r}");
                     assert_eq!(r.matches("hit id=").count(), 4, "reader {t} iter {i}");
                 }
             })
@@ -348,7 +348,7 @@ fn overload_cap_rejects_with_a_clean_error_frame() {
 
     let mut second = WireClient::connect(addr).expect("tcp connect still succeeds");
     let refusal = second.read_reply().expect("overload frame");
-    assert!(refusal.starts_with("error: server overloaded"), "{refusal}");
+    assert!(refusal.starts_with("error: overloaded:"), "{refusal}");
     assert!(
         second.read_to_end().expect("eof").is_empty(),
         "overloaded connection must be closed after the error frame"
@@ -364,7 +364,7 @@ fn overload_cap_rejects_with_a_clean_error_frame() {
         let mut probe = WireClient::connect(addr).expect("probe connect");
         match probe.call("epoch") {
             Ok(r) if r.starts_with("ok epoch=") => break r,
-            Ok(r) => assert!(r.starts_with("error: server overloaded"), "{r}"),
+            Ok(r) => assert!(r.starts_with("error: overloaded:"), "{r}"),
             Err(_) => {} // rejected and closed mid-probe
         }
         assert!(std::time::Instant::now() < deadline, "slot never freed");
@@ -453,9 +453,10 @@ fn shutdown_drains_checkpoints_and_stops_the_acceptor() {
         WireClient::connect(addr).is_err() || {
             // A connect may still succeed if the OS hands us a queued
             // backlog slot, but no one will ever answer.
-            let mut c = WireClient::connect(addr).expect("backlog connect");
-            c.set_timeouts(Some(Duration::from_millis(200)), None)
-                .expect("timeouts");
+            let mut c = WireClient::builder()
+                .timeouts(Some(Duration::from_millis(200)), None)
+                .connect(addr)
+                .expect("backlog connect");
             c.call("epoch").is_err()
         }
     );
@@ -464,17 +465,34 @@ fn shutdown_drains_checkpoints_and_stops_the_acceptor() {
 #[test]
 fn client_reconnects_and_retries_idempotent_reads() {
     let (addr, _server) = start_server();
-    let mut client = WireClient::connect(addr).expect("connect");
+    let mut client = WireClient::builder()
+        .retry(4)
+        .connect(addr)
+        .expect("connect");
     // `quit` makes the server hang up; the next plain call fails...
     assert_eq!(client.call("quit").expect("quit"), "ok bye");
     assert!(
         client.call("epoch").is_err(),
         "closed connection must error"
     );
-    // ...but the idempotent wrapper reconnects and succeeds.
-    let reply = client
-        .call_idempotent("epoch", 4)
-        .expect("reconnect + retry");
+    // ...but the retrying wrapper reconnects and succeeds.
+    let reply = client.call_with_retry("epoch").expect("reconnect + retry");
+    assert!(reply.starts_with("ok epoch="), "{reply}");
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_client_setters_still_work() {
+    // The three pre-builder entry points stay functional for one
+    // deprecation cycle; this is the compatibility pin.
+    let (addr, _server) = start_server();
+    let mut client = WireClient::connect(addr).expect("connect");
+    client
+        .set_timeouts(Some(Duration::from_secs(5)), Some(Duration::from_secs(5)))
+        .expect("set_timeouts");
+    assert_eq!(client.call("quit").expect("quit"), "ok bye");
+    client.reconnect().expect("reconnect");
+    let reply = client.call_idempotent("epoch", 3).expect("call_idempotent");
     assert!(reply.starts_with("ok epoch="), "{reply}");
 }
 

@@ -15,9 +15,14 @@
 //!                     [--threads N] [--verify]
 //! ned-cli index save <idx> <out.idx>
 //! ned-cli index load <idx>
+//! ned-cli index split <idx> --shards N [--out-prefix P]
 //! ned-cli serve <idx> [--tcp ADDR] [--threads N] [--pool N] [--graph PATH]
 //!                     [--wal PATH] [--checkpoint-every N] [--fsync MODE]
 //!                     [--max-conns N]
+//! ned-cli route <idx> --shards N [--replicas R] [--tcp ADDR]
+//!                     [--shard-dir D] [--wal-dir D]
+//! ned-cli route --attach a1|a2,b1,... --bounds 0,x,... [--next-id N]
+//!                     [--k N] [--tcp ADDR]
 //! ```
 
 use ned::baselines::features::{l1_distance, RefexFeatures};
@@ -44,6 +49,7 @@ fn main() -> ExitCode {
         Some("suggest-k") => cmd_suggest_k(&args[1..]),
         Some("index") => cmd_index(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -82,6 +88,9 @@ fn print_usage() {
          \x20                                                    --radius R: bounded threshold query\n\
          \x20 index save <idx> <out.idx>                         re-encode (verifies the file round-trips)\n\
          \x20 index load <idx>                                   load + print index stats\n\
+         \x20 index split <idx> --shards N [--out-prefix P]      partition into N per-shard indexes by id\n\
+         \x20                                                    range; prints the --bounds/--next-id a\n\
+         \x20                                                    detached `route --attach` needs\n\
          \x20 serve <idx> [--tcp ADDR] [--threads N] [--pool N]  long-lived serving: stdin REPL, or a\n\
          \x20       [--graph PATH] [--wal PATH]                  concurrent TCP server with --tcp;\n\
          \x20       [--checkpoint-every N] [--fsync MODE]        --graph pre-tracks a mutating graph\n\
@@ -90,7 +99,17 @@ fn print_usage() {
          \x20                                                    the log over the newest checkpoint at\n\
          \x20                                                    boot, journal every batch before the\n\
          \x20                                                    ack, checkpoint every N batches\n\
-         \x20                                                    (--fsync per-batch | every-<n> | os)\n"
+         \x20                                                    (--fsync per-batch | every-<n> | os)\n\
+         \x20 route <idx> --shards N [--replicas R] [--tcp ADDR] scatter-gather coordinator: split <idx>\n\
+         \x20       [--shard-dir D] [--wal-dir D]                into N id-range shards, spawn R serve\n\
+         \x20                                                    processes per shard (--wal-dir makes\n\
+         \x20                                                    them crash-safe), and route queries and\n\
+         \x20                                                    writes over the fleet — answers are\n\
+         \x20                                                    bit-identical to serving <idx> whole\n\
+         \x20 route --attach a1|a2,b1,... --bounds 0,x,...       same coordinator over already-running\n\
+         \x20       [--next-id N] [--k N] [--tcp ADDR]           shards: comma-separated shard groups of\n\
+         \x20                                                    |-separated replicas, with the id bounds\n\
+         \x20                                                    and next id `index split` printed\n"
     );
 }
 
@@ -392,10 +411,11 @@ fn cmd_index(raw: &[String]) -> Result<(), String> {
         Some("query") => cmd_index_query(&raw[1..]),
         Some("save") => cmd_index_save(&raw[1..]),
         Some("load") => cmd_index_load(&raw[1..]),
+        Some("split") => cmd_index_split(&raw[1..]),
         Some(other) => Err(format!(
-            "unknown index subcommand {other:?}; try build/add/query/save/load"
+            "unknown index subcommand {other:?}; try build/add/query/save/load/split"
         )),
-        None => Err("missing index subcommand (build/add/query/save/load)".into()),
+        None => Err("missing index subcommand (build/add/query/save/load/split)".into()),
     }
 }
 
@@ -549,6 +569,37 @@ fn cmd_index_load(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Splits an index into per-shard indexes on disk — the offline half of
+/// standing up a fleet by hand. Prints the `--bounds` vector and
+/// `--next-id` that `route --attach` needs to route over the parts.
+fn cmd_index_split(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let idx_path = args.positional(0, "index path")?;
+    let shards: usize = args.get("shards", 3)?;
+    if shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
+    let prefix: String = args.get("out-prefix", format!("{idx_path}.s"))?;
+    let index = load_index(idx_path)?;
+    let (map, parts) = ned::index::split_index(&index, shards);
+    for (s, part) in parts.iter().enumerate() {
+        let out = format!("{prefix}{s}.idx");
+        save_index(part, &out)?;
+        println!(
+            "shard {s}: {} signatures, ids >= {} -> {out}",
+            part.len(),
+            map.starts()[s]
+        );
+    }
+    println!(
+        "split {idx_path} ({} signatures) into {shards} shard(s)",
+        index.len()
+    );
+    println!("  --bounds {map}");
+    println!("  --next-id {}", index.next_id());
+    Ok(())
+}
+
 /// Parses the `--fsync` mode: `per-batch` (sync every journaled batch),
 /// `every-<n>` (sync once per `n` batches), or `os` (leave syncing to
 /// the OS page cache — fast, but a power loss can lose the tail).
@@ -647,6 +698,143 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// Scatter-gather coordinator over a shard fleet. Two modes:
+///
+/// * **Spawn** (`route <idx> --shards N [--replicas R]`): split the
+///   index into N disjoint id-range shards, save each shard's index
+///   under `--shard-dir` (one copy per replica), spawn `ned-cli serve
+///   --tcp 127.0.0.1:0` children for every replica (crash-safe when
+///   `--wal-dir` is given), and route over them. When the router
+///   drains, the fleet is shut down and reaped.
+/// * **Attach** (`route --attach a1|a2,b1 --bounds 0,x`): route over
+///   shards something else already runs — `--attach` lists one
+///   `|`-separated replica group per shard, `--bounds` the id ranges
+///   (from `index split`). Detached shards outlive the router.
+///
+/// Either way the coordinator speaks the same typed protocol as a
+/// single `serve` process, answers bit-identically to the unsplit
+/// index, and fails over reads (retrying writes) when replicas die.
+fn cmd_route(raw: &[String]) -> Result<(), String> {
+    use std::io::BufRead;
+    let args = Args::parse(raw, &[])?;
+    let tcp: Option<String> = args.opt("tcp")?;
+    let mut opts = ned::index::RouterOptions::default();
+    let attach: Option<String> = args.opt("attach")?;
+    let mut fleet: Vec<ned::index::ShardProcess> = Vec::new();
+    let router = match attach {
+        Some(groups) => {
+            let bounds: String = args.get("bounds", "0".into())?;
+            let starts = bounds
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad --bounds entry {s:?}"))
+                })
+                .collect::<Result<Vec<u64>, String>>()?;
+            let map = ned::index::ShardMap::new(starts)?;
+            let replicas: Vec<Vec<String>> = groups
+                .split(',')
+                .map(|g| g.split('|').map(|a| a.trim().to_string()).collect())
+                .collect();
+            opts.k = args.get("k", opts.k)?;
+            opts.next_id = args.get("next-id", 0)?;
+            ned::index::ShardRouter::connect(map, replicas, opts).map_err(|e| e.to_string())?
+        }
+        None => {
+            let idx_path = args.positional(0, "index path (or --attach)")?;
+            let shards: usize = args.get("shards", 3)?;
+            let per_shard: usize = args.get("replicas", 1)?;
+            if shards == 0 || per_shard == 0 {
+                return Err("--shards and --replicas must be >= 1".into());
+            }
+            let index = load_index(idx_path)?;
+            opts.k = index.k();
+            opts.next_id = index.next_id();
+            let (map, parts) = ned::index::split_index(&index, shards);
+            drop(index);
+            let dir: String = args.get("shard-dir", format!("{idx_path}.fleet"))?;
+            std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
+            let wal_dir: Option<String> = args.opt("wal-dir")?;
+            if let Some(d) = &wal_dir {
+                std::fs::create_dir_all(d).map_err(|e| format!("{d}: {e}"))?;
+            }
+            let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+            let mut groups: Vec<Vec<String>> = Vec::new();
+            for (s, part) in parts.iter().enumerate() {
+                let mut group = Vec::new();
+                for r in 0..per_shard {
+                    // Every replica owns its index file (and WAL): a
+                    // crashed replica recovers from its own state, and
+                    // checkpoints never race across replicas.
+                    let path = Path::new(&dir).join(format!("s{s}.r{r}.idx"));
+                    let path_str = path.to_str().ok_or("non-UTF-8 shard path")?;
+                    save_index(part, path_str)?;
+                    let wal = wal_dir
+                        .as_ref()
+                        .map(|d| Path::new(d).join(format!("s{s}.r{r}.wal")));
+                    let shard = ned::index::ShardProcess::spawn(
+                        &exe,
+                        &path,
+                        "127.0.0.1:0",
+                        wal.as_deref(),
+                        &[],
+                    )
+                    .map_err(|e| format!("spawning shard {s} replica {r}: {e}"))?;
+                    println!(
+                        "shard {s} replica {r}: {} signatures, pid {}, tcp://{}",
+                        part.len(),
+                        shard.pid(),
+                        shard.addr()
+                    );
+                    group.push(shard.addr().to_string());
+                    fleet.push(shard);
+                }
+                groups.push(group);
+            }
+            ned::index::ShardRouter::connect(map, groups, opts).map_err(|e| e.to_string())?
+        }
+    };
+    let server = std::sync::Arc::new(ned::index::RouterServer::new(router));
+    let result = match tcp {
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(&addr).map_err(|e| format!("{addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            println!("routing fleet on tcp://{local}");
+            println!("{}", server.router().stats_line());
+            server.serve_tcp(listener).map_err(|e| e.to_string())
+        }
+        None => {
+            println!("routing fleet; type `help` for commands");
+            println!("{}", server.router().stats_line());
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| e.to_string())?;
+                let (reply, quit) = server.handle_payload(&line);
+                if !reply.is_empty() {
+                    println!("{reply}");
+                }
+                if quit {
+                    break;
+                }
+            }
+            println!("bye");
+            Ok(())
+        }
+    };
+    if !fleet.is_empty() {
+        // We spawned these shards, so drain them with the router rather
+        // than orphaning children (attached fleets are left serving).
+        let acked = server.router().shutdown_fleet();
+        for shard in &mut fleet {
+            let _ = shard.wait_or_kill(std::time::Duration::from_secs(5));
+        }
+        println!("fleet down ({acked} replica(s) acknowledged shutdown)");
+    }
+    result
 }
 
 fn cmd_hausdorff(raw: &[String]) -> Result<(), String> {
