@@ -1,0 +1,97 @@
+//! Per-phase microbench for the SoA TED\* kernel: where does a pair
+//! comparison actually spend its time?
+//!
+//! Runs the instrumented sweep ([`ned_core::ted_star_prepared_profiled`])
+//! over BA-4000 signature pairs for every radius `k ∈ 1..=5` and prints,
+//! per `k`, the ns/pair split across the six phases of Algorithm 1 —
+//! floor-bound checks, children-label collection, pair-local
+//! canonization, zero-pair grouping, the transportation solve, and flow
+//! expansion + re-canonization — plus the level count and each phase's
+//! share of the total. This is the map the `perf_snapshot`
+//! `kernel_phase/*` series are a fixed slice of: run it after kernel
+//! changes to see which phase moved.
+//!
+//! Run with `cargo run --release -p ned-bench --bin kernel_profile`.
+
+use ned_bench::util::Table;
+use ned_core::{ted_star_prepared_profiled, KernelProfile, PreparedTree};
+use ned_graph::bfs::TreeExtractor;
+use ned_graph::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(0xBE7C);
+    let g1 = generators::barabasi_albert(4000, 3, &mut rng);
+    let g2 = generators::barabasi_albert(4000, 3, &mut rng);
+    let mut e1 = TreeExtractor::new(&g1);
+    let mut e2 = TreeExtractor::new(&g2);
+
+    let mut table = Table::new(&[
+        "k",
+        "pairs",
+        "levels",
+        "total",
+        "bound",
+        "collect",
+        "canonize",
+        "group",
+        "transport",
+        "expand",
+    ]);
+    let pct = |part: u64, total: u64| -> String {
+        if total == 0 {
+            return "0 (0%)".to_string();
+        }
+        format!("{} ({}%)", part, part * 100 / total)
+    };
+    for k in 1..=5usize {
+        let pairs: Vec<(PreparedTree, PreparedTree)> = (0..8u32)
+            .map(|i| {
+                (
+                    PreparedTree::new(&e1.extract(i * 97 % 4000, k)),
+                    PreparedTree::new(&e2.extract(i * 131 % 4000, k)),
+                )
+            })
+            .collect();
+        // Median-of-samples aggregate, matching perf_snapshot's drift
+        // discipline; each sample profiles every pair once.
+        let samples: Vec<KernelProfile> = (0..7)
+            .map(|_| {
+                let mut acc = KernelProfile::default();
+                for (pa, pb) in &pairs {
+                    let (d, p) = ted_star_prepared_profiled(pa, pb);
+                    std::hint::black_box(d);
+                    acc.bound_ns += p.bound_ns;
+                    acc.collect_ns += p.collect_ns;
+                    acc.canonize_ns += p.canonize_ns;
+                    acc.group_ns += p.group_ns;
+                    acc.transport_ns += p.transport_ns;
+                    acc.expand_ns += p.expand_ns;
+                    acc.levels += p.levels;
+                }
+                acc
+            })
+            .collect();
+        let per_pair = |f: fn(&KernelProfile) -> u64| -> u64 {
+            let mut xs: Vec<u64> = samples.iter().map(f).collect();
+            xs.sort_unstable();
+            xs[xs.len() / 2] / pairs.len() as u64
+        };
+        let total = per_pair(|p| p.total_ns());
+        table.row(vec![
+            k.to_string(),
+            pairs.len().to_string(),
+            per_pair(|p| p.levels as u64).to_string(),
+            format!("{total} ns"),
+            pct(per_pair(|p| p.bound_ns), total),
+            pct(per_pair(|p| p.collect_ns), total),
+            pct(per_pair(|p| p.canonize_ns), total),
+            pct(per_pair(|p| p.group_ns), total),
+            pct(per_pair(|p| p.transport_ns), total),
+            pct(per_pair(|p| p.expand_ns), total),
+        ]);
+    }
+    println!("SoA kernel phase split, BA-4000 pairs (ns/pair, median of 7 samples)");
+    table.print();
+}

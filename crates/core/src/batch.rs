@@ -226,8 +226,17 @@ pub fn knn_batch(
 /// soon as the bound alone rules out every remaining candidate — the
 /// filter-and-refine pipeline with the interned class-histogram bound as
 /// the filter. Returns per-query `(hits, refined)` where `refined` counts
-/// exact distance computations (≤ database size; the gap is the pruning
+/// exact distance resolutions (≤ database size; the gap is the pruning
 /// win).
+///
+/// Cross-pair memo probes are **batched**: one
+/// [`TedMemo`](crate::memo::TedMemo) consult covers the whole candidate
+/// list — each memo shard's lock is taken at most once per query instead
+/// of once per refined pair — and candidates the memo decides exactly
+/// skip the per-pair kernel path entirely. Hit/miss counters stay exact:
+/// the batch counts one lookup per code-unequal candidate, and only
+/// undecided candidates fall through to the per-pair consult inside
+/// [`NodeSignature::distance`].
 pub fn knn_batch_filtered(
     queries: &[NodeSignature],
     database: &[NodeSignature],
@@ -236,6 +245,7 @@ pub fn knn_batch_filtered(
 ) -> Vec<(Vec<(u64, NodeId)>, usize)> {
     indexed_par_map(queries.len(), threads, |qi| {
         let q = &queries[qi];
+        let qp = q.prepared();
         let mut bounded: Vec<(u64, NodeId, usize)> = database
             .iter()
             .enumerate()
@@ -243,9 +253,35 @@ pub fn knn_batch_filtered(
             .collect();
         // Ascending bound; ties by node id keep the scan deterministic.
         bounded.sort_unstable_by_key(|&(lb, node, _)| (lb, node));
+
+        // One batched memo consult for the whole candidate list.
+        // Isomorphic pairs are excluded: the per-pair path answers them
+        // as 0 before ever touching the memo, and the batch must count
+        // exactly the lookups that path would perform.
+        let memo = crate::memo::TedMemo::global();
+        let mut keys: Vec<u64> = Vec::with_capacity(bounded.len());
+        let mut key_owner: Vec<usize> = Vec::with_capacity(bounded.len());
+        for (j, &(_, _, i)) in bounded.iter().enumerate() {
+            let cp = database[i].prepared();
+            if qp.code() != cp.code() {
+                keys.push(crate::memo::pair_key(qp.root_class(), cp.root_class()));
+                key_owner.push(j);
+            }
+        }
+        let mut raw: Vec<Option<Option<u64>>> = Vec::new();
+        memo.consult_batch(&keys, u64::MAX, &mut raw);
+        // prefetched[j] = exact distance the memo already knows for
+        // bounded[j], if any.
+        let mut prefetched: Vec<Option<u64>> = vec![None; bounded.len()];
+        for (&j, decided) in key_owner.iter().zip(&raw) {
+            if let Some(Some(d)) = decided {
+                prefetched[j] = Some(*d);
+            }
+        }
+
         let mut hits: Vec<(u64, NodeId)> = Vec::with_capacity(k + 1);
         let mut refined = 0usize;
-        for &(lb, node, i) in &bounded {
+        for (j, &(lb, node, i)) in bounded.iter().enumerate() {
             let tau = if hits.len() < k {
                 u64::MAX
             } else {
@@ -257,7 +293,12 @@ pub fn knn_batch_filtered(
             if lb > tau {
                 break;
             }
-            let d = q.distance(&database[i]);
+            let d = match prefetched[j] {
+                // Decided by the batch probe — no per-pair lock, no sweep.
+                Some(d) => d,
+                None if qp.code() == database[i].prepared().code() => 0,
+                None => q.distance(&database[i]),
+            };
             refined += 1;
             debug_assert!(d >= lb, "lower bound {lb} exceeds distance {d}");
             hits.push((d, node));

@@ -270,20 +270,10 @@ impl BulkSignatureExtractor<'_, '_> {
             child_offsets,
             self.expand_levels.clone(),
         );
-        let level_classes: Vec<Vec<u32>> = self
-            .expand_levels
-            .windows(2)
-            .map(|w| {
-                let mut lvl = self.expand_classes[w[0]..w[1]].to_vec();
-                // BFS levels are frequently uniform (the deepest level of
-                // a k-truncated tree is all leaves); an equal-run check
-                // dodges those sorts.
-                if !lvl.iter().all(|&c| c == lvl[0]) {
-                    lvl.sort_unstable();
-                }
-                lvl
-            })
-            .collect();
+        // The expansion scratch is already the SoA input: per-node classes
+        // in BFS (level-contiguous) order plus the level boundaries. The
+        // shared builder sorts within levels and derives sizes/runs.
+        let level_offsets: Vec<u32> = self.expand_levels.iter().map(|&o| o as u32).collect();
         let code: Box<[u8]> = self
             .factory
             .table
@@ -291,7 +281,7 @@ impl BulkSignatureExtractor<'_, '_> {
             .expect("root class tabled during extraction")
             .code[..]
             .into();
-        PreparedTree::from_parts(tree, code, level_classes)
+        PreparedTree::from_parts(tree, code, self.expand_classes.clone(), level_offsets)
     }
 }
 

@@ -224,6 +224,53 @@ impl TedMemo {
         decided
     }
 
+    /// Batched [`Self::consult`] over a whole candidate list: decides
+    /// every key the cache can, acquiring each touched shard's lock **at
+    /// most once** for the batch instead of once per pair. On return,
+    /// `out[i]` is exactly what `consult(keys[i], budget)` would have
+    /// returned. The hit/miss counters stay exact — one aggregate add per
+    /// outcome class, counting precisely the lookups performed.
+    pub(crate) fn consult_batch(
+        &self,
+        keys: &[u64],
+        budget: u64,
+        out: &mut Vec<Option<Option<u64>>>,
+    ) {
+        out.clear();
+        out.resize(keys.len(), None);
+        if keys.is_empty() {
+            return;
+        }
+        if self.capacity() == 0 {
+            self.misses.fetch_add(keys.len() as u64, Ordering::Relaxed);
+            return;
+        }
+        let mut hits = 0u64;
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            // Lock lazily so shards no key maps to are never touched.
+            let mut guard = None;
+            for (i, &key) in keys.iter().enumerate() {
+                if Self::shard_of(key) != shard_idx {
+                    continue;
+                }
+                let map = guard.get_or_insert_with(|| shard.lock().expect("memo shard poisoned"));
+                let decided = match map.get(&key) {
+                    None => None,
+                    Some(MemoEntry::Exact(d)) => Some((*d <= budget).then_some(*d)),
+                    Some(MemoEntry::AtLeast(b)) if *b >= budget => Some(None),
+                    Some(MemoEntry::AtLeast(_)) => None,
+                };
+                if decided.is_some() {
+                    hits += 1;
+                }
+                out[i] = decided;
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses
+            .fetch_add(keys.len() as u64 - hits, Ordering::Relaxed);
+    }
+
     /// Records the exact distance of a pair.
     pub(crate) fn record_exact(&self, key: u64, distance: u64) {
         self.record(key, MemoEntry::Exact(distance));
@@ -333,6 +380,40 @@ mod tests {
         let delta = memo.stats().since(&s);
         assert_eq!(delta.hits, 0);
         assert!(delta.evictions > 0);
+    }
+
+    #[test]
+    fn consult_batch_matches_per_key_consults_and_counters() {
+        let memo = TedMemo::new();
+        memo.record_exact(pair_key(1, 2), 4);
+        memo.record_exact(pair_key(3, 4), 11);
+        memo.record_at_least(pair_key(5, 6), 9);
+        let keys = [
+            pair_key(1, 2), // Exact within budget -> Some(Some(4))
+            pair_key(3, 4), // Exact above budget -> Some(None)
+            pair_key(5, 6), // floor 9 >= budget 9 -> Some(None)
+            pair_key(7, 8), // absent -> None
+            pair_key(1, 2), // duplicates decided consistently
+        ];
+        let before = memo.stats();
+        let mut out = Vec::new();
+        memo.consult_batch(&keys, 9, &mut out);
+        let expected: Vec<_> = keys.iter().map(|&k| memo.consult(k, 9)).collect();
+        assert_eq!(out, expected);
+        // The batch performed keys.len() lookups: 4 decided, 1 undecided.
+        let after = memo.stats().since(&before);
+        assert_eq!((after.hits, after.misses), (4 + 4, 1 + 1));
+    }
+
+    #[test]
+    fn consult_batch_with_zero_capacity_counts_misses() {
+        let memo = TedMemo::new();
+        memo.set_capacity(0);
+        let keys = [pair_key(1, 2), pair_key(3, 4)];
+        let mut out = Vec::new();
+        memo.consult_batch(&keys, 10, &mut out);
+        assert_eq!(out, vec![None, None]);
+        assert_eq!(memo.stats().misses, 2);
     }
 
     #[test]

@@ -37,11 +37,118 @@
 //! ascending order, exactly as in `match_levels`. The cross-engine
 //! property tests pin this.
 
-use crate::ted_star::symmetric_difference;
+use crate::ted_star::{symmetric_difference, PreparedTree};
 use ned_matching::{transportation_into, TransportScratch};
 use ned_tree::Tree;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::time::Instant;
+
+/// One phase of the level sweep, as timed by the internal sweep probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepPhase {
+    /// Level-floor bound check (padding + residual vs budget).
+    Bound,
+    /// Children-collection construction (CSR build over both levels).
+    Collect,
+    /// Pair-local hash-consed canonization.
+    Canonize,
+    /// Zero-pair elimination + multiplicity-class grouping.
+    Group,
+    /// Class cost matrix + bounded transportation solve.
+    Transport,
+    /// Canonical flow expansion + re-canonization.
+    Expand,
+}
+
+/// Instrumentation hook for the sweep. The kernel is generic over the
+/// probe and monomorphizes; the default [`NoProbe`] compiles to nothing,
+/// so production calls pay zero cost for the instrumentation points.
+trait SweepProbe {
+    #[inline(always)]
+    fn begin(&mut self, _phase: SweepPhase) {}
+    #[inline(always)]
+    fn end(&mut self, _phase: SweepPhase) {}
+}
+
+/// The zero-cost probe: every hook is an empty inline body.
+struct NoProbe;
+impl SweepProbe for NoProbe {}
+
+/// Wall-clock totals per sweep phase, in nanoseconds, plus the number of
+/// levels actually processed. Produced by
+/// [`ted_star_prepared_profiled`](crate::ted_star_prepared_profiled) and
+/// consumed by the `kernel_profile` bench.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// Time in the per-level floor bound checks.
+    pub bound_ns: u64,
+    /// Time building children-label collections.
+    pub collect_ns: u64,
+    /// Time hash-consing pair-local labels.
+    pub canonize_ns: u64,
+    /// Time in zero-pair elimination and class grouping.
+    pub group_ns: u64,
+    /// Time in class cost construction and the transportation solve.
+    pub transport_ns: u64,
+    /// Time expanding flows and re-canonizing child labels.
+    pub expand_ns: u64,
+    /// Levels the sweep actually processed (< `k` when it abandoned).
+    pub levels: u32,
+}
+
+impl KernelProfile {
+    /// Sum of all phase timings.
+    pub fn total_ns(&self) -> u64 {
+        self.bound_ns
+            + self.collect_ns
+            + self.canonize_ns
+            + self.group_ns
+            + self.transport_ns
+            + self.expand_ns
+    }
+}
+
+/// A probe accumulating wall-clock time per phase.
+struct TimingProbe {
+    mark: Instant,
+    profile: KernelProfile,
+}
+
+impl TimingProbe {
+    fn new() -> Self {
+        TimingProbe {
+            mark: Instant::now(),
+            profile: KernelProfile::default(),
+        }
+    }
+
+    fn slot(&mut self, phase: SweepPhase) -> &mut u64 {
+        match phase {
+            SweepPhase::Bound => &mut self.profile.bound_ns,
+            SweepPhase::Collect => &mut self.profile.collect_ns,
+            SweepPhase::Canonize => &mut self.profile.canonize_ns,
+            SweepPhase::Group => &mut self.profile.group_ns,
+            SweepPhase::Transport => &mut self.profile.transport_ns,
+            SweepPhase::Expand => &mut self.profile.expand_ns,
+        }
+    }
+}
+
+impl SweepProbe for TimingProbe {
+    #[inline]
+    fn begin(&mut self, phase: SweepPhase) {
+        if phase == SweepPhase::Bound {
+            self.profile.levels += 1;
+        }
+        self.mark = Instant::now();
+    }
+
+    #[inline]
+    fn end(&mut self, phase: SweepPhase) {
+        let elapsed = self.mark.elapsed().as_nanos() as u64;
+        *self.slot(phase) += elapsed;
+    }
+}
 
 /// Flat (CSR-style) per-slot children-label collections for one padded
 /// level: slot `i`'s collection is `data[offsets[i]..offsets[i + 1]]`,
@@ -82,26 +189,31 @@ impl FlatCollections {
 
 /// A reusable hash-consing table mapping sorted label multisets to dense
 /// pair-local ids: the kernel's replacement for per-call interners.
-/// Collision chains and key storage are flat vectors, and
+///
+/// Open addressing with linear probing directly on the FNV hash — no
+/// second hasher, no per-entry boxes. Key storage is flat, and
 /// [`LabelTable::reset`] retains every capacity, so steady-state
-/// labeling allocates nothing.
+/// labeling allocates nothing. The assigned ids are a pure function of
+/// the call sequence (dense, first-sight order), independent of table
+/// capacity or probe history.
 #[derive(Debug, Default)]
 struct LabelTable {
-    /// FNV hash of a key → first label id carrying that hash.
-    heads: HashMap<u64, u32>,
+    /// Power-of-two probe table; `u32::MAX` = empty, else a label id.
+    slots: Vec<u32>,
+    /// Label id → FNV hash of its key (for cheap probe rejection and
+    /// rehash-free growth).
+    hashes: Vec<u64>,
     /// Label id → `(start, len)` of its key copy in `keys`.
     spans: Vec<(u32, u32)>,
-    /// Label id → next label id with the same hash (`u32::MAX` = none).
-    chain: Vec<u32>,
     /// Flat storage of key copies.
     keys: Vec<u32>,
 }
 
 impl LabelTable {
     fn reset(&mut self) {
-        self.heads.clear();
+        self.slots.fill(u32::MAX);
+        self.hashes.clear();
         self.spans.clear();
-        self.chain.clear();
         self.keys.clear();
     }
 
@@ -109,6 +221,29 @@ impl LabelTable {
     fn key_of(&self, id: u32) -> &[u32] {
         let (start, len) = self.spans[id as usize];
         &self.keys[start as usize..(start + len) as usize]
+    }
+
+    /// Doubles the probe table and re-seats every id from its stored
+    /// hash. Ids are untouched.
+    #[cold]
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(64);
+        self.slots.clear();
+        self.slots.resize(cap, u32::MAX);
+        let mask = cap - 1;
+        for (id, &h) in self.hashes.iter().enumerate() {
+            let mut idx = h as usize & mask;
+            while self.slots[idx] != u32::MAX {
+                idx = (idx + 1) & mask;
+            }
+            self.slots[idx] = id as u32;
+        }
+    }
+
+    /// Number of ids assigned since the last [`LabelTable::reset`].
+    #[inline]
+    fn len(&self) -> usize {
+        self.spans.len()
     }
 
     /// The dense id of `key` (a sorted multiset), assigning a fresh id on
@@ -119,23 +254,27 @@ impl LabelTable {
             h ^= u64::from(w);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        // Walk the collision chain for this hash.
-        let head = self.heads.get(&h).copied();
-        let mut cur = head;
-        while let Some(id) = cur {
-            if self.key_of(id) == key {
+        if (self.spans.len() + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut idx = h as usize & mask;
+        loop {
+            let id = self.slots[idx];
+            if id == u32::MAX {
+                let id = self.spans.len() as u32;
+                let start = self.keys.len() as u32;
+                self.keys.extend_from_slice(key);
+                self.spans.push((start, key.len() as u32));
+                self.hashes.push(h);
+                self.slots[idx] = id;
                 return id;
             }
-            let next = self.chain[id as usize];
-            cur = (next != u32::MAX).then_some(next);
+            if self.hashes[id as usize] == h && self.key_of(id) == key {
+                return id;
+            }
+            idx = (idx + 1) & mask;
         }
-        let id = self.spans.len() as u32;
-        let start = self.keys.len() as u32;
-        self.keys.extend_from_slice(key);
-        self.spans.push((start, key.len() as u32));
-        self.chain.push(head.unwrap_or(u32::MAX));
-        self.heads.insert(h, id);
-        id
     }
 }
 
@@ -147,6 +286,12 @@ impl LabelTable {
 pub(crate) struct TedStarScratch {
     /// `residual[l]` = padding still forced at levels `0..l`.
     residual: Vec<u64>,
+    /// Cached per-level widths of both trees, padded with zeros to the
+    /// common `k`. Filled once per call — from [`PreparedTree::level_sizes`]
+    /// on the prepared path — so the residual build and the sweep read
+    /// flat arrays instead of re-deriving sizes per iteration.
+    sizes1: Vec<u32>,
+    sizes2: Vec<u32>,
     s1: FlatCollections,
     s2: FlatCollections,
     labels: LabelTable,
@@ -167,6 +312,13 @@ pub(crate) struct TedStarScratch {
     f: Vec<u32>,
     inv: Vec<u32>,
     col_cursor: Vec<u32>,
+    /// Label-inversion scratch for the class cost build: CSR offsets,
+    /// scatter cursors, `(column class, multiplicity)` entries per child
+    /// label, and the `r·c` intersection-size accumulator.
+    lab_off: Vec<u32>,
+    lab_cursor: Vec<u32>,
+    lab_ent: Vec<(u32, u32)>,
+    inter: Vec<u32>,
     transport: TransportScratch,
 }
 
@@ -174,9 +326,67 @@ thread_local! {
     static SCRATCH: RefCell<TedStarScratch> = RefCell::new(TedStarScratch::default());
 }
 
+/// Fills the scratch size caches from the trees themselves (the one-shot
+/// path, which has no [`PreparedTree`] to read them from).
+fn fill_sizes_from_trees(t1: &Tree, t2: &Tree, sc: &mut TedStarScratch) {
+    let k = t1.num_levels().max(t2.num_levels());
+    sc.sizes1.clear();
+    sc.sizes1
+        .extend((0..t1.num_levels()).map(|l| t1.level_size(l) as u32));
+    sc.sizes1.resize(k, 0);
+    sc.sizes2.clear();
+    sc.sizes2
+        .extend((0..t2.num_levels()).map(|l| t2.level_size(l) as u32));
+    sc.sizes2.resize(k, 0);
+}
+
+/// Fills the scratch size caches from precomputed prepared-tree arrays.
+fn fill_sizes_from_slices(a: &[u32], b: &[u32], sc: &mut TedStarScratch) {
+    let k = a.len().max(b.len());
+    sc.sizes1.clear();
+    sc.sizes1.extend_from_slice(a);
+    sc.sizes1.resize(k, 0);
+    sc.sizes2.clear();
+    sc.sizes2.extend_from_slice(b);
+    sc.sizes2.resize(k, 0);
+}
+
 /// [`bounded_sweep`] on this thread's recycled scratch arena.
 pub(crate) fn bounded_sweep_tl(t1: &Tree, t2: &Tree, budget: u64) -> Option<u64> {
     SCRATCH.with(|s| bounded_sweep(t1, t2, budget, &mut s.borrow_mut()))
+}
+
+/// The prepared-pair entry: level sizes come straight from the
+/// [`PreparedTree`]s' cached arrays instead of being re-derived from the
+/// trees. The caller has ordered the pair by canonical code and handled
+/// the isomorphic fast path.
+pub(crate) fn bounded_sweep_prepared_tl(
+    a: &PreparedTree,
+    b: &PreparedTree,
+    budget: u64,
+) -> Option<u64> {
+    SCRATCH.with(|s| {
+        let sc = &mut *s.borrow_mut();
+        fill_sizes_from_slices(a.level_sizes(), b.level_sizes(), sc);
+        sweep_core(a.tree(), b.tree(), budget, sc, &mut NoProbe)
+    })
+}
+
+/// The instrumented prepared-pair entry: same sweep, but every phase is
+/// timed through a [`TimingProbe`]. Used by
+/// [`ted_star_prepared_profiled`](crate::ted_star_prepared_profiled).
+pub(crate) fn bounded_sweep_profiled_tl(
+    a: &PreparedTree,
+    b: &PreparedTree,
+    budget: u64,
+) -> (Option<u64>, KernelProfile) {
+    SCRATCH.with(|s| {
+        let sc = &mut *s.borrow_mut();
+        fill_sizes_from_slices(a.level_sizes(), b.level_sizes(), sc);
+        let mut probe = TimingProbe::new();
+        let d = sweep_core(a.tree(), b.tree(), budget, sc, &mut probe);
+        (d, probe.profile)
+    })
 }
 
 /// Algorithm 1, bottom-up, abandoning the moment the distance is proven
@@ -192,19 +402,23 @@ pub(crate) fn bounded_sweep(
     budget: u64,
     sc: &mut TedStarScratch,
 ) -> Option<u64> {
-    let k = t1.num_levels().max(t2.num_levels());
-    // residual[l]: padding forced at the levels that will still be
-    // unprocessed after level l — the sound, statically-known part of the
-    // remaining cost (matching costs above are lower-bounded by zero).
-    sc.residual.clear();
-    sc.residual.push(0);
-    for l in 1..k {
-        let below = sc.residual[l - 1] + t1.level_size(l - 1).abs_diff(t2.level_size(l - 1)) as u64;
-        sc.residual.push(below);
-    }
+    fill_sizes_from_trees(t1, t2, sc);
+    sweep_core(t1, t2, budget, sc, &mut NoProbe)
+}
 
+/// The generic sweep body. `sc.sizes1`/`sc.sizes2` must already hold both
+/// trees' level widths padded to the common `k`.
+fn sweep_core<P: SweepProbe>(
+    t1: &Tree,
+    t2: &Tree,
+    budget: u64,
+    sc: &mut TedStarScratch,
+    probe: &mut P,
+) -> Option<u64> {
     let TedStarScratch {
         residual,
+        sizes1,
+        sizes2,
         s1,
         s2,
         labels,
@@ -224,34 +438,58 @@ pub(crate) fn bounded_sweep(
         f,
         inv,
         col_cursor,
+        lab_off,
+        lab_cursor,
+        lab_ent,
+        inter,
         transport,
     } = sc;
 
+    let k = sizes1.len();
+    debug_assert_eq!(k, sizes2.len());
+    // residual[l]: padding forced at the levels that will still be
+    // unprocessed after level l — the sound, statically-known part of the
+    // remaining cost (matching costs above are lower-bounded by zero).
+    residual.clear();
+    residual.push(0);
+    for l in 1..k {
+        let below = residual[l - 1] + u64::from(sizes1[l - 1].abs_diff(sizes2[l - 1]));
+        residual.push(below);
+    }
+
     let mut partial = 0u64;
     let mut prev_padding = 0u64; // P_{l+1}, zero below the bottom level
+
+    // Number of distinct labels the level below assigned — the id space
+    // of every collection at the current level (0 below the bottom).
+    let mut nlab_children = 0usize;
     child1.clear();
     child2.clear();
 
     for l in (0..k).rev() {
-        let n1 = t1.level_size(l);
-        let n2 = t2.level_size(l);
-        let n = n1.max(n2);
-        let padding = n1.abs_diff(n2) as u64;
-
         // The floor on the final distance if this level costs nothing
         // beyond its forced padding: banked cost + this level's padding +
         // the padding forced above. Blowing the budget here is final.
+        probe.begin(SweepPhase::Bound);
+        let n1 = sizes1[l] as usize;
+        let n2 = sizes2[l] as usize;
+        let n = n1.max(n2);
+        let padding = n1.abs_diff(n2) as u64;
         let floor = partial + padding + residual[l];
+        probe.end(SweepPhase::Bound);
         if floor > budget {
             return None;
         }
 
         // Steps 1–2: padding + children-label collections.
+        probe.begin(SweepPhase::Collect);
         s1.build(t1, l, child1, n);
         s2.build(t2, l, child2, n);
+        probe.end(SweepPhase::Collect);
 
         // Step 3: canonization via the pair-local label table (labels
         // are shared across both sides, so cross-side equality holds).
+        probe.begin(SweepPhase::Canonize);
         labels.reset();
         c1.clear();
         c2.clear();
@@ -261,10 +499,12 @@ pub(crate) fn bounded_sweep(
         for i in 0..n {
             c2.push(labels.label(s2.get(i)));
         }
+        probe.end(SweepPhase::Canonize);
 
         // Zero-pair elimination: pair equal-label slots off first
         // (always part of some optimum — identical collections have a
         // zero-weight edge), leaving per-label leftover classes.
+        probe.begin(SweepPhase::Group);
         f.clear();
         f.resize(n, u32::MAX);
         pairs1.clear();
@@ -342,6 +582,7 @@ pub(crate) fn bounded_sweep(
             classes2.iter().map(|&(_, _, len)| len).sum::<u32>(),
             "leftover slots must balance at level {l}"
         );
+        probe.end(SweepPhase::Group);
 
         // Steps 4–5 on the leftovers: the duplicate-collapsed
         // transportation problem, under the level's share of the budget.
@@ -350,6 +591,7 @@ pub(crate) fn bounded_sweep(
         } else {
             // Canonical class order: by smallest member slot (slot
             // partitions are engine-independent; label values are not).
+            probe.begin(SweepPhase::Transport);
             classes1.sort_unstable_by_key(|&(first, _, _)| first);
             classes2.sort_unstable_by_key(|&(first, _, _)| first);
 
@@ -357,14 +599,100 @@ pub(crate) fn bounded_sweep(
             class_costs.clear();
             supplies.clear();
             demands.clear();
-            for &(first1, _, len1) in classes1.iter() {
-                supplies.push(u64::from(len1));
-                let sx = s1.get(first1 as usize);
-                for &(first2, _, _) in classes2.iter() {
-                    class_costs.push(symmetric_difference(sx, s2.get(first2 as usize)) as i64);
+            supplies.extend(classes1.iter().map(|&(_, _, len)| u64::from(len)));
+            demands.extend(classes2.iter().map(|&(_, _, len)| u64::from(len)));
+
+            // Pairwise symmetric differences by label inversion instead
+            // of `r·c` sorted merges: `|aΔb| = |a| + |b| − 2·|a∩b|`, with
+            // the intersection sizes accumulated through a counting-sort
+            // CSR of the column collections over the dense child-label
+            // ids (`nlab_children` of them, assigned one level below).
+            // Work is linear in the collections plus one add per
+            // (shared label × row class × column class) triple, instead
+            // of touching every pair's full collections.
+            lab_off.clear();
+            lab_off.resize(nlab_children + 1, 0);
+            for &(first2, _, _) in classes2.iter() {
+                let s = s2.get(first2 as usize);
+                let mut p = 0;
+                while p < s.len() {
+                    let lab = s[p];
+                    let mut q = p + 1;
+                    while q < s.len() && s[q] == lab {
+                        q += 1;
+                    }
+                    lab_off[lab as usize + 1] += 1;
+                    p = q;
                 }
             }
-            demands.extend(classes2.iter().map(|&(_, _, len)| u64::from(len)));
+            for i in 0..nlab_children {
+                lab_off[i + 1] += lab_off[i];
+            }
+            lab_cursor.clear();
+            lab_cursor.extend_from_slice(&lab_off[..nlab_children]);
+            lab_ent.clear();
+            lab_ent.resize(lab_off[nlab_children] as usize, (0, 0));
+            for (j, &(first2, _, _)) in classes2.iter().enumerate() {
+                let s = s2.get(first2 as usize);
+                let mut p = 0;
+                while p < s.len() {
+                    let lab = s[p];
+                    let mut q = p + 1;
+                    while q < s.len() && s[q] == lab {
+                        q += 1;
+                    }
+                    let slot = lab_cursor[lab as usize];
+                    lab_ent[slot as usize] = (j as u32, (q - p) as u32);
+                    lab_cursor[lab as usize] = slot + 1;
+                    p = q;
+                }
+            }
+            inter.clear();
+            inter.resize(classes1.len() * cols, 0);
+            for (i, &(first1, _, _)) in classes1.iter().enumerate() {
+                let sx = s1.get(first1 as usize);
+                let row = &mut inter[i * cols..(i + 1) * cols];
+                let mut p = 0;
+                while p < sx.len() {
+                    let lab = sx[p];
+                    let mut q = p + 1;
+                    while q < sx.len() && sx[q] == lab {
+                        q += 1;
+                    }
+                    let cr = (q - p) as u32;
+                    let ents = &lab_ent
+                        [lab_off[lab as usize] as usize..lab_off[lab as usize + 1] as usize];
+                    for &(j, cc) in ents {
+                        row[j as usize] += cr.min(cc);
+                    }
+                    p = q;
+                }
+            }
+            // `col_cursor` doubles as a column-collection-length cache
+            // here; the expansion below resets it before its own use.
+            col_cursor.clear();
+            col_cursor.extend(
+                classes2
+                    .iter()
+                    .map(|&(first2, _, _)| s2.get(first2 as usize).len() as u32),
+            );
+            for (i, &(first1, _, _)) in classes1.iter().enumerate() {
+                let la = s1.get(first1 as usize).len();
+                for j in 0..cols {
+                    let lb = col_cursor[j] as usize;
+                    class_costs.push((la + lb - 2 * inter[i * cols + j] as usize) as i64);
+                }
+            }
+            debug_assert!(
+                classes1.iter().enumerate().all(|(i, &(first1, _, _))| {
+                    let sx = s1.get(first1 as usize);
+                    classes2.iter().enumerate().all(|(j, &(first2, _, _))| {
+                        class_costs[i * cols + j]
+                            == symmetric_difference(sx, s2.get(first2 as usize)) as i64
+                    })
+                }),
+                "label-inversion cost build diverged from pairwise merges at level {l}"
+            );
 
             // Equation 5 will charge `(m(G²) − P_below) / 2` moves at
             // this level; the budget leaves room for at most `slack` of
@@ -375,12 +703,20 @@ pub(crate) fn bounded_sweep(
                 .saturating_mul(2)
                 .saturating_add(prev_padding)
                 .min(i64::MAX as u64) as i64;
-            let cost = transportation_into(supplies, demands, class_costs, limit, transport)?;
+            let cost = match transportation_into(supplies, demands, class_costs, limit, transport) {
+                Some(cost) => cost,
+                None => {
+                    probe.end(SweepPhase::Transport);
+                    return None;
+                }
+            };
+            probe.end(SweepPhase::Transport);
 
             // Canonical expansion: flows consumed in ascending
             // (row class, column class) order, slots within each class
             // ascending — the choice that pins re-canonization (and so
             // the distance) across engines.
+            probe.begin(SweepPhase::Expand);
             col_cursor.clear();
             col_cursor.resize(cols, 0);
             for (ci, &(_, start1, len1)) in classes1.iter().enumerate() {
@@ -396,6 +732,7 @@ pub(crate) fn bounded_sweep(
                 }
                 debug_assert_eq!(rc, len1, "row class not exhausted at level {l}");
             }
+            probe.end(SweepPhase::Expand);
             cost as u64
         };
 
@@ -418,6 +755,7 @@ pub(crate) fn bounded_sweep(
         // dead once this level's collections were built, so they are
         // overwritten in place (their capacities stay monotone, which is
         // what keeps steady-state calls allocation-free).
+        probe.begin(SweepPhase::Expand);
         child1.clear();
         child2.clear();
         if n1 < n2 {
@@ -432,9 +770,11 @@ pub(crate) fn bounded_sweep(
             child1.extend_from_slice(&c1[..n1]);
             child2.extend((0..n2).map(|y| c1[inv[y] as usize]));
         }
+        probe.end(SweepPhase::Expand);
 
         partial += padding + matching;
         prev_padding = padding;
+        nlab_children = labels.len();
     }
 
     debug_assert!(partial <= budget, "completed sweep exceeded its budget");

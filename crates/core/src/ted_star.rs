@@ -17,6 +17,7 @@
 //! `Mᵢ = (m(G²ᵢ) − Pᵢ₊₁)/2` is the number of same-level moves derived from
 //! the minimum bipartite matching cost `m(G²ᵢ)` (Equation 5).
 
+pub use crate::ted_kernel::{KernelProfile, SweepPhase};
 use ned_matching::{greedy_matching, hungarian, transportation, CostMatrix};
 use ned_tree::{SignatureInterner, Tree};
 
@@ -83,6 +84,17 @@ pub struct TedStarConfig {
     /// distance is unchanged; the sort-based ranking is kept for A/B
     /// validation.
     pub interned_canonization: bool,
+    /// When `true`, the pair path runs **frozen pre-rebuild code end to
+    /// end**: preparation uses the byte-materializing
+    /// [`ned_tree::ahu::canonical_form_reference`] plus the general
+    /// sorting [`ned_tree::ahu::canonical_code`], and the class-level
+    /// matching runs on [`ned_matching::transportation_reference`] — the
+    /// solver frozen as it stood before the SoA kernel rebuild — instead
+    /// of the optimized implementations. Results are bit-identical either
+    /// way; this knob exists so benchmarks can time the pre-rebuild pair
+    /// path on today's code without the frozen baseline silently
+    /// inheriting canonicalization or solver speedups.
+    pub frozen_baseline: bool,
 }
 
 impl TedStarConfig {
@@ -94,6 +106,7 @@ impl TedStarConfig {
             skip_zero_pairs: true,
             collapse_duplicates: true,
             interned_canonization: true,
+            frozen_baseline: false,
         }
     }
 
@@ -107,6 +120,7 @@ impl TedStarConfig {
             skip_zero_pairs: true,
             collapse_duplicates: false,
             interned_canonization: false,
+            frozen_baseline: false,
         }
     }
 }
@@ -166,25 +180,68 @@ impl TedStarReport {
 pub struct PreparedTree {
     tree: Tree,
     code: Box<[u8]>,
-    /// Per level: the interned subtree-class ids of the level's nodes,
-    /// sorted ascending. Interned through [`SignatureInterner::global`],
-    /// so ids are comparable across every `PreparedTree` in the process —
-    /// the basis of the class-histogram lower bound and of shape
-    /// deduplication in [`crate::store::SignatureStore`].
-    level_classes: Vec<Vec<u32>>,
+    /// All levels' interned subtree-class ids in one flat array, each
+    /// level's slice sorted ascending. Interned through
+    /// [`SignatureInterner::global`], so ids are comparable across every
+    /// `PreparedTree` in the process — the basis of the class-histogram
+    /// lower bound and of shape deduplication in
+    /// [`crate::store::SignatureStore`]. Level `l` occupies
+    /// `classes[level_offsets[l]..level_offsets[l + 1]]` (CSR layout:
+    /// bound sweeps walk one contiguous allocation instead of chasing
+    /// per-level `Vec` pointers).
+    classes: Box<[u32]>,
+    /// CSR offsets into `classes`; `level_offsets.len() == num_levels + 1`.
+    level_offsets: Box<[u32]>,
+    /// Cached per-level widths (the `level_offsets` differences). The
+    /// level-size L1 bound and the kernel's padding residual read this
+    /// array directly instead of re-deriving sizes per sweep iteration.
+    level_sizes: Box<[u32]>,
+    /// Run-length encoding of each level's sorted classes: run `r` holds
+    /// `run_counts[r]` copies of class `run_classes[r]`. Levels index the
+    /// run arrays through `run_offsets` (same CSR convention). The
+    /// histogram L1 merge in [`ted_star_class_lower_bound`] scans runs —
+    /// `O(distinct classes)` per level — instead of raw slots.
+    run_classes: Box<[u32]>,
+    /// Multiplicity of each run.
+    run_counts: Box<[u32]>,
+    /// CSR offsets into the run arrays; `run_offsets.len() == num_levels + 1`.
+    run_offsets: Box<[u32]>,
 }
 
 impl PreparedTree {
     /// Canonicalizes `t` and interns its per-level subtree classes.
     pub fn new(t: &Tree) -> Self {
         let tree = ned_tree::ahu::canonical_form(t);
-        let code = ned_tree::ahu::canonical_code(&tree).into_boxed_slice();
-        let level_classes = SignatureInterner::global().level_classes(&tree);
-        PreparedTree {
-            tree,
-            code,
-            level_classes,
+        let code = ned_tree::ahu::ordered_code(&tree).into_boxed_slice();
+        // BFS layout makes levels contiguous, so the per-node subtree ids
+        // are already the flat level-ordered class array.
+        let classes = SignatureInterner::global().subtree_ids(&tree);
+        let k = tree.num_levels();
+        let mut level_offsets = Vec::with_capacity(k + 1);
+        level_offsets.push(0u32);
+        for l in 0..k {
+            level_offsets.push(tree.level(l).end);
         }
+        Self::build(tree, code, classes, level_offsets)
+    }
+
+    /// [`PreparedTree::new`] routed through the frozen pre-rebuild
+    /// canonicalization ([`ned_tree::ahu::canonical_form_reference`] +
+    /// the general sorting [`ned_tree::ahu::canonical_code`]). Output is
+    /// bit-identical to [`PreparedTree::new`]; exists solely so
+    /// `TedStarConfig::frozen_baseline` can time the old preparation
+    /// path.
+    pub(crate) fn new_reference(t: &Tree) -> Self {
+        let tree = ned_tree::ahu::canonical_form_reference(t);
+        let code = ned_tree::ahu::canonical_code(&tree).into_boxed_slice();
+        let classes = SignatureInterner::global().subtree_ids(&tree);
+        let k = tree.num_levels();
+        let mut level_offsets = Vec::with_capacity(k + 1);
+        level_offsets.push(0u32);
+        for l in 0..k {
+            level_offsets.push(tree.level(l).end);
+        }
+        Self::build(tree, code, classes, level_offsets)
     }
 
     /// Assembles a prepared tree from pre-computed canonical parts — the
@@ -193,21 +250,69 @@ impl PreparedTree {
     /// expansion instead of calling [`PreparedTree::new`] per node.
     ///
     /// The caller guarantees `tree` is AHU-canonical, `code` is its
-    /// canonical code, and `level_classes` are its per-level sorted
-    /// global-interner class ids; debug builds re-derive and check all
-    /// three.
-    pub(crate) fn from_parts(tree: Tree, code: Box<[u8]>, level_classes: Vec<Vec<u32>>) -> Self {
-        let prepared = PreparedTree {
-            tree,
-            code,
-            level_classes,
-        };
+    /// canonical code, and `classes` are its per-node global-interner
+    /// subtree ids in level order (level `l` at
+    /// `classes[level_offsets[l]..level_offsets[l + 1]]`, in any
+    /// within-level order — the builder sorts). Debug builds re-derive
+    /// and check everything against a fresh preparation.
+    pub(crate) fn from_parts(
+        tree: Tree,
+        code: Box<[u8]>,
+        classes: Vec<u32>,
+        level_offsets: Vec<u32>,
+    ) -> Self {
+        let prepared = Self::build(tree, code, classes, level_offsets);
         debug_assert_eq!(
             prepared,
             PreparedTree::new(&prepared.tree),
             "from_parts parts disagree with a fresh preparation"
         );
         prepared
+    }
+
+    /// Shared SoA builder: sorts each level's class slice in place and
+    /// derives the cached sizes and histogram runs.
+    fn build(tree: Tree, code: Box<[u8]>, mut classes: Vec<u32>, level_offsets: Vec<u32>) -> Self {
+        let k = level_offsets.len() - 1;
+        debug_assert_eq!(k, tree.num_levels());
+        debug_assert_eq!(*level_offsets.last().unwrap() as usize, classes.len());
+        let mut level_sizes = Vec::with_capacity(k);
+        let mut run_classes: Vec<u32> = Vec::new();
+        let mut run_counts: Vec<u32> = Vec::new();
+        let mut run_offsets = Vec::with_capacity(k + 1);
+        run_offsets.push(0u32);
+        for l in 0..k {
+            let (s, e) = (level_offsets[l] as usize, level_offsets[l + 1] as usize);
+            level_sizes.push((e - s) as u32);
+            let lvl = &mut classes[s..e];
+            // BFS levels are dominated by one repeated class (leaves);
+            // dodge the sort when the level is already uniform.
+            if !lvl.iter().all(|&c| c == lvl[0]) {
+                lvl.sort_unstable();
+            }
+            let mut i = s;
+            while i < e {
+                let c = classes[i];
+                let mut j = i + 1;
+                while j < e && classes[j] == c {
+                    j += 1;
+                }
+                run_classes.push(c);
+                run_counts.push((j - i) as u32);
+                i = j;
+            }
+            run_offsets.push(run_classes.len() as u32);
+        }
+        PreparedTree {
+            tree,
+            code,
+            classes: classes.into_boxed_slice(),
+            level_offsets: level_offsets.into_boxed_slice(),
+            level_sizes: level_sizes.into_boxed_slice(),
+            run_classes: run_classes.into_boxed_slice(),
+            run_counts: run_counts.into_boxed_slice(),
+            run_offsets: run_offsets.into_boxed_slice(),
+        }
     }
 
     /// The canonical-layout tree.
@@ -220,21 +325,52 @@ impl PreparedTree {
         &self.code
     }
 
-    /// Sorted interned subtree-class ids per level (global interner).
-    pub fn level_classes(&self) -> &[Vec<u32>] {
-        &self.level_classes
+    /// Sorted interned subtree-class ids of level `l` (global interner);
+    /// empty for levels beyond the tree's depth.
+    pub fn level_classes(&self, l: usize) -> &[u32] {
+        if l + 1 >= self.level_offsets.len() {
+            return &[];
+        }
+        &self.classes[self.level_offsets[l] as usize..self.level_offsets[l + 1] as usize]
+    }
+
+    /// Cached per-level widths, one contiguous `u32` array (index = level).
+    pub fn level_sizes(&self) -> &[u32] {
+        &self.level_sizes
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.level_sizes.len()
+    }
+
+    /// The class-histogram runs of level `l`: `(classes, counts)`, classes
+    /// strictly ascending.
+    #[inline]
+    pub(crate) fn level_runs(&self, l: usize) -> (&[u32], &[u32]) {
+        let (s, e) = (
+            self.run_offsets[l] as usize,
+            self.run_offsets[l + 1] as usize,
+        );
+        (&self.run_classes[s..e], &self.run_counts[s..e])
     }
 
     /// The interned class id of the whole tree (the root's subtree class):
     /// equal iff the trees are isomorphic. A cheap `u32` identity for
     /// interning/deduplication within one process.
     pub fn root_class(&self) -> u32 {
-        self.level_classes[0][0]
+        self.classes[0]
     }
 }
 
-/// `TED*(t1, t2)` with the standard configuration (exact Hungarian
-/// matching). This is the `δT` of Definition 3.
+/// `TED*(t1, t2)` with exact Hungarian-class matching. This is the `δT`
+/// of Definition 3.
+///
+/// Runs on the scratch-arena kernel with an unlimited budget (see
+/// [`ted_star_within`]) — bit-identical to every exact-matcher
+/// configuration of [`ted_star_with`], but allocation-free in steady
+/// state and without the per-call global-interner traffic of the
+/// report-producing engine.
 ///
 /// ```
 /// use ned_tree::Tree;
@@ -248,7 +384,7 @@ impl PreparedTree {
 /// assert_eq!(ted_star(&a, &a), 0); // metric: identity
 /// ```
 pub fn ted_star(t1: &Tree, t2: &Tree) -> u64 {
-    ted_star_with(t1, t2, &TedStarConfig::standard())
+    ted_star_within(t1, t2, u64::MAX).expect("an unlimited budget never abandons")
 }
 
 /// A cheap `O(k)` lower bound on `TED*`: the L1 distance between the two
@@ -282,15 +418,58 @@ pub fn ted_star_lower_bound(t1: &Tree, t2: &Tree) -> u64 {
 /// signatures: `O(Σ level widths)` per pair and considerably tighter than
 /// the level-size bound when shapes differ at equal widths.
 pub fn ted_star_class_lower_bound(a: &PreparedTree, b: &PreparedTree) -> u64 {
-    static EMPTY: &[u32] = &[];
-    let k = a.level_classes.len().max(b.level_classes.len());
+    let (sa, sb) = (&a.level_sizes[..], &b.level_sizes[..]);
+    let common = sa.len().min(sb.len());
+    // Level-size L1 over the common prefix: a branch-light reduction over
+    // two contiguous u32 arrays the autovectorizer lifts to SIMD.
     let mut size_l1 = 0u64;
+    for (&x, &y) in sa[..common].iter().zip(&sb[..common]) {
+        size_l1 += u64::from(x.abs_diff(y));
+    }
+    // Levels only one tree has: every slot is forced padding, and the
+    // whole level is histogram difference.
     let mut hist_bound = 0u64;
-    for l in 0..k {
-        let ca = a.level_classes.get(l).map_or(EMPTY, |v| &v[..]);
-        let cb = b.level_classes.get(l).map_or(EMPTY, |v| &v[..]);
-        size_l1 += ca.len().abs_diff(cb.len()) as u64;
-        let diff = symmetric_difference(ca, cb) as u64;
+    let tail = if sa.len() >= sb.len() {
+        &sa[common..]
+    } else {
+        &sb[common..]
+    };
+    for &x in tail {
+        size_l1 += u64::from(x);
+        hist_bound = hist_bound.max(u64::from(x).div_ceil(4));
+    }
+    // Histogram L1 per shared level, merged over the precomputed
+    // class-count runs: Σ_classes |count_a − count_b| over the two
+    // strictly-ascending run lists equals the symmetric difference of the
+    // raw sorted multisets, at O(distinct classes) instead of O(width).
+    for l in 0..common {
+        let (ca, na) = a.level_runs(l);
+        let (cb, nb) = b.level_runs(l);
+        let mut diff = 0u64;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ca.len() && j < cb.len() {
+            match ca[i].cmp(&cb[j]) {
+                std::cmp::Ordering::Less => {
+                    diff += u64::from(na[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    diff += u64::from(nb[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    diff += u64::from(na[i].abs_diff(nb[j]));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for &n in &na[i..] {
+            diff += u64::from(n);
+        }
+        for &n in &nb[j..] {
+            diff += u64::from(n);
+        }
         hist_bound = hist_bound.max(diff.div_ceil(4));
     }
     size_l1.max(hist_bound)
@@ -318,8 +497,10 @@ pub fn ted_star_within(t1: &Tree, t2: &Tree, limit: u64) -> Option<u64> {
     }
     let a = ned_tree::ahu::canonical_form(t1);
     let b = ned_tree::ahu::canonical_form(t2);
-    let code_a = ned_tree::ahu::canonical_code(&a);
-    let code_b = ned_tree::ahu::canonical_code(&b);
+    // Canonical layouts keep children in code-sorted order, so the code
+    // is a straight DFS emission — no re-sorting (`ordered_code`).
+    let code_a = ned_tree::ahu::ordered_code(&a);
+    let code_b = ned_tree::ahu::ordered_code(&b);
     if code_a == code_b {
         return Some(0);
     }
@@ -373,15 +554,36 @@ pub fn ted_star_prepared_within(a: &PreparedTree, b: &PreparedTree, budget: u64)
         return None;
     }
     let result = if a.code <= b.code {
-        crate::ted_kernel::bounded_sweep_tl(&a.tree, &b.tree, budget)
+        crate::ted_kernel::bounded_sweep_prepared_tl(a, b, budget)
     } else {
-        crate::ted_kernel::bounded_sweep_tl(&b.tree, &a.tree, budget)
+        crate::ted_kernel::bounded_sweep_prepared_tl(b, a, budget)
     };
     match result {
         Some(d) => memo.record_exact(key, d),
         None => memo.record_at_least(key, budget),
     }
     result
+}
+
+/// [`ted_star_prepared`] with per-phase wall-clock instrumentation: runs
+/// the same sweep, but times every kernel phase (bound check, collection
+/// build, canonization, grouping, transport, expansion) and reports the
+/// totals. Bypasses the cross-pair memo so the sweep itself is what gets
+/// measured; the distance is still bit-identical to every exact engine.
+///
+/// This is the measurement entry behind the `kernel_profile` bench — use
+/// it to see *where* a pair's time goes before reaching for a tuning
+/// knob.
+pub fn ted_star_prepared_profiled(a: &PreparedTree, b: &PreparedTree) -> (u64, KernelProfile) {
+    if a.code == b.code {
+        return (0, KernelProfile::default());
+    }
+    let (d, profile) = if a.code <= b.code {
+        crate::ted_kernel::bounded_sweep_profiled_tl(a, b, u64::MAX)
+    } else {
+        crate::ted_kernel::bounded_sweep_profiled_tl(b, a, u64::MAX)
+    };
+    (d.expect("an unlimited budget never abandons"), profile)
 }
 
 /// `TED*` under an explicit [`TedStarConfig`].
@@ -392,6 +594,13 @@ pub fn ted_star_with(t1: &Tree, t2: &Tree, config: &TedStarConfig) -> u64 {
 /// Canonicalizes both trees and runs Algorithm 1 on the canonically
 /// ordered pair; see [`PreparedTree`] for why.
 pub fn ted_star_report(t1: &Tree, t2: &Tree, config: &TedStarConfig) -> TedStarReport {
+    if config.frozen_baseline {
+        return ted_star_prepared_report(
+            &PreparedTree::new_reference(t1),
+            &PreparedTree::new_reference(t2),
+            config,
+        );
+    }
     ted_star_prepared_report(&PreparedTree::new(t1), &PreparedTree::new(t2), config)
 }
 
@@ -728,7 +937,11 @@ fn match_levels(
 
     let supplies: Vec<u64> = g1.iter().map(|c| c.slots.len() as u64).collect();
     let demands: Vec<u64> = g2.iter().map(|c| c.slots.len() as u64).collect();
-    let transport = transportation(&supplies, &demands, &class_costs);
+    let transport = if config.frozen_baseline {
+        ned_matching::transportation_reference(&supplies, &demands, &class_costs)
+    } else {
+        transportation(&supplies, &demands, &class_costs)
+    };
 
     let cost = if config.collapse_duplicates {
         transport.cost

@@ -8,7 +8,9 @@
 //! allocator and the process-wide memo are not shared with unrelated
 //! tests.
 
-use ned_core::{ted_star_prepared, ted_star_prepared_within, PreparedTree, TedMemo};
+use ned_core::{
+    ted_star_class_lower_bound, ted_star_prepared, ted_star_prepared_within, PreparedTree, TedMemo,
+};
 use ned_tree::generate::random_bounded_depth_tree;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -118,5 +120,23 @@ fn steady_state_bounded_calls_do_not_allocate() {
         after - before,
         0,
         "ted_star_prepared allocated in steady state"
+    );
+
+    // The SoA class-histogram lower bound walks flat per-level size and
+    // run arrays baked into the PreparedTree — it must never allocate,
+    // even on the very first call (no warm-up, no scratch arena).
+    let before = allocations();
+    let mut lb_checksum = 0u64;
+    for (i, a) in prepared.iter().enumerate() {
+        for b in prepared.iter().skip(i + 1) {
+            lb_checksum = lb_checksum.wrapping_add(ted_star_class_lower_bound(a, b));
+        }
+    }
+    std::hint::black_box(lb_checksum);
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "ted_star_class_lower_bound allocated (it must be allocation-free)"
     );
 }

@@ -21,8 +21,10 @@ use ned_tree::Tree;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// All four exact-engine combinations.
-fn exact_configs() -> [(&'static str, TedStarConfig); 4] {
+/// All exact-engine combinations, including the frozen pre-rebuild
+/// transportation solver (a pure timing baseline, so it must stay
+/// bit-identical to every other exact engine).
+fn exact_configs() -> [(&'static str, TedStarConfig); 5] {
     let base = TedStarConfig::standard();
     [
         ("collapsed+interned", base),
@@ -41,6 +43,13 @@ fn exact_configs() -> [(&'static str, TedStarConfig); 4] {
             },
         ),
         ("dense+ranked", TedStarConfig::dense()),
+        (
+            "collapsed+frozen-baseline",
+            TedStarConfig {
+                frozen_baseline: true,
+                ..base
+            },
+        ),
     ]
 }
 

@@ -58,6 +58,10 @@ pub struct TransportScratch {
     dist: Vec<i64>,
     done: Vec<bool>,
     parent: Vec<usize>,
+    /// Lazy Dijkstra frontier, keyed `(distance, node)` so the heap
+    /// minimum reproduces the scan rule "lowest index among minimum
+    /// distance" exactly.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(i64, usize)>>,
 }
 
 impl TransportScratch {
@@ -146,6 +150,83 @@ pub fn transportation_into(
         return if limit >= 0 { Some(0) } else { None };
     }
 
+    // Small-shape fast paths: after duplicate collapse most TED* levels
+    // reduce to one or two distinct classes per side, where the optimal
+    // flow is either forced (a single row or column) or a closed form
+    // (2×2). These branch-light solves skip the whole shortest-path
+    // machinery while returning the exact flows the general solver's
+    // deterministic tie-breaking would produce (property-tested below).
+    if r == 1 {
+        // One supplier: every demand is served in full — the only
+        // feasible flow.
+        let mut cost = 0i64;
+        for (j, &d) in demands.iter().enumerate() {
+            scratch.flows[j] = d;
+            cost += costs[j] * d as i64;
+        }
+        return (cost <= limit).then_some(cost);
+    }
+    if c == 1 {
+        // One consumer: every supply ships in full.
+        let mut cost = 0i64;
+        for (i, &s) in supplies.iter().enumerate() {
+            scratch.flows[i] = s;
+            cost += costs[i] * s as i64;
+        }
+        return (cost <= limit).then_some(cost);
+    }
+    if r == 2 && c == 2 {
+        // One degree of freedom: x = flow(0,0) ∈ [lo, hi] determines the
+        // other three cells, and cost(x) = x·Δ + const with
+        // Δ = c00 + c11 − c01 − c10. Δ ≠ 0 makes the optimal extreme
+        // point unique (Δ < 0 → x = hi, Δ > 0 → x = lo), and a
+        // degenerate interval (lo == hi) is forced either way. A true
+        // tie (Δ == 0 with lo < hi) falls through to the general solver
+        // so the flows stay bit-identical to its tie-breaking.
+        let (s0, d0, d1) = (supplies[0], demands[0], demands[1]);
+        let lo = s0.saturating_sub(d1);
+        let hi = s0.min(d0);
+        let delta = costs[0] + costs[3] - costs[1] - costs[2];
+        if delta != 0 || lo == hi {
+            let x = if delta > 0 { lo } else { hi };
+            let f01 = s0 - x;
+            let f10 = d0 - x;
+            let f11 = d1 - f01;
+            let cost = costs[0] * x as i64
+                + costs[1] * f01 as i64
+                + costs[2] * f10 as i64
+                + costs[3] * f11 as i64;
+            scratch.flows[0] = x;
+            scratch.flows[1] = f01;
+            scratch.flows[2] = f10;
+            scratch.flows[3] = f11;
+            return (cost <= limit).then_some(cost);
+        }
+    }
+
+    transportation_general_into(supplies, demands, costs, limit, scratch)
+}
+
+/// The general successive-shortest-paths engine — every shape the
+/// specialized fast paths in [`transportation_into`] do not claim, plus
+/// the ambiguous 2×2 ties they defer. Kept callable on its own so the
+/// test suite can pin the fast paths' flows against it directly.
+fn transportation_general_into(
+    supplies: &[u64],
+    demands: &[u64],
+    costs: &[i64],
+    limit: i64,
+    scratch: &mut TransportScratch,
+) -> Option<i64> {
+    let r = supplies.len();
+    let c = demands.len();
+    let total: u64 = supplies.iter().sum();
+    scratch.flows.clear();
+    scratch.flows.resize(r * c, 0);
+    if total == 0 || r == 0 || c == 0 {
+        return if limit >= 0 { Some(0) } else { None };
+    }
+
     // Shift costs non-negative so Dijkstra works from the start. Every
     // unit of flow crosses exactly one (i, j) edge, so the shift
     // contributes exactly `shift · total` to the objective.
@@ -179,6 +260,53 @@ pub fn transportation_into(
     let mut shipped = 0u64;
     let mut cost_so_far = 0i64;
 
+    // Zero-cost pre-matching: when zero-cost cells are unique per row AND
+    // per column (the collapsed TED\* shape — a cell is free iff the two
+    // classes are identical, and a class appears at most once per side),
+    // the SSP loop's entire zero phase is a fixed greedy. Every zero-dist
+    // augmenting path is then a single direct edge: a multi-hop path at
+    // distance 0 would need a second free cell in some row or column. The
+    // loop below ships exactly the augmentations SSP would perform — the
+    // same pairs, in the same ascending-column order (SSP's lowest-j tie
+    // break over an all-zero plateau), with the same `min(supply, demand)`
+    // bottlenecks and untouched potentials (`π += min(dist, 0)` is a
+    // no-op) — while skipping one full Dijkstra per shared class.
+    if shift == 0 {
+        let mut unique = true;
+        'rows: for i in 0..r {
+            let mut zeros = 0;
+            for j in 0..c {
+                if costs[i * c + j] == 0 {
+                    zeros += 1;
+                    if zeros > 1 {
+                        unique = false;
+                        break 'rows;
+                    }
+                }
+            }
+        }
+        if unique {
+            'cols: for j in 0..c {
+                let mut free_row = usize::MAX;
+                for i in 0..r {
+                    if costs[i * c + j] == 0 {
+                        if free_row != usize::MAX {
+                            break 'cols;
+                        }
+                        free_row = i;
+                    }
+                }
+                if free_row != usize::MAX && demand_left[j] > 0 && supply_left[free_row] > 0 {
+                    let amt = demand_left[j].min(supply_left[free_row]);
+                    flows[free_row * c + j] = amt;
+                    supply_left[free_row] -= amt;
+                    demand_left[j] -= amt;
+                    shipped += amt;
+                }
+            }
+        }
+    }
+
     while shipped < total {
         // Dijkstra over the residual graph from all rows with remaining
         // supply. Nodes: 0..r rows, r..r+c columns.
@@ -192,34 +320,52 @@ pub fn transportation_into(
         let dist = &mut scratch.dist;
         let done = &mut scratch.done;
         let parent = &mut scratch.parent;
+        let heap = &mut scratch.heap;
+        heap.clear();
         for (i, &s) in supply_left.iter().enumerate() {
             if s > 0 {
                 dist[i] = 0;
+                heap.push(std::cmp::Reverse((0, i)));
             }
         }
-        loop {
-            let mut u = usize::MAX;
-            let mut best = INF;
-            for v in 0..n {
-                if !done[v] && dist[v] < best {
-                    best = dist[v];
-                    u = v;
-                }
+        // The search stops as soon as the frontier passes the cheapest
+        // unmet-demand column: `goal` is that column's (final) distance
+        // once one is settled, and any node whose distance exceeds it can
+        // neither lie on the augmenting path nor change the clamped
+        // potential update below. The whole `dist == goal` plateau IS
+        // settled before stopping — equal-distance zero-reduced-cost
+        // chains can still reach a lower-index unmet column, and the
+        // lowest-j tie-break must see every candidate, so this prunes
+        // work without perturbing a single flow.
+        //
+        // Selection is a lazy heap keyed `(distance, node)`: stale
+        // entries (distance no longer current, or node already settled)
+        // are discarded on pop, so each pop yields the lowest-index node
+        // of minimum tentative distance — exactly the linear scan's
+        // strict-`<` rule — in `O(log n)` instead of `O(n)`.
+        let mut goal = INF;
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if done[u] || d > dist[u] {
+                continue;
             }
-            if u == usize::MAX {
+            if d > goal {
                 break;
             }
             done[u] = true;
+            if u >= r && demand_left[u - r] > 0 && d < goal {
+                goal = d;
+            }
             if u < r {
                 // Forward edges row u -> every column.
                 for j in 0..c {
                     let w = costs[u * c + j] - shift;
                     let reduced = w + pot_row[u] - pot_col[j];
                     debug_assert!(reduced >= 0, "negative reduced cost");
-                    let nd = dist[u] + reduced;
+                    let nd = d + reduced;
                     if nd < dist[r + j] {
                         dist[r + j] = nd;
                         parent[r + j] = u;
+                        heap.push(std::cmp::Reverse((nd, r + j)));
                     }
                 }
             } else {
@@ -230,10 +376,11 @@ pub fn transportation_into(
                         let w = costs[i * c + j] - shift;
                         let reduced = pot_col[j] - w - pot_row[i];
                         debug_assert!(reduced >= 0, "negative residual reduced cost");
-                        let nd = dist[u] + reduced;
+                        let nd = d + reduced;
                         if nd < dist[i] {
                             dist[i] = nd;
                             parent[i] = u;
+                            heap.push(std::cmp::Reverse((nd, i)));
                         }
                     }
                 }
@@ -257,7 +404,9 @@ pub fn transportation_into(
         // Update potentials (Johnson-style) for the next round. The
         // standard clamped form `π += min(dist, dist_target)` keeps every
         // reduced cost non-negative, including edges out of nodes the
-        // search never reached.
+        // search never reached — and makes the early stop above safe:
+        // every unsettled node holds a tentative distance > the target's,
+        // so its clamped update is `dist_target` either way.
         for i in 0..r {
             pot_row[i] += dist[i].min(best);
         }
@@ -329,6 +478,154 @@ pub fn transportation_into(
         return None;
     }
     Some(cost_so_far)
+}
+
+/// The transportation solver **frozen as it stood before the kernel
+/// rebuild**: full-graph Dijkstra every augmentation (no early frontier
+/// stop), no small-shape fast paths, freshly allocated state. Produces
+/// flows bit-identical to [`transportation`] — the property tests below
+/// pin the optimized solver against this one — and exists for exactly
+/// two jobs: the bit-identity oracle, and the frozen performance
+/// baseline the `perf_snapshot` bench compares the rebuilt kernel
+/// against in-run. **Do not optimize this function.**
+///
+/// # Panics
+/// Panics if the supply/demand totals differ or `costs` has the wrong
+/// length.
+pub fn transportation_reference(supplies: &[u64], demands: &[u64], costs: &[i64]) -> Transport {
+    let r = supplies.len();
+    let c = demands.len();
+    assert_eq!(costs.len(), r * c, "costs must be R×C row-major");
+    let total: u64 = supplies.iter().sum();
+    assert_eq!(
+        total,
+        demands.iter().sum::<u64>(),
+        "supply and demand totals must match"
+    );
+    let mut flows = vec![0u64; r * c];
+    if total == 0 || r == 0 || c == 0 {
+        return Transport { cost: 0, flows };
+    }
+    let min_cost = costs.iter().copied().min().unwrap_or(0);
+    let shift = min_cost.min(0);
+    const INF: i64 = i64::MAX / 4;
+
+    let mut supply_left = supplies.to_vec();
+    let mut demand_left = demands.to_vec();
+    let mut pot_row = vec![0i64; r];
+    let mut pot_col = vec![0i64; c];
+    let mut shipped = 0u64;
+    let mut cost_so_far = 0i64;
+
+    while shipped < total {
+        let n = r + c;
+        let mut dist = vec![INF; n];
+        let mut done = vec![false; n];
+        let mut parent = vec![usize::MAX; n];
+        for (i, &s) in supply_left.iter().enumerate() {
+            if s > 0 {
+                dist[i] = 0;
+            }
+        }
+        loop {
+            let mut u = usize::MAX;
+            let mut best = INF;
+            for v in 0..n {
+                if !done[v] && dist[v] < best {
+                    best = dist[v];
+                    u = v;
+                }
+            }
+            if u == usize::MAX {
+                break;
+            }
+            done[u] = true;
+            if u < r {
+                for j in 0..c {
+                    let w = costs[u * c + j] - shift;
+                    let reduced = w + pot_row[u] - pot_col[j];
+                    let nd = dist[u] + reduced;
+                    if nd < dist[r + j] {
+                        dist[r + j] = nd;
+                        parent[r + j] = u;
+                    }
+                }
+            } else {
+                let j = u - r;
+                for i in 0..r {
+                    if flows[i * c + j] > 0 {
+                        let w = costs[i * c + j] - shift;
+                        let reduced = pot_col[j] - w - pot_row[i];
+                        let nd = dist[u] + reduced;
+                        if nd < dist[i] {
+                            dist[i] = nd;
+                            parent[i] = u;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut target = usize::MAX;
+        let mut best = INF;
+        for (j, &d) in demand_left.iter().enumerate() {
+            if d > 0 && dist[r + j] < best {
+                best = dist[r + j];
+                target = j;
+            }
+        }
+        assert!(
+            target != usize::MAX,
+            "transportation: demand unreachable (supply/demand mismatch?)"
+        );
+        for i in 0..r {
+            pot_row[i] += dist[i].min(best);
+        }
+        for j in 0..c {
+            pot_col[j] += dist[r + j].min(best);
+        }
+
+        let mut bottleneck = demand_left[target];
+        let mut v = r + target;
+        loop {
+            let p = parent[v];
+            if v >= r {
+                if parent[p] == usize::MAX {
+                    bottleneck = bottleneck.min(supply_left[p]);
+                    break;
+                }
+            } else {
+                bottleneck = bottleneck.min(flows[v * c + (p - r)]);
+            }
+            v = p;
+        }
+
+        let mut v = r + target;
+        loop {
+            let p = parent[v];
+            if v >= r {
+                let idx = p * c + (v - r);
+                flows[idx] += bottleneck;
+                cost_so_far += costs[idx] * bottleneck as i64;
+                if parent[p] == usize::MAX {
+                    supply_left[p] -= bottleneck;
+                    break;
+                }
+            } else {
+                let idx = v * c + (p - r);
+                flows[idx] -= bottleneck;
+                cost_so_far -= costs[idx] * bottleneck as i64;
+            }
+            v = p;
+        }
+        demand_left[target] -= bottleneck;
+        shipped += bottleneck;
+    }
+
+    Transport {
+        cost: cost_so_far,
+        flows,
+    }
 }
 
 /// Distinct-row/column structure of a square cost matrix.
@@ -650,6 +947,111 @@ mod tests {
         let c = transportation_into(&[2, 2], &[2, 2], &[1, 3, 3, 1], 4, &mut scratch);
         assert_eq!(c, Some(4));
         assert_eq!(scratch.flows, vec![2, 0, 0, 2]);
+    }
+
+    /// Random balanced instance of the given shape; supplies may include
+    /// zero entries, costs may be negative.
+    fn random_instance(
+        r: usize,
+        c: usize,
+        rng: &mut SmallRng,
+        cost_range: std::ops::Range<i64>,
+    ) -> (Vec<u64>, Vec<u64>, Vec<i64>) {
+        let supplies: Vec<u64> = (0..r).map(|_| rng.gen_range(0..6u64)).collect();
+        let total: u64 = supplies.iter().sum();
+        let mut demands = vec![0u64; c];
+        for _ in 0..total {
+            demands[rng.gen_range(0..c)] += 1;
+        }
+        let costs: Vec<i64> = (0..r * c)
+            .map(|_| rng.gen_range(cost_range.clone()))
+            .collect();
+        (supplies, demands, costs)
+    }
+
+    #[test]
+    fn small_solves_match_general_engine_bit_for_bit() {
+        // The specialized 1×1/1×C/R×1/2×2 paths must return not just the
+        // optimal cost but the exact flow matrix the general SSP engine's
+        // deterministic tie-breaking produces — those flows feed TED*
+        // re-canonization, where a different optimum can change upper
+        // levels.
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut fast = TransportScratch::new();
+        let mut slow = TransportScratch::new();
+        for trial in 0..4000 {
+            let (r, c) = match trial % 4 {
+                0 => (1, rng.gen_range(1..5usize)),
+                1 => (rng.gen_range(1..5usize), 1),
+                2 => (1, 1),
+                _ => (2, 2),
+            };
+            // A narrow cost range makes Δ == 0 ties common in the 2×2 case.
+            let (supplies, demands, costs) = random_instance(r, c, &mut rng, -3..4);
+            let a = transportation_into(&supplies, &demands, &costs, i64::MAX, &mut fast);
+            let b = transportation_general_into(&supplies, &demands, &costs, i64::MAX, &mut slow);
+            assert_eq!(a, b, "cost diverged: {supplies:?} {demands:?} {costs:?}");
+            assert_eq!(
+                fast.flows, slow.flows,
+                "flows diverged: {supplies:?} {demands:?} {costs:?}"
+            );
+            // Budget semantics must agree too: Some iff optimum <= limit.
+            if let Some(opt) = a {
+                assert_eq!(
+                    transportation_into(&supplies, &demands, &costs, opt - 1, &mut fast),
+                    None,
+                    "limit below the optimum must abandon"
+                );
+                assert_eq!(
+                    transportation_into(&supplies, &demands, &costs, opt, &mut fast),
+                    Some(opt)
+                );
+                assert_eq!(fast.flows, slow.flows);
+            }
+        }
+    }
+
+    #[test]
+    fn ambiguous_two_by_two_tie_defers_to_general_tie_breaking() {
+        // Δ == 0 with a non-degenerate interval: every x is optimal, and
+        // the specialized path must not pick one itself.
+        let supplies = [2u64, 2];
+        let demands = [2u64, 2];
+        let costs = [1i64, 1, 1, 1]; // Δ = 0, lo = 0, hi = 2
+        let mut fast = TransportScratch::new();
+        let mut slow = TransportScratch::new();
+        let a = transportation_into(&supplies, &demands, &costs, i64::MAX, &mut fast);
+        let b = transportation_general_into(&supplies, &demands, &costs, i64::MAX, &mut slow);
+        assert_eq!(a, b);
+        assert_eq!(a, Some(4));
+        assert_eq!(fast.flows, slow.flows);
+    }
+
+    #[test]
+    fn optimized_solver_matches_frozen_reference_bit_for_bit() {
+        // `transportation_reference` is the solver as it stood before the
+        // kernel rebuild: no small-shape fast paths, no early Dijkstra
+        // frontier stop. The optimized solver must reproduce its flows
+        // exactly — ties included — across shapes large enough to
+        // exercise equal-distance plateaus and zero-reduced-cost chains.
+        let mut rng = SmallRng::seed_from_u64(0xF02E);
+        for trial in 0..1500 {
+            let r = rng.gen_range(1..9usize);
+            let c = rng.gen_range(1..9usize);
+            // Narrow cost range → plenty of equal shortest paths, the
+            // regime where a sloppy early stop would pick a different
+            // (still optimal) flow and break bit-identity.
+            let (supplies, demands, costs) = random_instance(r, c, &mut rng, -2..3);
+            let reference = transportation_reference(&supplies, &demands, &costs);
+            let mut scratch = TransportScratch::new();
+            let cost = transportation_into(&supplies, &demands, &costs, i64::MAX, &mut scratch)
+                .expect("unlimited solve completes");
+            assert_eq!(cost, reference.cost, "trial {trial}: cost diverged");
+            assert_eq!(
+                scratch.flows, reference.flows,
+                "trial {trial}: flows diverged from the frozen reference"
+            );
+        }
     }
 
     #[test]

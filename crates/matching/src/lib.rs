@@ -19,7 +19,8 @@ mod matrix;
 
 pub use collapsed::{
     collapsed_hungarian, collapsed_hungarian_within, expand_flows, transportation,
-    transportation_into, transportation_within, MatrixClasses, Transport, TransportScratch,
+    transportation_into, transportation_reference, transportation_within, MatrixClasses, Transport,
+    TransportScratch,
 };
 pub use matrix::CostMatrix;
 

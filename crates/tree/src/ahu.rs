@@ -82,6 +82,37 @@ pub fn canonical_level_labels(tree: &Tree) -> Vec<u32> {
     labels
 }
 
+/// The canonical parenthesis code of an **already canonical** tree.
+///
+/// Children of a [`canonical_form`] output appear in code-sorted order as
+/// contiguous ascending ids, so the canonical code is a plain depth-first
+/// emission — `(` on entry, `)` on exit — with no per-node sorting and no
+/// per-node byte buffers. Byte-identical to [`canonical_code`] on any
+/// canonical-form tree (property-tested); on a non-canonical tree it
+/// produces the code of the tree *as ordered*, which is generally not the
+/// canonical code. `O(n)` time, one `2n`-byte allocation.
+pub fn ordered_code(tree: &Tree) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 * tree.len());
+    // Stack of half-open child-id ranges still to visit; depth ≤ levels.
+    let mut stack: Vec<(u32, u32)> = Vec::with_capacity(tree.num_levels());
+    out.push(b'(');
+    let r = tree.children(0);
+    stack.push((r.start, r.end));
+    while let Some(top) = stack.last_mut() {
+        if top.0 < top.1 {
+            let c = top.0;
+            top.0 += 1;
+            out.push(b'(');
+            let r = tree.children(c);
+            stack.push((r.start, r.end));
+        } else {
+            out.push(b')');
+            stack.pop();
+        }
+    }
+    out
+}
+
 /// Unordered rooted-tree isomorphism test.
 pub fn isomorphic(a: &Tree, b: &Tree) -> bool {
     if a.len() != b.len() || a.num_levels() != b.num_levels() {
@@ -105,6 +136,99 @@ pub fn isomorphic(a: &Tree, b: &Tree) -> bool {
 /// deterministic only up to bipartite-matching tie-breaks, see the
 /// `ned-core` crate documentation).
 pub fn canonical_form(tree: &Tree) -> Tree {
+    let n = tree.len();
+    // Per-level integer ranking instead of materialized byte codes.
+    //
+    // `rank[v]` is the dense rank of v's canonical code among its level,
+    // in byte-lexicographic code order. Ranks reproduce byte order exactly
+    // because codes are balanced-parenthesis strings, so no code is a
+    // proper prefix of another (depth stays ≥ 1 until the final `)`).
+    // Comparing two same-level codes therefore reduces to comparing their
+    // child-code sequences element-wise — and, by induction over levels,
+    // to comparing child *ranks* element-wise. When one sequence is a
+    // prefix of the other, the node with MORE children is byte-smaller:
+    // its next child opens with `(` (0x28) where the short code closes
+    // with `)` (0x29).
+    let mut rank = vec![0u32; n];
+    // `child_order[children(v)]` holds v's child ids sorted canonically.
+    // Child ids tile 1..n contiguously, so one flat buffer indexed by the
+    // same ranges serves every node.
+    let mut child_order: Vec<u32> = (0..n as u32).collect();
+    let cmp_nodes = |child_order: &[u32], rank: &[u32], a: u32, b: u32| {
+        let (ra, rb) = (tree.children(a), tree.children(b));
+        let sa = &child_order[ra.start as usize..ra.end as usize];
+        let sb = &child_order[rb.start as usize..rb.end as usize];
+        for (&x, &y) in sa.iter().zip(sb) {
+            let (rx, ry) = (rank[x as usize], rank[y as usize]);
+            if rx != ry {
+                return rx.cmp(&ry);
+            }
+        }
+        sb.len().cmp(&sa.len())
+    };
+    for level in (0..tree.num_levels()).rev() {
+        let lv = tree.level(level);
+        // Canonical child order: stable sort by child rank equals the
+        // byte-code sort (equal ranks ⇔ byte-equal codes).
+        for v in lv.clone() {
+            let r = tree.children(v);
+            child_order[r.start as usize..r.end as usize].sort_by_key(|&c| rank[c as usize]);
+        }
+        // Dense ranks for this level, assigned in code order.
+        let mut idx: Vec<u32> = lv.clone().collect();
+        idx.sort_unstable_by(|&a, &b| cmp_nodes(&child_order, &rank, a, b));
+        let mut next = 0u32;
+        for i in 0..idx.len() {
+            if i > 0 && cmp_nodes(&child_order, &rank, idx[i - 1], idx[i]).is_lt() {
+                next += 1;
+            }
+            rank[idx[i] as usize] = next;
+        }
+    }
+    // BFS re-layout visiting children in canonical order.
+    let mut order: Vec<u32> = Vec::with_capacity(n); // order[new] = old
+    let mut new_id = vec![0u32; n];
+    order.push(0);
+    let mut head = 0usize;
+    while head < order.len() {
+        let old = order[head];
+        head += 1;
+        let r = tree.children(old);
+        for &c in &child_order[r.start as usize..r.end as usize] {
+            new_id[c as usize] = order.len() as u32;
+            order.push(c);
+        }
+    }
+    // Assemble directly: the relayout is BFS by construction (children
+    // appended parent-by-parent, level by level), so parent array, child
+    // offsets, and the input's level boundaries are already the canonical
+    // tree's parts — no need for `from_parents` to re-derive them.
+    let mut parents = vec![0u32; n];
+    let mut child_offsets = vec![0usize; n + 1];
+    let mut acc = 1usize;
+    for (new_v, &old_v) in order.iter().enumerate() {
+        if new_v > 0 {
+            parents[new_v] = new_id[tree.parent(old_v).unwrap() as usize];
+        }
+        child_offsets[new_v] = acc;
+        let r = tree.children(old_v);
+        acc += (r.end - r.start) as usize;
+    }
+    child_offsets[n] = acc;
+    let mut level_offsets = Vec::with_capacity(tree.num_levels() + 1);
+    for l in 0..tree.num_levels() {
+        level_offsets.push(tree.level(l).start as usize);
+    }
+    level_offsets.push(n);
+    Tree::from_bfs_parts(parents, child_offsets, level_offsets)
+}
+
+/// The original byte-materializing implementation of [`canonical_form`],
+/// kept verbatim as the frozen pre-rebuild baseline for `perf_snapshot`'s
+/// in-run speedup gate and as the differential oracle for the rank-based
+/// rewrite (they are asserted equal on random trees in this crate's
+/// tests). **Do not optimize this function.**
+pub fn canonical_form_reference(tree: &Tree) -> Tree {
     let n = tree.len();
     // Canonical code per node, bottom-up (children have larger ids).
     let mut codes: Vec<Vec<u8>> = vec![Vec::new(); n];
@@ -302,6 +426,43 @@ mod tests {
             let t = generate::random_bounded_depth_tree(40, 4, &mut rng);
             let c = canonical_form(&t);
             assert_eq!(c, canonical_form(&c));
+        }
+    }
+
+    #[test]
+    fn rank_based_canonical_form_matches_byte_reference() {
+        use crate::generate;
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xCAFE);
+        for round in 0..200 {
+            let t = match round % 3 {
+                0 => generate::random_attachment_tree(1 + round, &mut rng),
+                1 => generate::random_bounded_depth_tree(2 + round, 2 + round % 5, &mut rng),
+                _ => generate::random_bounded_depth_tree(2 + round, 1 + round % 3, &mut rng),
+            };
+            assert_eq!(
+                canonical_form(&t),
+                canonical_form_reference(&t),
+                "rank-based canonical form diverged from byte reference on {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_code_matches_canonical_code_on_canonical_trees() {
+        use crate::generate;
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xC0DE);
+        for round in 0..150 {
+            let t = generate::random_bounded_depth_tree(1 + round, 1 + round % 6, &mut rng);
+            let c = canonical_form(&t);
+            assert_eq!(
+                ordered_code(&c),
+                canonical_code(&c),
+                "ordered_code diverged on canonical form of {t:?}"
+            );
+            // And both equal the canonical code of the *original* tree.
+            assert_eq!(ordered_code(&c), canonical_code(&t));
         }
     }
 
