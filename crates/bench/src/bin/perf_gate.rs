@@ -30,6 +30,10 @@
 //!
 //! The full comparison is written to `perf_gate_diff.json` (uploaded as a
 //! CI artifact) so a red gate is diagnosable without re-running anything.
+//! The same table is rendered as markdown to `perf_gate_diff.md` — and
+//! appended to `$GITHUB_STEP_SUMMARY` when that variable is set — on
+//! **passing runs as well as failures**, so every CI run shows its
+//! committed-vs-fresh drift, not just the red ones.
 //!
 //! **Baselines must come from the machine class that measures.** Absolute
 //! ns/op only compares meaningfully against snapshots taken on comparable
@@ -56,6 +60,10 @@ const NOISE_FLOOR_NS: f64 = 1000.0;
 
 /// Where the comparison report is written.
 const DIFF_PATH: &str = "perf_gate_diff.json";
+
+/// Where the human-readable markdown rendering of the same comparison is
+/// written (and mirrored into `$GITHUB_STEP_SUMMARY` when set).
+const DIFF_MD_PATH: &str = "perf_gate_diff.md";
 
 #[derive(Debug, Clone, PartialEq)]
 struct Bench {
@@ -227,6 +235,42 @@ fn compare(fresh: &[Bench], history: &[(String, Vec<Bench>)]) -> (Vec<Row>, usiz
     (rows, regressions, missing)
 }
 
+/// Renders the comparison as a markdown table, emitted on pass *and*
+/// fail so every CI run documents its drift against the trajectory.
+fn markdown_report(rows: &[Row], fresh_path: &str, regressions: usize, missing: usize) -> String {
+    let verdict = if regressions == 0 && missing == 0 {
+        "✅ pass"
+    } else {
+        "❌ fail"
+    };
+    let mut md = format!(
+        "### perf_gate: {verdict}\n\n`{fresh_path}` vs committed trajectory \
+         ({regressions} regression(s), {missing} missing)\n\n\
+         | benchmark | fresh ns/op | baseline ns/op | baseline file | ratio | status |\n\
+         |---|---:|---:|---|---:|---|\n"
+    );
+    for row in rows {
+        let fresh = row
+            .fresh
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_else(|| "absent".to_string());
+        let (base, file) = match &row.baseline {
+            Some((v, f)) => (format!("{v:.1}"), f.clone()),
+            None => ("—".to_string(), "—".to_string()),
+        };
+        let ratio = row
+            .ratio
+            .map(|r| format!("{r:.3}"))
+            .unwrap_or_else(|| "—".to_string());
+        md.push_str(&format!(
+            "| `{}` | {fresh} | {base} | {file} | {ratio} | {} |\n",
+            row.name, row.status
+        ));
+    }
+    md.push('\n');
+    md
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fresh_path = args
@@ -303,6 +347,22 @@ fn main() -> ExitCode {
         eprintln!("perf_gate: cannot write {DIFF_PATH}: {e}");
         return ExitCode::FAILURE;
     }
+    let md = markdown_report(&rows, &fresh_path, regressions, missing);
+    if let Err(e) = std::fs::write(DIFF_MD_PATH, &md) {
+        eprintln!("perf_gate: cannot write {DIFF_MD_PATH}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        match std::fs::OpenOptions::new().append(true).open(&summary_path) {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(md.as_bytes()) {
+                    eprintln!("perf_gate: cannot append to {summary_path}: {e}");
+                }
+            }
+            Err(e) => eprintln!("perf_gate: cannot open {summary_path}: {e}"),
+        }
+    }
 
     println!(
         "perf_gate: {fresh_path} vs {} baseline snapshot(s)",
@@ -325,7 +385,7 @@ fn main() -> ExitCode {
             (None, None, _) => unreachable!("missing rows always carry a baseline"),
         }
     }
-    println!("wrote {DIFF_PATH}");
+    println!("wrote {DIFF_PATH} and {DIFF_MD_PATH}");
     let mut failed = false;
     if regressions > 0 {
         eprintln!(
@@ -476,6 +536,32 @@ mod tests {
         assert_eq!(regressions, 1, "135µs vs 100µs is a >30% regression");
         assert_eq!(rows[0].status, "regression");
         assert_eq!(rows[1].status, "ok");
+    }
+
+    #[test]
+    fn markdown_report_renders_pass_and_fail_verdicts() {
+        let fresh = vec![bench("kept", 100.0), bench("brand_new", 5.0)];
+        let history = vec![("BENCH_1.json".to_string(), vec![bench("kept", 90.0)])];
+        let (rows, regressions, missing) = compare(&fresh, &history);
+        let md = markdown_report(&rows, "BENCH_ci.json", regressions, missing);
+        assert!(md.contains("✅ pass"), "{md}");
+        assert!(
+            md.contains("| `kept` | 100.0 | 90.0 | BENCH_1.json |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| `brand_new` | 5.0 | — | — | — | new |"),
+            "{md}"
+        );
+
+        let gone_history = vec![(
+            "BENCH_2.json".to_string(),
+            vec![bench("kept", 90.0), bench("deleted", 70.0)],
+        )];
+        let (rows, regressions, missing) = compare(&fresh, &gone_history);
+        let md = markdown_report(&rows, "BENCH_ci.json", regressions, missing);
+        assert!(md.contains("❌ fail"), "{md}");
+        assert!(md.contains("| `deleted` | absent | 70.0 |"), "{md}");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Machine-readable performance snapshot: writes `BENCH_8.json` with
+//! Machine-readable performance snapshot: writes `BENCH_9.json` with
 //! ns/op for the pipeline's hot paths — the duplicate-collapsed
 //! TED\*/NED engine against the dense Hungarian baseline, the sharded
 //! forest against the linear scan, the budget-aware bounded kernel
@@ -23,7 +23,13 @@
 //! sweep, gated in-run at ≥ 2x over the frozen pre-SoA engine
 //! (`ted_star_with(standard)`, which still runs the PR 2-7 directional
 //! path verbatim), with a per-phase `kernel_phase/*` time split recorded
-//! from the instrumented sweep.
+//! from the instrumented sweep. Since PR 9 the candidate-generation tier
+//! is priced too: `sketch/ba4000-knn` runs the identical knn workload
+//! through the flat sketch bank (linear lower-bound scan + shared-radius
+//! exact refine), asserted bit-identical to the forest first and gated
+//! in-run at ≥ 1.5x over the PR 3 bounded forest path, and
+//! `sketch/ba4000-knn-approx` prices the estimate-filtered mode with its
+//! measured recall gated at ≥ 0.95.
 //!
 //! Run with `cargo run --release -p ned-bench --bin perf_snapshot
 //! [output.json]`. Every workload is seeded, so successive runs measure
@@ -153,7 +159,7 @@ struct Entry {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_8.json".to_string());
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
     let mut entries: Vec<Entry> = Vec::new();
 
     // --- ned_pair: wide-level synthetic trees, collapsed vs dense -------
@@ -445,6 +451,66 @@ fn main() {
         p99_ns: None,
     });
     let bounded_speedup = forest_ns / bounded_ns;
+
+    // --- sketch: flat-bank filter tier in front of the exact kernel ------
+    // The PR 9 candidate-generation tier on the identical workload: the
+    // same 4000 signatures behind a SignatureIndex whose default
+    // SketchMode::Exact routes knn through the SoA sketch bank — a linear
+    // autovectorized lower-bound scan ordered by (bound, id), refined by
+    // the budgeted kernel under the shared pruning radius. Bit-identical
+    // to the forest by construction (and asserted here before timing);
+    // measured with the same memo discipline as the bounded entry, and
+    // gated in-run at ≥ 1.5x over it.
+    let sketch_index = SignatureIndex::from_signatures(3, 1024, 0xF0, db_sigs.clone());
+    for q in &probes {
+        assert_eq!(
+            sketch_index.query(q, 5, 0),
+            forest.knn(&SignatureMetric, q, 5, 0),
+            "sketch-filtered kNN diverged from the bounded forest"
+        );
+    }
+    TedMemo::global().clear();
+    let sketch_ns = measure(7, 2, || {
+        for q in &probes {
+            std::hint::black_box(sketch_index.query(q, 5, 0));
+        }
+    }) / probes.len() as f64;
+    entries.push(Entry {
+        name: "sketch/ba4000-knn",
+        ns_per_op: sketch_ns,
+        p50_ns: None,
+        p99_ns: None,
+    });
+    let sketch_speedup = bounded_ns / sketch_ns;
+
+    // Approximate mode: the estimate over-counts (levels summed, not
+    // maxed), so it prunes harder and may drop true neighbors — its
+    // recall is a *measured* figure, not a guarantee, recorded into the
+    // trajectory and gated at ≥ 0.95 on this workload.
+    let mut approx_index = sketch_index.clone();
+    approx_index.set_sketch_mode(ned_index::SketchMode::Approx);
+    let mut recall_hits = 0usize;
+    let mut recall_total = 0usize;
+    for q in &probes {
+        let exact: std::collections::HashSet<u64> =
+            sketch_index.query(q, 5, 0).iter().map(|h| h.id).collect();
+        let approx = approx_index.query(q, 5, 0);
+        recall_total += exact.len();
+        recall_hits += approx.iter().filter(|h| exact.contains(&h.id)).count();
+    }
+    let sketch_recall = recall_hits as f64 / recall_total as f64;
+    TedMemo::global().clear();
+    let sketch_approx_ns = measure(7, 2, || {
+        for q in &probes {
+            std::hint::black_box(approx_index.query(q, 5, 0));
+        }
+    }) / probes.len() as f64;
+    entries.push(Entry {
+        name: "sketch/ba4000-knn-approx",
+        ns_per_op: sketch_approx_ns,
+        p50_ns: None,
+        p99_ns: None,
+    });
 
     // --- ted_within: cross-pair memo, cold vs warm ----------------------
     // One query signature against a candidate batch, budget high enough
@@ -779,7 +845,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"soa_kernel_speedup_vs_presoa\": {soa_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2},\n    \"bounded_knn_speedup_vs_unbounded_forest\": {bounded_speedup:.2},\n    \"memo_warm_speedup_vs_cold\": {:.2},\n    \"loadgen_reader_scaling_4r_vs_1r\": {reader_scaling:.2},\n    \"ingest_bulk_speedup_vs_per_node\": {ingest_speedup:.2},\n    \"delta_flip_speedup_vs_rebuild\": {delta_speedup_vs_rebuild:.2},\n    \"delta_wal_overhead_vs_in_memory\": {wal_overhead:.2},\n    \"fleet_overhead_vs_single\": {fleet_overhead:.2}\n  }}\n}}\n",
+        "  ],\n  \"comparisons\": {{\n    \"ned_pair_collapsed_speedup_vs_dense\": {ned_pair_speedup:.2},\n    \"soa_kernel_speedup_vs_presoa\": {soa_speedup:.2},\n    \"sharded_knn_speedup_vs_linear\": {sharded_speedup:.2},\n    \"bounded_knn_speedup_vs_unbounded_forest\": {bounded_speedup:.2},\n    \"sketch_knn_speedup_vs_bounded\": {sketch_speedup:.2},\n    \"sketch_approx_recall\": {sketch_recall:.3},\n    \"memo_warm_speedup_vs_cold\": {:.2},\n    \"loadgen_reader_scaling_4r_vs_1r\": {reader_scaling:.2},\n    \"ingest_bulk_speedup_vs_per_node\": {ingest_speedup:.2},\n    \"delta_flip_speedup_vs_rebuild\": {delta_speedup_vs_rebuild:.2},\n    \"delta_wal_overhead_vs_in_memory\": {wal_overhead:.2},\n    \"fleet_overhead_vs_single\": {fleet_overhead:.2}\n  }}\n}}\n",
         cold_ns / warm_ns
     ));
     std::fs::write(&out_path, &json).expect("write benchmark snapshot");
@@ -802,6 +868,16 @@ fn main() {
         bounded_speedup >= 1.5,
         "bounded forest kNN speedup {bounded_speedup:.2}x below the 1.5x floor \
          over the PR 2 unbounded path"
+    );
+    assert!(
+        sketch_speedup >= 1.5,
+        "sketch-filtered kNN ({sketch_ns:.0} ns/op) is only {sketch_speedup:.2}x the \
+         PR 3 bounded forest path ({bounded_ns:.0} ns/op) — below the 1.5x floor"
+    );
+    assert!(
+        sketch_recall >= 0.95,
+        "approximate sketch mode recalled {sketch_recall:.3} of the exact top-5 — \
+         below the 0.95 floor"
     );
     let reader_floor = scaling_floor(4);
     assert!(

@@ -330,6 +330,14 @@ impl IndexWriter {
         Ok(outcomes)
     }
 
+    /// Switches the sketch routing mode of the served index and publishes
+    /// the change. A serving knob, not data: it is not journaled, but the
+    /// next checkpoint snapshot persists it like any other index state.
+    pub fn set_sketch_mode(&mut self, mode: crate::sketch::SketchMode) {
+        self.master.set_sketch_mode(mode);
+        self.publish();
+    }
+
     /// Single-op convenience: [`WriteOp::Insert`] as its own batch.
     pub fn insert(&mut self, sig: NodeSignature) -> u64 {
         match self.apply([WriteOp::Insert(sig)]).pop() {

@@ -637,7 +637,7 @@ fn is_current(live: &HashMap<u64, LiveSlot>, id: u64, gen: u32) -> bool {
     live.get(&id).is_some_and(|ls| ls.gen == gen)
 }
 
-fn sort_hits(hits: &mut [ForestHit]) {
+pub(crate) fn sort_hits(hits: &mut [ForestHit]) {
     hits.sort_by(|a, b| {
         a.distance
             .partial_cmp(&b.distance)
@@ -655,10 +655,10 @@ fn sort_hits(hits: &mut [ForestHit]) {
 /// distance strictly above `tau` can never enter the merged top-k — ties
 /// at `tau` are *not* pruned, which is what preserves the deterministic
 /// `(distance, id)` ordering.
-struct SharedBound(AtomicU64);
+pub(crate) struct SharedBound(AtomicU64);
 
 impl SharedBound {
-    fn unbounded() -> Self {
+    pub(crate) fn unbounded() -> Self {
         SharedBound(AtomicU64::new(f64::INFINITY.to_bits()))
     }
 
@@ -699,14 +699,14 @@ impl Ord for WorstFirst {
 
 /// A bounded `(distance, id)` max-heap that publishes its k-th best
 /// distance to the shared bound whenever it is full.
-struct BoundedHeap<'s> {
+pub(crate) struct BoundedHeap<'s> {
     heap: std::collections::BinaryHeap<WorstFirst>,
     k: usize,
     shared: &'s SharedBound,
 }
 
 impl<'s> BoundedHeap<'s> {
-    fn new(k: usize, shared: &'s SharedBound) -> Self {
+    pub(crate) fn new(k: usize, shared: &'s SharedBound) -> Self {
         BoundedHeap {
             heap: std::collections::BinaryHeap::with_capacity(k + 1),
             k,
@@ -718,7 +718,7 @@ impl<'s> BoundedHeap<'s> {
     /// the shared bound. Candidates strictly above it are hopeless;
     /// candidates *at* it may still win on id, so callers must compare
     /// with `>` only.
-    fn tau(&self) -> f64 {
+    pub(crate) fn tau(&self) -> f64 {
         let local = if self.heap.len() < self.k {
             f64::INFINITY
         } else {
@@ -727,7 +727,7 @@ impl<'s> BoundedHeap<'s> {
         local.min(self.shared.current())
     }
 
-    fn offer_id(&mut self, id: u64, distance: f64) {
+    pub(crate) fn offer_id(&mut self, id: u64, distance: f64) {
         let hit = WorstFirst(ForestHit { id, distance });
         if self.heap.len() < self.k {
             self.heap.push(hit);
@@ -743,7 +743,7 @@ impl<'s> BoundedHeap<'s> {
         }
     }
 
-    fn into_sorted(self) -> Vec<ForestHit> {
+    pub(crate) fn into_sorted(self) -> Vec<ForestHit> {
         let mut hits: Vec<ForestHit> = self.heap.into_iter().map(|w| w.0).collect();
         sort_hits(&mut hits);
         hits

@@ -24,6 +24,7 @@ pub mod maintain;
 pub mod router;
 pub mod server;
 pub mod signatures;
+pub mod sketch;
 
 pub use bk_tree::{BkTree, IntFnMetric, IntMetric};
 pub use concurrent::{ConcurrentNedIndex, IndexReader, IndexWriter, WriteOp, WriteOutcome};
@@ -35,6 +36,7 @@ pub use maintain::{DeltaReport, GraphMaintainer, MaterializedBatch};
 pub use router::{FleetHits, RouterOptions, RouterServer, ShardMap, ShardRouter};
 pub use server::{Dispatch, NedServer, ServerConfig, WireClient, WireClientBuilder};
 pub use signatures::{SignatureIndex, SignatureMetric, UnboundedSignatureMetric};
+pub use sketch::{Sketch, SketchBank, SketchMode, SketchStats};
 
 use rand::Rng;
 use std::cell::Cell;

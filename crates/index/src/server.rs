@@ -369,13 +369,15 @@ impl NedServer {
         let c = &self.counters;
         format!(
             "signatures: {} (k = {}), buffer {}, shards {:?}, tombstones {}, epoch {epoch}, \
-             tracking {tracking}\nmemo: {}\nserver: accepted {}, active {}, timeouts {}, \
-             overloaded {}, panics isolated {}, checkpoint failures {}\n{}",
+             tracking {tracking}\nsketch: mode {}, {}\nmemo: {}\nserver: accepted {}, active {}, \
+             timeouts {}, overloaded {}, panics isolated {}, checkpoint failures {}\n{}",
             stats.len,
             snap.k(),
             stats.buffer,
             stats.shard_sizes,
             stats.tombstones,
+            snap.sketch_mode(),
+            snap.sketch_stats(),
             TedMemo::global().stats(),
             c.accepted.load(Ordering::Relaxed),
             c.active.load(Ordering::Relaxed),
@@ -1039,6 +1041,28 @@ impl WireClient {
     /// programmatic surface the shard router drives. Transport failures
     /// and malformed replies both surface as [`ServerError`], so callers
     /// branch on one retryability taxonomy.
+    ///
+    /// ```
+    /// use ned_core::{Request, Response};
+    /// use ned_index::{NedServer, SignatureIndex, WireClient};
+    /// use std::net::TcpListener;
+    /// use std::sync::Arc;
+    ///
+    /// let server = Arc::new(NedServer::new(SignatureIndex::new(3, 16, 1), 1, 1));
+    /// let listener = TcpListener::bind("127.0.0.1:0")?;
+    /// let addr = listener.local_addr()?;
+    /// std::thread::spawn({
+    ///     let server = Arc::clone(&server);
+    ///     move || server.serve_tcp(listener)
+    /// });
+    ///
+    /// let mut client = WireClient::connect(addr)?;
+    /// match client.request(&Request::Stats)? {
+    ///     Response::Info { body } => assert!(body.contains("sketch: mode exact")),
+    ///     other => panic!("unexpected reply: {other:?}"),
+    /// }
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn request(&mut self, req: &Request) -> Result<Response, ServerError> {
         let reply = self.call(&req.to_string())?;
         Response::parse(&reply)

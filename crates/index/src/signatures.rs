@@ -17,8 +17,16 @@
 //! class-histogram runs each [`ned_core::PreparedTree`] precomputes, so
 //! filtering a candidate costs a fraction of a microsecond — cheap
 //! enough to run unconditionally ahead of every exact distance.
+//!
+//! In front of both sits the **sketch tier** ([`crate::sketch`]): a flat
+//! bank of quantized per-level feature vectors maintained alongside the
+//! forest and consulted first by [`SignatureIndex::query`] /
+//! [`SignatureIndex::range`] (routing controlled by [`SketchMode`]).
+//! Version-3 index files persist the bank next to the signature
+//! snapshot; older files load fine and rebuild it on the way in.
 
 use crate::forest::{ForestHit, ForestStats, ShardedVpForest};
+use crate::sketch::{self, SketchBank, SketchMode, SketchStats};
 use crate::{BoundedMetric, Metric};
 use ned_core::store::{self, CodecError, Reader, Writer};
 use ned_core::NodeSignature;
@@ -87,12 +95,21 @@ pub const INDEX_VERSION: u32 = 1;
 /// records the snapshot already contains. Decoding accepts both versions
 /// (a version-1 file reads back as epoch 0).
 pub const INDEX_VERSION_EPOCH: u32 = 2;
+/// Index file format version carrying the sketch tier: an always-present
+/// epoch field (0 for plain saves), the serving [`SketchMode`], and the
+/// persisted sketch bank rows, so a load answers sketch-filtered queries
+/// without re-sketching the corpus. Decoding still accepts versions 1
+/// and 2 — their banks are rebuilt from the decoded signatures during
+/// load.
+pub const INDEX_VERSION_SKETCH: u32 = 3;
 
 /// A dynamic, persistent k-NN index over node signatures. See the
 /// [module docs](self).
 #[derive(Debug, Clone)]
 pub struct SignatureIndex {
     forest: ShardedVpForest<NodeSignature>,
+    bank: SketchBank,
+    sketch_mode: SketchMode,
     k: usize,
     threshold: usize,
     seed: u64,
@@ -106,6 +123,8 @@ impl SignatureIndex {
     pub fn new(k: usize, threshold: usize, seed: u64) -> Self {
         SignatureIndex {
             forest: ShardedVpForest::new(threshold, seed),
+            bank: SketchBank::new(),
+            sketch_mode: SketchMode::default(),
             k,
             threshold: threshold.max(1),
             seed,
@@ -162,6 +181,7 @@ impl SignatureIndex {
             .max()
             .unwrap_or(0);
         let shards = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let bank = SketchBank::bulk(&entries, 0);
         let forest = ShardedVpForest::from_entries_balanced(
             threshold,
             seed,
@@ -171,6 +191,8 @@ impl SignatureIndex {
         );
         SignatureIndex {
             forest,
+            bank,
+            sketch_mode: SketchMode::default(),
             k,
             threshold: threshold.max(1),
             seed,
@@ -208,6 +230,28 @@ impl SignatureIndex {
     /// this so explicit-id puts never collide with historical ids.
     pub fn next_id(&self) -> u64 {
         self.next_id
+    }
+
+    /// The serving sketch routing mode.
+    pub fn sketch_mode(&self) -> SketchMode {
+        self.sketch_mode
+    }
+
+    /// Switches how [`SignatureIndex::query`] / [`SignatureIndex::range`]
+    /// route through the sketch tier. The bank is always maintained, so
+    /// switching is instant in either direction.
+    pub fn set_sketch_mode(&mut self, mode: SketchMode) {
+        self.sketch_mode = mode;
+    }
+
+    /// Sketch bank shape and work counters (the `sketch:` stats line).
+    pub fn sketch_stats(&self) -> SketchStats {
+        self.bank.stats()
+    }
+
+    /// The sketch bank (read-only).
+    pub fn sketch_bank(&self) -> &SketchBank {
+        &self.bank
     }
 
     /// Splits this index into `shards` disjoint indexes by **id range**
@@ -261,6 +305,7 @@ impl SignatureIndex {
     pub fn insert(&mut self, sig: NodeSignature) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
+        self.bank.upsert(id, &sig);
         self.forest.insert(&SignatureMetric, id, sig);
         id
     }
@@ -307,11 +352,13 @@ impl SignatureIndex {
     /// auto-assigning entry point.
     pub fn insert_at(&mut self, id: u64, sig: NodeSignature) -> bool {
         self.next_id = self.next_id.max(id.saturating_add(1));
+        self.bank.upsert(id, &sig);
         self.forest.insert(&SignatureMetric, id, sig)
     }
 
     /// Removes a signature by id. Returns `false` for unknown ids.
     pub fn remove(&mut self, id: u64) -> bool {
+        self.bank.remove(id);
         self.forest.remove(&SignatureMetric, id)
     }
 
@@ -324,10 +371,19 @@ impl SignatureIndex {
             .map(|(_, sig)| sig)
     }
 
-    /// The `top` nearest indexed signatures, sorted by `(distance, id)`,
-    /// exact. `threads = 0` uses all cores.
+    /// The `top` nearest indexed signatures, sorted by `(distance, id)`.
+    /// `threads = 0` uses all cores.
+    ///
+    /// Routing follows the serving [`SketchMode`]: `Off` takes the
+    /// sharded VP-forest path, `Exact` (the default) pre-filters through
+    /// the sketch bank's provable lower bound — results stay
+    /// bit-identical to the forest — and `Approx` filters by the sketch
+    /// estimate (faster, measured rather than guaranteed recall).
     pub fn query(&self, sig: &NodeSignature, top: usize, threads: usize) -> Vec<ForestHit> {
-        self.forest.knn(&SignatureMetric, sig, top, threads)
+        match self.sketch_mode {
+            SketchMode::Off => self.forest.knn(&SignatureMetric, sig, top, threads),
+            mode => self.bank.knn(sig, top, threads, mode),
+        }
     }
 
     /// [`SignatureIndex::query`] for a node of a graph (extracts the
@@ -343,10 +399,15 @@ impl SignatureIndex {
         self.query(&sig, top, threads)
     }
 
-    /// Every indexed signature within `radius` of `sig`.
+    /// Every indexed signature within `radius` of `sig`, routed through
+    /// the sketch tier exactly like [`SignatureIndex::query`].
     pub fn range(&self, sig: &NodeSignature, radius: u64, threads: usize) -> Vec<ForestHit> {
-        self.forest
-            .range(&SignatureMetric, sig, radius as f64, threads)
+        match self.sketch_mode {
+            SketchMode::Off => self
+                .forest
+                .range(&SignatureMetric, sig, radius as f64, threads),
+            mode => self.bank.range(sig, radius, threads, mode),
+        }
     }
 
     /// Full-scan baseline over the same live set — the reference the
@@ -380,20 +441,36 @@ impl SignatureIndex {
                 .iter()
                 .map(|&(id, sig)| (id, sig.node, sig.prepared())),
         );
+        // Bank rows serialized in the same id-sorted order as the
+        // snapshot entries, so decoding pairs them back up positionally.
+        let mut bank_block = Vec::with_capacity(12 + entries.len() * sketch::SKETCH_DIM * 2);
+        bank_block.extend_from_slice(&(sketch::SKETCH_DIM as u32).to_le_bytes());
+        bank_block.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        let mut scratch = [0u16; sketch::SKETCH_DIM];
+        for &(id, sig) in &entries {
+            let lanes = match self.bank.lanes_of(id) {
+                Some(lanes) => lanes,
+                None => {
+                    // The bank mirrors the live set; re-sketching keeps the
+                    // file self-consistent even if it ever drifted.
+                    sketch::sketch_into(sig.prepared(), &mut scratch);
+                    &scratch[..]
+                }
+            };
+            for &lane in lanes {
+                bank_block.extend_from_slice(&lane.to_le_bytes());
+            }
+        }
         let mut w = Writer::with_magic(&INDEX_MAGIC);
-        w.put_u32(if epoch.is_some() {
-            INDEX_VERSION_EPOCH
-        } else {
-            INDEX_VERSION
-        });
+        w.put_u32(INDEX_VERSION_SKETCH);
         w.put_u32(self.k as u32);
         w.put_u64(self.threshold as u64);
         w.put_u64(self.seed);
         w.put_u64(self.next_id);
-        if let Some(e) = epoch {
-            w.put_u64(e);
-        }
+        w.put_u64(epoch.unwrap_or(0));
+        w.put_u32(self.sketch_mode.to_u32());
         w.put_block(&snapshot);
+        w.put_block(&bank_block);
         w.finish()
     }
 
@@ -410,7 +487,7 @@ impl SignatureIndex {
     pub fn decode_with_epoch(bytes: &[u8]) -> Result<(Self, u64), CodecError> {
         let mut r = Reader::open(bytes, &INDEX_MAGIC)?;
         let version = r.u32()?;
-        if version != INDEX_VERSION && version != INDEX_VERSION_EPOCH {
+        if !(INDEX_VERSION..=INDEX_VERSION_SKETCH).contains(&version) {
             return Err(CodecError::UnsupportedVersion(version));
         }
         let k = r.u32()? as usize;
@@ -422,6 +499,13 @@ impl SignatureIndex {
         } else {
             0
         };
+        let sketch_mode = if version >= INDEX_VERSION_SKETCH {
+            let raw = r.u32()?;
+            SketchMode::from_u32(raw)
+                .ok_or_else(|| CodecError::Malformed(format!("unknown sketch mode {raw}")))?
+        } else {
+            SketchMode::default()
+        };
         let snapshot = store::decode_snapshot(r.block()?)?;
         if snapshot.k != k {
             return Err(CodecError::Malformed(format!(
@@ -430,13 +514,25 @@ impl SignatureIndex {
             )));
         }
         let entries: Vec<(u64, NodeSignature)> = snapshot.entries();
+        let mut seen = std::collections::HashSet::with_capacity(entries.len());
         for &(id, _) in &entries {
             if id >= next_id {
                 return Err(CodecError::Malformed(format!(
                     "entry id {id} not below the persisted id watermark {next_id}"
                 )));
             }
+            if !seen.insert(id) {
+                return Err(CodecError::Malformed(format!("duplicate entry id {id}")));
+            }
         }
+        let bank = if version >= INDEX_VERSION_SKETCH {
+            decode_bank_block(r.block()?, &entries)?
+        } else {
+            // Pre-sketch file: rebuild the rows from the decoded
+            // signatures, so old snapshots keep loading and serve
+            // sketch-filtered queries immediately.
+            SketchBank::bulk(&entries, 0)
+        };
         let shards = std::thread::available_parallelism().map_or(1, |c| c.get());
         let forest = ShardedVpForest::from_entries_balanced(
             threshold,
@@ -448,6 +544,8 @@ impl SignatureIndex {
         Ok((
             SignatureIndex {
                 forest,
+                bank,
+                sketch_mode,
                 k,
                 threshold,
                 seed,
@@ -483,6 +581,67 @@ impl SignatureIndex {
         std::fs::File::open(path)?.read_to_end(&mut bytes)?;
         Ok(Self::decode_with_epoch(&bytes)?)
     }
+}
+
+/// Parses the version-3 sketch bank block: `[u32 dim][u64 rows]` then
+/// `rows × dim` little-endian `u16` lanes, row-major, aligned
+/// positionally with the id-sorted snapshot entries. Persisted lanes
+/// are spot-checked against fresh sketches before being adopted; if the
+/// writing binary used a different sketch layout, the bank is rebuilt
+/// from the signatures instead.
+fn decode_bank_block(
+    block: &[u8],
+    entries: &[(u64, NodeSignature)],
+) -> Result<SketchBank, CodecError> {
+    if block.len() < 12 {
+        return Err(CodecError::Malformed(
+            "sketch bank block shorter than its header".to_string(),
+        ));
+    }
+    let dim = u32::from_le_bytes(block[0..4].try_into().expect("4 bytes")) as usize;
+    let rows = u64::from_le_bytes(block[4..12].try_into().expect("8 bytes")) as usize;
+    if dim != sketch::SKETCH_DIM {
+        return Err(CodecError::Malformed(format!(
+            "sketch bank dim {dim} != built-in {}",
+            sketch::SKETCH_DIM
+        )));
+    }
+    if rows != entries.len() {
+        return Err(CodecError::Malformed(format!(
+            "sketch bank has {rows} rows for {} signatures",
+            entries.len()
+        )));
+    }
+    let body = &block[12..];
+    if body.len() != rows * dim * 2 {
+        return Err(CodecError::Malformed(format!(
+            "sketch bank body is {} bytes, expected {}",
+            body.len(),
+            rows * dim * 2
+        )));
+    }
+    let lanes: Vec<u16> = body
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .collect();
+    // Persisted lanes are only trusted if they match what this binary
+    // would compute: the sketch layout (fingerprint bucketing in
+    // particular) is an in-process convention, not part of the file
+    // format contract, so a snapshot written by a binary with a
+    // different layout would silently inflate lower bounds and drop
+    // true neighbors in exact mode. Spot-check a deterministic sample
+    // of rows and rebuild the whole bank from the signatures if any
+    // disagree.
+    let sample = [0, rows / 3, 2 * rows / 3, rows.saturating_sub(1)];
+    let stale = sample.iter().filter(|&&r| r < rows).any(|&r| {
+        let mut fresh = [0u16; sketch::SKETCH_DIM];
+        sketch::sketch_into(entries[r].1.prepared(), &mut fresh);
+        lanes[r * sketch::SKETCH_DIM..(r + 1) * sketch::SKETCH_DIM] != fresh
+    });
+    if stale {
+        return Ok(SketchBank::bulk(entries, 0));
+    }
+    Ok(SketchBank::from_rows(entries, lanes))
 }
 
 /// Atomic + durable file replacement: write a synced temp sibling, rename
@@ -609,6 +768,171 @@ mod tests {
         index.insert_graph(&cycle_a, &cycle_a.nodes().collect::<Vec<_>>());
         let hits = index.query_node(&cycle_b, 0, 3, 0);
         assert!(hits.iter().all(|h| h.distance == 0.0), "{hits:?}");
+    }
+
+    /// Re-encodes `index` in the given legacy framing (no sketch bank;
+    /// version 1 also drops the epoch field) so decode back-compat can be
+    /// tested against bytes this build no longer writes.
+    fn encode_legacy(index: &SignatureIndex, version: u32, epoch: u64) -> Vec<u8> {
+        let mut entries: Vec<(u64, &NodeSignature)> = index.forest.entries().collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        let snapshot = store::encode_snapshot(
+            index.k,
+            entries
+                .iter()
+                .map(|&(id, sig)| (id, sig.node, sig.prepared())),
+        );
+        let mut w = Writer::with_magic(&INDEX_MAGIC);
+        w.put_u32(version);
+        w.put_u32(index.k as u32);
+        w.put_u64(index.threshold as u64);
+        w.put_u64(index.seed);
+        w.put_u64(index.next_id);
+        if version >= INDEX_VERSION_EPOCH {
+            w.put_u64(epoch);
+        }
+        w.put_block(&snapshot);
+        w.finish()
+    }
+
+    #[test]
+    fn sketch_bank_survives_save_load() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = generators::barabasi_albert(200, 3, &mut rng);
+        let mut index = SignatureIndex::new(3, 48, 9);
+        index.insert_graph(&g, &g.nodes().collect::<Vec<_>>());
+        index.remove(11);
+        index.set_sketch_mode(SketchMode::Approx);
+
+        let back = SignatureIndex::from_bytes(&index.to_bytes()).expect("round trip");
+        assert_eq!(back.sketch_mode(), SketchMode::Approx);
+        assert_eq!(back.sketch_stats().rows, index.len());
+        // Persisted rows are bit-identical to the live bank's.
+        for (id, _) in index.forest.entries() {
+            assert_eq!(back.bank.lanes_of(id), index.bank.lanes_of(id), "id {id}");
+        }
+    }
+
+    #[test]
+    fn legacy_versions_load_and_rebuild_the_bank() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let g = generators::erdos_renyi_gnm(150, 400, &mut rng);
+        let mut index = SignatureIndex::new(3, 32, 5);
+        index.insert_graph(&g, &g.nodes().collect::<Vec<_>>());
+
+        for (version, epoch) in [(INDEX_VERSION, 0u64), (INDEX_VERSION_EPOCH, 17)] {
+            let bytes = encode_legacy(&index, version, epoch);
+            let (back, got_epoch) =
+                SignatureIndex::decode_with_epoch(&bytes).expect("legacy decode");
+            assert_eq!(got_epoch, epoch, "version {version}");
+            // The bank was rebuilt from the decoded signatures: identical
+            // rows, default serving mode, and identical query results.
+            assert_eq!(back.sketch_mode(), SketchMode::Exact);
+            assert_eq!(back.sketch_stats().rows, index.len());
+            for (id, _) in index.forest.entries() {
+                assert_eq!(back.bank.lanes_of(id), index.bank.lanes_of(id), "id {id}");
+            }
+            for probe in [0u32, 77, 149] {
+                let sig = NodeSignature::extract(&g, probe, 3);
+                assert_eq!(back.query(&sig, 6, 0), index.query(&sig, 6, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn v3_rejects_malformed_bank_blocks() {
+        let mut index = SignatureIndex::new(3, 4, 1);
+        let g = Graph::undirected_from_edges(3, &[(0, 1), (1, 2)]);
+        index.insert_graph(&g, &g.nodes().collect::<Vec<_>>());
+        let sig = NodeSignature::extract(&g, 0, 3);
+
+        // Recompose the file with a corrupted bank block (checksummed
+        // correctly, so only the block validation can catch it).
+        let good = index.to_bytes();
+        let (restored, _) = SignatureIndex::decode_with_epoch(&good).expect("baseline");
+        assert_eq!(restored.query(&sig, 2, 0), index.query(&sig, 2, 0));
+
+        let mut w = Writer::with_magic(&INDEX_MAGIC);
+        w.put_u32(INDEX_VERSION_SKETCH);
+        w.put_u32(index.k as u32);
+        w.put_u64(index.threshold as u64);
+        w.put_u64(index.seed);
+        w.put_u64(index.next_id);
+        w.put_u64(0);
+        w.put_u32(SketchMode::Exact.to_u32());
+        let mut entries: Vec<(u64, &NodeSignature)> = index.forest.entries().collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        let snapshot = store::encode_snapshot(
+            index.k,
+            entries
+                .iter()
+                .map(|&(id, sig)| (id, sig.node, sig.prepared())),
+        );
+        w.put_block(&snapshot);
+        w.put_block(b"tiny"); // shorter than the bank header
+        assert!(matches!(
+            SignatureIndex::from_bytes(&w.finish()),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn stale_persisted_lanes_trigger_a_bank_rebuild() {
+        // A well-formed v3 file whose lanes were computed by a binary
+        // with a different sketch layout must not be trusted: decode
+        // spot-checks persisted rows against fresh sketches and rebuilds
+        // the bank, so exact-mode queries stay exact.
+        let mut rng = SmallRng::seed_from_u64(33);
+        let g = generators::barabasi_albert(120, 3, &mut rng);
+        let mut index = SignatureIndex::new(3, 32, 9);
+        index.insert_graph(&g, &g.nodes().collect::<Vec<_>>());
+
+        let mut w = Writer::with_magic(&INDEX_MAGIC);
+        w.put_u32(INDEX_VERSION_SKETCH);
+        w.put_u32(index.k as u32);
+        w.put_u64(index.threshold as u64);
+        w.put_u64(index.seed);
+        w.put_u64(index.next_id);
+        w.put_u64(0);
+        w.put_u32(SketchMode::Exact.to_u32());
+        let mut entries: Vec<(u64, &NodeSignature)> = index.forest.entries().collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        let snapshot = store::encode_snapshot(
+            index.k,
+            entries
+                .iter()
+                .map(|&(id, sig)| (id, sig.node, sig.prepared())),
+        );
+        w.put_block(&snapshot);
+        // Correctly shaped bank block, but every histogram count shifted
+        // one bucket over — the signature of a foreign fingerprint
+        // layout (totals per level survive, positions do not).
+        let mut bank = Vec::new();
+        bank.extend_from_slice(&(sketch::SKETCH_DIM as u32).to_le_bytes());
+        bank.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for &(id, _) in &entries {
+            let row = index.bank.lanes_of(id).expect("live row");
+            for (lane, &v) in row.iter().enumerate() {
+                let skewed = if lane < 8 {
+                    v
+                } else {
+                    let level = (lane - 8) / 8;
+                    let bucket = (lane - 8) % 8;
+                    row[8 + level * 8 + (bucket + 1) % 8]
+                };
+                bank.extend_from_slice(&skewed.to_le_bytes());
+            }
+        }
+        w.put_block(&bank);
+
+        let (back, _) = SignatureIndex::decode_with_epoch(&w.finish()).expect("decode");
+        for (id, _) in index.forest.entries() {
+            assert_eq!(back.bank.lanes_of(id), index.bank.lanes_of(id), "id {id}");
+        }
+        for probe in [0u32, 61, 119] {
+            let sig = NodeSignature::extract(&g, probe, 3);
+            assert_eq!(back.query(&sig, 6, 0), index.query(&sig, 6, 0));
+        }
     }
 
     #[test]

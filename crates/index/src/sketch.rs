@@ -1,0 +1,817 @@
+//! Metric-preserving vector sketches: a cache-friendly filter tier in
+//! front of the exact TED\* kernel.
+//!
+//! Every [`NodeSignature`] is mapped once, at insert time, to a small
+//! fixed-dimension vector of `u16` lanes (a [`Sketch`]) such that a
+//! cheap scalar distance between two sketches **provably lower-bounds**
+//! NED between the signatures. Candidate generation for knn/range then
+//! becomes a linear scan over a flat structure-of-arrays sketch bank —
+//! one contiguous `u16` array the CPU streams through and
+//! autovectorizes — instead of a pointer-chasing walk over two
+//! [`PreparedTree`]s per candidate pair. Survivors are re-ranked by the
+//! budgeted early-abandoning kernel
+//! ([`ned_core::ted_star_prepared_within`] via
+//! [`SignatureMetric::distance_within`]), sharing one pruning radius
+//! exactly like the sharded forest does.
+//!
+//! # Sketch layout
+//!
+//! A sketch has [`SKETCH_DIM`] = `SKETCH_LEVELS + SKETCH_LEVELS ×
+//! SKETCH_BUCKETS` lanes:
+//!
+//! * **Size lanes** `0..SKETCH_LEVELS`: lane `l` holds level `l`'s node
+//!   count (BFS level of the k-adjacent tree), saturated to `u16`;
+//!   levels at and beyond `SKETCH_LEVELS - 1` fold into the last size
+//!   lane.
+//! * **Histogram lanes**: for each level `l < SKETCH_LEVELS`, a group
+//!   of [`SKETCH_BUCKETS`] lanes holds the level's subtree-class
+//!   histogram aggregated by bucket, where a node's bucket is a stable
+//!   **subtree fingerprint** modulo the bucket count — a bottom-up
+//!   FNV-1a combine of the node's children's fingerprints in sorted
+//!   order (a WL-style feature). The fingerprint is a pure function of
+//!   the subtree's isomorphism class — isomorphic subtrees always land
+//!   in the same bucket — so it is stable across processes and safe to
+//!   persist (unlike interner ids), and it never materializes
+//!   per-subtree canonical codes, so sketching stays cheap enough for
+//!   the per-mutation write path (hash collisions merely merge classes
+//!   into a bucket, which the soundness argument below already
+//!   absorbs).
+//!
+//! # Why the bound is sound
+//!
+//! Write `d = NED(a, b)` and let `Δ` denote per-lane absolute
+//! differences.
+//!
+//! * **Size part.** TED\* pays at least `Σ_l |size_a(l) − size_b(l)|`
+//!   (each level's forced padding). Folding tail levels into one lane
+//!   only shrinks the sum (triangle inequality), and saturation to
+//!   `u16` is a monotone 1-Lipschitz map, so the plain scalar L1 over
+//!   the size lanes is `≤ d`.
+//! * **Histogram part.** One edit operation changes at most two nodes'
+//!   subtree classes per level, shifting that level's class-histogram
+//!   L1 by at most 4 — so `hist_L1(l) ≤ 4d` for **every** level
+//!   (the same argument behind
+//!   [`ned_core::ted_star_class_lower_bound`]). Aggregating a
+//!   histogram into buckets can only reduce its L1 (again the triangle
+//!   inequality: equal classes always share a bucket), and saturation
+//!   only reduces it further, therefore
+//!   `ceil(bucket_L1(l) / 4) ≤ d` per level and the max over levels is
+//!   still `≤ d`.
+//!
+//! [`sketch_lower_bound`] returns
+//! `max(L1(size lanes), max_l ceil(L1(hist lanes of l) / 4))`, which by
+//! the two points above never exceeds NED — so pruning candidates whose
+//! bound exceeds the current radius drops **nothing** the exact scan
+//! would keep. Exact mode is property-tested bit-identical to the
+//! unfiltered forest (`tests/sketch_filter.rs`).
+//!
+//! # Approximate mode
+//!
+//! [`sketch_estimate`] replaces the per-level max with the L1 over
+//! *all* histogram lanes divided by 4 — a sharper, cheaper, fully
+//! vectorizable scalar that may exceed NED (an edit shifts every
+//! level's histogram on its ancestor path, so summing levels
+//! over-counts up to the tree depth). Used as the pruning bound it
+//! trades a measured recall (`sketch_approx_recall` in the benchmark
+//! trajectory, asserted ≥ 0.95 on the BA-4000 workload) for fewer
+//! exact refinements.
+
+use crate::forest::{BoundedHeap, ForestHit, SharedBound};
+use crate::signatures::SignatureMetric;
+use crate::BoundedMetric;
+use ned_core::{NodeSignature, PreparedTree};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tree levels a sketch resolves individually; deeper levels fold into
+/// the last size lane and are ignored by the histogram lanes (both
+/// directions only weaken the bound). NED's extraction depth `k` is
+/// almost always far below this.
+pub const SKETCH_LEVELS: usize = 8;
+
+/// Histogram buckets per level.
+pub const SKETCH_BUCKETS: usize = 8;
+
+/// Total `u16` lanes per sketch (size lanes + per-level histogram
+/// groups): 72 lanes = 144 bytes.
+pub const SKETCH_DIM: usize = SKETCH_LEVELS + SKETCH_LEVELS * SKETCH_BUCKETS;
+
+#[inline]
+fn sat16(v: u32) -> u16 {
+    v.min(u32::from(u16::MAX)) as u16
+}
+
+/// Scalar L1 between two equal-length lane slices. The compiler
+/// autovectorizes this shape (widen, subtract, absolute value,
+/// accumulate); lane sums cannot overflow `u32` for `SKETCH_DIM`-sized
+/// inputs.
+#[inline]
+fn lane_l1(a: &[u16], b: &[u16]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0u32;
+    for i in 0..a.len() {
+        acc += (i32::from(a[i]) - i32::from(b[i])).unsigned_abs();
+    }
+    acc
+}
+
+/// Per-node stable subtree fingerprints: a bottom-up FNV-1a combine of
+/// each node's children's fingerprints in sorted order. A pure function
+/// of the subtree's isomorphism class (isomorphic subtrees hash equal),
+/// stable across processes — and, unlike
+/// [`ned_tree::ahu::subtree_fingerprints`], it never materializes
+/// per-subtree canonical code strings, which keeps sketching fast
+/// enough to run on every index mutation.
+fn stable_subtree_fingerprints(tree: &ned_tree::Tree) -> Vec<u64> {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let n = tree.len();
+    let mut out = vec![0u64; n];
+    let mut kids: Vec<u64> = Vec::new();
+    // BFS-ordered storage: children always follow their parent, so a
+    // reverse scan sees every child before its parent.
+    for v in (0..n as u32).rev() {
+        kids.clear();
+        kids.extend(tree.children(v).map(|c| out[c as usize]));
+        kids.sort_unstable();
+        let mut h = FNV_OFFSET;
+        for &k in &kids {
+            for b in k.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        out[v as usize] = h;
+    }
+    out
+}
+
+/// Coarse cap on the process-wide sketch cache: ~150 bytes per entry,
+/// so the cache tops out around 40 MB before a full clear (the same
+/// coarse eviction shape as [`ned_core::TedMemo`]).
+const SKETCH_CACHE_CAP: usize = 1 << 18;
+
+/// Process-wide sketch cache keyed by the prepared tree's interned root
+/// class ([`PreparedTree::root_class`]): equal class ⇔ isomorphic tree
+/// ⇔ identical sketch. Interner ids are process-local, which is fine
+/// here — the cache never persists (persisted banks store raw lanes).
+/// Shapes repeat heavily under churn (an edge flipped back restores an
+/// already-seen class), so steady-state per-mutation sketching becomes
+/// a read-lock + 144-byte copy instead of a tree walk.
+fn sketch_cached(prepared: &PreparedTree, out: &mut [u16]) {
+    use std::sync::{LazyLock, RwLock};
+    static CACHE: LazyLock<RwLock<HashMap<u32, [u16; SKETCH_DIM]>>> =
+        LazyLock::new(|| RwLock::new(HashMap::new()));
+    let class = prepared.root_class();
+    if let Some(lanes) = CACHE.read().expect("sketch cache poisoned").get(&class) {
+        out.copy_from_slice(lanes);
+        return;
+    }
+    sketch_into(prepared, out);
+    let mut cache = CACHE.write().expect("sketch cache poisoned");
+    if cache.len() >= SKETCH_CACHE_CAP {
+        cache.clear();
+    }
+    cache.insert(class, out.try_into().expect("out is SKETCH_DIM long"));
+}
+
+/// Writes the sketch of `prepared` into `out` (length [`SKETCH_DIM`]).
+/// See the [module docs](self) for the lane layout. This is the
+/// uncached path; the bank and [`Sketch::of`] go through a
+/// root-class-keyed process cache.
+pub fn sketch_into(prepared: &PreparedTree, out: &mut [u16]) {
+    assert_eq!(out.len(), SKETCH_DIM, "sketch output slice has wrong dim");
+    out.fill(0);
+    for (l, &s) in prepared.level_sizes().iter().enumerate() {
+        let lane = l.min(SKETCH_LEVELS - 1);
+        out[lane] = out[lane].saturating_add(sat16(s));
+    }
+    let tree = prepared.tree();
+    let fp = stable_subtree_fingerprints(tree);
+    for l in 0..tree.num_levels().min(SKETCH_LEVELS) {
+        for v in tree.level(l) {
+            let bucket = (fp[v as usize] % SKETCH_BUCKETS as u64) as usize;
+            let lane = SKETCH_LEVELS + l * SKETCH_BUCKETS + bucket;
+            out[lane] = out[lane].saturating_add(1);
+        }
+    }
+}
+
+/// The provable lower bound:
+/// `max(L1(sizes), max_l ceil(L1(hist_l) / 4)) ≤ NED`. Soundness proof
+/// in the [module docs](self).
+#[inline]
+pub fn sketch_lower_bound(a: &[u16], b: &[u16]) -> u64 {
+    let size = u64::from(lane_l1(&a[..SKETCH_LEVELS], &b[..SKETCH_LEVELS]));
+    let mut worst = 0u32;
+    for l in 0..SKETCH_LEVELS {
+        let s = SKETCH_LEVELS + l * SKETCH_BUCKETS;
+        worst = worst.max(lane_l1(
+            &a[s..s + SKETCH_BUCKETS],
+            &b[s..s + SKETCH_BUCKETS],
+        ));
+    }
+    size.max(u64::from(worst).div_ceil(4))
+}
+
+/// The approximate estimator:
+/// `max(L1(sizes), ceil(L1(all hist lanes) / 4))`. Sharper and fully
+/// vectorizable, but **may exceed** NED (see the [module docs](self))
+/// — exact mode never uses it.
+#[inline]
+pub fn sketch_estimate(a: &[u16], b: &[u16]) -> u64 {
+    let size = u64::from(lane_l1(&a[..SKETCH_LEVELS], &b[..SKETCH_LEVELS]));
+    let hist = u64::from(lane_l1(&a[SKETCH_LEVELS..], &b[SKETCH_LEVELS..]));
+    size.max(hist.div_ceil(4))
+}
+
+/// One signature's sketch as an owned value — the unit the property
+/// tests and the bank's rows are built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sketch(pub [u16; SKETCH_DIM]);
+
+impl Sketch {
+    /// Sketches a signature's prepared tree.
+    pub fn of(sig: &NodeSignature) -> Sketch {
+        let mut lanes = [0u16; SKETCH_DIM];
+        sketch_cached(sig.prepared(), &mut lanes);
+        Sketch(lanes)
+    }
+
+    /// [`sketch_lower_bound`] against another sketch.
+    pub fn lower_bound(&self, other: &Sketch) -> u64 {
+        sketch_lower_bound(&self.0, &other.0)
+    }
+
+    /// [`sketch_estimate`] against another sketch.
+    pub fn estimate(&self, other: &Sketch) -> u64 {
+        sketch_estimate(&self.0, &other.0)
+    }
+
+    /// The raw lanes.
+    pub fn lanes(&self) -> &[u16; SKETCH_DIM] {
+        &self.0
+    }
+}
+
+/// How [`crate::SignatureIndex`] routes queries through its sketch
+/// bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SketchMode {
+    /// Bypass the bank: queries take the sharded VP-forest path
+    /// unchanged (the pre-sketch serving configuration).
+    Off,
+    /// Pre-filter by [`sketch_lower_bound`] — results stay bit-identical
+    /// to the forest (no false drops; the default).
+    #[default]
+    Exact,
+    /// Pre-filter by [`sketch_estimate`] — faster, with measured (not
+    /// guaranteed) recall.
+    Approx,
+}
+
+impl SketchMode {
+    /// Stable wire/codec encoding (`0/1/2`).
+    pub fn to_u32(self) -> u32 {
+        match self {
+            SketchMode::Off => 0,
+            SketchMode::Exact => 1,
+            SketchMode::Approx => 2,
+        }
+    }
+
+    /// Inverse of [`SketchMode::to_u32`]; `None` for unknown values.
+    pub fn from_u32(v: u32) -> Option<SketchMode> {
+        match v {
+            0 => Some(SketchMode::Off),
+            1 => Some(SketchMode::Exact),
+            2 => Some(SketchMode::Approx),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SketchMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SketchMode::Off => "off",
+            SketchMode::Exact => "exact",
+            SketchMode::Approx => "approx",
+        })
+    }
+}
+
+impl std::str::FromStr for SketchMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(SketchMode::Off),
+            "exact" => Ok(SketchMode::Exact),
+            "approx" => Ok(SketchMode::Approx),
+            other => Err(format!(
+                "unknown sketch mode '{other}' (expected off|exact|approx)"
+            )),
+        }
+    }
+}
+
+/// Work counters the bank accumulates across queries; shared by every
+/// clone of a bank (publication snapshots observe one set of serving
+/// counters).
+#[derive(Debug, Default)]
+struct SketchCounters {
+    queries: AtomicU64,
+    scanned: AtomicU64,
+    refined: AtomicU64,
+    pruned: AtomicU64,
+}
+
+/// A point-in-time snapshot of a bank's shape and work counters (the
+/// `sketch:` line of the server's `stats` reply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchStats {
+    /// Live sketch rows (equals the index's live signature count).
+    pub rows: usize,
+    /// Queries answered through the bank since creation.
+    pub queries: u64,
+    /// Sketch rows scanned (bound evaluations).
+    pub scanned: u64,
+    /// Candidates refined by the exact budgeted kernel.
+    pub refined: u64,
+    /// Candidates dismissed by the sketch bound alone.
+    pub pruned: u64,
+}
+
+impl std::fmt::Display for SketchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rows {}, queries {}, scanned {}, refined {}, pruned {}",
+            self.rows, self.queries, self.scanned, self.refined, self.pruned
+        )
+    }
+}
+
+/// Rows per parallel scan chunk: large enough that a chunk amortizes
+/// its dispatch, small enough that the `par_map` pool balances.
+const SCAN_CHUNK: usize = 1024;
+
+/// The flat SoA sketch bank: one row per live signature, all lanes in
+/// one contiguous `u16` array, scanned linearly at query time and fed
+/// into the shared-radius exact refine. Maintained by
+/// [`crate::SignatureIndex`] on every insert/replace/remove so rows
+/// mirror the live set exactly.
+///
+/// ```
+/// use ned_core::NodeSignature;
+/// use ned_graph::Graph;
+/// use ned_index::sketch::{SketchBank, SketchMode};
+///
+/// // Index a 6-cycle's nodes, then query with a node of an 8-cycle.
+/// let hexagon =
+///     Graph::undirected_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+/// let mut bank = SketchBank::new();
+/// for v in hexagon.nodes() {
+///     bank.upsert(u64::from(v), &NodeSignature::extract(&hexagon, v, 3));
+/// }
+/// assert_eq!(bank.len(), 6);
+///
+/// let octagon = Graph::undirected_from_edges(
+///     8,
+///     &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
+/// );
+/// let probe = NodeSignature::extract(&octagon, 0, 3);
+/// let hits = bank.knn(&probe, 3, 1, SketchMode::Exact);
+/// // Within 3 hops every cycle node looks like a path — distance 0.
+/// assert_eq!(hits.len(), 3);
+/// assert!(hits.iter().all(|h| h.distance == 0.0));
+/// assert!(bank.stats().queries >= 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SketchBank {
+    ids: Vec<u64>,
+    /// Row `r`'s lanes at `lanes[r * SKETCH_DIM..][..SKETCH_DIM]`.
+    lanes: Vec<u16>,
+    sigs: Vec<NodeSignature>,
+    row_of: HashMap<u64, u32>,
+    counters: Arc<SketchCounters>,
+}
+
+impl SketchBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bulk build: sketches every entry on up to `threads` threads
+    /// (`0` = all cores).
+    pub fn bulk(entries: &[(u64, NodeSignature)], threads: usize) -> Self {
+        let rows = ned_core::batch::par_map(entries.len(), threads, |i| {
+            let mut lanes = [0u16; SKETCH_DIM];
+            sketch_cached(entries[i].1.prepared(), &mut lanes);
+            lanes
+        });
+        let mut bank = SketchBank {
+            ids: Vec::with_capacity(entries.len()),
+            lanes: Vec::with_capacity(entries.len() * SKETCH_DIM),
+            sigs: Vec::with_capacity(entries.len()),
+            row_of: HashMap::with_capacity(entries.len()),
+            counters: Arc::new(SketchCounters::default()),
+        };
+        for ((id, sig), lanes) in entries.iter().zip(rows) {
+            match bank.row_of.get(id) {
+                // Later duplicates win, matching forest replace semantics.
+                Some(&r) => {
+                    let r = r as usize;
+                    bank.lanes[r * SKETCH_DIM..(r + 1) * SKETCH_DIM].copy_from_slice(&lanes);
+                    bank.sigs[r] = sig.clone();
+                }
+                None => {
+                    bank.row_of.insert(*id, bank.ids.len() as u32);
+                    bank.ids.push(*id);
+                    bank.lanes.extend_from_slice(&lanes);
+                    bank.sigs.push(sig.clone());
+                }
+            }
+        }
+        bank
+    }
+
+    /// Rebuilds a bank from entries plus their **persisted** lanes (the
+    /// NEDIDX snapshot fast path: no re-sketching). `lanes` is row-major
+    /// in entry order. Panics if the shapes disagree — the codec
+    /// validates sizes before calling.
+    pub fn from_rows(entries: &[(u64, NodeSignature)], lanes: Vec<u16>) -> Self {
+        assert_eq!(lanes.len(), entries.len() * SKETCH_DIM, "lane shape");
+        let mut row_of = HashMap::with_capacity(entries.len());
+        for (r, (id, _)) in entries.iter().enumerate() {
+            let prev = row_of.insert(*id, r as u32);
+            assert!(prev.is_none(), "duplicate id {id} in persisted bank");
+        }
+        SketchBank {
+            ids: entries.iter().map(|&(id, _)| id).collect(),
+            lanes,
+            sigs: entries.iter().map(|(_, s)| s.clone()).collect(),
+            row_of,
+            counters: Arc::new(SketchCounters::default()),
+        }
+    }
+
+    /// Live rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no rows are live.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Row-major lanes in row order, paired with the id list in the
+    /// same order — the codec's serialization view.
+    pub fn rows(&self) -> (&[u64], &[u16]) {
+        (&self.ids, &self.lanes)
+    }
+
+    /// Inserts or replaces the row for `id`.
+    pub fn upsert(&mut self, id: u64, sig: &NodeSignature) {
+        match self.row_of.get(&id) {
+            Some(&r) => {
+                let r = r as usize;
+                sketch_cached(
+                    sig.prepared(),
+                    &mut self.lanes[r * SKETCH_DIM..(r + 1) * SKETCH_DIM],
+                );
+                self.sigs[r] = sig.clone();
+            }
+            None => {
+                let r = self.ids.len();
+                self.row_of.insert(id, r as u32);
+                self.ids.push(id);
+                self.lanes.resize((r + 1) * SKETCH_DIM, 0);
+                sketch_cached(
+                    sig.prepared(),
+                    &mut self.lanes[r * SKETCH_DIM..(r + 1) * SKETCH_DIM],
+                );
+                self.sigs.push(sig.clone());
+            }
+        }
+    }
+
+    /// Drops the row for `id` (swap-remove). Returns `false` for
+    /// unknown ids.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let Some(r) = self.row_of.remove(&id) else {
+            return false;
+        };
+        let r = r as usize;
+        let last = self.ids.len() - 1;
+        if r != last {
+            let moved = self.ids[last];
+            self.ids.swap(r, last);
+            self.sigs.swap(r, last);
+            let (head, tail) = self.lanes.split_at_mut(last * SKETCH_DIM);
+            head[r * SKETCH_DIM..(r + 1) * SKETCH_DIM].copy_from_slice(&tail[..SKETCH_DIM]);
+            self.row_of.insert(moved, r as u32);
+        }
+        self.ids.pop();
+        self.sigs.pop();
+        self.lanes.truncate(last * SKETCH_DIM);
+        true
+    }
+
+    /// The lanes of `id`'s row, if live (the codec reads rows in id
+    /// order through this).
+    pub fn lanes_of(&self, id: u64) -> Option<&[u16]> {
+        self.row_of.get(&id).map(|&r| self.row_lanes(r as usize))
+    }
+
+    /// Current counters snapshot.
+    pub fn stats(&self) -> SketchStats {
+        SketchStats {
+            rows: self.ids.len(),
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            scanned: self.counters.scanned.load(Ordering::Relaxed),
+            refined: self.counters.refined.load(Ordering::Relaxed),
+            pruned: self.counters.pruned.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn row_lanes(&self, r: usize) -> &[u16] {
+        &self.lanes[r * SKETCH_DIM..(r + 1) * SKETCH_DIM]
+    }
+
+    /// All rows' sketch distances to `qs`, computed chunk-parallel on
+    /// the shared `par_map` pool, sorted ascending by
+    /// `(bound, id)` so the refine stage can stop at the first bound
+    /// past its radius.
+    fn scan_bounds(&self, qs: &[u16; SKETCH_DIM], threads: usize, approx: bool) -> Vec<(u64, u32)> {
+        let n = self.ids.len();
+        let chunks = n.div_ceil(SCAN_CHUNK);
+        let per_chunk: Vec<Vec<(u64, u32)>> = ned_core::batch::par_map(chunks, threads, |ci| {
+            let start = ci * SCAN_CHUNK;
+            let end = (start + SCAN_CHUNK).min(n);
+            let mut out = Vec::with_capacity(end - start);
+            for r in start..end {
+                let b = if approx {
+                    sketch_estimate(qs, self.row_lanes(r))
+                } else {
+                    sketch_lower_bound(qs, self.row_lanes(r))
+                };
+                out.push((b, r as u32));
+            }
+            out
+        });
+        let mut bounds: Vec<(u64, u32)> = per_chunk.into_iter().flatten().collect();
+        bounds.sort_unstable_by_key(|&(b, r)| (b, self.ids[r as usize]));
+        bounds
+    }
+
+    /// The `k` nearest rows to `query`, sorted by `(distance, id)`.
+    /// In [`SketchMode::Exact`] (or `Off`, treated as exact here) the
+    /// result is bit-identical to a full scan: the scan is ordered by
+    /// the provable bound and stops once the bound alone exceeds the
+    /// current k-th best distance; every exact call runs the budgeted
+    /// kernel with that radius.
+    pub fn knn(
+        &self,
+        query: &NodeSignature,
+        k: usize,
+        threads: usize,
+        mode: SketchMode,
+    ) -> Vec<ForestHit> {
+        if k == 0 || self.ids.is_empty() {
+            return Vec::new();
+        }
+        let approx = mode == SketchMode::Approx;
+        let mut qs = [0u16; SKETCH_DIM];
+        sketch_cached(query.prepared(), &mut qs);
+        let bounds = self.scan_bounds(&qs, threads, approx);
+        let shared = SharedBound::unbounded();
+        let mut heap = BoundedHeap::new(k, &shared);
+        let mut refined = 0u64;
+        let mut cut = 0u64;
+        for (pos, &(bound, r)) in bounds.iter().enumerate() {
+            let tau = heap.tau();
+            if bound as f64 > tau {
+                cut = (bounds.len() - pos) as u64;
+                break;
+            }
+            if let Some(d) = SignatureMetric.distance_within(query, &self.sigs[r as usize], tau) {
+                heap.offer_id(self.ids[r as usize], d);
+            }
+            refined += 1;
+        }
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .scanned
+            .fetch_add(bounds.len() as u64, Ordering::Relaxed);
+        self.counters.refined.fetch_add(refined, Ordering::Relaxed);
+        self.counters.pruned.fetch_add(cut, Ordering::Relaxed);
+        heap.into_sorted()
+    }
+
+    /// Every row within `radius` of `query` (inclusive), sorted by
+    /// `(distance, id)`. The radius is fixed, so survivors refine in
+    /// parallel inside the scan chunks.
+    pub fn range(
+        &self,
+        query: &NodeSignature,
+        radius: u64,
+        threads: usize,
+        mode: SketchMode,
+    ) -> Vec<ForestHit> {
+        if self.ids.is_empty() {
+            return Vec::new();
+        }
+        let approx = mode == SketchMode::Approx;
+        let mut qs = [0u16; SKETCH_DIM];
+        sketch_cached(query.prepared(), &mut qs);
+        let n = self.ids.len();
+        let chunks = n.div_ceil(SCAN_CHUNK);
+        let refined = Arc::new(AtomicU64::new(0));
+        let per_chunk: Vec<Vec<ForestHit>> = ned_core::batch::par_map(chunks, threads, |ci| {
+            let start = ci * SCAN_CHUNK;
+            let end = (start + SCAN_CHUNK).min(n);
+            let mut out = Vec::new();
+            let mut local_refined = 0u64;
+            for r in start..end {
+                let b = if approx {
+                    sketch_estimate(&qs, self.row_lanes(r))
+                } else {
+                    sketch_lower_bound(&qs, self.row_lanes(r))
+                };
+                if b > radius {
+                    continue;
+                }
+                local_refined += 1;
+                if let Some(d) =
+                    SignatureMetric.distance_within(query, &self.sigs[r], radius as f64)
+                {
+                    out.push(ForestHit {
+                        id: self.ids[r],
+                        distance: d,
+                    });
+                }
+            }
+            refined.fetch_add(local_refined, Ordering::Relaxed);
+            out
+        });
+        let mut hits: Vec<ForestHit> = per_chunk.into_iter().flatten().collect();
+        crate::forest::sort_hits(&mut hits);
+        let refined = refined.load(Ordering::Relaxed);
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        self.counters.scanned.fetch_add(n as u64, Ordering::Relaxed);
+        self.counters.refined.fetch_add(refined, Ordering::Relaxed);
+        self.counters
+            .pruned
+            .fetch_add(n as u64 - refined, Ordering::Relaxed);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ned_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sigs(n: usize, k: usize, seed: u64) -> Vec<NodeSignature> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(n, 3, &mut rng);
+        let nodes: Vec<u32> = g.nodes().collect();
+        ned_core::bulk_signatures(&g, &nodes, k, 0)
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_distance() {
+        let a = sigs(60, 3, 1);
+        let b = sigs(60, 3, 2);
+        for x in a.iter().step_by(7) {
+            let sx = Sketch::of(x);
+            for y in b.iter().step_by(11) {
+                let d = x.distance(y);
+                let lb = sx.lower_bound(&Sketch::of(y));
+                assert!(lb <= d, "sketch bound {lb} exceeds NED {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_is_isomorphism_invariant() {
+        // Same structure from different graphs → identical sketches.
+        let a = sigs(50, 3, 9);
+        for x in &a {
+            for y in &a {
+                if x.prepared().code() == y.prepared().code() {
+                    assert_eq!(Sketch::of(x), Sketch::of(y));
+                    assert_eq!(Sketch::of(x).lower_bound(&Sketch::of(y)), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bank_knn_matches_naive_scan() {
+        let db = sigs(120, 3, 3);
+        let probes = sigs(10, 3, 4);
+        let mut bank = SketchBank::new();
+        for (i, s) in db.iter().enumerate() {
+            bank.upsert(i as u64, s);
+        }
+        for q in &probes {
+            let mut naive: Vec<(u64, u64)> = db
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (q.distance(s), i as u64))
+                .collect();
+            naive.sort_unstable();
+            for k in [1usize, 4, 9] {
+                let hits = bank.knn(q, k, 1, SketchMode::Exact);
+                assert_eq!(hits.len(), k);
+                for (h, &(d, id)) in hits.iter().zip(&naive) {
+                    assert_eq!((h.distance as u64, h.id), (d, id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bank_range_matches_naive_scan() {
+        let db = sigs(100, 3, 5);
+        let q = &sigs(5, 3, 6)[0];
+        let mut bank = SketchBank::new();
+        for (i, s) in db.iter().enumerate() {
+            bank.upsert(i as u64, s);
+        }
+        for radius in [0u64, 2, 5, 20] {
+            let hits = bank.range(q, radius, 2, SketchMode::Exact);
+            let naive: Vec<(u64, u64)> = {
+                let mut v: Vec<(u64, u64)> = db
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| {
+                        let d = q.distance(s);
+                        (d <= radius).then_some((d, i as u64))
+                    })
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(hits.len(), naive.len(), "radius {radius}");
+            for (h, &(d, id)) in hits.iter().zip(&naive) {
+                assert_eq!((h.distance as u64, h.id), (d, id));
+            }
+        }
+    }
+
+    #[test]
+    fn upsert_remove_keep_rows_consistent() {
+        let db = sigs(40, 3, 7);
+        let mut bank = SketchBank::new();
+        for (i, s) in db.iter().enumerate() {
+            bank.upsert(i as u64, s);
+        }
+        assert_eq!(bank.len(), 40);
+        // Replace a row, remove a middle row and the last row.
+        bank.upsert(3, &db[10]);
+        assert_eq!(bank.len(), 40);
+        assert!(bank.remove(17));
+        assert!(bank.remove(39));
+        assert!(!bank.remove(17));
+        assert!(!bank.remove(999));
+        assert_eq!(bank.len(), 38);
+        // Surviving rows still answer exactly.
+        let q = &db[20];
+        let hits = bank.knn(q, 38, 1, SketchMode::Exact);
+        assert_eq!(hits.len(), 38);
+        assert!(hits.iter().all(|h| h.id != 17 && h.id != 39));
+        // Row 3 now carries db[10]'s signature.
+        let three = hits.iter().find(|h| h.id == 3).expect("id 3 live");
+        assert_eq!(three.distance as u64, q.distance(&db[10]));
+    }
+
+    #[test]
+    fn approx_mode_estimates_dominate_lower_bound() {
+        let a = sigs(30, 4, 11);
+        for x in a.iter().step_by(3) {
+            for y in a.iter().step_by(5) {
+                let (sx, sy) = (Sketch::of(x), Sketch::of(y));
+                assert!(sx.estimate(&sy) >= sx.lower_bound(&sy) / SKETCH_LEVELS as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn mode_round_trips() {
+        for m in [SketchMode::Off, SketchMode::Exact, SketchMode::Approx] {
+            assert_eq!(SketchMode::from_u32(m.to_u32()), Some(m));
+            assert_eq!(m.to_string().parse::<SketchMode>().unwrap(), m);
+        }
+        assert_eq!(SketchMode::from_u32(9), None);
+        assert!("fast".parse::<SketchMode>().is_err());
+    }
+}

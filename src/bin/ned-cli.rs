@@ -12,13 +12,13 @@
 //!                     [--bulk | --per-node]
 //! ned-cli index add <idx> <graph.edges> [--out PATH]
 //! ned-cli index query <idx> <graph.edges> <node> [--top N] [--radius R]
-//!                     [--threads N] [--verify]
+//!                     [--threads N] [--verify] [--sketch off|exact|approx]
 //! ned-cli index save <idx> <out.idx>
 //! ned-cli index load <idx>
 //! ned-cli index split <idx> --shards N [--out-prefix P]
 //! ned-cli serve <idx> [--tcp ADDR] [--threads N] [--pool N] [--graph PATH]
 //!                     [--wal PATH] [--checkpoint-every N] [--fsync MODE]
-//!                     [--max-conns N]
+//!                     [--max-conns N] [--sketch off|exact|approx]
 //! ned-cli route <idx> --shards N [--replicas R] [--tcp ADDR]
 //!                     [--shard-dir D] [--wal-dir D]
 //! ned-cli route --attach a1|a2,b1,... --bounds 0,x,... [--next-id N]
@@ -85,7 +85,10 @@ fn print_usage() {
          \x20                                                    hash-consed ingest + balanced shards)\n\
          \x20 index add <idx> <graph> [--out PATH]               index another graph's signatures\n\
          \x20 index query <idx> <graph> <node> [--top N] [--radius R] [--threads N] [--verify]\n\
-         \x20                                                    --radius R: bounded threshold query\n\
+         \x20       [--sketch off|exact|approx]                  --radius R: bounded threshold query;\n\
+         \x20                                                    --sketch routes through the sketch filter\n\
+         \x20                                                    tier (exact, the default, is bit-identical\n\
+         \x20                                                    to the forest; approx trades recall)\n\
          \x20 index save <idx> <out.idx>                         re-encode (verifies the file round-trips)\n\
          \x20 index load <idx>                                   load + print index stats\n\
          \x20 index split <idx> --shards N [--out-prefix P]      partition into N per-shard indexes by id\n\
@@ -93,6 +96,8 @@ fn print_usage() {
          \x20                                                    detached `route --attach` needs\n\
          \x20 serve <idx> [--tcp ADDR] [--threads N] [--pool N]  long-lived serving: stdin REPL, or a\n\
          \x20       [--graph PATH] [--wal PATH]                  concurrent TCP server with --tcp;\n\
+         \x20       [--sketch off|exact|approx]                  --sketch overrides the persisted query\n\
+         \x20                                                    routing mode for this serving run;\n\
          \x20       [--checkpoint-every N] [--fsync MODE]        --graph pre-tracks a mutating graph\n\
          \x20       [--max-conns N]                              for addedge/deledge deltas;\n\
          \x20                                                    --wal makes writes crash-safe: replay\n\
@@ -476,12 +481,15 @@ fn cmd_index_add(raw: &[String]) -> Result<(), String> {
 
 fn cmd_index_query(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &["verify"])?;
-    let index = load_index(args.positional(0, "index path")?)?;
+    let mut index = load_index(args.positional(0, "index path")?)?;
     let g = load(args.positional(1, "query graph")?, false)?;
     let v = parse_node(&g, args.positional(2, "query node")?)?;
     let top_flag: Option<usize> = args.opt("top")?;
     let threads: usize = args.get("threads", 0)?;
     let radius: Option<u64> = args.opt("radius")?;
+    if let Some(mode) = args.opt::<String>("sketch")? {
+        index.set_sketch_mode(mode.parse()?);
+    }
     let sig = NodeSignature::extract(&g, v, index.k());
     let hits = match radius {
         // Threshold query: the radius is the abandonment budget of every
@@ -656,6 +664,9 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
         max_conns: args.get("max-conns", 256)?,
         ..Default::default()
     };
+    if let Some(mode) = args.opt::<String>("sketch")? {
+        durable.writer().set_sketch_mode(mode.parse()?);
+    }
     let server = std::sync::Arc::new(
         ned::index::NedServer::with_durability(durable, threads, pool).with_config(config),
     );
