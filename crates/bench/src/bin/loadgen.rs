@@ -68,7 +68,7 @@
 
 use ned_bench::loadgen::{knn_read_workload, run_reader_fleet, scaling_floor, LatencySummary};
 use ned_index::{ConcurrentNedIndex, SignatureIndex, WireClient};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -1284,6 +1284,7 @@ fn cmd_fleet(raw: &[String]) -> Result<(), String> {
         write_timeout: Some(Duration::from_secs(2)),
         retry_attempts: 2,
         read_rounds: 3,
+        quorum: 0,
     };
     let replicas: Vec<Vec<String>> = fleet.iter().map(|s| vec![s.addr().to_string()]).collect();
     let router = ShardRouter::connect(map, replicas, opts).map_err(|e| e.to_string())?;
@@ -1429,6 +1430,184 @@ fn cmd_fleet(raw: &[String]) -> Result<(), String> {
          SIGKILL/respawn, {checked} final probes bit-identical to the monolith, live set \
          {fleet_len} reconciled, {acked} replica(s) drained",
         degraded_ids.len()
+    );
+
+    // --- phase 5: replicated catch-up — a replica SIGKILLed mid-churn and
+    // respawned from a *stale* checkpoint (its WAL gone) must stream the
+    // missing WAL suffix from a peer and rejoin bit-identical, while
+    // quorum writes (2 of 3) never stop acking. The monolith stays the
+    // oracle: the replicated shard is seeded from its post-soak state and
+    // every write lands on both sides.
+    let seed_path = Path::new(&dir).join("replica-seed.idx");
+    match monolith
+        .execute(&ned_core::Request::Save {
+            path: seed_path.display().to_string(),
+        })
+        .map_err(|e| format!("saving replica seed: {e}"))?
+    {
+        ned_core::Response::Ok { .. } => {}
+        other => return Err(format!("replica seed save answered {other:?}")),
+    }
+    // Fixed ports so the stale respawn can rebind the victim's address; a
+    // huge --checkpoint-every keeps the peers' WAL suffix streamable for
+    // the whole leg (a checkpoint would reset the log base).
+    let ports = ned_index::fleet::free_loopback_ports(3).map_err(|e| e.to_string())?;
+    let extra = vec!["--checkpoint-every".to_string(), "1000000".to_string()];
+    let mut replicas: Vec<ShardProcess> = Vec::with_capacity(3);
+    let mut replica_files: Vec<(PathBuf, PathBuf)> = Vec::with_capacity(3);
+    for (r, port) in ports.iter().enumerate() {
+        let path = Path::new(&dir).join(format!("replica{r}.idx"));
+        std::fs::copy(&seed_path, &path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let wal = Path::new(&dir).join(format!("replica{r}.wal"));
+        let _ = std::fs::remove_file(&wal);
+        let proc = ShardProcess::spawn(
+            Path::new(&server_bin),
+            &path,
+            &format!("127.0.0.1:{port}"),
+            Some(&wal),
+            &extra,
+        )
+        .map_err(|e| format!("spawning replica {r}: {e}"))?;
+        println!(
+            "fleet: replica {r} — pid {}, tcp://{}",
+            proc.pid(),
+            proc.addr()
+        );
+        replica_files.push((path, wal));
+        replicas.push(proc);
+    }
+    let replica_addrs: Vec<String> = replicas.iter().map(|p| p.addr().to_string()).collect();
+    let quorum_router = ShardRouter::connect(
+        ned_index::ShardMap::new(vec![0])?,
+        vec![replica_addrs.clone()],
+        RouterOptions {
+            k,
+            next_id: id_space + 10_000,
+            read_timeout: Some(Duration::from_secs(2)),
+            write_timeout: Some(Duration::from_secs(2)),
+            retry_attempts: 2,
+            read_rounds: 3,
+            quorum: 0, // majority: 2 of 3
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let replicated_put = |id: u64, width: usize| -> Result<(), String> {
+        let shape = star_shape(width);
+        quorum_router
+            .put_shape(id, &shape)
+            .map_err(|e| format!("replicated put {id}: {e}"))?;
+        match monolith
+            .execute(&ned_core::Request::PutSig { id, shape })
+            .map_err(|e| format!("monolith mirror put {id}: {e}"))?
+        {
+            ned_core::Response::Put { .. } => Ok(()),
+            other => Err(format!("monolith mirror put answered {other:?}")),
+        }
+    };
+    let mut rid = id_space + 1;
+    for _ in 0..8 {
+        replicated_put(rid, next_width)?;
+        rid += 1;
+        next_width += 1;
+    }
+    fleet_probe(
+        &quorum_router,
+        &monolith,
+        &shapes,
+        "replicated healthy churn",
+    )?;
+
+    // SIGKILL replica 2 mid-churn: writes must keep acking on the
+    // surviving majority, reads must keep answering bit-identically.
+    let victim_addr = replicas[2].addr().to_string();
+    replicas[2]
+        .kill()
+        .map_err(|e| format!("killing replica 2: {e}"))?;
+    for _ in 0..6 {
+        replicated_put(rid, next_width)?;
+        rid += 1;
+        next_width += 1;
+    }
+    fleet_probe(
+        &quorum_router,
+        &monolith,
+        &shapes,
+        "replicated degraded churn",
+    )?;
+    println!(
+        "fleet: replica 2 SIGKILLed (was {victim_addr}) — 6 quorum writes acked by the survivors"
+    );
+
+    // Rewind the victim to the pre-churn checkpoint with no WAL: a
+    // same-files respawn would self-recover from its own log, so this is
+    // the crash shape that *requires* streaming the suffix from a peer.
+    std::fs::copy(&seed_path, &replica_files[2].0)
+        .map_err(|e| format!("rewinding replica 2 checkpoint: {e}"))?;
+    std::fs::remove_file(&replica_files[2].1)
+        .map_err(|e| format!("dropping replica 2 wal: {e}"))?;
+    let mut revived = None;
+    for _ in 0..40 {
+        match ShardProcess::spawn(
+            Path::new(&server_bin),
+            &replica_files[2].0,
+            &victim_addr,
+            Some(&replica_files[2].1),
+            &extra,
+        ) {
+            Ok(p) => {
+                revived = Some(p);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(250)),
+        }
+    }
+    replicas[2] = revived.ok_or(format!(
+        "could not respawn replica 2 on {victim_addr} within 10s"
+    ))?;
+
+    // One anti-entropy pass detects the stale epoch and drives the
+    // WAL-suffix catch-up from a healthy peer.
+    let report = quorum_router
+        .probe_health()
+        .map_err(|e| format!("health probe: {e}"))?;
+    if !report.contains("rejoined after catch-up") {
+        return Err(format!("probe did not heal the stale replica:\n{report}"));
+    }
+
+    // Bit-identical rejoin: every replica's (epoch, len, fingerprint)
+    // triple must match exactly, and the fleet must still mirror the
+    // monolith probe for probe.
+    let mut prints: Vec<(u64, u64, u64)> = Vec::with_capacity(3);
+    for addr in &replica_addrs {
+        let mut client =
+            ned_index::WireClient::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+        match client
+            .request(&ned_core::Request::Fingerprint)
+            .map_err(|e| format!("{addr}: fingerprint: {e}"))?
+        {
+            ned_core::Response::Fingerprint { epoch, len, hash } => prints.push((epoch, len, hash)),
+            other => return Err(format!("{addr}: fingerprint answered {other:?}")),
+        }
+    }
+    if prints[0] != prints[1] || prints[0] != prints[2] {
+        return Err(format!(
+            "replica fingerprints diverged after catch-up: {prints:?}"
+        ));
+    }
+    fleet_probe(&quorum_router, &monolith, &shapes, "after catch-up")?;
+
+    let acked = quorum_router.shutdown_fleet();
+    for replica in &mut replicas {
+        replica
+            .wait_or_kill(Duration::from_secs(5))
+            .map_err(|e| format!("draining replica: {e}"))?;
+    }
+    println!(
+        "fleet: catch-up leg ok — stale respawn streamed the WAL suffix and rejoined \
+         bit-identical (fingerprint {:016x} @ epoch {} on all 3 replicas), {acked} \
+         replica(s) drained",
+        prints[0].2, prints[0].0
     );
     Ok(())
 }

@@ -1,4 +1,4 @@
-//! Machine-readable performance snapshot: writes `BENCH_9.json` with
+//! Machine-readable performance snapshot: writes `BENCH_10.json` with
 //! ns/op for the pipeline's hot paths — the duplicate-collapsed
 //! TED\*/NED engine against the dense Hungarian baseline, the sharded
 //! forest against the linear scan, the budget-aware bounded kernel
@@ -29,7 +29,10 @@
 //! exact refine), asserted bit-identical to the forest first and gated
 //! in-run at ≥ 1.5x over the PR 3 bounded forest path, and
 //! `sketch/ba4000-knn-approx` prices the estimate-filtered mode with its
-//! measured recall gated at ≥ 0.95.
+//! measured recall gated at ≥ 0.95. Since PR 10 the sketch bank clones
+//! **copy-on-write** (chunk-shared `Arc` rows), clawing back the per-
+//! publication bank copy the PR 9 trajectory recorded on
+//! `delta/ba4000-edge-churn`.
 //!
 //! Run with `cargo run --release -p ned-bench --bin perf_snapshot
 //! [output.json]`. Every workload is seeded, so successive runs measure
@@ -159,7 +162,7 @@ struct Entry {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_9.json".to_string());
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
     let mut entries: Vec<Entry> = Vec::new();
 
     // --- ned_pair: wide-level synthetic trees, collapsed vs dense -------

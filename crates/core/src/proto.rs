@@ -42,6 +42,8 @@
 //!   replica.
 //! * [`ServerError::Io`] — transport or storage trouble; retryable
 //!   (idempotent requests only).
+//! * [`ServerError::CatchingUp`] — the replica is replaying a WAL suffix
+//!   from a peer and is not yet at the fleet epoch; retry elsewhere.
 //! * [`ServerError::Corrupt`] — protocol or state integrity is gone;
 //!   fatal for this peer.
 //!
@@ -55,11 +57,11 @@ use std::str::FromStr;
 
 /// A structured serving error, carried in [`Response::Error`].
 ///
-/// The text form keeps the historical `error: ...` prefix; the four
+/// The text form keeps the historical `error: ...` prefix; the
 /// non-[`BadRequest`](ServerError::BadRequest) variants add a stable
 /// machine-readable tag (`overloaded:`, `shutting down:`, `io:`,
-/// `corrupt:`) after it. Messages are single-line by construction —
-/// the reply grammar splits on terminator lines.
+/// `catching up:`, `corrupt:`) after it. Messages are single-line by
+/// construction — the reply grammar splits on terminator lines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServerError {
     /// The request is malformed or names something that does not exist.
@@ -71,6 +73,9 @@ pub enum ServerError {
     ShuttingDown(String),
     /// Transport or storage I/O failed; safe to retry idempotent reads.
     Io(String),
+    /// The replica is mid catch-up (replaying a peer's WAL suffix) and
+    /// cannot serve consistent reads yet; retry on another replica.
+    CatchingUp(String),
     /// Framing, checksum, or persistent-state integrity failure — fatal
     /// for this peer.
     Corrupt(String),
@@ -88,7 +93,10 @@ impl ServerError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            ServerError::Overloaded(_) | ServerError::ShuttingDown(_) | ServerError::Io(_)
+            ServerError::Overloaded(_)
+                | ServerError::ShuttingDown(_)
+                | ServerError::Io(_)
+                | ServerError::CatchingUp(_)
         )
     }
 
@@ -99,6 +107,7 @@ impl ServerError {
             | ServerError::Overloaded(m)
             | ServerError::ShuttingDown(m)
             | ServerError::Io(m)
+            | ServerError::CatchingUp(m)
             | ServerError::Corrupt(m) => m,
         }
     }
@@ -113,6 +122,8 @@ impl ServerError {
             ServerError::ShuttingDown(m.to_string())
         } else if let Some(m) = tail.strip_prefix("io: ") {
             ServerError::Io(m.to_string())
+        } else if let Some(m) = tail.strip_prefix("catching up: ") {
+            ServerError::CatchingUp(m.to_string())
         } else if let Some(m) = tail.strip_prefix("corrupt: ") {
             ServerError::Corrupt(m.to_string())
         } else {
@@ -128,6 +139,7 @@ impl fmt::Display for ServerError {
             ServerError::Overloaded(m) => write!(f, "error: overloaded: {m}"),
             ServerError::ShuttingDown(m) => write!(f, "error: shutting down: {m}"),
             ServerError::Io(m) => write!(f, "error: io: {m}"),
+            ServerError::CatchingUp(m) => write!(f, "error: catching up: {m}"),
             ServerError::Corrupt(m) => write!(f, "error: corrupt: {m}"),
         }
     }
@@ -246,6 +258,26 @@ pub enum Request {
     Stats,
     /// `epoch` — publication count + live size of the current snapshot.
     Epoch,
+    /// `fingerprint` — epoch, live size, and the order-independent
+    /// live-set fingerprint of the current snapshot (the anti-entropy
+    /// probe: two replicas at the same epoch must answer the same hash).
+    Fingerprint,
+    /// `walsuffix <from_epoch>` — stream the attached WAL's records with
+    /// epochs past `from_epoch`, so a stale replica can catch up from
+    /// this peer. Read-only; requires a durable index whose log still
+    /// reaches back to `from_epoch`.
+    WalSuffix {
+        /// The requester's current epoch (records at or below it are
+        /// already applied there and are not sent).
+        from_epoch: u64,
+    },
+    /// `catchup <host:port>` — dial `peer`, request the WAL suffix past
+    /// this server's own epoch, and apply it through the journaled write
+    /// path. The reply reports how many records were applied.
+    CatchUp {
+        /// Peer replica address to stream from.
+        peer: String,
+    },
     /// `help` — the command reference.
     Help,
     /// `save <path>` — persist the current index.
@@ -278,6 +310,13 @@ impl Request {
             ["help"] => Request::Help,
             ["stats"] => Request::Stats,
             ["epoch"] => Request::Epoch,
+            ["fingerprint"] => Request::Fingerprint,
+            ["walsuffix", from] => Request::WalSuffix {
+                from_epoch: from.parse().map_err(|_| bad_num("epoch", from))?,
+            },
+            ["catchup", peer] => Request::CatchUp {
+                peer: peer.to_string(),
+            },
             ["checkpoint"] => Request::Checkpoint,
             ["__panic"] => Request::TestPanic,
             ["query", path, node] | ["query", path, node, _] => Request::Query {
@@ -365,6 +404,8 @@ impl Request {
                 | Request::RangeSig { .. }
                 | Request::Stats
                 | Request::Epoch
+                | Request::Fingerprint
+                | Request::WalSuffix { .. }
                 | Request::Help
         )
     }
@@ -392,6 +433,9 @@ impl fmt::Display for Request {
             Request::DelEdge { a, b } => write!(f, "deledge {a} {b}"),
             Request::Stats => write!(f, "stats"),
             Request::Epoch => write!(f, "epoch"),
+            Request::Fingerprint => write!(f, "fingerprint"),
+            Request::WalSuffix { from_epoch } => write!(f, "walsuffix {from_epoch}"),
+            Request::CatchUp { peer } => write!(f, "catchup {peer}"),
             Request::Help => write!(f, "help"),
             Request::Save { path } => write!(f, "save {path}"),
             Request::Checkpoint => write!(f, "checkpoint"),
@@ -464,6 +508,30 @@ pub enum Response {
         /// Live signatures.
         len: u64,
     },
+    /// `ok fingerprint=<hex16> epoch=<epoch> len=<len>` — the
+    /// anti-entropy probe reply: an order-independent hash of the live
+    /// set. Two replicas at the same epoch must answer the same hash, or
+    /// they have silently diverged.
+    Fingerprint {
+        /// Publication count of the fingerprinted snapshot.
+        epoch: u64,
+        /// Live signatures.
+        len: u64,
+        /// FNV-1a fold over the sorted live set.
+        hash: u64,
+    },
+    /// A WAL suffix: `walrec <hex>` body lines (one encoded write batch
+    /// each, in epoch order) terminated by
+    /// `ok <N> wal base=<base> epoch=<epoch>`. `base` is the serving
+    /// log's checkpoint epoch, `epoch` the peer's current epoch.
+    WalChunk {
+        /// The peer log's base tag (epoch of its last checkpoint).
+        base: u64,
+        /// The peer's current publication epoch.
+        epoch: u64,
+        /// Encoded write-batch payloads, in append (epoch) order.
+        records: Vec<Vec<u8>>,
+    },
     /// A multi-line informational body (`stats`, `help`) terminated by a
     /// bare `ok`. Body lines never start with `ok` or `error:`.
     Info {
@@ -486,7 +554,7 @@ impl Response {
     pub fn epoch(&self) -> Option<u64> {
         match self {
             Response::Hits { epoch, .. } | Response::Put { epoch, .. } => Some(*epoch),
-            Response::Epoch { epoch, .. } => Some(*epoch),
+            Response::Epoch { epoch, .. } | Response::Fingerprint { epoch, .. } => Some(*epoch),
             _ => None,
         }
     }
@@ -572,6 +640,50 @@ impl Response {
             }
             return Ok(Response::Hits { epoch, hits });
         }
+        // WAL chunks pair `walrec <hex>` body lines with a
+        // `ok <N> wal base=<b> epoch=<e>` terminator; like hit replies
+        // they are recognized by terminator shape so a zero-record chunk
+        // (no body at all) still parses as a chunk.
+        let looks_like_wal =
+            rest.split_whitespace().nth(1) == Some("wal") || body.iter().any(|l| is_walrec_line(l));
+        if looks_like_wal {
+            let mut fields = rest.split_whitespace();
+            let count: usize = fields
+                .next()
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| corrupt(format!("bad wal terminator {terminator:?}")))?;
+            if fields.next() != Some("wal") {
+                return Err(corrupt(format!("bad wal terminator {terminator:?}")));
+            }
+            let base = fields
+                .next()
+                .and_then(|t| t.strip_prefix("base=")?.parse().ok());
+            let epoch = fields
+                .next()
+                .and_then(|t| t.strip_prefix("epoch=")?.parse().ok());
+            let (Some(base), Some(epoch), None) = (base, epoch, fields.next()) else {
+                return Err(corrupt(format!("bad wal terminator {terminator:?}")));
+            };
+            let records = body
+                .iter()
+                .map(|l| {
+                    l.strip_prefix("walrec ")
+                        .and_then(hex_decode)
+                        .ok_or_else(|| corrupt(format!("bad wal record line {l:?}")))
+                })
+                .collect::<Result<Vec<Vec<u8>>, ServerError>>()?;
+            if records.len() != count {
+                return Err(corrupt(format!(
+                    "terminator claims {count} wal record(s) but {} precede it",
+                    records.len()
+                )));
+            }
+            return Ok(Response::WalChunk {
+                base,
+                epoch,
+                records,
+            });
+        }
         if !body.is_empty() {
             if !rest.is_empty() {
                 return Err(corrupt(format!(
@@ -621,6 +733,17 @@ impl Response {
                 return Ok(Response::Epoch { epoch, len });
             }
         }
+        if let Some(tail) = rest.strip_prefix("fingerprint=") {
+            let mut f = tail.split_whitespace();
+            let hash = f.next().and_then(|h| u64::from_str_radix(h, 16).ok());
+            let epoch = f
+                .next()
+                .and_then(|t| t.strip_prefix("epoch=")?.parse().ok());
+            let len = f.next().and_then(|t| t.strip_prefix("len=")?.parse().ok());
+            if let (Some(hash), Some(epoch), Some(len), None) = (hash, epoch, len, f.next()) {
+                return Ok(Response::Fingerprint { epoch, len, hash });
+            }
+        }
         Ok(Response::Ok {
             msg: rest.to_string(),
         })
@@ -629,6 +752,32 @@ impl Response {
 
 fn is_hit_line(line: &str) -> bool {
     line.starts_with("hit id=")
+}
+
+fn is_walrec_line(line: &str) -> bool {
+    line.starts_with("walrec ")
+}
+
+/// Lowercase hex encoding for WAL record payloads on the wire. The text
+/// protocol is line-oriented UTF-8, so raw record bytes cannot ride it.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    use fmt::Write;
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        write!(s, "{b:02x}").expect("write to String");
+    }
+    s
+}
+
+/// Inverse of [`hex_encode`]. `None` on odd length or non-hex bytes.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.is_ascii() || !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
 }
 
 fn parse_hit_line(line: &str) -> Result<WireHit, ServerError> {
@@ -667,6 +816,19 @@ impl fmt::Display for Response {
             Response::Removed { id, existed: true } => write!(f, "ok removed {id}"),
             Response::Removed { id, existed: false } => write!(f, "ok no such id {id}"),
             Response::Epoch { epoch, len } => write!(f, "ok epoch={epoch} len={len}"),
+            Response::Fingerprint { epoch, len, hash } => {
+                write!(f, "ok fingerprint={hash:016x} epoch={epoch} len={len}")
+            }
+            Response::WalChunk {
+                base,
+                epoch,
+                records,
+            } => {
+                for r in records {
+                    writeln!(f, "walrec {}", hex_encode(r))?;
+                }
+                write!(f, "ok {} wal base={base} epoch={epoch}", records.len())
+            }
             Response::Info { body } => write!(f, "{body}\nok"),
             Response::Ok { msg } if msg.is_empty() => write!(f, "ok"),
             Response::Ok { msg } => write!(f, "ok {msg}"),
@@ -777,6 +939,7 @@ mod tests {
             ServerError::Overloaded("3/3 connections; retry later".into()),
             ServerError::ShuttingDown("draining".into()),
             ServerError::Io("connection reset".into()),
+            ServerError::CatchingUp("replaying 12 record(s) from a peer".into()),
             ServerError::Corrupt("checksum mismatch".into()),
         ];
         for e in errs {
@@ -789,5 +952,62 @@ mod tests {
                 _ => assert!(e.is_retryable()),
             }
         }
+    }
+
+    #[test]
+    fn replication_forms_round_trip() {
+        for r in [
+            Request::Fingerprint,
+            Request::WalSuffix { from_epoch: 42 },
+            Request::CatchUp {
+                peer: "127.0.0.1:7979".into(),
+            },
+        ] {
+            let back: Request = r.to_string().parse().expect("request round trip");
+            assert_eq!(back, r);
+        }
+        for resp in [
+            Response::Fingerprint {
+                epoch: 9,
+                len: 4000,
+                hash: 0x00ab_cdef_0123_4567,
+            },
+            Response::WalChunk {
+                base: 3,
+                epoch: 7,
+                records: vec![vec![0, 1, 2, 255], vec![0x4e]],
+            },
+            // Zero records: no body lines at all, still a chunk.
+            Response::WalChunk {
+                base: 0,
+                epoch: 0,
+                records: vec![],
+            },
+        ] {
+            let back: Response = resp.to_string().parse().expect("response round trip");
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn wal_chunk_record_count_is_checked() {
+        let err = Response::parse("walrec 00ff\nok 2 wal base=1 epoch=5").expect_err("mismatch");
+        assert!(matches!(err, ServerError::Corrupt(_)), "{err}");
+        let err = Response::parse("walrec zz\nok 1 wal base=1 epoch=5").expect_err("bad hex");
+        assert!(matches!(err, ServerError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn hex_codec_round_trips() {
+        for bytes in [
+            vec![],
+            vec![0u8],
+            vec![0xde, 0xad, 0xbe, 0xef],
+            vec![255; 33],
+        ] {
+            assert_eq!(hex_decode(&hex_encode(&bytes)), Some(bytes));
+        }
+        assert_eq!(hex_decode("abc"), None, "odd length");
+        assert_eq!(hex_decode("g0"), None, "non-hex");
     }
 }

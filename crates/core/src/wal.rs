@@ -399,6 +399,20 @@ impl WalWriter {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Re-reads this log's file and returns every record currently in
+    /// it, in append order — the replication path serves WAL suffixes to
+    /// catching-up peers from this. The caller must hold whatever lock
+    /// guards this writer (the single-writer rule), so the file cannot
+    /// be reset or appended concurrently. Appends go straight to the
+    /// file (no userspace buffering), so records are visible here under
+    /// every [`FsyncPolicy`], synced or not.
+    pub fn records(&self) -> io::Result<Vec<Vec<u8>>> {
+        let bytes = std::fs::read(&self.path)?;
+        let replay = replay_bytes(&bytes)
+            .map_err(|e| io::Error::other(format!("WAL unreadable while serving a suffix: {e}")))?;
+        Ok(replay.records)
+    }
 }
 
 /// Fsyncs the directory containing `path`, making a just-created or

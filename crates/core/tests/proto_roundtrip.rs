@@ -23,7 +23,7 @@ fn token(rng: &mut SmallRng) -> String {
 
 /// A random well-formed request (every variant reachable).
 fn request(rng: &mut SmallRng) -> Request {
-    match rng.gen_range(0..19u32) {
+    match rng.gen_range(0..22u32) {
         0 => Request::Query {
             path: token(rng),
             node: rng.gen(),
@@ -73,6 +73,14 @@ fn request(rng: &mut SmallRng) -> Request {
         15 => Request::Checkpoint,
         16 => Request::Shutdown,
         17 => Request::Quit,
+        18 => Request::Fingerprint,
+        19 => Request::WalSuffix {
+            from_epoch: rng.gen(),
+        },
+        20 => Request::CatchUp {
+            // host:port-shaped peers; the token charset has no ':'.
+            peer: format!("127.0.0.1:{}", rng.gen::<u16>()),
+        },
         _ => Request::TestPanic,
     }
 }
@@ -87,7 +95,7 @@ fn free_text(rng: &mut SmallRng) -> String {
 /// A random well-formed response. Distances are integral (NED is a u64
 /// carried as f64), matching what servers actually emit.
 fn response(rng: &mut SmallRng) -> Response {
-    match rng.gen_range(0..9u32) {
+    match rng.gen_range(0..11u32) {
         0 => Response::Hits {
             epoch: rng.gen(),
             hits: (0..rng.gen_range(0..8usize))
@@ -128,13 +136,29 @@ fn response(rng: &mut SmallRng) -> Response {
                 free_text(rng)
             },
         },
-        7 => Response::Error(match rng.gen_range(0..5u32) {
+        7 => Response::Error(match rng.gen_range(0..6u32) {
             0 => ServerError::BadRequest(free_text(rng)),
             1 => ServerError::Overloaded(free_text(rng)),
             2 => ServerError::ShuttingDown(free_text(rng)),
             3 => ServerError::Io(free_text(rng)),
+            4 => ServerError::CatchingUp(free_text(rng)),
             _ => ServerError::Corrupt(free_text(rng)),
         }),
+        8 => Response::Fingerprint {
+            epoch: rng.gen(),
+            len: rng.gen(),
+            hash: rng.gen(),
+        },
+        9 => Response::WalChunk {
+            base: rng.gen(),
+            epoch: rng.gen(),
+            records: (0..rng.gen_range(0..5usize))
+                .map(|_| {
+                    let len = rng.gen_range(0..24usize);
+                    (0..len).map(|_| rng.gen::<u8>()).collect()
+                })
+                .collect(),
+        },
         _ => Response::Hits {
             epoch: 0,
             hits: Vec::new(),

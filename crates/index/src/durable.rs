@@ -82,6 +82,13 @@ pub fn encode_batch(epoch: u64, ops: &[WriteOp]) -> Vec<u8> {
     buf
 }
 
+/// Reads just the epoch tag off an [`encode_batch`] record without
+/// decoding the ops — how the WAL-suffix server filters a log down to
+/// the records a catching-up peer still needs.
+pub fn record_epoch(bytes: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?))
+}
+
 /// Decodes [`encode_batch`] output back into `(epoch, ops)`. Signatures
 /// are re-prepared from their parent arrays; preparation canonicalizes,
 /// so replayed signatures are distance-identical to the originals (the

@@ -37,7 +37,11 @@ impl ShardProcess {
     /// `addr` may use port `0`; the scraped banner carries the real
     /// port. The child's stdout is consumed only up to the banner —
     /// after that the process writes into the inherited pipe buffer,
-    /// which serve-mode servers keep quiet enough never to fill.
+    /// which serve-mode servers keep quiet enough never to fill. Stderr
+    /// is piped and drained into a small tail buffer, so when the child
+    /// dies or wedges before announcing its address, the spawn error
+    /// carries the child's own last words (a bad flag, a missing index
+    /// file, a panic) instead of just "exited before announcing".
     pub fn spawn(
         binary: &Path,
         index_path: &Path,
@@ -52,13 +56,15 @@ impl ShardProcess {
             .arg(addr)
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
-            .stderr(Stdio::inherit());
+            .stderr(Stdio::piped());
         if let Some(wal) = wal {
             cmd.arg("--wal").arg(wal);
         }
         cmd.args(extra_args);
         let mut child = cmd.spawn()?;
         let stdout = child.stdout.take().expect("stdout was piped");
+        let stderr = child.stderr.take().expect("stderr was piped");
+        let stderr_tail = drain_stderr(stderr);
         match scrape_banner(stdout) {
             Ok(bound) => Ok(ShardProcess {
                 child,
@@ -68,7 +74,21 @@ impl ShardProcess {
             Err(e) => {
                 let _ = child.kill();
                 let _ = child.wait();
-                Err(e)
+                // The kill closed the pipe; give the drain thread a
+                // beat to flush the final lines into the tail buffer.
+                std::thread::sleep(Duration::from_millis(50));
+                let tail = stderr_tail
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .join("\n");
+                if tail.is_empty() {
+                    Err(e)
+                } else {
+                    Err(std::io::Error::new(
+                        e.kind(),
+                        format!("{e}; shard stderr tail:\n{tail}"),
+                    ))
+                }
             }
         }
     }
@@ -119,6 +139,34 @@ impl Drop for ShardProcess {
             let _ = self.child.wait();
         }
     }
+}
+
+/// How many trailing stderr lines [`ShardProcess::spawn`] keeps for its
+/// failure message.
+const STDERR_TAIL_LINES: usize = 8;
+
+/// Drains the child's stderr on a detached thread — echoing each line to
+/// this process's stderr (preserving the old inherit-stderr behavior for
+/// operators watching the fleet) while keeping the last
+/// [`STDERR_TAIL_LINES`] lines in a shared tail buffer for spawn-failure
+/// diagnostics. The thread exits when the child closes its stderr.
+fn drain_stderr(
+    stderr: std::process::ChildStderr,
+) -> std::sync::Arc<std::sync::Mutex<Vec<String>>> {
+    let tail = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink = std::sync::Arc::clone(&tail);
+    std::thread::spawn(move || {
+        for line in BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            eprintln!("{line}");
+            let mut tail = sink.lock().unwrap_or_else(|p| p.into_inner());
+            if tail.len() == STDERR_TAIL_LINES {
+                tail.remove(0);
+            }
+            tail.push(line);
+        }
+    });
+    tail
 }
 
 /// Reads the child's stdout until the `tcp://HOST:PORT` banner appears,

@@ -4,8 +4,8 @@
 //!
 //! The fleet contract, in one paragraph: a [`ShardMap`] statically
 //! partitions the id space by lower bounds (`owner(id)` = the last shard
-//! whose start is ≤ `id`), writes route to every replica of the owning
-//! shard through the idempotent explicit-id `putsig` primitive (the
+//! whose start is ≤ `id`), writes route to the healthy replicas of the
+//! owning shard through the idempotent explicit-id `putsig` primitive (the
 //! coordinator owns id assignment), and reads scatter to all shards and
 //! merge through one bounded `(distance, id)` heap — with the shared
 //! distance budget pushed down per shard as `sig ... within=<b>`, which
@@ -25,12 +25,27 @@
 //! run under the fleet write lock, excluding scatter reads while the
 //! batch is in flight on several shards at once.
 //!
-//! Failure model: a replica that times out, refuses (overloaded), or
-//! drops the connection is skipped in favor of the next replica of the
-//! same shard; when every replica of a shard is unreachable or stale the
-//! operation fails with a *retryable* [`ServerError::Overloaded`] — the
-//! router is degraded, not wrong, and recovers as soon as a replica comes
-//! back (connections are re-dialed lazily from per-replica pools).
+//! Failure model: the router tracks a per-replica lifecycle
+//! (**healthy → degraded → catching-up → rejoined**). Writes need a
+//! configurable **quorum** of a shard's replicas
+//! ([`RouterOptions::quorum`], default majority) instead of all of them —
+//! a replica that times out or refuses is marked *degraded* and the write
+//! still acks, at the minimum epoch across the acking replicas, so a
+//! shard keeps taking writes with a replica down. Degraded replicas take
+//! no direct writes (that would fork their history); instead each heal
+//! pass probes them — one that recovered on its own (restarted, replayed
+//! its own WAL) rejoins immediately, and a stale one is put through a
+//! **WAL-suffix catch-up** from a healthy peer
+//! ([`ned_core::Request::CatchUp`]), held out of the read rotation until
+//! the stream completes. Scatter reads that observe a stale reply mark
+//! the replica degraded and trigger that same repair instead of just
+//! re-polling; a `fingerprint` probe ([`ShardRouter::probe_health`])
+//! additionally compares per-replica live-set fingerprints and fails
+//! **loudly** when two replicas claim the same epoch with different
+//! contents — silent divergence is the one fault retrying cannot fix.
+//! When no quorum can be reached the operation fails with a *retryable*
+//! [`ServerError::Overloaded`]; acked writes are never lost, because a
+//! read is only accepted from a replica at or past the acked epoch.
 
 use crate::concurrent::WriteOp;
 use crate::forest::ForestHit;
@@ -42,7 +57,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
@@ -126,6 +141,14 @@ pub struct RouterOptions {
     /// router reports the shard degraded. Backoff between rounds doubles
     /// from 20ms up to 500ms.
     pub read_rounds: u32,
+    /// How many replicas of a shard must ack a write before it counts as
+    /// committed. `0` (the default) means a **majority** (`n/2 + 1` of
+    /// the shard's `n` replicas); explicit values are clamped to
+    /// `1..=n`. With a quorum below `n` a shard keeps taking writes
+    /// while a replica is down — the laggard is marked degraded and
+    /// caught back up from a peer's WAL suffix before it serves reads
+    /// again.
+    pub quorum: usize,
 }
 
 impl Default for RouterOptions {
@@ -137,14 +160,27 @@ impl Default for RouterOptions {
             write_timeout: Some(Duration::from_secs(5)),
             retry_attempts: 4,
             read_rounds: 12,
+            quorum: 0,
         }
     }
 }
 
-/// One shard replica endpoint with its idle-connection pool.
+/// Replica lifecycle states, as tracked router-side. A replica starts
+/// [`HEALTHY`]; a retryable failure or a stale reply demotes it to
+/// [`DEGRADED`] (skipped for writes, probed by heal passes); a
+/// WAL-suffix stream in flight holds it at [`CATCHING_UP`] (out of the
+/// read rotation entirely); completion — or an epoch probe showing it
+/// already caught up on its own — returns it to [`HEALTHY`].
+const HEALTHY: u8 = 0;
+const DEGRADED: u8 = 1;
+const CATCHING_UP: u8 = 2;
+
+/// One shard replica endpoint with its idle-connection pool and
+/// router-side health state.
 struct Replica {
     addr: String,
     pool: Mutex<Vec<WireClient>>,
+    health: AtomicU8,
 }
 
 impl Replica {
@@ -152,6 +188,23 @@ impl Replica {
         Replica {
             addr,
             pool: Mutex::new(Vec::new()),
+            health: AtomicU8::new(HEALTHY),
+        }
+    }
+
+    fn health(&self) -> u8 {
+        self.health.load(Ordering::Acquire)
+    }
+
+    fn set_health(&self, state: u8) {
+        self.health.store(state, Ordering::Release);
+    }
+
+    fn health_name(&self) -> &'static str {
+        match self.health() {
+            DEGRADED => "degraded",
+            CATCHING_UP => "catching-up",
+            _ => "healthy",
         }
     }
 
@@ -345,9 +398,14 @@ impl ShardRouter {
 
     /// One read against shard `shard_idx`, requiring a reply epoch of at
     /// least `min_epoch` when the reply carries one. Rotates across
-    /// replicas, skipping retryable failures and stale snapshots; when
-    /// every round is exhausted the shard is *degraded* and the error is
-    /// a retryable [`ServerError::Overloaded`].
+    /// replicas (skipping ones mid catch-up — they are out of the
+    /// rotation until their WAL stream completes); a stale reply marks
+    /// the replica degraded and triggers **read repair** — a catch-up
+    /// from a healthy peer — instead of just re-polling, and a reply at
+    /// the required epoch is proof of health, re-admitting a previously
+    /// degraded replica. When every round is exhausted the shard is
+    /// *degraded* and the error is a retryable
+    /// [`ServerError::Overloaded`].
     fn shard_read(
         &self,
         shard_idx: usize,
@@ -362,21 +420,37 @@ impl ShardRouter {
                 std::thread::sleep(backoff(round - 1));
             }
             let start = shard.cursor.fetch_add(1, Ordering::Relaxed);
+            let mut stale: Vec<usize> = Vec::new();
             for i in 0..n {
-                let replica = &shard.replicas[(start + i) % n];
+                let idx = (start + i) % n;
+                let replica = &shard.replicas[idx];
+                if replica.health() == CATCHING_UP {
+                    continue;
+                }
                 match replica.request(&self.opts, req) {
                     Ok(resp) => match resp.epoch() {
                         Some(epoch) if epoch < min_epoch => {
+                            replica.set_health(DEGRADED);
+                            stale.push(idx);
                             last = Some(ServerError::Overloaded(format!(
                                 "replica {} lags at epoch {epoch} (need {min_epoch})",
                                 replica.addr
                             )));
                         }
-                        _ => return Ok(resp),
+                        _ => {
+                            replica.set_health(HEALTHY);
+                            return Ok(resp);
+                        }
                     },
-                    Err(e) if e.is_retryable() => last = Some(e),
+                    Err(e) if e.is_retryable() => {
+                        replica.set_health(DEGRADED);
+                        last = Some(e);
+                    }
                     Err(e) => return Err(e),
                 }
+            }
+            for idx in stale {
+                self.catch_up_replica(shard_idx, idx);
             }
         }
         Err(ServerError::Overloaded(format!(
@@ -385,38 +459,139 @@ impl ShardRouter {
         )))
     }
 
-    /// One (idempotent) write batch against **every** replica of shard
-    /// `shard_idx`. The batch must carry at least one epoch-bearing
-    /// reply (a `putsig` ack, or a trailing `epoch` probe); the write is
-    /// acked at the *minimum* epoch across replicas — only then is it on
-    /// every replica, which is what lets a later read accept any one of
-    /// them. Returns the first replica's replies.
+    /// The ack threshold for writes to a shard with `replicas` replicas:
+    /// [`RouterOptions::quorum`], defaulting to a majority, clamped to
+    /// `1..=replicas`.
+    fn effective_quorum(&self, replicas: usize) -> usize {
+        let q = if self.opts.quorum == 0 {
+            replicas / 2 + 1
+        } else {
+            self.opts.quorum
+        };
+        q.clamp(1, replicas)
+    }
+
+    /// Best-effort heal pass over a shard's degraded replicas: each gets
+    /// one epoch probe — a replica that already caught up on its own
+    /// (restarted and replayed its local WAL) rejoins immediately, a
+    /// stale one is put through a WAL-suffix catch-up from a healthy
+    /// peer, and an unreachable one stays degraded for the next pass.
+    fn heal_shard(&self, shard_idx: usize) {
+        let shard = &self.shards[shard_idx];
+        let acked = shard.acked_epoch.load(Ordering::Acquire);
+        for (idx, replica) in shard.replicas.iter().enumerate() {
+            if replica.health() != DEGRADED {
+                continue;
+            }
+            let Ok(Response::Epoch { epoch, .. }) = replica.request(&self.opts, &Request::Epoch)
+            else {
+                continue;
+            };
+            if epoch >= acked {
+                replica.set_health(HEALTHY);
+            } else {
+                self.catch_up_replica(shard_idx, idx);
+            }
+        }
+    }
+
+    /// Streams the WAL suffix from a healthy peer into a stale replica
+    /// (the replica-side `catchup <peer>` command), holding the replica
+    /// out of the read rotation while the stream is in flight. Returns
+    /// whether the replica rejoined. With no healthy peer to stream from
+    /// the replica stays degraded — the shard is down to its last copy
+    /// and only a loud operator-visible error can follow, never a silent
+    /// resurrection from a stale snapshot.
+    fn catch_up_replica(&self, shard_idx: usize, idx: usize) -> bool {
+        let shard = &self.shards[shard_idx];
+        let replica = &shard.replicas[idx];
+        let Some(peer) = shard
+            .replicas
+            .iter()
+            .enumerate()
+            .find(|&(i, p)| i != idx && p.health() == HEALTHY)
+            .map(|(_, p)| p.addr.clone())
+        else {
+            return false;
+        };
+        replica.set_health(CATCHING_UP);
+        match replica.request(&self.opts, &Request::CatchUp { peer }) {
+            Ok(_) => {
+                replica.set_health(HEALTHY);
+                true
+            }
+            Err(_) => {
+                replica.set_health(DEGRADED);
+                false
+            }
+        }
+    }
+
+    /// One (idempotent) write batch against shard `shard_idx`, committed
+    /// once a **quorum** of its replicas ack
+    /// ([`ShardRouter::effective_quorum`]). The batch must carry at
+    /// least one epoch-bearing reply (a `putsig` ack, or a trailing
+    /// `epoch` probe); the write is acked at the *minimum* epoch across
+    /// the acking replicas, and a later read only accepts replies at or
+    /// past that epoch — so an acked write is never served from a
+    /// replica that missed it. Degraded replicas are skipped rather than
+    /// written directly (a write applied out of step would fork their
+    /// epoch history); they rejoin through the heal pass that runs
+    /// first. A replica that fails retryably is marked degraded and the
+    /// write continues; below quorum the whole write fails with a
+    /// retryable [`ServerError::Overloaded`] and no id or epoch is
+    /// consumed router-side. Returns the first acking replica's replies.
     fn write_shard(
         &self,
         shard_idx: usize,
         reqs: &[Request],
     ) -> Result<Vec<Response>, ServerError> {
+        self.heal_shard(shard_idx);
         let shard = &self.shards[shard_idx];
+        let n = shard.replicas.len();
+        let quorum = self.effective_quorum(n);
         let mut first: Option<Vec<Response>> = None;
         let mut acked = u64::MAX;
+        let mut acks = 0usize;
+        let mut out: Vec<&str> = Vec::new();
         for replica in &shard.replicas {
-            let resps = replica.request_retrying(&self.opts, reqs)?;
-            let epoch = resps
-                .iter()
-                .rev()
-                .find_map(Response::epoch)
-                .ok_or_else(|| {
-                    ServerError::Corrupt(format!(
-                        "shard {shard_idx}: write batch reply carried no epoch"
-                    ))
-                })?;
-            acked = acked.min(epoch);
-            if first.is_none() {
-                first = Some(resps);
+            if replica.health() != HEALTHY {
+                out.push(replica.addr.as_str());
+                continue;
+            }
+            match replica.request_retrying(&self.opts, reqs) {
+                Ok(resps) => {
+                    let epoch = resps
+                        .iter()
+                        .rev()
+                        .find_map(Response::epoch)
+                        .ok_or_else(|| {
+                            ServerError::Corrupt(format!(
+                                "shard {shard_idx}: write batch reply carried no epoch"
+                            ))
+                        })?;
+                    acked = acked.min(epoch);
+                    acks += 1;
+                    if first.is_none() {
+                        first = Some(resps);
+                    }
+                }
+                Err(e) if e.is_retryable() => {
+                    replica.set_health(DEGRADED);
+                    out.push(replica.addr.as_str());
+                }
+                Err(e) => return Err(e),
             }
         }
+        if acks < quorum {
+            return Err(ServerError::Overloaded(format!(
+                "shard {shard_idx}: quorum lost — {acks} of {n} replica(s) acked (need \
+                 {quorum}; unavailable: [{}])",
+                out.join(", ")
+            )));
+        }
         shard.acked_epoch.fetch_max(acked, Ordering::AcqRel);
-        Ok(first.expect("every shard has at least one replica"))
+        Ok(first.expect("acks >= quorum >= 1"))
     }
 
     /// Scatter-gather k-NN by literal shape: bit-identical to querying a
@@ -557,8 +732,8 @@ impl ShardRouter {
     }
 
     /// Inserts a literal shape under the next fleet-assigned id; the id
-    /// is acked on **all** replicas of the owning shard before it is
-    /// returned (a failed write burns no id and may be retried).
+    /// is acked on a **quorum** of the owning shard's replicas before it
+    /// is returned (a failed write burns no id and may be retried).
     pub fn insert_shape(&self, shape: &str) -> Result<u64, ServerError> {
         let _fleet = self.fleet_lock.read().unwrap_or_else(|p| p.into_inner());
         let mut next = self.next_id.lock().unwrap_or_else(|p| p.into_inner());
@@ -596,8 +771,8 @@ impl ShardRouter {
         }
     }
 
-    /// Removes an id from its owning shard (all replicas). Returns
-    /// whether a live signature existed.
+    /// Removes an id from its owning shard (quorum-acked like every
+    /// write). Returns whether a live signature existed.
     pub fn remove(&self, id: u64) -> Result<bool, ServerError> {
         let _fleet = self.fleet_lock.read().unwrap_or_else(|p| p.into_inner());
         let resps = self.write_shard(
@@ -743,8 +918,79 @@ impl ShardRouter {
         count
     }
 
-    /// Human-readable fleet topology + epoch vector (the router's
-    /// `stats` reply).
+    /// One anti-entropy pass over the whole fleet: every replica answers
+    /// a `fingerprint` probe (publication epoch, live size, and the
+    /// process-stable live-set fingerprint). A replica lagging its
+    /// shard's acked epoch is marked degraded and put through a
+    /// WAL-suffix catch-up from a healthy peer; an unreachable one is
+    /// marked degraded for the next pass. Two replicas claiming the
+    /// **same** epoch with **different** fingerprints is silent
+    /// divergence — a loud, non-retryable [`ServerError::Corrupt`],
+    /// because no amount of retrying makes bit-different replicas agree
+    /// and serving from either would violate the quorum invariant.
+    /// Returns the per-replica health report (the fleet `fingerprint`
+    /// surface).
+    pub fn probe_health(&self) -> Result<String, ServerError> {
+        let mut lines = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let acked = shard.acked_epoch.load(Ordering::Acquire);
+            let mut seen: Vec<(u64, u64, String)> = Vec::new();
+            for (idx, replica) in shard.replicas.iter().enumerate() {
+                match replica.request(&self.opts, &Request::Fingerprint) {
+                    Ok(Response::Fingerprint { epoch, len, hash }) => {
+                        for (peer_epoch, peer_hash, peer) in &seen {
+                            if *peer_epoch == epoch && *peer_hash != hash {
+                                return Err(ServerError::Corrupt(format!(
+                                    "shard {i} diverged: {} and {peer} both claim epoch \
+                                     {epoch} with different live-set fingerprints \
+                                     ({hash:016x} != {peer_hash:016x}); an acked write is \
+                                     unaccounted for on one of them",
+                                    replica.addr
+                                )));
+                            }
+                        }
+                        seen.push((epoch, hash, replica.addr.clone()));
+                        let state = if epoch < acked {
+                            replica.set_health(DEGRADED);
+                            if self.catch_up_replica(i, idx) {
+                                "rejoined after catch-up"
+                            } else {
+                                "degraded (stale, awaiting catch-up)"
+                            }
+                        } else {
+                            replica.set_health(HEALTHY);
+                            "healthy"
+                        };
+                        lines.push(format!(
+                            "shard {i} replica {}: {state}, epoch {epoch}, len {len}, \
+                             fingerprint {hash:016x}",
+                            replica.addr
+                        ));
+                    }
+                    Ok(_) => {
+                        return Err(ServerError::Corrupt(format!(
+                            "shard {i} replica {} answered `fingerprint` with a different \
+                             reply",
+                            replica.addr
+                        )))
+                    }
+                    Err(e) => {
+                        replica.set_health(DEGRADED);
+                        lines.push(format!(
+                            "shard {i} replica {}: degraded ({e})",
+                            replica.addr
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(lines.join("\n"))
+    }
+
+    /// Human-readable fleet topology + epoch vector + per-replica health
+    /// (the router's `stats` reply). Health states are the router's
+    /// current view — no probes are sent; `fingerprint` runs the active
+    /// anti-entropy pass.
     pub fn stats_line(&self) -> String {
         let mut lines = vec![format!(
             "router: {} shard(s), bounds [{}], next id {}, k = {}",
@@ -754,11 +1000,17 @@ impl ShardRouter {
             self.opts.k
         )];
         for (i, shard) in self.shards.iter().enumerate() {
-            let addrs: Vec<&str> = shard.replicas.iter().map(|r| r.addr.as_str()).collect();
+            let addrs: Vec<String> = shard
+                .replicas
+                .iter()
+                .map(|r| format!("{} ({})", r.addr, r.health_name()))
+                .collect();
             lines.push(format!(
-                "shard {i}: start {}, acked epoch {}, replicas [{}]",
+                "shard {i}: start {}, acked epoch {}, write quorum {}/{}, replicas [{}]",
                 self.map.starts()[i],
                 shard.acked_epoch.load(Ordering::Acquire),
+                self.effective_quorum(shard.replicas.len()),
+                shard.replicas.len(),
                 addrs.join(", ")
             ));
         }
@@ -965,6 +1217,21 @@ impl RouterServer {
                 Response::Ok {
                     msg: format!("checkpoint forwarded to {n} shard replica(s)"),
                 }
+            }
+            Request::Fingerprint => Response::Info {
+                body: self.router.probe_health()?,
+            },
+            Request::WalSuffix { .. } => {
+                return Err(ServerError::bad(
+                    "the router holds no write-ahead log; request `walsuffix` from a shard \
+                     replica directly",
+                ))
+            }
+            Request::CatchUp { .. } => {
+                return Err(ServerError::bad(
+                    "catch-up is replica-level; the router schedules it automatically — run \
+                     `fingerprint` to force a health pass",
+                ))
             }
             Request::TestPanic => {
                 return Err(ServerError::bad(
@@ -1175,7 +1442,8 @@ commands (scatter-gather; same grammar as a single server):\n\
 \x20 remove <id>                        drop a signature by id\n\
 \x20 track <graph.edges>                attach a mutating graph for deltas\n\
 \x20 addedge <a> <b> / deledge <a> <b>  delta the tracked graph, fan out to shards\n\
-\x20 stats                              fleet topology + epoch vector\n\
+\x20 stats                              fleet topology, epoch vector, replica health\n\
+\x20 fingerprint                        anti-entropy pass: probe + heal every replica\n\
 \x20 epoch                              summed shard epochs + live size\n\
 \x20 checkpoint                         checkpoint every shard replica\n\
 \x20 shutdown                           drain the router (shards keep serving)\n\

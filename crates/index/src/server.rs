@@ -36,6 +36,12 @@
 //!                                     (k-1)-hop dirty set is recomputed
 //!                                     and published as one epoch
 //! stats | epoch | help | quit
+//! fingerprint                         epoch + live size + live-set hash
+//!                                     (the anti-entropy probe)
+//! walsuffix <from_epoch>              stream WAL records past an epoch
+//!                                     to a catching-up peer replica
+//! catchup <host:port>                 replay a peer's WAL suffix through
+//!                                     the journaled write path
 //! save <path>                         persist the current index
 //! checkpoint                          snapshot + reset the WAL now
 //! shutdown                            drain, checkpoint, exit cleanly
@@ -182,6 +188,10 @@ pub struct NedServer {
     /// Set by `shutdown`; the acceptor checks it per accepted connection
     /// and connection loops check it per frame.
     shutting_down: AtomicBool,
+    /// Set while a `catchup` is replaying a peer's WAL suffix. Queries
+    /// answer [`ServerError::CatchingUp`] until it clears, so a stale
+    /// replica never serves a read the router would have to repair.
+    catching_up: AtomicBool,
     /// Where the acceptor is listening — `initiate_shutdown` connects
     /// here once to wake a blocked `accept`.
     local_addr: Mutex<Option<SocketAddr>>,
@@ -214,6 +224,7 @@ impl NedServer {
             query_threads,
             config: ServerConfig::default(),
             shutting_down: AtomicBool::new(false),
+            catching_up: AtomicBool::new(false),
             local_addr: Mutex::new(None),
             conns: Mutex::new(HashMap::new()),
             conn_seq: AtomicU64::new(0),
@@ -346,6 +357,91 @@ impl NedServer {
         }
     }
 
+    /// Streams the WAL suffix past this server's epoch from `peer` and
+    /// applies it through the journaled write path (the `catchup`
+    /// command). Each streamed record carries the epoch it originally
+    /// published as; it is re-journaled into this server's own WAL and
+    /// published at that exact epoch, so the caught-up replica is
+    /// bit-identical to the peer at every acknowledged epoch. While the
+    /// replay runs, queries answer [`ServerError::CatchingUp`].
+    pub fn catch_up_from(&self, peer: &str) -> Result<String, ServerError> {
+        struct ClearOnExit<'a>(&'a AtomicBool);
+        impl Drop for ClearOnExit<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::Release);
+            }
+        }
+        if self.catching_up.swap(true, Ordering::AcqRel) {
+            return Err(ServerError::CatchingUp(
+                "a catch-up is already in progress".into(),
+            ));
+        }
+        let _clear = ClearOnExit(&self.catching_up);
+        let mut client = WireClient::builder()
+            .timeouts(self.config.read_timeout, self.config.write_timeout)
+            .connect(peer)
+            .map_err(|e| ServerError::Io(format!("{peer}: {e}")))?;
+        let start_epoch = self.reader().epoch();
+        let mut applied = 0u64;
+        loop {
+            let from_epoch = self.reader().epoch();
+            let (peer_epoch, records) = match client.request(&Request::WalSuffix { from_epoch })? {
+                Response::WalChunk { epoch, records, .. } => (epoch, records),
+                Response::Error(e) => return Err(e),
+                other => {
+                    return Err(ServerError::Corrupt(format!(
+                        "peer answered a wal suffix request with {other:?}"
+                    )))
+                }
+            };
+            if records.is_empty() {
+                break; // nothing past our epoch: caught up
+            }
+            let this_round = self.apply_wal_records(&records)?;
+            applied += this_round as u64;
+            if this_round == 0 || self.reader().epoch() >= peer_epoch {
+                break; // no forward progress, or level with the peer
+            }
+        }
+        self.after_write();
+        Ok(format!(
+            "caught up {applied} record(s) from {peer}: epoch {start_epoch} -> {}",
+            self.reader().epoch()
+        ))
+    }
+
+    /// Applies streamed WAL records in order through
+    /// [`IndexWriter::try_apply`] — journal-before-publish, exactly the
+    /// path a local write takes. Records at or below the current epoch
+    /// are skipped (already applied); a gap past `epoch + 1` is
+    /// [`ServerError::Corrupt`], because the intermediate history cannot
+    /// be reproduced. Returns how many records were applied.
+    fn apply_wal_records(&self, records: &[Vec<u8>]) -> Result<usize, ServerError> {
+        self.raw_write(|w| {
+            let mut applied = 0usize;
+            for record in records {
+                let (epoch, ops) = crate::durable::decode_batch(record).map_err(|e| {
+                    ServerError::Corrupt(format!("peer wal record undecodable: {e}"))
+                })?;
+                if epoch <= w.epoch() {
+                    continue;
+                }
+                if epoch != w.epoch() + 1 {
+                    return Err(ServerError::Corrupt(format!(
+                        "peer wal suffix jumps from epoch {} to {epoch}; \
+                         the acknowledged history between them is unreachable",
+                        w.epoch()
+                    )));
+                }
+                w.try_apply(ops).map_err(|e| {
+                    ServerError::Io(format!("journal append failed mid catch-up: {e}"))
+                })?;
+                applied += 1;
+            }
+            Ok(applied)
+        })
+    }
+
     /// A read handle onto the served index.
     pub fn reader(&self) -> IndexReader {
         self.index.reader()
@@ -455,6 +551,33 @@ impl NedServer {
     /// structured [`ServerError`] taxonomy, rendered into
     /// [`Response::Error`] by the surfaces.
     pub fn execute(&self, req: &Request) -> Result<Response, ServerError> {
+        // A replica mid catch-up is at *some* consistent old epoch, but
+        // serving it would hand the router a read it immediately has to
+        // repair — answer with the dedicated retry-elsewhere state
+        // instead. Direct writes are refused too: one applied between
+        // two streamed records would take an epoch the peer's WAL
+        // assigns different content, forking the replica's history.
+        // Epoch/fingerprint probes keep working so the router can watch
+        // the catch-up make progress.
+        if self.catching_up.load(Ordering::Acquire)
+            && matches!(
+                req,
+                Request::Query { .. }
+                    | Request::Range { .. }
+                    | Request::Sig { .. }
+                    | Request::RangeSig { .. }
+                    | Request::Add { .. }
+                    | Request::AddSig { .. }
+                    | Request::PutSig { .. }
+                    | Request::Remove { .. }
+                    | Request::AddEdge { .. }
+                    | Request::DelEdge { .. }
+            )
+        {
+            return Err(ServerError::CatchingUp(
+                "replica is replaying a peer's WAL suffix; retry on another replica".into(),
+            ));
+        }
         Ok(match req {
             Request::Help => Response::Info {
                 body: HELP_BODY.to_string(),
@@ -469,6 +592,48 @@ impl NedServer {
                     len: snap.len() as u64,
                 }
             }
+            Request::Fingerprint => {
+                let (snap, epoch) = self.reader().snapshot_with_epoch();
+                Response::Fingerprint {
+                    epoch,
+                    len: snap.len() as u64,
+                    hash: snap.live_set_fingerprint(),
+                }
+            }
+            Request::WalSuffix { from_epoch } => {
+                // Under the writer lock a checkpoint cannot reset the
+                // log mid-read, and no new record can land half-written.
+                let writer = self.index.writer();
+                let Some(wal) = writer.wal() else {
+                    return Err(ServerError::bad(
+                        "no write-ahead log attached; WAL suffix streaming needs `serve --wal`",
+                    ));
+                };
+                let base = wal.base();
+                if *from_epoch < base {
+                    // The records the peer needs were checkpointed away.
+                    // Deliberately non-retryable: streaming can never
+                    // succeed, the peer must resync from a snapshot.
+                    return Err(ServerError::bad(format!(
+                        "wal suffix unavailable: the log was reset at checkpoint epoch {base}, \
+                         past the requested epoch {from_epoch}; resync from a snapshot"
+                    )));
+                }
+                let records: Vec<Vec<u8>> = wal
+                    .records()
+                    .map_err(|e| ServerError::Io(format!("wal read failed: {e}")))?
+                    .into_iter()
+                    .filter(|r| crate::durable::record_epoch(r).is_some_and(|e| e > *from_epoch))
+                    .collect();
+                Response::WalChunk {
+                    base,
+                    epoch: writer.epoch(),
+                    records,
+                }
+            }
+            Request::CatchUp { peer } => Response::Ok {
+                msg: self.catch_up_from(peer)?,
+            },
             Request::Query { path, node, top } => {
                 let sig = self.extract(path, *node)?;
                 let (snap, epoch) = self.reader().snapshot_with_epoch();
@@ -862,10 +1027,45 @@ const HELP_BODY: &str = "commands:\n\
     \x20 stats                              index shape + epoch + memo +\n\
     \x20                                    serving counters + durability\n\
     \x20 epoch                              publication count + live size\n\
+    \x20 fingerprint                        epoch + live size + live-set\n\
+    \x20                                    hash (the anti-entropy probe)\n\
+    \x20 walsuffix <from_epoch>             stream WAL records past an\n\
+    \x20                                    epoch to a catching-up peer\n\
+    \x20 catchup <host:port>                replay a peer's WAL suffix\n\
+    \x20                                    through the journaled path\n\
     \x20 save <path>                        persist the current index\n\
     \x20 checkpoint                         snapshot now + reset the WAL\n\
     \x20 shutdown                           drain, checkpoint, exit cleanly\n\
     \x20 quit";
+
+/// Hard cap on the total wall-clock a [`WireClient::call_with_retry`]
+/// ladder may spend sleeping-and-retrying. A scatter-gather leg pointed
+/// at a dead replica gives up here and lets the router fail over,
+/// regardless of how many attempts the budget nominally allows.
+pub const RETRY_DEADLINE: Duration = Duration::from_secs(8);
+
+/// The backoff before retry `attempt` (1-based): exponential from 20 ms
+/// doubling to a 2 s ceiling, jittered deterministically into
+/// `[base/2, base]` by an xorshift* mix of `(seed, attempt)`. The seed
+/// is derived from the peer address, so two clients hammering the same
+/// dead replica follow *different* schedules (no thundering herd) while
+/// any one schedule is reproducible in tests.
+fn retry_backoff(attempt: u32, seed: u64) -> Duration {
+    let exp = attempt.saturating_sub(1).min(7);
+    let base_ms = (20u64 << exp).min(2_000);
+    let mut x = seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    Duration::from_millis(base_ms / 2 + x % (base_ms / 2 + 1))
+}
+
+/// The sleep to take before retry `attempt`, or `None` when taking it
+/// would cross `deadline` — the ladder's hard stop.
+fn retry_sleep(attempt: u32, seed: u64, elapsed: Duration, deadline: Duration) -> Option<Duration> {
+    let delay = retry_backoff(attempt, seed);
+    (elapsed + delay < deadline).then_some(delay)
+}
 
 /// A blocking client for the framed TCP protocol — used by the CLI, the
 /// shard router, the load generator, and the loopback tests.
@@ -999,9 +1199,14 @@ impl WireClient {
     /// reconnect-and-retry using the builder-configured attempt budget,
     /// for payloads that are safe to send twice — **idempotent reads
     /// only**. A retried write could double-apply: the server may have
-    /// executed a call whose reply was lost. Waits 20 ms before the
-    /// second attempt, doubling up to 2 s; returns the last error if no
-    /// attempt succeeds.
+    /// executed a call whose reply was lost. The backoff before retry
+    /// `n` is exponential from 20 ms (capped at 2 s) with deterministic
+    /// per-peer jitter in `[base/2, base]`, so concurrent scatter-gather
+    /// legs retrying the same dead replica spread out instead of
+    /// thundering in lockstep; the whole ladder is cut off at a hard
+    /// [`RETRY_DEADLINE`] so a dead peer can never stall a leg for the
+    /// full unjittered schedule. Returns the last error if no attempt
+    /// succeeds.
     pub fn call_with_retry(&mut self, payload: &str) -> Result<String, wire::WireError> {
         self.retry_inner(payload, self.retry_attempts)
     }
@@ -1018,12 +1223,19 @@ impl WireClient {
     }
 
     fn retry_inner(&mut self, payload: &str, attempts: u32) -> Result<String, wire::WireError> {
-        let mut delay = Duration::from_millis(20);
+        let seed = self
+            .addr
+            .map(|a| ned_core::store::fnv1a64(a.to_string().as_bytes()))
+            .unwrap_or(0x4e45_4457); // "NEDW": a fixed seed beats none
+        let started = Instant::now();
         let mut last = None;
         for attempt in 0..attempts.max(1) {
             if attempt > 0 {
+                let Some(delay) = retry_sleep(attempt, seed, started.elapsed(), RETRY_DEADLINE)
+                else {
+                    break; // the hard deadline: stop burning time on a dead peer
+                };
                 std::thread::sleep(delay);
-                delay = (delay * 2).min(Duration::from_secs(2));
                 if let Err(e) = self.redial() {
                     last = Some(wire::WireError::Io(e));
                     continue;
@@ -1127,5 +1339,64 @@ impl WireClient {
         let mut out = Vec::new();
         self.stream.read_to_end(&mut out)?;
         Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_jitter_stays_within_the_exponential_envelope() {
+        for attempt in 1..=10u32 {
+            let base_ms = (20u64 << attempt.saturating_sub(1).min(7)).min(2_000);
+            for seed in [0u64, 1, 42, u64::MAX, 0x4e45_4457] {
+                let d = retry_backoff(attempt, seed).as_millis() as u64;
+                assert!(
+                    (base_ms / 2..=base_ms).contains(&d),
+                    "attempt {attempt} seed {seed}: {d}ms outside [{}, {base_ms}]",
+                    base_ms / 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_seeds_desynchronize_concurrent_legs() {
+        // Two legs retrying the same dead replica from different client
+        // addresses must not sleep in lockstep: across a whole ladder,
+        // at least one rung has to differ for distinct seeds.
+        let ladder = |seed: u64| {
+            (1..=6u32)
+                .map(|a| retry_backoff(a, seed))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(ladder(1), ladder(2));
+        assert_ne!(ladder(0xdead_beef), ladder(0xfeed_face));
+    }
+
+    #[test]
+    fn retry_ladder_respects_the_hard_deadline() {
+        // Simulate an absurd attempt budget against a dead peer: the
+        // planned sleeps must stop before the deadline, and the total
+        // time slept can never cross it.
+        for seed in [7u64, 0x4e45_4457] {
+            let mut elapsed = Duration::ZERO;
+            let mut stopped = false;
+            for attempt in 1..=1_000u32 {
+                match retry_sleep(attempt, seed, elapsed, RETRY_DEADLINE) {
+                    Some(d) => elapsed += d,
+                    None => {
+                        stopped = true;
+                        break;
+                    }
+                }
+            }
+            assert!(stopped, "a 1000-attempt ladder must hit the deadline");
+            assert!(
+                elapsed < RETRY_DEADLINE,
+                "slept {elapsed:?} past the {RETRY_DEADLINE:?} deadline"
+            );
+        }
     }
 }

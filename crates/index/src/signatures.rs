@@ -254,6 +254,27 @@ impl SignatureIndex {
         &self.bank
     }
 
+    /// A process-stable fingerprint of the live set: FNV-1a over the
+    /// id-sorted `(id, stable tree fingerprint)` pairs, little-endian.
+    /// Two replicas that applied the same acknowledged history agree on
+    /// it regardless of insertion order, shard layout, or interner state
+    /// — the anti-entropy probe compares these across a fleet to detect
+    /// silent divergence ([`ned_core::Request::Fingerprint`]).
+    pub fn live_set_fingerprint(&self) -> u64 {
+        let mut pairs: Vec<(u64, u64)> = self
+            .forest
+            .entries()
+            .map(|(id, sig)| (id, sketch::stable_tree_fingerprint(sig.tree())))
+            .collect();
+        pairs.sort_unstable();
+        let mut bytes = Vec::with_capacity(pairs.len() * 16);
+        for (id, fp) in pairs {
+            bytes.extend_from_slice(&id.to_le_bytes());
+            bytes.extend_from_slice(&fp.to_le_bytes());
+        }
+        store::fnv1a64(&bytes)
+    }
+
     /// Splits this index into `shards` disjoint indexes by **id range**
     /// for a scatter-gather fleet: entries are ordered by id and cut into
     /// near-equal contiguous runs. Returns `(starts, indexes)` where

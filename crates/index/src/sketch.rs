@@ -126,6 +126,7 @@ fn lane_l1(a: &[u16], b: &[u16]) -> u32 {
 fn stable_subtree_fingerprints(tree: &ned_tree::Tree) -> Vec<u64> {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    debug_assert!(!tree.is_empty(), "signature trees are never empty");
     let n = tree.len();
     let mut out = vec![0u64; n];
     let mut kids: Vec<u64> = Vec::new();
@@ -145,6 +146,18 @@ fn stable_subtree_fingerprints(tree: &ned_tree::Tree) -> Vec<u64> {
         out[v as usize] = h;
     }
     out
+}
+
+/// The root's stable subtree fingerprint: a process-stable,
+/// isomorphism-invariant hash of the whole tree's shape (two trees hash
+/// equal iff their sorted-children bottom-up FNV-1a combines collide —
+/// in particular whenever they are isomorphic). The replication layer's
+/// live-set fingerprint folds one of these per live id, so two replicas
+/// holding the same acknowledged history agree on it **across
+/// processes** — which interner root classes, being process-local,
+/// could never provide.
+pub fn stable_tree_fingerprint(tree: &ned_tree::Tree) -> u64 {
+    stable_subtree_fingerprints(tree)[0]
 }
 
 /// Coarse cap on the process-wide sketch cache: ~150 bytes per entry,
@@ -357,11 +370,37 @@ impl std::fmt::Display for SketchStats {
 /// its dispatch, small enough that the `par_map` pool balances.
 const SCAN_CHUNK: usize = 1024;
 
-/// The flat SoA sketch bank: one row per live signature, all lanes in
-/// one contiguous `u16` array, scanned linearly at query time and fed
-/// into the shared-radius exact refine. Maintained by
+/// Rows per copy-on-write lane chunk: 256 rows × [`SKETCH_DIM`] lanes ×
+/// 2 bytes = 36 KB — small enough that a churn write republishing one
+/// row copies 36 KB instead of the whole bank, large enough that the
+/// scan still streams long contiguous runs.
+const CHUNK_ROWS: usize = 256;
+
+/// Chunk index and in-chunk lane offset for row `r`.
+#[inline]
+fn chunk_loc(r: usize) -> (usize, usize) {
+    (r / CHUNK_ROWS, (r % CHUNK_ROWS) * SKETCH_DIM)
+}
+
+/// Splits a flat row-major lane buffer into `Arc`-shared chunks.
+fn chunk_lanes(flat: &[u16]) -> Vec<Arc<Vec<u16>>> {
+    flat.chunks(CHUNK_ROWS * SKETCH_DIM)
+        .map(|c| Arc::new(c.to_vec()))
+        .collect()
+}
+
+/// The SoA sketch bank: one row per live signature, lanes stored in
+/// fixed-size **`Arc`-shared chunks**, scanned linearly at query time
+/// and fed into the shared-radius exact refine. Maintained by
 /// [`crate::SignatureIndex`] on every insert/replace/remove so rows
 /// mirror the live set exactly.
+///
+/// Cloning the bank — which happens on **every publication** (the
+/// concurrent index snapshots the master copy) — shares the lane chunks
+/// by pointer; the writer's next mutation copies only the chunk it
+/// touches ([`Arc::make_mut`]). That turns the per-publication lane
+/// copy from O(rows) to O(chunks touched), the difference the
+/// `delta/ba4000-edge-churn` trajectory entry measures.
 ///
 /// ```
 /// use ned_core::NodeSignature;
@@ -391,8 +430,11 @@ const SCAN_CHUNK: usize = 1024;
 #[derive(Debug, Clone, Default)]
 pub struct SketchBank {
     ids: Vec<u64>,
-    /// Row `r`'s lanes at `lanes[r * SKETCH_DIM..][..SKETCH_DIM]`.
-    lanes: Vec<u16>,
+    /// Row `r`'s lanes live in chunk `r / CHUNK_ROWS` at offset
+    /// `(r % CHUNK_ROWS) * SKETCH_DIM`; rows never straddle chunks. The
+    /// tail chunk may hold stale lanes past the live row count after a
+    /// swap-remove — they are never read and never serialized.
+    lanes: Vec<Arc<Vec<u16>>>,
     sigs: Vec<NodeSignature>,
     row_of: HashMap<u64, u32>,
     counters: Arc<SketchCounters>,
@@ -412,30 +454,33 @@ impl SketchBank {
             sketch_cached(entries[i].1.prepared(), &mut lanes);
             lanes
         });
-        let mut bank = SketchBank {
-            ids: Vec::with_capacity(entries.len()),
-            lanes: Vec::with_capacity(entries.len() * SKETCH_DIM),
-            sigs: Vec::with_capacity(entries.len()),
-            row_of: HashMap::with_capacity(entries.len()),
-            counters: Arc::new(SketchCounters::default()),
-        };
+        let mut ids: Vec<u64> = Vec::with_capacity(entries.len());
+        let mut flat: Vec<u16> = Vec::with_capacity(entries.len() * SKETCH_DIM);
+        let mut sigs: Vec<NodeSignature> = Vec::with_capacity(entries.len());
+        let mut row_of: HashMap<u64, u32> = HashMap::with_capacity(entries.len());
         for ((id, sig), lanes) in entries.iter().zip(rows) {
-            match bank.row_of.get(id) {
+            match row_of.get(id) {
                 // Later duplicates win, matching forest replace semantics.
                 Some(&r) => {
                     let r = r as usize;
-                    bank.lanes[r * SKETCH_DIM..(r + 1) * SKETCH_DIM].copy_from_slice(&lanes);
-                    bank.sigs[r] = sig.clone();
+                    flat[r * SKETCH_DIM..(r + 1) * SKETCH_DIM].copy_from_slice(&lanes);
+                    sigs[r] = sig.clone();
                 }
                 None => {
-                    bank.row_of.insert(*id, bank.ids.len() as u32);
-                    bank.ids.push(*id);
-                    bank.lanes.extend_from_slice(&lanes);
-                    bank.sigs.push(sig.clone());
+                    row_of.insert(*id, ids.len() as u32);
+                    ids.push(*id);
+                    flat.extend_from_slice(&lanes);
+                    sigs.push(sig.clone());
                 }
             }
         }
-        bank
+        SketchBank {
+            ids,
+            lanes: chunk_lanes(&flat),
+            sigs,
+            row_of,
+            counters: Arc::new(SketchCounters::default()),
+        }
     }
 
     /// Rebuilds a bank from entries plus their **persisted** lanes (the
@@ -451,7 +496,7 @@ impl SketchBank {
         }
         SketchBank {
             ids: entries.iter().map(|&(id, _)| id).collect(),
-            lanes,
+            lanes: chunk_lanes(&lanes),
             sigs: entries.iter().map(|(_, s)| s.clone()).collect(),
             row_of,
             counters: Arc::new(SketchCounters::default()),
@@ -468,32 +513,34 @@ impl SketchBank {
         self.ids.is_empty()
     }
 
-    /// Row-major lanes in row order, paired with the id list in the
-    /// same order — the codec's serialization view.
-    pub fn rows(&self) -> (&[u64], &[u16]) {
-        (&self.ids, &self.lanes)
-    }
-
     /// Inserts or replaces the row for `id`.
     pub fn upsert(&mut self, id: u64, sig: &NodeSignature) {
         match self.row_of.get(&id) {
             Some(&r) => {
                 let r = r as usize;
-                sketch_cached(
-                    sig.prepared(),
-                    &mut self.lanes[r * SKETCH_DIM..(r + 1) * SKETCH_DIM],
-                );
+                let mut lanes = [0u16; SKETCH_DIM];
+                sketch_cached(sig.prepared(), &mut lanes);
+                self.row_lanes_mut(r).copy_from_slice(&lanes);
                 self.sigs[r] = sig.clone();
             }
             None => {
                 let r = self.ids.len();
                 self.row_of.insert(id, r as u32);
                 self.ids.push(id);
-                self.lanes.resize((r + 1) * SKETCH_DIM, 0);
-                sketch_cached(
-                    sig.prepared(),
-                    &mut self.lanes[r * SKETCH_DIM..(r + 1) * SKETCH_DIM],
-                );
+                let mut lanes = [0u16; SKETCH_DIM];
+                sketch_cached(sig.prepared(), &mut lanes);
+                let (c, off) = chunk_loc(r);
+                if c == self.lanes.len() {
+                    self.lanes
+                        .push(Arc::new(Vec::with_capacity(CHUNK_ROWS * SKETCH_DIM)));
+                }
+                let chunk = Arc::make_mut(&mut self.lanes[c]);
+                // The tail chunk may still hold a swap-removed row's
+                // stale lanes; overwrite in place instead of growing.
+                if chunk.len() < off + SKETCH_DIM {
+                    chunk.resize(off + SKETCH_DIM, 0);
+                }
+                chunk[off..off + SKETCH_DIM].copy_from_slice(&lanes);
                 self.sigs.push(sig.clone());
             }
         }
@@ -511,13 +558,18 @@ impl SketchBank {
             let moved = self.ids[last];
             self.ids.swap(r, last);
             self.sigs.swap(r, last);
-            let (head, tail) = self.lanes.split_at_mut(last * SKETCH_DIM);
-            head[r * SKETCH_DIM..(r + 1) * SKETCH_DIM].copy_from_slice(&tail[..SKETCH_DIM]);
+            let last_row: [u16; SKETCH_DIM] = self.row_lanes(last).try_into().expect("row dim");
+            self.row_lanes_mut(r).copy_from_slice(&last_row);
             self.row_of.insert(moved, r as u32);
         }
         self.ids.pop();
         self.sigs.pop();
-        self.lanes.truncate(last * SKETCH_DIM);
+        // The vacated tail row's lanes go stale in place (never read);
+        // only a fully emptied tail chunk is dropped — neither path
+        // copies a shared chunk just to shrink it.
+        if chunk_loc(last).1 == 0 {
+            self.lanes.pop();
+        }
         true
     }
 
@@ -540,7 +592,15 @@ impl SketchBank {
 
     #[inline]
     fn row_lanes(&self, r: usize) -> &[u16] {
-        &self.lanes[r * SKETCH_DIM..(r + 1) * SKETCH_DIM]
+        let (c, off) = chunk_loc(r);
+        &self.lanes[c][off..off + SKETCH_DIM]
+    }
+
+    /// Mutable view of row `r`, copying its chunk first if a clone still
+    /// shares it (the copy-on-write step).
+    fn row_lanes_mut(&mut self, r: usize) -> &mut [u16] {
+        let (c, off) = chunk_loc(r);
+        &mut Arc::make_mut(&mut self.lanes[c])[off..off + SKETCH_DIM]
     }
 
     /// All rows' sketch distances to `qs`, computed chunk-parallel on
@@ -792,6 +852,48 @@ mod tests {
         // Row 3 now carries db[10]'s signature.
         let three = hits.iter().find(|h| h.id == 3).expect("id 3 live");
         assert_eq!(three.distance as u64, q.distance(&db[10]));
+    }
+
+    #[test]
+    fn clone_is_copy_on_write_per_chunk() {
+        // > CHUNK_ROWS rows → two lane chunks, so a clone + one-row write
+        // must copy exactly the touched chunk and keep sharing the other.
+        let db = sigs(300, 3, 8);
+        let entries: Vec<(u64, NodeSignature)> = db
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| (i as u64, s))
+            .collect();
+        let mut bank = SketchBank::bulk(&entries, 0);
+        assert_eq!(bank.lanes.len(), 2, "300 rows span two 256-row chunks");
+
+        let snapshot = bank.clone();
+        for (c, chunk) in bank.lanes.iter().enumerate() {
+            assert!(
+                Arc::ptr_eq(chunk, &snapshot.lanes[c]),
+                "clone shares chunk {c} by pointer"
+            );
+        }
+
+        let before: Vec<u16> = bank.lanes_of(0).expect("row 0 live").to_vec();
+        bank.upsert(0, &db[1]);
+        assert!(
+            !Arc::ptr_eq(&bank.lanes[0], &snapshot.lanes[0]),
+            "writing row 0 copied chunk 0"
+        );
+        assert!(
+            Arc::ptr_eq(&bank.lanes[1], &snapshot.lanes[1]),
+            "chunk 1 is untouched and still shared"
+        );
+        // The snapshot still reads the pre-write lanes; the writer reads
+        // the new ones.
+        assert_eq!(snapshot.lanes_of(0).expect("row 0 live"), &before[..]);
+        assert_eq!(
+            bank.lanes_of(0).expect("row 0 live"),
+            bank.lanes_of(1).expect("row 1 live"),
+            "row 0 now carries db[1]'s sketch"
+        );
     }
 
     #[test]

@@ -110,6 +110,7 @@ fn fast_options(k: usize, next_id: u64) -> RouterOptions {
         write_timeout: Some(Duration::from_secs(2)),
         retry_attempts: 2,
         read_rounds: 3,
+        quorum: 0,
     }
 }
 

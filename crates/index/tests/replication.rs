@@ -1,0 +1,501 @@
+//! Self-healing replication, pinned end to end: a replica respawned from
+//! a **stale checkpoint** streams the WAL suffix past its epoch from a
+//! peer over the wire protocol, re-journals every record through its own
+//! journal-before-publish path, and rejoins **bit-identical** to the
+//! quorum — same epoch, same live size, same process-stable live-set
+//! fingerprint. Along the way: quorum writes keep succeeding with a
+//! replica down and never lose an acked write, a WAL truncated by a
+//! checkpoint refuses suffix streaming loudly instead of resurrecting a
+//! gap, and the [`ServerError`] retryability taxonomy drives router
+//! failover exactly as each variant promises.
+
+use ned_core::{Request, Response, ServerError};
+use ned_graph::{generators, Graph};
+use ned_index::durable::{DurableIndex, DurableOptions};
+use ned_index::router::{RouterOptions, ShardMap, ShardRouter};
+use ned_index::server::WireClient;
+use ned_index::signatures::SignatureIndex;
+use ned_index::NedServer;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn ba_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::barabasi_albert(n, 2, &mut rng)
+}
+
+fn build_index(g: &Graph, k: usize) -> SignatureIndex {
+    let mut index = SignatureIndex::new(k, 16, 5);
+    index.insert_graph(g, &g.nodes().collect::<Vec<_>>());
+    index
+}
+
+fn shape_of(g: &Graph, node: u32, k: usize) -> String {
+    let sig = ned_core::NodeSignature::extract(g, node, k);
+    ned_tree::serialize::print(sig.tree())
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ned-repl-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn fast_options(k: usize, next_id: u64) -> RouterOptions {
+    RouterOptions {
+        k,
+        next_id,
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        retry_attempts: 2,
+        read_rounds: 3,
+        quorum: 0,
+    }
+}
+
+/// One in-process durable replica on an OS-assigned (or given) port.
+struct ReplicaHandle {
+    server: Arc<NedServer>,
+    addr: String,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReplicaHandle {
+    fn spawn(index_path: &Path, wal_path: &Path, listener: TcpListener) -> ReplicaHandle {
+        let (durable, _report) =
+            DurableIndex::recover(index_path, wal_path, DurableOptions::default())
+                .expect("recover replica");
+        let server = Arc::new(NedServer::with_durability(durable, 1, 1));
+        let addr = listener.local_addr().expect("bound").to_string();
+        let for_thread = Arc::clone(&server);
+        let thread = std::thread::spawn(move || {
+            let _ = for_thread.serve_tcp(listener);
+        });
+        ReplicaHandle {
+            server,
+            addr,
+            thread: Some(thread),
+        }
+    }
+
+    fn shutdown(mut self) {
+        self.server.initiate_shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReplicaHandle {
+    fn drop(&mut self) {
+        self.server.initiate_shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr`, retrying briefly — the previous listener's close may
+/// still be settling when the replacement replica boots.
+fn retry_bind(addr: &str) -> TcpListener {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(l) => return l,
+            Err(e) if std::time::Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("rebind {addr}: {e}"),
+        }
+    }
+}
+
+fn fingerprint_of(addr: &str) -> (u64, u64, u64) {
+    let mut client = WireClient::connect(addr).expect("dial");
+    match client.request(&Request::Fingerprint).expect("fingerprint") {
+        Response::Fingerprint { epoch, len, hash } => (epoch, len, hash),
+        other => panic!("expected fingerprint, got {other:?}"),
+    }
+}
+
+/// The tentpole pin: three durable replicas of one shard; one is lost
+/// mid-churn while quorum writes keep landing, then respawned from a
+/// **stale** checkpoint (its WAL gone — the older-checkpoint crash
+/// shape), streams the missing WAL suffix from a peer, and rejoins with
+/// the exact fingerprint the quorum carries. No acked write is lost at
+/// any point.
+#[test]
+fn stale_respawn_streams_wal_suffix_and_rejoins_bit_identical() {
+    let k = 3;
+    let g = ba_graph(40, 17);
+    let index = build_index(&g, k);
+    let dir = scratch_dir("rejoin");
+
+    // Three independent durable copies of the same shard state, plus a
+    // pristine copy of r3's checkpoint to respawn stale from.
+    let paths: Vec<(PathBuf, PathBuf)> = (1..=3)
+        .map(|r| (dir.join(format!("r{r}.idx")), dir.join(format!("r{r}.wal"))))
+        .collect();
+    for (idx_path, _) in &paths {
+        index.save(idx_path).expect("save checkpoint");
+    }
+    let stale_checkpoint = dir.join("r3.stale.idx");
+    std::fs::copy(&paths[2].0, &stale_checkpoint).expect("stash stale checkpoint");
+
+    let mut replicas: Vec<ReplicaHandle> = paths
+        .iter()
+        .map(|(idx_path, wal_path)| {
+            ReplicaHandle::spawn(
+                idx_path,
+                wal_path,
+                TcpListener::bind("127.0.0.1:0").expect("bind"),
+            )
+        })
+        .collect();
+    let addrs: Vec<String> = replicas.iter().map(|r| r.addr.clone()).collect();
+    let map = ShardMap::new(vec![0]).expect("single shard");
+    let router = ShardRouter::connect(map, vec![addrs.clone()], fast_options(k, index.next_id()))
+        .expect("router connects");
+
+    // Phase 1: healthy churn — every replica applies and journals.
+    let donor = ba_graph(30, 99);
+    for i in 0..10u64 {
+        router
+            .put_shape(i, &shape_of(&donor, i as u32, k))
+            .expect("healthy put");
+    }
+
+    // Replica 3 is lost. Its durable files are then rewound to the
+    // pristine pre-churn checkpoint with no WAL — the "respawned from an
+    // older checkpoint" crash shape (a same-files respawn would replay
+    // its own WAL and recover fully, never exercising peer streaming).
+    let r3 = replicas.pop().expect("three replicas");
+    let r3_addr = r3.addr.clone();
+    r3.shutdown();
+    std::fs::copy(&stale_checkpoint, &paths[2].0).expect("rewind checkpoint");
+    std::fs::remove_file(&paths[2].1).expect("drop r3 wal");
+
+    // Phase 2: writes keep succeeding under quorum (2 of 3) — the first
+    // one marks the dead replica degraded and acks on the survivors.
+    for i in 10..16u64 {
+        router
+            .put_shape(i, &shape_of(&donor, i as u32, k))
+            .expect("quorum put with a replica down");
+    }
+
+    // Respawn stale on the same address: epoch 0 against a fleet at 16.
+    let r3 = ReplicaHandle::spawn(&paths[2].0, &paths[2].1, retry_bind(&r3_addr));
+    let (stale_epoch, _, _) = fingerprint_of(&r3.addr);
+    assert_eq!(stale_epoch, 0, "respawned replica is stale");
+    let (peer_epoch, _, _) = fingerprint_of(&addrs[0]);
+    assert_eq!(peer_epoch, 16, "peers carry every acked write");
+
+    // Protocol-level catch-up: the stale replica streams the WAL suffix
+    // past its epoch from a peer and reports the exact epoch span.
+    let mut client = WireClient::connect(&r3.addr).expect("dial stale replica");
+    let msg = match client
+        .request(&Request::CatchUp {
+            peer: addrs[0].clone(),
+        })
+        .expect("catch-up succeeds")
+    {
+        Response::Ok { msg } => msg,
+        other => panic!("expected ok, got {other:?}"),
+    };
+    assert!(
+        msg.contains("caught up 16 record(s)") && msg.contains("epoch 0 -> 16"),
+        "suffix stream covered the whole gap: {msg}"
+    );
+
+    // Bit-identical rejoin: all three replicas agree on (epoch, len,
+    // fingerprint) exactly.
+    let prints: Vec<(u64, u64, u64)> = addrs.iter().map(|a| fingerprint_of(a)).collect();
+    assert_eq!(prints[0], prints[1], "surviving quorum agrees");
+    assert_eq!(prints[0], prints[2], "rejoined replica is bit-identical");
+
+    // And the router-facing invariant: nothing acked was lost — a
+    // direct read of every written id finds it on the fleet.
+    for i in 0..16u64 {
+        let hits = router
+            .knn(&shape_of(&donor, i as u32, k), 1, None)
+            .expect("post-rejoin knn");
+        assert_eq!(hits.hits.len(), 1, "id-space non-empty");
+    }
+    // A healed fleet keeps taking quorum writes on all replicas.
+    router
+        .put_shape(20, &shape_of(&donor, 20, k))
+        .expect("post-rejoin put");
+
+    drop(r3);
+    drop(replicas);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The router's own anti-entropy pass detects the stale replica, drives
+/// the catch-up itself, and reports the lifecycle — no manual protocol
+/// poking required.
+#[test]
+fn router_probe_health_heals_a_stale_replica() {
+    let k = 3;
+    let g = ba_graph(30, 23);
+    let index = build_index(&g, k);
+    let dir = scratch_dir("probe");
+
+    let paths: Vec<(PathBuf, PathBuf)> = (1..=2)
+        .map(|r| (dir.join(format!("r{r}.idx")), dir.join(format!("r{r}.wal"))))
+        .collect();
+    for (idx_path, _) in &paths {
+        index.save(idx_path).expect("save checkpoint");
+    }
+    let stale_checkpoint = dir.join("r2.stale.idx");
+    std::fs::copy(&paths[1].0, &stale_checkpoint).expect("stash stale checkpoint");
+
+    let r1 = ReplicaHandle::spawn(
+        &paths[0].0,
+        &paths[0].1,
+        TcpListener::bind("127.0.0.1:0").expect("bind"),
+    );
+    let r2 = ReplicaHandle::spawn(
+        &paths[1].0,
+        &paths[1].1,
+        TcpListener::bind("127.0.0.1:0").expect("bind"),
+    );
+    let (r1_addr, r2_addr) = (r1.addr.clone(), r2.addr.clone());
+    let router = ShardRouter::connect(
+        ShardMap::new(vec![0]).expect("single shard"),
+        vec![vec![r1_addr.clone(), r2_addr.clone()]],
+        // Explicit quorum 1 of 2: writes keep landing while r2 is down,
+        // exactly the configuration that *requires* read repair later.
+        RouterOptions {
+            quorum: 1,
+            ..fast_options(k, index.next_id())
+        },
+    )
+    .expect("router connects");
+
+    let donor = ba_graph(20, 7);
+    for i in 0..5u64 {
+        router
+            .put_shape(i, &shape_of(&donor, i as u32, k))
+            .expect("healthy put");
+    }
+    r2.shutdown();
+    for i in 5..9u64 {
+        router
+            .put_shape(i, &shape_of(&donor, i as u32, k))
+            .expect("quorum-1 put");
+    }
+    std::fs::copy(&stale_checkpoint, &paths[1].0).expect("rewind checkpoint");
+    std::fs::remove_file(&paths[1].1).expect("drop r2 wal");
+    let _r2 = ReplicaHandle::spawn(&paths[1].0, &paths[1].1, retry_bind(&r2_addr));
+
+    // One anti-entropy pass: the stale replica is detected (epoch 0 vs
+    // acked 9), caught up from its healthy peer, and reported rejoined.
+    let report = router.probe_health().expect("probe passes");
+    assert!(
+        report.contains("rejoined after catch-up"),
+        "probe drove the heal: {report}"
+    );
+    let next = router.probe_health().expect("second probe");
+    assert!(
+        next.lines().all(|l| l.contains("healthy")),
+        "fleet settled healthy: {next}"
+    );
+    assert_eq!(
+        fingerprint_of(&r1_addr),
+        fingerprint_of(&r2_addr),
+        "replicas agree bit-for-bit after the heal"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A WAL reset by a checkpoint cannot serve the suffix below its base:
+/// the replica must refuse **loudly and non-retryably** (the caller
+/// needs a snapshot resync), never fabricate the gap.
+#[test]
+fn wal_suffix_below_the_checkpoint_base_is_refused() {
+    let k = 3;
+    let g = ba_graph(20, 31);
+    let index = build_index(&g, k);
+    let dir = scratch_dir("truncated");
+    let idx_path = dir.join("r.idx");
+    let wal_path = dir.join("r.wal");
+    index.save(&idx_path).expect("save checkpoint");
+    let replica = ReplicaHandle::spawn(
+        &idx_path,
+        &wal_path,
+        TcpListener::bind("127.0.0.1:0").expect("bind"),
+    );
+
+    let donor = ba_graph(10, 3);
+    let mut client = WireClient::connect(&replica.addr).expect("dial");
+    for i in 0..4u64 {
+        client
+            .request(&Request::PutSig {
+                id: i,
+                shape: shape_of(&donor, i as u32, k),
+            })
+            .expect("put");
+    }
+    // Forcing a checkpoint resets the WAL base to epoch 4 — epochs 1..4
+    // now live only in the snapshot.
+    client.request(&Request::Checkpoint).expect("checkpoint");
+    client
+        .request(&Request::PutSig {
+            id: 9,
+            shape: shape_of(&donor, 9, k),
+        })
+        .expect("post-checkpoint put");
+
+    // Suffixes from the base onward stream fine...
+    match client
+        .request(&Request::WalSuffix { from_epoch: 4 })
+        .expect("suffix at base")
+    {
+        Response::WalChunk {
+            base,
+            epoch,
+            records,
+        } => {
+            assert_eq!(base, 4);
+            assert_eq!(epoch, 5);
+            assert_eq!(records.len(), 1, "one record past epoch 4");
+        }
+        other => panic!("expected walchunk, got {other:?}"),
+    }
+    // ...but a request below the base is a non-retryable refusal naming
+    // the truncation, not an empty or partial stream.
+    let err = match client
+        .request(&Request::WalSuffix { from_epoch: 1 })
+        .expect("reply parses")
+    {
+        Response::Error(err) => err,
+        other => panic!("expected a refusal, got {other:?}"),
+    };
+    assert!(!err.is_retryable(), "needs a snapshot resync: {err}");
+    assert!(
+        err.to_string().contains("wal suffix unavailable"),
+        "names the truncation: {err}"
+    );
+
+    drop(replica);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A stub replica speaking raw NEDWIRE1: answers `epoch` probes with a
+/// healthy reply and everything else with one configured error — the
+/// injection point for pinning error-taxonomy × failover behavior.
+fn spawn_error_stub(err: ServerError) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("addr").to_string();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut stream) = conn else { continue };
+            let err = err.clone();
+            std::thread::spawn(move || {
+                use ned_core::wire;
+                while let Ok(Some(payload)) = wire::read_frame(&mut stream) {
+                    let text = String::from_utf8_lossy(&payload);
+                    let reply = if text.trim() == "epoch" {
+                        Response::Epoch { epoch: 0, len: 0 }.to_string()
+                    } else {
+                        Response::Error(err.clone()).to_string()
+                    };
+                    if wire::write_text_frame(&mut stream, &reply).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// The full [`ServerError`] taxonomy × router failover, table-driven:
+/// every retryable variant (catch-up-in-progress included) fails over to
+/// the healthy replica of the same shard; every non-retryable variant
+/// surfaces immediately, unchanged, because retrying cannot fix it.
+#[test]
+fn error_taxonomy_drives_failover_table() {
+    let k = 3;
+    let g = ba_graph(25, 41);
+    let index = build_index(&g, k);
+    let probe = shape_of(&g, 3, k);
+
+    let table: &[(ServerError, bool)] = &[
+        (ServerError::BadRequest("bad shape".into()), false),
+        (ServerError::Corrupt("bit rot".into()), false),
+        (ServerError::Overloaded("busy".into()), true),
+        (ServerError::ShuttingDown("draining".into()), true),
+        (ServerError::Io("pipe burst".into()), true),
+        (
+            ServerError::CatchingUp("replaying a peer's WAL suffix".into()),
+            true,
+        ),
+    ];
+
+    for (err, retryable) in table {
+        assert_eq!(err.is_retryable(), *retryable, "taxonomy pin for {err:?}");
+
+        // Two replicas, one poisoned: retryable errors must fail over to
+        // the healthy peer and answer; non-retryable ones depend on
+        // rotation order, so they are pinned on the single-replica shard
+        // below instead.
+        if *retryable {
+            let healthy = {
+                let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+                let addr = listener.local_addr().expect("addr").to_string();
+                let server = Arc::new(NedServer::new(index.clone(), 1, 1));
+                let for_thread = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let _ = for_thread.serve_tcp(listener);
+                });
+                (server, addr)
+            };
+            let stub_addr = spawn_error_stub(err.clone());
+            let router = ShardRouter::connect(
+                ShardMap::new(vec![0]).expect("map"),
+                vec![vec![stub_addr, healthy.1.clone()]],
+                fast_options(k, index.next_id()),
+            )
+            .expect("router connects");
+            let hits = router
+                .knn(&probe, 5, None)
+                .unwrap_or_else(|e| panic!("{err:?} must fail over, got {e}"));
+            assert_eq!(hits.hits.len(), 5, "healthy replica answered");
+            healthy.0.initiate_shutdown();
+        }
+
+        // Single poisoned replica: the error's retryability decides the
+        // shape of the failure — retryable variants exhaust the rounds
+        // into a retryable degraded-shard report, non-retryable ones
+        // surface as-is on the first try.
+        let stub_addr = spawn_error_stub(err.clone());
+        let router = ShardRouter::connect(
+            ShardMap::new(vec![0]).expect("map"),
+            vec![vec![stub_addr]],
+            fast_options(k, index.next_id()),
+        )
+        .expect("router connects");
+        let got = router.knn(&probe, 5, None).expect_err("poisoned shard");
+        assert_eq!(
+            got.is_retryable(),
+            *retryable,
+            "failure shape follows the taxonomy: {err:?} -> {got:?}"
+        );
+        if !*retryable {
+            assert_eq!(
+                std::mem::discriminant(&got),
+                std::mem::discriminant(err),
+                "non-retryable errors surface unchanged"
+            );
+        }
+    }
+}

@@ -20,7 +20,7 @@
 //!                     [--wal PATH] [--checkpoint-every N] [--fsync MODE]
 //!                     [--max-conns N] [--sketch off|exact|approx]
 //! ned-cli route <idx> --shards N [--replicas R] [--tcp ADDR]
-//!                     [--shard-dir D] [--wal-dir D]
+//!                     [--shard-dir D] [--wal-dir D] [--quorum Q]
 //! ned-cli route --attach a1|a2,b1,... --bounds 0,x,... [--next-id N]
 //!                     [--k N] [--tcp ADDR]
 //! ```
@@ -106,11 +106,14 @@ fn print_usage() {
          \x20                                                    ack, checkpoint every N batches\n\
          \x20                                                    (--fsync per-batch | every-<n> | os)\n\
          \x20 route <idx> --shards N [--replicas R] [--tcp ADDR] scatter-gather coordinator: split <idx>\n\
-         \x20       [--shard-dir D] [--wal-dir D]                into N id-range shards, spawn R serve\n\
+         \x20       [--shard-dir D] [--wal-dir D] [--quorum Q]   into N id-range shards, spawn R serve\n\
          \x20                                                    processes per shard (--wal-dir makes\n\
          \x20                                                    them crash-safe), and route queries and\n\
          \x20                                                    writes over the fleet — answers are\n\
-         \x20                                                    bit-identical to serving <idx> whole\n\
+         \x20                                                    bit-identical to serving <idx> whole;\n\
+         \x20                                                    writes ack on --quorum replicas per\n\
+         \x20                                                    shard (0 = majority), laggards catch\n\
+         \x20                                                    up by streaming the WAL suffix\n\
          \x20 route --attach a1|a2,b1,... --bounds 0,x,...       same coordinator over already-running\n\
          \x20       [--next-id N] [--k N] [--tcp ADDR]           shards: comma-separated shard groups of\n\
          \x20                                                    |-separated replicas, with the id bounds\n\
@@ -731,7 +734,11 @@ fn cmd_route(raw: &[String]) -> Result<(), String> {
     use std::io::BufRead;
     let args = Args::parse(raw, &[])?;
     let tcp: Option<String> = args.opt("tcp")?;
-    let mut opts = ned::index::RouterOptions::default();
+    let mut opts = ned::index::RouterOptions {
+        // 0 (the default) means a majority of each shard's replicas.
+        quorum: args.get("quorum", 0usize)?,
+        ..Default::default()
+    };
     let attach: Option<String> = args.opt("attach")?;
     let mut fleet: Vec<ned::index::ShardProcess> = Vec::new();
     let router = match attach {
