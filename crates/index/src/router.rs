@@ -37,13 +37,35 @@
 //! its own WAL) rejoins immediately, and a stale one is put through a
 //! **WAL-suffix catch-up** from a healthy peer
 //! ([`ned_core::Request::CatchUp`]), held out of the read rotation until
-//! the stream completes. Scatter reads that observe a stale reply mark
-//! the replica degraded and trigger that same repair instead of just
-//! re-polling; a `fingerprint` probe ([`ShardRouter::probe_health`])
-//! additionally compares per-replica live-set fingerprints and fails
-//! **loudly** when two replicas claim the same epoch with different
-//! contents — silent divergence is the one fault retrying cannot fix.
-//! When no quorum can be reached the operation fails with a *retryable*
+//! the stream completes. Because the hot paths trigger healing, it is
+//! kept off their latency profile: degraded replicas are probed at most
+//! once per [`HEAL_PROBE_INTERVAL`] (a dead endpoint costs a connect
+//! attempt per interval, not per write) and a catch-up stream runs on a
+//! background thread over a dedicated long-deadline connection (a real
+//! replay outlives the pooled clients' request timeout).
+//!
+//! The degraded state itself is only the router's in-memory view, so it
+//! cannot be the *load-bearing* fork guard — a restarted router, or a
+//! second coordinator attaching to the same fleet, starts with every
+//! replica presumed healthy. Three checks hold the invariant anyway:
+//! at connect time the fleet epoch vector seeds from the **maximum**
+//! epoch across each shard's reachable replicas and anything lagging it
+//! starts degraded (never written, so never forked); at write time an
+//! ack whose epoch is **below** the shard's acked watermark is treated
+//! as proof of staleness — the replica is degraded and its ack excluded
+//! from the quorum count rather than folded into the watermark; and at
+//! catch-up time the replica compares its own head WAL record against
+//! the peer's record at the same epoch and refuses with a loud
+//! [`ServerError::Corrupt`] on mismatch instead of silently splicing a
+//! forked history (see `NedServer::catch_up_from`).
+//!
+//! Scatter reads that observe a stale reply mark the replica degraded
+//! and trigger that same repair instead of just re-polling; a
+//! `fingerprint` probe ([`ShardRouter::probe_health`]) additionally
+//! compares per-replica live-set fingerprints and fails **loudly** when
+//! two replicas claim the same epoch with different contents — silent
+//! divergence is the one fault retrying cannot fix. When no quorum can
+//! be reached the operation fails with a *retryable*
 //! [`ServerError::Overloaded`]; acked writes are never lost, because a
 //! read is only accepted from a replica at or past the acked epoch.
 
@@ -59,10 +81,22 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest number of idle pooled connections kept per replica.
 const POOL_CAP: usize = 8;
+
+/// Minimum spacing between heal probes of one degraded replica. The
+/// heal pass runs on the write path, so an unreachable replica must
+/// cost a connect attempt at most once per interval — not per write.
+pub const HEAL_PROBE_INTERVAL: Duration = Duration::from_secs(2);
+
+/// Read deadline for the `catchup` RPC specifically. A WAL-suffix
+/// replay legitimately runs far past the pooled clients' request
+/// timeout; cutting it off early would re-mark the replica degraded
+/// while the server-side replay kept going, then burn repeat repair
+/// attempts against its "already in progress" refusal.
+const CATCHUP_REPLAY_TIMEOUT: Duration = Duration::from_secs(600);
 
 /// Static id-range partition of one logical index across a shard fleet.
 ///
@@ -181,6 +215,12 @@ struct Replica {
     addr: String,
     pool: Mutex<Vec<WireClient>>,
     health: AtomicU8,
+    /// When the last heal probe of this replica ran — the write-path
+    /// rate limiter ([`Replica::probe_due`]).
+    last_probe: Mutex<Option<Instant>>,
+    /// Why the replica is degraded, for `stats`/`fingerprint` surfaces;
+    /// cleared on rejoin.
+    last_error: Mutex<Option<String>>,
 }
 
 impl Replica {
@@ -189,6 +229,8 @@ impl Replica {
             addr,
             pool: Mutex::new(Vec::new()),
             health: AtomicU8::new(HEALTHY),
+            last_probe: Mutex::new(None),
+            last_error: Mutex::new(None),
         }
     }
 
@@ -198,6 +240,36 @@ impl Replica {
 
     fn set_health(&self, state: u8) {
         self.health.store(state, Ordering::Release);
+        if state == HEALTHY {
+            *self.last_error.lock().unwrap_or_else(|p| p.into_inner()) = None;
+        }
+    }
+
+    /// Atomically enters CATCHING_UP from DEGRADED. `false` means some
+    /// other path (a concurrent read repair, another heal pass) already
+    /// owns a stream toward this replica — exactly one may.
+    fn begin_catch_up(&self) -> bool {
+        self.health
+            .compare_exchange(DEGRADED, CATCHING_UP, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Consumes one rate-limited heal-probe slot: `true` at most once
+    /// per [`HEAL_PROBE_INTERVAL`], so the hot paths never pay a
+    /// connect attempt to a dead endpoint on every request.
+    fn probe_due(&self) -> bool {
+        let mut last = self.last_probe.lock().unwrap_or_else(|p| p.into_inner());
+        match *last {
+            Some(at) if at.elapsed() < HEAL_PROBE_INTERVAL => false,
+            _ => {
+                *last = Some(Instant::now());
+                true
+            }
+        }
+    }
+
+    fn note_error(&self, msg: String) {
+        *self.last_error.lock().unwrap_or_else(|p| p.into_inner()) = Some(msg);
     }
 
     fn health_name(&self) -> &'static str {
@@ -205,6 +277,15 @@ impl Replica {
             DEGRADED => "degraded",
             CATCHING_UP => "catching-up",
             _ => "healthy",
+        }
+    }
+
+    /// `health_name`, with the degradation reason when one is recorded.
+    fn status(&self) -> String {
+        let err = self.last_error.lock().unwrap_or_else(|p| p.into_inner());
+        match (self.health(), err.as_deref()) {
+            (DEGRADED, Some(e)) => format!("degraded: {e}"),
+            _ => self.health_name().to_string(),
         }
     }
 
@@ -285,9 +366,11 @@ fn backoff(round: u32) -> Duration {
 }
 
 /// One shard: its replicas plus the highest epoch the router has seen a
-/// write acked at — the shard's slot in the fleet epoch vector.
+/// write acked at — the shard's slot in the fleet epoch vector. The
+/// replicas are `Arc`-shared so a background catch-up thread can outlive
+/// the request that spawned it.
 struct Shard {
-    replicas: Vec<Replica>,
+    replicas: Vec<Arc<Replica>>,
     acked_epoch: AtomicU64,
     /// Rotation cursor so concurrent reads spread across replicas.
     cursor: AtomicUsize,
@@ -328,9 +411,16 @@ pub struct ShardRouter {
 
 impl ShardRouter {
     /// Connects to a fleet: `replicas[i]` lists the `host:port` endpoints
-    /// serving shard `i` (at least one each). Each shard is probed once —
-    /// some replica of every shard must answer `epoch` — and the fleet
-    /// epoch vector starts from those probes.
+    /// serving shard `i` (at least one each). **Every** replica of every
+    /// shard is probed with `epoch`; some replica of each shard must
+    /// answer. The fleet epoch vector seeds from the **maximum** epoch
+    /// each shard's replicas report — quorum writes make a lagging
+    /// replica a routine steady state, so seeding from whichever replica
+    /// answered first could start the watermark below previously-acked
+    /// writes and accept reads that miss them. Replicas lagging the max
+    /// (or unreachable) start **degraded**: a fresh coordinator must
+    /// never write to a stale replica at its own lower epoch, which
+    /// would fork its history.
     pub fn connect(
         map: ShardMap,
         replicas: Vec<Vec<String>>,
@@ -351,7 +441,10 @@ impl ShardRouter {
         let shards: Vec<Shard> = replicas
             .into_iter()
             .map(|group| Shard {
-                replicas: group.into_iter().map(Replica::new).collect(),
+                replicas: group
+                    .into_iter()
+                    .map(|addr| Arc::new(Replica::new(addr)))
+                    .collect(),
                 acked_epoch: AtomicU64::new(0),
                 cursor: AtomicUsize::new(0),
             })
@@ -364,10 +457,36 @@ impl ShardRouter {
             fleet_lock: RwLock::new(()),
             maintained: Mutex::new(None),
         };
-        for i in 0..router.shards.len() {
-            let resp = router.shard_read(i, &Request::Epoch, 0)?;
-            if let Response::Epoch { epoch, .. } = resp {
-                router.shards[i].acked_epoch.store(epoch, Ordering::Release);
+        for (i, shard) in router.shards.iter().enumerate() {
+            let mut epochs: Vec<Option<u64>> = Vec::with_capacity(shard.replicas.len());
+            for replica in &shard.replicas {
+                let probed = match replica.request_retrying(&router.opts, &[Request::Epoch]) {
+                    Ok(resps) => match resps.first() {
+                        Some(Response::Epoch { epoch, .. }) => Some(*epoch),
+                        _ => None,
+                    },
+                    Err(_) => None,
+                };
+                if probed.is_none() {
+                    replica.note_error("unreachable at connect".to_string());
+                    replica.set_health(DEGRADED);
+                }
+                epochs.push(probed);
+            }
+            let Some(max) = epochs.iter().flatten().copied().max() else {
+                return Err(ServerError::Overloaded(format!(
+                    "shard {i}: no replica answered the connect-time epoch probe"
+                )));
+            };
+            shard.acked_epoch.store(max, Ordering::Release);
+            for (replica, epoch) in shard.replicas.iter().zip(&epochs) {
+                if let Some(e) = epoch {
+                    if *e < max {
+                        replica
+                            .note_error(format!("lagged the fleet at connect (epoch {e} < {max})"));
+                        replica.set_health(DEGRADED);
+                    }
+                }
             }
         }
         Ok(router)
@@ -450,7 +569,9 @@ impl ShardRouter {
                 }
             }
             for idx in stale {
-                self.catch_up_replica(shard_idx, idx);
+                // Read repair, off the read path: the replica is out of
+                // rotation the moment the background stream starts.
+                self.spawn_catch_up(shard_idx, idx);
             }
         }
         Err(ServerError::Overloaded(format!(
@@ -471,16 +592,20 @@ impl ShardRouter {
         q.clamp(1, replicas)
     }
 
-    /// Best-effort heal pass over a shard's degraded replicas: each gets
-    /// one epoch probe — a replica that already caught up on its own
-    /// (restarted and replayed its local WAL) rejoins immediately, a
-    /// stale one is put through a WAL-suffix catch-up from a healthy
-    /// peer, and an unreachable one stays degraded for the next pass.
+    /// Best-effort heal pass over a shard's degraded replicas, run from
+    /// the hot paths — so it is **rate-limited** (one epoch probe per
+    /// replica per [`HEAL_PROBE_INTERVAL`]; a dead endpoint costs a
+    /// connect attempt once per interval, not per write) and
+    /// **non-blocking** (a stale replica's WAL-suffix stream runs on a
+    /// background thread, the CATCHING_UP state keeping it out of both
+    /// rotations meanwhile). A replica that already caught up on its own
+    /// (restarted and replayed its local WAL) rejoins immediately; an
+    /// unreachable one stays degraded for the next pass.
     fn heal_shard(&self, shard_idx: usize) {
         let shard = &self.shards[shard_idx];
         let acked = shard.acked_epoch.load(Ordering::Acquire);
         for (idx, replica) in shard.replicas.iter().enumerate() {
-            if replica.health() != DEGRADED {
+            if replica.health() != DEGRADED || !replica.probe_due() {
                 continue;
             }
             let Ok(Response::Epoch { epoch, .. }) = replica.request(&self.opts, &Request::Epoch)
@@ -490,41 +615,83 @@ impl ShardRouter {
             if epoch >= acked {
                 replica.set_health(HEALTHY);
             } else {
-                self.catch_up_replica(shard_idx, idx);
+                self.spawn_catch_up(shard_idx, idx);
             }
         }
     }
 
-    /// Streams the WAL suffix from a healthy peer into a stale replica
-    /// (the replica-side `catchup <peer>` command), holding the replica
-    /// out of the read rotation while the stream is in flight. Returns
-    /// whether the replica rejoined. With no healthy peer to stream from
-    /// the replica stays degraded — the shard is down to its last copy
-    /// and only a loud operator-visible error can follow, never a silent
-    /// resurrection from a stale snapshot.
-    fn catch_up_replica(&self, shard_idx: usize, idx: usize) -> bool {
-        let shard = &self.shards[shard_idx];
-        let replica = &shard.replicas[idx];
-        let Some(peer) = shard
+    /// A healthy donor for replica `idx`: any *other* healthy replica of
+    /// the shard. `None` means the shard is down to its last copy — the
+    /// stale replica stays degraded, and only a loud operator-visible
+    /// error can follow, never a silent resurrection from a stale
+    /// snapshot.
+    fn healthy_peer(&self, shard_idx: usize, idx: usize) -> Option<String> {
+        self.shards[shard_idx]
             .replicas
             .iter()
             .enumerate()
             .find(|&(i, p)| i != idx && p.health() == HEALTHY)
             .map(|(_, p)| p.addr.clone())
-        else {
-            return false;
-        };
-        replica.set_health(CATCHING_UP);
-        match replica.request(&self.opts, &Request::CatchUp { peer }) {
+    }
+
+    /// The `catchup <peer>` RPC against `replica` (already flipped to
+    /// CATCHING_UP by the caller), on a **dedicated** connection whose
+    /// read deadline is [`CATCHUP_REPLAY_TIMEOUT`] — the pooled clients'
+    /// request timeout would report any real replay as failed while the
+    /// server side kept replaying, then burn repeat repair attempts
+    /// against its "already in progress" refusal. Health is updated from
+    /// the outcome; returns whether the replica rejoined.
+    fn run_catch_up(replica: &Replica, peer: String, write_timeout: Option<Duration>) -> bool {
+        let result = WireClient::builder()
+            .timeouts(Some(CATCHUP_REPLAY_TIMEOUT), write_timeout)
+            .connect(&replica.addr)
+            .map_err(|e| ServerError::Io(format!("{}: {e}", replica.addr)))
+            .and_then(|mut client| client.request(&Request::CatchUp { peer }));
+        match result {
             Ok(_) => {
                 replica.set_health(HEALTHY);
                 true
             }
-            Err(_) => {
+            Err(e) => {
+                replica.note_error(format!("catch-up failed: {e}"));
                 replica.set_health(DEGRADED);
                 false
             }
         }
+    }
+
+    /// Blocking WAL-suffix catch-up from a healthy peer into a stale
+    /// replica — the explicit anti-entropy pass
+    /// ([`ShardRouter::probe_health`]) uses it because its caller wants
+    /// the outcome in the report. Returns whether the replica rejoined;
+    /// `false` also covers "a stream is already in flight elsewhere".
+    fn catch_up_replica(&self, shard_idx: usize, idx: usize) -> bool {
+        let Some(peer) = self.healthy_peer(shard_idx, idx) else {
+            return false;
+        };
+        let replica = &self.shards[shard_idx].replicas[idx];
+        if !replica.begin_catch_up() {
+            return false;
+        }
+        Self::run_catch_up(replica, peer, self.opts.write_timeout)
+    }
+
+    /// Fire-and-forget catch-up for the hot paths (read repair, the
+    /// write-path heal pass): the replica flips to CATCHING_UP at once —
+    /// out of both rotations — and a background thread drives the
+    /// stream, so no client request blocks on a WAL replay.
+    fn spawn_catch_up(&self, shard_idx: usize, idx: usize) {
+        let Some(peer) = self.healthy_peer(shard_idx, idx) else {
+            return;
+        };
+        let replica = Arc::clone(&self.shards[shard_idx].replicas[idx]);
+        if !replica.begin_catch_up() {
+            return;
+        }
+        let write_timeout = self.opts.write_timeout;
+        std::thread::spawn(move || {
+            Self::run_catch_up(&replica, peer, write_timeout);
+        });
     }
 
     /// One (idempotent) write batch against shard `shard_idx`, committed
@@ -540,7 +707,15 @@ impl ShardRouter {
     /// first. A replica that fails retryably is marked degraded and the
     /// write continues; below quorum the whole write fails with a
     /// retryable [`ServerError::Overloaded`] and no id or epoch is
-    /// consumed router-side. Returns the first acking replica's replies.
+    /// consumed router-side. An ack whose epoch is **below** the shard's
+    /// acked watermark is proof of staleness, not of replication: the
+    /// replica missed acked writes (a restarted router or a second
+    /// coordinator saw it as healthy) and has just forked its history —
+    /// folding its low epoch into the watermark would let it pass the
+    /// read gate while missing acked writes, so it is degraded and its
+    /// ack excluded from the quorum count instead; the catch-up it is
+    /// scheduled for verifies the fork point and refuses loudly.
+    /// Returns the first counted ack's replies.
     fn write_shard(
         &self,
         shard_idx: usize,
@@ -550,6 +725,7 @@ impl ShardRouter {
         let shard = &self.shards[shard_idx];
         let n = shard.replicas.len();
         let quorum = self.effective_quorum(n);
+        let floor = shard.acked_epoch.load(Ordering::Acquire);
         let mut first: Option<Vec<Response>> = None;
         let mut acked = u64::MAX;
         let mut acks = 0usize;
@@ -570,6 +746,15 @@ impl ShardRouter {
                                 "shard {shard_idx}: write batch reply carried no epoch"
                             ))
                         })?;
+                    if epoch < floor {
+                        replica.note_error(format!(
+                            "acked a write at epoch {epoch}, below the shard's acked \
+                             watermark {floor}: stale or forked history"
+                        ));
+                        replica.set_health(DEGRADED);
+                        out.push(replica.addr.as_str());
+                        continue;
+                    }
                     acked = acked.min(epoch);
                     acks += 1;
                     if first.is_none() {
@@ -951,9 +1136,17 @@ impl ShardRouter {
                         }
                         seen.push((epoch, hash, replica.addr.clone()));
                         let state = if epoch < acked {
-                            replica.set_health(DEGRADED);
+                            // Leave a replica mid background stream to
+                            // its owner; degrade-and-heal the rest here,
+                            // synchronously — the operator asked for the
+                            // outcome.
+                            if replica.health() != CATCHING_UP {
+                                replica.set_health(DEGRADED);
+                            }
                             if self.catch_up_replica(i, idx) {
                                 "rejoined after catch-up"
+                            } else if replica.health() == CATCHING_UP {
+                                "catching up (WAL stream in flight)"
                             } else {
                                 "degraded (stale, awaiting catch-up)"
                             }
@@ -1003,7 +1196,7 @@ impl ShardRouter {
             let addrs: Vec<String> = shard
                 .replicas
                 .iter()
-                .map(|r| format!("{} ({})", r.addr, r.health_name()))
+                .map(|r| format!("{} ({})", r.addr, r.status()))
                 .collect();
             lines.push(format!(
                 "shard {i}: start {}, acked epoch {}, write quorum {}/{}, replicas [{}]",

@@ -38,10 +38,12 @@
 //! stats | epoch | help | quit
 //! fingerprint                         epoch + live size + live-set hash
 //!                                     (the anti-entropy probe)
-//! walsuffix <from_epoch>              stream WAL records past an epoch
-//!                                     to a catching-up peer replica
+//! walsuffix <from_epoch>              one bounded chunk of WAL records
+//!                                     past an epoch, for a catching-up
+//!                                     peer replica (which loops)
 //! catchup <host:port>                 replay a peer's WAL suffix through
-//!                                     the journaled write path
+//!                                     the journaled write path (after
+//!                                     verifying the splice point)
 //! save <path>                         persist the current index
 //! checkpoint                          snapshot + reset the WAL now
 //! shutdown                            drain, checkpoint, exit cleanly
@@ -109,6 +111,19 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Caps one `walsuffix` reply at this many records. The suffix is read
+/// and encoded under the index writer lock, and the whole chunk sits in
+/// memory twice (records + response frame) — an unbounded reply would
+/// stall donor-side writes and balloon for a long suffix. A catching-up
+/// replica loops, re-requesting from its advancing epoch, so bounded
+/// chunks need no protocol change.
+pub const WAL_CHUNK_MAX_RECORDS: usize = 256;
+
+/// Byte-level companion to [`WAL_CHUNK_MAX_RECORDS`]: the chunk also
+/// closes once it holds this many record bytes, so a few huge delta
+/// batches cannot blow the frame either.
+pub const WAL_CHUNK_MAX_BYTES: usize = 1 << 20;
 
 /// Outcome of dispatching one command line.
 pub enum Dispatch {
@@ -357,13 +372,17 @@ impl NedServer {
         }
     }
 
-    /// Streams the WAL suffix past this server's epoch from `peer` and
-    /// applies it through the journaled write path (the `catchup`
-    /// command). Each streamed record carries the epoch it originally
-    /// published as; it is re-journaled into this server's own WAL and
-    /// published at that exact epoch, so the caught-up replica is
-    /// bit-identical to the peer at every acknowledged epoch. While the
-    /// replay runs, queries answer [`ServerError::CatchingUp`].
+    /// Streams the WAL suffix past this server's epoch from `peer` —
+    /// in bounded chunks, re-requesting from the advancing epoch until
+    /// level — and applies it through the journaled write path (the
+    /// `catchup` command). Each streamed record carries the epoch it
+    /// originally published as; it is re-journaled into this server's
+    /// own WAL and published at that exact epoch, so the caught-up
+    /// replica is bit-identical to the peer at every acknowledged
+    /// epoch. Before any record is applied the splice point is verified
+    /// ([`NedServer::verify_fork_point`]): a forked local history is
+    /// refused loudly rather than overwritten. While the replay runs,
+    /// queries answer [`ServerError::CatchingUp`].
     pub fn catch_up_from(&self, peer: &str) -> Result<String, ServerError> {
         struct ClearOnExit<'a>(&'a AtomicBool);
         impl Drop for ClearOnExit<'_> {
@@ -381,6 +400,7 @@ impl NedServer {
             .timeouts(self.config.read_timeout, self.config.write_timeout)
             .connect(peer)
             .map_err(|e| ServerError::Io(format!("{peer}: {e}")))?;
+        self.verify_fork_point(&mut client)?;
         let start_epoch = self.reader().epoch();
         let mut applied = 0u64;
         loop {
@@ -408,6 +428,67 @@ impl NedServer {
             "caught up {applied} record(s) from {peer}: epoch {start_epoch} -> {}",
             self.reader().epoch()
         ))
+    }
+
+    /// Guards the splice point of a WAL-suffix catch-up: when this
+    /// replica holds a local WAL record at its head epoch, the peer's
+    /// record at the **same** epoch must be byte-identical. A mismatch
+    /// means the two histories forked — this replica took a write the
+    /// quorum never acked at that epoch (e.g. from a coordinator with a
+    /// stale health view) — and streaming the peer's suffix on top would
+    /// silently drop acked writes; that is refused as a loud,
+    /// non-retryable [`ServerError::Corrupt`], because a forked replica
+    /// needs a snapshot resync, not a splice. With nothing to compare
+    /// (fresh boot, WAL gone, or the peer checkpointed past our head)
+    /// the epoch-gap check in [`NedServer::apply_wal_records`] remains
+    /// the guard.
+    fn verify_fork_point(&self, client: &mut WireClient) -> Result<(), ServerError> {
+        let local_head: Option<Vec<u8>> = {
+            let writer = self.index.writer();
+            match writer.wal() {
+                Some(wal) => wal
+                    .records()
+                    .map_err(|e| ServerError::Io(format!("wal read failed: {e}")))?
+                    .pop(),
+                None => None,
+            }
+        };
+        let Some(local) = local_head else {
+            return Ok(());
+        };
+        let Some(head_epoch) = crate::durable::record_epoch(&local) else {
+            return Ok(()); // an undecodable tail would fail replay anyway
+        };
+        match client.request(&Request::WalSuffix {
+            from_epoch: head_epoch.saturating_sub(1),
+        }) {
+            Ok(Response::WalChunk { records, .. }) => match records.first() {
+                Some(peer_record)
+                    if crate::durable::record_epoch(peer_record) == Some(head_epoch) =>
+                {
+                    if *peer_record != local {
+                        return Err(ServerError::Corrupt(format!(
+                            "catch-up refused: this replica's WAL record at epoch \
+                             {head_epoch} differs from the peer's — the histories forked, \
+                             and splicing the peer's suffix would drop acked writes; \
+                             resync from a snapshot"
+                        )));
+                    }
+                    Ok(())
+                }
+                // The peer holds no record at our head epoch (it is
+                // behind us, or level): nothing to compare.
+                _ => Ok(()),
+            },
+            // The peer checkpointed past our head - 1: the verification
+            // record is gone, but the suffix past our head may still be
+            // streamable — fall through to the normal loop.
+            Err(ServerError::BadRequest(_)) => Ok(()),
+            Ok(other) => Err(ServerError::Corrupt(format!(
+                "peer answered a wal suffix request with {other:?}"
+            ))),
+            Err(e) => Err(e),
+        }
     }
 
     /// Applies streamed WAL records in order through
@@ -619,12 +700,25 @@ impl NedServer {
                          past the requested epoch {from_epoch}; resync from a snapshot"
                     )));
                 }
-                let records: Vec<Vec<u8>> = wal
+                // One *bounded* chunk per request (the caller loops from
+                // its new epoch): records land in the log in epoch
+                // order, so the cap keeps a contiguous prefix of the
+                // suffix.
+                let mut records: Vec<Vec<u8>> = Vec::new();
+                let mut bytes = 0usize;
+                for record in wal
                     .records()
                     .map_err(|e| ServerError::Io(format!("wal read failed: {e}")))?
-                    .into_iter()
-                    .filter(|r| crate::durable::record_epoch(r).is_some_and(|e| e > *from_epoch))
-                    .collect();
+                {
+                    if crate::durable::record_epoch(&record).is_none_or(|e| e <= *from_epoch) {
+                        continue;
+                    }
+                    bytes += record.len();
+                    records.push(record);
+                    if records.len() >= WAL_CHUNK_MAX_RECORDS || bytes >= WAL_CHUNK_MAX_BYTES {
+                        break;
+                    }
+                }
                 Response::WalChunk {
                     base,
                     epoch: writer.epoch(),

@@ -7,7 +7,12 @@
 //! replica down and never lose an acked write, a WAL truncated by a
 //! checkpoint refuses suffix streaming loudly instead of resurrecting a
 //! gap, and the [`ServerError`] retryability taxonomy drives router
-//! failover exactly as each variant promises.
+//! failover exactly as each variant promises. The fork-safety trio is
+//! pinned too: a fresh router seeds its fleet epoch vector from the
+//! **max** across replicas and shields laggards, a write ack below the
+//! acked watermark degrades the acker instead of counting toward
+//! quorum, and catch-up refuses to splice over a forked WAL — while
+//! `walsuffix` streams in bounded chunks so the donor never stalls.
 
 use ned_core::{Request, Response, ServerError};
 use ned_graph::{generators, Graph};
@@ -67,9 +72,17 @@ struct ReplicaHandle {
 
 impl ReplicaHandle {
     fn spawn(index_path: &Path, wal_path: &Path, listener: TcpListener) -> ReplicaHandle {
+        Self::spawn_with(index_path, wal_path, listener, DurableOptions::default())
+    }
+
+    fn spawn_with(
+        index_path: &Path,
+        wal_path: &Path,
+        listener: TcpListener,
+        opts: DurableOptions,
+    ) -> ReplicaHandle {
         let (durable, _report) =
-            DurableIndex::recover(index_path, wal_path, DurableOptions::default())
-                .expect("recover replica");
+            DurableIndex::recover(index_path, wal_path, opts).expect("recover replica");
         let server = Arc::new(NedServer::with_durability(durable, 1, 1));
         let addr = listener.local_addr().expect("bound").to_string();
         let for_thread = Arc::clone(&server);
@@ -386,6 +399,337 @@ fn wal_suffix_below_the_checkpoint_base_is_refused() {
     );
 
     drop(replica);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A fresh router (a restart, or a second coordinator attaching to the
+/// same fleet) starts with no health memory — so the fleet epoch vector
+/// must seed from the **max** epoch across each shard's replicas, and
+/// anything lagging it must start degraded. Otherwise the first write
+/// would land on the laggard at its own lower epoch, forking its
+/// history and burning epochs whose acked content a later catch-up
+/// could never reproduce.
+#[test]
+fn fresh_router_seeds_from_the_max_epoch_and_shields_the_laggard() {
+    let k = 3;
+    let g = ba_graph(30, 53);
+    let index = build_index(&g, k);
+    let dir = scratch_dir("reseed");
+    let paths: Vec<(PathBuf, PathBuf)> = (1..=2)
+        .map(|r| (dir.join(format!("r{r}.idx")), dir.join(format!("r{r}.wal"))))
+        .collect();
+    for (idx_path, _) in &paths {
+        index.save(idx_path).expect("save checkpoint");
+    }
+    let r1 = ReplicaHandle::spawn(
+        &paths[0].0,
+        &paths[0].1,
+        TcpListener::bind("127.0.0.1:0").expect("bind"),
+    );
+    let r2 = ReplicaHandle::spawn(
+        &paths[1].0,
+        &paths[1].1,
+        TcpListener::bind("127.0.0.1:0").expect("bind"),
+    );
+
+    // r1 takes writes the old coordinator acked; r2 misses all of them —
+    // the routine steady state quorum writes leave behind.
+    let donor = ba_graph(20, 11);
+    let mut direct = WireClient::connect(&r1.addr).expect("dial r1");
+    for i in 0..6u64 {
+        direct
+            .request(&Request::PutSig {
+                id: i,
+                shape: shape_of(&donor, i as u32, k),
+            })
+            .expect("direct put");
+    }
+    assert_eq!(fingerprint_of(&r1.addr).0, 6);
+    assert_eq!(fingerprint_of(&r2.addr).0, 0);
+
+    let router = ShardRouter::connect(
+        ShardMap::new(vec![0]).expect("map"),
+        vec![vec![r1.addr.clone(), r2.addr.clone()]],
+        RouterOptions {
+            quorum: 1,
+            ..fast_options(k, index.next_id())
+        },
+    )
+    .expect("router connects");
+    assert_eq!(
+        router.acked_epochs(),
+        vec![6],
+        "seeded from the max across replicas, not whichever answered first"
+    );
+    assert!(
+        router.stats_line().contains("degraded"),
+        "the laggard starts degraded, shielded from direct writes: {}",
+        router.stats_line()
+    );
+
+    // The next quorum write lands on the up-to-date replica; the
+    // laggard converges through WAL streaming (the write-path heal may
+    // run it in the background), never through a forked direct write.
+    router
+        .put_shape(6, &shape_of(&donor, 6, k))
+        .expect("quorum-1 put through the fresh router");
+    assert_eq!(router.acked_epochs(), vec![7]);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let _ = router.probe_health();
+        if fingerprint_of(&r1.addr) == fingerprint_of(&r2.addr) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "laggard failed to heal: r1 {:?} vs r2 {:?}",
+            fingerprint_of(&r1.addr),
+            fingerprint_of(&r2.addr)
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(
+        fingerprint_of(&r2.addr).0,
+        7,
+        "laggard replayed every acked write"
+    );
+    // Nothing acked was lost anywhere along the way.
+    for i in 0..7u64 {
+        let hits = router
+            .knn(&shape_of(&donor, i as u32, k), 1, None)
+            .expect("post-heal knn");
+        assert_eq!(hits.hits.len(), 1);
+    }
+
+    drop((r1, r2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A stub that advertises a high epoch to probes but acks writes at a
+/// much lower one — the wire shape of a replica whose history forked
+/// (it applied the write on top of a stale state).
+fn spawn_stale_ack_stub() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("addr").to_string();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut stream) = conn else { continue };
+            std::thread::spawn(move || {
+                use ned_core::wire;
+                while let Ok(Some(payload)) = wire::read_frame(&mut stream) {
+                    let text = String::from_utf8_lossy(&payload);
+                    let reply = text
+                        .lines()
+                        .map(|line| {
+                            if line.trim() == "epoch" {
+                                Response::Epoch { epoch: 100, len: 0 }.to_string()
+                            } else {
+                                Response::Put {
+                                    id: 0,
+                                    fresh: false,
+                                    epoch: 3,
+                                }
+                                .to_string()
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    if wire::write_text_frame(&mut stream, &reply).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// A write ack whose epoch is *below* the shard's acked watermark is
+/// proof of staleness (a forked history), not of replication: the
+/// router must degrade that replica and keep its ack out of the quorum
+/// count — folding the low epoch into the watermark would let the
+/// forked replica pass the read gate while missing acked writes.
+#[test]
+fn write_acks_below_the_acked_watermark_are_rejected_as_stale() {
+    let stub = spawn_stale_ack_stub();
+    let router = ShardRouter::connect(
+        ShardMap::new(vec![0]).expect("map"),
+        vec![vec![stub]],
+        RouterOptions {
+            quorum: 1,
+            ..fast_options(3, 0)
+        },
+    )
+    .expect("router connects");
+    assert_eq!(router.acked_epochs(), vec![100], "seeded from the probe");
+
+    let err = router
+        .put_shape(0, "(()())")
+        .expect_err("an ack at epoch 3 against a watermark of 100 must not count");
+    assert!(err.is_retryable(), "quorum loss stays retryable: {err}");
+    assert_eq!(
+        router.acked_epochs(),
+        vec![100],
+        "the low ack never folded into the watermark"
+    );
+    assert!(
+        router.stats_line().contains("degraded"),
+        "the stale acker was degraded: {}",
+        router.stats_line()
+    );
+}
+
+/// Catch-up verifies the splice point: when the stale replica's own WAL
+/// record at its head epoch differs byte-for-byte from the peer's
+/// record at the same epoch, the histories forked — streaming must be
+/// refused loudly (`Corrupt`, non-retryable) instead of silently
+/// splicing the peer's suffix over acked-but-divergent local writes.
+#[test]
+fn catch_up_refuses_a_forked_wal_instead_of_splicing() {
+    let k = 3;
+    let g = ba_graph(25, 61);
+    let index = build_index(&g, k);
+    let dir = scratch_dir("fork");
+    let paths: Vec<(PathBuf, PathBuf)> = (1..=2)
+        .map(|r| (dir.join(format!("r{r}.idx")), dir.join(format!("r{r}.wal"))))
+        .collect();
+    for (idx_path, _) in &paths {
+        index.save(idx_path).expect("save checkpoint");
+    }
+    let r1 = ReplicaHandle::spawn(
+        &paths[0].0,
+        &paths[0].1,
+        TcpListener::bind("127.0.0.1:0").expect("bind"),
+    );
+    let r2 = ReplicaHandle::spawn(
+        &paths[1].0,
+        &paths[1].1,
+        TcpListener::bind("127.0.0.1:0").expect("bind"),
+    );
+
+    // Epoch 1 takes *different* writes on the two replicas — same
+    // shape, different id, so the journaled records differ
+    // byte-for-byte: the split-brain shape a stale health view produces.
+    let donor = ba_graph(15, 5);
+    let shape = shape_of(&donor, 0, k);
+    let mut c1 = WireClient::connect(&r1.addr).expect("dial r1");
+    c1.request(&Request::PutSig {
+        id: 0,
+        shape: shape.clone(),
+    })
+    .expect("r1 epoch 1");
+    c1.request(&Request::PutSig {
+        id: 1,
+        shape: shape.clone(),
+    })
+    .expect("r1 epoch 2");
+    let mut c2 = WireClient::connect(&r2.addr).expect("dial r2");
+    c2.request(&Request::PutSig { id: 5, shape })
+        .expect("r2 epoch 1, forked");
+
+    let err = match c2
+        .request(&Request::CatchUp {
+            peer: r1.addr.clone(),
+        })
+        .expect("reply parses")
+    {
+        Response::Error(err) => err,
+        other => panic!("a forked catch-up must be refused, got {other:?}"),
+    };
+    assert!(!err.is_retryable(), "fork needs a snapshot resync: {err}");
+    assert!(err.to_string().contains("forked"), "names the fork: {err}");
+    assert_eq!(
+        fingerprint_of(&r2.addr).0,
+        1,
+        "the forked replica's state was not touched"
+    );
+
+    drop((r1, r2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One `walsuffix` reply is a bounded chunk, not the whole suffix — the
+/// donor never stalls its writers for an unbounded read — and the
+/// catch-up loop re-requests from its advancing epoch until level, so a
+/// gap longer than one chunk still heals to bit-identity.
+#[test]
+fn catch_up_streams_a_long_suffix_in_bounded_chunks() {
+    use ned_index::server::WAL_CHUNK_MAX_RECORDS;
+    let k = 3;
+    let g = ba_graph(20, 71);
+    let index = build_index(&g, k);
+    let dir = scratch_dir("chunks");
+    let paths: Vec<(PathBuf, PathBuf)> = (1..=2)
+        .map(|r| (dir.join(format!("r{r}.idx")), dir.join(format!("r{r}.wal"))))
+        .collect();
+    for (idx_path, _) in &paths {
+        index.save(idx_path).expect("save checkpoint");
+    }
+    // Checkpointing off: the whole history must stay in the WAL so the
+    // suffix from epoch 0 is streamable at all.
+    let no_checkpoint = DurableOptions {
+        checkpoint_every: 0,
+        ..DurableOptions::default()
+    };
+    let r1 = ReplicaHandle::spawn_with(
+        &paths[0].0,
+        &paths[0].1,
+        TcpListener::bind("127.0.0.1:0").expect("bind"),
+        no_checkpoint,
+    );
+    let r2 = ReplicaHandle::spawn_with(
+        &paths[1].0,
+        &paths[1].1,
+        TcpListener::bind("127.0.0.1:0").expect("bind"),
+        no_checkpoint,
+    );
+
+    let total = WAL_CHUNK_MAX_RECORDS + 40;
+    let donor = ba_graph(12, 9);
+    let shape = shape_of(&donor, 2, k);
+    let mut client = WireClient::connect(&r1.addr).expect("dial donor");
+    for ids in (0..total as u64).collect::<Vec<_>>().chunks(32) {
+        let reqs: Vec<Request> = ids
+            .iter()
+            .map(|id| Request::PutSig {
+                id: *id,
+                shape: shape.clone(),
+            })
+            .collect();
+        client.request_batch(&reqs).expect("batched puts");
+    }
+
+    // A single suffix request answers exactly one full chunk...
+    match client
+        .request(&Request::WalSuffix { from_epoch: 0 })
+        .expect("suffix")
+    {
+        Response::WalChunk { records, epoch, .. } => {
+            assert_eq!(records.len(), WAL_CHUNK_MAX_RECORDS, "chunk is capped");
+            assert_eq!(epoch as usize, total, "donor reports its true head");
+        }
+        other => panic!("expected walchunk, got {other:?}"),
+    }
+
+    // ...and the catch-up loop walks every chunk to bit-identity.
+    let mut stale = WireClient::connect(&r2.addr).expect("dial stale");
+    let msg = match stale
+        .request(&Request::CatchUp {
+            peer: r1.addr.clone(),
+        })
+        .expect("catch-up succeeds")
+    {
+        Response::Ok { msg } => msg,
+        other => panic!("expected ok, got {other:?}"),
+    };
+    assert!(
+        msg.contains(&format!("caught up {total} record(s)")),
+        "every chunk was walked: {msg}"
+    );
+    assert_eq!(fingerprint_of(&r1.addr), fingerprint_of(&r2.addr));
+
+    drop((r1, r2));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
